@@ -1,0 +1,102 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the §2.3 MD peephole optimizations on/off,
+//! * the §2.4 enabled AM variant vs the measured unenabled one,
+//! * charging write-back traffic in the cycle model,
+//! * queue memory through the cache vs dedicated queue SRAM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tamsim_cache::{table2_geometry, CacheBank, CycleModel};
+use tamsim_core::{Experiment, Implementation, LoweringOptions};
+
+fn bench_md_optimizations(c: &mut Criterion) {
+    let program = tamsim_programs::quicksort(32, 7);
+    let mut g = c.benchmark_group("ablation_md_opts");
+    g.sample_size(20);
+    for (label, opts) in [
+        ("all_on", LoweringOptions::default()),
+        ("all_off", LoweringOptions::none()),
+        ("no_specialize", LoweringOptions { md_specialize: false, ..Default::default() }),
+        ("no_store_elim", LoweringOptions { md_store_elim: false, ..Default::default() }),
+        (
+            "no_stop_to_suspend",
+            LoweringOptions { md_stop_to_suspend: false, ..Default::default() },
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let out = Experiment::new(Implementation::Md)
+                    .with_opts(opts)
+                    .run(black_box(&program));
+                black_box(out.instructions)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_am_variants(c: &mut Criterion) {
+    let program = tamsim_programs::mmt(10);
+    let mut g = c.benchmark_group("ablation_enabled_am");
+    g.sample_size(10);
+    for impl_ in [Implementation::Am, Implementation::AmEnabled] {
+        g.bench_function(impl_.label(), |b| {
+            b.iter(|| {
+                let out = Experiment::new(impl_).run(black_box(&program));
+                black_box(out.instructions)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_queue_placement(c: &mut Criterion) {
+    let program = tamsim_programs::wavefront(12, 2);
+    let geom = table2_geometry();
+    let mut g = c.benchmark_group("ablation_queue_placement");
+    g.sample_size(10);
+    for (label, bypass) in [("through_cache", false), ("queue_sram", true)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut exp = Experiment::new(Implementation::Md);
+                exp.queue_bypass = bypass;
+                let mut bank = CacheBank::symmetric([geom]);
+                let out = exp.run_with_sink(black_box(&program), &mut bank);
+                let model = CycleModel::paper(24);
+                black_box(
+                    model.total_cycles(out.instructions, &bank.summary_for(geom).unwrap()),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_writeback_charging(c: &mut Criterion) {
+    let program = tamsim_programs::ss(32);
+    let geom = table2_geometry();
+    // Collect once; the ablation is pure cycle arithmetic.
+    let mut bank = CacheBank::symmetric([geom]);
+    let out = Experiment::new(Implementation::Md).run_with_sink(&program, &mut bank);
+    let summary = bank.summary_for(geom).unwrap();
+    let mut g = c.benchmark_group("ablation_writeback");
+    for (label, charge) in [("uncharged", false), ("charged", true)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let model = CycleModel { miss_penalty: 24, charge_writebacks: charge };
+                black_box(model.total_cycles(out.instructions, &summary))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_md_optimizations,
+    bench_am_variants,
+    bench_queue_placement,
+    bench_writeback_charging
+);
+criterion_main!(benches);

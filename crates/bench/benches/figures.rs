@@ -1,0 +1,69 @@
+//! Benches regenerating the paper's figures (1–6) and the §3.3 block
+//! sweep, at reduced suite sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tamsim_cache::{paper_sweep, CacheGeometry, PAPER_BLOCK_SWEEP};
+use tamsim_core::Implementation;
+use tamsim_metrics::{
+    block_sweep, capture_schedule, figure1_program, figure2, figure3, figure6,
+    figure_per_program, SuiteData,
+};
+
+fn sweep_data() -> SuiteData {
+    let mut geoms = paper_sweep();
+    for &b in &PAPER_BLOCK_SWEEP {
+        if b != 64 {
+            geoms.push(CacheGeometry::new(8192, 4, b));
+        }
+    }
+    SuiteData::collect(
+        tamsim_programs::small_suite(),
+        &[Implementation::Md, Implementation::Am],
+        geoms,
+    )
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    let program = figure1_program();
+    c.bench_function("figure1_schedule_order", |b| {
+        b.iter(|| {
+            for impl_ in [Implementation::Am, Implementation::Md] {
+                black_box(capture_schedule(&program, impl_, 1));
+            }
+        })
+    });
+}
+
+fn bench_figure2(c: &mut Criterion) {
+    let suite = tamsim_programs::small_suite();
+    let mut g = c.benchmark_group("figure2");
+    g.sample_size(10);
+    g.bench_function("enabled_vs_unenabled", |b| {
+        b.iter(|| black_box(figure2(&suite).to_csv()))
+    });
+    g.finish();
+}
+
+fn bench_sweep_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures3_to_6");
+    g.sample_size(10);
+    // The expensive part: the traced sweep feeding figures 3–6.
+    g.bench_function("collect_sweep", |b| b.iter(|| black_box(sweep_data())));
+    let data = sweep_data();
+    g.bench_function("figure3_geomeans", |b| b.iter(|| black_box(figure3(&data))));
+    g.bench_function("figure4_per_program_4way", |b| {
+        b.iter(|| black_box(figure_per_program(&data, 4)))
+    });
+    g.bench_function("figure5_per_program_1way", |b| {
+        b.iter(|| black_box(figure_per_program(&data, 1)))
+    });
+    g.bench_function("figure6_geomean_no_ss", |b| b.iter(|| black_box(figure6(&data))));
+    g.bench_function("block_sweep_section3_3", |b| {
+        b.iter(|| black_box(block_sweep(&data, &PAPER_BLOCK_SWEEP)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figure1, bench_figure2, bench_sweep_figures);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Benches regenerating the paper's tables.
+//!
+//! Each bench runs the full pipeline that produces the corresponding
+//! artifact (machine simulation → trace → caches → statistics), at the
+//! reduced suite sizes so `cargo bench` stays fast; the `tamsim` binary
+//! regenerates the paper-size artifacts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tamsim_cache::table2_geometry;
+use tamsim_core::Implementation;
+use tamsim_metrics::{accesses, table1, table2, SuiteData};
+
+fn small_data() -> SuiteData {
+    SuiteData::collect(
+        tamsim_programs::small_suite(),
+        &[Implementation::Md, Implementation::Am],
+        vec![table2_geometry()],
+    )
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_mapping", |b| b.iter(|| black_box(table1())));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    // The full pipeline: every program under both implementations, traced
+    // into the Table 2 cache configuration.
+    g.bench_function("collect_and_render", |b| {
+        b.iter(|| {
+            let data = small_data();
+            black_box(table2(&data).to_csv())
+        })
+    });
+    // Derivation alone, on a pre-collected dataset.
+    let data = small_data();
+    g.bench_function("render_only", |b| b.iter(|| black_box(table2(&data).to_csv())));
+    g.finish();
+}
+
+fn bench_section31(c: &mut Criterion) {
+    let data = small_data();
+    c.bench_function("section3_1_accesses", |b| {
+        b.iter(|| black_box(accesses(&data).to_csv()))
+    });
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_section31);
+criterion_main!(benches);

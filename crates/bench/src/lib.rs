@@ -1,0 +1,2 @@
+//! Support crate for the Criterion benches (see `benches/`); the bench
+//! targets regenerate every table and figure of the paper.

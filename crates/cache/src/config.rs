@@ -1,0 +1,119 @@
+//! Cache geometry and the paper's configuration sweeps.
+
+/// Geometry of one cache (instruction or data).
+///
+/// All fields must be powers of two and `size_bytes ≥ assoc × block_bytes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Set associativity (1 = direct-mapped).
+    pub assoc: u32,
+    /// Block (line) size in bytes.
+    pub block_bytes: u32,
+}
+
+impl CacheGeometry {
+    /// Construct and validate a geometry.
+    ///
+    /// # Panics
+    /// Panics if any parameter is not a power of two or the capacity
+    /// cannot hold `assoc` blocks.
+    pub fn new(size_bytes: u32, assoc: u32, block_bytes: u32) -> Self {
+        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(assoc.is_power_of_two(), "associativity must be a power of two");
+        assert!(block_bytes.is_power_of_two() && block_bytes >= 4, "bad block size");
+        assert!(
+            size_bytes >= assoc * block_bytes,
+            "cache of {size_bytes} B cannot hold {assoc} blocks of {block_bytes} B"
+        );
+        CacheGeometry { size_bytes, assoc, block_bytes }
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> u32 {
+        self.size_bytes / (self.assoc * self.block_bytes)
+    }
+
+    /// Number of lines.
+    pub fn n_lines(&self) -> u32 {
+        self.size_bytes / self.block_bytes
+    }
+
+    /// Short label like `8K/4way/64B`.
+    pub fn label(&self) -> String {
+        format!("{}K/{}way/{}B", self.size_bytes / 1024, self.assoc, self.block_bytes)
+    }
+}
+
+/// The cache sizes evaluated in the paper's figures: 1 KB through 128 KB.
+pub const PAPER_CACHE_SIZES: [u32; 8] =
+    [1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072];
+
+/// The associativities evaluated in the paper: direct-mapped, 2-way, 4-way.
+pub const PAPER_ASSOCS: [u32; 3] = [1, 2, 4];
+
+/// The miss penalties evaluated in the paper (cycles).
+pub const PAPER_MISS_COSTS: [u64; 3] = [12, 24, 48];
+
+/// The block size used for the paper's headline data ("we show data for
+/// 64-byte blocks, the size at which both systems performed best").
+pub const PAPER_BLOCK_BYTES: u32 = 64;
+
+/// The block sizes the paper's simulator explored (8 to 64 bytes).
+pub const PAPER_BLOCK_SWEEP: [u32; 4] = [8, 16, 32, 64];
+
+/// Table 2's fixed cache configuration: 8192-byte 4-way set-associative.
+pub fn table2_geometry() -> CacheGeometry {
+    CacheGeometry::new(8192, 4, PAPER_BLOCK_BYTES)
+}
+
+/// The full size × associativity sweep at the headline block size.
+pub fn paper_sweep() -> Vec<CacheGeometry> {
+    let mut v = Vec::new();
+    for &assoc in &PAPER_ASSOCS {
+        for &size in &PAPER_CACHE_SIZES {
+            v.push(CacheGeometry::new(size, assoc, PAPER_BLOCK_BYTES));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_derivations() {
+        let g = CacheGeometry::new(8192, 4, 64);
+        assert_eq!(g.n_sets(), 32);
+        assert_eq!(g.n_lines(), 128);
+        assert_eq!(g.label(), "8K/4way/64B");
+    }
+
+    #[test]
+    fn direct_mapped_sets_equal_lines() {
+        let g = CacheGeometry::new(1024, 1, 64);
+        assert_eq!(g.n_sets(), 16);
+        assert_eq!(g.n_lines(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        CacheGeometry::new(3000, 1, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn too_small_for_assoc_rejected() {
+        CacheGeometry::new(64, 4, 64);
+    }
+
+    #[test]
+    fn paper_sweep_covers_24_configs() {
+        let sweep = paper_sweep();
+        assert_eq!(sweep.len(), 24);
+        assert!(sweep.iter().all(|g| g.block_bytes == 64));
+    }
+}

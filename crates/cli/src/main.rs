@@ -1,0 +1,265 @@
+//! `tamsim` — regenerate every table and figure of Spertus & Dally,
+//! "Evaluating the Locality Benefits of Active Messages" (PPOPP 1995).
+//!
+//! ```text
+//! tamsim [--small] [--out DIR] [COMMAND]
+//!
+//! COMMANDS
+//!   all        everything below (default)
+//!   table1     TAM-construct → MDP-mechanism mapping
+//!   table2     granularity + cycle ratios at 8K 4-way
+//!   figure1    scheduling-order contrast
+//!   figure2    enabled vs unenabled AM granularity (§2.4)
+//!   figure3    geomean ratio vs cache size, 1/2/4-way
+//!   figure4    per-program ratios, 4-way
+//!   figure5    per-program ratios, direct-mapped
+//!   figure6    geomean excluding SS, direct-mapped
+//!   accesses   §3.1 reads/writes/fetches MD/AM
+//!   blocks     block-size sweep (§3.3)
+//!   disasm     dump the lowered code of fib(5) under both back-ends
+//!   run FILE   parse a textual TAM program and run it under all
+//!              three implementations
+//!
+//! OPTIONS
+//!   --small    run the reduced-size suite (fast smoke run)
+//!   --out DIR  write .txt/.csv outputs under DIR (default: results)
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use tamsim_cache::{paper_sweep, CacheGeometry, PAPER_BLOCK_SWEEP};
+use tamsim_core::Implementation;
+use tamsim_metrics as metrics;
+use tamsim_metrics::{SuiteData, Table};
+use tamsim_programs::PaperBenchmark;
+
+struct Args {
+    small: bool,
+    out: PathBuf,
+    command: String,
+    extra: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut small = false;
+    let mut out = PathBuf::from("results");
+    let mut command = None::<String>;
+    let mut extra = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--small" => small = true,
+            "--out" => out = PathBuf::from(it.next().expect("--out needs a directory")),
+            "--help" | "-h" => {
+                println!(
+                    "tamsim [--small] [--out DIR] \
+                     [table1|table2|figure1..figure6|accesses|blocks|disasm|run FILE|all]"
+                );
+                std::process::exit(0);
+            }
+            c if !c.starts_with('-') => {
+                if command.is_none() {
+                    command = Some(c.to_string());
+                } else {
+                    extra.push(c.to_string());
+                }
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args { small, out, command: command.unwrap_or_else(|| "all".to_string()), extra }
+}
+
+fn write_out(dir: &Path, name: &str, text: &str, csv: Option<&str>) {
+    fs::create_dir_all(dir).expect("create results dir");
+    fs::write(dir.join(format!("{name}.txt")), text).expect("write txt");
+    if let Some(csv) = csv {
+        fs::write(dir.join(format!("{name}.csv")), csv).expect("write csv");
+    }
+}
+
+fn emit(dir: &Path, name: &str, title: &str, table: &Table) {
+    let text = format!("{title}\n\n{}", table.to_text());
+    println!("## {title}\n\n{}", table.to_text());
+    write_out(dir, name, &text, Some(&table.to_csv()));
+}
+
+fn emit_series(dir: &Path, stem: &str, title: &str, series: Vec<(u64, Table)>) {
+    for (cost, table) in series {
+        emit(
+            dir,
+            &format!("{stem}_miss{cost}"),
+            &format!("{title} (miss = {cost} cycles)"),
+            &table,
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let suite: Vec<PaperBenchmark> = if args.small {
+        tamsim_programs::small_suite()
+    } else {
+        tamsim_programs::paper_suite()
+    };
+    let dir = args.out.clone();
+    let needs_data = matches!(
+        args.command.as_str(),
+        "all" | "table2" | "figure3" | "figure4" | "figure5" | "figure6" | "accesses" | "blocks"
+    );
+
+    // One traced run per (program, implementation) feeds every figure:
+    // the paper's 24-configuration sweep plus the block-size variants.
+    let data: Option<SuiteData> = needs_data.then(|| {
+        let mut geometries = paper_sweep();
+        for &b in &PAPER_BLOCK_SWEEP {
+            if b != 64 {
+                geometries.push(CacheGeometry::new(8192, 4, b));
+            }
+        }
+        let t0 = Instant::now();
+        let data = SuiteData::collect(
+            suite.clone(),
+            &[Implementation::Md, Implementation::Am],
+            geometries,
+        );
+        eprintln!(
+            "collected {} traced runs in {:.1?}",
+            data.names.len() * 2,
+            t0.elapsed()
+        );
+        data
+    });
+
+    let cmd = args.command.as_str();
+    let all = cmd == "all";
+
+    if all || cmd == "table1" {
+        let text = metrics::table1();
+        println!("## Table 1: TAM constructs on the J-Machine\n\n{text}");
+        write_out(&dir, "table1", &text, None);
+    }
+    if all || cmd == "table2" {
+        emit(
+            &dir,
+            "table2",
+            "Table 2: granularity and MD/AM cycle ratios (8K 4-way, 64B blocks)",
+            &metrics::table2(data.as_ref().unwrap()),
+        );
+    }
+    if all || cmd == "figure1" {
+        let text = metrics::figure1();
+        println!("## Figure 1: scheduling order (child codeblock)\n\n{text}");
+        write_out(&dir, "figure1", &text, None);
+    }
+    if all || cmd == "figure2" {
+        emit(
+            &dir,
+            "figure2",
+            "Figure 2 / §2.4: unenabled vs enabled AM",
+            &metrics::figure2(&suite),
+        );
+    }
+    if all || cmd == "figure3" {
+        emit_series(
+            &dir,
+            "figure3",
+            "Figure 3: geomean MD/AM cycle ratio vs cache size",
+            metrics::figure3(data.as_ref().unwrap()),
+        );
+    }
+    if all || cmd == "figure4" {
+        emit_series(
+            &dir,
+            "figure4",
+            "Figure 4: per-program MD/AM ratio, 4-way set-associative",
+            metrics::figure_per_program(data.as_ref().unwrap(), 4),
+        );
+    }
+    if all || cmd == "figure5" {
+        emit_series(
+            &dir,
+            "figure5",
+            "Figure 5: per-program MD/AM ratio, direct-mapped",
+            metrics::figure_per_program(data.as_ref().unwrap(), 1),
+        );
+    }
+    if all || cmd == "figure6" {
+        emit(
+            &dir,
+            "figure6",
+            "Figure 6: geomean excluding SS, direct-mapped",
+            &metrics::figure6(data.as_ref().unwrap()),
+        );
+    }
+    if all || cmd == "accesses" {
+        let data = data.as_ref().unwrap();
+        emit(&dir, "accesses", "§3.1: MD accesses as a fraction of AM", &metrics::accesses(data));
+        emit(
+            &dir,
+            "regions_md",
+            "§3.1 detail: MD accesses by region",
+            &metrics::region_breakdown(data, Implementation::Md),
+        );
+        emit(
+            &dir,
+            "regions_am",
+            "§3.1 detail: AM accesses by region",
+            &metrics::region_breakdown(data, Implementation::Am),
+        );
+    }
+    if cmd == "run" {
+        let path = args.extra.first().cloned().expect("usage: tamsim run FILE.tam");
+        let source = fs::read_to_string(&path).expect("read program file");
+        let program = tamsim_tam::parse_program(&source)
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
+        println!("{}: {} codeblocks, {} static ops", program.name,
+            program.codeblocks.len(), program.static_ops());
+        for impl_ in [Implementation::Am, Implementation::AmEnabled, Implementation::Md] {
+            let out = tamsim_core::Experiment::new(impl_).run(&program);
+            let result: Vec<String> =
+                out.result.iter().map(|w| w.as_i64().to_string()).collect();
+            println!(
+                "  {:5}: result [{}]  {} instructions, tpq {:.1}",
+                impl_.label(),
+                result.join(", "),
+                out.instructions,
+                out.granularity.tpq()
+            );
+        }
+        return;
+    }
+    if cmd == "disasm" {
+        // A small program keeps the listing readable; the point is to
+        // inspect how the two lowerings differ.
+        use tamsim_mdp::disasm_region;
+        let program = tamsim_programs::fib(5);
+        for impl_ in [Implementation::Am, Implementation::Md] {
+            let linked = tamsim_core::Experiment::new(impl_).link(&program);
+            let map = linked.cfg.map;
+            println!("==== {} system code ====", impl_.label());
+            println!(
+                "{}",
+                disasm_region(&linked.code, map.system_code_base, linked.code.sys_len())
+            );
+            println!("==== {} user code ====", impl_.label());
+            println!(
+                "{}",
+                disasm_region(&linked.code, map.user_code_base, linked.code.user_len())
+            );
+        }
+    }
+    if all || cmd == "blocks" {
+        emit(
+            &dir,
+            "blocks",
+            "§3.3: block-size sweep (8K 4-way, miss 24; normalized to 64B)",
+            &metrics::block_sweep(data.as_ref().unwrap(), &PAPER_BLOCK_SWEEP),
+        );
+    }
+}

@@ -1,0 +1,398 @@
+//! Linking TAM programs and running experiments end-to-end.
+
+use crate::asm::Asm;
+use crate::granularity::Granularity;
+use crate::layout::{FrameLayout, GlobalsMap, RESULT_WORDS};
+use crate::lower::{lower_program, make_labels, LowerCtx, Lowered};
+use crate::opts::{Implementation, LoweringOptions};
+use crate::sys::gen_sys;
+use tamsim_mdp::{
+    CodeImage, Hooks, Machine, MachineConfig, Mark, Priority, RunError, RunStats, Word,
+};
+use tamsim_tam::{Program, TOp, Value};
+use tamsim_trace::{Access, AccessCounts, CountingSink, NullSink, TraceSink};
+
+/// A program lowered and linked for one implementation: code image, boot
+/// message, and memory seed.
+#[derive(Debug, Clone)]
+pub struct Linked {
+    /// The complete code image (system + user code).
+    pub code: CodeImage,
+    /// The boot message (a frame-allocation request for `main`).
+    pub boot: Vec<Word>,
+    /// Load-time memory initialization (descriptors, allocator bumps,
+    /// initial heap arrays).
+    pub seed: Vec<(u32, Word)>,
+    /// Load address of each initial array.
+    pub array_bases: Vec<u32>,
+    /// Element counts of the initial arrays.
+    pub array_lens: Vec<usize>,
+    /// Address of the result words.
+    pub result_addr: u32,
+    /// Number of result words `main` returns.
+    pub result_arity: usize,
+    /// Machine configuration the image was linked against.
+    pub cfg: MachineConfig,
+    /// Boot address of the low-priority context.
+    pub start_low: u32,
+}
+
+impl Linked {
+    /// Build a machine loaded with this image (memory seeded, boot message
+    /// injected, low context started).
+    pub fn boot_machine(&self) -> Machine<'_> {
+        let mut machine = Machine::new(self.cfg, &self.code);
+        for (addr, w) in &self.seed {
+            machine.mem.write(*addr, *w);
+        }
+        machine.start_low(self.start_low);
+        machine
+            .inject(Priority::High, &self.boot)
+            .expect("boot message exceeds queue capacity");
+        machine
+    }
+
+    /// Run to completion, streaming events into `hooks`; returns the
+    /// machine for post-mortem inspection alongside the stats.
+    pub fn run<H: Hooks>(&self, hooks: &mut H) -> Result<(RunStats, Machine<'_>), RunError> {
+        let mut machine = self.boot_machine();
+        let stats = machine.run(hooks)?;
+        Ok((stats, machine))
+    }
+
+    /// Read the result words from a finished machine.
+    pub fn read_result(&self, machine: &Machine<'_>) -> Vec<Word> {
+        (0..self.result_arity)
+            .map(|i| machine.mem.read(self.result_addr + 4 * i as u32))
+            .collect()
+    }
+
+    /// Read back every initial array's I-structure cells (`None` = still
+    /// empty).
+    pub fn read_arrays(&self, machine: &Machine<'_>) -> Vec<Vec<Option<Word>>> {
+        self.array_bases
+            .iter()
+            .zip(&self.array_lens)
+            .map(|(&base, &len)| {
+                (0..len)
+                    .map(|j| {
+                        let cell = base + (j as u32) * 8;
+                        let present = machine.mem.read(cell).as_i64() == 1;
+                        present.then(|| machine.mem.read(cell + 4))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+fn resolve_value(v: &Value, array_bases: &[u32]) -> Word {
+    match v {
+        Value::Int(i) => Word::from_i64(*i),
+        Value::Float(f) => Word::from_f64(*f),
+        Value::ArrayBase(i) => Word::from_addr(array_bases[*i]),
+    }
+}
+
+/// Lower and link `program` for `impl_` under `opts` and `cfg`.
+pub fn link(
+    program: &Program,
+    impl_: Implementation,
+    opts: LoweringOptions,
+    cfg: MachineConfig,
+) -> Linked {
+    program.validate().expect("invalid program");
+
+    // Result arity: the widest Return in main.
+    let result_arity = program
+        .codeblock(program.main)
+        .threads
+        .iter()
+        .flat_map(|t| t.ops.iter())
+        .filter_map(|op| match op {
+            TOp::Return { vals } => Some(vals.len()),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+        .min(RESULT_WORDS as usize);
+
+    let layouts: Vec<FrameLayout> = program
+        .codeblocks
+        .iter()
+        .map(|cb| FrameLayout::of(cb, impl_.is_am()))
+        .collect();
+    let sys_layout = cfg.sys_layout();
+    let globals = GlobalsMap::new(&sys_layout, program, &layouts);
+
+    // Arrays at the bottom of the heap; the bump allocator starts above.
+    let mut array_bases = Vec::with_capacity(program.arrays.len());
+    let mut next = cfg.map.heap_base;
+    for a in &program.arrays {
+        array_bases.push(next);
+        next += (a.len() as u32) * 8;
+    }
+    let heap_bump_init = next;
+
+    let mut img = CodeImage::new(&cfg.map);
+    let mut asm = Asm::new();
+    let sys = gen_sys(&mut img, &mut asm, impl_, &globals, result_arity);
+    let mut lowered: Lowered = make_labels(&mut asm, program);
+    {
+        let mut ctx = LowerCtx {
+            img: &mut img,
+            asm: &mut asm,
+            impl_,
+            opts,
+            globals: &globals,
+            sys: &sys,
+            layouts: &layouts,
+            program,
+            array_bases: &array_bases,
+        };
+        lower_program(&mut ctx, &mut lowered);
+    }
+
+    // Collect addresses needed by descriptors and boot before finishing.
+    let falloc_addr = asm.addr(sys.falloc);
+    let done_addr = asm.addr(sys.done);
+    let start_low = asm.addr(sys.start_low);
+    let mut seed: Vec<(u32, Word)> = Vec::new();
+    for (i, cb) in program.codeblocks.iter().enumerate() {
+        let inlet_addrs: Vec<u32> = lowered.inlet_labels[i]
+            .iter()
+            .map(|l| asm.addr(*l))
+            .collect();
+        seed.extend(crate::layout::descriptor_seed(
+            globals.desc_addr[i],
+            cb,
+            &layouts[i],
+            &inlet_addrs,
+        ));
+    }
+    asm.finish(&mut img);
+
+    // Allocator bumps and initial arrays.
+    seed.push((globals.frame_bump, Word::from_addr(cfg.map.frame_base)));
+    seed.push((globals.heap_bump, Word::from_addr(heap_bump_init)));
+    let mut desc_ptr_seed: Vec<(u32, Word)> = globals
+        .desc_addr
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (globals.desc_ptrs + 4 * i as u32, Word::from_addr(*a)))
+        .collect();
+    seed.append(&mut desc_ptr_seed);
+    for (a, base) in program.arrays.iter().zip(&array_bases) {
+        for (j, cell) in a.cells.iter().enumerate() {
+            let addr = base + (j as u32) * 8;
+            if let Some(v) = cell {
+                seed.push((addr, Word::from_i64(1)));
+                seed.push((addr + 4, resolve_value(v, &array_bases)));
+            }
+            // Empty cells stay zero (memory default).
+        }
+    }
+
+    // Boot: allocate main's frame; replies go to the done handler.
+    let mut boot = vec![
+        Word::from_addr(falloc_addr),
+        Word::from_i64(program.main.0 as i64),
+        Word::from_i64(program.main_args.len() as i64),
+        Word::from_i64(0), // parent frame (none)
+        Word::from_addr(done_addr),
+    ];
+    boot.extend(program.main_args.iter().map(|v| resolve_value(v, &array_bases)));
+
+    Linked {
+        code: img,
+        boot,
+        seed,
+        array_bases,
+        array_lens: program.arrays.iter().map(|a| a.len()).collect(),
+        result_addr: globals.result,
+        result_arity,
+        cfg,
+        start_low,
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Which implementation ran.
+    pub implementation: Implementation,
+    /// Machine counters (`stats.instructions` is the base cycle count).
+    pub stats: RunStats,
+    /// Total instructions executed.
+    pub instructions: u64,
+    /// The words `main` returned.
+    pub result: Vec<Word>,
+    /// Region/kind access counts (Section 3.1).
+    pub counts: AccessCounts,
+    /// Granularity statistics (Table 2).
+    pub granularity: Granularity,
+    /// Final contents of the initial arrays (program verification).
+    pub arrays: Vec<Vec<Option<Word>>>,
+    /// Queue capacities the run used (auto-sized on overflow).
+    pub queue_words: [u32; 2],
+    /// Data accesses absorbed by the queue SRAM (0 when the bypass is
+    /// disabled).
+    pub queue_accesses: u64,
+}
+
+/// Hooks combining access counting, granularity tracking, and an
+/// arbitrary trace sink (e.g. a cache bank).
+///
+/// When `queue_bypass` is set, data accesses to the hardware message
+/// queues are counted but not forwarded to the sink: on the J-Machine
+/// "messages are buffered directly into the top level of the memory
+/// hierarchy" (dedicated on-chip queue SRAM), so queue words do not
+/// contend for cache lines. Disabling the bypass models a CM-5-style
+/// network interface attached below the cache (the paper's footnote
+/// contrast) and is exercised by the ablation bench.
+struct DriverHooks<'a, S: TraceSink> {
+    counts: CountingSink,
+    gran: Granularity,
+    extra: &'a mut S,
+    queue_bypass: Option<(u32, u32)>,
+    queue_accesses: u64,
+}
+
+impl<S: TraceSink> Hooks for DriverHooks<'_, S> {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.counts.access(access);
+        if let Some((lo, hi)) = self.queue_bypass {
+            if access.kind != tamsim_trace::AccessKind::Fetch
+                && (lo..hi).contains(&access.addr)
+            {
+                self.queue_accesses += 1;
+                return;
+            }
+        }
+        self.extra.access(access);
+    }
+
+    #[inline]
+    fn instruction(&mut self, pri: Priority, pc: u32) {
+        self.gran.instruction(pri, pc);
+    }
+
+    #[inline]
+    fn mark(&mut self, mark: Mark, frame: u32, pri: Priority) {
+        Hooks::mark(&mut self.gran, mark, frame, pri);
+    }
+}
+
+/// High-level experiment driver: one implementation + options, reusable
+/// across programs.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// The back-end to lower to.
+    pub implementation: Implementation,
+    /// Lowering optimization switches.
+    pub opts: LoweringOptions,
+    /// Instruction budget per run.
+    pub fuel: u64,
+    /// Initial queue capacities (words); doubled automatically on
+    /// overflow, with the final values reported in the result.
+    pub queue_words: [u32; 2],
+    /// Whether queue memory bypasses the data cache. Off by default:
+    /// the paper's analysis charges message buffering to the memory
+    /// system ("even under software control, cache space and memory
+    /// bandwidth is required to buffer most arriving data"). Enabling it
+    /// models the J-Machine's dedicated on-chip queue SRAM instead — an
+    /// ablation that mostly erases the AM implementation's high-penalty
+    /// advantage (see EXPERIMENTS.md).
+    pub queue_bypass: bool,
+}
+
+impl Experiment {
+    /// An experiment with the paper's defaults (4 KB queues, all MD
+    /// optimizations on).
+    pub fn new(implementation: Implementation) -> Self {
+        Experiment {
+            implementation,
+            opts: LoweringOptions::default(),
+            fuel: 2_000_000_000,
+            queue_words: [1024, 1024],
+            queue_bypass: false,
+        }
+    }
+
+    /// Override the lowering options.
+    pub fn with_opts(mut self, opts: LoweringOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    fn config(&self, queue_words: [u32; 2]) -> MachineConfig {
+        MachineConfig { queue_words, fuel: self.fuel, ..MachineConfig::default() }
+    }
+
+    /// Link `program` at the experiment's current queue sizes.
+    pub fn link(&self, program: &Program) -> Linked {
+        link(program, self.implementation, self.opts, self.config(self.queue_words))
+    }
+
+    /// Run `program` with no extra sink.
+    pub fn run(&self, program: &Program) -> RunResult {
+        self.run_with_sink(program, &mut NullSink)
+    }
+
+    /// Run `program`, also streaming the trace into `sink` (typically a
+    /// [`tamsim_cache::CacheBank`]). On queue overflow the run restarts
+    /// with doubled queues, re-linking so addresses stay consistent, and
+    /// `sink` is only fed by the final successful run (the caller's sink
+    /// must be fresh; overflow is detected with a cheap probe first).
+    pub fn run_with_sink<S: TraceSink>(&self, program: &Program, sink: &mut S) -> RunResult {
+        // Probe with untraced runs until the queues fit.
+        let mut queue_words = self.queue_words;
+        let linked = loop {
+            let linked = link(
+                program,
+                self.implementation,
+                self.opts,
+                self.config(queue_words),
+            );
+            match linked.run(&mut tamsim_mdp::NoHooks) {
+                Ok(_) => break linked,
+                Err(RunError::QueueOverflow { pri }) => {
+                    let i = pri.index();
+                    assert!(
+                        queue_words[i] < 1 << 22,
+                        "queue demand implausibly large; runaway program?"
+                    );
+                    queue_words[i] *= 2;
+                }
+                Err(e) => panic!("program {} failed under {:?}: {e}", program.name, self.implementation),
+            }
+        };
+
+        let sys = linked.cfg.sys_layout();
+        let mut hooks = DriverHooks {
+            counts: CountingSink::new(linked.cfg.map),
+            gran: Granularity::new(),
+            extra: sink,
+            queue_bypass: self
+                .queue_bypass
+                .then_some((sys.low_queue_base, sys.globals_base)),
+            queue_accesses: 0,
+        };
+        let (stats, machine) = linked
+            .run(&mut hooks)
+            .expect("probed run failed on the traced pass");
+        let queue_accesses = hooks.queue_accesses;
+        RunResult {
+            implementation: self.implementation,
+            instructions: stats.instructions,
+            result: linked.read_result(&machine),
+            arrays: linked.read_arrays(&machine),
+            counts: hooks.counts.counts,
+            granularity: hooks.gran,
+            stats,
+            queue_words,
+            queue_accesses,
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Granularity statistics: threads per quantum, instructions per thread,
+//! instructions per quantum (Table 2 of the paper).
+//!
+//! "A useful metric of granularity is threads per quantum, which indicates
+//! how many threads from a frame are executed before a switch to another
+//! frame. This can involve emptying the LCV multiple times if subsequent
+//! messages are destined for the same frame." We therefore detect quantum
+//! boundaries from the *frame* of each started thread, which measures both
+//! implementations uniformly.
+
+use tamsim_mdp::{Hooks, Mark, Priority};
+use tamsim_trace::Access;
+
+/// What kind of code a priority level is currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Segment {
+    #[default]
+    Other,
+    Thread,
+    Inlet,
+}
+
+/// Accumulates granularity statistics from machine marks.
+#[derive(Debug, Default, Clone)]
+pub struct Granularity {
+    seg: [Segment; 2],
+    last_frame: Option<u32>,
+    /// Threads executed.
+    pub threads: u64,
+    /// Quanta (maximal runs of threads on the same frame).
+    pub quanta: u64,
+    /// Inlet executions.
+    pub inlets: u64,
+    /// Instructions executed inside thread bodies.
+    pub thread_instructions: u64,
+    /// Instructions executed inside inlet bodies.
+    pub inlet_instructions: u64,
+    /// All other instructions (system routines, scheduler, dispatch glue).
+    pub other_instructions: u64,
+}
+
+impl Granularity {
+    /// Fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Threads per quantum.
+    pub fn tpq(&self) -> f64 {
+        if self.quanta == 0 {
+            0.0
+        } else {
+            self.threads as f64 / self.quanta as f64
+        }
+    }
+
+    /// Instructions per thread (thread-body instructions only, matching
+    /// Table 2 where IPQ ≈ TPQ × IPT).
+    pub fn ipt(&self) -> f64 {
+        if self.threads == 0 {
+            0.0
+        } else {
+            self.thread_instructions as f64 / self.threads as f64
+        }
+    }
+
+    /// Instructions per quantum.
+    pub fn ipq(&self) -> f64 {
+        if self.quanta == 0 {
+            0.0
+        } else {
+            self.thread_instructions as f64 / self.quanta as f64
+        }
+    }
+
+    /// Total instructions observed.
+    pub fn total_instructions(&self) -> u64 {
+        self.thread_instructions + self.inlet_instructions + self.other_instructions
+    }
+}
+
+impl Hooks for Granularity {
+    #[inline]
+    fn access(&mut self, _access: Access) {}
+
+    #[inline]
+    fn instruction(&mut self, pri: Priority, _pc: u32) {
+        match self.seg[pri.index()] {
+            Segment::Thread => self.thread_instructions += 1,
+            Segment::Inlet => self.inlet_instructions += 1,
+            Segment::Other => self.other_instructions += 1,
+        }
+    }
+
+    fn mark(&mut self, mark: Mark, frame: u32, pri: Priority) {
+        let p = pri.index();
+        match mark {
+            Mark::ThreadStart { .. } => {
+                self.seg[p] = Segment::Thread;
+                self.threads += 1;
+                if self.last_frame != Some(frame) {
+                    self.quanta += 1;
+                    self.last_frame = Some(frame);
+                }
+            }
+            Mark::ThreadEnd => self.seg[p] = Segment::Other,
+            Mark::InletStart { .. } => {
+                self.seg[p] = Segment::Inlet;
+                self.inlets += 1;
+            }
+            Mark::InletEnd => self.seg[p] = Segment::Other,
+            Mark::FrameActivated | Mark::SysStart | Mark::SysEnd => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(g: &mut Granularity, frame: u32) {
+        g.mark(Mark::ThreadStart { codeblock: 0, thread: 0 }, frame, Priority::Low);
+    }
+
+    #[test]
+    fn quanta_count_frame_runs() {
+        let mut g = Granularity::new();
+        for f in [10, 10, 10, 20, 10, 10] {
+            start(&mut g, f);
+            g.mark(Mark::ThreadEnd, f, Priority::Low);
+        }
+        assert_eq!(g.threads, 6);
+        // Runs: [10,10,10], [20], [10,10] → 3 quanta.
+        assert_eq!(g.quanta, 3);
+        assert_eq!(g.tpq(), 2.0);
+    }
+
+    #[test]
+    fn instructions_attributed_by_segment() {
+        let mut g = Granularity::new();
+        start(&mut g, 1);
+        g.instruction(Priority::Low, 0);
+        g.instruction(Priority::Low, 4);
+        // An inlet preempts at high priority.
+        g.mark(Mark::InletStart { codeblock: 0, inlet: 0 }, 1, Priority::High);
+        g.instruction(Priority::High, 8);
+        g.mark(Mark::InletEnd, 1, Priority::High);
+        // Back in the thread.
+        g.instruction(Priority::Low, 12);
+        g.mark(Mark::ThreadEnd, 1, Priority::Low);
+        g.instruction(Priority::Low, 16); // scheduler glue
+        assert_eq!(g.thread_instructions, 3);
+        assert_eq!(g.inlet_instructions, 1);
+        assert_eq!(g.other_instructions, 1);
+        assert_eq!(g.inlets, 1);
+        assert_eq!(g.ipt(), 3.0);
+    }
+
+    #[test]
+    fn ipq_is_thread_instructions_per_quantum() {
+        let mut g = Granularity::new();
+        for f in [1, 1, 2, 2] {
+            start(&mut g, f);
+            g.instruction(Priority::Low, 0);
+            g.instruction(Priority::Low, 4);
+            g.mark(Mark::ThreadEnd, f, Priority::Low);
+        }
+        assert_eq!(g.quanta, 2);
+        assert_eq!(g.ipq(), 4.0);
+        assert_eq!(g.total_instructions(), 8);
+    }
+
+    #[test]
+    fn empty_tracker_has_zero_ratios() {
+        let g = Granularity::new();
+        assert_eq!(g.tpq(), 0.0);
+        assert_eq!(g.ipt(), 0.0);
+        assert_eq!(g.ipq(), 0.0);
+    }
+}

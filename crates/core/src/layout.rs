@@ -1,0 +1,305 @@
+//! Frame layouts, OS-globals map, and codeblock descriptors.
+//!
+//! The two implementations use different frame layouts: the AM frame
+//! embeds its remote continuation vector (RCV) — the per-frame list of
+//! ready threads that becomes the LCV when the frame is activated — while
+//! the MD frame has none ("inlets contain branches directly to threads,
+//! eliminating the need for storing pointers to ready threads in the
+//! frame"). Both reserve a link word (frame queue / free list), the parent
+//! frame pointer, the caller's reply-inlet address, and one word per
+//! synchronizing thread's entry count.
+
+use tamsim_mdp::{SysLayout, Word};
+use tamsim_tam::{Codeblock, Program, SlotId, ThreadId};
+
+/// Fixed frame header offsets shared by the runtime library.
+pub mod frame {
+    /// Byte offset of the link word (AM frame queue; free list when dead).
+    pub const LINK_OFF: u32 = 0;
+    /// AM only: byte offset of the RCV top index.
+    pub const RCV_TOP_OFF: u32 = 4;
+    /// AM only: byte offset of the first RCV entry.
+    pub const RCV_BASE_OFF: u32 = 8;
+}
+
+/// Per-codeblock frame layout for one implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameLayout {
+    /// RCV capacity in entries (0 for MD).
+    pub rcv_cap: u32,
+    /// Byte offset of the parent frame pointer.
+    pub parent_off: u32,
+    /// Byte offset of the caller's reply-inlet address.
+    pub reply_off: u32,
+    /// Byte offset of each synchronizing thread's entry-count slot
+    /// (`None` for non-synchronizing threads).
+    pub count_off: Vec<Option<u32>>,
+    /// Byte offset of user slot 0.
+    pub user_off: u32,
+    /// Total frame size in words.
+    pub frame_words: u32,
+}
+
+impl FrameLayout {
+    /// Compute the layout of `cb` for the AM (`is_am`) or MD back-end.
+    pub fn of(cb: &Codeblock, is_am: bool) -> Self {
+        let rcv_cap = if is_am { 2 * cb.threads.len() as u32 + 8 } else { 0 };
+        // AM: link, rcv_top, rcv entries, parent, reply, counts, slots.
+        // MD: link, parent, reply, counts, slots.
+        let parent_off = if is_am { frame::RCV_BASE_OFF + rcv_cap * 4 } else { 4 };
+        let reply_off = parent_off + 4;
+        let mut next = reply_off + 4;
+        let mut count_off = Vec::with_capacity(cb.threads.len());
+        for t in &cb.threads {
+            if t.is_synchronizing() {
+                count_off.push(Some(next));
+                next += 4;
+            } else {
+                count_off.push(None);
+            }
+        }
+        let user_off = next;
+        let frame_words = user_off / 4 + cb.n_slots as u32;
+        FrameLayout { rcv_cap, parent_off, reply_off, count_off, user_off, frame_words }
+    }
+
+    /// Byte offset of a user slot.
+    #[inline]
+    pub fn slot_off(&self, slot: SlotId) -> u32 {
+        self.user_off + slot.0 as u32 * 4
+    }
+
+    /// Byte offset of a synchronizing thread's entry-count slot.
+    ///
+    /// # Panics
+    /// Panics for non-synchronizing threads (they have no count slot).
+    #[inline]
+    pub fn count_off(&self, t: ThreadId) -> u32 {
+        self.count_off[t.0 as usize].expect("count slot of non-synchronizing thread")
+    }
+
+    /// The `(offset, initial value)` pairs the frame allocator initializes.
+    pub fn count_inits(&self, cb: &Codeblock) -> Vec<(u32, u32)> {
+        cb.threads
+            .iter()
+            .zip(&self.count_off)
+            .filter_map(|(t, off)| off.map(|o| (o, t.entry_count)))
+            .collect()
+    }
+}
+
+/// Number of result words reserved in the globals area.
+pub const RESULT_WORDS: u32 = 8;
+
+/// Words reserved for the MD global LCV.
+pub const LCV_WORDS: u32 = 16 * 1024;
+
+/// Addresses of every OS-global structure, derived from the machine's
+/// [`SysLayout`] and the program shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalsMap {
+    /// AM frame-queue head.
+    pub q_head: u32,
+    /// AM frame-queue tail.
+    pub q_tail: u32,
+    /// Frame-region bump pointer.
+    pub frame_bump: u32,
+    /// Heap bump pointer.
+    pub heap_bump: u32,
+    /// I-structure deferred-node free list head.
+    pub defer_free: u32,
+    /// Base of the program-result words.
+    pub result: u32,
+    /// Base of the per-codeblock frame free lists (`+ cb*4`).
+    pub freelist_base: u32,
+    /// Base of the per-codeblock descriptor-pointer table (`+ cb*4`).
+    pub desc_ptrs: u32,
+    /// Address of each codeblock's descriptor blob.
+    pub desc_addr: Vec<u32>,
+    /// Base of the MD global LCV.
+    pub lcv_base: u32,
+    /// One past the last globals address.
+    pub end: u32,
+}
+
+impl GlobalsMap {
+    /// Lay out the globals for `program` with the given frame layouts.
+    ///
+    /// # Panics
+    /// Panics if the globals would overflow the system-data region.
+    pub fn new(sys: &SysLayout, program: &Program, layouts: &[FrameLayout]) -> Self {
+        let g = sys.globals_base;
+        let n_cbs = program.codeblocks.len() as u32;
+        let q_head = g;
+        let q_tail = g + 4;
+        let frame_bump = g + 8;
+        let heap_bump = g + 12;
+        let defer_free = g + 16;
+        let result = g + 20;
+        let freelist_base = result + RESULT_WORDS * 4;
+        let desc_ptrs = freelist_base + n_cbs * 4;
+        let mut next = desc_ptrs + n_cbs * 4;
+        let mut desc_addr = Vec::with_capacity(n_cbs as usize);
+        for (cb, layout) in program.codeblocks.iter().zip(layouts) {
+            desc_addr.push(next);
+            next += descriptor_words(cb, layout) * 4;
+        }
+        let lcv_base = next;
+        let end = lcv_base + LCV_WORDS * 4;
+        GlobalsMap {
+            q_head,
+            q_tail,
+            frame_bump,
+            heap_bump,
+            defer_free,
+            result,
+            freelist_base,
+            desc_ptrs,
+            desc_addr,
+            lcv_base,
+            end,
+        }
+    }
+}
+
+/// Descriptor size in words: header (frame words, parent offset, count
+/// count) + one pair per synchronizing thread + one word per inlet.
+fn descriptor_words(cb: &Codeblock, layout: &FrameLayout) -> u32 {
+    3 + 2 * layout.count_off.iter().flatten().count() as u32 + cb.inlets.len() as u32
+}
+
+/// Build the descriptor seed words for one codeblock.
+///
+/// Layout (word offsets from the descriptor base):
+/// `+0` frame words; `+1` parent byte-offset; `+2` number of counts;
+/// then `(count byte-offset, initial value)` pairs; then the code address
+/// of every inlet (argument inlet *i* at pair-table end + *i*).
+pub fn descriptor_seed(
+    addr: u32,
+    cb: &Codeblock,
+    layout: &FrameLayout,
+    inlet_addrs: &[u32],
+) -> Vec<(u32, Word)> {
+    assert_eq!(inlet_addrs.len(), cb.inlets.len());
+    let mut words: Vec<Word> = vec![
+        Word::from_i64(layout.frame_words as i64),
+        Word::from_i64(layout.parent_off as i64),
+    ];
+    let inits = layout.count_inits(cb);
+    words.push(Word::from_i64(inits.len() as i64));
+    for (off, val) in inits {
+        words.push(Word::from_i64(off as i64));
+        words.push(Word::from_i64(val as i64));
+    }
+    words.extend(inlet_addrs.iter().map(|a| Word::from_addr(*a)));
+    words
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| (addr + 4 * i as u32, w))
+        .collect()
+}
+
+/// Word offset (from the descriptor base) of the inlet-address table.
+pub fn descriptor_inlets_off(n_counts: u32) -> u32 {
+    (3 + 2 * n_counts) * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamsim_mdp::MachineConfig;
+    use tamsim_tam::{CodeblockId, Inlet, Thread, Value};
+
+    fn cb(sync_counts: &[u32], n_slots: u16, n_inlets: usize) -> Codeblock {
+        Codeblock {
+            name: "t".into(),
+            n_slots,
+            threads: sync_counts
+                .iter()
+                .map(|&c| Thread::new(c, vec![]))
+                .collect(),
+            inlets: vec![Inlet::default(); n_inlets],
+        }
+    }
+
+    #[test]
+    fn md_layout_is_compact() {
+        let c = cb(&[1, 3, 1, 2], 5, 2);
+        let l = FrameLayout::of(&c, false);
+        assert_eq!(l.rcv_cap, 0);
+        assert_eq!(l.parent_off, 4);
+        assert_eq!(l.reply_off, 8);
+        assert_eq!(l.count_off, vec![None, Some(12), None, Some(16)]);
+        assert_eq!(l.user_off, 20);
+        // link + parent + reply + 2 counts + 5 slots = 10 words.
+        assert_eq!(l.frame_words, 10);
+        assert_eq!(l.slot_off(SlotId(2)), 28);
+    }
+
+    #[test]
+    fn am_layout_embeds_rcv() {
+        let c = cb(&[1, 3], 2, 1);
+        let l = FrameLayout::of(&c, true);
+        assert_eq!(l.rcv_cap, 2 * 2 + 8);
+        assert_eq!(l.parent_off, 8 + l.rcv_cap * 4);
+        assert_eq!(l.reply_off, l.parent_off + 4);
+        assert_eq!(l.count_off[1], Some(l.reply_off + 4));
+        // words: 2 (link, top) + 12 rcv + 2 + 1 count + 2 slots = 19.
+        assert_eq!(l.frame_words, 19);
+    }
+
+    #[test]
+    fn am_frames_are_larger_than_md_frames() {
+        let c = cb(&[1, 2, 1], 4, 2);
+        assert!(
+            FrameLayout::of(&c, true).frame_words > FrameLayout::of(&c, false).frame_words
+        );
+    }
+
+    #[test]
+    fn count_inits_pairs() {
+        let c = cb(&[1, 3, 2], 0, 0);
+        let l = FrameLayout::of(&c, false);
+        assert_eq!(l.count_inits(&c), vec![(12, 3), (16, 2)]);
+    }
+
+    #[test]
+    fn globals_map_is_contiguous_and_in_region() {
+        let c = cb(&[1, 2], 3, 2);
+        let program = Program {
+            name: "p".into(),
+            codeblocks: vec![c.clone(), c],
+            main: CodeblockId(0),
+            main_args: vec![Value::Int(0)],
+            arrays: vec![],
+        };
+        let layouts: Vec<_> =
+            program.codeblocks.iter().map(|c| FrameLayout::of(c, false)).collect();
+        let cfg = MachineConfig::default();
+        let sys = cfg.sys_layout();
+        let g = GlobalsMap::new(&sys, &program, &layouts);
+        assert!(g.q_head >= sys.globals_base);
+        assert!(g.freelist_base > g.result);
+        assert_eq!(g.desc_ptrs, g.freelist_base + 8);
+        assert_eq!(g.desc_addr.len(), 2);
+        assert!(g.desc_addr[1] > g.desc_addr[0]);
+        assert!(g.lcv_base > g.desc_addr[1]);
+        assert!(g.end < cfg.map.frame_base, "globals fit in system data");
+    }
+
+    #[test]
+    fn descriptor_seed_encoding() {
+        let c = cb(&[1, 4], 1, 2);
+        let l = FrameLayout::of(&c, false);
+        let seed = descriptor_seed(0x1000, &c, &l, &[0x100040, 0x100080]);
+        // frame_words, parent_off, n_counts=1, (off,4), inlet0, inlet1.
+        assert_eq!(seed.len(), 7);
+        assert_eq!(seed[0], (0x1000, Word::from_i64(l.frame_words as i64)));
+        assert_eq!(seed[2].1.as_i64(), 1);
+        assert_eq!(seed[3].1.as_i64(), 12); // count offset
+        assert_eq!(seed[4].1.as_i64(), 4); // init value
+        assert_eq!(seed[5].1.as_addr(), 0x100040);
+        assert_eq!(descriptor_inlets_off(1), 20);
+        assert_eq!(seed[5].0, 0x1000 + 20);
+    }
+}

@@ -1,0 +1,30 @@
+//! The paper's contribution: two TAM runtime implementations for a
+//! J-Machine-class node, and the experiment driver that measures them.
+//!
+//! * [`Implementation::Am`] — the Active Messages back-end (§2.1): high
+//!   priority inlets, per-frame ready lists, a background frame scheduler.
+//! * [`Implementation::AmEnabled`] — the §2.4 variant with interrupts
+//!   enabled except during CV access.
+//! * [`Implementation::Md`] — the Message-Driven back-end (§2.2): the
+//!   hardware queue is the task queue; inlets branch directly to threads,
+//!   with the §2.3 peephole optimizations as toggleable passes.
+//!
+//! [`Experiment`] links a `tamsim-tam` [`tamsim_tam::Program`] for either
+//! back-end, runs it on the `tamsim-mdp` machine, and reports instruction
+//! counts, Section 3.1 access counts, and Table 2 granularity statistics;
+//! pass a [`tamsim_cache::CacheBank`] as the sink to collect cache
+//! behaviour for every configuration in one pass.
+
+pub mod asm;
+pub mod experiment;
+pub mod granularity;
+pub mod layout;
+pub mod lower;
+pub mod opts;
+pub mod sys;
+
+pub use experiment::{link, Experiment, Linked, RunResult};
+pub use granularity::Granularity;
+pub use layout::{FrameLayout, GlobalsMap};
+pub use opts::{Implementation, LoweringOptions};
+pub use sys::SysAddrs;

@@ -1,0 +1,802 @@
+//! Lowering TAM codeblocks to MDP code for each implementation.
+//!
+//! The two back-ends differ exactly where the paper says they do
+//! (Table 1):
+//!
+//! | TAM construct        | AM lowering                         | MD lowering                     |
+//! |----------------------|-------------------------------------|---------------------------------|
+//! | inlet                | high-priority handler               | low-priority handler            |
+//! | post from inlet      | RCV append via the post library     | branch (or fall through) to the thread |
+//! | activation of frame  | swap routine + frame queue          | n/a                             |
+//! | fork from thread     | branch, or push on the in-frame LCV | branch, or push on the global LCV |
+//! | system routines      | high-priority handlers              | high-priority handlers          |
+//!
+//! The AM thread prologue enables interrupts briefly (Figure 2a); the
+//! `AmEnabled` variant instead leaves them enabled except around CV
+//! access (§2.4). The MD specialization path implements the §2.3
+//! optimizations (fall-through placement, register reuse, dead-store
+//! elimination, stop→suspend).
+
+use crate::asm::{Asm, Label, Part, Stream};
+use crate::layout::{FrameLayout, GlobalsMap};
+use crate::opts::{Implementation, LoweringOptions};
+use crate::sys::{SysAddrs, LCV_REG};
+use tamsim_mdp::{AluOp, CodeImage, MOp, Mark, Operand, Priority, Reg, Word};
+use tamsim_tam::{
+    CbAnalysis, Codeblock, CodeblockId, InletId, Program, TOp, TOperand, ThreadId, VReg, Value,
+};
+
+const U: Stream = Stream::User;
+const SCRATCH_A: Reg = Reg(12);
+const SCRATCH_B: Reg = Reg(13);
+
+/// Labels of every lowered inlet and thread.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// Per codeblock, per thread: entry label (unbound for threads folded
+    /// into their sole posting inlet).
+    pub thread_labels: Vec<Vec<Label>>,
+    /// Per codeblock, per inlet: entry label.
+    pub inlet_labels: Vec<Vec<Label>>,
+}
+
+/// Shared state for one lowering run.
+pub struct LowerCtx<'a> {
+    /// Image being emitted into.
+    pub img: &'a mut CodeImage,
+    /// Assembler (labels/fixups).
+    pub asm: &'a mut Asm,
+    /// Back-end being generated.
+    pub impl_: Implementation,
+    /// Optimization switches.
+    pub opts: LoweringOptions,
+    /// OS-globals map.
+    pub globals: &'a GlobalsMap,
+    /// System-routine labels.
+    pub sys: &'a SysAddrs,
+    /// Per-codeblock frame layouts.
+    pub layouts: &'a [FrameLayout],
+    /// The program.
+    pub program: &'a Program,
+    /// Load addresses of the program's initial arrays.
+    pub array_bases: &'a [u32],
+}
+
+/// What a thread does when it runs out of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StopMode {
+    /// AM: branch to the shared in-frame LCV pop.
+    AmPop,
+    /// MD: branch to the shared global LCV pop.
+    MdPop,
+    /// MD §2.3: the LCV is statically empty — suspend directly.
+    MdSuspend,
+}
+
+impl<'a> LowerCtx<'a> {
+    fn inlet_pri(&self) -> Priority {
+        if self.impl_.is_am() {
+            Priority::High
+        } else {
+            Priority::Low
+        }
+    }
+
+    fn layout(&self, cb: CodeblockId) -> &FrameLayout {
+        &self.layouts[cb.0 as usize]
+    }
+}
+
+fn vreg(v: VReg) -> Reg {
+    Reg(v.0)
+}
+
+fn operand(b: TOperand) -> Operand {
+    match b {
+        TOperand::Reg(v) => Operand::Reg(vreg(v)),
+        TOperand::Imm(i) => Operand::Imm(i),
+    }
+}
+
+/// Lower every codeblock of the program; returns the entry labels.
+pub fn lower_program(ctx: &mut LowerCtx<'_>, lowered: &mut Lowered) {
+    for (i, cb) in ctx.program.codeblocks.iter().enumerate() {
+        lower_codeblock(ctx, lowered, CodeblockId(i as u16), cb);
+    }
+}
+
+/// Create (unbound) labels for every inlet and thread of the program.
+pub fn make_labels(asm: &mut Asm, program: &Program) -> Lowered {
+    Lowered {
+        thread_labels: program
+            .codeblocks
+            .iter()
+            .map(|cb| cb.threads.iter().map(|_| asm.label()).collect())
+            .collect(),
+        inlet_labels: program
+            .codeblocks
+            .iter()
+            .map(|cb| cb.inlets.iter().map(|_| asm.label()).collect())
+            .collect(),
+    }
+}
+
+fn lower_codeblock(
+    ctx: &mut LowerCtx<'_>,
+    lowered: &Lowered,
+    cbid: CodeblockId,
+    cb: &Codeblock,
+) {
+    let analysis = CbAnalysis::of(cb);
+    // Which threads get folded into their sole posting inlet (MD §2.3).
+    let specialized: Vec<bool> = cb
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(t, thread)| {
+            ctx.impl_ == Implementation::Md
+                && ctx.opts.md_specialize
+                && thread.entry_count == 1
+                && analysis
+                    .sole_poster(ThreadId(t as u16))
+                    .is_some_and(|inlet| {
+                        // The post must be the inlet's final op, with no
+                        // other (conditional) posts before it — those
+                        // would force the non-folded lowering path.
+                        let ops = &cb.inlets[inlet.0 as usize].ops;
+                        matches!(
+                            ops.last(),
+                            Some(TOp::Post { t: pt }) if *pt == ThreadId(t as u16)
+                        ) && !ops[..ops.len() - 1].iter().any(|op| {
+                            matches!(op, TOp::Post { .. } | TOp::PostIf { .. })
+                        })
+                    })
+        })
+        .collect();
+
+    for (i, _inlet) in cb.inlets.iter().enumerate() {
+        lower_inlet(ctx, lowered, cbid, cb, &analysis, InletId(i as u16), &specialized);
+    }
+    for (t, thread) in cb.threads.iter().enumerate() {
+        if specialized[t] {
+            continue; // folded into its inlet; canonical body is dead code
+        }
+        let tid = ThreadId(t as u16);
+        ctx.asm.bind(ctx.img, U, lowered.thread_labels[cbid.0 as usize][t]);
+        emit_thread_prologue(ctx, cbid, tid);
+        let stop = if ctx.impl_.is_am() { StopMode::AmPop } else { StopMode::MdPop };
+        lower_thread_body(ctx, lowered, cbid, cb, &thread.ops, stop);
+    }
+}
+
+fn emit_thread_prologue(ctx: &mut LowerCtx<'_>, cbid: CodeblockId, tid: ThreadId) {
+    let atomic = ctx.program.codeblock(cbid).threads[tid.0 as usize].atomic;
+    ctx.asm.op(
+        ctx.img,
+        U,
+        MOp::Mark(Mark::ThreadStart { codeblock: cbid.0, thread: tid.0 }),
+    );
+    match ctx.impl_ {
+        // Figure 2(a): "interrupts are enabled briefly at the top of a
+        // thread".
+        Implementation::Am => {
+            ctx.asm.op(ctx.img, U, MOp::EnableInt);
+            ctx.asm.op(ctx.img, U, MOp::DisableInt);
+        }
+        // Figure 2(b): "interrupts are only disabled for CV access" —
+        // and atomic (control-protocol) threads stay masked throughout.
+        Implementation::AmEnabled => {
+            if !atomic {
+                ctx.asm.op(ctx.img, U, MOp::EnableInt);
+            } else {
+                ctx.asm.op(ctx.img, U, MOp::DisableInt);
+            }
+        }
+        Implementation::Md => {}
+    }
+}
+
+/// Lower a thread body (canonical or a specialized copy).
+fn lower_thread_body(
+    ctx: &mut LowerCtx<'_>,
+    lowered: &Lowered,
+    cbid: CodeblockId,
+    cb: &Codeblock,
+    ops: &[TOp],
+    stop: StopMode,
+) {
+    let n = ops.len();
+    for (i, op) in ops.iter().enumerate() {
+        let is_last = i + 1 == n;
+        match op {
+            TOp::Fork { t } => {
+                if is_last {
+                    if fork_branch(ctx, lowered, cbid, cb, *t) {
+                        return; // unconditional branch; no fall-through
+                    }
+                } else {
+                    fork_push(ctx, lowered, cbid, cb, *t, true);
+                }
+            }
+            TOp::ForkIf { c, t } => {
+                let skip = ctx.asm.label();
+                ctx.asm.bz(ctx.img, U, vreg(*c), skip);
+                if is_last {
+                    fork_branch(ctx, lowered, cbid, cb, *t);
+                } else {
+                    fork_push(ctx, lowered, cbid, cb, *t, true);
+                }
+                ctx.asm.bind(ctx.img, U, skip);
+            }
+            TOp::ForkIfElse { c, t, f } => {
+                let l_else = ctx.asm.label();
+                let l_end = ctx.asm.label();
+                ctx.asm.bz(ctx.img, U, vreg(*c), l_else);
+                if is_last {
+                    if !fork_branch(ctx, lowered, cbid, cb, *t) {
+                        ctx.asm.br(ctx.img, U, l_end);
+                    }
+                    ctx.asm.bind(ctx.img, U, l_else);
+                    fork_branch(ctx, lowered, cbid, cb, *f);
+                    ctx.asm.bind(ctx.img, U, l_end);
+                } else {
+                    fork_push(ctx, lowered, cbid, cb, *t, true);
+                    ctx.asm.br(ctx.img, U, l_end);
+                    ctx.asm.bind(ctx.img, U, l_else);
+                    fork_push(ctx, lowered, cbid, cb, *f, true);
+                    ctx.asm.bind(ctx.img, U, l_end);
+                }
+            }
+            TOp::Return { vals } => {
+                emit_return(ctx, cbid, vals);
+                return;
+            }
+            TOp::Halt => {
+                ctx.asm.op(ctx.img, U, MOp::Halt);
+                return;
+            }
+            other => lower_common(ctx, lowered, cbid, other, None),
+        }
+    }
+    emit_thread_tail(ctx, stop);
+}
+
+fn emit_thread_tail(ctx: &mut LowerCtx<'_>, stop: StopMode) {
+    ctx.asm.op(ctx.img, U, MOp::Mark(Mark::ThreadEnd));
+    match stop {
+        StopMode::AmPop => ctx.asm.br(ctx.img, U, ctx.sys.am_pop.unwrap()),
+        StopMode::MdPop => ctx.asm.br(ctx.img, U, ctx.sys.md_pop.unwrap()),
+        StopMode::MdSuspend => {
+            ctx.asm.op(ctx.img, U, MOp::Suspend);
+        }
+    }
+}
+
+/// Mid-thread fork: synchronize, then push the thread on the LCV.
+/// `in_thread` selects the AmEnabled bracketing (inlet posts at high
+/// priority need no masking).
+fn fork_push(
+    ctx: &mut LowerCtx<'_>,
+    lowered: &Lowered,
+    cbid: CodeblockId,
+    cb: &Codeblock,
+    t: ThreadId,
+    in_thread: bool,
+) {
+    let bracket = in_thread && ctx.impl_ == Implementation::AmEnabled;
+    if bracket {
+        ctx.asm.op(ctx.img, U, MOp::DisableInt);
+    }
+    let sync = cb.threads[t.0 as usize].is_synchronizing();
+    let skip = ctx.asm.label();
+    if sync {
+        emit_count_decrement(ctx, cbid, t);
+        ctx.asm.bnz(ctx.img, U, SCRATCH_A, skip);
+    }
+    emit_lcv_push(ctx, lowered, cbid, t);
+    ctx.asm.bind(ctx.img, U, skip);
+    if bracket {
+        ctx.asm.op(ctx.img, U, MOp::EnableInt);
+    }
+}
+
+/// Tail fork ("when a fork occurs at the end of a thread, it is converted
+/// by the compiler into a branch when possible"). Returns `true` when the
+/// emitted code never falls through (non-synchronizing target).
+fn fork_branch(
+    ctx: &mut LowerCtx<'_>,
+    lowered: &Lowered,
+    cbid: CodeblockId,
+    cb: &Codeblock,
+    t: ThreadId,
+) -> bool {
+    let target = lowered.thread_labels[cbid.0 as usize][t.0 as usize];
+    let sync = cb.threads[t.0 as usize].is_synchronizing();
+    if !sync {
+        ctx.asm.br(ctx.img, U, target);
+        return true;
+    }
+    if ctx.impl_ == Implementation::AmEnabled {
+        ctx.asm.op(ctx.img, U, MOp::DisableInt);
+    }
+    emit_count_decrement(ctx, cbid, t);
+    ctx.asm.bz(ctx.img, U, SCRATCH_A, target);
+    // Not ready: fall through (the caller emits the stop path; AmEnabled
+    // stays masked into am_pop, which re-disables harmlessly).
+    false
+}
+
+/// `SCRATCH_A <- --count(t)` (load, decrement, store).
+fn emit_count_decrement(ctx: &mut LowerCtx<'_>, cbid: CodeblockId, t: ThreadId) {
+    let off = ctx.layout(cbid).count_off(t) as i32;
+    ctx.asm.op(ctx.img, U, MOp::Ld { d: SCRATCH_A, base: Reg::FP, off });
+    ctx.asm.op(
+        ctx.img,
+        U,
+        MOp::Alu { op: AluOp::Sub, d: SCRATCH_A, a: SCRATCH_A, b: Operand::Imm(1) },
+    );
+    ctx.asm.op(ctx.img, U, MOp::St { s: SCRATCH_A, base: Reg::FP, off });
+}
+
+/// Push `t`'s entry address onto the LCV (in-frame for AM, global for MD).
+fn emit_lcv_push(ctx: &mut LowerCtx<'_>, lowered: &Lowered, cbid: CodeblockId, t: ThreadId) {
+    let target = lowered.thread_labels[cbid.0 as usize][t.0 as usize];
+    if ctx.impl_.is_am() {
+        use crate::layout::frame;
+        let top = frame::RCV_TOP_OFF as i32;
+        ctx.asm.op(ctx.img, U, MOp::Ld { d: SCRATCH_A, base: Reg::FP, off: top });
+        ctx.asm.op(
+            ctx.img,
+            U,
+            MOp::Alu { op: AluOp::Add, d: SCRATCH_B, a: SCRATCH_A, b: Operand::Imm(1) },
+        );
+        ctx.asm.op(ctx.img, U, MOp::St { s: SCRATCH_B, base: Reg::FP, off: top });
+        ctx.asm.op(
+            ctx.img,
+            U,
+            MOp::Alu { op: AluOp::Shl, d: SCRATCH_A, a: SCRATCH_A, b: Operand::Imm(2) },
+        );
+        ctx.asm.op(
+            ctx.img,
+            U,
+            MOp::Alu { op: AluOp::Add, d: SCRATCH_A, a: SCRATCH_A, b: Operand::Reg(Reg::FP) },
+        );
+        ctx.asm.movi_label(ctx.img, U, SCRATCH_B, target);
+        ctx.asm.op(
+            ctx.img,
+            U,
+            MOp::St { s: SCRATCH_B, base: SCRATCH_A, off: frame::RCV_BASE_OFF as i32 },
+        );
+    } else {
+        ctx.asm.movi_label(ctx.img, U, SCRATCH_A, target);
+        ctx.asm.op(ctx.img, U, MOp::St { s: SCRATCH_A, base: LCV_REG, off: 0 });
+        ctx.asm.op(
+            ctx.img,
+            U,
+            MOp::Alu { op: AluOp::Add, d: LCV_REG, a: LCV_REG, b: Operand::Imm(4) },
+        );
+    }
+}
+
+fn emit_return(ctx: &mut LowerCtx<'_>, cbid: CodeblockId, vals: &[VReg]) {
+    let (reply_off, parent_off) = {
+        let lay = ctx.layout(cbid);
+        (lay.reply_off as i32, lay.parent_off as i32)
+    };
+    ctx.asm.op(ctx.img, U, MOp::Ld { d: SCRATCH_A, base: Reg::FP, off: reply_off });
+    ctx.asm.op(ctx.img, U, MOp::Ld { d: SCRATCH_B, base: Reg::FP, off: parent_off });
+    let mut parts = vec![Part::reg(SCRATCH_A), Part::reg(SCRATCH_B)];
+    parts.extend(vals.iter().map(|v| Part::reg(vreg(*v))));
+    ctx.asm.send_parts(ctx.img, U, ctx.inlet_pri(), parts);
+    ctx.asm.send_parts(
+        ctx.img,
+        U,
+        Priority::High,
+        vec![Part::Lbl(ctx.sys.ffree), Part::reg(Reg::FP), Part::int(cbid.0 as i64)],
+    );
+    ctx.asm.op(ctx.img, U, MOp::Mark(Mark::ThreadEnd));
+    match ctx.impl_ {
+        Implementation::Am | Implementation::AmEnabled => {
+            // The frame is gone; enter the scheduler without touching it.
+            ctx.asm.br(ctx.img, U, ctx.sys.swap_fresh.unwrap());
+        }
+        Implementation::Md => {
+            // Contract: Return runs with an empty LCV.
+            ctx.asm.op(ctx.img, U, MOp::Suspend);
+        }
+    }
+}
+
+/// Lower one data/compute/send op (shared by threads and inlets).
+/// `skip_store_of` suppresses a specific `StSlot` (MD dead-store elim).
+fn lower_common(
+    ctx: &mut LowerCtx<'_>,
+    lowered: &Lowered,
+    cbid: CodeblockId,
+    op: &TOp,
+    skip_store_of: Option<usize>,
+) {
+    let _ = skip_store_of;
+    let lay = ctx.layout(cbid);
+    let user = lay.user_off;
+    match op {
+        TOp::MovI { d, v } => {
+            let w = match v {
+                Value::Int(i) => Word::from_i64(*i),
+                Value::Float(f) => Word::from_f64(*f),
+                Value::ArrayBase(i) => Word::from_addr(ctx.array_bases[*i]),
+            };
+            ctx.asm.op(ctx.img, U, MOp::MovI { d: vreg(*d), v: w });
+        }
+        TOp::Mov { d, s } => {
+            ctx.asm.op(ctx.img, U, MOp::Mov { d: vreg(*d), s: vreg(*s) });
+        }
+        TOp::Alu { op, d, a, b } => {
+            ctx.asm.op(
+                ctx.img,
+                U,
+                MOp::Alu { op: *op, d: vreg(*d), a: vreg(*a), b: operand(*b) },
+            );
+        }
+        TOp::FAlu { op, d, a, b } => {
+            ctx.asm.op(
+                ctx.img,
+                U,
+                MOp::FAlu { op: *op, d: vreg(*d), a: vreg(*a), b: vreg(*b) },
+            );
+        }
+        TOp::LdSlot { d, slot } => {
+            ctx.asm.op(
+                ctx.img,
+                U,
+                MOp::Ld { d: vreg(*d), base: Reg::FP, off: lay.slot_off(*slot) as i32 },
+            );
+        }
+        TOp::StSlot { slot, s } => {
+            ctx.asm.op(
+                ctx.img,
+                U,
+                MOp::St { s: vreg(*s), base: Reg::FP, off: lay.slot_off(*slot) as i32 },
+            );
+        }
+        TOp::LdSlotIdx { d, base, idx } => {
+            emit_slot_index(ctx, *idx);
+            ctx.asm.op(
+                ctx.img,
+                U,
+                MOp::Ld {
+                    d: vreg(*d),
+                    base: SCRATCH_A,
+                    off: (user + base.0 as u32 * 4) as i32,
+                },
+            );
+        }
+        TOp::StSlotIdx { base, idx, s } => {
+            emit_slot_index(ctx, *idx);
+            ctx.asm.op(
+                ctx.img,
+                U,
+                MOp::St {
+                    s: vreg(*s),
+                    base: SCRATCH_A,
+                    off: (user + base.0 as u32 * 4) as i32,
+                },
+            );
+        }
+        TOp::LdMsg { d, idx } => {
+            // Payload starts after [handler, frame].
+            ctx.asm.op(ctx.img, U, MOp::LdMsg { d: vreg(*d), idx: idx + 2 });
+        }
+        TOp::Call { cb, args, reply } => {
+            let mut parts = vec![
+                Part::Lbl(ctx.sys.falloc),
+                Part::int(cb.0 as i64),
+                Part::int(args.len() as i64),
+                Part::reg(Reg::FP),
+                Part::Lbl(lowered.inlet_labels[cbid.0 as usize][reply.0 as usize]),
+            ];
+            parts.extend(args.iter().map(|a| Part::reg(vreg(*a))));
+            ctx.asm.send_parts(ctx.img, U, Priority::High, parts);
+        }
+        TOp::SendToInlet { frame, cb, inlet, vals } => {
+            let mut parts = vec![
+                Part::Lbl(lowered.inlet_labels[cb.0 as usize][inlet.0 as usize]),
+                Part::reg(vreg(*frame)),
+            ];
+            parts.extend(vals.iter().map(|v| Part::reg(vreg(*v))));
+            let pri = ctx.inlet_pri();
+            ctx.asm.send_parts(ctx.img, U, pri, parts);
+        }
+        TOp::HAlloc { d, words } => {
+            match words {
+                TOperand::Imm(i) => {
+                    ctx.asm.op(ctx.img, U, MOp::MovI { d: SCRATCH_A, v: Word::from_i64(*i) });
+                }
+                TOperand::Reg(r) => {
+                    ctx.asm.op(ctx.img, U, MOp::Mov { d: SCRATCH_A, s: vreg(*r) });
+                }
+            }
+            ctx.asm.call(ctx.img, U, ctx.sys.halloc);
+            ctx.asm.op(ctx.img, U, MOp::Mov { d: vreg(*d), s: SCRATCH_A });
+        }
+        TOp::IFetch { addr, tag, reply } => {
+            let parts = vec![
+                Part::Lbl(ctx.sys.ifetch),
+                Part::reg(vreg(*addr)),
+                Part::reg(Reg::FP),
+                Part::Lbl(lowered.inlet_labels[cbid.0 as usize][reply.0 as usize]),
+                Part::reg(vreg(*tag)),
+            ];
+            ctx.asm.send_parts(ctx.img, U, Priority::High, parts);
+        }
+        TOp::IStore { addr, val } => {
+            let parts =
+                vec![Part::Lbl(ctx.sys.istore), Part::reg(vreg(*addr)), Part::reg(vreg(*val))];
+            ctx.asm.send_parts(ctx.img, U, Priority::High, parts);
+        }
+        TOp::MyFrame { d } => {
+            ctx.asm.op(ctx.img, U, MOp::Mov { d: vreg(*d), s: Reg::FP });
+        }
+        TOp::ResetCount { t } => {
+            // Non-synchronizing threads have an implicit entry count of
+            // one and no count slot; re-arming them is a no-op.
+            if !ctx.program.codeblock(cbid).threads[t.0 as usize].is_synchronizing() {
+                return;
+            }
+            let bracket = ctx.impl_ == Implementation::AmEnabled;
+            if bracket {
+                ctx.asm.op(ctx.img, U, MOp::DisableInt);
+            }
+            let count = ctx.program.codeblock(cbid).threads[t.0 as usize].entry_count;
+            let off = ctx.layout(cbid).count_off(*t) as i32;
+            ctx.asm.op(ctx.img, U, MOp::Ld { d: SCRATCH_A, base: Reg::FP, off });
+            ctx.asm.op(
+                ctx.img,
+                U,
+                MOp::Alu {
+                    op: AluOp::Add,
+                    d: SCRATCH_A,
+                    a: SCRATCH_A,
+                    b: Operand::Imm(count as i64),
+                },
+            );
+            ctx.asm.op(ctx.img, U, MOp::St { s: SCRATCH_A, base: Reg::FP, off });
+            if bracket {
+                ctx.asm.op(ctx.img, U, MOp::EnableInt);
+            }
+        }
+        TOp::Fork { .. }
+        | TOp::ForkIf { .. }
+        | TOp::ForkIfElse { .. }
+        | TOp::Post { .. }
+        | TOp::PostIf { .. }
+        | TOp::Return { .. }
+        | TOp::Halt => unreachable!("control ops handled by callers"),
+    }
+}
+
+/// `SCRATCH_A <- FP + idx*4` for dynamically indexed slot access.
+fn emit_slot_index(ctx: &mut LowerCtx<'_>, idx: VReg) {
+    ctx.asm.op(
+        ctx.img,
+        U,
+        MOp::Alu { op: AluOp::Shl, d: SCRATCH_A, a: vreg(idx), b: Operand::Imm(2) },
+    );
+    ctx.asm.op(
+        ctx.img,
+        U,
+        MOp::Alu { op: AluOp::Add, d: SCRATCH_A, a: SCRATCH_A, b: Operand::Reg(Reg::FP) },
+    );
+}
+
+fn lower_inlet(
+    ctx: &mut LowerCtx<'_>,
+    lowered: &Lowered,
+    cbid: CodeblockId,
+    cb: &Codeblock,
+    analysis: &CbAnalysis,
+    iid: InletId,
+    specialized: &[bool],
+) {
+    let inlet = &cb.inlets[iid.0 as usize];
+    ctx.asm.bind(ctx.img, U, lowered.inlet_labels[cbid.0 as usize][iid.0 as usize]);
+    // Frame pointer arrives as message word 1.
+    ctx.asm.op(ctx.img, U, MOp::LdMsg { d: Reg::FP, idx: 1 });
+    ctx.asm.op(
+        ctx.img,
+        U,
+        MOp::Mark(Mark::InletStart { codeblock: cbid.0, inlet: iid.0 }),
+    );
+
+    // MD (§2.2): "inlets contain branches directly to threads". When the
+    // final op posts a thread and nothing else was pushed, the LCV is
+    // statically empty at that point, so the post lowers to a direct
+    // branch (conditional for PostIf; gated on the entry count for
+    // synchronizing targets). The §2.3 *specialization* below goes
+    // further for sole-poster targets, placing the thread body inline.
+    let is_post = |op: &TOp| matches!(op, TOp::Post { .. } | TOp::PostIf { .. });
+    let earlier_posts =
+        inlet.ops.len() > 1 && inlet.ops[..inlet.ops.len() - 1].iter().any(is_post);
+    let direct: Option<(Option<VReg>, ThreadId)> = if ctx.impl_ == Implementation::Md
+        && !earlier_posts
+    {
+        match inlet.ops.last() {
+            Some(TOp::Post { t }) => Some((None, *t)),
+            Some(TOp::PostIf { c, t }) => Some((Some(*c), *t)),
+            _ => None,
+        }
+    } else {
+        None
+    };
+
+    // The §2.3 fall-through specialization (sole unconditional poster of
+    // a non-synchronizing thread): inline the thread body after the inlet.
+    if let Some((None, t)) = direct {
+        if specialized[t.0 as usize] && analysis.sole_poster(t) == Some(iid) {
+            let body = &inlet.ops[..inlet.ops.len() - 1];
+            lower_inlet_specialized(ctx, lowered, cbid, cb, analysis, body, t);
+            return;
+        }
+    }
+
+    let body: &[TOp] =
+        if direct.is_some() { &inlet.ops[..inlet.ops.len() - 1] } else { &inlet.ops };
+
+    let mut posted_any = false;
+    for op in body {
+        match op {
+            TOp::Post { t } => {
+                posted_any = true;
+                lower_post(ctx, lowered, cbid, cb, *t);
+            }
+            TOp::PostIf { c, t } => {
+                posted_any = true;
+                let skip = ctx.asm.label();
+                ctx.asm.bz(ctx.img, U, vreg(*c), skip);
+                lower_post(ctx, lowered, cbid, cb, *t);
+                ctx.asm.bind(ctx.img, U, skip);
+            }
+            other => lower_common(ctx, lowered, cbid, other, None),
+        }
+    }
+    ctx.asm.op(ctx.img, U, MOp::Mark(Mark::InletEnd));
+    if let Some((cond, t)) = direct {
+        // Direct dispatch: branch straight into the thread when it is (or
+        // becomes) enabled; otherwise the task is over.
+        let target = lowered.thread_labels[cbid.0 as usize][t.0 as usize];
+        let sync = cb.threads[t.0 as usize].is_synchronizing();
+        let suspend = ctx.asm.label();
+        if let Some(c) = cond {
+            ctx.asm.bz(ctx.img, U, vreg(c), suspend);
+        }
+        if sync {
+            emit_count_decrement(ctx, cbid, t);
+            ctx.asm.bnz(ctx.img, U, SCRATCH_A, suspend);
+        }
+        ctx.asm.br(ctx.img, U, target);
+        ctx.asm.bind(ctx.img, U, suspend);
+        ctx.asm.op(ctx.img, U, MOp::Suspend);
+        return;
+    }
+    if ctx.impl_.is_am() {
+        ctx.asm.op(ctx.img, U, MOp::Suspend);
+    } else if !posted_any {
+        // No posts at all: the LCV is statically empty.
+        ctx.asm.op(ctx.img, U, MOp::Suspend);
+    } else {
+        ctx.asm.br(ctx.img, U, ctx.sys.md_pop.unwrap());
+    }
+}
+
+/// Lower a `post` in a non-folded inlet.
+fn lower_post(
+    ctx: &mut LowerCtx<'_>,
+    lowered: &Lowered,
+    cbid: CodeblockId,
+    cb: &Codeblock,
+    t: ThreadId,
+) {
+    let sync = cb.threads[t.0 as usize].is_synchronizing();
+    let skip = ctx.asm.label();
+    if sync {
+        emit_count_decrement(ctx, cbid, t);
+        ctx.asm.bnz(ctx.img, U, SCRATCH_A, skip);
+    }
+    if ctx.impl_.is_am() {
+        // "place thread in frame" via the post library.
+        let target = lowered.thread_labels[cbid.0 as usize][t.0 as usize];
+        ctx.asm.movi_label(ctx.img, U, SCRATCH_A, target);
+        ctx.asm.call(ctx.img, U, ctx.sys.post_lib.unwrap());
+    } else {
+        emit_lcv_push(ctx, lowered, cbid, t);
+    }
+    ctx.asm.bind(ctx.img, U, skip);
+}
+
+/// The MD fall-through specialization (§2.3): emit the inlet body, then a
+/// specialized copy of the posted thread immediately after it.
+fn lower_inlet_specialized(
+    ctx: &mut LowerCtx<'_>,
+    lowered: &Lowered,
+    cbid: CodeblockId,
+    cb: &Codeblock,
+    analysis: &CbAnalysis,
+    body: &[TOp],
+    t: ThreadId,
+) {
+    let thread = &cb.threads[t.0 as usize];
+    let mut thread_ops: &[TOp] = &thread.ops;
+    let mut skip_store = false;
+    let mut prefix_mov: Option<(VReg, VReg)> = None;
+
+    if ctx.opts.md_store_elim {
+        // Pattern: inlet ends [..., StSlot{s, r}] and the thread begins
+        // LdSlot{d, s}: keep the value in its register across the
+        // fall-through ("the reload of the register in line T1 can be
+        // eliminated").
+        if let (Some(TOp::StSlot { slot, s: src }), Some(TOp::LdSlot { d, slot: s2 })) =
+            (body.last(), thread.ops.first())
+        {
+            if slot == s2 {
+                thread_ops = &thread.ops[1..];
+                if d != src {
+                    prefix_mov = Some((*d, *src));
+                }
+                // "If no other threads use frame slot 5, line I2 can be
+                // removed."
+                let si = slot.0 as usize;
+                if analysis.slot_reads[si] == 1 && analysis.slot_writes[si] == 1 {
+                    skip_store = true;
+                }
+            }
+        }
+    }
+
+    let mut posted_any = false;
+    let body_end = if skip_store { body.len() - 1 } else { body.len() };
+    for op in &body[..body_end] {
+        match op {
+            TOp::Post { t } => {
+                posted_any = true;
+                lower_post(ctx, lowered, cbid, cb, *t);
+            }
+            TOp::PostIf { c, t } => {
+                posted_any = true;
+                let skip = ctx.asm.label();
+                ctx.asm.bz(ctx.img, U, vreg(*c), skip);
+                lower_post(ctx, lowered, cbid, cb, *t);
+                ctx.asm.bind(ctx.img, U, skip);
+            }
+            other => lower_common(ctx, lowered, cbid, other, None),
+        }
+    }
+
+    ctx.asm.op(ctx.img, U, MOp::Mark(Mark::InletEnd));
+    ctx.asm.op(
+        ctx.img,
+        U,
+        MOp::Mark(Mark::ThreadStart { codeblock: cbid.0, thread: t.0 }),
+    );
+    if let Some((d, s)) = prefix_mov {
+        ctx.asm.op(ctx.img, U, MOp::Mov { d: vreg(d), s: vreg(s) });
+    }
+    // Stop→suspend is legal when neither the inlet nor the thread pushed
+    // anything onto the LCV.
+    let no_pushes = !posted_any
+        && thread_ops.iter().all(|op| {
+            !matches!(
+                op,
+                TOp::Fork { .. }
+                    | TOp::ForkIf { .. }
+                    | TOp::ForkIfElse { .. }
+                    | TOp::Post { .. }
+                    | TOp::PostIf { .. }
+            )
+        });
+    let stop = if no_pushes && ctx.opts.md_stop_to_suspend {
+        StopMode::MdSuspend
+    } else {
+        StopMode::MdPop
+    };
+    lower_thread_body(ctx, lowered, cbid, cb, thread_ops, stop);
+}

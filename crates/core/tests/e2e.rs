@@ -1,0 +1,209 @@
+//! End-to-end tests: small TAM programs run under every implementation
+//! must compute identical results ("while both implementations yield the
+//! same results, their dynamic behaviors differ").
+
+use tamsim_core::{Experiment, Implementation, LoweringOptions};
+use tamsim_mdp::HaltReason;
+use tamsim_tam::ids::regs::*;
+use tamsim_tam::ops::*;
+use tamsim_tam::{CodeblockBuilder, InitArray, ProgramBuilder, Program, Value};
+
+const ALL_IMPLS: [Implementation; 3] =
+    [Implementation::Am, Implementation::AmEnabled, Implementation::Md];
+
+/// main(a, b) = a + b, synchronizing on both argument inlets.
+fn add_two() -> Program {
+    let mut pb = ProgramBuilder::new("add-two");
+    let main = pb.declare("main");
+    let mut cb = CodeblockBuilder::new("main");
+    let sa = cb.slot();
+    let sb = cb.slot();
+    let t_sum = cb.thread();
+    cb.add_inlet(vec![ldmsg(R0, 0), st(sa, R0), post(t_sum)]);
+    cb.add_inlet(vec![ldmsg(R0, 0), st(sb, R0), post(t_sum)]);
+    cb.def_thread(
+        t_sum,
+        2,
+        vec![ld(R0, sa), ld(R1, sb), alu(AluOp::Add, R2, R0, reg(R1)), ret(vec![R2])],
+    );
+    pb.define(main, cb.finish());
+    pb.main(main, vec![Value::Int(30), Value::Int(12)]);
+    pb.build()
+}
+
+use tamsim_tam::AluOp;
+
+/// main(x) calls leaf(x) which returns x*2; main returns leaf(x) + 1.
+fn call_leaf() -> Program {
+    let mut pb = ProgramBuilder::new("call-leaf");
+    let main = pb.declare("main");
+    let leaf = pb.declare("leaf");
+
+    let mut cb = CodeblockBuilder::new("main");
+    let sx = cb.slot();
+    let sr = cb.slot();
+    let t_go = cb.thread();
+    let t_done = cb.thread();
+    let i_reply = cb.inlet();
+    let i_arg = cb.inlet();
+    // Argument inlet must be inlet 0 for `Call`; reorder: define arg first.
+    // (Builder ids follow declaration order: i_reply=0, i_arg=1; main_args
+    // deliver to inlet 0, so use i_reply as the arg inlet instead.)
+    cb.def_inlet(i_reply, vec![ldmsg(R0, 0), st(sx, R0), post(t_go)]);
+    cb.def_inlet(i_arg, vec![ldmsg(R0, 0), st(sr, R0), post(t_done)]);
+    cb.def_thread(t_go, 1, vec![ld(R0, sx), call(leaf, vec![R0], i_arg)]);
+    cb.def_thread(
+        t_done,
+        1,
+        vec![ld(R0, sr), alu(AluOp::Add, R0, R0, imm(1)), ret(vec![R0])],
+    );
+    pb.define(main, cb.finish());
+
+    let mut cb = CodeblockBuilder::new("leaf");
+    let sv = cb.slot();
+    let t = cb.thread();
+    cb.add_inlet(vec![ldmsg(R0, 0), st(sv, R0), post(t)]);
+    cb.def_thread(t, 1, vec![ld(R0, sv), alu(AluOp::Add, R0, R0, reg(R0)), ret(vec![R0])]);
+    pb.define(leaf, cb.finish());
+
+    pb.main(main, vec![Value::Int(20)]);
+    pb.build()
+}
+
+/// main() reads arr[1] (present) and arr[2] (initially empty, stored by a
+/// forked thread), returning their sum — exercises both I-structure paths.
+fn istructures() -> Program {
+    let mut pb = ProgramBuilder::new("istructs");
+    let arr = pb.array(InitArray {
+        name: "a".into(),
+        cells: vec![Some(Value::Int(5)), Some(Value::Int(7)), None],
+    });
+    let main = pb.declare("main");
+    let mut cb = CodeblockBuilder::new("main");
+    let s0 = cb.slot();
+    let s1 = cb.slot();
+    let t_go = cb.thread();
+    let t_store = cb.thread();
+    let t_sum = cb.thread();
+    let i_arg = cb.inlet();
+    let i_reply = cb.inlet();
+    cb.def_inlet(i_arg, vec![post(t_go)]);
+    // Replies carry [value, tag]; store by tag.
+    cb.def_inlet(
+        i_reply,
+        vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(s0, R1, R0), post(t_sum)],
+    );
+    cb.def_thread(
+        t_go,
+        1,
+        vec![
+            // Fetch arr[1] (present) with tag 0 and arr[2] (empty) with
+            // tag 1; the second defers until t_store fills it.
+            movarr(R0, arr),
+            alu(AluOp::Add, R1, R0, imm(8)),
+            movi(R2, 0),
+            ifetch(R1, R2, i_reply),
+            alu(AluOp::Add, R1, R0, imm(16)),
+            movi(R2, 1),
+            ifetch(R1, R2, i_reply),
+            fork(t_store),
+        ],
+    );
+    cb.def_thread(
+        t_store,
+        1,
+        vec![
+            movarr(R0, arr),
+            alu(AluOp::Add, R0, R0, imm(16)),
+            movi(R1, 100),
+            istore(R0, R1),
+        ],
+    );
+    cb.def_thread(
+        t_sum,
+        2,
+        vec![ld(R0, s0), ld(R1, s1), alu(AluOp::Add, R2, R0, reg(R1)), ret(vec![R2])],
+    );
+    pb.define(main, cb.finish());
+    pb.main(main, vec![Value::Int(0)]);
+    pb.build()
+}
+
+#[test]
+fn add_two_runs_identically_everywhere() {
+    let p = add_two();
+    for impl_ in ALL_IMPLS {
+        let out = Experiment::new(impl_).run(&p);
+        assert_eq!(out.result.len(), 1, "{impl_:?}");
+        assert_eq!(out.result[0].as_i64(), 42, "{impl_:?}");
+        assert_eq!(out.stats.halt, HaltReason::Explicit, "{impl_:?}");
+    }
+}
+
+#[test]
+fn md_executes_fewer_instructions() {
+    let p = add_two();
+    let md = Experiment::new(Implementation::Md).run(&p);
+    let am = Experiment::new(Implementation::Am).run(&p);
+    assert!(
+        md.instructions < am.instructions,
+        "MD {} !< AM {}",
+        md.instructions,
+        am.instructions
+    );
+}
+
+#[test]
+fn md_without_optimizations_still_beats_am_but_less() {
+    let p = add_two();
+    let md = Experiment::new(Implementation::Md).run(&p);
+    let md_raw = Experiment::new(Implementation::Md)
+        .with_opts(LoweringOptions::none())
+        .run(&p);
+    assert_eq!(md_raw.result[0].as_i64(), 42);
+    assert!(md.instructions <= md_raw.instructions);
+}
+
+#[test]
+fn calls_allocate_and_free_frames() {
+    let p = call_leaf();
+    for impl_ in ALL_IMPLS {
+        let out = Experiment::new(impl_).run(&p);
+        assert_eq!(out.result[0].as_i64(), 41, "{impl_:?}");
+    }
+}
+
+#[test]
+fn istructure_fetch_present_and_deferred() {
+    let p = istructures();
+    for impl_ in ALL_IMPLS {
+        let out = Experiment::new(impl_).run(&p);
+        assert_eq!(out.result[0].as_i64(), 107, "{impl_:?}");
+        // The store became visible in the array read-back.
+        assert_eq!(out.arrays[0][2].map(|w| w.as_i64()), Some(100), "{impl_:?}");
+    }
+}
+
+#[test]
+fn granularity_is_tracked() {
+    let p = call_leaf();
+    for impl_ in ALL_IMPLS {
+        let out = Experiment::new(impl_).run(&p);
+        assert!(out.granularity.threads >= 3, "{impl_:?}: {:?}", out.granularity);
+        assert!(out.granularity.quanta >= 1);
+        assert!(out.granularity.thread_instructions > 0);
+        assert!(out.counts.fetches() > 0);
+        assert!(out.counts.reads() > 0);
+        assert!(out.counts.writes() > 0);
+    }
+}
+
+#[test]
+fn am_uses_high_priority_inlets_md_does_not() {
+    let p = add_two();
+    let am = Experiment::new(Implementation::Am).run(&p);
+    let md = Experiment::new(Implementation::Md).run(&p);
+    // AM: argument inlets dispatch at high priority. MD: at low.
+    assert!(am.stats.dispatches[1] > md.stats.dispatches[1]);
+    assert!(md.stats.dispatches[0] > am.stats.dispatches[0]);
+}

@@ -1,0 +1,156 @@
+//! White-box tests on the generated code shapes: the Table 1 mapping and
+//! the §2.3 optimizations must be visible in the lowered instructions.
+
+use tamsim_core::{link, Experiment, Implementation, LoweringOptions};
+use tamsim_mdp::{disasm_region, MachineConfig};
+use tamsim_tam::ids::regs::*;
+use tamsim_tam::ops::*;
+use tamsim_tam::{CodeblockBuilder, Program, ProgramBuilder, Value};
+
+/// A one-codeblock program: inlet 0 stores its argument and posts a
+/// thread that doubles it and returns.
+fn store_post_program() -> Program {
+    let mut pb = ProgramBuilder::new("p");
+    let main = pb.declare("main");
+    let mut cb = CodeblockBuilder::new("main");
+    let s = cb.slot();
+    let t = cb.thread();
+    cb.add_inlet(vec![ldmsg(R0, 0), st(s, R0), post(t)]);
+    cb.def_thread(t, 1, vec![
+        ld(R1, s),
+        alu(AluOp::Add, R1, R1, reg(R1)),
+        ret(vec![R1]),
+    ]);
+    pb.define(main, cb.finish());
+    pb.main(main, vec![Value::Int(21)]);
+    pb.build()
+}
+
+use tamsim_tam::AluOp;
+
+fn user_listing(program: &Program, impl_: Implementation, opts: LoweringOptions) -> String {
+    let linked = link(program, impl_, opts, MachineConfig::default());
+    disasm_region(&linked.code, linked.cfg.map.user_code_base, linked.code.user_len())
+}
+
+#[test]
+fn md_specialization_folds_the_thread_into_the_inlet() {
+    let program = store_post_program();
+    let full = user_listing(&program, Implementation::Md, LoweringOptions::default());
+    let none = user_listing(&program, Implementation::Md, LoweringOptions::none());
+
+    // Specialized: the frame store, the post, and the reload all vanish;
+    // the thread body follows the inlet directly and ends in a suspend.
+    assert!(
+        full.lines().count() < none.lines().count(),
+        "specialized listing should be shorter:\n{full}\nvs\n{none}"
+    );
+    // Store elimination: the sole-use slot write disappears entirely.
+    let stores = |s: &str| s.matches("st    r0, [fp").count();
+    assert!(stores(&full) < stores(&none) || !full.contains("st    r0, [fp"));
+    // The specialized path needs no LCV pop: it suspends directly.
+    assert!(full.contains("suspend"));
+}
+
+#[test]
+fn am_inlets_call_the_post_library_md_inlets_do_not() {
+    let program = store_post_program();
+    let am = user_listing(&program, Implementation::Am, LoweringOptions::default());
+    let md = user_listing(&program, Implementation::Md, LoweringOptions::none());
+    // AM: the post is a call into system code (the post library).
+    assert!(am.contains("call"), "AM inlet should call the post library:\n{am}");
+    // MD (even unoptimized): a direct branch into the thread, no call.
+    assert!(!md.contains("call"), "MD inlet must not call a post library:\n{md}");
+}
+
+#[test]
+fn am_threads_have_the_interrupt_window_md_threads_do_not() {
+    let program = store_post_program();
+    let am = user_listing(&program, Implementation::Am, LoweringOptions::default());
+    let md = user_listing(&program, Implementation::Md, LoweringOptions::none());
+    // Figure 2(a): "interrupts are enabled briefly at the top of a thread".
+    assert!(am.contains("eint") && am.contains("dint"), "{am}");
+    assert!(!md.contains("eint"), "{md}");
+}
+
+#[test]
+fn enabled_variant_omits_the_disable_at_thread_top() {
+    let program = store_post_program();
+    let en = user_listing(&program, Implementation::AmEnabled, LoweringOptions::default());
+    // The thread top enables and stays enabled; the return path carries no
+    // disable (the one CV-ish op here is the return send, which is atomic).
+    let thread_part = en.split(";; thread start").nth(1).expect("thread present");
+    assert!(thread_part.contains("eint"));
+    assert!(!thread_part.contains("dint"), "{thread_part}");
+}
+
+#[test]
+fn md_code_is_denser_than_am_code() {
+    // "User code consists of the threads and inlets unique to each
+    // program" — MD's lowering of the same program is consistently
+    // smaller (no post sequences, no interrupt windows, direct dispatch).
+    for bench in tamsim_programs::small_suite() {
+        let am = link(
+            &bench.program,
+            Implementation::Am,
+            LoweringOptions::default(),
+            MachineConfig::default(),
+        );
+        let md = link(
+            &bench.program,
+            Implementation::Md,
+            LoweringOptions::default(),
+            MachineConfig::default(),
+        );
+        assert!(
+            md.code.user_len() < am.code.user_len(),
+            "{}: MD user code {} !< AM {}",
+            bench.name,
+            md.code.user_len(),
+            am.code.user_len()
+        );
+    }
+}
+
+#[test]
+fn frames_are_recycled_through_the_free_list() {
+    // fib allocates thousands of frames; with per-codeblock free lists the
+    // frame region stays small.
+    let program = tamsim_programs::fib(15);
+    // fib's unthrottled fan-out needs a roomier queue than the 4 KB
+    // default (Experiment::run would auto-size; link() is manual).
+    let mut exp = Experiment::new(Implementation::Md);
+    exp.queue_words = [8192, 4096];
+    let linked = exp.link(&program);
+    let mut hooks = tamsim_mdp::NoHooks;
+    let (stats, machine) = linked.run(&mut hooks).unwrap();
+    assert!(stats.dispatches[1] > 1000, "plenty of calls happened");
+    let bump = machine.mem.read(
+        // FRAME_BUMP is the third OS global; read it via the public layout.
+        linked.cfg.sys_layout().globals_base + 8,
+    );
+    let used = bump.as_addr() - linked.cfg.map.frame_base;
+    // At most ~depth × frame size, not #calls × frame size.
+    assert!(
+        used < 64 * 1024,
+        "frame region grew to {used} bytes — free list not reusing frames?"
+    );
+}
+
+#[test]
+fn queue_high_water_marks_fit_the_hardware_queue_for_the_suite() {
+    // "We verified that substantial problems could be solved without
+    // using all the memory available for message queues."
+    for bench in tamsim_programs::small_suite() {
+        for impl_ in [Implementation::Am, Implementation::Md] {
+            let out = Experiment::new(impl_).run(&bench.program);
+            assert!(
+                out.queue_words <= [1024, 1024],
+                "{} {:?}: queues {:?} exceed the 4 KB hardware size",
+                bench.name,
+                impl_,
+                out.queue_words
+            );
+        }
+    }
+}

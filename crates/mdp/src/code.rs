@@ -1,0 +1,156 @@
+//! The code image: decoded instructions at system and user code addresses.
+//!
+//! Instructions are stored pre-decoded (one [`MOp`] per 4-byte code
+//! address); the machine emits an instruction-*fetch* access for every
+//! executed operation so the instruction cache sees a faithful stream, but
+//! never reads instruction bits from data memory.
+
+use crate::MOp;
+use tamsim_trace::MemoryMap;
+
+/// A relocatable code image split into system and user code regions.
+#[derive(Debug, Clone, Default)]
+pub struct CodeImage {
+    sys_base: u32,
+    user_base: u32,
+    sys: Vec<MOp>,
+    user: Vec<MOp>,
+}
+
+impl CodeImage {
+    /// An empty image with region bases taken from `map`.
+    pub fn new(map: &MemoryMap) -> Self {
+        CodeImage {
+            sys_base: map.system_code_base,
+            user_base: map.user_code_base,
+            sys: Vec::new(),
+            user: Vec::new(),
+        }
+    }
+
+    /// Append an op to system code; returns its address.
+    pub fn push_sys(&mut self, op: MOp) -> u32 {
+        let addr = self.next_sys();
+        self.sys.push(op);
+        addr
+    }
+
+    /// Append an op to user code; returns its address.
+    pub fn push_user(&mut self, op: MOp) -> u32 {
+        let addr = self.next_user();
+        self.user.push(op);
+        addr
+    }
+
+    /// Address the next system-code op will get.
+    pub fn next_sys(&self) -> u32 {
+        self.sys_base + (self.sys.len() as u32) * 4
+    }
+
+    /// Address the next user-code op will get.
+    pub fn next_user(&self) -> u32 {
+        self.user_base + (self.user.len() as u32) * 4
+    }
+
+    /// Replace the op at `addr` (label fixups in the assembler).
+    ///
+    /// # Panics
+    /// Panics if `addr` is not an existing code address.
+    pub fn patch(&mut self, addr: u32, op: MOp) {
+        *self.at_mut(addr) = op;
+    }
+
+    /// The op at code address `addr`.
+    ///
+    /// # Panics
+    /// Panics if `addr` is not a valid code address (a wild jump).
+    #[inline]
+    pub fn at(&self, addr: u32) -> &MOp {
+        if addr >= self.user_base {
+            let i = ((addr - self.user_base) / 4) as usize;
+            self.user.get(i).unwrap_or_else(|| panic!("wild jump to {addr:#x} (user code)"))
+        } else {
+            debug_assert!(addr >= self.sys_base);
+            let i = ((addr - self.sys_base) / 4) as usize;
+            self.sys.get(i).unwrap_or_else(|| panic!("wild jump to {addr:#x} (system code)"))
+        }
+    }
+
+    fn at_mut(&mut self, addr: u32) -> &mut MOp {
+        if addr >= self.user_base {
+            let i = ((addr - self.user_base) / 4) as usize;
+            self.user.get_mut(i).unwrap_or_else(|| panic!("patch of invalid address {addr:#x}"))
+        } else {
+            let i = ((addr - self.sys_base) / 4) as usize;
+            self.sys.get_mut(i).unwrap_or_else(|| panic!("patch of invalid address {addr:#x}"))
+        }
+    }
+
+    /// Number of system-code ops.
+    pub fn sys_len(&self) -> usize {
+        self.sys.len()
+    }
+
+    /// Number of user-code ops.
+    pub fn user_len(&self) -> usize {
+        self.user.len()
+    }
+
+    /// Whether `addr` lies in user code.
+    pub fn is_user(&self, addr: u32) -> bool {
+        addr >= self.user_base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MOp, Reg, Word};
+
+    fn img() -> CodeImage {
+        CodeImage::new(&MemoryMap::default())
+    }
+
+    #[test]
+    fn push_assigns_sequential_addresses() {
+        let mut c = img();
+        let a0 = c.push_sys(MOp::Suspend);
+        let a1 = c.push_sys(MOp::Halt);
+        assert_eq!(a1, a0 + 4);
+        let u0 = c.push_user(MOp::Ret);
+        assert_eq!(u0, MemoryMap::default().user_code_base);
+    }
+
+    #[test]
+    fn at_retrieves_pushed_ops() {
+        let mut c = img();
+        let a = c.push_sys(MOp::Halt);
+        let u = c.push_user(MOp::Suspend);
+        assert_eq!(c.at(a), &MOp::Halt);
+        assert_eq!(c.at(u), &MOp::Suspend);
+    }
+
+    #[test]
+    fn patch_replaces_op() {
+        let mut c = img();
+        let a = c.push_user(MOp::Halt);
+        c.patch(a, MOp::MovI { d: Reg(0), v: Word::from_i64(3) });
+        assert_eq!(c.at(a), &MOp::MovI { d: Reg(0), v: Word::from_i64(3) });
+    }
+
+    #[test]
+    #[should_panic(expected = "wild jump")]
+    fn wild_jump_panics() {
+        let c = img();
+        let _ = c.at(MemoryMap::default().user_code_base + 400);
+    }
+
+    #[test]
+    fn is_user_distinguishes_regions() {
+        let mut c = img();
+        let s = c.push_sys(MOp::Halt);
+        let u = c.push_user(MOp::Halt);
+        assert!(!c.is_user(s));
+        assert!(c.is_user(u));
+    }
+}

@@ -1,0 +1,84 @@
+//! Observation hooks: how consumers watch a machine run.
+
+use crate::{Mark, Priority};
+use tamsim_trace::{Access, TraceSink};
+
+/// Callbacks invoked by the machine during execution.
+///
+/// [`Hooks::access`] receives the full memory-access stream (one fetch per
+/// executed instruction plus all data reads/writes, in program order);
+/// [`Hooks::instruction`] ticks once per executed instruction; and
+/// [`Hooks::mark`] delivers the zero-cost granularity markers with the
+/// current frame pointer sampled at runtime.
+pub trait Hooks {
+    /// One memory access (instruction fetch or data read/write).
+    fn access(&mut self, access: Access);
+
+    /// One instruction executed at `pri` with program counter `pc`.
+    #[inline]
+    fn instruction(&mut self, _pri: Priority, _pc: u32) {}
+
+    /// A granularity marker, with the sampled frame pointer and the
+    /// priority level it executed at.
+    #[inline]
+    fn mark(&mut self, _mark: Mark, _frame: u32, _pri: Priority) {}
+}
+
+/// Hooks that observe nothing (pure functional runs / result checks).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHooks;
+
+impl Hooks for NoHooks {
+    #[inline]
+    fn access(&mut self, _access: Access) {}
+}
+
+/// Adapt any [`TraceSink`] into [`Hooks`] (marks and ticks discarded).
+#[derive(Debug, Default, Clone)]
+pub struct SinkHooks<S>(pub S);
+
+impl<S: TraceSink> Hooks for SinkHooks<S> {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.0.access(access);
+    }
+}
+
+impl<H: Hooks + ?Sized> Hooks for &mut H {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        (**self).access(access)
+    }
+
+    #[inline]
+    fn instruction(&mut self, pri: Priority, pc: u32) {
+        (**self).instruction(pri, pc)
+    }
+
+    #[inline]
+    fn mark(&mut self, mark: Mark, frame: u32, pri: Priority) {
+        (**self).mark(mark, frame, pri)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamsim_trace::VecSink;
+
+    #[test]
+    fn sink_hooks_forwards_accesses() {
+        let mut h = SinkHooks(VecSink::new());
+        h.access(Access::read(8));
+        h.instruction(Priority::Low, 0);
+        h.mark(Mark::ThreadEnd, 0, Priority::Low);
+        assert_eq!(h.0.events, vec![Access::read(8)]);
+    }
+
+    #[test]
+    fn no_hooks_is_inert() {
+        let mut h = NoHooks;
+        h.access(Access::fetch(0));
+        h.instruction(Priority::High, 4);
+    }
+}

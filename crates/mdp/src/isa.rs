@@ -1,0 +1,274 @@
+//! The MDP micro-ISA executed by the machine model.
+//!
+//! The two TAM runtime implementations (`tamsim-core`) lower TAM programs to
+//! sequences of these operations. The ISA is deliberately close to the real
+//! MDP's repertoire — register moves, loads/stores, ALU/FPU operations,
+//! branches, `SEND`, `SUSPEND`, and interrupt masking — plus zero-cost
+//! [`Mark`] pseudo-operations that feed the granularity statistics (threads
+//! per quantum etc.) without perturbing instruction or access counts.
+
+use crate::Word;
+
+/// A general-purpose register index.
+///
+/// Each priority level has its own file of [`Reg::COUNT`] registers
+/// (the J-Machine provided a full register set per priority level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Number of registers per priority level.
+    pub const COUNT: usize = 16;
+    /// Conventional frame-pointer register (used by `Mark` resolution).
+    pub const FP: Reg = Reg(15);
+    /// Conventional link register written by [`MOp::Call`].
+    pub const LINK: Reg = Reg(14);
+
+    /// Index into a register file.
+    #[inline]
+    pub fn index(self) -> usize {
+        debug_assert!((self.0 as usize) < Reg::COUNT, "register r{} out of range", self.0);
+        self.0 as usize
+    }
+}
+
+/// The two hardware priority levels of the MDP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Background computation (TAM threads; MD inlets).
+    Low = 0,
+    /// Message handlers / system calls (AM inlets; system routines).
+    High = 1,
+}
+
+impl Priority {
+    /// Index (0 = low, 1 = high).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Both priorities, low first.
+    pub const ALL: [Priority; 2] = [Priority::Low, Priority::High];
+}
+
+/// Second operand of an integer ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// An immediate integer.
+    Imm(i64),
+}
+
+/// One source word of a [`MOp::Send`].
+///
+/// The MDP's `SEND` instructions accepted register and constant operands;
+/// allowing immediates here keeps message-construction instruction counts
+/// from being dominated by constant loads that real code would hoist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SendSrc {
+    /// Send the contents of a register.
+    Reg(Reg),
+    /// Send a constant word (handler addresses, codeblock ids, arities).
+    Imm(Word),
+}
+
+/// Integer ALU operations. Comparison operations produce 0/1 words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    /// Quotient; division by zero halts the machine with an error.
+    Div,
+    /// Remainder; division by zero halts the machine with an error.
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Min,
+    Max,
+}
+
+/// Floating-point operations (operands viewed as `f64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FAluOp {
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    /// Comparison producing an integer 0/1 word.
+    FLt,
+    /// Comparison producing an integer 0/1 word.
+    FLe,
+    /// Comparison producing an integer 0/1 word.
+    FEq,
+    /// Unary: convert integer `a` to float (`b` ignored).
+    ItoF,
+    /// Unary: truncate float `a` to integer (`b` ignored).
+    FtoI,
+    /// Unary: float negation of `a` (`b` ignored).
+    FNeg,
+    /// Unary: float absolute value of `a` (`b` ignored).
+    FAbs,
+    /// Float minimum.
+    FMin,
+    /// Float maximum.
+    FMax,
+}
+
+impl FAluOp {
+    /// Whether the operation ignores its second operand.
+    pub fn is_unary(self) -> bool {
+        matches!(self, FAluOp::ItoF | FAluOp::FtoI | FAluOp::FNeg | FAluOp::FAbs)
+    }
+}
+
+/// Zero-cost markers lowered into the code stream for statistics.
+///
+/// Marks execute in zero cycles, emit no instruction fetch, and exist purely
+/// so the granularity observer can segment execution into inlets, threads,
+/// and quanta exactly as the paper's instruction simulator did. Marks that
+/// identify a frame read the conventional frame-pointer register at runtime
+/// and report its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mark {
+    /// A TAM thread body begins (frame pointer sampled from `Reg::FP`).
+    ThreadStart {
+        /// Codeblock id for attribution.
+        codeblock: u16,
+        /// Thread id within the codeblock.
+        thread: u16,
+    },
+    /// A TAM thread body ends.
+    ThreadEnd,
+    /// A TAM inlet body begins (frame pointer sampled from `Reg::FP`).
+    InletStart {
+        /// Codeblock id for attribution.
+        codeblock: u16,
+        /// Inlet id within the codeblock.
+        inlet: u16,
+    },
+    /// A TAM inlet body ends.
+    InletEnd,
+    /// The AM scheduler activated a frame (start of an AM quantum).
+    FrameActivated,
+    /// A system routine begins (frame attribution not meaningful).
+    SysStart,
+    /// A system routine ends.
+    SysEnd,
+}
+
+/// One micro-instruction.
+///
+/// Unless stated otherwise every operation costs one cycle and one
+/// instruction fetch, per the paper's uniform-cost assumption
+/// ("instructions were assumed to uniformly take one cycle, not counting
+/// memory access time").
+#[derive(Debug, Clone, PartialEq)]
+pub enum MOp {
+    /// `d <- imm`.
+    MovI { d: Reg, v: Word },
+    /// `d <- s`.
+    Mov { d: Reg, s: Reg },
+    /// Integer ALU: `d <- a op b`.
+    Alu { op: AluOp, d: Reg, a: Reg, b: Operand },
+    /// Float ALU: `d <- a op b` (`b` ignored for unary ops).
+    FAlu { op: FAluOp, d: Reg, a: Reg, b: Reg },
+    /// Data load: `d <- mem[base + off]` (byte offset, word aligned).
+    Ld { d: Reg, base: Reg, off: i32 },
+    /// Data load from an absolute address (OS globals).
+    LdA { d: Reg, addr: u32 },
+    /// Data store: `mem[base + off] <- s`.
+    St { s: Reg, base: Reg, off: i32 },
+    /// Data store to an absolute address (OS globals).
+    StA { s: Reg, addr: u32 },
+    /// Load word `idx` of the current message: `d <- queue[msg + idx]`.
+    ///
+    /// This is how inlets address incoming data; in the MD implementation
+    /// data may be consumed directly from the queue without ever being
+    /// stored to the frame (a key §3.1 saving).
+    LdMsg { d: Reg, idx: u8 },
+    /// Load a message word at a dynamic index: `d <- queue[msg + idx_reg]`
+    /// (used by the frame-allocation handler's argument loop).
+    LdMsgIdx { d: Reg, idx: Reg },
+    /// Unconditional branch to an absolute code address.
+    Br { t: u32 },
+    /// Branch if `c` is zero.
+    Bz { c: Reg, t: u32 },
+    /// Branch if `c` is nonzero.
+    Bnz { c: Reg, t: u32 },
+    /// Indirect jump to the code address in `s` (LCV dispatch).
+    Jr { s: Reg },
+    /// Call: `LINK <- return address; pc <- t`.
+    Call { t: u32 },
+    /// Return: `pc <- LINK`.
+    Ret,
+    /// Send a message of `srcs` words to the queue of priority `pri`.
+    ///
+    /// The hardware buffers each word into queue memory (data writes in
+    /// system data space, costing no processor cycles beyond the
+    /// instruction itself — see the paper's footnote on hardware
+    /// buffering).
+    Send { pri: Priority, srcs: Vec<SendSrc> },
+    /// End the current task; hardware dispatches the next message.
+    Suspend,
+    /// Enable high-priority preemption of low-priority execution.
+    EnableInt,
+    /// Disable high-priority preemption (AM atomicity windows, §2.2).
+    DisableInt,
+    /// Stop the machine (executed by the top-level completion inlet).
+    Halt,
+    /// Statistics marker: zero cycles, no fetch.
+    Mark(Mark),
+}
+
+impl MOp {
+    /// Whether this operation is a zero-cost pseudo-op.
+    #[inline]
+    pub fn is_pseudo(&self) -> bool {
+        matches!(self, MOp::Mark(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priorities_are_ordered() {
+        assert!(Priority::Low < Priority::High);
+        assert_eq!(Priority::Low.index(), 0);
+        assert_eq!(Priority::High.index(), 1);
+    }
+
+    #[test]
+    fn register_conventions_fit_the_file() {
+        assert!(Reg::FP.index() < Reg::COUNT);
+        assert!(Reg::LINK.index() < Reg::COUNT);
+        assert_ne!(Reg::FP, Reg::LINK);
+    }
+
+    #[test]
+    fn unary_falu_ops() {
+        assert!(FAluOp::ItoF.is_unary());
+        assert!(FAluOp::FtoI.is_unary());
+        assert!(FAluOp::FNeg.is_unary());
+        assert!(!FAluOp::FAdd.is_unary());
+    }
+
+    #[test]
+    fn marks_are_pseudo() {
+        assert!(MOp::Mark(Mark::ThreadEnd).is_pseudo());
+        assert!(!MOp::Suspend.is_pseudo());
+    }
+}

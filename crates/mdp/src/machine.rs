@@ -1,0 +1,806 @@
+//! The two-priority MDP machine executor.
+//!
+//! Semantics reproduced from the J-Machine (Section 1.1.2 of the paper):
+//!
+//! * Two complete priority levels, each with its own register set and
+//!   message queue.
+//! * "When a message arrives to the high-priority queue, low-priority
+//!   computation is preempted" — here, at the next instruction boundary
+//!   with interrupts enabled (the AM implementation's thread bodies run
+//!   with interrupts disabled except at their tops, §2.2).
+//! * "Message reception does not interrupt execution of a same-priority
+//!   task; dispatch occurs when the task suspends."
+//! * Hardware message buffering writes arriving words directly into queue
+//!   memory (the top of the memory hierarchy).
+//!
+//! The machine halts explicitly (a completion inlet executes [`MOp::Halt`])
+//! or quiesces when both queues are empty and the low-priority context has
+//! suspended — on a uniprocessor no further work can ever arrive.
+
+use crate::queue::{MessageQueue, MsgRef, DEFAULT_QUEUE_WORDS};
+use crate::{CodeImage, Hooks, MOp, Memory, Operand, Priority, Reg, SendSrc, Word};
+use crate::{AluOp, FAluOp};
+use tamsim_trace::{Access, MemoryMap};
+
+/// Addresses of the system-data structures derived from the configuration.
+///
+/// The runtime lowerings need these addresses at code-generation time, so
+/// the layout is a pure function of the configuration rather than machine
+/// state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SysLayout {
+    /// Base of the low-priority message queue.
+    pub low_queue_base: u32,
+    /// Base of the high-priority message queue.
+    pub high_queue_base: u32,
+    /// Base of OS globals (frame-queue head/tail, allocator bumps, the MD
+    /// global LCV, scratch).
+    pub globals_base: u32,
+}
+
+/// Machine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// The address-space layout.
+    pub map: MemoryMap,
+    /// Queue capacities in words, indexed by [`Priority::index`].
+    pub queue_words: [u32; 2],
+    /// Maximum instructions to execute before aborting the run.
+    pub fuel: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            map: MemoryMap::default(),
+            queue_words: [DEFAULT_QUEUE_WORDS, DEFAULT_QUEUE_WORDS],
+            fuel: 4_000_000_000,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Compute the system-data layout implied by this configuration.
+    pub fn sys_layout(&self) -> SysLayout {
+        let low = self.map.system_data_base;
+        let high = low + self.queue_words[Priority::Low.index()] * 4;
+        let globals = high + self.queue_words[Priority::High.index()] * 4;
+        assert!(globals < self.map.frame_base, "queues overflow system data region");
+        SysLayout { low_queue_base: low, high_queue_base: high, globals_base: globals }
+    }
+}
+
+/// Why a run ended successfully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// An explicit [`MOp::Halt`] was executed (normal completion).
+    Explicit,
+    /// Both queues drained and the low context suspended (quiescence; for a
+    /// correct program this is also completion, for a buggy one deadlock).
+    Quiescent,
+}
+
+/// Why a run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// A send found the target queue full; enlarge
+    /// [`MachineConfig::queue_words`].
+    QueueOverflow {
+        /// Which queue overflowed.
+        pri: Priority,
+    },
+    /// The instruction budget was exhausted (runaway program).
+    FuelExhausted,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::QueueOverflow { pri } => {
+                write!(f, "message queue overflow at priority {pri:?}")
+            }
+            RunError::FuelExhausted => write!(f, "instruction fuel exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Counters accumulated over one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total instructions executed (also the base cycle count: the paper
+    /// assumes one cycle per instruction before memory penalties).
+    pub instructions: u64,
+    /// Instructions by priority level.
+    pub instructions_by_pri: [u64; 2],
+    /// Message dispatches by priority level.
+    pub dispatches: [u64; 2],
+    /// Times high-priority work preempted running low-priority code.
+    pub preemptions: u64,
+    /// Send instructions executed.
+    pub sends: u64,
+    /// Total words sent.
+    pub send_words: u64,
+    /// Queue high-water marks in words, by priority.
+    pub max_queue_words: [u32; 2],
+    /// How the run ended.
+    pub halt: HaltReason,
+}
+
+/// The machine: registers, memory, queues, and the execution loop.
+pub struct Machine<'c> {
+    cfg: MachineConfig,
+    code: &'c CodeImage,
+    /// Data memory (public so drivers can seed inputs and read results).
+    pub mem: Memory,
+    regs: [[Word; Reg::COUNT]; 2],
+    queues: [MessageQueue; 2],
+    cur_msg: [Option<MsgRef>; 2],
+    high_pc: Option<u32>,
+    low_pc: Option<u32>,
+    ints_enabled: bool,
+    instructions: u64,
+    instructions_by_pri: [u64; 2],
+    dispatches: [u64; 2],
+    preemptions: u64,
+    sends: u64,
+    send_words: u64,
+}
+
+impl<'c> Machine<'c> {
+    /// A fresh machine over `code`.
+    pub fn new(cfg: MachineConfig, code: &'c CodeImage) -> Self {
+        let layout = cfg.sys_layout();
+        Machine {
+            mem: Memory::new(&cfg.map),
+            regs: [[Word::ZERO; Reg::COUNT]; 2],
+            queues: [
+                MessageQueue::new(layout.low_queue_base, cfg.queue_words[0]),
+                MessageQueue::new(layout.high_queue_base, cfg.queue_words[1]),
+            ],
+            cur_msg: [None, None],
+            high_pc: None,
+            low_pc: None,
+            ints_enabled: true,
+            instructions: 0,
+            instructions_by_pri: [0, 0],
+            dispatches: [0, 0],
+            preemptions: 0,
+            sends: 0,
+            send_words: 0,
+            cfg,
+            code,
+        }
+    }
+
+    /// Read a register (tests and drivers).
+    pub fn reg(&self, pri: Priority, r: Reg) -> Word {
+        self.regs[pri.index()][r.index()]
+    }
+
+    /// Write a register (tests and drivers).
+    pub fn set_reg(&mut self, pri: Priority, r: Reg, v: Word) {
+        self.regs[pri.index()][r.index()] = v;
+    }
+
+    /// Inspect a queue (stats).
+    pub fn queue(&self, pri: Priority) -> &MessageQueue {
+        &self.queues[pri.index()]
+    }
+
+    /// Start the low-priority context at `addr` (the AM background
+    /// scheduler); without this the low context boots suspended.
+    pub fn start_low(&mut self, addr: u32) {
+        self.low_pc = Some(addr);
+    }
+
+    /// Inject a boot message without generating trace events (machine
+    /// setup, not program behaviour).
+    pub fn inject(&mut self, pri: Priority, words: &[Word]) -> Result<(), RunError> {
+        let q = &mut self.queues[pri.index()];
+        let m = q
+            .begin_enqueue(words.len() as u32)
+            .ok_or(RunError::QueueOverflow { pri })?;
+        for (i, w) in words.iter().enumerate() {
+            let addr = q.addr_of(m.start, i as u32);
+            self.mem.write(addr, *w);
+        }
+        Ok(())
+    }
+
+    fn dispatch<H: Hooks>(&mut self, pri: Priority, hooks: &mut H) {
+        let q = &self.queues[pri.index()];
+        let m = q.front().expect("dispatch from empty queue");
+        let haddr = q.addr_of(m.start, 0);
+        hooks.access(Access::read(haddr));
+        let handler = self.mem.read(haddr).as_addr();
+        self.cur_msg[pri.index()] = Some(m);
+        self.dispatches[pri.index()] += 1;
+        match pri {
+            Priority::High => {
+                if self.low_pc.is_some() {
+                    self.preemptions += 1;
+                }
+                self.high_pc = Some(handler);
+            }
+            Priority::Low => self.low_pc = Some(handler),
+        }
+    }
+
+    fn send<H: Hooks>(
+        &mut self,
+        from: Priority,
+        target: Priority,
+        srcs: &[SendSrc],
+        hooks: &mut H,
+    ) -> Result<(), RunError> {
+        let q = &mut self.queues[target.index()];
+        let m = q
+            .begin_enqueue(srcs.len() as u32)
+            .ok_or(RunError::QueueOverflow { pri: target })?;
+        for (i, s) in srcs.iter().enumerate() {
+            let addr = self.queues[target.index()].addr_of(m.start, i as u32);
+            let v = match s {
+                SendSrc::Reg(r) => self.regs[from.index()][r.index()],
+                SendSrc::Imm(w) => *w,
+            };
+            self.mem.write(addr, v);
+            hooks.access(Access::write(addr));
+        }
+        self.sends += 1;
+        self.send_words += srcs.len() as u64;
+        Ok(())
+    }
+
+    fn finish(&self, halt: HaltReason) -> RunStats {
+        RunStats {
+            instructions: self.instructions,
+            instructions_by_pri: self.instructions_by_pri,
+            dispatches: self.dispatches,
+            preemptions: self.preemptions,
+            sends: self.sends,
+            send_words: self.send_words,
+            max_queue_words: [
+                self.queues[0].max_used_words(),
+                self.queues[1].max_used_words(),
+            ],
+            halt,
+        }
+    }
+
+    /// Run until halt, quiescence, or error, streaming events into `hooks`.
+    pub fn run<H: Hooks>(&mut self, hooks: &mut H) -> Result<RunStats, RunError> {
+        loop {
+            // Preemption / activation of high-priority work. High-priority
+            // tasks are never preempted; low-priority tasks are preempted
+            // only with interrupts enabled (or when suspended).
+            if self.high_pc.is_none()
+                && !self.queues[Priority::High.index()].is_empty()
+                && (self.low_pc.is_none() || self.ints_enabled)
+            {
+                self.dispatch(Priority::High, hooks);
+            }
+
+            let (pri, pc) = match (self.high_pc, self.low_pc) {
+                (Some(pc), _) => (Priority::High, pc),
+                (None, Some(pc)) => (Priority::Low, pc),
+                (None, None) => {
+                    if !self.queues[Priority::Low.index()].is_empty() {
+                        self.dispatch(Priority::Low, hooks);
+                        continue;
+                    }
+                    return Ok(self.finish(HaltReason::Quiescent));
+                }
+            };
+
+            let op = self.code.at(pc);
+            let p = pri.index();
+
+            if let MOp::Mark(m) = op {
+                let frame = self.regs[p][Reg::FP.index()].bits() as u32;
+                hooks.mark(*m, frame, pri);
+                self.set_pc(pri, pc + 4);
+                continue;
+            }
+
+            hooks.access(Access::fetch(pc));
+            hooks.instruction(pri, pc);
+            self.instructions += 1;
+            self.instructions_by_pri[p] += 1;
+            if self.instructions > self.cfg.fuel {
+                return Err(RunError::FuelExhausted);
+            }
+
+            let mut next = pc + 4;
+            match op {
+                MOp::MovI { d, v } => self.regs[p][d.index()] = *v,
+                MOp::Mov { d, s } => self.regs[p][d.index()] = self.regs[p][s.index()],
+                MOp::Alu { op, d, a, b } => {
+                    let a = self.regs[p][a.index()].as_i64();
+                    let b = match b {
+                        Operand::Reg(r) => self.regs[p][r.index()].as_i64(),
+                        Operand::Imm(v) => *v,
+                    };
+                    self.regs[p][d.index()] = Word::from_i64(eval_alu(*op, a, b, pc));
+                }
+                MOp::FAlu { op, d, a, b } => {
+                    let av = self.regs[p][a.index()];
+                    let bv = self.regs[p][b.index()];
+                    self.regs[p][d.index()] = eval_falu(*op, av, bv);
+                }
+                MOp::Ld { d, base, off } => {
+                    let addr = offset_addr(self.regs[p][base.index()].as_addr(), *off);
+                    hooks.access(Access::read(addr));
+                    self.regs[p][d.index()] = self.mem.read(addr);
+                }
+                MOp::LdA { d, addr } => {
+                    hooks.access(Access::read(*addr));
+                    self.regs[p][d.index()] = self.mem.read(*addr);
+                }
+                MOp::St { s, base, off } => {
+                    let addr = offset_addr(self.regs[p][base.index()].as_addr(), *off);
+                    hooks.access(Access::write(addr));
+                    self.mem.write(addr, self.regs[p][s.index()]);
+                }
+                MOp::StA { s, addr } => {
+                    hooks.access(Access::write(*addr));
+                    self.mem.write(*addr, self.regs[p][s.index()]);
+                }
+                MOp::LdMsg { d, idx } => {
+                    let m = self.cur_msg[p].expect("LdMsg with no current message");
+                    debug_assert!((*idx as u32) < m.len, "LdMsg index beyond message");
+                    let addr = self.queues[p].addr_of(m.start, *idx as u32);
+                    hooks.access(Access::read(addr));
+                    self.regs[p][d.index()] = self.mem.read(addr);
+                }
+                MOp::LdMsgIdx { d, idx } => {
+                    let m = self.cur_msg[p].expect("LdMsgIdx with no current message");
+                    let i = self.regs[p][idx.index()].as_i64();
+                    debug_assert!(i >= 0 && (i as u32) < m.len, "LdMsgIdx index beyond message");
+                    let addr = self.queues[p].addr_of(m.start, i as u32);
+                    hooks.access(Access::read(addr));
+                    self.regs[p][d.index()] = self.mem.read(addr);
+                }
+                MOp::Br { t } => next = *t,
+                MOp::Bz { c, t } => {
+                    if !self.regs[p][c.index()].as_bool() {
+                        next = *t;
+                    }
+                }
+                MOp::Bnz { c, t } => {
+                    if self.regs[p][c.index()].as_bool() {
+                        next = *t;
+                    }
+                }
+                MOp::Jr { s } => next = self.regs[p][s.index()].as_addr(),
+                MOp::Call { t } => {
+                    self.regs[p][Reg::LINK.index()] = Word::from_addr(pc + 4);
+                    next = *t;
+                }
+                MOp::Ret => next = self.regs[p][Reg::LINK.index()].as_addr(),
+                MOp::Send { pri: target, srcs } => {
+                    self.send(pri, *target, srcs, hooks)?;
+                }
+                MOp::Suspend => {
+                    if let Some(m) = self.cur_msg[p].take() {
+                        self.queues[p].retire(m);
+                    }
+                    match pri {
+                        Priority::High => self.high_pc = None,
+                        Priority::Low => self.low_pc = None,
+                    }
+                    continue;
+                }
+                MOp::EnableInt => self.ints_enabled = true,
+                MOp::DisableInt => self.ints_enabled = false,
+                MOp::Halt => return Ok(self.finish(HaltReason::Explicit)),
+                MOp::Mark(_) => unreachable!("marks handled above"),
+            }
+            self.set_pc(pri, next);
+        }
+    }
+
+    #[inline]
+    fn set_pc(&mut self, pri: Priority, pc: u32) {
+        match pri {
+            Priority::High => self.high_pc = Some(pc),
+            Priority::Low => self.low_pc = Some(pc),
+        }
+    }
+}
+
+#[inline]
+fn offset_addr(base: u32, off: i32) -> u32 {
+    (base as i64 + off as i64) as u32
+}
+
+fn eval_alu(op: AluOp, a: i64, b: i64, pc: u32) -> i64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            assert!(b != 0, "division by zero at pc {pc:#x}");
+            a.wrapping_div(b)
+        }
+        AluOp::Rem => {
+            assert!(b != 0, "remainder by zero at pc {pc:#x}");
+            a.wrapping_rem(b)
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b as u32),
+        AluOp::Shr => a.wrapping_shr(b as u32),
+        AluOp::Eq => (a == b) as i64,
+        AluOp::Ne => (a != b) as i64,
+        AluOp::Lt => (a < b) as i64,
+        AluOp::Le => (a <= b) as i64,
+        AluOp::Gt => (a > b) as i64,
+        AluOp::Ge => (a >= b) as i64,
+        AluOp::Min => a.min(b),
+        AluOp::Max => a.max(b),
+    }
+}
+
+fn eval_falu(op: FAluOp, a: Word, b: Word) -> Word {
+    match op {
+        FAluOp::FAdd => Word::from_f64(a.as_f64() + b.as_f64()),
+        FAluOp::FSub => Word::from_f64(a.as_f64() - b.as_f64()),
+        FAluOp::FMul => Word::from_f64(a.as_f64() * b.as_f64()),
+        FAluOp::FDiv => Word::from_f64(a.as_f64() / b.as_f64()),
+        FAluOp::FLt => Word::from_bool(a.as_f64() < b.as_f64()),
+        FAluOp::FLe => Word::from_bool(a.as_f64() <= b.as_f64()),
+        FAluOp::FEq => Word::from_bool(a.as_f64() == b.as_f64()),
+        FAluOp::ItoF => Word::from_f64(a.as_i64() as f64),
+        FAluOp::FtoI => Word::from_i64(a.as_f64() as i64),
+        FAluOp::FNeg => Word::from_f64(-a.as_f64()),
+        FAluOp::FAbs => Word::from_f64(a.as_f64().abs()),
+        FAluOp::FMin => Word::from_f64(a.as_f64().min(b.as_f64())),
+        FAluOp::FMax => Word::from_f64(a.as_f64().max(b.as_f64())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::{NoHooks, SinkHooks};
+    use crate::Mark;
+    use tamsim_trace::{AccessKind, VecSink};
+
+    fn map() -> MemoryMap {
+        MemoryMap::default()
+    }
+
+    /// Build a code image whose user code is `ops`, starting at user base.
+    fn user_image(ops: Vec<MOp>) -> (CodeImage, u32) {
+        let mut img = CodeImage::new(&map());
+        let entry = img.next_user();
+        for op in ops {
+            img.push_user(op);
+        }
+        (img, entry)
+    }
+
+    fn run_user(ops: Vec<MOp>) -> (RunStats, Vec<tamsim_trace::Access>) {
+        let (img, entry) = user_image(ops);
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.start_low(entry);
+        let mut hooks = SinkHooks(VecSink::new());
+        let stats = m.run(&mut hooks).expect("run failed");
+        (stats, hooks.0.events)
+    }
+
+    #[test]
+    fn straight_line_arithmetic_and_halt() {
+        let (img, entry) = user_image(vec![
+            MOp::MovI { d: Reg(0), v: Word::from_i64(6) },
+            MOp::MovI { d: Reg(1), v: Word::from_i64(7) },
+            MOp::Alu { op: AluOp::Mul, d: Reg(2), a: Reg(0), b: Operand::Reg(Reg(1)) },
+            MOp::Halt,
+        ]);
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.start_low(entry);
+        let stats = m.run(&mut NoHooks).unwrap();
+        assert_eq!(stats.instructions, 4);
+        assert_eq!(stats.halt, HaltReason::Explicit);
+        assert_eq!(m.reg(Priority::Low, Reg(2)).as_i64(), 42);
+    }
+
+    #[test]
+    fn every_instruction_emits_one_fetch() {
+        let (_stats, events) = run_user(vec![
+            MOp::MovI { d: Reg(0), v: Word::from_i64(1) },
+            MOp::Mov { d: Reg(1), s: Reg(0) },
+            MOp::Halt,
+        ]);
+        let fetches: Vec<_> =
+            events.iter().filter(|a| a.kind == AccessKind::Fetch).collect();
+        assert_eq!(fetches.len(), 3);
+        // Sequential addresses 4 bytes apart.
+        assert_eq!(fetches[1].addr, fetches[0].addr + 4);
+        assert_eq!(fetches[2].addr, fetches[1].addr + 4);
+    }
+
+    #[test]
+    fn loads_and_stores_touch_memory_and_trace() {
+        let fb = map().frame_base;
+        let (stats, events) = run_user(vec![
+            MOp::MovI { d: Reg(0), v: Word::from_addr(fb) },
+            MOp::MovI { d: Reg(1), v: Word::from_i64(99) },
+            MOp::St { s: Reg(1), base: Reg(0), off: 8 },
+            MOp::Ld { d: Reg(2), base: Reg(0), off: 8 },
+            MOp::Halt,
+        ]);
+        assert_eq!(stats.instructions, 5);
+        assert!(events.contains(&Access::write(fb + 8)));
+        assert!(events.contains(&Access::read(fb + 8)));
+    }
+
+    #[test]
+    fn branches_and_loop() {
+        // Sum 1..=5 with a loop.
+        let ub = map().user_code_base;
+        let (img, entry) = user_image(vec![
+            /* 0 */ MOp::MovI { d: Reg(0), v: Word::from_i64(0) }, // acc
+            /* 1 */ MOp::MovI { d: Reg(1), v: Word::from_i64(5) }, // i
+            /* 2 */ MOp::Alu { op: AluOp::Add, d: Reg(0), a: Reg(0), b: Operand::Reg(Reg(1)) },
+            /* 3 */ MOp::Alu { op: AluOp::Sub, d: Reg(1), a: Reg(1), b: Operand::Imm(1) },
+            /* 4 */ MOp::Bnz { c: Reg(1), t: ub + 2 * 4 },
+            /* 5 */ MOp::Halt,
+        ]);
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.start_low(entry);
+        m.run(&mut NoHooks).unwrap();
+        assert_eq!(m.reg(Priority::Low, Reg(0)).as_i64(), 15);
+    }
+
+    #[test]
+    fn call_and_ret_use_link_register() {
+        let ub = map().user_code_base;
+        let (img, entry) = user_image(vec![
+            /* 0 */ MOp::Call { t: ub + 3 * 4 },
+            /* 1 */ MOp::MovI { d: Reg(1), v: Word::from_i64(2) },
+            /* 2 */ MOp::Halt,
+            /* 3: callee */ MOp::MovI { d: Reg(0), v: Word::from_i64(1) },
+            /* 4 */ MOp::Ret,
+        ]);
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.start_low(entry);
+        let stats = m.run(&mut NoHooks).unwrap();
+        assert_eq!(m.reg(Priority::Low, Reg(0)).as_i64(), 1);
+        assert_eq!(m.reg(Priority::Low, Reg(1)).as_i64(), 2);
+        assert_eq!(stats.instructions, 5);
+    }
+
+    #[test]
+    fn dispatch_runs_handler_and_quiesces() {
+        // Handler: read message arg, store to frame, suspend.
+        let fb = map().frame_base;
+        let mut img = CodeImage::new(&map());
+        let handler = img.next_user();
+        img.push_user(MOp::LdMsg { d: Reg(0), idx: 1 });
+        img.push_user(MOp::MovI { d: Reg(1), v: Word::from_addr(fb) });
+        img.push_user(MOp::St { s: Reg(0), base: Reg(1), off: 0 });
+        img.push_user(MOp::Suspend);
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.inject(Priority::Low, &[Word::from_addr(handler), Word::from_i64(17)]).unwrap();
+        let stats = m.run(&mut NoHooks).unwrap();
+        assert_eq!(stats.halt, HaltReason::Quiescent);
+        assert_eq!(stats.dispatches, [1, 0]);
+        assert_eq!(m.mem.read(fb).as_i64(), 17);
+    }
+
+    #[test]
+    fn send_enqueues_and_dispatches_chained_messages() {
+        // Low task A sends a low message to handler B carrying 5; B doubles
+        // it into frame memory and halts.
+        let fb = map().frame_base;
+        let mut img = CodeImage::new(&map());
+        let a = img.next_user();
+        img.push_user(MOp::MovI { d: Reg(2), v: Word::ZERO }); // placeholder for B addr, patched below
+        img.push_user(MOp::MovI { d: Reg(3), v: Word::from_i64(5) });
+        img.push_user(MOp::Send { pri: Priority::Low, srcs: vec![SendSrc::Reg(Reg(2)), SendSrc::Reg(Reg(3))] });
+        img.push_user(MOp::Suspend);
+        let b = img.next_user();
+        img.push_user(MOp::LdMsg { d: Reg(0), idx: 1 });
+        img.push_user(MOp::Alu { op: AluOp::Add, d: Reg(0), a: Reg(0), b: Operand::Reg(Reg(0)) });
+        img.push_user(MOp::MovI { d: Reg(1), v: Word::from_addr(fb) });
+        img.push_user(MOp::St { s: Reg(0), base: Reg(1), off: 0 });
+        img.push_user(MOp::Halt);
+        img.patch(a, MOp::MovI { d: Reg(2), v: Word::from_addr(b) });
+
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.inject(Priority::Low, &[Word::from_addr(a)]).unwrap();
+        let stats = m.run(&mut NoHooks).unwrap();
+        assert_eq!(stats.halt, HaltReason::Explicit);
+        assert_eq!(stats.sends, 1);
+        assert_eq!(stats.send_words, 2);
+        assert_eq!(stats.dispatches, [2, 0]);
+        assert_eq!(m.mem.read(fb).as_i64(), 10);
+    }
+
+    #[test]
+    fn send_words_are_written_to_queue_memory() {
+        let mut img = CodeImage::new(&map());
+        let entry = img.next_user();
+        img.push_user(MOp::MovI { d: Reg(0), v: Word::from_i64(0xAB) });
+        img.push_user(MOp::Send { pri: Priority::High, srcs: vec![SendSrc::Reg(Reg(0))] });
+        img.push_user(MOp::Halt);
+        // The high handler at 0xAB would be wild; halt before dispatch
+        // happens only if interrupts disabled — so disable first.
+        let mut img2 = CodeImage::new(&map());
+        let entry2 = img2.next_user();
+        img2.push_user(MOp::DisableInt);
+        img2.push_user(MOp::MovI { d: Reg(0), v: Word::from_i64(0xAB) });
+        img2.push_user(MOp::Send { pri: Priority::High, srcs: vec![SendSrc::Reg(Reg(0))] });
+        img2.push_user(MOp::Halt);
+        let _ = (img, entry);
+
+        let cfg = MachineConfig::default();
+        let hq_base = cfg.sys_layout().high_queue_base;
+        let mut m = Machine::new(cfg, &img2);
+        m.start_low(entry2);
+        let mut hooks = SinkHooks(VecSink::new());
+        m.run(&mut hooks).unwrap();
+        assert!(hooks.0.events.contains(&Access::write(hq_base)));
+        assert_eq!(m.mem.read(hq_base).as_i64(), 0xAB);
+    }
+
+    #[test]
+    fn high_priority_preempts_enabled_low_code() {
+        // Low code sends a high message, then (interrupts enabled) the
+        // handler must run before the next low instruction writes the frame.
+        let fb = map().frame_base;
+        let mut img = CodeImage::new(&map());
+        // High handler: write 1 to frame[0], suspend.
+        let h = img.next_sys();
+        img.push_sys(MOp::MovI { d: Reg(0), v: Word::from_addr(fb) });
+        img.push_sys(MOp::MovI { d: Reg(1), v: Word::from_i64(1) });
+        img.push_sys(MOp::St { s: Reg(1), base: Reg(0), off: 0 });
+        img.push_sys(MOp::Suspend);
+        // Low: send high, then read frame[0] into r5, halt.
+        let entry = img.next_user();
+        img.push_user(MOp::MovI { d: Reg(2), v: Word::from_addr(h) });
+        img.push_user(MOp::Send { pri: Priority::High, srcs: vec![SendSrc::Reg(Reg(2))] });
+        img.push_user(MOp::MovI { d: Reg(0), v: Word::from_addr(fb) });
+        img.push_user(MOp::Ld { d: Reg(5), base: Reg(0), off: 0 });
+        img.push_user(MOp::Halt);
+
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.start_low(entry);
+        let stats = m.run(&mut NoHooks).unwrap();
+        assert_eq!(stats.preemptions, 1);
+        assert_eq!(m.reg(Priority::Low, Reg(5)).as_i64(), 1, "handler ran before the load");
+    }
+
+    #[test]
+    fn disabled_interrupts_defer_high_priority_until_enable() {
+        let fb = map().frame_base;
+        let mut img = CodeImage::new(&map());
+        let h = img.next_sys();
+        img.push_sys(MOp::MovI { d: Reg(0), v: Word::from_addr(fb) });
+        img.push_sys(MOp::MovI { d: Reg(1), v: Word::from_i64(1) });
+        img.push_sys(MOp::St { s: Reg(1), base: Reg(0), off: 0 });
+        img.push_sys(MOp::Suspend);
+        let entry = img.next_user();
+        img.push_user(MOp::DisableInt);
+        img.push_user(MOp::MovI { d: Reg(2), v: Word::from_addr(h) });
+        img.push_user(MOp::Send { pri: Priority::High, srcs: vec![SendSrc::Reg(Reg(2))] });
+        img.push_user(MOp::MovI { d: Reg(0), v: Word::from_addr(fb) });
+        // Handler has NOT run yet: frame[0] still 0.
+        img.push_user(MOp::Ld { d: Reg(5), base: Reg(0), off: 0 });
+        img.push_user(MOp::EnableInt);
+        // Handler runs here, before the next low instruction.
+        img.push_user(MOp::Ld { d: Reg(6), base: Reg(0), off: 0 });
+        img.push_user(MOp::Halt);
+
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.start_low(entry);
+        let stats = m.run(&mut NoHooks).unwrap();
+        assert_eq!(m.reg(Priority::Low, Reg(5)).as_i64(), 0, "deferred while disabled");
+        assert_eq!(m.reg(Priority::Low, Reg(6)).as_i64(), 1, "ran at enable point");
+        assert_eq!(stats.preemptions, 1);
+    }
+
+    #[test]
+    fn same_priority_messages_do_not_interrupt() {
+        // A low task sends itself another low message; it must finish
+        // before the second handler is dispatched.
+        let fb = map().frame_base;
+        let mut img = CodeImage::new(&map());
+        let h2 = img.next_sys(); // handler 2 in sys code for address separation
+        img.push_sys(MOp::MovI { d: Reg(0), v: Word::from_addr(fb) });
+        img.push_sys(MOp::MovI { d: Reg(1), v: Word::from_i64(2) });
+        img.push_sys(MOp::St { s: Reg(1), base: Reg(0), off: 0 });
+        img.push_sys(MOp::Halt);
+        let entry = img.next_user();
+        img.push_user(MOp::MovI { d: Reg(2), v: Word::from_addr(h2) });
+        img.push_user(MOp::Send { pri: Priority::Low, srcs: vec![SendSrc::Reg(Reg(2))] });
+        img.push_user(MOp::MovI { d: Reg(0), v: Word::from_addr(fb) });
+        img.push_user(MOp::MovI { d: Reg(1), v: Word::from_i64(1) });
+        img.push_user(MOp::St { s: Reg(1), base: Reg(0), off: 0 });
+        img.push_user(MOp::Suspend);
+
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.inject(Priority::Low, &[Word::from_addr(entry)]).unwrap();
+        m.run(&mut NoHooks).unwrap();
+        // Handler 2 ran after the first task, overwriting 1 with 2.
+        assert_eq!(m.mem.read(fb).as_i64(), 2);
+    }
+
+    #[test]
+    fn queue_overflow_is_an_error() {
+        let mut img = CodeImage::new(&map());
+        let entry = img.next_user();
+        img.push_user(MOp::DisableInt);
+        img.push_user(MOp::MovI { d: Reg(0), v: Word::from_i64(1) });
+        let loop_pc = img.next_user();
+        img.push_user(MOp::Send { pri: Priority::High, srcs: vec![SendSrc::Reg(Reg(0))] });
+        img.push_user(MOp::Br { t: loop_pc });
+        let cfg = MachineConfig { queue_words: [8, 8], ..Default::default() };
+        let mut m = Machine::new(cfg, &img);
+        m.start_low(entry);
+        assert_eq!(
+            m.run(&mut NoHooks),
+            Err(RunError::QueueOverflow { pri: Priority::High })
+        );
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_an_error() {
+        let mut img = CodeImage::new(&map());
+        let entry = img.next_user();
+        img.push_user(MOp::Br { t: entry });
+        let cfg = MachineConfig { fuel: 100, ..Default::default() };
+        let mut m = Machine::new(cfg, &img);
+        m.start_low(entry);
+        assert_eq!(m.run(&mut NoHooks), Err(RunError::FuelExhausted));
+    }
+
+    #[test]
+    fn marks_cost_nothing_and_report_fp() {
+        struct MarkHook {
+            marks: Vec<(Mark, u32)>,
+        }
+        impl Hooks for MarkHook {
+            fn access(&mut self, _a: Access) {}
+            fn mark(&mut self, m: Mark, f: u32, _pri: Priority) {
+                self.marks.push((m, f));
+            }
+        }
+        let fb = map().frame_base;
+        let mut img = CodeImage::new(&map());
+        let entry = img.next_user();
+        img.push_user(MOp::MovI { d: Reg::FP, v: Word::from_addr(fb + 64) });
+        img.push_user(MOp::Mark(Mark::ThreadStart { codeblock: 3, thread: 1 }));
+        img.push_user(MOp::Halt);
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.start_low(entry);
+        let mut h = MarkHook { marks: vec![] };
+        let stats = m.run(&mut h).unwrap();
+        assert_eq!(stats.instructions, 2, "mark is free");
+        assert_eq!(h.marks, vec![(Mark::ThreadStart { codeblock: 3, thread: 1 }, fb + 64)]);
+    }
+
+    #[test]
+    fn high_handler_resumes_preempted_low_context_exactly() {
+        let mut img = CodeImage::new(&map());
+        let h = img.next_sys();
+        img.push_sys(MOp::MovI { d: Reg(0), v: Word::from_i64(7) }); // high file
+        img.push_sys(MOp::Suspend);
+        let entry = img.next_user();
+        img.push_user(MOp::MovI { d: Reg(0), v: Word::from_i64(1) }); // low file
+        img.push_user(MOp::MovI { d: Reg(2), v: Word::from_addr(h) });
+        img.push_user(MOp::Send { pri: Priority::High, srcs: vec![SendSrc::Reg(Reg(2))] });
+        img.push_user(MOp::Alu { op: AluOp::Add, d: Reg(0), a: Reg(0), b: Operand::Imm(1) });
+        img.push_user(MOp::Halt);
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.start_low(entry);
+        m.run(&mut NoHooks).unwrap();
+        // Separate register files: low r0 == 2, high r0 == 7.
+        assert_eq!(m.reg(Priority::Low, Reg(0)).as_i64(), 2);
+        assert_eq!(m.reg(Priority::High, Reg(0)).as_i64(), 7);
+    }
+}

@@ -1,0 +1,169 @@
+//! Data memory: segment-backed storage for system data, frames, and heap.
+//!
+//! Code is not stored here (the machine fetches decoded [`crate::MOp`]s from
+//! a [`crate::CodeImage`]); this module only backs the three *data* regions
+//! of the memory map. Segments grow on demand and read as zero when
+//! untouched, which keeps multi-megabyte address spaces cheap.
+
+use crate::Word;
+use tamsim_trace::MemoryMap;
+
+/// One growable, zero-initialized segment of the address space.
+#[derive(Debug, Clone)]
+struct Segment {
+    base: u32,
+    limit: u32,
+    words: Vec<Word>,
+}
+
+impl Segment {
+    fn new(base: u32, limit: u32) -> Self {
+        assert!(base < limit && base.is_multiple_of(4), "malformed segment [{base:#x},{limit:#x})");
+        Segment { base, limit, words: Vec::new() }
+    }
+
+    #[inline]
+    fn contains(&self, addr: u32) -> bool {
+        (self.base..self.limit).contains(&addr)
+    }
+
+    #[inline]
+    fn index(&self, addr: u32) -> usize {
+        debug_assert!(addr.is_multiple_of(4), "unaligned data address {addr:#x}");
+        ((addr - self.base) / 4) as usize
+    }
+
+    #[inline]
+    fn read(&self, addr: u32) -> Word {
+        let i = self.index(addr);
+        self.words.get(i).copied().unwrap_or(Word::ZERO)
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u32, v: Word) {
+        let i = self.index(addr);
+        if i >= self.words.len() {
+            self.words.resize(i + 1, Word::ZERO);
+        }
+        self.words[i] = v;
+    }
+}
+
+/// The machine's data memory: system data, frame, and heap segments.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    sysdata: Segment,
+    frames: Segment,
+    heap: Segment,
+}
+
+impl Memory {
+    /// Create zeroed memory laid out according to `map`.
+    pub fn new(map: &MemoryMap) -> Self {
+        Memory {
+            sysdata: Segment::new(map.system_data_base, map.frame_base),
+            frames: Segment::new(map.frame_base, map.heap_base),
+            heap: Segment::new(map.heap_base, map.top),
+        }
+    }
+
+    #[inline]
+    fn segment(&self, addr: u32) -> &Segment {
+        if self.sysdata.contains(addr) {
+            &self.sysdata
+        } else if self.frames.contains(addr) {
+            &self.frames
+        } else if self.heap.contains(addr) {
+            &self.heap
+        } else {
+            panic!("data access to non-data address {addr:#x}")
+        }
+    }
+
+    #[inline]
+    fn segment_mut(&mut self, addr: u32) -> &mut Segment {
+        if self.sysdata.contains(addr) {
+            &mut self.sysdata
+        } else if self.frames.contains(addr) {
+            &mut self.frames
+        } else if self.heap.contains(addr) {
+            &mut self.heap
+        } else {
+            panic!("data access to non-data address {addr:#x}")
+        }
+    }
+
+    /// Read the word at `addr` (zero if never written).
+    ///
+    /// # Panics
+    /// Panics if `addr` is not a word-aligned data address.
+    #[inline]
+    pub fn read(&self, addr: u32) -> Word {
+        self.segment(addr).read(addr)
+    }
+
+    /// Write the word at `addr`.
+    ///
+    /// # Panics
+    /// Panics if `addr` is not a word-aligned data address.
+    #[inline]
+    pub fn write(&mut self, addr: u32, v: Word) {
+        self.segment_mut(addr).write(addr, v)
+    }
+
+    /// Total words currently backed by storage (for memory-usage stats).
+    pub fn resident_words(&self) -> usize {
+        self.sysdata.words.len() + self.frames.words.len() + self.heap.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> (Memory, MemoryMap) {
+        let map = MemoryMap::default();
+        (Memory::new(&map), map)
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let (m, map) = mem();
+        assert_eq!(m.read(map.frame_base), Word::ZERO);
+        assert_eq!(m.read(map.heap_base + 4096), Word::ZERO);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips_across_segments() {
+        let (mut m, map) = mem();
+        m.write(map.system_data_base + 8, Word::from_i64(7));
+        m.write(map.frame_base + 16, Word::from_f64(2.5));
+        m.write(map.heap_base, Word::from_addr(0x1234));
+        assert_eq!(m.read(map.system_data_base + 8).as_i64(), 7);
+        assert_eq!(m.read(map.frame_base + 16).as_f64(), 2.5);
+        assert_eq!(m.read(map.heap_base).as_addr(), 0x1234);
+    }
+
+    #[test]
+    fn writes_are_isolated_between_addresses() {
+        let (mut m, map) = mem();
+        m.write(map.frame_base + 4, Word::from_i64(1));
+        assert_eq!(m.read(map.frame_base), Word::ZERO);
+        assert_eq!(m.read(map.frame_base + 8), Word::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-data address")]
+    fn code_addresses_are_not_data() {
+        let (mut m, map) = mem();
+        m.write(map.user_code_base, Word::ZERO);
+    }
+
+    #[test]
+    fn resident_words_grows_with_high_water_mark() {
+        let (mut m, map) = mem();
+        assert_eq!(m.resident_words(), 0);
+        m.write(map.frame_base + 4 * 99, Word::from_i64(1));
+        assert_eq!(m.resident_words(), 100);
+    }
+}

@@ -1,0 +1,184 @@
+//! Hardware message queues.
+//!
+//! The J-Machine provides one large (4 Kbyte) message queue per priority
+//! level; arriving messages are buffered directly into the top level of the
+//! memory hierarchy by the processor's control FSM. This module does the
+//! ring bookkeeping and address arithmetic; the machine performs the actual
+//! memory writes so that the buffering traffic appears in the trace (the
+//! paper's footnote: buffering consumes on-chip SRAM space and bandwidth).
+//!
+//! Queue capacity is configurable. The paper only ran programs that fit in
+//! the hardware queue; [`MessageQueue::max_used_words`] lets the harness
+//! verify the same property.
+
+use std::collections::VecDeque;
+
+/// Default queue capacity in words: 4 KB, as on the J-Machine.
+pub const DEFAULT_QUEUE_WORDS: u32 = 1024;
+
+/// A reference to a live message in a queue: ring start offset and length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgRef {
+    /// Word offset (pre-wrap) of the first word of the message.
+    pub start: u32,
+    /// Message length in words (header included).
+    pub len: u32,
+}
+
+/// One priority level's message queue.
+#[derive(Debug, Clone)]
+pub struct MessageQueue {
+    base: u32,
+    cap_words: u32,
+    /// Ring offset of the first live word.
+    head: u32,
+    /// Live words currently buffered.
+    used: u32,
+    msgs: VecDeque<MsgRef>,
+    max_used: u32,
+}
+
+impl MessageQueue {
+    /// A queue occupying `cap_words` words of memory at byte address `base`.
+    pub fn new(base: u32, cap_words: u32) -> Self {
+        assert!(cap_words > 0 && base.is_multiple_of(4));
+        MessageQueue { base, cap_words, head: 0, used: 0, msgs: VecDeque::new(), max_used: 0 }
+    }
+
+    /// Byte address of word `idx` of the message starting at ring offset
+    /// `start`.
+    #[inline]
+    pub fn addr_of(&self, start: u32, idx: u32) -> u32 {
+        self.base + ((start + idx) % self.cap_words) * 4
+    }
+
+    /// Reserve space for a `len`-word message at the tail.
+    ///
+    /// Returns `None` when the queue is full (the caller surfaces this as a
+    /// run error; see Section 2.3 of the paper — queue overflow is the MD
+    /// implementation's first hazard, which the paper sidesteps by sizing
+    /// workloads to fit).
+    pub fn begin_enqueue(&mut self, len: u32) -> Option<MsgRef> {
+        debug_assert!(len > 0);
+        if self.used + len > self.cap_words {
+            return None;
+        }
+        let start = (self.head + self.used) % self.cap_words;
+        self.used += len;
+        self.max_used = self.max_used.max(self.used);
+        let m = MsgRef { start, len };
+        self.msgs.push_back(m);
+        Some(m)
+    }
+
+    /// The message at the front of the queue, if any (not yet retired).
+    pub fn front(&self) -> Option<MsgRef> {
+        self.msgs.front().copied()
+    }
+
+    /// Retire the front message, releasing its buffer space.
+    ///
+    /// # Panics
+    /// Panics if the queue is empty or `m` is not the front message
+    /// (messages are strictly FIFO).
+    pub fn retire(&mut self, m: MsgRef) {
+        let front = self.msgs.pop_front().expect("retire from empty queue");
+        assert_eq!(front, m, "messages must be retired in FIFO order");
+        self.head = (self.head + m.len) % self.cap_words;
+        self.used -= m.len;
+    }
+
+    /// Whether no messages are buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Number of buffered messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Live words currently buffered.
+    pub fn used_words(&self) -> u32 {
+        self.used
+    }
+
+    /// High-water mark of buffered words over the whole run.
+    pub fn max_used_words(&self) -> u32 {
+        self.max_used
+    }
+
+    /// The queue's capacity in words.
+    pub fn capacity_words(&self) -> u32 {
+        self.cap_words
+    }
+
+    /// The queue's base byte address.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> MessageQueue {
+        MessageQueue::new(0x0020_0000, 8)
+    }
+
+    #[test]
+    fn enqueue_pop_retire_fifo() {
+        let mut q = q();
+        let a = q.begin_enqueue(3).unwrap();
+        let b = q.begin_enqueue(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.front(), Some(a));
+        q.retire(a);
+        assert_eq!(q.front(), Some(b));
+        q.retire(b);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn addresses_wrap_around_the_ring() {
+        let mut q = q();
+        let a = q.begin_enqueue(6).unwrap();
+        q.retire(a);
+        // Next message starts at offset 6 and wraps: words 6,7,0,1.
+        let b = q.begin_enqueue(4).unwrap();
+        assert_eq!(b.start, 6);
+        assert_eq!(q.addr_of(b.start, 0), 0x0020_0000 + 6 * 4);
+        assert_eq!(q.addr_of(b.start, 1), 0x0020_0000 + 7 * 4);
+        assert_eq!(q.addr_of(b.start, 2), 0x0020_0000);
+        assert_eq!(q.addr_of(b.start, 3), 0x0020_0000 + 4);
+    }
+
+    #[test]
+    fn overflow_returns_none() {
+        let mut q = q();
+        assert!(q.begin_enqueue(8).is_some());
+        assert!(q.begin_enqueue(1).is_none());
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak() {
+        let mut q = q();
+        let a = q.begin_enqueue(4).unwrap();
+        let _b = q.begin_enqueue(3).unwrap();
+        assert_eq!(q.max_used_words(), 7);
+        q.retire(a);
+        assert_eq!(q.used_words(), 3);
+        assert_eq!(q.max_used_words(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "FIFO")]
+    fn out_of_order_retire_panics() {
+        let mut q = q();
+        let _a = q.begin_enqueue(2).unwrap();
+        let b = q.begin_enqueue(2).unwrap();
+        q.retire(b);
+    }
+}

@@ -1,0 +1,144 @@
+//! The machine word.
+//!
+//! The real MDP used 36-bit tagged words. For this reproduction, values are
+//! 64-bit (so benchmark arithmetic — including the floating-point matrices
+//! of MMT and DTW — is exact and convenient) while *addresses* remain 32-bit
+//! and word-aligned to 4 bytes for cache-geometry purposes. The separation
+//! is harmless: the paper's evaluation depends on access *streams*, not on
+//! value widths.
+
+/// A machine word: an untyped 64-bit pattern with integer and float views.
+///
+/// Integer operations view the pattern as `i64`; floating-point operations
+/// view it as `f64` bits. Code addresses are stored as integers.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Word(u64);
+
+impl Word {
+    /// The zero word (also the value of uninitialized memory).
+    pub const ZERO: Word = Word(0);
+
+    /// Build a word from an integer.
+    #[inline]
+    pub fn from_i64(v: i64) -> Self {
+        Word(v as u64)
+    }
+
+    /// Build a word from a float.
+    #[inline]
+    pub fn from_f64(v: f64) -> Self {
+        Word(v.to_bits())
+    }
+
+    /// Build a word from a 32-bit address.
+    #[inline]
+    pub fn from_addr(a: u32) -> Self {
+        Word(a as u64)
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Integer view.
+    #[inline]
+    pub fn as_i64(self) -> i64 {
+        self.0 as i64
+    }
+
+    /// Float view.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+
+    /// Address view (truncates to 32 bits).
+    ///
+    /// # Panics
+    /// Panics in debug builds if the value does not fit an address; a
+    /// truncated address indicates a lowering bug.
+    #[inline]
+    pub fn as_addr(self) -> u32 {
+        debug_assert!(self.0 <= u32::MAX as u64, "word {:#x} is not an address", self.0);
+        self.0 as u32
+    }
+
+    /// Boolean view: any nonzero pattern is true.
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        self.0 != 0
+    }
+
+    /// The canonical true/false words (1 / 0).
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        Word(b as u64)
+    }
+}
+
+impl std::fmt::Debug for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Word({:#x} = {})", self.0, self.as_i64())
+    }
+}
+
+impl From<i64> for Word {
+    fn from(v: i64) -> Self {
+        Word::from_i64(v)
+    }
+}
+
+impl From<f64> for Word {
+    fn from(v: f64) -> Self {
+        Word::from_f64(v)
+    }
+}
+
+impl From<u32> for Word {
+    fn from(v: u32) -> Self {
+        Word::from_addr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_roundtrip() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 123_456_789] {
+            assert_eq!(Word::from_i64(v).as_i64(), v);
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        for v in [0.0f64, -0.0, 1.5, -3.25, f64::MAX, f64::MIN_POSITIVE] {
+            assert_eq!(Word::from_f64(v).as_f64(), v);
+        }
+        assert!(Word::from_f64(f64::NAN).as_f64().is_nan());
+    }
+
+    #[test]
+    fn addr_roundtrip() {
+        for a in [0u32, 4, 0x0010_0000, u32::MAX] {
+            assert_eq!(Word::from_addr(a).as_addr(), a);
+        }
+    }
+
+    #[test]
+    fn bool_semantics() {
+        assert!(Word::from_i64(1).as_bool());
+        assert!(Word::from_i64(-7).as_bool());
+        assert!(!Word::ZERO.as_bool());
+        assert_eq!(Word::from_bool(true).as_i64(), 1);
+        assert_eq!(Word::from_bool(false).as_i64(), 0);
+    }
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Word::default(), Word::ZERO);
+    }
+}

@@ -1,0 +1,21 @@
+//! Measurement, statistics, and report rendering for the reproduction:
+//! Table 2 granularity metrics, the Section 3.1 access comparison, the
+//! Figure 3–6 cycle-ratio curves, and the Figure 1/Figure 2 scheduling
+//! experiments.
+//!
+//! [`SuiteData::collect`] runs every (program, implementation) pair once,
+//! streaming its trace through a [`tamsim_cache::CacheBank`] covering the
+//! paper's full cache sweep; every table and figure is then derived from
+//! that single dataset.
+
+pub mod experiments;
+pub mod figures;
+pub mod render;
+pub mod suite;
+pub mod tables;
+
+pub use experiments::{capture_schedule, figure1, figure1_program, figure2, SchedEvent};
+pub use figures::{block_sweep, figure3, figure6, figure_per_program};
+pub use render::Table;
+pub use suite::{geomean, ProgramRun, SuiteData};
+pub use tables::{accesses, region_breakdown, table1, table2};

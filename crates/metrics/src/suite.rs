@@ -1,0 +1,176 @@
+//! Collecting the measurement dataset: one traced machine run per
+//! (program, implementation), fanned into every cache configuration.
+
+use std::collections::HashMap;
+
+use tamsim_cache::{CacheBank, CacheGeometry, CacheSummary, CycleModel};
+use tamsim_core::{Experiment, Implementation, RunResult};
+use tamsim_programs::PaperBenchmark;
+
+/// One traced run of one program under one implementation.
+#[derive(Debug, Clone)]
+pub struct ProgramRun {
+    /// Benchmark name ("MMT", …).
+    pub name: String,
+    /// Which back-end ran.
+    pub implementation: Implementation,
+    /// Instruction counts, granularity, and Section 3.1 access counts.
+    pub run: RunResult,
+    /// Cache outcome for every geometry in the sweep.
+    pub caches: Vec<(CacheGeometry, CacheSummary)>,
+}
+
+impl ProgramRun {
+    /// Total cycles at `geometry` under `model`.
+    pub fn cycles(&self, geometry: CacheGeometry, model: CycleModel) -> u64 {
+        let (_, summary) = self
+            .caches
+            .iter()
+            .find(|(g, _)| *g == geometry)
+            .unwrap_or_else(|| panic!("geometry {geometry:?} not in sweep"));
+        model.total_cycles(self.run.instructions, summary)
+    }
+}
+
+/// The full dataset for a suite of programs.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteData {
+    /// All runs, keyed by `(name, implementation)`.
+    runs: HashMap<(String, Implementation), ProgramRun>,
+    /// Program names in suite order.
+    pub names: Vec<String>,
+    /// The geometry sweep used.
+    pub geometries: Vec<CacheGeometry>,
+}
+
+impl SuiteData {
+    /// Run every program of `suite` under each of `impls`, tracing into a
+    /// cache bank over `geometries`. Runs execute in parallel (they are
+    /// independent single-threaded simulations).
+    pub fn collect(
+        suite: Vec<PaperBenchmark>,
+        impls: &[Implementation],
+        geometries: Vec<CacheGeometry>,
+    ) -> SuiteData {
+        let names: Vec<String> = suite.iter().map(|b| b.name.to_string()).collect();
+        let mut tasks = Vec::new();
+        for bench in &suite {
+            for &impl_ in impls {
+                tasks.push((bench.name.to_string(), bench.program.clone(), impl_));
+            }
+        }
+        let geoms = &geometries;
+        let runs: Vec<ProgramRun> = std::thread::scope(|scope| {
+            let handles: Vec<_> = tasks
+                .into_iter()
+                .map(|(name, program, impl_)| {
+                    scope.spawn(move || {
+                        let mut bank = CacheBank::symmetric(geoms.iter().copied());
+                        let run = Experiment::new(impl_).run_with_sink(&program, &mut bank);
+                        ProgramRun {
+                            name,
+                            implementation: impl_,
+                            run,
+                            caches: bank.summaries(),
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+        });
+        let mut map = HashMap::new();
+        for r in runs {
+            map.insert((r.name.clone(), r.implementation), r);
+        }
+        SuiteData { runs: map, names, geometries }
+    }
+
+    /// The run for `(name, impl_)`.
+    ///
+    /// # Panics
+    /// Panics when the pair was not collected.
+    pub fn get(&self, name: &str, impl_: Implementation) -> &ProgramRun {
+        self.runs
+            .get(&(name.to_string(), impl_))
+            .unwrap_or_else(|| panic!("no run for {name} under {impl_:?}"))
+    }
+
+    /// MD/AM total-cycle ratio for one program.
+    pub fn ratio(&self, name: &str, geometry: CacheGeometry, model: CycleModel) -> f64 {
+        let md = self.get(name, Implementation::Md).cycles(geometry, model);
+        let am = self.get(name, Implementation::Am).cycles(geometry, model);
+        md as f64 / am as f64
+    }
+
+    /// Geometric mean of the MD/AM ratio over `names`.
+    pub fn geomean_ratio(
+        &self,
+        names: &[&str],
+        geometry: CacheGeometry,
+        model: CycleModel,
+    ) -> f64 {
+        geomean(names.iter().map(|n| self.ratio(n, geometry, model)))
+    }
+
+    /// All program names as `&str`s.
+    pub fn name_refs(&self) -> Vec<&str> {
+        self.names.iter().map(|s| s.as_str()).collect()
+    }
+}
+
+/// Geometric mean of an iterator of positive values.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geomean of non-positive value {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    assert!(n > 0, "geomean of empty set");
+    (log_sum / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamsim_cache::table2_geometry;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean([1.0, 0.0]);
+    }
+
+    #[test]
+    fn collect_small_suite_and_derive_ratios() {
+        let suite = vec![
+            PaperBenchmark { name: "FIB", program: tamsim_programs::fib(8) },
+            PaperBenchmark { name: "SS", program: tamsim_programs::ss(12) },
+        ];
+        let geom = table2_geometry();
+        let data = SuiteData::collect(
+            suite,
+            &[Implementation::Md, Implementation::Am],
+            vec![geom],
+        );
+        let model = CycleModel::paper(12);
+        for name in ["FIB", "SS"] {
+            let r = data.ratio(name, geom, model);
+            assert!(r > 0.1 && r < 10.0, "{name}: implausible ratio {r}");
+        }
+        let gm = data.geomean_ratio(&["FIB", "SS"], geom, model);
+        assert!(gm > 0.0);
+        // Cycles grow with the miss penalty.
+        let md = data.get("SS", Implementation::Md);
+        assert!(
+            md.cycles(geom, CycleModel::paper(48)) > md.cycles(geom, CycleModel::paper(12))
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Table 1, Table 2, and the Section 3.1 access-count comparison.
+
+use crate::render::{r1, r3, Table};
+use crate::suite::SuiteData;
+use tamsim_cache::{table2_geometry, CycleModel, PAPER_MISS_COSTS};
+use tamsim_core::Implementation;
+use tamsim_trace::AccessKind;
+
+/// Table 1: the mapping of TAM constructs to MDP mechanisms, as
+/// implemented by the two lowerings in `tamsim-core`.
+pub fn table1() -> String {
+    let mut t = Table::new(&["TAM mechanism", "AM implementation", "MD implementation"]);
+    let rows: [[&str; 3]; 6] = [
+        ["inlet", "high priority message handler", "low priority message handler"],
+        ["post from inlet", "place thread in frame (post library)", "jump directly to thread"],
+        ["activation of frame", "low priority swap routine", "n/a"],
+        ["threads", "low priority code", "low priority code"],
+        ["fork from thread", "jump or push onto in-frame LCV", "jump or push onto global LCV"],
+        ["system routines", "high priority message handlers", "high priority message handlers"],
+    ];
+    for r in rows {
+        t.row(r.iter().map(|s| s.to_string()).collect());
+    }
+    t.to_text()
+}
+
+/// Table 2: TPQ / IPT / IPQ per program for MD and AM, plus the MD/AM
+/// total-cycle ratios in 8192-byte 4-way set-associative caches at miss
+/// costs of 12, 24, and 48 cycles.
+pub fn table2(data: &SuiteData) -> Table {
+    let geom = table2_geometry();
+    let mut t = Table::new(&[
+        "Program", "TPQ MD", "TPQ AM", "IPT MD", "IPT AM", "IPQ MD", "IPQ AM",
+        "MD/AM@12", "MD/AM@24", "MD/AM@48",
+    ]);
+    for name in data.name_refs() {
+        let md = &data.get(name, Implementation::Md).run.granularity;
+        let am = &data.get(name, Implementation::Am).run.granularity;
+        let mut row = vec![
+            name.to_string(),
+            r1(md.tpq()),
+            r1(am.tpq()),
+            r1(md.ipt()),
+            r1(am.ipt()),
+            format!("{:.0}", md.ipq()),
+            format!("{:.0}", am.ipq()),
+        ];
+        for cost in PAPER_MISS_COSTS {
+            row.push(r3(data.ratio(name, geom, CycleModel::paper(cost))));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Section 3.1: MD as a fraction of AM for reads, writes, and instruction
+/// fetches, per program and averaged (the paper: "on average, the MD
+/// implementation yields 86% of the reads, 87% of the writes, and 77% of
+/// the fetches produced by the AM implementation").
+pub fn accesses(data: &SuiteData) -> Table {
+    let mut t = Table::new(&["Program", "reads MD/AM", "writes MD/AM", "fetches MD/AM"]);
+    let mut sums = [0.0f64; 3];
+    let names = data.name_refs();
+    for name in &names {
+        let md = &data.get(name, Implementation::Md).run.counts;
+        let am = &data.get(name, Implementation::Am).run.counts;
+        let ratios = [
+            md.ratio_to(am, AccessKind::Read).unwrap(),
+            md.ratio_to(am, AccessKind::Write).unwrap(),
+            md.ratio_to(am, AccessKind::Fetch).unwrap(),
+        ];
+        for (s, r) in sums.iter_mut().zip(ratios) {
+            *s += r;
+        }
+        t.row(vec![
+            name.to_string(),
+            r3(ratios[0]),
+            r3(ratios[1]),
+            r3(ratios[2]),
+        ]);
+    }
+    let n = names.len() as f64;
+    t.row(vec![
+        "average".to_string(),
+        r3(sums[0] / n),
+        r3(sums[1] / n),
+        r3(sums[2] / n),
+    ]);
+    t
+}
+
+/// Breakdown of one implementation's accesses by region (supporting
+/// detail for §3.1's system/user division).
+pub fn region_breakdown(data: &SuiteData, impl_: Implementation) -> Table {
+    use tamsim_trace::Region;
+    let mut t = Table::new(&[
+        "Program", "sys code", "user code", "sys data", "user data", "total",
+    ]);
+    for name in data.name_refs() {
+        let c = &data.get(name, impl_).run.counts;
+        t.row(vec![
+            name.to_string(),
+            c.region_total(Region::SystemCode).to_string(),
+            c.region_total(Region::UserCode).to_string(),
+            c.region_total(Region::SystemData).to_string(),
+            c.region_total(Region::UserData).to_string(),
+            c.total().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamsim_cache::table2_geometry;
+    use tamsim_programs::PaperBenchmark;
+
+    fn tiny_data() -> SuiteData {
+        SuiteData::collect(
+            vec![PaperBenchmark { name: "FIB", program: tamsim_programs::fib(7) }],
+            &[Implementation::Md, Implementation::Am],
+            vec![table2_geometry()],
+        )
+    }
+
+    #[test]
+    fn table1_lists_all_mechanisms() {
+        let t = table1();
+        assert!(t.contains("post from inlet"));
+        assert!(t.contains("jump directly to thread"));
+    }
+
+    #[test]
+    fn table2_has_a_row_per_program() {
+        let data = tiny_data();
+        let t = table2(&data).to_text();
+        assert!(t.contains("FIB"));
+        assert!(t.contains("MD/AM@48"));
+    }
+
+    #[test]
+    fn access_ratios_are_below_one_for_fib() {
+        let data = tiny_data();
+        let t = accesses(&data).to_csv();
+        let avg = t.lines().last().unwrap();
+        let cells: Vec<&str> = avg.split(',').collect();
+        for c in &cells[1..] {
+            let v: f64 = c.parse().unwrap();
+            assert!(v < 1.0, "MD should access less than AM, got {v}");
+        }
+    }
+
+    #[test]
+    fn region_breakdown_totals_match() {
+        let data = tiny_data();
+        let t = region_breakdown(&data, Implementation::Md).to_csv();
+        let row = t.lines().nth(1).unwrap();
+        let cells: Vec<u64> =
+            row.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
+        assert_eq!(cells[..4].iter().sum::<u64>(), cells[4]);
+    }
+}

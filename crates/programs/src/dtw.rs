@@ -1,0 +1,257 @@
+//! Discrete time warp (DTW) — "a speech-processing application that
+//! performs operations on matrices of floating-point numbers" (paper §3).
+//!
+//! Dynamic time warping of two feature sequences: one codeblock
+//! activation per cost-matrix cell. Each cell fetches its two feature
+//! vectors element-by-element (computing an L1 distance) and its three
+//! neighbour costs through deferred I-structure reads, so all `n²` cells
+//! are spawned eagerly and dataflow synchronization orders the wavefront
+//! of the recurrence `D[i][j] = dist(aᵢ, bⱼ) + min(D[i-1][j],
+//! D[i][j-1], D[i-1][j-1])`.
+
+use tamsim_tam::ids::regs::*;
+use tamsim_tam::ops::*;
+use tamsim_tam::{
+    AluOp, CodeblockBuilder, FAluOp, InitArray, Program, ProgramBuilder, SlotId, Value,
+};
+
+fn a_feat(dim: usize, i: usize, k: usize) -> f64 {
+    (((i * dim + k) % 7) as f64) * 0.125
+}
+
+fn b_feat(dim: usize, j: usize, k: usize) -> f64 {
+    (((j * dim + k) % 5) as f64) * 0.25
+}
+
+/// Build DTW over two length-`n` sequences of `dim`-dimensional feature
+/// vectors (`dim` must be even: the distance splits into two half-range
+/// threads so the per-cell work overlaps). Returns the total warp cost
+/// `D[n][n]`.
+pub fn dtw(n: usize, dim: usize) -> Program {
+    assert!(n >= 1 && dim >= 2 && dim.is_multiple_of(2));
+    let h = dim / 2;
+    let np = (n + 1) as i64; // cost matrix is (n+1)×(n+1)
+    let mut pb = ProgramBuilder::new("dtw");
+    let a_a = pb.array(InitArray::present(
+        "a",
+        (0..n * dim).map(|x| Value::Float(a_feat(dim, x / dim, x % dim))),
+    ));
+    let a_b = pb.array(InitArray::present(
+        "b",
+        (0..n * dim).map(|x| Value::Float(b_feat(dim, x / dim, x % dim))),
+    ));
+    // Cost matrix: first row and column present as 0.0, interior empty.
+    let a_d = pb.array(InitArray {
+        name: "D".into(),
+        cells: (0..(n + 1) * (n + 1))
+            .map(|x| {
+                let (i, j) = (x / (n + 1), x % (n + 1));
+                (i == 0 || j == 0).then_some(Value::Float(0.0))
+            })
+            .collect(),
+    });
+    let main = pb.declare("main");
+    let cell = pb.declare("cell");
+
+    // ---- cell(i, j), 1-based in the cost matrix ----
+    let mut cb = CodeblockBuilder::new("cell");
+    let s_i = cb.slot();
+    let s_j = cb.slot();
+    let s_dlo = cb.slot();
+    let s_dhi = cb.slot();
+    let s_min = cb.slot();
+    let fbuf = cb.slots(2 * dim as u16); // feature replies by tag
+    let nbuf = cb.slots(3); // neighbour replies by tag
+
+    let i_i = cb.inlet();
+    let i_j = cb.inlet();
+    let i_feat_lo = cb.inlet(); // feature dims 0..dim/2
+    let i_feat_hi = cb.inlet(); // feature dims dim/2..dim
+    let i_nbr = cb.inlet();
+    let t_start = cb.thread();
+    let t_dista = cb.thread();
+    let t_distb = cb.thread();
+    let t_min = cb.thread();
+    let t_fin = cb.thread();
+
+    cb.def_inlet(i_i, vec![ldmsg(R0, 0), st(s_i, R0), post(t_start)]);
+    cb.def_inlet(i_j, vec![ldmsg(R0, 0), st(s_j, R0), post(t_start)]);
+    cb.def_inlet(i_feat_lo, vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(fbuf, R1, R0), post(t_dista)]);
+    cb.def_inlet(i_feat_hi, vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(fbuf, R1, R0), post(t_distb)]);
+    cb.def_inlet(i_nbr, vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(nbuf, R1, R0), post(t_min)]);
+
+    // Issue every fetch: 2·dim features and 3 neighbours.
+    let mut start = vec![
+        ld(R0, s_i),
+        ld(R1, s_j),
+        movarr(R2, a_a),
+        movarr(R3, a_b),
+        // Feature rows are 0-based: a[(i-1)*dim + k], b[(j-1)*dim + k].
+        alu(AluOp::Sub, R4, R0, imm(1)),
+        alu(AluOp::Mul, R4, R4, imm(dim as i64)),
+        alu(AluOp::Sub, R5, R1, imm(1)),
+        alu(AluOp::Mul, R5, R5, imm(dim as i64)),
+    ];
+    for k in 0..dim {
+        let inlet = if k < h { i_feat_lo } else { i_feat_hi };
+        start.extend([
+            alu(AluOp::Add, R6, R4, imm(k as i64)),
+            alu(AluOp::Shl, R6, R6, imm(3)),
+            alu(AluOp::Add, R6, R6, reg(R2)),
+            movi(R7, k as i64),
+            ifetch(R6, R7, inlet),
+        ]);
+    }
+    for k in 0..dim {
+        let inlet = if k < h { i_feat_lo } else { i_feat_hi };
+        start.extend([
+            alu(AluOp::Add, R6, R5, imm(k as i64)),
+            alu(AluOp::Shl, R6, R6, imm(3)),
+            alu(AluOp::Add, R6, R6, reg(R3)),
+            movi(R7, (dim + k) as i64),
+            ifetch(R6, R7, inlet),
+        ]);
+    }
+    // Neighbours: D[i-1][j] (tag 0), D[i][j-1] (tag 1), D[i-1][j-1]
+    // (tag 2).
+    start.extend([movarr(R8, a_d)]);
+    for (tag, (di, dj)) in [(0i64, (1i64, 0i64)), (1, (0, 1)), (2, (1, 1))] {
+        start.extend([
+            alu(AluOp::Sub, R6, R0, imm(di)),
+            alu(AluOp::Mul, R6, R6, imm(np)),
+            alu(AluOp::Add, R6, R6, reg(R1)),
+            alu(AluOp::Sub, R6, R6, imm(dj)),
+            alu(AluOp::Shl, R6, R6, imm(3)),
+            alu(AluOp::Add, R6, R6, reg(R8)),
+            movi(R7, tag),
+            ifetch(R6, R7, i_nbr),
+        ]);
+    }
+    cb.def_thread(t_start, 2, start);
+
+    // L1 distance, split into two half-range threads.
+    for (t, slot, range) in
+        [(t_dista, s_dlo, 0..h), (t_distb, s_dhi, h..dim)]
+    {
+        let mut dist = vec![movf(R0, 0.0)];
+        for k in range.clone() {
+            dist.extend([
+                ld(R1, SlotId(fbuf.0 + k as u16)),
+                ld(R2, SlotId(fbuf.0 + (dim + k) as u16)),
+                falu(FAluOp::FSub, R1, R1, R2),
+                falu(FAluOp::FAbs, R1, R1, R1),
+                falu(FAluOp::FAdd, R0, R0, R1),
+            ]);
+        }
+        dist.extend([st(slot, R0), fork(t_fin)]);
+        cb.def_thread(t, 2 * range.len() as u32, dist);
+    }
+
+    cb.def_thread(t_min, 3, vec![
+        ld(R0, SlotId(nbuf.0)),
+        ld(R1, SlotId(nbuf.0 + 1)),
+        ld(R2, SlotId(nbuf.0 + 2)),
+        falu(FAluOp::FMin, R0, R0, R1),
+        falu(FAluOp::FMin, R0, R0, R2),
+        st(s_min, R0),
+        fork(t_fin),
+    ]);
+    cb.def_thread(t_fin, 3, vec![
+        ld(R0, s_dlo),
+        ld(R1, s_dhi),
+        falu(FAluOp::FAdd, R0, R0, R1),
+        ld(R1, s_min),
+        falu(FAluOp::FAdd, R0, R0, R1),
+        ld(R2, s_i),
+        ld(R3, s_j),
+        alu(AluOp::Mul, R4, R2, imm(np)),
+        alu(AluOp::Add, R4, R4, reg(R3)),
+        alu(AluOp::Shl, R4, R4, imm(3)),
+        movarr(R5, a_d),
+        alu(AluOp::Add, R4, R4, reg(R5)),
+        istore(R4, R0),
+        movi(R6, 0),
+        ret(vec![R6]),
+    ]);
+    pb.define(cell, cb.finish());
+
+    // ---- main: spawn all n² cells, await them, read D[n][n] ----
+    let mut cb = CodeblockBuilder::new("main");
+    let s_si = cb.slot();
+    let s_sj = cb.slot();
+    let s_res = cb.slot();
+    let i_arg = cb.inlet();
+    let i_rep = cb.inlet();
+    let i_final = cb.inlet();
+    let t_spawn = cb.thread();
+    let t_row = cb.thread();
+    let t_final = cb.thread();
+    let t_ret = cb.thread();
+    cb.def_inlet(i_arg, vec![
+        movi(R0, 1),
+        st(s_si, R0),
+        st(s_sj, R0),
+        post(t_spawn),
+    ]);
+    // Every cell completion decrements the join count.
+    cb.def_inlet(i_rep, vec![post(t_final)]);
+    cb.def_inlet(i_final, vec![ldmsg(R0, 0), st(s_res, R0), post(t_ret)]);
+    cb.def_thread(t_spawn, 1, vec![
+        ld(R0, s_si),
+        ld(R1, s_sj),
+        call(cell, vec![R0, R1], i_rep),
+        alu(AluOp::Add, R1, R1, imm(1)),
+        st(s_sj, R1),
+        alu(AluOp::Le, R2, R1, imm(n as i64)),
+        fork_if_else(R2, t_spawn, t_row),
+    ]);
+    cb.def_thread(t_row, 1, vec![
+        ld(R0, s_si),
+        alu(AluOp::Add, R0, R0, imm(1)),
+        st(s_si, R0),
+        movi(R1, 1),
+        st(s_sj, R1),
+        alu(AluOp::Le, R2, R0, imm(n as i64)),
+        fork_if(R2, t_spawn),
+    ]);
+    cb.def_thread(t_final, (n * n) as u32, vec![
+        movarr(R0, a_d),
+        movi(R1, (n as i64) * np + n as i64),
+        alu(AluOp::Shl, R1, R1, imm(3)),
+        alu(AluOp::Add, R0, R0, reg(R1)),
+        movi(R2, 0),
+        ifetch(R0, R2, i_final),
+    ]);
+    cb.def_thread(t_ret, 1, vec![ld(R0, s_res), ret(vec![R0])]);
+    pb.define(main, cb.finish());
+
+    pb.main(main, vec![Value::Int(0)]);
+    pb.build()
+}
+
+/// Reference value: `D[n][n]` with the program's exact evaluation order.
+pub fn dtw_expected(n: usize, dim: usize) -> f64 {
+    let np = n + 1;
+    let h = dim / 2;
+    let mut d = vec![0.0f64; np * np];
+    for i in 1..=n {
+        for j in 1..=n {
+            // Two half-range partials, matching the program's combine
+            // order exactly.
+            let mut dlo = 0.0f64;
+            for k in 0..h {
+                dlo += (a_feat(dim, i - 1, k) - b_feat(dim, j - 1, k)).abs();
+            }
+            let mut dhi = 0.0f64;
+            for k in h..dim {
+                dhi += (a_feat(dim, i - 1, k) - b_feat(dim, j - 1, k)).abs();
+            }
+            let dist = dlo + dhi;
+            let m = d[(i - 1) * np + j]
+                .min(d[i * np + j - 1])
+                .min(d[(i - 1) * np + j - 1]);
+            d[i * np + j] = dist + m;
+        }
+    }
+    d[n * np + n]
+}

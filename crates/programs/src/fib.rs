@@ -1,0 +1,84 @@
+//! Recursive Fibonacci — the classic fine-grained TAM demo program.
+//!
+//! Not part of the paper's suite; used by examples and tests as the
+//! smallest call-intensive workload.
+
+use tamsim_tam::ids::regs::*;
+use tamsim_tam::ops::*;
+use tamsim_tam::{AluOp, CodeblockBuilder, Program, ProgramBuilder, Value};
+
+/// Build `fib(n)`: each activation of the `fib` codeblock either returns
+/// its argument (n < 2) or calls itself twice and sums the replies.
+pub fn fib(n: u32) -> Program {
+    let mut pb = ProgramBuilder::new("fib");
+    let main = pb.declare("main");
+    let f = pb.declare("fib");
+
+    // fib(n): inlet 0 receives n; replies accumulate via a
+    // synchronizing join thread.
+    let mut cb = CodeblockBuilder::new("fib");
+    let s_n = cb.slot();
+    let s_acc = cb.slot();
+    let i_arg = cb.inlet(); // inlet 0: the argument
+    let i_reply = cb.inlet();
+    let t_start = cb.thread();
+    let t_base = cb.thread();
+    let t_rec = cb.thread();
+    let t_join = cb.thread();
+    cb.def_inlet(i_arg, vec![ldmsg(R0, 0), st(s_n, R0), post(t_start)]);
+    // Reply inlet: acc += value, then synchronize on the join thread.
+    cb.def_inlet(
+        i_reply,
+        vec![
+            ldmsg(R0, 0),
+            ld(R1, s_acc),
+            alu(AluOp::Add, R1, R1, reg(R0)),
+            st(s_acc, R1),
+            post(t_join),
+        ],
+    );
+    cb.def_thread(t_start, 1, vec![
+        ld(R0, s_n),
+        alu(AluOp::Lt, R1, R0, imm(2)),
+        fork_if_else(R1, t_base, t_rec),
+    ]);
+    cb.def_thread(t_base, 1, vec![ld(R0, s_n), ret(vec![R0])]);
+    cb.def_thread(t_rec, 1, vec![
+        movi(R2, 0),
+        st(s_acc, R2),
+        ld(R0, s_n),
+        alu(AluOp::Sub, R1, R0, imm(1)),
+        call(f, vec![R1], i_reply),
+        alu(AluOp::Sub, R1, R0, imm(2)),
+        call(f, vec![R1], i_reply),
+    ]);
+    cb.def_thread(t_join, 2, vec![ld(R0, s_acc), ret(vec![R0])]);
+    pb.define(f, cb.finish());
+
+    // main(n): call fib(n), return the reply.
+    let mut cb = CodeblockBuilder::new("main");
+    let s_r = cb.slot();
+    let i_arg = cb.inlet();
+    let i_reply = cb.inlet();
+    let t_go = cb.thread();
+    let t_done = cb.thread();
+    cb.def_inlet(i_arg, vec![ldmsg(R0, 0), st(s_r, R0), post(t_go)]);
+    cb.def_inlet(i_reply, vec![ldmsg(R0, 0), st(s_r, R0), post(t_done)]);
+    cb.def_thread(t_go, 1, vec![ld(R0, s_r), call(f, vec![R0], i_reply)]);
+    cb.def_thread(t_done, 1, vec![ld(R0, s_r), ret(vec![R0])]);
+    pb.define(main, cb.finish());
+
+    pb.main(main, vec![Value::Int(n as i64)]);
+    pb.build()
+}
+
+/// Reference value.
+pub fn fib_expected(n: u32) -> i64 {
+    let (mut a, mut b) = (0i64, 1i64);
+    for _ in 0..n {
+        let t = a + b;
+        a = b;
+        b = t;
+    }
+    a
+}

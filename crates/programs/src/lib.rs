@@ -1,0 +1,62 @@
+//! The benchmark programs of Spertus & Dally (PPOPP 1995), hand-compiled
+//! to TAM: "matrix multiply (MMT) 50 … quicksort (QS) 100 … discrete time
+//! warp (DTW) 10 … paraffins 13 … wavefront 40 … and selection sort
+//! (SS) 100", plus auxiliary micro-programs used by examples and tests.
+//!
+//! Every builder returns an implementation-agnostic [`Program`]; each has
+//! a Rust reference mirror (`*_expected`) used to verify simulated
+//! results bit-for-bit (integers) or exactly (floats — the order of
+//! cross-activation float accumulation is fixed by construction so both
+//! back-ends agree).
+
+pub mod dtw;
+pub mod fib;
+pub mod mmt;
+pub mod paraffins;
+pub mod qs;
+pub mod ss;
+pub mod wavefront;
+
+pub use dtw::{dtw, dtw_expected};
+pub use fib::{fib, fib_expected};
+pub use mmt::{mmt, mmt_expected};
+pub use paraffins::{paraffins, paraffins_expected};
+pub use qs::{quicksort, quicksort_expected, quicksort_input};
+pub use ss::{ss, ss_expected};
+pub use wavefront::{wavefront, wavefront_expected};
+
+use tamsim_tam::Program;
+
+/// One benchmark at a chosen argument size.
+#[derive(Debug, Clone)]
+pub struct PaperBenchmark {
+    /// Paper name ("MMT", "QS", …).
+    pub name: &'static str,
+    /// The built program.
+    pub program: Program,
+}
+
+/// The paper's six-program suite at the paper's argument sizes, in
+/// Table 2 order (increasing threads-per-quantum).
+pub fn paper_suite() -> Vec<PaperBenchmark> {
+    vec![
+        PaperBenchmark { name: "MMT", program: mmt(50) },
+        PaperBenchmark { name: "QS", program: quicksort(100, 0xC0FFEE) },
+        PaperBenchmark { name: "DTW", program: dtw(10, 8) },
+        PaperBenchmark { name: "Paraffins", program: paraffins(13) },
+        PaperBenchmark { name: "Wavefront", program: wavefront(40, 3) },
+        PaperBenchmark { name: "SS", program: ss(100) },
+    ]
+}
+
+/// The same suite at reduced sizes for fast tests and examples.
+pub fn small_suite() -> Vec<PaperBenchmark> {
+    vec![
+        PaperBenchmark { name: "MMT", program: mmt(10) },
+        PaperBenchmark { name: "QS", program: quicksort(24, 0xC0FFEE) },
+        PaperBenchmark { name: "DTW", program: dtw(5, 4) },
+        PaperBenchmark { name: "Paraffins", program: paraffins(8) },
+        PaperBenchmark { name: "Wavefront", program: wavefront(8, 2) },
+        PaperBenchmark { name: "SS", program: ss(24) },
+    ]
+}

@@ -1,0 +1,275 @@
+//! Matrix multiply with total (MMT) — "multiplies two matrices of
+//! floating-point numbers and sums the elements of the product" (§3).
+//!
+//! One codeblock activation per product row; each element's dot product
+//! runs as a split-phase loop fetching five A and five B operands per
+//! batch (tags route replies into a frame buffer). MMT is the
+//! finest-grained program of the suite by threads-per-quantum and has the
+//! largest instructions-per-thread, as in Table 2.
+//! Row totals are parked in an I-structure array and summed sequentially,
+//! so the float result is identical under every implementation.
+
+use tamsim_tam::ids::regs::*;
+use tamsim_tam::ops::*;
+use tamsim_tam::{
+    AluOp, CodeblockBuilder, FAluOp, InitArray, Program, ProgramBuilder, SlotId, Value,
+};
+
+/// Dot-product unroll factor (fetches per batch = 2×UNROLL).
+const UNROLL: usize = 5;
+
+fn a_elem(n: usize, i: usize, j: usize) -> f64 {
+    (((i * n + j) % 7 + 1) as f64) * 0.5
+}
+
+fn b_elem(n: usize, i: usize, j: usize) -> f64 {
+    (((i * n + j) % 5 + 1) as f64) * 0.25
+}
+
+/// Number of interleaved column pipelines per row activation. One: in the
+/// AM implementation a second pipeline lets the active frame absorb its
+/// own fetch replies through the thread-top interrupt windows
+/// indefinitely, collapsing the whole row into a single quantum — the
+/// paper's MMT is instead the *finest*-grained program of the suite.
+const PIPES: usize = 1;
+
+/// Build MMT for `n×n` matrices (`n` must be a multiple of 5).
+pub fn mmt(n: usize) -> Program {
+    assert!(n.is_multiple_of(PIPES * UNROLL), "mmt size must be a multiple of {}", PIPES * UNROLL);
+    let ni = n as i64;
+    let mut pb = ProgramBuilder::new("mmt");
+    let a_a = pb.array(InitArray::present(
+        "A",
+        (0..n * n).map(|x| Value::Float(a_elem(n, x / n, x % n))),
+    ));
+    let a_b = pb.array(InitArray::present(
+        "B",
+        (0..n * n).map(|x| Value::Float(b_elem(n, x / n, x % n))),
+    ));
+    let a_part = pb.array(InitArray::empty("partials", n));
+    let main = pb.declare("main");
+    let row = pb.declare("row");
+
+    // ---- row(i): partial = Σ_j Σ_k A[i,k]·B[k,j], two column pipelines
+    let mut cb = CodeblockBuilder::new("row");
+    let s_i = cb.slot();
+    let i_arg = cb.inlet();
+    let t_init = cb.thread();
+    let t_fin = cb.thread();
+
+    // Per-pipeline state.
+    struct Pipe {
+        s_j: SlotId,
+        s_k: SlotId,
+        s_acc: SlotId,
+        s_row: SlotId,
+        buf: SlotId,
+        i_buf: tamsim_tam::InletId,
+        t_elem: tamsim_tam::ThreadId,
+        t_issue: tamsim_tam::ThreadId,
+        t_mac: tamsim_tam::ThreadId,
+        t_jnext: tamsim_tam::ThreadId,
+    }
+    let mut pipes = Vec::new();
+    for _ in 0..PIPES {
+        pipes.push(Pipe {
+            s_j: cb.slot(),
+            s_k: cb.slot(),
+            s_acc: cb.slot(),
+            s_row: cb.slot(),
+            buf: cb.slots(2 * UNROLL as u16),
+            i_buf: cb.inlet(),
+            t_elem: cb.thread(),
+            t_issue: cb.thread(),
+            t_mac: cb.thread(),
+            t_jnext: cb.thread(),
+        });
+    }
+
+    cb.def_inlet(i_arg, vec![ldmsg(R0, 0), st(s_i, R0), post(t_init)]);
+    let mut init = Vec::new();
+    for (p, pipe) in pipes.iter().enumerate() {
+        init.extend([
+            movi(R0, p as i64), // first column of this pipeline
+            st(pipe.s_j, R0),
+            movf(R1, 0.0),
+            st(pipe.s_row, R1),
+            fork(pipe.t_elem),
+        ]);
+    }
+    cb.def_thread(t_init, 1, init);
+
+    for pipe in &pipes {
+        cb.def_inlet(
+            pipe.i_buf,
+            vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(pipe.buf, R1, R0), post(pipe.t_mac)],
+        );
+        cb.def_thread(pipe.t_elem, 1, vec![
+            movf(R0, 0.0),
+            st(pipe.s_acc, R0),
+            movi(R1, 0),
+            st(pipe.s_k, R1),
+            fork(pipe.t_issue),
+        ]);
+        // Issue 2×UNROLL split-phase fetches: A[i, k+u] and B[k+u, j].
+        let mut issue = vec![
+            ld(R0, s_i),
+            ld(R1, pipe.s_j),
+            ld(R2, pipe.s_k),
+            movarr(R3, a_a),
+            movarr(R4, a_b),
+            alu(AluOp::Mul, R5, R0, imm(ni)),
+            alu(AluOp::Add, R5, R5, reg(R2)), // A index of the batch start
+        ];
+        for u in 0..UNROLL {
+            issue.extend([
+                alu(AluOp::Add, R6, R5, imm(u as i64)),
+                alu(AluOp::Shl, R6, R6, imm(3)),
+                alu(AluOp::Add, R6, R6, reg(R3)),
+                movi(R7, u as i64),
+                ifetch(R6, R7, pipe.i_buf),
+            ]);
+        }
+        for u in 0..UNROLL {
+            issue.extend([
+                // B index = (k+u)*n + j.
+                alu(AluOp::Add, R6, R2, imm(u as i64)),
+                alu(AluOp::Mul, R6, R6, imm(ni)),
+                alu(AluOp::Add, R6, R6, reg(R1)),
+                alu(AluOp::Shl, R6, R6, imm(3)),
+                alu(AluOp::Add, R6, R6, reg(R4)),
+                movi(R7, (UNROLL + u) as i64),
+                ifetch(R6, R7, pipe.i_buf),
+            ]);
+        }
+        cb.def_thread(pipe.t_issue, 1, issue);
+        // All ten operands arrived: multiply-accumulate the batch.
+        let mut mac = vec![reset_count(pipe.t_mac), ld(R0, pipe.s_acc)];
+        for u in 0..UNROLL {
+            mac.extend([
+                ld(R1, SlotId(pipe.buf.0 + u as u16)),
+                ld(R2, SlotId(pipe.buf.0 + (UNROLL + u) as u16)),
+                falu(FAluOp::FMul, R1, R1, R2),
+                falu(FAluOp::FAdd, R0, R0, R1),
+            ]);
+        }
+        mac.extend([
+            st(pipe.s_acc, R0),
+            ld(R3, pipe.s_k),
+            alu(AluOp::Add, R3, R3, imm(UNROLL as i64)),
+            st(pipe.s_k, R3),
+            alu(AluOp::Lt, R4, R3, imm(ni)),
+            fork_if_else(R4, pipe.t_issue, pipe.t_jnext),
+        ]);
+        cb.def_thread(pipe.t_mac, 2 * UNROLL as u32, mac);
+        cb.def_thread(pipe.t_jnext, 1, vec![
+            ld(R0, pipe.s_acc),
+            ld(R1, pipe.s_row),
+            falu(FAluOp::FAdd, R1, R1, R0),
+            st(pipe.s_row, R1),
+            ld(R2, pipe.s_j),
+            alu(AluOp::Add, R2, R2, imm(PIPES as i64)),
+            st(pipe.s_j, R2),
+            alu(AluOp::Lt, R3, R2, imm(ni)),
+            fork_if_else(R3, pipe.t_elem, t_fin),
+        ]);
+    }
+    // All pipelines done: combine their partials in pipeline order (the
+    // fixed combine order keeps the float result deterministic).
+    let mut fin = vec![ld(R0, pipes[0].s_row)];
+    for pipe in &pipes[1..] {
+        fin.extend([ld(R1, pipe.s_row), falu(FAluOp::FAdd, R0, R0, R1)]);
+    }
+    fin.extend([
+        movarr(R2, a_part),
+        ld(R3, s_i),
+        alu(AluOp::Shl, R3, R3, imm(3)),
+        alu(AluOp::Add, R2, R2, reg(R3)),
+        istore(R2, R0),
+        movi(R4, 0),
+        ret(vec![R4]),
+    ]);
+    cb.def_thread(t_fin, PIPES as u32, fin);
+    pb.define(row, cb.finish());
+
+    // ---- main: spawn rows, await all, sum the partials in order ----
+    let mut cb = CodeblockBuilder::new("main");
+    let s_si = cb.slot();
+    let s_sk = cb.slot();
+    let s_tot = cb.slot();
+    let s_v = cb.slot();
+    let i_arg = cb.inlet();
+    let i_rep = cb.inlet();
+    let i_sv = cb.inlet();
+    let t_spawn = cb.thread();
+    let t_sum_start = cb.thread();
+    let t_sfetch = cb.thread();
+    let t_sadd = cb.thread();
+    let t_ret = cb.thread();
+    cb.def_inlet(i_arg, vec![movi(R0, 0), st(s_si, R0), post(t_spawn)]);
+    // Every row completion decrements the join count.
+    cb.def_inlet(i_rep, vec![post(t_sum_start)]);
+    cb.def_inlet(i_sv, vec![ldmsg(R0, 0), st(s_v, R0), post(t_sadd)]);
+    cb.def_thread(t_spawn, 1, vec![
+        ld(R0, s_si),
+        call(row, vec![R0], i_rep),
+        alu(AluOp::Add, R0, R0, imm(1)),
+        st(s_si, R0),
+        alu(AluOp::Lt, R1, R0, imm(ni)),
+        fork_if(R1, t_spawn),
+    ]);
+    cb.def_thread(t_sum_start, n as u32, vec![
+        movi(R0, 0),
+        st(s_sk, R0),
+        movf(R1, 0.0),
+        st(s_tot, R1),
+        fork(t_sfetch),
+    ]);
+    cb.def_thread(t_sfetch, 1, vec![
+        movarr(R0, a_part),
+        ld(R1, s_sk),
+        alu(AluOp::Shl, R2, R1, imm(3)),
+        alu(AluOp::Add, R0, R0, reg(R2)),
+        movi(R3, 0),
+        ifetch(R0, R3, i_sv),
+    ]);
+    cb.def_thread(t_sadd, 1, vec![
+        ld(R0, s_v),
+        ld(R1, s_tot),
+        falu(FAluOp::FAdd, R1, R1, R0),
+        st(s_tot, R1),
+        ld(R2, s_sk),
+        alu(AluOp::Add, R2, R2, imm(1)),
+        st(s_sk, R2),
+        alu(AluOp::Lt, R3, R2, imm(ni)),
+        fork_if_else(R3, t_sfetch, t_ret),
+    ]);
+    cb.def_thread(t_ret, 1, vec![ld(R0, s_tot), ret(vec![R0])]);
+    pb.define(main, cb.finish());
+
+    pb.main(main, vec![Value::Int(0)]);
+    pb.build()
+}
+
+/// Reference value, replicating the program's exact accumulation order
+/// (per-row pipeline partials combined in pipeline order).
+#[allow(clippy::modulo_one)] // PIPES is a tunable constant, currently 1
+pub fn mmt_expected(n: usize) -> f64 {
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let mut rows = [0.0f64; PIPES];
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for k in 0..n {
+                acc += a_elem(n, i, k) * b_elem(n, k, j);
+            }
+            rows[j % PIPES] += acc;
+        }
+        let mut row = rows[0];
+        for r in &rows[1..] {
+            row += r;
+        }
+        total += row;
+    }
+    total
+}

@@ -1,0 +1,269 @@
+//! Quicksort (QS) — "sorts an array of random integers" (paper §3).
+//!
+//! A faithful fine-grained functional quicksort: each activation fetches
+//! its segment element-by-element through split-phase I-structure reads,
+//! partitions into freshly heap-allocated I-structure arrays, recurses on
+//! both halves concurrently, and places the pivot between them. The
+//! call-intensive structure gives the low threads-per-quantum the paper
+//! reports for QS.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tamsim_tam::ids::regs::*;
+use tamsim_tam::ops::*;
+use tamsim_tam::{AluOp, CodeblockBuilder, InitArray, Program, ProgramBuilder, Value};
+
+/// The pseudo-random input the benchmark sorts.
+pub fn quicksort_input(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..1000)).collect()
+}
+
+/// Build quicksort of `n` random integers. Returns the order-weighted
+/// checksum `Σ (k+1)·sorted[k]`.
+pub fn quicksort(n: usize, seed: u64) -> Program {
+    let input = quicksort_input(n, seed);
+    let mut pb = ProgramBuilder::new("qs");
+    let a_in = pb.array(InitArray::present(
+        "input",
+        input.iter().map(|&v| Value::Int(v)),
+    ));
+    let a_out = pb.array(InitArray::empty("output", n));
+    let main = pb.declare("main");
+    let qs = pb.declare("qs");
+
+    // ---- qs(src, len, out, out_off) ----
+    let mut cb = CodeblockBuilder::new("qs");
+    let s_src = cb.slot();
+    let s_len = cb.slot();
+    let s_out = cb.slot();
+    let s_ooff = cb.slot();
+    let s_piv = cb.slot();
+    let s_i = cb.slot();
+    let s_nl = cb.slot();
+    let s_ng = cb.slot();
+    let s_less = cb.slot();
+    let s_geq = cb.slot();
+    let s_v = cb.slot();
+
+    // Argument inlets 0..3.
+    let i_src = cb.inlet();
+    let i_len = cb.inlet();
+    let i_out = cb.inlet();
+    let i_ooff = cb.inlet();
+    let i_piv = cb.inlet();
+    let i_elem = cb.inlet();
+    let i_join = cb.inlet();
+    let i_single = cb.inlet();
+
+    let t_start = cb.thread();
+    let t_empty = cb.thread();
+    let t_chk1 = cb.thread();
+    let t_single_fetch = cb.thread();
+    let t_single = cb.thread();
+    let t_pivot_fetch = cb.thread();
+    let t_setup = cb.thread();
+    let t_loop = cb.thread();
+    let t_fetch = cb.thread();
+    let t_place = cb.thread();
+    let t_less = cb.thread();
+    let t_geq = cb.thread();
+    let t_next = cb.thread();
+    let t_recurse = cb.thread();
+    let t_join = cb.thread();
+
+    cb.def_inlet(i_src, vec![ldmsg(R0, 0), st(s_src, R0), post(t_start)]);
+    cb.def_inlet(i_len, vec![ldmsg(R0, 0), st(s_len, R0), post(t_start)]);
+    cb.def_inlet(i_out, vec![ldmsg(R0, 0), st(s_out, R0), post(t_start)]);
+    cb.def_inlet(i_ooff, vec![ldmsg(R0, 0), st(s_ooff, R0), post(t_start)]);
+    cb.def_inlet(i_piv, vec![ldmsg(R0, 0), st(s_piv, R0), post(t_setup)]);
+    cb.def_inlet(i_elem, vec![ldmsg(R0, 0), st(s_v, R0), post(t_place)]);
+    cb.def_inlet(i_join, vec![post(t_join)]);
+    cb.def_inlet(i_single, vec![ldmsg(R0, 0), st(s_v, R0), post(t_single)]);
+
+    // All four arguments present: dispatch on the segment length.
+    cb.def_thread(t_start, 4, vec![
+        ld(R0, s_len),
+        alu(AluOp::Eq, R1, R0, imm(0)),
+        fork_if_else(R1, t_empty, t_chk1),
+    ]);
+    cb.def_thread(t_empty, 1, vec![movi(R0, 0), ret(vec![R0])]);
+    cb.def_thread(t_chk1, 1, vec![
+        ld(R0, s_len),
+        alu(AluOp::Eq, R1, R0, imm(1)),
+        fork_if_else(R1, t_single_fetch, t_pivot_fetch),
+    ]);
+    // len == 1: copy the one element through.
+    cb.def_thread(t_single_fetch, 1, vec![
+        ld(R0, s_src),
+        movi(R1, 0),
+        ifetch(R0, R1, i_single),
+    ]);
+    cb.def_thread(t_single, 1, vec![
+        ld(R0, s_v),
+        ld(R1, s_out),
+        ld(R2, s_ooff),
+        alu(AluOp::Shl, R2, R2, imm(3)),
+        alu(AluOp::Add, R1, R1, reg(R2)),
+        istore(R1, R0),
+        movi(R0, 0),
+        ret(vec![R0]),
+    ]);
+    // len >= 2: fetch the pivot (element 0).
+    cb.def_thread(t_pivot_fetch, 1, vec![
+        ld(R0, s_src),
+        movi(R1, 0),
+        ifetch(R0, R1, i_piv),
+    ]);
+    // Allocate the partition arrays and start the scan at element 1.
+    cb.def_thread(t_setup, 1, vec![
+        ld(R0, s_len),
+        alu(AluOp::Sub, R0, R0, imm(1)),
+        alu(AluOp::Shl, R1, R0, imm(1)), // (len-1) cells × 2 words
+        halloc(R2, reg(R1)),
+        st(s_less, R2),
+        halloc(R3, reg(R1)),
+        st(s_geq, R3),
+        movi(R4, 1),
+        st(s_i, R4),
+        movi(R4, 0),
+        st(s_nl, R4),
+        st(s_ng, R4),
+        fork(t_loop),
+    ]);
+    cb.def_thread(t_loop, 1, vec![
+        ld(R0, s_i),
+        ld(R1, s_len),
+        alu(AluOp::Lt, R2, R0, reg(R1)),
+        fork_if_else(R2, t_fetch, t_recurse),
+    ]);
+    cb.def_thread(t_fetch, 1, vec![
+        ld(R0, s_src),
+        ld(R1, s_i),
+        alu(AluOp::Shl, R1, R1, imm(3)),
+        alu(AluOp::Add, R0, R0, reg(R1)),
+        movi(R2, 0),
+        ifetch(R0, R2, i_elem),
+    ]);
+    cb.def_thread(t_place, 1, vec![
+        ld(R0, s_v),
+        ld(R1, s_piv),
+        alu(AluOp::Lt, R2, R0, reg(R1)),
+        fork_if_else(R2, t_less, t_geq),
+    ]);
+    cb.def_thread(t_less, 1, vec![
+        ld(R0, s_v),
+        ld(R1, s_less),
+        ld(R2, s_nl),
+        alu(AluOp::Shl, R3, R2, imm(3)),
+        alu(AluOp::Add, R1, R1, reg(R3)),
+        istore(R1, R0),
+        alu(AluOp::Add, R2, R2, imm(1)),
+        st(s_nl, R2),
+        fork(t_next),
+    ]);
+    cb.def_thread(t_geq, 1, vec![
+        ld(R0, s_v),
+        ld(R1, s_geq),
+        ld(R2, s_ng),
+        alu(AluOp::Shl, R3, R2, imm(3)),
+        alu(AluOp::Add, R1, R1, reg(R3)),
+        istore(R1, R0),
+        alu(AluOp::Add, R2, R2, imm(1)),
+        st(s_ng, R2),
+        fork(t_next),
+    ]);
+    cb.def_thread(t_next, 1, vec![
+        ld(R0, s_i),
+        alu(AluOp::Add, R0, R0, imm(1)),
+        st(s_i, R0),
+        fork(t_loop),
+    ]);
+    // Place the pivot, recurse on both halves.
+    cb.def_thread(t_recurse, 1, vec![
+        // out[out_off + nless] = pivot.
+        ld(R0, s_out),
+        ld(R1, s_ooff),
+        ld(R2, s_nl),
+        alu(AluOp::Add, R3, R1, reg(R2)),
+        alu(AluOp::Shl, R4, R3, imm(3)),
+        alu(AluOp::Add, R4, R0, reg(R4)),
+        ld(R5, s_piv),
+        istore(R4, R5),
+        // qs(less, nless, out, out_off).
+        ld(R6, s_less),
+        call(qs, vec![R6, R2, R0, R1], i_join),
+        // qs(geq, ngeq, out, out_off + nless + 1).
+        ld(R6, s_geq),
+        ld(R7, s_ng),
+        alu(AluOp::Add, R8, R3, imm(1)),
+        call(qs, vec![R6, R7, R0, R8], i_join),
+    ]);
+    cb.def_thread(t_join, 2, vec![movi(R0, 0), ret(vec![R0])]);
+    pb.define(qs, cb.finish());
+
+    // ---- main: sort, then checksum the output sequentially ----
+    let mut cb = CodeblockBuilder::new("main");
+    let s_k = cb.slot();
+    let s_sum = cb.slot();
+    let s_cv = cb.slot();
+    let i_arg = cb.inlet();
+    let i_rep = cb.inlet();
+    let i_ck = cb.inlet();
+    let t_go = cb.thread();
+    let t_ck_start = cb.thread();
+    let t_ck_fetch = cb.thread();
+    let t_ck_add = cb.thread();
+    let t_ret = cb.thread();
+    cb.def_inlet(i_arg, vec![post(t_go)]);
+    cb.def_inlet(i_rep, vec![post(t_ck_start)]);
+    cb.def_inlet(i_ck, vec![ldmsg(R0, 0), st(s_cv, R0), post(t_ck_add)]);
+    cb.def_thread(t_go, 1, vec![
+        movarr(R0, a_in),
+        movi(R1, n as i64),
+        movarr(R2, a_out),
+        movi(R3, 0),
+        call(qs, vec![R0, R1, R2, R3], i_rep),
+    ]);
+    cb.def_thread(t_ck_start, 1, vec![
+        movi(R0, 0),
+        st(s_k, R0),
+        st(s_sum, R0),
+        fork(t_ck_fetch),
+    ]);
+    cb.def_thread(t_ck_fetch, 1, vec![
+        movarr(R0, a_out),
+        ld(R1, s_k),
+        alu(AluOp::Shl, R2, R1, imm(3)),
+        alu(AluOp::Add, R0, R0, reg(R2)),
+        movi(R3, 0),
+        ifetch(R0, R3, i_ck),
+    ]);
+    cb.def_thread(t_ck_add, 1, vec![
+        ld(R0, s_cv),
+        ld(R1, s_k),
+        alu(AluOp::Add, R2, R1, imm(1)),
+        alu(AluOp::Mul, R0, R0, reg(R2)),
+        ld(R3, s_sum),
+        alu(AluOp::Add, R3, R3, reg(R0)),
+        st(s_sum, R3),
+        st(s_k, R2),
+        alu(AluOp::Lt, R4, R2, imm(n as i64)),
+        fork_if_else(R4, t_ck_fetch, t_ret),
+    ]);
+    cb.def_thread(t_ret, 1, vec![ld(R0, s_sum), ret(vec![R0])]);
+    pb.define(main, cb.finish());
+
+    pb.main(main, vec![Value::Int(0)]);
+    pb.build()
+}
+
+/// Reference checksum of the sorted input.
+pub fn quicksort_expected(n: usize, seed: u64) -> i64 {
+    let mut v = quicksort_input(n, seed);
+    v.sort_unstable();
+    v.iter()
+        .enumerate()
+        .map(|(k, &x)| (k as i64 + 1) * x)
+        .sum()
+}

@@ -1,0 +1,152 @@
+//! Selection sort (SS) — "sorts an array of integers that are originally
+//! in reverse order" (paper §3).
+//!
+//! The array lives entirely in frame memory and the whole sort runs as
+//! self-forking threads inside a single activation, giving the enormous
+//! quanta and "high locality for frame memory" the paper reports for this
+//! program ("it makes only 3 procedure calls in its entire execution").
+
+use tamsim_tam::ids::regs::*;
+use tamsim_tam::ops::*;
+use tamsim_tam::{AluOp, CodeblockBuilder, Program, ProgramBuilder, Value};
+
+/// Build selection sort of `n` integers initialized to `n, n-1, …, 1`.
+/// Returns the order-weighted checksum `Σ (i+1)·a[i]` of the sorted array.
+pub fn ss(n: u32) -> Program {
+    let n = n as i64;
+    let mut pb = ProgramBuilder::new("ss");
+    let main = pb.declare("main");
+    let sorter = pb.declare("sorter");
+
+    // ---- sorter(n) ----
+    let mut cb = CodeblockBuilder::new("sorter");
+    let s_oi = cb.slot(); // outer index (also init index)
+    let s_ij = cb.slot(); // inner index
+    let s_mn = cb.slot(); // current minimum value
+    let s_mi = cb.slot(); // current minimum index
+    let s_sum = cb.slot(); // checksum accumulator
+    let s_k = cb.slot(); // checksum index
+    let arr = cb.slots(n as u16); // the in-frame array
+
+    let i_arg = cb.inlet();
+    let t_init = cb.thread();
+    let t_outer = cb.thread();
+    let t_inner = cb.thread();
+    let t_upd = cb.thread();
+    let t_adv = cb.thread();
+    let t_place = cb.thread();
+    let t_sum_start = cb.thread();
+    let t_sum = cb.thread();
+    let t_ret = cb.thread();
+
+    // Argument arrives; start filling the array in reverse order.
+    cb.def_inlet(i_arg, vec![movi(R0, 0), st(s_oi, R0), post(t_init)]);
+    // a[i] = n - i for i in 0..n.
+    cb.def_thread(t_init, 1, vec![
+        ld(R0, s_oi),
+        movi(R1, n),
+        alu(AluOp::Sub, R1, R1, reg(R0)),
+        stx(arr, R0, R1),
+        alu(AluOp::Add, R0, R0, imm(1)),
+        st(s_oi, R0),
+        alu(AluOp::Lt, R2, R0, imm(n)),
+        fork_if_else(R2, t_init, t_outer),
+    ]);
+    // Outer loop entry: min = a[oi], scan from oi+1. (t_init leaves
+    // s_oi == n; reset it on first entry via the sentinel below.)
+    cb.def_thread(t_outer, 1, vec![
+        ld(R0, s_oi),
+        // First entry comes from t_init with oi == n: wrap to 0.
+        alu(AluOp::Eq, R1, R0, imm(n)),
+        movi(R2, 1),
+        alu(AluOp::Sub, R2, R2, reg(R1)), // R2 = 0 if wrapping, 1 otherwise
+        alu(AluOp::Mul, R0, R0, reg(R2)), // oi = 0 on wrap
+        st(s_oi, R0),
+        ldx(R3, arr, R0),
+        st(s_mn, R3),
+        st(s_mi, R0),
+        alu(AluOp::Add, R4, R0, imm(1)),
+        st(s_ij, R4),
+        alu(AluOp::Lt, R5, R4, imm(n)),
+        fork_if_else(R5, t_inner, t_place),
+    ]);
+    // Inner scan: is a[j] a new minimum?
+    cb.def_thread(t_inner, 1, vec![
+        ld(R0, s_ij),
+        ldx(R1, arr, R0),
+        ld(R2, s_mn),
+        alu(AluOp::Lt, R3, R1, reg(R2)),
+        fork_if_else(R3, t_upd, t_adv),
+    ]);
+    cb.def_thread(t_upd, 1, vec![
+        ld(R0, s_ij),
+        ldx(R1, arr, R0),
+        st(s_mn, R1),
+        st(s_mi, R0),
+        fork(t_adv),
+    ]);
+    cb.def_thread(t_adv, 1, vec![
+        ld(R0, s_ij),
+        alu(AluOp::Add, R0, R0, imm(1)),
+        st(s_ij, R0),
+        alu(AluOp::Lt, R1, R0, imm(n)),
+        fork_if_else(R1, t_inner, t_place),
+    ]);
+    // Swap a[oi] ↔ a[mi], advance the outer loop.
+    cb.def_thread(t_place, 1, vec![
+        ld(R0, s_oi),
+        ld(R1, s_mi),
+        ldx(R2, arr, R0),
+        ldx(R3, arr, R1),
+        stx(arr, R0, R3),
+        stx(arr, R1, R2),
+        alu(AluOp::Add, R0, R0, imm(1)),
+        st(s_oi, R0),
+        alu(AluOp::Lt, R4, R0, imm(n - 1)),
+        fork_if_else(R4, t_outer, t_sum_start),
+    ]);
+    // Checksum pass: Σ (k+1)·a[k].
+    cb.def_thread(t_sum_start, 1, vec![
+        movi(R0, 0),
+        st(s_k, R0),
+        st(s_sum, R0),
+        fork(t_sum),
+    ]);
+    cb.def_thread(t_sum, 1, vec![
+        ld(R0, s_k),
+        ldx(R1, arr, R0),
+        alu(AluOp::Add, R2, R0, imm(1)),
+        alu(AluOp::Mul, R1, R1, reg(R2)),
+        ld(R3, s_sum),
+        alu(AluOp::Add, R3, R3, reg(R1)),
+        st(s_sum, R3),
+        st(s_k, R2),
+        alu(AluOp::Lt, R4, R2, imm(n)),
+        fork_if_else(R4, t_sum, t_ret),
+    ]);
+    cb.def_thread(t_ret, 1, vec![ld(R0, s_sum), ret(vec![R0])]);
+    pb.define(sorter, cb.finish());
+
+    // ---- main ----
+    let mut cb = CodeblockBuilder::new("main");
+    let s_r = cb.slot();
+    let i_arg = cb.inlet();
+    let i_reply = cb.inlet();
+    let t_go = cb.thread();
+    let t_done = cb.thread();
+    cb.def_inlet(i_arg, vec![post(t_go)]);
+    cb.def_inlet(i_reply, vec![ldmsg(R0, 0), st(s_r, R0), post(t_done)]);
+    cb.def_thread(t_go, 1, vec![movi(R0, n), call(sorter, vec![R0], i_reply)]);
+    cb.def_thread(t_done, 1, vec![ld(R0, s_r), ret(vec![R0])]);
+    pb.define(main, cb.finish());
+
+    pb.main(main, vec![Value::Int(0)]);
+    pb.build()
+}
+
+/// Reference checksum: the sorted array is `1..=n`, so the checksum is
+/// `Σ i²`.
+pub fn ss_expected(n: u32) -> i64 {
+    let n = n as i64;
+    n * (n + 1) * (2 * n + 1) / 6
+}

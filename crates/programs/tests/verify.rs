@@ -1,0 +1,144 @@
+//! Verify every benchmark program computes its reference result under
+//! all three runtime implementations ("while both implementations yield
+//! the same results, their dynamic behaviors differ").
+
+use tamsim_core::{Experiment, Implementation};
+use tamsim_programs as programs;
+
+const ALL_IMPLS: [Implementation; 3] =
+    [Implementation::Am, Implementation::AmEnabled, Implementation::Md];
+
+#[test]
+fn fib_is_correct_everywhere() {
+    let p = programs::fib(10);
+    for impl_ in ALL_IMPLS {
+        let out = Experiment::new(impl_).run(&p);
+        assert_eq!(out.result[0].as_i64(), programs::fib_expected(10), "{impl_:?}");
+    }
+}
+
+#[test]
+fn ss_is_correct_everywhere() {
+    let p = programs::ss(24);
+    for impl_ in ALL_IMPLS {
+        let out = Experiment::new(impl_).run(&p);
+        assert_eq!(out.result[0].as_i64(), programs::ss_expected(24), "{impl_:?}");
+    }
+}
+
+#[test]
+fn ss_has_giant_quanta() {
+    let p = programs::ss(24);
+    let out = Experiment::new(Implementation::Md).run(&p);
+    // The whole sort runs as a few enormous quanta.
+    assert!(out.granularity.tpq() > 50.0, "tpq = {}", out.granularity.tpq());
+}
+
+#[test]
+fn quicksort_is_correct_everywhere() {
+    let p = programs::quicksort(24, 7);
+    let want = programs::quicksort_expected(24, 7);
+    for impl_ in ALL_IMPLS {
+        let out = Experiment::new(impl_).run(&p);
+        assert_eq!(out.result[0].as_i64(), want, "{impl_:?}");
+        // The output array is fully present and sorted.
+        let sorted: Vec<i64> =
+            out.arrays[1].iter().map(|c| c.expect("cell empty").as_i64()).collect();
+        let mut reference = programs::quicksort_input(24, 7);
+        reference.sort_unstable();
+        assert_eq!(sorted, reference, "{impl_:?}");
+    }
+}
+
+#[test]
+fn quicksort_handles_duplicates_and_tiny_inputs() {
+    for n in [1usize, 2, 3, 5] {
+        let p = programs::quicksort(n, 123);
+        let want = programs::quicksort_expected(n, 123);
+        let out = Experiment::new(Implementation::Md).run(&p);
+        assert_eq!(out.result[0].as_i64(), want, "n={n}");
+    }
+}
+
+#[test]
+fn mmt_is_correct_everywhere() {
+    let p = programs::mmt(10);
+    let want = programs::mmt_expected(10);
+    for impl_ in ALL_IMPLS {
+        let out = Experiment::new(impl_).run(&p);
+        assert_eq!(out.result[0].as_f64(), want, "{impl_:?} (exact: order is fixed)");
+    }
+}
+
+#[test]
+fn wavefront_is_correct_everywhere() {
+    let p = programs::wavefront(8, 2);
+    let want = programs::wavefront_expected(8, 2);
+    for impl_ in ALL_IMPLS {
+        let out = Experiment::new(impl_).run(&p);
+        assert_eq!(out.result[0].as_f64(), want, "{impl_:?}");
+    }
+}
+
+#[test]
+fn dtw_is_correct_everywhere() {
+    let p = programs::dtw(5, 4);
+    let want = programs::dtw_expected(5, 4);
+    for impl_ in ALL_IMPLS {
+        let out = Experiment::new(impl_).run(&p);
+        assert_eq!(out.result[0].as_f64(), want, "{impl_:?}");
+    }
+}
+
+#[test]
+fn paraffins_is_correct_everywhere() {
+    let p = programs::paraffins(8);
+    let (total, last) = programs::paraffins_expected(8);
+    for impl_ in ALL_IMPLS {
+        let out = Experiment::new(impl_).run(&p);
+        assert_eq!(out.result[0].as_i64(), total, "{impl_:?}");
+        assert_eq!(out.result[1].as_i64(), last, "{impl_:?}");
+    }
+}
+
+#[test]
+fn paraffins_counts_visible_in_istructure_array() {
+    let p = programs::paraffins(8);
+    let out = Experiment::new(Implementation::Am).run(&p);
+    let counts = programs::paraffins::paraffin_counts(8);
+    for (m, want) in (1..=8).zip(counts) {
+        assert_eq!(out.arrays[1][m].map(|w| w.as_i64()), Some(want), "p[{m}]");
+    }
+}
+
+#[test]
+fn md_beats_am_on_instruction_count_for_every_program() {
+    for bench in programs::small_suite() {
+        let md = Experiment::new(Implementation::Md).run(&bench.program);
+        let am = Experiment::new(Implementation::Am).run(&bench.program);
+        assert!(
+            md.instructions < am.instructions,
+            "{}: MD {} !< AM {}",
+            bench.name,
+            md.instructions,
+            am.instructions
+        );
+    }
+}
+
+#[test]
+fn am_quanta_are_at_least_as_large_as_md_quanta() {
+    // Table 2: "the AM implementation has higher numbers of instructions
+    // and threads per quantum, almost without exception".
+    let mut am_wins = 0;
+    let mut total = 0;
+    for bench in programs::small_suite() {
+        let md = Experiment::new(Implementation::Md).run(&bench.program);
+        let am = Experiment::new(Implementation::Am).run(&bench.program);
+        total += 1;
+        if am.granularity.tpq() >= md.granularity.tpq() * 0.99 {
+            am_wins += 1;
+        }
+    }
+    assert!(am_wins >= total - 1, "AM TPQ >= MD TPQ for {am_wins}/{total} programs");
+}

@@ -1,0 +1,413 @@
+//! Static validation and the per-codeblock facts the runtime lowerings use
+//! for the Section 2.3 optimizations.
+
+use crate::ids::{CodeblockId, InletId, SlotId, ThreadId, VReg};
+use crate::op::{TOp, TOperand};
+use crate::program::{Codeblock, Program};
+
+/// A structural error found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A fork/post/reset referenced a nonexistent thread.
+    BadThread { cb: String, t: ThreadId },
+    /// A reply/send referenced a nonexistent inlet.
+    BadInlet { cb: String, i: InletId },
+    /// A call referenced a nonexistent codeblock.
+    BadCodeblock { cb: String, target: CodeblockId },
+    /// A static slot reference was out of range.
+    BadSlot { cb: String, slot: SlotId },
+    /// A virtual register beyond [`VReg::LIMIT`].
+    BadVReg { cb: String, r: VReg },
+    /// An inlet-only op appeared in a thread (or vice versa).
+    WrongContext { cb: String, what: &'static str },
+    /// `Return` was not the final op of its thread.
+    ReturnNotLast { cb: String, t: ThreadId },
+    /// An entry count of zero.
+    ZeroEntryCount { cb: String, t: ThreadId },
+    /// A `Call` passed more arguments than the callee has argument inlets.
+    ArityMismatch { cb: String, target: CodeblockId, args: usize, inlets: usize },
+    /// The program's `main` id is out of range.
+    BadMain,
+    /// A `Value::ArrayBase` referenced a nonexistent array.
+    BadArray { cb: String, idx: usize },
+    /// A message-payload index beyond the supported arity.
+    BadMsgIndex { cb: String, idx: u8 },
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Maximum message payload words addressable by `LdMsg`.
+pub const MAX_MSG_PAYLOAD: u8 = 12;
+
+fn check_vreg(cb: &str, r: VReg) -> Result<(), ValidateError> {
+    if r.0 < VReg::LIMIT {
+        Ok(())
+    } else {
+        Err(ValidateError::BadVReg { cb: cb.into(), r })
+    }
+}
+
+fn check_op_regs(cb: &str, op: &TOp) -> Result<(), ValidateError> {
+    let mut regs: Vec<VReg> = Vec::new();
+    match op {
+        TOp::MovI { d, .. } => regs.push(*d),
+        TOp::Mov { d, s } => regs.extend([*d, *s]),
+        TOp::Alu { d, a, b, .. } => {
+            regs.extend([*d, *a]);
+            if let TOperand::Reg(r) = b {
+                regs.push(*r);
+            }
+        }
+        TOp::FAlu { d, a, b, .. } => regs.extend([*d, *a, *b]),
+        TOp::LdSlot { d, .. } | TOp::LdMsg { d, .. } => regs.push(*d),
+        TOp::StSlot { s, .. } => regs.push(*s),
+        TOp::LdSlotIdx { d, idx, .. } => regs.extend([*d, *idx]),
+        TOp::StSlotIdx { idx, s, .. } => regs.extend([*idx, *s]),
+        TOp::ForkIf { c, .. } | TOp::ForkIfElse { c, .. } | TOp::PostIf { c, .. } => regs.push(*c),
+        TOp::Call { args, .. } => regs.extend(args.iter().copied()),
+        TOp::Return { vals } => regs.extend(vals.iter().copied()),
+        TOp::SendToInlet { frame, vals, .. } => {
+            regs.push(*frame);
+            regs.extend(vals.iter().copied());
+        }
+        TOp::HAlloc { d, words } => {
+            regs.push(*d);
+            if let TOperand::Reg(r) = words {
+                regs.push(*r);
+            }
+        }
+        TOp::IFetch { addr, tag, .. } => regs.extend([*addr, *tag]),
+        TOp::IStore { addr, val } => regs.extend([*addr, *val]),
+        TOp::MyFrame { d } => regs.push(*d),
+        TOp::Fork { .. } | TOp::Post { .. } | TOp::ResetCount { .. } | TOp::Halt => {}
+    }
+    for r in regs {
+        check_vreg(cb, r)?;
+    }
+    Ok(())
+}
+
+fn check_common(
+    program: &Program,
+    cb: &Codeblock,
+    op: &TOp,
+) -> Result<(), ValidateError> {
+    let name = cb.name.as_str();
+    check_op_regs(name, op)?;
+    for t in op.targets() {
+        if t.0 as usize >= cb.threads.len() {
+            return Err(ValidateError::BadThread { cb: name.into(), t });
+        }
+    }
+    match op {
+        TOp::LdSlot { slot, .. }
+        | TOp::StSlot { slot, .. }
+        | TOp::LdSlotIdx { base: slot, .. }
+        | TOp::StSlotIdx { base: slot, .. }
+            if slot.0 >= cb.n_slots => {
+                return Err(ValidateError::BadSlot { cb: name.into(), slot: *slot });
+            }
+        TOp::LdMsg { idx, .. }
+            if *idx >= MAX_MSG_PAYLOAD => {
+                return Err(ValidateError::BadMsgIndex { cb: name.into(), idx: *idx });
+            }
+        TOp::MovI { v: crate::op::Value::ArrayBase(i), .. }
+            if *i >= program.arrays.len() => {
+                return Err(ValidateError::BadArray { cb: name.into(), idx: *i });
+            }
+        TOp::Call { cb: target, args, reply } => {
+            let Some(callee) = program.codeblocks.get(target.0 as usize) else {
+                return Err(ValidateError::BadCodeblock { cb: name.into(), target: *target });
+            };
+            if args.len() > callee.inlets.len() {
+                return Err(ValidateError::ArityMismatch {
+                    cb: name.into(),
+                    target: *target,
+                    args: args.len(),
+                    inlets: callee.inlets.len(),
+                });
+            }
+            if reply.0 as usize >= cb.inlets.len() {
+                return Err(ValidateError::BadInlet { cb: name.into(), i: *reply });
+            }
+        }
+        TOp::SendToInlet { cb: target, inlet, .. } => {
+            let Some(callee) = program.codeblocks.get(target.0 as usize) else {
+                return Err(ValidateError::BadCodeblock { cb: name.into(), target: *target });
+            };
+            if inlet.0 as usize >= callee.inlets.len() {
+                return Err(ValidateError::BadInlet { cb: name.into(), i: *inlet });
+            }
+        }
+        TOp::IFetch { reply, .. }
+            if reply.0 as usize >= cb.inlets.len() => {
+                return Err(ValidateError::BadInlet { cb: name.into(), i: *reply });
+            }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Validate a program's structural invariants.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    if program.main.0 as usize >= program.codeblocks.len() {
+        return Err(ValidateError::BadMain);
+    }
+    for cb in &program.codeblocks {
+        let name = cb.name.as_str();
+        for (ti, thread) in cb.threads.iter().enumerate() {
+            if thread.entry_count == 0 {
+                return Err(ValidateError::ZeroEntryCount {
+                    cb: name.into(),
+                    t: ThreadId(ti as u16),
+                });
+            }
+            for (oi, op) in thread.ops.iter().enumerate() {
+                if op.inlet_only() {
+                    return Err(ValidateError::WrongContext {
+                        cb: name.into(),
+                        what: "inlet-only op in thread",
+                    });
+                }
+                if matches!(op, TOp::Return { .. }) && oi + 1 != thread.ops.len() {
+                    return Err(ValidateError::ReturnNotLast {
+                        cb: name.into(),
+                        t: ThreadId(ti as u16),
+                    });
+                }
+                check_common(program, cb, op)?;
+            }
+        }
+        for inlet in &cb.inlets {
+            for op in &inlet.ops {
+                if op.thread_only() {
+                    return Err(ValidateError::WrongContext {
+                        cb: name.into(),
+                        what: "thread-only op in inlet",
+                    });
+                }
+                check_common(program, cb, op)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Facts about one codeblock used by the lowering optimizations (§2.3).
+#[derive(Debug, Clone)]
+pub struct CbAnalysis {
+    /// For each thread, the inlets that post it (with multiplicity).
+    pub posted_by: Vec<Vec<InletId>>,
+    /// For each thread, how many fork sites (in threads) target it.
+    pub fork_sites: Vec<u32>,
+    /// For each user slot, how many ops read it (dynamic-indexed reads
+    /// poison every slot at or above their base).
+    pub slot_reads: Vec<u32>,
+    /// For each user slot, how many ops write it.
+    pub slot_writes: Vec<u32>,
+    /// Whether the codeblock uses dynamically-indexed slot access.
+    pub has_dynamic_slots: bool,
+}
+
+impl CbAnalysis {
+    /// Compute the analysis for `cb`.
+    pub fn of(cb: &Codeblock) -> Self {
+        let nt = cb.threads.len();
+        let ns = cb.n_slots as usize;
+        let mut a = CbAnalysis {
+            posted_by: vec![Vec::new(); nt],
+            fork_sites: vec![0; nt],
+            slot_reads: vec![0; ns],
+            slot_writes: vec![0; ns],
+            has_dynamic_slots: false,
+        };
+        let scan = |op: &TOp, from_inlet: Option<InletId>, a: &mut CbAnalysis| match op {
+            TOp::Post { t } => a.posted_by[t.0 as usize].push(from_inlet.unwrap()),
+            // Conditional posts disqualify fall-through specialization:
+            // record them twice so `sole_poster` never matches.
+            TOp::PostIf { t, .. } => {
+                a.posted_by[t.0 as usize].push(from_inlet.unwrap());
+                a.posted_by[t.0 as usize].push(from_inlet.unwrap());
+            }
+            TOp::Fork { t } | TOp::ForkIf { t, .. } => a.fork_sites[t.0 as usize] += 1,
+            TOp::ForkIfElse { t, f, .. } => {
+                a.fork_sites[t.0 as usize] += 1;
+                a.fork_sites[f.0 as usize] += 1;
+            }
+            TOp::LdSlot { slot, .. } => a.slot_reads[slot.0 as usize] += 1,
+            TOp::StSlot { slot, .. } => a.slot_writes[slot.0 as usize] += 1,
+            TOp::LdSlotIdx { base, .. } => {
+                a.has_dynamic_slots = true;
+                for s in (base.0 as usize)..ns {
+                    a.slot_reads[s] += 1;
+                }
+            }
+            TOp::StSlotIdx { base, .. } => {
+                a.has_dynamic_slots = true;
+                for s in (base.0 as usize)..ns {
+                    a.slot_writes[s] += 1;
+                }
+            }
+            _ => {}
+        };
+        for thread in &cb.threads {
+            for op in &thread.ops {
+                scan(op, None, &mut a);
+            }
+        }
+        for (ii, inlet) in cb.inlets.iter().enumerate() {
+            for op in &inlet.ops {
+                scan(op, Some(InletId(ii as u16)), &mut a);
+            }
+        }
+        a
+    }
+
+    /// Whether thread `t` is enabled from exactly one inlet post site and
+    /// no fork sites — the precondition for the MD inline-specialization
+    /// of Section 2.3 ("if thread 1 is non-synchronizing and if only inlet
+    /// 0 posts or forks thread 1 …").
+    pub fn sole_poster(&self, t: ThreadId) -> Option<InletId> {
+        let posts = &self.posted_by[t.0 as usize];
+        if posts.len() == 1 && self.fork_sites[t.0 as usize] == 0 {
+            Some(posts[0])
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::regs::*;
+    use crate::op::ops::*;
+    use crate::program::{Inlet, Thread};
+
+    fn cb_with(threads: Vec<Thread>, inlets: Vec<Inlet>, n_slots: u16) -> Codeblock {
+        Codeblock { name: "test".into(), n_slots, threads, inlets }
+    }
+
+    fn prog(cb: Codeblock) -> Program {
+        Program {
+            name: "p".into(),
+            codeblocks: vec![cb],
+            main: CodeblockId(0),
+            main_args: vec![],
+            arrays: vec![],
+        }
+    }
+
+    #[test]
+    fn valid_minimal_program() {
+        let cb = cb_with(
+            vec![Thread::new(1, vec![movi(R0, 1)])],
+            vec![Inlet { ops: vec![ldmsg(R0, 0), post(ThreadId(0))] }],
+            0,
+        );
+        assert_eq!(prog(cb).validate(), Ok(()));
+    }
+
+    #[test]
+    fn rejects_fork_of_missing_thread() {
+        let cb = cb_with(vec![Thread::new(1, vec![fork(ThreadId(9))])], vec![], 0);
+        assert!(matches!(prog(cb).validate(), Err(ValidateError::BadThread { .. })));
+    }
+
+    #[test]
+    fn rejects_inlet_op_in_thread() {
+        let cb = cb_with(vec![Thread::new(1, vec![ldmsg(R0, 0)])], vec![], 0);
+        assert!(matches!(prog(cb).validate(), Err(ValidateError::WrongContext { .. })));
+    }
+
+    #[test]
+    fn rejects_thread_op_in_inlet() {
+        let cb = cb_with(vec![], vec![Inlet { ops: vec![halloc(R0, imm(4))] }], 0);
+        assert!(matches!(prog(cb).validate(), Err(ValidateError::WrongContext { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_range_slot() {
+        let cb = cb_with(vec![Thread::new(1, vec![ld(R0, SlotId(5))])], vec![], 2);
+        assert!(matches!(prog(cb).validate(), Err(ValidateError::BadSlot { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_entry_count() {
+        let cb = cb_with(vec![Thread::new(0, vec![])], vec![], 0);
+        assert!(matches!(prog(cb).validate(), Err(ValidateError::ZeroEntryCount { .. })));
+    }
+
+    #[test]
+    fn rejects_return_not_last() {
+        let cb = cb_with(
+            vec![Thread::new(1, vec![ret(vec![]), movi(R0, 1)])],
+            vec![],
+            0,
+        );
+        assert!(matches!(prog(cb).validate(), Err(ValidateError::ReturnNotLast { .. })));
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let callee = cb_with(vec![], vec![Inlet::default()], 0);
+        let caller = cb_with(
+            vec![Thread::new(1, vec![call(CodeblockId(1), vec![R0, R1], InletId(0))])],
+            vec![Inlet::default()],
+            0,
+        );
+        let p = Program {
+            name: "p".into(),
+            codeblocks: vec![caller, callee],
+            main: CodeblockId(0),
+            main_args: vec![],
+            arrays: vec![],
+        };
+        assert!(matches!(p.validate(), Err(ValidateError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn analysis_tracks_posters_and_forkers() {
+        let cb = cb_with(
+            vec![
+                Thread::new(1, vec![fork(ThreadId(1))]),
+                Thread::new(2, vec![]),
+            ],
+            vec![
+                Inlet { ops: vec![post(ThreadId(1))] },
+                Inlet { ops: vec![post(ThreadId(0))] },
+            ],
+        // wait: posting thread 0 which is also... fine
+            0,
+        );
+        let a = CbAnalysis::of(&cb);
+        assert_eq!(a.posted_by[1], vec![InletId(0)]);
+        assert_eq!(a.fork_sites[1], 1);
+        // Thread 1 is forked, so it has no sole poster.
+        assert_eq!(a.sole_poster(ThreadId(1)), None);
+        // Thread 0 is posted once and never forked.
+        assert_eq!(a.sole_poster(ThreadId(0)), Some(InletId(1)));
+    }
+
+    #[test]
+    fn analysis_slot_counts_and_dynamic_poisoning() {
+        let cb = cb_with(
+            vec![Thread::new(1, vec![ld(R0, SlotId(0)), st(SlotId(1), R0), ldx(R1, SlotId(1), R0)])],
+            vec![],
+            3,
+        );
+        let a = CbAnalysis::of(&cb);
+        assert_eq!(a.slot_reads[0], 1);
+        assert_eq!(a.slot_writes[1], 1);
+        assert!(a.has_dynamic_slots);
+        // Dynamic read at base 1 poisons slots 1 and 2.
+        assert_eq!(a.slot_reads[1], 1);
+        assert_eq!(a.slot_reads[2], 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Typed identifiers used throughout the TAM model.
+
+/// Index of a codeblock within a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CodeblockId(pub u16);
+
+/// Index of a thread within a codeblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u16);
+
+/// Index of an inlet within a codeblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InletId(pub u16);
+
+/// Index of a user frame slot within a codeblock's frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(pub u16);
+
+/// A virtual register used by TAM instruction operands.
+///
+/// Virtual registers map one-to-one onto machine registers `r0..r10`;
+/// `r11` is reserved for the MD implementation's LCV top pointer,
+/// `r12`/`r13` are lowering scratch, `r14` is the link register, and `r15`
+/// is the frame pointer. [`VReg::LIMIT`] bounds the usable range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u8);
+
+impl VReg {
+    /// Number of virtual registers available to TAM code.
+    pub const LIMIT: u8 = 11;
+}
+
+/// Short aliases for the virtual registers, for readable program sources.
+pub mod regs {
+    use super::VReg;
+    /// Virtual register 0.
+    pub const R0: VReg = VReg(0);
+    /// Virtual register 1.
+    pub const R1: VReg = VReg(1);
+    /// Virtual register 2.
+    pub const R2: VReg = VReg(2);
+    /// Virtual register 3.
+    pub const R3: VReg = VReg(3);
+    /// Virtual register 4.
+    pub const R4: VReg = VReg(4);
+    /// Virtual register 5.
+    pub const R5: VReg = VReg(5);
+    /// Virtual register 6.
+    pub const R6: VReg = VReg(6);
+    /// Virtual register 7.
+    pub const R7: VReg = VReg(7);
+    /// Virtual register 8.
+    pub const R8: VReg = VReg(8);
+    /// Virtual register 9.
+    pub const R9: VReg = VReg(9);
+    /// Virtual register 10.
+    pub const R10: VReg = VReg(10);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vreg_aliases_are_in_range() {
+        for r in [regs::R0, regs::R5, regs::R10] {
+            assert!(r.0 < VReg::LIMIT, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(ThreadId(0) < ThreadId(3));
+        assert!(SlotId(1) < SlotId(2));
+    }
+}

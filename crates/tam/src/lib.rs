@@ -1,0 +1,25 @@
+//! The Threaded Abstract Machine (TAM) program model.
+//!
+//! TAM (Culler et al., ASPLOS 1991) compiles implicitly-parallel programs
+//! into *codeblocks*: sets of short message handlers (*inlets*) and
+//! straight-line, entry-count-synchronized *threads* sharing a *frame* of
+//! storage. This crate defines the program representation, a builder API,
+//! validation, and the static analysis that the runtime lowerings in
+//! `tamsim-core` use for the paper's Section 2.3 optimizations.
+//!
+//! Programs built here are implementation-agnostic: the same [`Program`]
+//! lowers to both the Active-Messages and the Message-Driven back-ends.
+
+pub mod analysis;
+pub mod builder;
+pub mod ids;
+pub mod op;
+pub mod program;
+pub mod text;
+
+pub use analysis::{validate, CbAnalysis, ValidateError, MAX_MSG_PAYLOAD};
+pub use builder::{CodeblockBuilder, ProgramBuilder};
+pub use ids::{regs, CodeblockId, InletId, SlotId, ThreadId, VReg};
+pub use op::{ops, AluOp, FAluOp, TOp, TOperand, Value};
+pub use program::{Codeblock, Inlet, InitArray, Program, Thread};
+pub use text::{parse_program, program_to_text, ParseError};

@@ -1,0 +1,292 @@
+//! The TAM instruction set.
+//!
+//! TAM threads are *straight-line*: the only control transfer within a
+//! codeblock is forking other threads (possibly conditionally), exactly as
+//! in the Berkeley model, where "threads are sequences of code" and
+//! "inlets and threads initiate threads through the post and fork
+//! instructions". Operations of unbounded latency (heap reads) are
+//! split-phased: [`TOp::IFetch`] issues the request and the reply is
+//! delivered to an inlet.
+
+use crate::ids::{CodeblockId, InletId, SlotId, ThreadId, VReg};
+pub use tamsim_mdp::{AluOp, FAluOp};
+
+/// A compile-time constant value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// An integer constant.
+    Int(i64),
+    /// A floating-point constant.
+    Float(f64),
+    /// The load-time base address of the program's `arrays[i]`.
+    ArrayBase(usize),
+}
+
+/// Second operand of an integer ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TOperand {
+    /// A virtual register.
+    Reg(VReg),
+    /// An immediate integer.
+    Imm(i64),
+}
+
+/// One TAM instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TOp {
+    /// `d <- constant`.
+    MovI { d: VReg, v: Value },
+    /// `d <- s`.
+    Mov { d: VReg, s: VReg },
+    /// Integer ALU operation.
+    Alu { op: AluOp, d: VReg, a: VReg, b: TOperand },
+    /// Floating-point operation (`b` ignored for unary ops).
+    FAlu { op: FAluOp, d: VReg, a: VReg, b: VReg },
+    /// Load a frame slot: `d <- frame[slot]`.
+    LdSlot { d: VReg, slot: SlotId },
+    /// Store a frame slot: `frame[slot] <- s`.
+    StSlot { slot: SlotId, s: VReg },
+    /// Dynamically indexed frame load: `d <- frame[base + idx]`.
+    ///
+    /// Used by programs that keep arrays in frame memory (the paper's
+    /// selection sort makes "only 3 procedure calls in its entire
+    /// execution, leading to high locality for frame memory").
+    LdSlotIdx { d: VReg, base: SlotId, idx: VReg },
+    /// Dynamically indexed frame store: `frame[base + idx] <- s`.
+    StSlotIdx { base: SlotId, idx: VReg, s: VReg },
+    /// (Inlets only) load payload word `idx` of the current message;
+    /// `idx` 0 is the first user value.
+    LdMsg { d: VReg, idx: u8 },
+
+    /// Fork a thread: decrement its entry count; enable it when zero.
+    Fork { t: ThreadId },
+    /// Fork `t` only if `c` is nonzero.
+    ForkIf { c: VReg, t: ThreadId },
+    /// Fork `t` if `c` is nonzero, else fork `f`.
+    ForkIfElse { c: VReg, t: ThreadId, f: ThreadId },
+    /// (Inlets only) post a thread — identical synchronization to `Fork`,
+    /// but performed from message-handler context.
+    Post { t: ThreadId },
+    /// (Inlets only) post `t` only when `c` is nonzero (stall/kick
+    /// protocols: resume a parked consumer without flooding the ready
+    /// list).
+    PostIf { c: VReg, t: ThreadId },
+    /// Re-arm a synchronizing thread by *adding* its initial entry count
+    /// to the counter (credit-based, for iterative codeblocks that reuse
+    /// their threads). The additive form is immune to posts that race the
+    /// re-arm — precisely the §2.2 atomicity hazard between inlets and
+    /// threads.
+    ResetCount { t: ThreadId },
+
+    /// Split-phase codeblock invocation: allocate a frame for `cb`, deliver
+    /// `args` to its argument inlets (arg *i* to inlet *i*), and arrange
+    /// for the callee's [`TOp::Return`] values to arrive at this frame's
+    /// `reply` inlet.
+    Call { cb: CodeblockId, args: Vec<VReg>, reply: InletId },
+    /// Return `vals` to the caller's reply inlet and free this frame.
+    /// Must be the last operation of its thread.
+    Return { vals: Vec<VReg> },
+    /// Send `vals` to inlet `inlet` of an existing activation of `cb`
+    /// whose frame pointer is in `frame` (inter-activation dataflow, e.g.
+    /// wavefront neighbours).
+    SendToInlet { frame: VReg, cb: CodeblockId, inlet: InletId, vals: Vec<VReg> },
+
+    /// Allocate `words` words of heap: `d <- base address` (runtime
+    /// library call; see DESIGN.md on why allocation is synchronous).
+    HAlloc { d: VReg, words: TOperand },
+    /// Split-phase I-structure fetch of the element at heap address
+    /// `addr`; the reply (`[value, tag]`) is delivered to `reply`.
+    IFetch { addr: VReg, tag: VReg, reply: InletId },
+    /// I-structure store of `val` to heap address `addr`; satisfies any
+    /// deferred readers.
+    IStore { addr: VReg, val: VReg },
+
+    /// `d <- this activation's frame pointer` (for registering the frame
+    /// with a peer so it can `SendToInlet` here).
+    MyFrame { d: VReg },
+
+    /// Stop the machine (only the synthetic completion codeblock).
+    Halt,
+}
+
+impl TOp {
+    /// Whether this op is only legal inside an inlet.
+    pub fn inlet_only(&self) -> bool {
+        matches!(self, TOp::LdMsg { .. } | TOp::Post { .. } | TOp::PostIf { .. })
+    }
+
+    /// Whether this op is only legal inside a thread.
+    pub fn thread_only(&self) -> bool {
+        matches!(
+            self,
+            TOp::Fork { .. }
+                | TOp::ForkIf { .. }
+                | TOp::ForkIfElse { .. }
+                | TOp::Call { .. }
+                | TOp::Return { .. }
+                | TOp::HAlloc { .. }
+        )
+    }
+
+    /// The threads this op can enable (fork/post targets).
+    pub fn targets(&self) -> Vec<ThreadId> {
+        match self {
+            TOp::Fork { t }
+            | TOp::ForkIf { t, .. }
+            | TOp::Post { t }
+            | TOp::PostIf { t, .. }
+            | TOp::ResetCount { t } => {
+                vec![*t]
+            }
+            TOp::ForkIfElse { t, f, .. } => vec![*t, *f],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Constructor helpers for terse program sources.
+pub mod ops {
+    use super::*;
+
+    /// Register operand.
+    pub fn reg(r: VReg) -> TOperand {
+        TOperand::Reg(r)
+    }
+    /// Immediate operand.
+    pub fn imm(v: i64) -> TOperand {
+        TOperand::Imm(v)
+    }
+    /// `d <- integer constant`.
+    pub fn movi(d: VReg, v: i64) -> TOp {
+        TOp::MovI { d, v: Value::Int(v) }
+    }
+    /// `d <- float constant`.
+    pub fn movf(d: VReg, v: f64) -> TOp {
+        TOp::MovI { d, v: Value::Float(v) }
+    }
+    /// `d <- base address of program array i`.
+    pub fn movarr(d: VReg, i: usize) -> TOp {
+        TOp::MovI { d, v: Value::ArrayBase(i) }
+    }
+    /// `d <- s`.
+    pub fn mov(d: VReg, s: VReg) -> TOp {
+        TOp::Mov { d, s }
+    }
+    /// Integer ALU.
+    pub fn alu(op: AluOp, d: VReg, a: VReg, b: TOperand) -> TOp {
+        TOp::Alu { op, d, a, b }
+    }
+    /// Float ALU.
+    pub fn falu(op: FAluOp, d: VReg, a: VReg, b: VReg) -> TOp {
+        TOp::FAlu { op, d, a, b }
+    }
+    /// Load frame slot.
+    pub fn ld(d: VReg, slot: SlotId) -> TOp {
+        TOp::LdSlot { d, slot }
+    }
+    /// Store frame slot.
+    pub fn st(slot: SlotId, s: VReg) -> TOp {
+        TOp::StSlot { slot, s }
+    }
+    /// Indexed frame load.
+    pub fn ldx(d: VReg, base: SlotId, idx: VReg) -> TOp {
+        TOp::LdSlotIdx { d, base, idx }
+    }
+    /// Indexed frame store.
+    pub fn stx(base: SlotId, idx: VReg, s: VReg) -> TOp {
+        TOp::StSlotIdx { base, idx, s }
+    }
+    /// Inlet message-payload load.
+    pub fn ldmsg(d: VReg, idx: u8) -> TOp {
+        TOp::LdMsg { d, idx }
+    }
+    /// Fork.
+    pub fn fork(t: ThreadId) -> TOp {
+        TOp::Fork { t }
+    }
+    /// Conditional fork.
+    pub fn fork_if(c: VReg, t: ThreadId) -> TOp {
+        TOp::ForkIf { c, t }
+    }
+    /// Two-way conditional fork.
+    pub fn fork_if_else(c: VReg, t: ThreadId, f: ThreadId) -> TOp {
+        TOp::ForkIfElse { c, t, f }
+    }
+    /// Post (inlets).
+    pub fn post(t: ThreadId) -> TOp {
+        TOp::Post { t }
+    }
+    /// Conditional post (inlets).
+    pub fn post_if(c: VReg, t: ThreadId) -> TOp {
+        TOp::PostIf { c, t }
+    }
+    /// Re-arm a synchronizing thread.
+    pub fn reset_count(t: ThreadId) -> TOp {
+        TOp::ResetCount { t }
+    }
+    /// Codeblock call.
+    pub fn call(cb: CodeblockId, args: Vec<VReg>, reply: InletId) -> TOp {
+        TOp::Call { cb, args, reply }
+    }
+    /// Return to caller.
+    pub fn ret(vals: Vec<VReg>) -> TOp {
+        TOp::Return { vals }
+    }
+    /// Send to an inlet of another activation.
+    pub fn send_to(frame: VReg, cb: CodeblockId, inlet: InletId, vals: Vec<VReg>) -> TOp {
+        TOp::SendToInlet { frame, cb, inlet, vals }
+    }
+    /// Heap allocation.
+    pub fn halloc(d: VReg, words: TOperand) -> TOp {
+        TOp::HAlloc { d, words }
+    }
+    /// Split-phase I-structure fetch.
+    pub fn ifetch(addr: VReg, tag: VReg, reply: InletId) -> TOp {
+        TOp::IFetch { addr, tag, reply }
+    }
+    /// I-structure store.
+    pub fn istore(addr: VReg, val: VReg) -> TOp {
+        TOp::IStore { addr, val }
+    }
+    /// Load this activation's frame pointer.
+    pub fn myframe(d: VReg) -> TOp {
+        TOp::MyFrame { d }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ops::*;
+    use super::*;
+    use crate::ids::regs::*;
+
+    #[test]
+    fn context_restrictions() {
+        assert!(ldmsg(R0, 0).inlet_only());
+        assert!(post(ThreadId(0)).inlet_only());
+        assert!(fork(ThreadId(0)).thread_only());
+        assert!(ret(vec![]).thread_only());
+        assert!(!mov(R0, R1).inlet_only());
+        assert!(!mov(R0, R1).thread_only());
+    }
+
+    #[test]
+    fn fork_targets_are_reported() {
+        assert_eq!(fork(ThreadId(2)).targets(), vec![ThreadId(2)]);
+        assert_eq!(
+            fork_if_else(R0, ThreadId(1), ThreadId(3)).targets(),
+            vec![ThreadId(1), ThreadId(3)]
+        );
+        assert!(mov(R0, R1).targets().is_empty());
+    }
+
+    #[test]
+    fn helper_constructors_build_expected_ops() {
+        assert_eq!(movi(R1, 5), TOp::MovI { d: R1, v: Value::Int(5) });
+        assert_eq!(
+            alu(AluOp::Add, R0, R1, imm(2)),
+            TOp::Alu { op: AluOp::Add, d: R0, a: R1, b: TOperand::Imm(2) }
+        );
+        assert_eq!(ld(R3, SlotId(4)), TOp::LdSlot { d: R3, slot: SlotId(4) });
+    }
+}

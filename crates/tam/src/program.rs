@@ -1,0 +1,184 @@
+//! TAM programs: codeblocks, threads, inlets, and initial heap arrays.
+
+use crate::analysis::{validate, ValidateError};
+use crate::ids::{CodeblockId, ThreadId};
+use crate::op::{TOp, Value};
+
+/// A TAM thread: a straight-line instruction sequence guarded by an entry
+/// count.
+///
+/// "Each thread has an entry count indicating the number of inlets and
+/// threads in the same codeblock that must run before it." A
+/// non-synchronizing thread has an implicit entry count of one (it is
+/// enabled on the first post/fork).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Thread {
+    /// Initial entry count (≥ 1); 1 means non-synchronizing.
+    pub entry_count: u32,
+    /// The straight-line body.
+    pub ops: Vec<TOp>,
+    /// Atomic threads run with interrupts disabled even under the
+    /// "enabled" AM variant of §2.4 — the paper's remedy for the §2.2
+    /// inlet/thread atomicity problem ("interrupts are disabled during
+    /// control operations in thread bodies"). Gate/stall protocol threads
+    /// use this.
+    pub atomic: bool,
+}
+
+impl Thread {
+    /// A non-atomic thread (the common case).
+    pub fn new(entry_count: u32, ops: Vec<TOp>) -> Self {
+        Thread { entry_count, ops, atomic: false }
+    }
+
+    /// Whether the thread synchronizes on more than one enabling event.
+    pub fn is_synchronizing(&self) -> bool {
+        self.entry_count > 1
+    }
+}
+
+/// A TAM inlet: a short message handler that receives values from outside
+/// the codeblock, typically storing them into the frame and posting a
+/// dependent thread.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Inlet {
+    /// The handler body.
+    pub ops: Vec<TOp>,
+}
+
+/// A compiled codeblock: the unit of invocation, with a frame holding
+/// arguments, locals, entry counts, and (in the AM implementation) the
+/// ready-thread list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Codeblock {
+    /// Human-readable name (diagnostics and reports).
+    pub name: String,
+    /// Number of user frame slots.
+    pub n_slots: u16,
+    /// Threads, indexed by [`ThreadId`].
+    pub threads: Vec<Thread>,
+    /// Inlets, indexed by [`crate::ids::InletId`]; inlet *i* receives
+    /// argument *i* of a [`TOp::Call`].
+    pub inlets: Vec<Inlet>,
+}
+
+impl Codeblock {
+    /// The thread with the given id.
+    pub fn thread(&self, t: ThreadId) -> &Thread {
+        &self.threads[t.0 as usize]
+    }
+
+    /// Threads that synchronize (entry count > 1); these need count slots.
+    pub fn synchronizing_threads(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_synchronizing())
+            .map(|(i, _)| ThreadId(i as u16))
+    }
+}
+
+/// An initial heap array, laid out as I-structure cells.
+///
+/// Each element occupies two heap words (`[state, value]`); `None` cells
+/// start empty (readers defer until an [`TOp::IStore`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitArray {
+    /// Name for diagnostics.
+    pub name: String,
+    /// Initial cells; `Some` = present, `None` = empty.
+    pub cells: Vec<Option<Value>>,
+}
+
+impl InitArray {
+    /// A fully-present array of the given values.
+    pub fn present(name: &str, values: impl IntoIterator<Item = Value>) -> Self {
+        InitArray { name: name.into(), cells: values.into_iter().map(Some).collect() }
+    }
+
+    /// An all-empty array of `len` cells.
+    pub fn empty(name: &str, len: usize) -> Self {
+        InitArray { name: name.into(), cells: vec![None; len] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// A complete TAM program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Program name (reports).
+    pub name: String,
+    /// All codeblocks, indexed by [`CodeblockId`].
+    pub codeblocks: Vec<Codeblock>,
+    /// The codeblock invoked at boot.
+    pub main: CodeblockId,
+    /// Arguments delivered to `main`'s argument inlets at boot.
+    pub main_args: Vec<Value>,
+    /// Initial heap arrays ([`Value::ArrayBase`] resolves to their load
+    /// addresses).
+    pub arrays: Vec<InitArray>,
+}
+
+impl Program {
+    /// The codeblock with the given id.
+    pub fn codeblock(&self, id: CodeblockId) -> &Codeblock {
+        &self.codeblocks[id.0 as usize]
+    }
+
+    /// Validate structural invariants (see [`crate::analysis`]).
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        validate(self)
+    }
+
+    /// Total TAM instructions across all codeblocks (size metric).
+    pub fn static_ops(&self) -> usize {
+        self.codeblocks
+            .iter()
+            .map(|cb| {
+                cb.threads.iter().map(|t| t.ops.len()).sum::<usize>()
+                    + cb.inlets.iter().map(|i| i.ops.len()).sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronizing_threads_filter() {
+        let cb = Codeblock {
+            name: "t".into(),
+            n_slots: 0,
+            threads: vec![
+                Thread::new(1, vec![]),
+                Thread::new(3, vec![]),
+                Thread::new(2, vec![]),
+            ],
+            inlets: vec![],
+        };
+        let sync: Vec<_> = cb.synchronizing_threads().collect();
+        assert_eq!(sync, vec![ThreadId(1), ThreadId(2)]);
+    }
+
+    #[test]
+    fn init_array_constructors() {
+        let a = InitArray::present("a", [Value::Int(1), Value::Int(2)]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.cells[0], Some(Value::Int(1)));
+        let b = InitArray::empty("b", 3);
+        assert_eq!(b.len(), 3);
+        assert!(b.cells.iter().all(|c| c.is_none()));
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-kind, per-region access counters.
+
+use crate::{Access, AccessKind, MemoryMap, Region};
+
+/// Access counts broken down by [`Region`] × [`AccessKind`].
+///
+/// This directly supports the Section 3.1 analysis, which compares reads,
+/// writes, and fetches of the MD and AM implementations, split into system
+/// and user regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessCounts {
+    /// `counts[region.index()][kind.index()]`.
+    counts: [[u64; 3]; 4],
+}
+
+impl AccessCounts {
+    /// An all-zero counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one access classified against `map`.
+    #[inline]
+    pub fn record(&mut self, access: Access, map: &MemoryMap) {
+        let region = map.classify(access.addr);
+        self.counts[region.index()][access.kind.index()] += 1;
+    }
+
+    /// Record one access with an already-known region.
+    #[inline]
+    pub fn record_in(&mut self, region: Region, kind: AccessKind) {
+        self.counts[region.index()][kind.index()] += 1;
+    }
+
+    /// Count for a specific region and kind.
+    #[inline]
+    pub fn get(&self, region: Region, kind: AccessKind) -> u64 {
+        self.counts[region.index()][kind.index()]
+    }
+
+    /// Total accesses of `kind` across all regions.
+    pub fn kind_total(&self, kind: AccessKind) -> u64 {
+        Region::ALL.iter().map(|r| self.get(*r, kind)).sum()
+    }
+
+    /// Total accesses in `region` across all kinds.
+    pub fn region_total(&self, region: Region) -> u64 {
+        AccessKind::ALL.iter().map(|k| self.get(region, *k)).sum()
+    }
+
+    /// Total instruction fetches.
+    pub fn fetches(&self) -> u64 {
+        self.kind_total(AccessKind::Fetch)
+    }
+
+    /// Total data reads.
+    pub fn reads(&self) -> u64 {
+        self.kind_total(AccessKind::Read)
+    }
+
+    /// Total data writes.
+    pub fn writes(&self) -> u64 {
+        self.kind_total(AccessKind::Write)
+    }
+
+    /// Total accesses of every kind.
+    pub fn total(&self) -> u64 {
+        AccessKind::ALL.iter().map(|k| self.kind_total(*k)).sum()
+    }
+
+    /// Merge another counter into this one.
+    pub fn merge(&mut self, other: &AccessCounts) {
+        for r in 0..4 {
+            for k in 0..3 {
+                self.counts[r][k] += other.counts[r][k];
+            }
+        }
+    }
+
+    /// Ratio of this counter's `kind` total to `baseline`'s (MD/AM style).
+    ///
+    /// Returns `None` when the baseline is zero.
+    pub fn ratio_to(&self, baseline: &AccessCounts, kind: AccessKind) -> Option<f64> {
+        let b = baseline.kind_total(kind);
+        (b != 0).then(|| self.kind_total(kind) as f64 / b as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> MemoryMap {
+        MemoryMap::default()
+    }
+
+    #[test]
+    fn record_classifies_by_region() {
+        let m = map();
+        let mut c = AccessCounts::new();
+        c.record(Access::fetch(m.system_code_base + 8), &m);
+        c.record(Access::read(m.frame_base + 16), &m);
+        c.record(Access::write(m.system_data_base), &m);
+        assert_eq!(c.get(Region::SystemCode, AccessKind::Fetch), 1);
+        assert_eq!(c.get(Region::UserData, AccessKind::Read), 1);
+        assert_eq!(c.get(Region::SystemData, AccessKind::Write), 1);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn totals_sum_over_axes() {
+        let mut c = AccessCounts::new();
+        for r in Region::ALL {
+            for k in AccessKind::ALL {
+                c.record_in(r, k);
+                c.record_in(r, k);
+            }
+        }
+        assert_eq!(c.total(), 24);
+        assert_eq!(c.fetches(), 8);
+        assert_eq!(c.reads(), 8);
+        assert_eq!(c.writes(), 8);
+        assert_eq!(c.region_total(Region::UserData), 6);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = AccessCounts::new();
+        let mut b = AccessCounts::new();
+        a.record_in(Region::UserData, AccessKind::Read);
+        b.record_in(Region::UserData, AccessKind::Read);
+        b.record_in(Region::SystemCode, AccessKind::Fetch);
+        a.merge(&b);
+        assert_eq!(a.get(Region::UserData, AccessKind::Read), 2);
+        assert_eq!(a.get(Region::SystemCode, AccessKind::Fetch), 1);
+    }
+
+    #[test]
+    fn ratio_to_handles_zero_baseline() {
+        let mut md = AccessCounts::new();
+        md.record_in(Region::UserData, AccessKind::Read);
+        let am = AccessCounts::new();
+        assert_eq!(md.ratio_to(&am, AccessKind::Read), None);
+
+        let mut am = AccessCounts::new();
+        am.record_in(Region::UserData, AccessKind::Read);
+        am.record_in(Region::UserData, AccessKind::Read);
+        assert_eq!(md.ratio_to(&am, AccessKind::Read), Some(0.5));
+    }
+}

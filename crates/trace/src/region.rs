@@ -1,0 +1,179 @@
+//! Address-space regions, matching the paper's system/user division.
+//!
+//! Section 3.1: "For analysis, memory was divided into system and user
+//! regions. System code includes the operating system and library,
+//! including the floating-point library. System data structures are
+//! comprised of the incoming message queues, operating system globals, and
+//! the LCV. User code consists of the threads and inlets unique to each
+//! program." Everything else (frames, heap, I-structures) is user data.
+
+/// One of the four address-space regions used in the paper's analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Operating system and library code (post library, scheduler, handlers).
+    SystemCode,
+    /// Lowered user inlets and threads.
+    UserCode,
+    /// Message queues, OS globals, and (in the MD implementation) the LCV.
+    SystemData,
+    /// Frames, heap, and I-structure storage.
+    UserData,
+}
+
+impl Region {
+    /// All regions in a stable order usable for indexing.
+    pub const ALL: [Region; 4] =
+        [Region::SystemCode, Region::UserCode, Region::SystemData, Region::UserData];
+
+    /// A stable small index for this region.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Region::SystemCode => 0,
+            Region::UserCode => 1,
+            Region::SystemData => 2,
+            Region::UserData => 3,
+        }
+    }
+
+    /// Whether this region holds code.
+    #[inline]
+    pub fn is_code(self) -> bool {
+        matches!(self, Region::SystemCode | Region::UserCode)
+    }
+
+    /// Whether this region belongs to the system (OS/runtime) half.
+    #[inline]
+    pub fn is_system(self) -> bool {
+        matches!(self, Region::SystemCode | Region::SystemData)
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::SystemCode => "system code",
+            Region::UserCode => "user code",
+            Region::SystemData => "system data",
+            Region::UserData => "user data",
+        }
+    }
+}
+
+/// The simulator's fixed memory map.
+///
+/// The bases are generous enough that regions never collide for any
+/// workload in this repository; the machine model asserts it stays inside
+/// its region when allocating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryMap {
+    /// Base of system code (lowest region; starts at 0).
+    pub system_code_base: u32,
+    /// Base of user code.
+    pub user_code_base: u32,
+    /// Base of system data (message queues, OS globals, global LCV).
+    pub system_data_base: u32,
+    /// Base of frame memory (user data).
+    pub frame_base: u32,
+    /// Base of heap / I-structure memory (user data).
+    pub heap_base: u32,
+    /// Exclusive top of modeled memory.
+    pub top: u32,
+}
+
+impl Default for MemoryMap {
+    fn default() -> Self {
+        MemoryMap {
+            system_code_base: 0x0000_0000,
+            user_code_base: 0x0010_0000,
+            system_data_base: 0x0020_0000,
+            frame_base: 0x0040_0000,
+            heap_base: 0x0100_0000,
+            top: 0x0800_0000,
+        }
+    }
+}
+
+impl MemoryMap {
+    /// Classify a byte address into its region.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `addr` lies above the modeled top of
+    /// memory, which indicates a machine-model bug.
+    #[inline]
+    pub fn classify(&self, addr: u32) -> Region {
+        debug_assert!(addr < self.top, "address {addr:#x} above top of memory");
+        if addr < self.user_code_base {
+            Region::SystemCode
+        } else if addr < self.system_data_base {
+            Region::UserCode
+        } else if addr < self.frame_base {
+            Region::SystemData
+        } else {
+            Region::UserData
+        }
+    }
+
+    /// Whether `addr` falls in frame memory (a sub-range of user data).
+    #[inline]
+    pub fn is_frame(&self, addr: u32) -> bool {
+        (self.frame_base..self.heap_base).contains(&addr)
+    }
+
+    /// Whether `addr` falls in heap / I-structure memory.
+    #[inline]
+    pub fn is_heap(&self, addr: u32) -> bool {
+        (self.heap_base..self.top).contains(&addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_have_dense_indices() {
+        let mut seen = [false; 4];
+        for r in Region::ALL {
+            assert!(!seen[r.index()]);
+            seen[r.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn default_map_classifies_bases() {
+        let m = MemoryMap::default();
+        assert_eq!(m.classify(m.system_code_base), Region::SystemCode);
+        assert_eq!(m.classify(m.user_code_base), Region::UserCode);
+        assert_eq!(m.classify(m.system_data_base), Region::SystemData);
+        assert_eq!(m.classify(m.frame_base), Region::UserData);
+        assert_eq!(m.classify(m.heap_base), Region::UserData);
+    }
+
+    #[test]
+    fn classification_boundaries_are_half_open() {
+        let m = MemoryMap::default();
+        assert_eq!(m.classify(m.user_code_base - 4), Region::SystemCode);
+        assert_eq!(m.classify(m.system_data_base - 4), Region::UserCode);
+        assert_eq!(m.classify(m.frame_base - 4), Region::SystemData);
+    }
+
+    #[test]
+    fn frame_and_heap_predicates() {
+        let m = MemoryMap::default();
+        assert!(m.is_frame(m.frame_base));
+        assert!(!m.is_frame(m.heap_base));
+        assert!(m.is_heap(m.heap_base));
+        assert!(!m.is_heap(m.frame_base));
+    }
+
+    #[test]
+    fn system_and_code_predicates() {
+        assert!(Region::SystemCode.is_code());
+        assert!(Region::UserCode.is_code());
+        assert!(!Region::SystemData.is_code());
+        assert!(Region::SystemCode.is_system());
+        assert!(Region::SystemData.is_system());
+        assert!(!Region::UserData.is_system());
+    }
+}

@@ -1,0 +1,171 @@
+//! Trace sinks: consumers of the machine model's access stream.
+
+use crate::{Access, AccessCounts, MemoryMap};
+
+/// A consumer of memory-access events.
+///
+/// The machine model calls [`TraceSink::access`] once per instruction fetch
+/// and once per data read/write, in program order. Implementors include the
+/// cache simulator, access counters, and test recorders. Sinks are driven
+/// single-threaded per machine run; parallelism in the harness is across
+/// independent runs.
+pub trait TraceSink {
+    /// Consume one access event.
+    fn access(&mut self, access: Access);
+}
+
+/// A sink that discards everything (pure instruction-count runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn access(&mut self, _access: Access) {}
+}
+
+/// A sink that records every access; for tests and small traces only.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// The recorded events, in program order.
+    pub events: Vec<Access>,
+}
+
+impl VecSink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for VecSink {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.events.push(access);
+    }
+}
+
+/// A sink that counts accesses per region and kind.
+#[derive(Debug, Clone)]
+pub struct CountingSink {
+    /// The counters being accumulated.
+    pub counts: AccessCounts,
+    map: MemoryMap,
+}
+
+impl CountingSink {
+    /// A zeroed counter over `map`.
+    pub fn new(map: MemoryMap) -> Self {
+        CountingSink { counts: AccessCounts::new(), map }
+    }
+}
+
+impl TraceSink for CountingSink {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.counts.record(access, &self.map);
+    }
+}
+
+/// Fan one access stream out to two sinks.
+///
+/// Compose `Tee`s to feed any number of consumers in a single machine run;
+/// the experiment driver uses this to feed the cache bank and the access
+/// counters simultaneously.
+#[derive(Debug, Default, Clone)]
+pub struct Tee<A, B> {
+    /// First downstream sink.
+    pub a: A,
+    /// Second downstream sink.
+    pub b: B,
+}
+
+impl<A, B> Tee<A, B> {
+    /// Combine two sinks.
+    pub fn new(a: A, b: B) -> Self {
+        Tee { a, b }
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for Tee<A, B> {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.a.access(access);
+        self.b.access(access);
+    }
+}
+
+/// Adapt a closure into a sink.
+pub struct FnSink<F: FnMut(Access)>(pub F);
+
+impl<F: FnMut(Access)> TraceSink for FnSink<F> {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        (self.0)(access);
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        (**self).access(access);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessKind;
+
+    #[test]
+    fn vec_sink_records_in_order() {
+        let mut s = VecSink::new();
+        s.access(Access::fetch(0));
+        s.access(Access::read(4));
+        s.access(Access::write(8));
+        assert_eq!(
+            s.events,
+            vec![Access::fetch(0), Access::read(4), Access::write(8)]
+        );
+    }
+
+    #[test]
+    fn tee_duplicates_stream() {
+        let mut t = Tee::new(VecSink::new(), VecSink::new());
+        t.access(Access::read(12));
+        assert_eq!(t.a.events, t.b.events);
+        assert_eq!(t.a.events.len(), 1);
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let map = MemoryMap::default();
+        let mut c = CountingSink::new(map);
+        c.access(Access::fetch(map.user_code_base));
+        c.access(Access::fetch(map.user_code_base + 4));
+        c.access(Access::write(map.frame_base));
+        assert_eq!(c.counts.fetches(), 2);
+        assert_eq!(c.counts.writes(), 1);
+        assert_eq!(c.counts.kind_total(AccessKind::Read), 0);
+    }
+
+    #[test]
+    fn fn_sink_invokes_closure() {
+        let mut n = 0u32;
+        {
+            let mut s = FnSink(|a: Access| n += a.addr);
+            s.access(Access::read(4));
+            s.access(Access::read(6));
+        }
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn mut_ref_is_a_sink() {
+        let mut v = VecSink::new();
+        {
+            let r: &mut VecSink = &mut v;
+            r.access(Access::fetch(0));
+        }
+        assert_eq!(v.events.len(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Sweep one benchmark across the paper's cache configurations and print
+//! the MD/AM total-cycle ratio curve — a single-program slice of
+//! Figures 4 and 5.
+//!
+//! ```sh
+//! cargo run --release --example cache_sweep
+//! ```
+
+use tamsim::cache::{paper_sweep, CacheBank, CacheGeometry, CycleModel, PAPER_CACHE_SIZES};
+use tamsim::core::{Experiment, Implementation};
+use tamsim::programs;
+
+fn main() {
+    // Quicksort at a moderate size: call-heavy and fine-grained, so the
+    // scheduling overhead difference between the implementations is big.
+    let program = programs::quicksort(64, 0xC0FFEE);
+
+    // One traced run per implementation feeds all 24 cache configurations.
+    let mut runs = Vec::new();
+    for impl_ in [Implementation::Md, Implementation::Am] {
+        let mut bank = CacheBank::symmetric(paper_sweep());
+        let out = Experiment::new(impl_).run_with_sink(&program, &mut bank);
+        println!(
+            "{}: {} instructions, {} reads, {} writes",
+            impl_.label(),
+            out.instructions,
+            out.counts.reads(),
+            out.counts.writes()
+        );
+        runs.push((out.instructions, bank));
+    }
+
+    for assoc in [1u32, 2, 4] {
+        println!("\nMD/AM total-cycle ratio, {assoc}-way, 64B blocks:");
+        println!("{:>6}  {:>8}  {:>8}  {:>8}", "size", "miss=12", "miss=24", "miss=48");
+        for size in PAPER_CACHE_SIZES {
+            let geom = CacheGeometry::new(size, assoc, 64);
+            print!("{:>5}K", size / 1024);
+            for cost in [12, 24, 48] {
+                let model = CycleModel::paper(cost);
+                let md = model
+                    .total_cycles(runs[0].0, &runs[0].1.summary_for(geom).unwrap());
+                let am = model
+                    .total_cycles(runs[1].0, &runs[1].1.summary_for(geom).unwrap());
+                print!("  {:>8.3}", md as f64 / am as f64);
+            }
+            println!();
+        }
+    }
+}

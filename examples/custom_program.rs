@@ -1,0 +1,104 @@
+//! Author a TAM program from scratch with the builder API and watch it
+//! run: a parallel tree-sum where every node of a binary tree is its own
+//! codeblock activation.
+//!
+//! ```sh
+//! cargo run --release --example custom_program
+//! ```
+
+use tamsim::core::{Experiment, Implementation};
+use tamsim::tam::ids::regs::*;
+use tamsim::tam::ops::*;
+use tamsim::tam::{AluOp, CodeblockBuilder, ProgramBuilder, Value};
+
+/// sum(lo, hi) = lo + (lo+1) + … + (hi-1), computed by recursive halving:
+/// ranges of width one return their value; wider ranges call themselves
+/// twice and add the replies.
+fn tree_sum(lo: i64, hi: i64) -> tamsim::tam::Program {
+    let mut pb = ProgramBuilder::new("tree-sum");
+    let main = pb.declare("main");
+    let node = pb.declare("node");
+
+    let mut cb = CodeblockBuilder::new("node");
+    let s_lo = cb.slot();
+    let s_hi = cb.slot();
+    let s_acc = cb.slot();
+    let i_lo = cb.inlet(); // argument 0
+    let i_hi = cb.inlet(); // argument 1
+    let i_reply = cb.inlet();
+    let t_start = cb.thread();
+    let t_leaf = cb.thread();
+    let t_split = cb.thread();
+    let t_join = cb.thread();
+    cb.def_inlet(i_lo, vec![ldmsg(R0, 0), st(s_lo, R0), post(t_start)]);
+    cb.def_inlet(i_hi, vec![ldmsg(R0, 0), st(s_hi, R0), post(t_start)]);
+    // Accumulate both children's replies, then join.
+    cb.def_inlet(i_reply, vec![
+        ldmsg(R0, 0),
+        ld(R1, s_acc),
+        alu(AluOp::Add, R1, R1, reg(R0)),
+        st(s_acc, R1),
+        post(t_join),
+    ]);
+    // Both arguments in: leaf or split?
+    cb.def_thread(t_start, 2, vec![
+        ld(R0, s_lo),
+        ld(R1, s_hi),
+        alu(AluOp::Sub, R2, R1, reg(R0)),
+        alu(AluOp::Eq, R3, R2, imm(1)),
+        fork_if_else(R3, t_leaf, t_split),
+    ]);
+    cb.def_thread(t_leaf, 1, vec![ld(R0, s_lo), ret(vec![R0])]);
+    cb.def_thread(t_split, 1, vec![
+        movi(R0, 0),
+        st(s_acc, R0),
+        ld(R1, s_lo),
+        ld(R2, s_hi),
+        // mid = (lo + hi) / 2.
+        alu(AluOp::Add, R3, R1, reg(R2)),
+        alu(AluOp::Div, R3, R3, imm(2)),
+        call(node, vec![R1, R3], i_reply),
+        call(node, vec![R3, R2], i_reply),
+    ]);
+    cb.def_thread(t_join, 2, vec![ld(R0, s_acc), ret(vec![R0])]);
+    pb.define(node, cb.finish());
+
+    let mut cb = CodeblockBuilder::new("main");
+    let s_r = cb.slot();
+    let i_arg = cb.inlet();
+    let i_rep = cb.inlet();
+    let t_go = cb.thread();
+    let t_done = cb.thread();
+    cb.def_inlet(i_arg, vec![post(t_go)]);
+    cb.def_inlet(i_rep, vec![ldmsg(R0, 0), st(s_r, R0), post(t_done)]);
+    cb.def_thread(t_go, 1, vec![
+        movi(R0, lo),
+        movi(R1, hi),
+        call(node, vec![R0, R1], i_rep),
+    ]);
+    cb.def_thread(t_done, 1, vec![ld(R0, s_r), ret(vec![R0])]);
+    pb.define(main, cb.finish());
+
+    pb.main(main, vec![Value::Int(0)]);
+    pb.build()
+}
+
+fn main() {
+    let (lo, hi) = (0, 256);
+    let program = tree_sum(lo, hi);
+    let expected: i64 = (lo..hi).sum();
+
+    for impl_ in [Implementation::Am, Implementation::AmEnabled, Implementation::Md] {
+        let out = Experiment::new(impl_).run(&program);
+        assert_eq!(out.result[0].as_i64(), expected);
+        println!(
+            "{:5}: sum(0..{hi}) = {:6}  instructions = {:8}  frames allocated per call, \
+             {} threads over {} quanta",
+            impl_.label(),
+            out.result[0].as_i64(),
+            out.instructions,
+            out.granularity.threads,
+            out.granularity.quanta,
+        );
+    }
+}

@@ -1,0 +1,16 @@
+use tamsim_core::{Experiment, Implementation};
+fn main() {
+    let t0 = std::time::Instant::now();
+    for bench in tamsim_programs::paper_suite() {
+        let md = Experiment::new(Implementation::Md).run(&bench.program);
+        let am = Experiment::new(Implementation::Am).run(&bench.program);
+        println!(
+            "{:10} MD: tpq={:7.1} ipt={:6.1} ipq={:8.0} instr={:>10}  AM: tpq={:7.1} ipt={:6.1} ipq={:8.0} instr={:>10}  MD/AM instr={:.3} q={:?}",
+            bench.name,
+            md.granularity.tpq(), md.granularity.ipt(), md.granularity.ipq(), md.instructions,
+            am.granularity.tpq(), am.granularity.ipt(), am.granularity.ipq(), am.instructions,
+            md.instructions as f64 / am.instructions as f64, md.queue_words,
+        );
+    }
+    eprintln!("elapsed {:?}", t0.elapsed());
+}

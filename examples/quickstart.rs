@@ -1,0 +1,47 @@
+//! Quickstart: build a TAM program, run it under both runtime
+//! implementations, and compare their dynamic behaviour.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tamsim::core::{Experiment, Implementation};
+use tamsim::programs;
+
+fn main() {
+    // A classic fine-grained workload: recursive fib(18) — every call is
+    // a codeblock activation with its own frame, argument messages, and
+    // split-phase returns.
+    let program = programs::fib(18);
+
+    for impl_ in [Implementation::Am, Implementation::Md] {
+        let out = Experiment::new(impl_).run(&program);
+        println!("== {} implementation", impl_.label());
+        println!("   result        : {}", out.result[0].as_i64());
+        println!("   instructions  : {}", out.instructions);
+        println!(
+            "   accesses      : {} reads, {} writes, {} fetches",
+            out.counts.reads(),
+            out.counts.writes(),
+            out.counts.fetches()
+        );
+        println!(
+            "   granularity   : {:.1} threads/quantum, {:.1} instr/thread",
+            out.granularity.tpq(),
+            out.granularity.ipt()
+        );
+        println!(
+            "   scheduling    : {} high-priority dispatches, {} low, {} preemptions",
+            out.stats.dispatches[1], out.stats.dispatches[0], out.stats.preemptions
+        );
+    }
+
+    let md = Experiment::new(Implementation::Md).run(&program);
+    let am = Experiment::new(Implementation::Am).run(&program);
+    assert_eq!(md.result[0].as_i64(), programs::fib_expected(18));
+    assert_eq!(md.result[0].as_i64(), am.result[0].as_i64());
+    println!(
+        "\nMD executes {:.1}% of AM's instructions on this workload.",
+        100.0 * md.instructions as f64 / am.instructions as f64
+    );
+}

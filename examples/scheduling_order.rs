@@ -1,0 +1,36 @@
+//! Watch the two implementations schedule the same message sequence —
+//! the Figure 1 contrast, live.
+//!
+//! ```sh
+//! cargo run --release --example scheduling_order
+//! ```
+
+use tamsim::core::Implementation;
+use tamsim::metrics::{capture_schedule, figure1_program, SchedEvent};
+
+fn main() {
+    let program = figure1_program();
+    println!(
+        "main invokes child(x, y): two argument messages for the same frame\n\
+         arrive back-to-back. Inlet 0 posts thread 0; inlet 1 posts thread 1;\n\
+         thread 2 joins.\n"
+    );
+    for impl_ in [Implementation::Am, Implementation::Md] {
+        let events = capture_schedule(&program, impl_, 1);
+        println!("{} implementation:", impl_.label());
+        for (i, e) in events.iter().enumerate() {
+            let what = match e {
+                SchedEvent::Inlet { inlet, .. } => format!("inlet {inlet} (message handler)"),
+                SchedEvent::Thread { thread, .. } => format!("thread {thread}"),
+            };
+            println!("  {}. {what}", i + 1);
+        }
+        println!();
+    }
+    println!(
+        "AM: both inlets run at high priority before any thread (the frame's\n\
+         enabled threads then run together as one quantum). MD: the first\n\
+         inlet branches directly into its thread; the second message waits\n\
+         until the LCV is empty — exactly the contrast of Figure 1."
+    );
+}

@@ -1,0 +1,43 @@
+//! # tamsim
+//!
+//! A full Rust reproduction of **Spertus & Dally, “Evaluating the Locality
+//! Benefits of Active Messages” (PPOPP 1995)**: two implementations of the
+//! Berkeley Threaded Abstract Machine (TAM) on a simulated MIT J-Machine
+//! node, evaluated through a trace-driven cache simulator.
+//!
+//! This facade crate re-exports the public API of every subsystem:
+//!
+//! * [`trace`] — memory-access events, regions, counters, sinks.
+//! * [`mdp`] — the Message-Driven Processor machine model and micro-ISA.
+//! * [`tam`] — the TAM program model (codeblocks, inlets, threads) and builder.
+//! * [`cache`] — the set-associative write-back split I/D cache simulator.
+//! * [`core`] — the Active-Messages and Message-Driven runtime lowerings and
+//!   the experiment driver (the paper's contribution).
+//! * [`programs`] — the six benchmark programs of the paper.
+//! * [`metrics`] — granularity statistics, cycle ratios, and figure/table
+//!   rendering.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tamsim::core::{Implementation, Experiment};
+//! use tamsim::programs;
+//!
+//! // Build one of the paper's benchmarks at a small size.
+//! let program = programs::quicksort(16, 42);
+//! // Run it under both runtime implementations.
+//! let md = Experiment::new(Implementation::Md).run(&program);
+//! let am = Experiment::new(Implementation::Am).run(&program);
+//! // The MD implementation executes fewer instructions overall…
+//! assert!(md.instructions < am.instructions);
+//! // …and both compute the same answer.
+//! assert_eq!(md.result, am.result);
+//! ```
+
+pub use tamsim_cache as cache;
+pub use tamsim_core as core;
+pub use tamsim_mdp as mdp;
+pub use tamsim_metrics as metrics;
+pub use tamsim_programs as programs;
+pub use tamsim_tam as tam;
+pub use tamsim_trace as trace;

@@ -1,0 +1,228 @@
+//! Property-based tests (proptest) on the core data structures and on
+//! whole-simulation invariants.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+use tamsim::cache::{Cache, CacheGeometry};
+use tamsim::core::{Experiment, Implementation};
+use tamsim::mdp::MessageQueue;
+use tamsim::metrics::geomean;
+use tamsim::programs;
+use tamsim::trace::{Access, AccessCounts, AccessKind, MemoryMap, Region};
+
+// ---------------------------------------------------------------------
+// Cache: the fast implementation must agree with an oracle that models a
+// set-associative LRU write-back cache with explicit recency lists.
+// ---------------------------------------------------------------------
+
+struct OracleCache {
+    sets: Vec<VecDeque<(u32, bool)>>, // (tag, dirty), front = MRU
+    assoc: usize,
+    block_shift: u32,
+    n_sets: u32,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl OracleCache {
+    fn new(g: CacheGeometry) -> Self {
+        OracleCache {
+            sets: vec![VecDeque::new(); g.n_sets() as usize],
+            assoc: g.assoc as usize,
+            block_shift: g.block_bytes.trailing_zeros(),
+            n_sets: g.n_sets(),
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    fn access(&mut self, addr: u32, write: bool) -> bool {
+        let block = addr >> self.block_shift;
+        let set = (block % self.n_sets) as usize;
+        let tag = block / self.n_sets;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|(t, _)| *t == tag) {
+            let (t, dirty) = s.remove(pos).unwrap();
+            s.push_front((t, dirty || write));
+            true
+        } else {
+            self.misses += 1;
+            if s.len() == self.assoc {
+                let (_, dirty) = s.pop_back().unwrap();
+                if dirty {
+                    self.writebacks += 1;
+                }
+            }
+            s.push_front((tag, write));
+            false
+        }
+    }
+}
+
+fn geometry_strategy() -> impl Strategy<Value = CacheGeometry> {
+    (0u32..4, 0u32..3, 0u32..4).prop_map(|(s, a, b)| {
+        let size = 256 << s; // 256B..2K
+        let assoc = 1 << a; // 1, 2, 4
+        let block = 8 << b; // 8..64
+        CacheGeometry::new(size.max(assoc * block), assoc, block)
+    })
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_lru_oracle(
+        geometry in geometry_strategy(),
+        ops in prop::collection::vec((0u32..4096, any::<bool>()), 1..400),
+    ) {
+        let mut cache = Cache::new(geometry);
+        let mut oracle = OracleCache::new(geometry);
+        for (addr, write) in ops {
+            let addr = addr & !3; // word aligned
+            let hit = cache.access(addr, write);
+            let oracle_hit = oracle.access(addr, write);
+            prop_assert_eq!(hit, oracle_hit, "divergence at {:#x}", addr);
+        }
+        prop_assert_eq!(cache.stats.misses(), oracle.misses);
+        prop_assert_eq!(cache.stats.writebacks, oracle.writebacks);
+    }
+
+    // -----------------------------------------------------------------
+    // Message queue: FIFO order, ring addressing stays in range, and
+    // used-word accounting balances.
+    // -----------------------------------------------------------------
+    #[test]
+    fn queue_is_fifo_and_bounded(lens in prop::collection::vec(1u32..6, 1..200)) {
+        let cap = 32u32;
+        let base = 0x0020_0000u32;
+        let mut q = MessageQueue::new(base, cap);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for (i, &len) in lens.iter().enumerate() {
+            while q.used_words() + len > cap {
+                // Drain messages, FIFO, until the new one fits.
+                let front = q.front().unwrap();
+                prop_assert_eq!(front.len, *model.front().unwrap());
+                q.retire(front);
+                model.pop_front();
+            }
+            let m = q.begin_enqueue(len).unwrap();
+            model.push_back(len);
+            // Every word address lies inside the ring.
+            for w in 0..len {
+                let a = q.addr_of(m.start, w);
+                prop_assert!(a >= base && a < base + cap * 4);
+                prop_assert_eq!(a % 4, 0);
+            }
+            prop_assert_eq!(q.len(), model.len(), "iteration {}", i);
+        }
+        while let Some(front) = q.front() {
+            prop_assert_eq!(front.len, *model.front().unwrap());
+            q.retire(front);
+            model.pop_front();
+        }
+        prop_assert_eq!(q.used_words(), 0);
+    }
+
+    // -----------------------------------------------------------------
+    // Geometric mean: bounded by min/max, scale-equivariant.
+    // -----------------------------------------------------------------
+    #[test]
+    fn geomean_properties(values in prop::collection::vec(0.01f64..100.0, 1..20), k in 0.1f64..10.0) {
+        let g = geomean(values.iter().copied());
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= lo * 0.999 && g <= hi * 1.001, "{lo} <= {g} <= {hi}");
+        let scaled = geomean(values.iter().map(|v| v * k));
+        prop_assert!((scaled / g - k).abs() < 1e-9 * k);
+    }
+
+    // -----------------------------------------------------------------
+    // Access counts: region classification is total and merge is a sum.
+    // -----------------------------------------------------------------
+    #[test]
+    fn access_counts_merge_is_sum(
+        addrs_a in prop::collection::vec(0u32..0x0200_0000, 0..100),
+        addrs_b in prop::collection::vec(0u32..0x0200_0000, 0..100),
+    ) {
+        let map = MemoryMap::default();
+        let mut a = AccessCounts::new();
+        let mut b = AccessCounts::new();
+        let mut joint = AccessCounts::new();
+        for (i, addr) in addrs_a.iter().enumerate() {
+            let kind = AccessKind::ALL[i % 3];
+            let acc = Access { kind, addr: addr & !3 };
+            a.record(acc, &map);
+            joint.record(acc, &map);
+        }
+        for (i, addr) in addrs_b.iter().enumerate() {
+            let kind = AccessKind::ALL[(i + 1) % 3];
+            let acc = Access { kind, addr: addr & !3 };
+            b.record(acc, &map);
+            joint.record(acc, &map);
+        }
+        a.merge(&b);
+        for r in Region::ALL {
+            for k in AccessKind::ALL {
+                prop_assert_eq!(a.get(r, k), joint.get(r, k));
+            }
+        }
+        prop_assert_eq!(a.total(), (addrs_a.len() + addrs_b.len()) as u64);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-simulation properties (fewer cases: each runs a machine).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Selection sort computes the closed-form checksum for arbitrary n,
+    // under both implementations, and the machine is deterministic.
+    #[test]
+    fn ss_is_correct_for_arbitrary_sizes(n in 1u32..24) {
+        for impl_ in [Implementation::Md, Implementation::Am] {
+            let p = programs::ss(n);
+            let out1 = Experiment::new(impl_).run(&p);
+            let out2 = Experiment::new(impl_).run(&p);
+            prop_assert_eq!(out1.result[0].as_i64(), programs::ss_expected(n));
+            prop_assert_eq!(out1.instructions, out2.instructions, "nondeterministic run");
+            prop_assert_eq!(out1.counts, out2.counts);
+        }
+    }
+
+    // Quicksort sorts arbitrary seeds/sizes identically under both
+    // implementations.
+    #[test]
+    fn quicksort_sorts_arbitrary_inputs(n in 1usize..24, seed in any::<u64>()) {
+        let p = programs::quicksort(n, seed);
+        let want = programs::quicksort_expected(n, seed);
+        for impl_ in [Implementation::Md, Implementation::Am] {
+            let out = Experiment::new(impl_).run(&p);
+            prop_assert_eq!(out.result[0].as_i64(), want);
+        }
+    }
+
+    // Fibonacci: the MD implementation never executes more instructions
+    // than the AM implementation on call-dominated workloads.
+    #[test]
+    fn md_beats_am_on_fib(n in 3u32..14) {
+        let p = programs::fib(n);
+        let md = Experiment::new(Implementation::Md).run(&p);
+        let am = Experiment::new(Implementation::Am).run(&p);
+        prop_assert_eq!(md.result[0].as_i64(), programs::fib_expected(n));
+        prop_assert_eq!(am.result[0].as_i64(), programs::fib_expected(n));
+        prop_assert!(md.instructions < am.instructions);
+    }
+
+    // Wavefront matches its reference for arbitrary shapes.
+    #[test]
+    fn wavefront_matches_reference(n in 2usize..10, gens in 1usize..4) {
+        let p = programs::wavefront(n, gens);
+        let want = programs::wavefront_expected(n, gens);
+        for impl_ in [Implementation::Md, Implementation::Am] {
+            let out = Experiment::new(impl_).run(&p);
+            prop_assert_eq!(out.result[0].as_f64(), want);
+        }
+    }
+}

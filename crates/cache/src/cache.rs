@@ -63,6 +63,9 @@ pub struct Cache {
     lines: Vec<Line>,
     block_shift: u32,
     set_mask: u32,
+    /// Bits to shift a block number right to obtain its tag
+    /// (`set_mask.trailing_ones()`, precomputed off the access path).
+    tag_shift: u32,
     assoc: usize,
     /// Accumulated counters.
     pub stats: CacheStats,
@@ -76,6 +79,7 @@ impl Cache {
             lines: vec![Line::default(); (n_sets * geometry.assoc) as usize],
             block_shift: geometry.block_bytes.trailing_zeros(),
             set_mask: n_sets - 1,
+            tag_shift: n_sets.trailing_zeros(),
             assoc: geometry.assoc as usize,
             stats: CacheStats::default(),
             geometry,
@@ -93,17 +97,50 @@ impl Cache {
     /// dirty block counts a write-back.
     #[inline]
     pub fn access(&mut self, addr: u32, is_write: bool) -> bool {
-        let block = addr >> self.block_shift;
-        let set = (block & self.set_mask) as usize;
-        let tag = block >> self.set_mask.trailing_ones();
-        let base = set * self.assoc;
-        let ways = &mut self.lines[base..base + self.assoc];
-
         if is_write {
             self.stats.writes += 1;
         } else {
             self.stats.reads += 1;
         }
+        self.probe_block(addr >> self.block_shift, is_write)
+    }
+
+    /// Core of [`Cache::access`], operating on a block number and leaving
+    /// the read/write access counters to the caller: the compressed-run
+    /// replay path accounts whole runs at once and probes only the first
+    /// access of each run (the rest are guaranteed hits).
+    #[inline]
+    pub(crate) fn probe_block(&mut self, block: u32, is_write: bool) -> bool {
+        let set = (block & self.set_mask) as usize;
+        let tag = block >> self.tag_shift;
+
+        // Direct-mapped fast path: no recency order to maintain, so a
+        // single compare decides the access (a third of the paper's sweep
+        // is 1-way).
+        if self.assoc == 1 {
+            let line = &mut self.lines[set];
+            if line.valid && line.tag == tag {
+                line.dirty |= is_write;
+                return true;
+            }
+            if is_write {
+                self.stats.write_misses += 1;
+            } else {
+                self.stats.read_misses += 1;
+            }
+            if line.valid && line.dirty {
+                self.stats.writebacks += 1;
+            }
+            *line = Line {
+                tag,
+                valid: true,
+                dirty: is_write,
+            };
+            return false;
+        }
+
+        let base = set * self.assoc;
+        let ways = &mut self.lines[base..base + self.assoc];
 
         // Search for the tag.
         if let Some(pos) = ways.iter().position(|l| l.valid && l.tag == tag) {
@@ -126,8 +163,31 @@ impl Cache {
             self.stats.writebacks += 1;
         }
         ways.rotate_right(1);
-        ways[0] = Line { tag, valid: true, dirty: is_write };
+        ways[0] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+        };
         false
+    }
+
+    /// Dirty the most-recently-used line of `block`'s set.
+    ///
+    /// Only valid immediately after an access to `block` (the
+    /// compressed-run replay calls it when a run's later accesses include
+    /// a write: those are hits on the just-touched, MRU-resident block).
+    #[inline]
+    pub(crate) fn dirty_mru(&mut self, block: u32) {
+        let set = (block & self.set_mask) as usize;
+        let line = &mut self.lines[set * self.assoc];
+        debug_assert!(line.valid && line.tag == block >> self.tag_shift);
+        line.dirty = true;
+    }
+
+    /// The log2 of the block size (callers shift addresses to blocks).
+    #[inline]
+    pub(crate) fn block_shift(&self) -> u32 {
+        self.block_shift
     }
 
     /// Reset contents and counters (reuse between runs).

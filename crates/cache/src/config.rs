@@ -20,14 +20,27 @@ impl CacheGeometry {
     /// Panics if any parameter is not a power of two or the capacity
     /// cannot hold `assoc` blocks.
     pub fn new(size_bytes: u32, assoc: u32, block_bytes: u32) -> Self {
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(assoc.is_power_of_two(), "associativity must be a power of two");
-        assert!(block_bytes.is_power_of_two() && block_bytes >= 4, "bad block size");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            assoc.is_power_of_two(),
+            "associativity must be a power of two"
+        );
+        assert!(
+            block_bytes.is_power_of_two() && block_bytes >= 4,
+            "bad block size"
+        );
         assert!(
             size_bytes >= assoc * block_bytes,
             "cache of {size_bytes} B cannot hold {assoc} blocks of {block_bytes} B"
         );
-        CacheGeometry { size_bytes, assoc, block_bytes }
+        CacheGeometry {
+            size_bytes,
+            assoc,
+            block_bytes,
+        }
     }
 
     /// Number of sets.
@@ -42,13 +55,17 @@ impl CacheGeometry {
 
     /// Short label like `8K/4way/64B`.
     pub fn label(&self) -> String {
-        format!("{}K/{}way/{}B", self.size_bytes / 1024, self.assoc, self.block_bytes)
+        format!(
+            "{}K/{}way/{}B",
+            self.size_bytes / 1024,
+            self.assoc,
+            self.block_bytes
+        )
     }
 }
 
 /// The cache sizes evaluated in the paper's figures: 1 KB through 128 KB.
-pub const PAPER_CACHE_SIZES: [u32; 8] =
-    [1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072];
+pub const PAPER_CACHE_SIZES: [u32; 8] = [1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072];
 
 /// The associativities evaluated in the paper: direct-mapped, 2-way, 4-way.
 pub const PAPER_ASSOCS: [u32; 3] = [1, 2, 4];

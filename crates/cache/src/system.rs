@@ -1,8 +1,8 @@
 //! Split instruction/data cache systems, the multi-configuration bank, and
 //! the cycle model.
 
-use crate::{Cache, CacheGeometry, CacheStats};
-use tamsim_trace::{Access, AccessKind, TraceSink};
+use crate::{BlockTrace, Cache, CacheGeometry, CacheStats};
+use tamsim_trace::{Access, AccessKind, TraceLog, TraceSink};
 
 /// A split I/D cache pair, as in the paper ("in all cases, we specified
 /// separate instruction and write-back data caches").
@@ -18,23 +18,53 @@ impl CacheSystem {
     /// Build a system with the same geometry for both caches (the paper
     /// quotes one size per configuration).
     pub fn symmetric(geometry: CacheGeometry) -> Self {
-        CacheSystem { icache: Cache::new(geometry), dcache: Cache::new(geometry) }
+        CacheSystem {
+            icache: Cache::new(geometry),
+            dcache: Cache::new(geometry),
+        }
     }
 
     /// Build a system with distinct I/D geometries.
     pub fn split(i: CacheGeometry, d: CacheGeometry) -> Self {
-        CacheSystem { icache: Cache::new(i), dcache: Cache::new(d) }
+        CacheSystem {
+            icache: Cache::new(i),
+            dcache: Cache::new(d),
+        }
     }
 
     /// Summarize both caches.
     pub fn summary(&self) -> CacheSummary {
-        CacheSummary { i: self.icache.stats, d: self.dcache.stats }
+        CacheSummary {
+            i: self.icache.stats,
+            d: self.dcache.stats,
+        }
     }
 
     /// Reset both caches.
     pub fn reset(&mut self) {
         self.icache.reset();
         self.dcache.reset();
+    }
+
+    /// Replay a recorded access stream into this system.
+    ///
+    /// Identical to feeding the same events through [`TraceSink::access`]
+    /// one at a time, but with the routing match inlined over a dense
+    /// packed log — the hot loop of the record/replay sweep.
+    pub fn replay(&mut self, log: &TraceLog) {
+        for access in log {
+            match access.kind {
+                AccessKind::Fetch => {
+                    self.icache.access(access.addr, false);
+                }
+                AccessKind::Read => {
+                    self.dcache.access(access.addr, false);
+                }
+                AccessKind::Write => {
+                    self.dcache.access(access.addr, true);
+                }
+            }
+        }
     }
 }
 
@@ -96,7 +126,10 @@ pub struct CycleModel {
 impl CycleModel {
     /// The paper's model at a given miss penalty.
     pub fn paper(miss_penalty: u64) -> Self {
-        CycleModel { miss_penalty, charge_writebacks: false }
+        CycleModel {
+            miss_penalty,
+            charge_writebacks: false,
+        }
     }
 
     /// Total cycles for a run with `base_cycles` (instructions executed)
@@ -143,12 +176,74 @@ impl CacheBank {
 
     /// Geometry and summary for every configuration.
     pub fn summaries(&self) -> Vec<(CacheGeometry, CacheSummary)> {
-        self.systems.iter().map(|(g, s)| (*g, s.summary())).collect()
+        self.systems
+            .iter()
+            .map(|(g, s)| (*g, s.summary()))
+            .collect()
     }
 
     /// The summary for one geometry, if present.
     pub fn summary_for(&self, geometry: CacheGeometry) -> Option<CacheSummary> {
-        self.systems.iter().find(|(g, _)| *g == geometry).map(|(_, s)| s.summary())
+        self.systems
+            .iter()
+            .find(|(g, _)| *g == geometry)
+            .map(|(_, s)| s.summary())
+    }
+
+    /// Score every geometry against a recorded log, in parallel.
+    ///
+    /// The log is first folded into same-block runs once per distinct
+    /// block size ([`BlockTrace`]) — a single pass whose cost is amortized
+    /// over every geometry sharing that block size (the whole Figure 3
+    /// sweep uses 64-byte blocks), and which typically shrinks the stream
+    /// severalfold because instruction fetch is sequential. Each
+    /// configuration is then an independent simulation (they share nothing
+    /// but the read-only folded traces), so the sweep is embarrassingly
+    /// parallel: geometries are sharded across `std::thread::scope`
+    /// workers, each of which replays its systems one at a time.
+    ///
+    /// Results are in `geometries` order and bit-identical to streaming
+    /// the same events through a [`CacheBank`].
+    pub fn replay_parallel(
+        geometries: &[CacheGeometry],
+        log: &TraceLog,
+    ) -> Vec<(CacheGeometry, CacheSummary)> {
+        let mut traces: Vec<BlockTrace> = Vec::new();
+        for g in geometries {
+            if !traces.iter().any(|t| t.block_bytes() == g.block_bytes) {
+                traces.push(BlockTrace::build(log, g.block_bytes));
+            }
+        }
+        let replay_one = |&g: &CacheGeometry| {
+            let trace = traces
+                .iter()
+                .find(|t| t.block_bytes() == g.block_bytes)
+                .expect("trace folded for every block size in the sweep");
+            let mut system = CacheSystem::symmetric(g);
+            trace.replay(&mut system);
+            (g, system.summary())
+        };
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(geometries.len());
+        if workers <= 1 {
+            return geometries.iter().map(replay_one).collect();
+        }
+        let shard = geometries.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = geometries
+                .chunks(shard)
+                .map(|chunk| {
+                    let replay_one = &replay_one;
+                    scope.spawn(move || chunk.iter().map(replay_one).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("replay worker panicked"))
+                .collect()
+        })
     }
 }
 
@@ -200,7 +295,10 @@ mod tests {
         sum.d.write_misses = 2;
         sum.d.writebacks = 5;
         assert_eq!(m.total_cycles(100, &sum), 100 + 12 * 5);
-        let charged = CycleModel { miss_penalty: 12, charge_writebacks: true };
+        let charged = CycleModel {
+            miss_penalty: 12,
+            charge_writebacks: true,
+        };
         assert_eq!(charged.total_cycles(100, &sum), 100 + 12 * 5 + 12 * 5);
     }
 
@@ -208,8 +306,7 @@ mod tests {
     fn bank_matches_individual_systems() {
         let geoms = [CacheGeometry::new(32, 1, 8), CacheGeometry::new(64, 2, 8)];
         let mut bank = CacheBank::symmetric(geoms);
-        let mut solo: Vec<CacheSystem> =
-            geoms.iter().map(|g| CacheSystem::symmetric(*g)).collect();
+        let mut solo: Vec<CacheSystem> = geoms.iter().map(|g| CacheSystem::symmetric(*g)).collect();
         let trace = [
             Access::fetch(0),
             Access::read(16),
@@ -228,6 +325,37 @@ mod tests {
             assert_eq!(g, geoms[i]);
             assert_eq!(sum, solo[i].summary());
         }
+    }
+
+    #[test]
+    fn replay_parallel_matches_streaming_bank() {
+        let geoms = [
+            CacheGeometry::new(32, 1, 8),
+            CacheGeometry::new(64, 2, 8),
+            CacheGeometry::new(128, 4, 16),
+        ];
+        let mut log = TraceLog::new();
+        let mut bank = CacheBank::symmetric(geoms);
+        // A pseudo-random-ish stream with collisions across all geometries.
+        let mut addr = 4u32;
+        for i in 0..5000u32 {
+            addr = (addr.wrapping_mul(1664525).wrapping_add(1013904223)) & 0x3FC;
+            let a = match i % 3 {
+                0 => Access::fetch(addr),
+                1 => Access::read(addr),
+                _ => Access::write(addr),
+            };
+            log.access(a);
+            bank.access(a);
+        }
+        let parallel = CacheBank::replay_parallel(&geoms, &log);
+        assert_eq!(parallel, bank.summaries());
+    }
+
+    #[test]
+    fn replay_parallel_empty_geometries() {
+        let log = TraceLog::new();
+        assert!(CacheBank::replay_parallel(&[], &log).is_empty());
     }
 
     #[test]

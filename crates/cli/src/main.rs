@@ -16,6 +16,9 @@
 //!   figure6    geomean excluding SS, direct-mapped
 //!   accesses   §3.1 reads/writes/fetches MD/AM
 //!   blocks     block-size sweep (§3.3)
+//!   perf       time the Figure 3 sweep, record/replay vs the legacy
+//!              inline path; verify identical CSVs; write
+//!              results/perf_summary.json
 //!   disasm     dump the lowered code of fib(5) under both back-ends
 //!   run FILE   parse a textual TAM program and run it under all
 //!              three implementations
@@ -51,11 +54,16 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--small" => small = true,
-            "--out" => out = PathBuf::from(it.next().expect("--out needs a directory")),
+            "--out" => {
+                out = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }))
+            }
             "--help" | "-h" => {
                 println!(
                     "tamsim [--small] [--out DIR] \
-                     [table1|table2|figure1..figure6|accesses|blocks|disasm|run FILE|all]"
+                     [table1|table2|figure1..figure6|accesses|blocks|perf|disasm|run FILE|all]"
                 );
                 std::process::exit(0);
             }
@@ -72,7 +80,12 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { small, out, command: command.unwrap_or_else(|| "all".to_string()), extra }
+    Args {
+        small,
+        out,
+        command: command.unwrap_or_else(|| "all".to_string()),
+        extra,
+    }
 }
 
 fn write_out(dir: &Path, name: &str, text: &str, csv: Option<&str>) {
@@ -100,14 +113,121 @@ fn emit_series(dir: &Path, stem: &str, title: &str, series: Vec<(u64, Table)>) {
     }
 }
 
+/// Benchmark the record/replay trace engine against the legacy inline
+/// path on the full 24-configuration Figure 3 sweep, check that the two
+/// produce identical figures, and leave a machine-readable summary at
+/// `DIR/perf_summary.json` so future changes have a trajectory to compare
+/// against.
+fn run_perf(suite: &[PaperBenchmark], small: bool, dir: &Path) {
+    let impls = [Implementation::Md, Implementation::Am];
+    let geometries = paper_sweep();
+    let n_configs = geometries.len();
+    eprintln!(
+        "perf: {} programs x {} impls over {} cache configs",
+        suite.len(),
+        impls.len(),
+        geometries.len()
+    );
+
+    // Baseline: the legacy streaming path (untraced probe run, then a
+    // traced re-run fanning every access to all configs serially).
+    let t0 = Instant::now();
+    let inline = SuiteData::collect_inline(suite.to_vec(), &impls, geometries.clone());
+    let inline_seconds = t0.elapsed().as_secs_f64();
+    eprintln!("  inline path        : {inline_seconds:.3} s");
+
+    // Record once / replay in parallel.
+    let t1 = Instant::now();
+    let (recorded, phases) = SuiteData::collect_timed(suite.to_vec(), &impls, geometries);
+    let recorded_seconds = t1.elapsed().as_secs_f64();
+    eprintln!(
+        "  record/replay path : {recorded_seconds:.3} s \
+         (machine {:.3} s + replay {:.3} s, {} events)",
+        phases.machine_seconds, phases.replay_seconds, phases.events
+    );
+
+    // The optimisation must be invisible in the results: identical CSVs.
+    let csv_of = |data: &SuiteData| -> Vec<(u64, String)> {
+        metrics::figure3(data)
+            .into_iter()
+            .map(|(cost, t)| (cost, t.to_csv()))
+            .collect()
+    };
+    let inline_csv = csv_of(&inline);
+    let recorded_csv = csv_of(&recorded);
+    assert_eq!(
+        inline_csv, recorded_csv,
+        "record/replay figures diverged from the inline path"
+    );
+    emit_series(
+        dir,
+        "figure3",
+        "Figure 3: geomean MD/AM cycle ratio vs cache size",
+        metrics::figure3(&recorded),
+    );
+
+    let speedup = inline_seconds / recorded_seconds;
+    println!("## perf: Figure 3 sweep, inline vs record/replay\n");
+    println!("inline (probe + traced fan-out) : {inline_seconds:>8.3} s");
+    println!("record/replay                   : {recorded_seconds:>8.3} s");
+    println!(
+        "  machine (record) phase        : {:>8.3} s",
+        phases.machine_seconds
+    );
+    println!(
+        "  cache (replay) phase          : {:>8.3} s",
+        phases.replay_seconds
+    );
+    println!("events recorded                 : {:>8}", phases.events);
+    println!("speedup                         : {speedup:>8.2}x");
+
+    let json = format!(
+        "{{\n  \"suite\": \"{}\",\n  \"programs\": {},\n  \"implementations\": {},\n  \
+         \"cache_configs\": {},\n  \"events_recorded\": {},\n  \
+         \"inline_seconds\": {:.6},\n  \"recorded_seconds\": {:.6},\n  \
+         \"machine_seconds\": {:.6},\n  \"replay_seconds\": {:.6},\n  \
+         \"speedup\": {:.3},\n  \"identical_csv\": true\n}}\n",
+        if small { "small" } else { "paper" },
+        suite.len(),
+        impls.len(),
+        n_configs,
+        phases.events,
+        inline_seconds,
+        recorded_seconds,
+        phases.machine_seconds,
+        phases.replay_seconds,
+        speedup,
+    );
+    fs::create_dir_all(dir).expect("create results dir");
+    fs::write(dir.join("perf_summary.json"), json).expect("write perf_summary.json");
+    eprintln!("wrote {}", dir.join("perf_summary.json").display());
+}
+
+const COMMANDS: &[&str] = &[
+    "all", "table1", "table2", "figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
+    "accesses", "blocks", "perf", "disasm", "run",
+];
+
 fn main() {
     let args = parse_args();
+    if !COMMANDS.contains(&args.command.as_str()) {
+        eprintln!(
+            "unknown command '{}'; expected one of: {}",
+            args.command,
+            COMMANDS.join("|")
+        );
+        std::process::exit(2);
+    }
     let suite: Vec<PaperBenchmark> = if args.small {
         tamsim_programs::small_suite()
     } else {
         tamsim_programs::paper_suite()
     };
     let dir = args.out.clone();
+    if args.command == "perf" {
+        run_perf(&suite, args.small, &dir);
+        return;
+    }
     let needs_data = matches!(
         args.command.as_str(),
         "all" | "table2" | "figure3" | "figure4" | "figure5" | "figure6" | "accesses" | "blocks"
@@ -199,7 +319,12 @@ fn main() {
     }
     if all || cmd == "accesses" {
         let data = data.as_ref().unwrap();
-        emit(&dir, "accesses", "§3.1: MD accesses as a fraction of AM", &metrics::accesses(data));
+        emit(
+            &dir,
+            "accesses",
+            "§3.1: MD accesses as a fraction of AM",
+            &metrics::accesses(data),
+        );
         emit(
             &dir,
             "regions_md",
@@ -214,16 +339,26 @@ fn main() {
         );
     }
     if cmd == "run" {
-        let path = args.extra.first().cloned().expect("usage: tamsim run FILE.tam");
+        let path = args
+            .extra
+            .first()
+            .cloned()
+            .expect("usage: tamsim run FILE.tam");
         let source = fs::read_to_string(&path).expect("read program file");
-        let program = tamsim_tam::parse_program(&source)
-            .unwrap_or_else(|e| panic!("{path}: {e}"));
-        println!("{}: {} codeblocks, {} static ops", program.name,
-            program.codeblocks.len(), program.static_ops());
-        for impl_ in [Implementation::Am, Implementation::AmEnabled, Implementation::Md] {
+        let program = tamsim_tam::parse_program(&source).unwrap_or_else(|e| panic!("{path}: {e}"));
+        println!(
+            "{}: {} codeblocks, {} static ops",
+            program.name,
+            program.codeblocks.len(),
+            program.static_ops()
+        );
+        for impl_ in [
+            Implementation::Am,
+            Implementation::AmEnabled,
+            Implementation::Md,
+        ] {
             let out = tamsim_core::Experiment::new(impl_).run(&program);
-            let result: Vec<String> =
-                out.result.iter().map(|w| w.as_i64().to_string()).collect();
+            let result: Vec<String> = out.result.iter().map(|w| w.as_i64().to_string()).collect();
             println!(
                 "  {:5}: result [{}]  {} instructions, tpq {:.1}",
                 impl_.label(),

@@ -175,7 +175,8 @@ impl Asm {
     /// Panics if any referenced label was never bound.
     pub fn finish(self, img: &mut CodeImage) {
         for (addr, label) in self.fixups {
-            let target = self.labels[label.0].unwrap_or_else(|| panic!("branch to unbound label {}", label.0));
+            let target = self.labels[label.0]
+                .unwrap_or_else(|| panic!("branch to unbound label {}", label.0));
             let patched = match img.at(addr).clone() {
                 MOp::Br { .. } => MOp::Br { t: target },
                 MOp::Bz { c, .. } => MOp::Bz { c, t: target },
@@ -186,7 +187,8 @@ impl Asm {
             img.patch(addr, patched);
         }
         for (addr, idx, label) in self.send_fixups {
-            let target = self.labels[label.0].unwrap_or_else(|| panic!("send of unbound label {}", label.0));
+            let target =
+                self.labels[label.0].unwrap_or_else(|| panic!("send of unbound label {}", label.0));
             let MOp::Send { pri, mut srcs } = img.at(addr).clone() else {
                 panic!("send fixup on non-send op");
             };
@@ -194,11 +196,18 @@ impl Asm {
             img.patch(addr, MOp::Send { pri, srcs });
         }
         for (addr, label) in self.movi_fixups {
-            let target = self.labels[label.0].unwrap_or_else(|| panic!("movi of unbound label {}", label.0));
+            let target =
+                self.labels[label.0].unwrap_or_else(|| panic!("movi of unbound label {}", label.0));
             let MOp::MovI { d, .. } = img.at(addr).clone() else {
                 panic!("movi fixup on non-movi op");
             };
-            img.patch(addr, MOp::MovI { d, v: Word::from_addr(target) });
+            img.patch(
+                addr,
+                MOp::MovI {
+                    d,
+                    v: Word::from_addr(target),
+                },
+            );
         }
     }
 }
@@ -206,9 +215,7 @@ impl Asm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tamsim_mdp::{
-        AluOp, Machine, MachineConfig, NoHooks, Operand, Priority, Word,
-    };
+    use tamsim_mdp::{AluOp, Machine, MachineConfig, NoHooks, Operand, Priority, Word};
     use tamsim_trace::MemoryMap;
 
     #[test]
@@ -217,9 +224,23 @@ mod tests {
         let mut asm = Asm::new();
         let skip = asm.label();
         let entry = img.next_user();
-        asm.op(&mut img, Stream::User, MOp::MovI { d: Reg(0), v: Word::from_i64(1) });
+        asm.op(
+            &mut img,
+            Stream::User,
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_i64(1),
+            },
+        );
         asm.br(&mut img, Stream::User, skip);
-        asm.op(&mut img, Stream::User, MOp::MovI { d: Reg(0), v: Word::from_i64(99) });
+        asm.op(
+            &mut img,
+            Stream::User,
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_i64(99),
+            },
+        );
         asm.bind(&img, Stream::User, skip);
         asm.op(&mut img, Stream::User, MOp::Halt);
         asm.finish(&mut img);
@@ -227,7 +248,11 @@ mod tests {
         let mut m = Machine::new(MachineConfig::default(), &img);
         m.start_low(entry);
         m.run(&mut NoHooks).unwrap();
-        assert_eq!(m.reg(Priority::Low, Reg(0)).as_i64(), 1, "skipped the overwrite");
+        assert_eq!(
+            m.reg(Priority::Low, Reg(0)).as_i64(),
+            1,
+            "skipped the overwrite"
+        );
     }
 
     #[test]
@@ -235,19 +260,43 @@ mod tests {
         let mut img = CodeImage::new(&MemoryMap::default());
         let mut asm = Asm::new();
         let entry = img.next_user();
-        asm.op(&mut img, Stream::User, MOp::MovI { d: Reg(0), v: Word::from_i64(0) });
-        asm.op(&mut img, Stream::User, MOp::MovI { d: Reg(1), v: Word::from_i64(4) });
+        asm.op(
+            &mut img,
+            Stream::User,
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_i64(0),
+            },
+        );
+        asm.op(
+            &mut img,
+            Stream::User,
+            MOp::MovI {
+                d: Reg(1),
+                v: Word::from_i64(4),
+            },
+        );
         let top = asm.label();
         asm.bind(&img, Stream::User, top);
         asm.op(
             &mut img,
             Stream::User,
-            MOp::Alu { op: AluOp::Add, d: Reg(0), a: Reg(0), b: Operand::Imm(2) },
+            MOp::Alu {
+                op: AluOp::Add,
+                d: Reg(0),
+                a: Reg(0),
+                b: Operand::Imm(2),
+            },
         );
         asm.op(
             &mut img,
             Stream::User,
-            MOp::Alu { op: AluOp::Sub, d: Reg(1), a: Reg(1), b: Operand::Imm(1) },
+            MOp::Alu {
+                op: AluOp::Sub,
+                d: Reg(1),
+                a: Reg(1),
+                b: Operand::Imm(1),
+            },
         );
         asm.bnz(&mut img, Stream::User, Reg(1), top);
         asm.op(&mut img, Stream::User, MOp::Halt);
@@ -269,12 +318,24 @@ mod tests {
         asm.op(
             &mut img,
             Stream::Sys,
-            MOp::Alu { op: AluOp::Add, d: Reg(0), a: Reg(0), b: Operand::Imm(5) },
+            MOp::Alu {
+                op: AluOp::Add,
+                d: Reg(0),
+                a: Reg(0),
+                b: Operand::Imm(5),
+            },
         );
         asm.op(&mut img, Stream::Sys, MOp::Ret);
         // User: call it twice.
         let entry = img.next_user();
-        asm.op(&mut img, Stream::User, MOp::MovI { d: Reg(0), v: Word::from_i64(0) });
+        asm.op(
+            &mut img,
+            Stream::User,
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_i64(0),
+            },
+        );
         asm.call(&mut img, Stream::User, lib);
         asm.call(&mut img, Stream::User, lib);
         asm.op(&mut img, Stream::User, MOp::Halt);

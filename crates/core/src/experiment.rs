@@ -10,7 +10,7 @@ use tamsim_mdp::{
     CodeImage, Hooks, Machine, MachineConfig, Mark, Priority, RunError, RunStats, Word,
 };
 use tamsim_tam::{Program, TOp, Value};
-use tamsim_trace::{Access, AccessCounts, CountingSink, NullSink, TraceSink};
+use tamsim_trace::{Access, AccessCounts, CountingSink, NullSink, TraceLog, TraceSink};
 
 /// A program lowered and linked for one implementation: code image, boot
 /// message, and memory seed.
@@ -201,7 +201,12 @@ pub fn link(
         Word::from_i64(0), // parent frame (none)
         Word::from_addr(done_addr),
     ];
-    boot.extend(program.main_args.iter().map(|v| resolve_value(v, &array_bases)));
+    boot.extend(
+        program
+            .main_args
+            .iter()
+            .map(|v| resolve_value(v, &array_bases)),
+    );
 
     Linked {
         code: img,
@@ -263,9 +268,7 @@ impl<S: TraceSink> Hooks for DriverHooks<'_, S> {
     fn access(&mut self, access: Access) {
         self.counts.access(access);
         if let Some((lo, hi)) = self.queue_bypass {
-            if access.kind != tamsim_trace::AccessKind::Fetch
-                && (lo..hi).contains(&access.addr)
-            {
+            if access.kind != tamsim_trace::AccessKind::Fetch && (lo..hi).contains(&access.addr) {
                 self.queue_accesses += 1;
                 return;
             }
@@ -327,12 +330,21 @@ impl Experiment {
     }
 
     fn config(&self, queue_words: [u32; 2]) -> MachineConfig {
-        MachineConfig { queue_words, fuel: self.fuel, ..MachineConfig::default() }
+        MachineConfig {
+            queue_words,
+            fuel: self.fuel,
+            ..MachineConfig::default()
+        }
     }
 
     /// Link `program` at the experiment's current queue sizes.
     pub fn link(&self, program: &Program) -> Linked {
-        link(program, self.implementation, self.opts, self.config(self.queue_words))
+        link(
+            program,
+            self.implementation,
+            self.opts,
+            self.config(self.queue_words),
+        )
     }
 
     /// Run `program` with no extra sink.
@@ -345,6 +357,11 @@ impl Experiment {
     /// with doubled queues, re-linking so addresses stay consistent, and
     /// `sink` is only fed by the final successful run (the caller's sink
     /// must be fresh; overflow is detected with a cheap probe first).
+    ///
+    /// This is the legacy streaming path: it costs an extra untraced
+    /// machine run even when the initial queues fit. Prefer
+    /// [`Experiment::run_recorded`] unless the consumer genuinely needs a
+    /// live sink (e.g. an ablation observing events as they happen).
     pub fn run_with_sink<S: TraceSink>(&self, program: &Program, sink: &mut S) -> RunResult {
         // Probe with untraced runs until the queues fit.
         let mut queue_words = self.queue_words;
@@ -365,7 +382,10 @@ impl Experiment {
                     );
                     queue_words[i] *= 2;
                 }
-                Err(e) => panic!("program {} failed under {:?}: {e}", program.name, self.implementation),
+                Err(e) => panic!(
+                    "program {} failed under {:?}: {e}",
+                    program.name, self.implementation
+                ),
             }
         };
 
@@ -395,4 +415,93 @@ impl Experiment {
             queue_accesses,
         }
     }
+
+    /// Run `program` once, recording its access trace into a [`TraceLog`]
+    /// for later (parallel) replay.
+    ///
+    /// Unlike [`Experiment::run_with_sink`], recording happens *during*
+    /// the queue-sizing attempt loop: when the initial queues fit — the
+    /// common case — the machine runs exactly once instead of
+    /// probe-then-trace twice. On overflow the partial log is discarded
+    /// and the attempt repeats with that queue doubled.
+    pub fn run_recorded(&self, program: &Program) -> RecordedRun {
+        self.run_recorded_observed(program, |_| {})
+    }
+
+    /// [`Experiment::run_recorded`] with an observer: `on_machine_run` is
+    /// invoked with the 0-based attempt number immediately before each
+    /// machine run, letting tests assert how many simulations a sweep
+    /// actually cost.
+    pub fn run_recorded_observed(
+        &self,
+        program: &Program,
+        mut on_machine_run: impl FnMut(u32),
+    ) -> RecordedRun {
+        let mut queue_words = self.queue_words;
+        let mut log = TraceLog::new();
+        let mut attempt = 0u32;
+        loop {
+            let linked = link(
+                program,
+                self.implementation,
+                self.opts,
+                self.config(queue_words),
+            );
+            let sys = linked.cfg.sys_layout();
+            let mut hooks = DriverHooks {
+                counts: CountingSink::new(linked.cfg.map),
+                gran: Granularity::new(),
+                extra: &mut log,
+                queue_bypass: self
+                    .queue_bypass
+                    .then_some((sys.low_queue_base, sys.globals_base)),
+                queue_accesses: 0,
+            };
+            on_machine_run(attempt);
+            attempt += 1;
+            match linked.run(&mut hooks) {
+                Ok((stats, machine)) => {
+                    let run = RunResult {
+                        implementation: self.implementation,
+                        instructions: stats.instructions,
+                        result: linked.read_result(&machine),
+                        arrays: linked.read_arrays(&machine),
+                        counts: hooks.counts.counts,
+                        granularity: hooks.gran,
+                        stats,
+                        queue_words,
+                        queue_accesses: hooks.queue_accesses,
+                    };
+                    return RecordedRun { run, log };
+                }
+                Err(RunError::QueueOverflow { pri }) => {
+                    let i = pri.index();
+                    assert!(
+                        queue_words[i] < 1 << 22,
+                        "queue demand implausibly large; runaway program?"
+                    );
+                    queue_words[i] *= 2;
+                    log.clear();
+                }
+                Err(e) => panic!(
+                    "program {} failed under {:?}: {e}",
+                    program.name, self.implementation
+                ),
+            }
+        }
+    }
+}
+
+/// A completed run together with the access trace it recorded.
+///
+/// Produced by [`Experiment::run_recorded`]; the log replays into any
+/// number of cache configurations via
+/// `tamsim_cache::CacheBank::replay_parallel`.
+#[derive(Debug, Clone)]
+pub struct RecordedRun {
+    /// Everything [`Experiment::run_with_sink`] would have measured.
+    pub run: RunResult,
+    /// The recorded access stream (queue-bypassed accesses excluded, as
+    /// in the streaming path).
+    pub log: TraceLog,
 }

@@ -119,7 +119,14 @@ mod tests {
     use super::*;
 
     fn start(g: &mut Granularity, frame: u32) {
-        g.mark(Mark::ThreadStart { codeblock: 0, thread: 0 }, frame, Priority::Low);
+        g.mark(
+            Mark::ThreadStart {
+                codeblock: 0,
+                thread: 0,
+            },
+            frame,
+            Priority::Low,
+        );
     }
 
     #[test]
@@ -142,7 +149,14 @@ mod tests {
         g.instruction(Priority::Low, 0);
         g.instruction(Priority::Low, 4);
         // An inlet preempts at high priority.
-        g.mark(Mark::InletStart { codeblock: 0, inlet: 0 }, 1, Priority::High);
+        g.mark(
+            Mark::InletStart {
+                codeblock: 0,
+                inlet: 0,
+            },
+            1,
+            Priority::High,
+        );
         g.instruction(Priority::High, 8);
         g.mark(Mark::InletEnd, 1, Priority::High);
         // Back in the thread.

@@ -43,10 +43,18 @@ pub struct FrameLayout {
 impl FrameLayout {
     /// Compute the layout of `cb` for the AM (`is_am`) or MD back-end.
     pub fn of(cb: &Codeblock, is_am: bool) -> Self {
-        let rcv_cap = if is_am { 2 * cb.threads.len() as u32 + 8 } else { 0 };
+        let rcv_cap = if is_am {
+            2 * cb.threads.len() as u32 + 8
+        } else {
+            0
+        };
         // AM: link, rcv_top, rcv entries, parent, reply, counts, slots.
         // MD: link, parent, reply, counts, slots.
-        let parent_off = if is_am { frame::RCV_BASE_OFF + rcv_cap * 4 } else { 4 };
+        let parent_off = if is_am {
+            frame::RCV_BASE_OFF + rcv_cap * 4
+        } else {
+            4
+        };
         let reply_off = parent_off + 4;
         let mut next = reply_off + 4;
         let mut count_off = Vec::with_capacity(cb.threads.len());
@@ -60,7 +68,14 @@ impl FrameLayout {
         }
         let user_off = next;
         let frame_words = user_off / 4 + cb.n_slots as u32;
-        FrameLayout { rcv_cap, parent_off, reply_off, count_off, user_off, frame_words }
+        FrameLayout {
+            rcv_cap,
+            parent_off,
+            reply_off,
+            count_off,
+            user_off,
+            frame_words,
+        }
     }
 
     /// Byte offset of a user slot.
@@ -251,9 +266,7 @@ mod tests {
     #[test]
     fn am_frames_are_larger_than_md_frames() {
         let c = cb(&[1, 2, 1], 4, 2);
-        assert!(
-            FrameLayout::of(&c, true).frame_words > FrameLayout::of(&c, false).frame_words
-        );
+        assert!(FrameLayout::of(&c, true).frame_words > FrameLayout::of(&c, false).frame_words);
     }
 
     #[test]
@@ -273,8 +286,11 @@ mod tests {
             main_args: vec![Value::Int(0)],
             arrays: vec![],
         };
-        let layouts: Vec<_> =
-            program.codeblocks.iter().map(|c| FrameLayout::of(c, false)).collect();
+        let layouts: Vec<_> = program
+            .codeblocks
+            .iter()
+            .map(|c| FrameLayout::of(c, false))
+            .collect();
         let cfg = MachineConfig::default();
         let sys = cfg.sys_layout();
         let g = GlobalsMap::new(&sys, &program, &layouts);

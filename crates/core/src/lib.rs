@@ -11,9 +11,13 @@
 //!
 //! [`Experiment`] links a `tamsim-tam` [`tamsim_tam::Program`] for either
 //! back-end, runs it on the `tamsim-mdp` machine, and reports instruction
-//! counts, Section 3.1 access counts, and Table 2 granularity statistics;
-//! pass a [`tamsim_cache::CacheBank`] as the sink to collect cache
-//! behaviour for every configuration in one pass.
+//! counts, Section 3.1 access counts, and Table 2 granularity statistics.
+//! [`Experiment::run_recorded`] additionally captures the access trace in
+//! a single machine run; `tamsim_cache::CacheBank::replay_parallel` then
+//! scores every cache configuration from the recording. The streaming
+//! alternative ([`Experiment::run_with_sink`] with a live
+//! [`tamsim_cache::CacheBank`]) remains for consumers that must observe
+//! events as they happen.
 
 pub mod asm;
 pub mod experiment;
@@ -23,7 +27,7 @@ pub mod lower;
 pub mod opts;
 pub mod sys;
 
-pub use experiment::{link, Experiment, Linked, RunResult};
+pub use experiment::{link, Experiment, Linked, RecordedRun, RunResult};
 pub use granularity::Granularity;
 pub use layout::{FrameLayout, GlobalsMap};
 pub use opts::{Implementation, LoweringOptions};

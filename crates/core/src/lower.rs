@@ -121,12 +121,7 @@ pub fn make_labels(asm: &mut Asm, program: &Program) -> Lowered {
     }
 }
 
-fn lower_codeblock(
-    ctx: &mut LowerCtx<'_>,
-    lowered: &Lowered,
-    cbid: CodeblockId,
-    cb: &Codeblock,
-) {
+fn lower_codeblock(ctx: &mut LowerCtx<'_>, lowered: &Lowered, cbid: CodeblockId, cb: &Codeblock) {
     let analysis = CbAnalysis::of(cb);
     // Which threads get folded into their sole posting inlet (MD §2.3).
     let specialized: Vec<bool> = cb
@@ -147,24 +142,37 @@ fn lower_codeblock(
                         matches!(
                             ops.last(),
                             Some(TOp::Post { t: pt }) if *pt == ThreadId(t as u16)
-                        ) && !ops[..ops.len() - 1].iter().any(|op| {
-                            matches!(op, TOp::Post { .. } | TOp::PostIf { .. })
-                        })
+                        ) && !ops[..ops.len() - 1]
+                            .iter()
+                            .any(|op| matches!(op, TOp::Post { .. } | TOp::PostIf { .. }))
                     })
         })
         .collect();
 
     for (i, _inlet) in cb.inlets.iter().enumerate() {
-        lower_inlet(ctx, lowered, cbid, cb, &analysis, InletId(i as u16), &specialized);
+        lower_inlet(
+            ctx,
+            lowered,
+            cbid,
+            cb,
+            &analysis,
+            InletId(i as u16),
+            &specialized,
+        );
     }
     for (t, thread) in cb.threads.iter().enumerate() {
         if specialized[t] {
             continue; // folded into its inlet; canonical body is dead code
         }
         let tid = ThreadId(t as u16);
-        ctx.asm.bind(ctx.img, U, lowered.thread_labels[cbid.0 as usize][t]);
+        ctx.asm
+            .bind(ctx.img, U, lowered.thread_labels[cbid.0 as usize][t]);
         emit_thread_prologue(ctx, cbid, tid);
-        let stop = if ctx.impl_.is_am() { StopMode::AmPop } else { StopMode::MdPop };
+        let stop = if ctx.impl_.is_am() {
+            StopMode::AmPop
+        } else {
+            StopMode::MdPop
+        };
         lower_thread_body(ctx, lowered, cbid, cb, &thread.ops, stop);
     }
 }
@@ -174,7 +182,10 @@ fn emit_thread_prologue(ctx: &mut LowerCtx<'_>, cbid: CodeblockId, tid: ThreadId
     ctx.asm.op(
         ctx.img,
         U,
-        MOp::Mark(Mark::ThreadStart { codeblock: cbid.0, thread: tid.0 }),
+        MOp::Mark(Mark::ThreadStart {
+            codeblock: cbid.0,
+            thread: tid.0,
+        }),
     );
     match ctx.impl_ {
         // Figure 2(a): "interrupts are enabled briefly at the top of a
@@ -329,13 +340,34 @@ fn fork_branch(
 /// `SCRATCH_A <- --count(t)` (load, decrement, store).
 fn emit_count_decrement(ctx: &mut LowerCtx<'_>, cbid: CodeblockId, t: ThreadId) {
     let off = ctx.layout(cbid).count_off(t) as i32;
-    ctx.asm.op(ctx.img, U, MOp::Ld { d: SCRATCH_A, base: Reg::FP, off });
     ctx.asm.op(
         ctx.img,
         U,
-        MOp::Alu { op: AluOp::Sub, d: SCRATCH_A, a: SCRATCH_A, b: Operand::Imm(1) },
+        MOp::Ld {
+            d: SCRATCH_A,
+            base: Reg::FP,
+            off,
+        },
     );
-    ctx.asm.op(ctx.img, U, MOp::St { s: SCRATCH_A, base: Reg::FP, off });
+    ctx.asm.op(
+        ctx.img,
+        U,
+        MOp::Alu {
+            op: AluOp::Sub,
+            d: SCRATCH_A,
+            a: SCRATCH_A,
+            b: Operand::Imm(1),
+        },
+    );
+    ctx.asm.op(
+        ctx.img,
+        U,
+        MOp::St {
+            s: SCRATCH_A,
+            base: Reg::FP,
+            off,
+        },
+    );
 }
 
 /// Push `t`'s entry address onto the LCV (in-frame for AM, global for MD).
@@ -344,36 +376,84 @@ fn emit_lcv_push(ctx: &mut LowerCtx<'_>, lowered: &Lowered, cbid: CodeblockId, t
     if ctx.impl_.is_am() {
         use crate::layout::frame;
         let top = frame::RCV_TOP_OFF as i32;
-        ctx.asm.op(ctx.img, U, MOp::Ld { d: SCRATCH_A, base: Reg::FP, off: top });
         ctx.asm.op(
             ctx.img,
             U,
-            MOp::Alu { op: AluOp::Add, d: SCRATCH_B, a: SCRATCH_A, b: Operand::Imm(1) },
-        );
-        ctx.asm.op(ctx.img, U, MOp::St { s: SCRATCH_B, base: Reg::FP, off: top });
-        ctx.asm.op(
-            ctx.img,
-            U,
-            MOp::Alu { op: AluOp::Shl, d: SCRATCH_A, a: SCRATCH_A, b: Operand::Imm(2) },
+            MOp::Ld {
+                d: SCRATCH_A,
+                base: Reg::FP,
+                off: top,
+            },
         );
         ctx.asm.op(
             ctx.img,
             U,
-            MOp::Alu { op: AluOp::Add, d: SCRATCH_A, a: SCRATCH_A, b: Operand::Reg(Reg::FP) },
+            MOp::Alu {
+                op: AluOp::Add,
+                d: SCRATCH_B,
+                a: SCRATCH_A,
+                b: Operand::Imm(1),
+            },
+        );
+        ctx.asm.op(
+            ctx.img,
+            U,
+            MOp::St {
+                s: SCRATCH_B,
+                base: Reg::FP,
+                off: top,
+            },
+        );
+        ctx.asm.op(
+            ctx.img,
+            U,
+            MOp::Alu {
+                op: AluOp::Shl,
+                d: SCRATCH_A,
+                a: SCRATCH_A,
+                b: Operand::Imm(2),
+            },
+        );
+        ctx.asm.op(
+            ctx.img,
+            U,
+            MOp::Alu {
+                op: AluOp::Add,
+                d: SCRATCH_A,
+                a: SCRATCH_A,
+                b: Operand::Reg(Reg::FP),
+            },
         );
         ctx.asm.movi_label(ctx.img, U, SCRATCH_B, target);
         ctx.asm.op(
             ctx.img,
             U,
-            MOp::St { s: SCRATCH_B, base: SCRATCH_A, off: frame::RCV_BASE_OFF as i32 },
+            MOp::St {
+                s: SCRATCH_B,
+                base: SCRATCH_A,
+                off: frame::RCV_BASE_OFF as i32,
+            },
         );
     } else {
         ctx.asm.movi_label(ctx.img, U, SCRATCH_A, target);
-        ctx.asm.op(ctx.img, U, MOp::St { s: SCRATCH_A, base: LCV_REG, off: 0 });
         ctx.asm.op(
             ctx.img,
             U,
-            MOp::Alu { op: AluOp::Add, d: LCV_REG, a: LCV_REG, b: Operand::Imm(4) },
+            MOp::St {
+                s: SCRATCH_A,
+                base: LCV_REG,
+                off: 0,
+            },
+        );
+        ctx.asm.op(
+            ctx.img,
+            U,
+            MOp::Alu {
+                op: AluOp::Add,
+                d: LCV_REG,
+                a: LCV_REG,
+                b: Operand::Imm(4),
+            },
         );
     }
 }
@@ -383,8 +463,24 @@ fn emit_return(ctx: &mut LowerCtx<'_>, cbid: CodeblockId, vals: &[VReg]) {
         let lay = ctx.layout(cbid);
         (lay.reply_off as i32, lay.parent_off as i32)
     };
-    ctx.asm.op(ctx.img, U, MOp::Ld { d: SCRATCH_A, base: Reg::FP, off: reply_off });
-    ctx.asm.op(ctx.img, U, MOp::Ld { d: SCRATCH_B, base: Reg::FP, off: parent_off });
+    ctx.asm.op(
+        ctx.img,
+        U,
+        MOp::Ld {
+            d: SCRATCH_A,
+            base: Reg::FP,
+            off: reply_off,
+        },
+    );
+    ctx.asm.op(
+        ctx.img,
+        U,
+        MOp::Ld {
+            d: SCRATCH_B,
+            base: Reg::FP,
+            off: parent_off,
+        },
+    );
     let mut parts = vec![Part::reg(SCRATCH_A), Part::reg(SCRATCH_B)];
     parts.extend(vals.iter().map(|v| Part::reg(vreg(*v))));
     ctx.asm.send_parts(ctx.img, U, ctx.inlet_pri(), parts);
@@ -392,7 +488,11 @@ fn emit_return(ctx: &mut LowerCtx<'_>, cbid: CodeblockId, vals: &[VReg]) {
         ctx.img,
         U,
         Priority::High,
-        vec![Part::Lbl(ctx.sys.ffree), Part::reg(Reg::FP), Part::int(cbid.0 as i64)],
+        vec![
+            Part::Lbl(ctx.sys.ffree),
+            Part::reg(Reg::FP),
+            Part::int(cbid.0 as i64),
+        ],
     );
     ctx.asm.op(ctx.img, U, MOp::Mark(Mark::ThreadEnd));
     match ctx.impl_ {
@@ -429,34 +529,59 @@ fn lower_common(
             ctx.asm.op(ctx.img, U, MOp::MovI { d: vreg(*d), v: w });
         }
         TOp::Mov { d, s } => {
-            ctx.asm.op(ctx.img, U, MOp::Mov { d: vreg(*d), s: vreg(*s) });
+            ctx.asm.op(
+                ctx.img,
+                U,
+                MOp::Mov {
+                    d: vreg(*d),
+                    s: vreg(*s),
+                },
+            );
         }
         TOp::Alu { op, d, a, b } => {
             ctx.asm.op(
                 ctx.img,
                 U,
-                MOp::Alu { op: *op, d: vreg(*d), a: vreg(*a), b: operand(*b) },
+                MOp::Alu {
+                    op: *op,
+                    d: vreg(*d),
+                    a: vreg(*a),
+                    b: operand(*b),
+                },
             );
         }
         TOp::FAlu { op, d, a, b } => {
             ctx.asm.op(
                 ctx.img,
                 U,
-                MOp::FAlu { op: *op, d: vreg(*d), a: vreg(*a), b: vreg(*b) },
+                MOp::FAlu {
+                    op: *op,
+                    d: vreg(*d),
+                    a: vreg(*a),
+                    b: vreg(*b),
+                },
             );
         }
         TOp::LdSlot { d, slot } => {
             ctx.asm.op(
                 ctx.img,
                 U,
-                MOp::Ld { d: vreg(*d), base: Reg::FP, off: lay.slot_off(*slot) as i32 },
+                MOp::Ld {
+                    d: vreg(*d),
+                    base: Reg::FP,
+                    off: lay.slot_off(*slot) as i32,
+                },
             );
         }
         TOp::StSlot { slot, s } => {
             ctx.asm.op(
                 ctx.img,
                 U,
-                MOp::St { s: vreg(*s), base: Reg::FP, off: lay.slot_off(*slot) as i32 },
+                MOp::St {
+                    s: vreg(*s),
+                    base: Reg::FP,
+                    off: lay.slot_off(*slot) as i32,
+                },
             );
         }
         TOp::LdSlotIdx { d, base, idx } => {
@@ -485,7 +610,14 @@ fn lower_common(
         }
         TOp::LdMsg { d, idx } => {
             // Payload starts after [handler, frame].
-            ctx.asm.op(ctx.img, U, MOp::LdMsg { d: vreg(*d), idx: idx + 2 });
+            ctx.asm.op(
+                ctx.img,
+                U,
+                MOp::LdMsg {
+                    d: vreg(*d),
+                    idx: idx + 2,
+                },
+            );
         }
         TOp::Call { cb, args, reply } => {
             let mut parts = vec![
@@ -498,7 +630,12 @@ fn lower_common(
             parts.extend(args.iter().map(|a| Part::reg(vreg(*a))));
             ctx.asm.send_parts(ctx.img, U, Priority::High, parts);
         }
-        TOp::SendToInlet { frame, cb, inlet, vals } => {
+        TOp::SendToInlet {
+            frame,
+            cb,
+            inlet,
+            vals,
+        } => {
             let mut parts = vec![
                 Part::Lbl(lowered.inlet_labels[cb.0 as usize][inlet.0 as usize]),
                 Part::reg(vreg(*frame)),
@@ -510,14 +647,35 @@ fn lower_common(
         TOp::HAlloc { d, words } => {
             match words {
                 TOperand::Imm(i) => {
-                    ctx.asm.op(ctx.img, U, MOp::MovI { d: SCRATCH_A, v: Word::from_i64(*i) });
+                    ctx.asm.op(
+                        ctx.img,
+                        U,
+                        MOp::MovI {
+                            d: SCRATCH_A,
+                            v: Word::from_i64(*i),
+                        },
+                    );
                 }
                 TOperand::Reg(r) => {
-                    ctx.asm.op(ctx.img, U, MOp::Mov { d: SCRATCH_A, s: vreg(*r) });
+                    ctx.asm.op(
+                        ctx.img,
+                        U,
+                        MOp::Mov {
+                            d: SCRATCH_A,
+                            s: vreg(*r),
+                        },
+                    );
                 }
             }
             ctx.asm.call(ctx.img, U, ctx.sys.halloc);
-            ctx.asm.op(ctx.img, U, MOp::Mov { d: vreg(*d), s: SCRATCH_A });
+            ctx.asm.op(
+                ctx.img,
+                U,
+                MOp::Mov {
+                    d: vreg(*d),
+                    s: SCRATCH_A,
+                },
+            );
         }
         TOp::IFetch { addr, tag, reply } => {
             let parts = vec![
@@ -530,12 +688,22 @@ fn lower_common(
             ctx.asm.send_parts(ctx.img, U, Priority::High, parts);
         }
         TOp::IStore { addr, val } => {
-            let parts =
-                vec![Part::Lbl(ctx.sys.istore), Part::reg(vreg(*addr)), Part::reg(vreg(*val))];
+            let parts = vec![
+                Part::Lbl(ctx.sys.istore),
+                Part::reg(vreg(*addr)),
+                Part::reg(vreg(*val)),
+            ];
             ctx.asm.send_parts(ctx.img, U, Priority::High, parts);
         }
         TOp::MyFrame { d } => {
-            ctx.asm.op(ctx.img, U, MOp::Mov { d: vreg(*d), s: Reg::FP });
+            ctx.asm.op(
+                ctx.img,
+                U,
+                MOp::Mov {
+                    d: vreg(*d),
+                    s: Reg::FP,
+                },
+            );
         }
         TOp::ResetCount { t } => {
             // Non-synchronizing threads have an implicit entry count of
@@ -549,7 +717,15 @@ fn lower_common(
             }
             let count = ctx.program.codeblock(cbid).threads[t.0 as usize].entry_count;
             let off = ctx.layout(cbid).count_off(*t) as i32;
-            ctx.asm.op(ctx.img, U, MOp::Ld { d: SCRATCH_A, base: Reg::FP, off });
+            ctx.asm.op(
+                ctx.img,
+                U,
+                MOp::Ld {
+                    d: SCRATCH_A,
+                    base: Reg::FP,
+                    off,
+                },
+            );
             ctx.asm.op(
                 ctx.img,
                 U,
@@ -560,7 +736,15 @@ fn lower_common(
                     b: Operand::Imm(count as i64),
                 },
             );
-            ctx.asm.op(ctx.img, U, MOp::St { s: SCRATCH_A, base: Reg::FP, off });
+            ctx.asm.op(
+                ctx.img,
+                U,
+                MOp::St {
+                    s: SCRATCH_A,
+                    base: Reg::FP,
+                    off,
+                },
+            );
             if bracket {
                 ctx.asm.op(ctx.img, U, MOp::EnableInt);
             }
@@ -580,12 +764,22 @@ fn emit_slot_index(ctx: &mut LowerCtx<'_>, idx: VReg) {
     ctx.asm.op(
         ctx.img,
         U,
-        MOp::Alu { op: AluOp::Shl, d: SCRATCH_A, a: vreg(idx), b: Operand::Imm(2) },
+        MOp::Alu {
+            op: AluOp::Shl,
+            d: SCRATCH_A,
+            a: vreg(idx),
+            b: Operand::Imm(2),
+        },
     );
     ctx.asm.op(
         ctx.img,
         U,
-        MOp::Alu { op: AluOp::Add, d: SCRATCH_A, a: SCRATCH_A, b: Operand::Reg(Reg::FP) },
+        MOp::Alu {
+            op: AluOp::Add,
+            d: SCRATCH_A,
+            a: SCRATCH_A,
+            b: Operand::Reg(Reg::FP),
+        },
     );
 }
 
@@ -599,13 +793,20 @@ fn lower_inlet(
     specialized: &[bool],
 ) {
     let inlet = &cb.inlets[iid.0 as usize];
-    ctx.asm.bind(ctx.img, U, lowered.inlet_labels[cbid.0 as usize][iid.0 as usize]);
+    ctx.asm.bind(
+        ctx.img,
+        U,
+        lowered.inlet_labels[cbid.0 as usize][iid.0 as usize],
+    );
     // Frame pointer arrives as message word 1.
     ctx.asm.op(ctx.img, U, MOp::LdMsg { d: Reg::FP, idx: 1 });
     ctx.asm.op(
         ctx.img,
         U,
-        MOp::Mark(Mark::InletStart { codeblock: cbid.0, inlet: iid.0 }),
+        MOp::Mark(Mark::InletStart {
+            codeblock: cbid.0,
+            inlet: iid.0,
+        }),
     );
 
     // MD (§2.2): "inlets contain branches directly to threads". When the
@@ -615,19 +816,17 @@ fn lower_inlet(
     // synchronizing targets). The §2.3 *specialization* below goes
     // further for sole-poster targets, placing the thread body inline.
     let is_post = |op: &TOp| matches!(op, TOp::Post { .. } | TOp::PostIf { .. });
-    let earlier_posts =
-        inlet.ops.len() > 1 && inlet.ops[..inlet.ops.len() - 1].iter().any(is_post);
-    let direct: Option<(Option<VReg>, ThreadId)> = if ctx.impl_ == Implementation::Md
-        && !earlier_posts
-    {
-        match inlet.ops.last() {
-            Some(TOp::Post { t }) => Some((None, *t)),
-            Some(TOp::PostIf { c, t }) => Some((Some(*c), *t)),
-            _ => None,
-        }
-    } else {
-        None
-    };
+    let earlier_posts = inlet.ops.len() > 1 && inlet.ops[..inlet.ops.len() - 1].iter().any(is_post);
+    let direct: Option<(Option<VReg>, ThreadId)> =
+        if ctx.impl_ == Implementation::Md && !earlier_posts {
+            match inlet.ops.last() {
+                Some(TOp::Post { t }) => Some((None, *t)),
+                Some(TOp::PostIf { c, t }) => Some((Some(*c), *t)),
+                _ => None,
+            }
+        } else {
+            None
+        };
 
     // The §2.3 fall-through specialization (sole unconditional poster of
     // a non-synchronizing thread): inline the thread body after the inlet.
@@ -639,8 +838,11 @@ fn lower_inlet(
         }
     }
 
-    let body: &[TOp] =
-        if direct.is_some() { &inlet.ops[..inlet.ops.len() - 1] } else { &inlet.ops };
+    let body: &[TOp] = if direct.is_some() {
+        &inlet.ops[..inlet.ops.len() - 1]
+    } else {
+        &inlet.ops
+    };
 
     let mut posted_any = false;
     for op in body {
@@ -753,7 +955,11 @@ fn lower_inlet_specialized(
     }
 
     let mut posted_any = false;
-    let body_end = if skip_store { body.len() - 1 } else { body.len() };
+    let body_end = if skip_store {
+        body.len() - 1
+    } else {
+        body.len()
+    };
     for op in &body[..body_end] {
         match op {
             TOp::Post { t } => {
@@ -775,10 +981,20 @@ fn lower_inlet_specialized(
     ctx.asm.op(
         ctx.img,
         U,
-        MOp::Mark(Mark::ThreadStart { codeblock: cbid.0, thread: t.0 }),
+        MOp::Mark(Mark::ThreadStart {
+            codeblock: cbid.0,
+            thread: t.0,
+        }),
     );
     if let Some((d, s)) = prefix_mov {
-        ctx.asm.op(ctx.img, U, MOp::Mov { d: vreg(d), s: vreg(s) });
+        ctx.asm.op(
+            ctx.img,
+            U,
+            MOp::Mov {
+                d: vreg(d),
+                s: vreg(s),
+            },
+        );
     }
     // Stop→suspend is legal when neither the inlet nor the thread pushed
     // anything onto the LCV.

@@ -64,14 +64,22 @@ pub struct LoweringOptions {
 
 impl Default for LoweringOptions {
     fn default() -> Self {
-        LoweringOptions { md_specialize: true, md_store_elim: true, md_stop_to_suspend: true }
+        LoweringOptions {
+            md_specialize: true,
+            md_store_elim: true,
+            md_stop_to_suspend: true,
+        }
     }
 }
 
 impl LoweringOptions {
     /// All Section 2.3 optimizations disabled (ablation baseline).
     pub fn none() -> Self {
-        LoweringOptions { md_specialize: false, md_store_elim: false, md_stop_to_suspend: false }
+        LoweringOptions {
+            md_specialize: false,
+            md_store_elim: false,
+            md_stop_to_suspend: false,
+        }
     }
 }
 

@@ -61,7 +61,11 @@ pub fn gen_sys(
     g: &GlobalsMap,
     result_arity: usize,
 ) -> SysAddrs {
-    let inlet_pri = if impl_.is_am() { Priority::High } else { Priority::Low };
+    let inlet_pri = if impl_.is_am() {
+        Priority::High
+    } else {
+        Priority::Low
+    };
     let enabled_variant = impl_ == Implementation::AmEnabled;
 
     // Pre-create labels that are referenced across routines.
@@ -93,60 +97,242 @@ pub fn gen_sys(
     asm.bind(img, S, falloc);
     asm.op(img, S, MOp::Mark(Mark::SysStart));
     asm.op(img, S, MOp::LdMsg { d: Reg(0), idx: 1 }); // cb index
-    // r1 = descriptor address.
+                                                      // r1 = descriptor address.
     asm.op(img, S, alu(AluOp::Shl, Reg(1), Reg(0), Operand::Imm(2)));
-    asm.op(img, S, MOp::MovI { d: Reg(2), v: Word::from_addr(g.desc_ptrs) });
-    asm.op(img, S, alu(AluOp::Add, Reg(1), Reg(1), Operand::Reg(Reg(2))));
-    asm.op(img, S, MOp::Ld { d: Reg(1), base: Reg(1), off: 0 });
+    asm.op(
+        img,
+        S,
+        MOp::MovI {
+            d: Reg(2),
+            v: Word::from_addr(g.desc_ptrs),
+        },
+    );
+    asm.op(
+        img,
+        S,
+        alu(AluOp::Add, Reg(1), Reg(1), Operand::Reg(Reg(2))),
+    );
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(1),
+            base: Reg(1),
+            off: 0,
+        },
+    );
     // r2 = &freelist[cb].
     asm.op(img, S, alu(AluOp::Shl, Reg(2), Reg(0), Operand::Imm(2)));
-    asm.op(img, S, MOp::MovI { d: Reg(4), v: Word::from_addr(g.freelist_base) });
-    asm.op(img, S, alu(AluOp::Add, Reg(2), Reg(2), Operand::Reg(Reg(4))));
-    asm.op(img, S, MOp::Ld { d: Reg(3), base: Reg(2), off: 0 });
+    asm.op(
+        img,
+        S,
+        MOp::MovI {
+            d: Reg(4),
+            v: Word::from_addr(g.freelist_base),
+        },
+    );
+    asm.op(
+        img,
+        S,
+        alu(AluOp::Add, Reg(2), Reg(2), Operand::Reg(Reg(4))),
+    );
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(3),
+            base: Reg(2),
+            off: 0,
+        },
+    );
     let l_reuse = asm.label();
     let l_have = asm.label();
     asm.bnz(img, S, Reg(3), l_reuse);
     // Bump allocation: r3 = frame, advance FRAME_BUMP by frame words.
-    asm.op(img, S, MOp::LdA { d: Reg(3), addr: g.frame_bump });
-    asm.op(img, S, MOp::Ld { d: Reg(4), base: Reg(1), off: 0 });
+    asm.op(
+        img,
+        S,
+        MOp::LdA {
+            d: Reg(3),
+            addr: g.frame_bump,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(4),
+            base: Reg(1),
+            off: 0,
+        },
+    );
     asm.op(img, S, alu(AluOp::Shl, Reg(4), Reg(4), Operand::Imm(2)));
-    asm.op(img, S, alu(AluOp::Add, Reg(4), Reg(4), Operand::Reg(Reg(3))));
-    asm.op(img, S, MOp::StA { s: Reg(4), addr: g.frame_bump });
+    asm.op(
+        img,
+        S,
+        alu(AluOp::Add, Reg(4), Reg(4), Operand::Reg(Reg(3))),
+    );
+    asm.op(
+        img,
+        S,
+        MOp::StA {
+            s: Reg(4),
+            addr: g.frame_bump,
+        },
+    );
     asm.br(img, S, l_have);
     // Free-list reuse: pop the head.
     asm.bind(img, S, l_reuse);
-    asm.op(img, S, MOp::Ld { d: Reg(4), base: Reg(3), off: 0 });
-    asm.op(img, S, MOp::St { s: Reg(4), base: Reg(2), off: 0 });
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(4),
+            base: Reg(3),
+            off: 0,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(4),
+            base: Reg(2),
+            off: 0,
+        },
+    );
     asm.bind(img, S, l_have);
     if impl_.is_am() {
         // AM header: idle link, RCV top = 1, RCV[0] = swap_clean seed
         // ("the last item in the LCV is the address of the system code to
         // swap in a new frame").
-        asm.op(img, S, MOp::MovI { d: Reg(5), v: Word::from_i64(0) });
-        asm.op(img, S, MOp::St { s: Reg(5), base: Reg(3), off: frame::LINK_OFF as i32 });
-        asm.op(img, S, MOp::MovI { d: Reg(5), v: Word::from_i64(1) });
-        asm.op(img, S, MOp::St { s: Reg(5), base: Reg(3), off: frame::RCV_TOP_OFF as i32 });
+        asm.op(
+            img,
+            S,
+            MOp::MovI {
+                d: Reg(5),
+                v: Word::from_i64(0),
+            },
+        );
+        asm.op(
+            img,
+            S,
+            MOp::St {
+                s: Reg(5),
+                base: Reg(3),
+                off: frame::LINK_OFF as i32,
+            },
+        );
+        asm.op(
+            img,
+            S,
+            MOp::MovI {
+                d: Reg(5),
+                v: Word::from_i64(1),
+            },
+        );
+        asm.op(
+            img,
+            S,
+            MOp::St {
+                s: Reg(5),
+                base: Reg(3),
+                off: frame::RCV_TOP_OFF as i32,
+            },
+        );
         asm.movi_label(img, S, Reg(5), swap_clean.unwrap());
-        asm.op(img, S, MOp::St { s: Reg(5), base: Reg(3), off: frame::RCV_BASE_OFF as i32 });
+        asm.op(
+            img,
+            S,
+            MOp::St {
+                s: Reg(5),
+                base: Reg(3),
+                off: frame::RCV_BASE_OFF as i32,
+            },
+        );
     }
     // Parent and reply at desc[1].
-    asm.op(img, S, MOp::Ld { d: Reg(6), base: Reg(1), off: 4 });
-    asm.op(img, S, alu(AluOp::Add, Reg(6), Reg(6), Operand::Reg(Reg(3))));
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(6),
+            base: Reg(1),
+            off: 4,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        alu(AluOp::Add, Reg(6), Reg(6), Operand::Reg(Reg(3))),
+    );
     asm.op(img, S, MOp::LdMsg { d: Reg(7), idx: 3 });
-    asm.op(img, S, MOp::St { s: Reg(7), base: Reg(6), off: 0 });
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(7),
+            base: Reg(6),
+            off: 0,
+        },
+    );
     asm.op(img, S, MOp::LdMsg { d: Reg(7), idx: 4 });
-    asm.op(img, S, MOp::St { s: Reg(7), base: Reg(6), off: 4 });
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(7),
+            base: Reg(6),
+            off: 4,
+        },
+    );
     // Initialize entry counts from the descriptor pair table.
-    asm.op(img, S, MOp::Ld { d: Reg(5), base: Reg(1), off: 8 });
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(5),
+            base: Reg(1),
+            off: 8,
+        },
+    );
     asm.op(img, S, alu(AluOp::Add, Reg(6), Reg(1), Operand::Imm(12)));
     let l_cnt = asm.label();
     let l_args = asm.label();
     asm.bind(img, S, l_cnt);
     asm.bz(img, S, Reg(5), l_args);
-    asm.op(img, S, MOp::Ld { d: Reg(7), base: Reg(6), off: 0 });
-    asm.op(img, S, alu(AluOp::Add, Reg(7), Reg(7), Operand::Reg(Reg(3))));
-    asm.op(img, S, MOp::Ld { d: Reg(8), base: Reg(6), off: 4 });
-    asm.op(img, S, MOp::St { s: Reg(8), base: Reg(7), off: 0 });
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(7),
+            base: Reg(6),
+            off: 0,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        alu(AluOp::Add, Reg(7), Reg(7), Operand::Reg(Reg(3))),
+    );
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(8),
+            base: Reg(6),
+            off: 4,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(8),
+            base: Reg(7),
+            off: 0,
+        },
+    );
     asm.op(img, S, alu(AluOp::Add, Reg(6), Reg(6), Operand::Imm(8)));
     asm.op(img, S, alu(AluOp::Sub, Reg(5), Reg(5), Operand::Imm(1)));
     asm.br(img, S, l_cnt);
@@ -154,14 +340,41 @@ pub fn gen_sys(
     // the descriptor's inlet-address table).
     asm.bind(img, S, l_args);
     asm.op(img, S, MOp::LdMsg { d: Reg(5), idx: 2 }); // argc
-    asm.op(img, S, MOp::MovI { d: Reg(7), v: Word::from_i64(5) }); // msg index
+    asm.op(
+        img,
+        S,
+        MOp::MovI {
+            d: Reg(7),
+            v: Word::from_i64(5),
+        },
+    ); // msg index
     let l_arg = asm.label();
     let l_fin = asm.label();
     asm.bind(img, S, l_arg);
     asm.bz(img, S, Reg(5), l_fin);
-    asm.op(img, S, MOp::Ld { d: Reg(8), base: Reg(6), off: 0 });
-    asm.op(img, S, MOp::LdMsgIdx { d: Reg(9), idx: Reg(7) });
-    asm.send_parts(img, S, inlet_pri, vec![Part::reg(Reg(8)), Part::reg(Reg(3)), Part::reg(Reg(9))]);
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(8),
+            base: Reg(6),
+            off: 0,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::LdMsgIdx {
+            d: Reg(9),
+            idx: Reg(7),
+        },
+    );
+    asm.send_parts(
+        img,
+        S,
+        inlet_pri,
+        vec![Part::reg(Reg(8)), Part::reg(Reg(3)), Part::reg(Reg(9))],
+    );
     asm.op(img, S, alu(AluOp::Add, Reg(6), Reg(6), Operand::Imm(4)));
     asm.op(img, S, alu(AluOp::Add, Reg(7), Reg(7), Operand::Imm(1)));
     asm.op(img, S, alu(AluOp::Sub, Reg(5), Reg(5), Operand::Imm(1)));
@@ -177,11 +390,46 @@ pub fn gen_sys(
     asm.op(img, S, MOp::LdMsg { d: Reg(0), idx: 1 });
     asm.op(img, S, MOp::LdMsg { d: Reg(1), idx: 2 });
     asm.op(img, S, alu(AluOp::Shl, Reg(1), Reg(1), Operand::Imm(2)));
-    asm.op(img, S, MOp::MovI { d: Reg(2), v: Word::from_addr(g.freelist_base) });
-    asm.op(img, S, alu(AluOp::Add, Reg(1), Reg(1), Operand::Reg(Reg(2))));
-    asm.op(img, S, MOp::Ld { d: Reg(2), base: Reg(1), off: 0 });
-    asm.op(img, S, MOp::St { s: Reg(2), base: Reg(0), off: 0 });
-    asm.op(img, S, MOp::St { s: Reg(0), base: Reg(1), off: 0 });
+    asm.op(
+        img,
+        S,
+        MOp::MovI {
+            d: Reg(2),
+            v: Word::from_addr(g.freelist_base),
+        },
+    );
+    asm.op(
+        img,
+        S,
+        alu(AluOp::Add, Reg(1), Reg(1), Operand::Reg(Reg(2))),
+    );
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(2),
+            base: Reg(1),
+            off: 0,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(2),
+            base: Reg(0),
+            off: 0,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(0),
+            base: Reg(1),
+            off: 0,
+        },
+    );
     asm.op(img, S, MOp::Mark(Mark::SysEnd));
     asm.op(img, S, MOp::Suspend);
 
@@ -191,37 +439,129 @@ pub fn gen_sys(
     asm.bind(img, S, ifetch);
     asm.op(img, S, MOp::Mark(Mark::SysStart));
     asm.op(img, S, MOp::LdMsg { d: Reg(0), idx: 1 });
-    asm.op(img, S, MOp::Ld { d: Reg(1), base: Reg(0), off: 0 });
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(1),
+            base: Reg(0),
+            off: 0,
+        },
+    );
     asm.op(img, S, alu(AluOp::Eq, Reg(2), Reg(1), Operand::Imm(1)));
     let l_present = asm.label();
     asm.bnz(img, S, Reg(2), l_present);
     // Deferred: allocate a 4-word node (free pool, else heap bump).
-    asm.op(img, S, MOp::LdA { d: Reg(3), addr: g.defer_free });
+    asm.op(
+        img,
+        S,
+        MOp::LdA {
+            d: Reg(3),
+            addr: g.defer_free,
+        },
+    );
     let l_pool = asm.label();
     let l_node = asm.label();
     asm.bnz(img, S, Reg(3), l_pool);
-    asm.op(img, S, MOp::LdA { d: Reg(3), addr: g.heap_bump });
+    asm.op(
+        img,
+        S,
+        MOp::LdA {
+            d: Reg(3),
+            addr: g.heap_bump,
+        },
+    );
     asm.op(img, S, alu(AluOp::Add, Reg(4), Reg(3), Operand::Imm(16)));
-    asm.op(img, S, MOp::StA { s: Reg(4), addr: g.heap_bump });
+    asm.op(
+        img,
+        S,
+        MOp::StA {
+            s: Reg(4),
+            addr: g.heap_bump,
+        },
+    );
     asm.br(img, S, l_node);
     asm.bind(img, S, l_pool);
-    asm.op(img, S, MOp::Ld { d: Reg(4), base: Reg(3), off: 0 });
-    asm.op(img, S, MOp::StA { s: Reg(4), addr: g.defer_free });
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(4),
+            base: Reg(3),
+            off: 0,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::StA {
+            s: Reg(4),
+            addr: g.defer_free,
+        },
+    );
     asm.bind(img, S, l_node);
     // node = [next = old state, frame, reply, tag]; cell.state = node.
-    asm.op(img, S, MOp::St { s: Reg(1), base: Reg(3), off: 0 });
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(1),
+            base: Reg(3),
+            off: 0,
+        },
+    );
     asm.op(img, S, MOp::LdMsg { d: Reg(4), idx: 2 });
-    asm.op(img, S, MOp::St { s: Reg(4), base: Reg(3), off: 4 });
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(4),
+            base: Reg(3),
+            off: 4,
+        },
+    );
     asm.op(img, S, MOp::LdMsg { d: Reg(4), idx: 3 });
-    asm.op(img, S, MOp::St { s: Reg(4), base: Reg(3), off: 8 });
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(4),
+            base: Reg(3),
+            off: 8,
+        },
+    );
     asm.op(img, S, MOp::LdMsg { d: Reg(4), idx: 4 });
-    asm.op(img, S, MOp::St { s: Reg(4), base: Reg(3), off: 12 });
-    asm.op(img, S, MOp::St { s: Reg(3), base: Reg(0), off: 0 });
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(4),
+            base: Reg(3),
+            off: 12,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(3),
+            base: Reg(0),
+            off: 0,
+        },
+    );
     asm.op(img, S, MOp::Mark(Mark::SysEnd));
     asm.op(img, S, MOp::Suspend);
     // Present: reply immediately ([reply, frame, value, tag]).
     asm.bind(img, S, l_present);
-    asm.op(img, S, MOp::Ld { d: Reg(1), base: Reg(0), off: 4 });
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(1),
+            base: Reg(0),
+            off: 4,
+        },
+    );
     asm.op(img, S, MOp::LdMsg { d: Reg(2), idx: 2 });
     asm.op(img, S, MOp::LdMsg { d: Reg(3), idx: 3 });
     asm.op(img, S, MOp::LdMsg { d: Reg(4), idx: 4 });
@@ -229,7 +569,12 @@ pub fn gen_sys(
         img,
         S,
         inlet_pri,
-        vec![Part::reg(Reg(3)), Part::reg(Reg(2)), Part::reg(Reg(1)), Part::reg(Reg(4))],
+        vec![
+            Part::reg(Reg(3)),
+            Part::reg(Reg(2)),
+            Part::reg(Reg(1)),
+            Part::reg(Reg(4)),
+        ],
     );
     asm.op(img, S, MOp::Mark(Mark::SysEnd));
     asm.op(img, S, MOp::Suspend);
@@ -240,30 +585,127 @@ pub fn gen_sys(
     asm.op(img, S, MOp::Mark(Mark::SysStart));
     asm.op(img, S, MOp::LdMsg { d: Reg(0), idx: 1 });
     asm.op(img, S, MOp::LdMsg { d: Reg(1), idx: 2 });
-    asm.op(img, S, MOp::Ld { d: Reg(2), base: Reg(0), off: 0 }); // old state
-    asm.op(img, S, MOp::St { s: Reg(1), base: Reg(0), off: 4 });
-    asm.op(img, S, MOp::MovI { d: Reg(3), v: Word::from_i64(1) });
-    asm.op(img, S, MOp::St { s: Reg(3), base: Reg(0), off: 0 });
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(2),
+            base: Reg(0),
+            off: 0,
+        },
+    ); // old state
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(1),
+            base: Reg(0),
+            off: 4,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::MovI {
+            d: Reg(3),
+            v: Word::from_i64(1),
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(3),
+            base: Reg(0),
+            off: 0,
+        },
+    );
     asm.op(img, S, alu(AluOp::Gt, Reg(3), Reg(2), Operand::Imm(1)));
     let l_walk = asm.label();
     let l_sdone = asm.label();
     asm.bz(img, S, Reg(3), l_sdone);
     asm.bind(img, S, l_walk);
-    asm.op(img, S, MOp::Ld { d: Reg(4), base: Reg(2), off: 4 }); // frame
-    asm.op(img, S, MOp::Ld { d: Reg(5), base: Reg(2), off: 8 }); // reply
-    asm.op(img, S, MOp::Ld { d: Reg(6), base: Reg(2), off: 12 }); // tag
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(4),
+            base: Reg(2),
+            off: 4,
+        },
+    ); // frame
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(5),
+            base: Reg(2),
+            off: 8,
+        },
+    ); // reply
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(6),
+            base: Reg(2),
+            off: 12,
+        },
+    ); // tag
     asm.send_parts(
         img,
         S,
         inlet_pri,
-        vec![Part::reg(Reg(5)), Part::reg(Reg(4)), Part::reg(Reg(1)), Part::reg(Reg(6))],
+        vec![
+            Part::reg(Reg(5)),
+            Part::reg(Reg(4)),
+            Part::reg(Reg(1)),
+            Part::reg(Reg(6)),
+        ],
     );
     // Free the node, advance.
-    asm.op(img, S, MOp::Ld { d: Reg(7), base: Reg(2), off: 0 });
-    asm.op(img, S, MOp::LdA { d: Reg(8), addr: g.defer_free });
-    asm.op(img, S, MOp::St { s: Reg(8), base: Reg(2), off: 0 });
-    asm.op(img, S, MOp::StA { s: Reg(2), addr: g.defer_free });
-    asm.op(img, S, MOp::Mov { d: Reg(2), s: Reg(7) });
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(7),
+            base: Reg(2),
+            off: 0,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::LdA {
+            d: Reg(8),
+            addr: g.defer_free,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(8),
+            base: Reg(2),
+            off: 0,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::StA {
+            s: Reg(2),
+            addr: g.defer_free,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::Mov {
+            d: Reg(2),
+            s: Reg(7),
+        },
+    );
     asm.op(img, S, alu(AluOp::Gt, Reg(3), Reg(2), Operand::Imm(1)));
     asm.bnz(img, S, Reg(3), l_walk);
     asm.bind(img, S, l_sdone);
@@ -279,11 +721,36 @@ pub fn gen_sys(
     if mask {
         asm.op(img, S, MOp::DisableInt);
     }
-    asm.op(img, S, MOp::LdA { d: Reg(13), addr: g.heap_bump });
+    asm.op(
+        img,
+        S,
+        MOp::LdA {
+            d: Reg(13),
+            addr: g.heap_bump,
+        },
+    );
     asm.op(img, S, alu(AluOp::Shl, Reg(12), Reg(12), Operand::Imm(2)));
-    asm.op(img, S, alu(AluOp::Add, Reg(12), Reg(12), Operand::Reg(Reg(13))));
-    asm.op(img, S, MOp::StA { s: Reg(12), addr: g.heap_bump });
-    asm.op(img, S, MOp::Mov { d: Reg(12), s: Reg(13) });
+    asm.op(
+        img,
+        S,
+        alu(AluOp::Add, Reg(12), Reg(12), Operand::Reg(Reg(13))),
+    );
+    asm.op(
+        img,
+        S,
+        MOp::StA {
+            s: Reg(12),
+            addr: g.heap_bump,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::Mov {
+            d: Reg(12),
+            s: Reg(13),
+        },
+    );
     if mask {
         asm.op(img, S, MOp::EnableInt);
     }
@@ -293,8 +760,22 @@ pub fn gen_sys(
     // Message: [done, parent(=0), val0..val(arity-1)].
     asm.bind(img, S, done);
     for i in 0..result_arity {
-        asm.op(img, S, MOp::LdMsg { d: Reg(0), idx: 2 + i as u8 });
-        asm.op(img, S, MOp::StA { s: Reg(0), addr: g.result + 4 * i as u32 });
+        asm.op(
+            img,
+            S,
+            MOp::LdMsg {
+                d: Reg(0),
+                idx: 2 + i as u8,
+            },
+        );
+        asm.op(
+            img,
+            S,
+            MOp::StA {
+                s: Reg(0),
+                addr: g.result + 4 * i as u32,
+            },
+        );
     }
     asm.op(img, S, MOp::Halt);
 
@@ -313,7 +794,11 @@ pub fn gen_sys(
         gen_md_dispatch(img, asm, g, md_pop.unwrap(), md_boot.unwrap());
     }
 
-    let start_low = if impl_.is_am() { swap_fresh.unwrap() } else { md_boot.unwrap() };
+    let start_low = if impl_.is_am() {
+        swap_fresh.unwrap()
+    } else {
+        md_boot.unwrap()
+    };
     SysAddrs {
         falloc,
         ffree,
@@ -349,28 +834,119 @@ fn gen_am_scheduler(
     // the frame if idle. Called from inlets (high priority) with the
     // thread address in r12; clobbers r12/r13 only. ----
     asm.bind(img, S, post_lib);
-    asm.op(img, S, MOp::Ld { d: Reg(13), base: fp, off: frame::RCV_TOP_OFF as i32 });
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(13),
+            base: fp,
+            off: frame::RCV_TOP_OFF as i32,
+        },
+    );
     asm.op(img, S, alu(AluOp::Shl, Reg(13), Reg(13), Operand::Imm(2)));
     asm.op(img, S, alu(AluOp::Add, Reg(13), Reg(13), Operand::Reg(fp)));
-    asm.op(img, S, MOp::St { s: Reg(12), base: Reg(13), off: frame::RCV_BASE_OFF as i32 });
-    asm.op(img, S, MOp::Ld { d: Reg(13), base: fp, off: frame::RCV_TOP_OFF as i32 });
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(12),
+            base: Reg(13),
+            off: frame::RCV_BASE_OFF as i32,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(13),
+            base: fp,
+            off: frame::RCV_TOP_OFF as i32,
+        },
+    );
     asm.op(img, S, alu(AluOp::Add, Reg(13), Reg(13), Operand::Imm(1)));
-    asm.op(img, S, MOp::St { s: Reg(13), base: fp, off: frame::RCV_TOP_OFF as i32 });
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(13),
+            base: fp,
+            off: frame::RCV_TOP_OFF as i32,
+        },
+    );
     // Enqueue the frame into the global frame queue if idle.
-    asm.op(img, S, MOp::Ld { d: Reg(13), base: fp, off: frame::LINK_OFF as i32 });
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(13),
+            base: fp,
+            off: frame::LINK_OFF as i32,
+        },
+    );
     let l_done = asm.label();
     let l_empty = asm.label();
     asm.bnz(img, S, Reg(13), l_done);
-    asm.op(img, S, MOp::MovI { d: Reg(13), v: Word::from_i64(1) });
-    asm.op(img, S, MOp::St { s: Reg(13), base: fp, off: frame::LINK_OFF as i32 });
-    asm.op(img, S, MOp::LdA { d: Reg(12), addr: g.q_tail });
+    asm.op(
+        img,
+        S,
+        MOp::MovI {
+            d: Reg(13),
+            v: Word::from_i64(1),
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(13),
+            base: fp,
+            off: frame::LINK_OFF as i32,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::LdA {
+            d: Reg(12),
+            addr: g.q_tail,
+        },
+    );
     asm.bz(img, S, Reg(12), l_empty);
-    asm.op(img, S, MOp::St { s: fp, base: Reg(12), off: frame::LINK_OFF as i32 });
-    asm.op(img, S, MOp::StA { s: fp, addr: g.q_tail });
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: fp,
+            base: Reg(12),
+            off: frame::LINK_OFF as i32,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::StA {
+            s: fp,
+            addr: g.q_tail,
+        },
+    );
     asm.op(img, S, MOp::Ret);
     asm.bind(img, S, l_empty);
-    asm.op(img, S, MOp::StA { s: fp, addr: g.q_head });
-    asm.op(img, S, MOp::StA { s: fp, addr: g.q_tail });
+    asm.op(
+        img,
+        S,
+        MOp::StA {
+            s: fp,
+            addr: g.q_head,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::StA {
+            s: fp,
+            addr: g.q_tail,
+        },
+    );
     asm.bind(img, S, l_done);
     asm.op(img, S, MOp::Ret);
 
@@ -378,39 +954,134 @@ fn gen_am_scheduler(
     // swap_clean: entered from the RCV seed at quantum end with FP = the
     // finished frame (interrupts disabled): reset its RCV and mark idle.
     asm.bind(img, S, swap_clean);
-    asm.op(img, S, MOp::MovI { d: Reg(12), v: Word::from_i64(1) });
-    asm.op(img, S, MOp::St { s: Reg(12), base: fp, off: frame::RCV_TOP_OFF as i32 });
-    asm.op(img, S, MOp::MovI { d: Reg(12), v: Word::from_i64(0) });
-    asm.op(img, S, MOp::St { s: Reg(12), base: fp, off: frame::LINK_OFF as i32 });
+    asm.op(
+        img,
+        S,
+        MOp::MovI {
+            d: Reg(12),
+            v: Word::from_i64(1),
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(12),
+            base: fp,
+            off: frame::RCV_TOP_OFF as i32,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::MovI {
+            d: Reg(12),
+            v: Word::from_i64(0),
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(12),
+            base: fp,
+            off: frame::LINK_OFF as i32,
+        },
+    );
     // swap_fresh: entered at boot and after Return (frame already freed).
     asm.bind(img, S, swap_fresh);
     asm.op(img, S, MOp::DisableInt);
-    asm.op(img, S, MOp::LdA { d: Reg(12), addr: g.q_head });
+    asm.op(
+        img,
+        S,
+        MOp::LdA {
+            d: Reg(12),
+            addr: g.q_head,
+        },
+    );
     let l_idle = asm.label();
     let l_mid = asm.label();
     let l_act = asm.label();
     asm.bz(img, S, Reg(12), l_idle);
-    asm.op(img, S, MOp::Ld { d: Reg(13), base: Reg(12), off: frame::LINK_OFF as i32 });
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(13),
+            base: Reg(12),
+            off: frame::LINK_OFF as i32,
+        },
+    );
     asm.op(img, S, alu(AluOp::Eq, Reg(0), Reg(13), Operand::Imm(1)));
     asm.bz(img, S, Reg(0), l_mid);
     // Last frame in the queue: clear head and tail.
-    asm.op(img, S, MOp::MovI { d: Reg(13), v: Word::from_i64(0) });
-    asm.op(img, S, MOp::StA { s: Reg(13), addr: g.q_head });
-    asm.op(img, S, MOp::StA { s: Reg(13), addr: g.q_tail });
+    asm.op(
+        img,
+        S,
+        MOp::MovI {
+            d: Reg(13),
+            v: Word::from_i64(0),
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::StA {
+            s: Reg(13),
+            addr: g.q_head,
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::StA {
+            s: Reg(13),
+            addr: g.q_tail,
+        },
+    );
     asm.br(img, S, l_act);
     asm.bind(img, S, l_mid);
-    asm.op(img, S, MOp::StA { s: Reg(13), addr: g.q_head });
+    asm.op(
+        img,
+        S,
+        MOp::StA {
+            s: Reg(13),
+            addr: g.q_head,
+        },
+    );
     asm.bind(img, S, l_act);
     // Mark active (nonzero link suppresses re-enqueue) and activate.
-    asm.op(img, S, MOp::MovI { d: Reg(13), v: Word::from_i64(1) });
-    asm.op(img, S, MOp::St { s: Reg(13), base: Reg(12), off: frame::LINK_OFF as i32 });
+    asm.op(
+        img,
+        S,
+        MOp::MovI {
+            d: Reg(13),
+            v: Word::from_i64(1),
+        },
+    );
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(13),
+            base: Reg(12),
+            off: frame::LINK_OFF as i32,
+        },
+    );
     asm.op(img, S, MOp::Mov { d: fp, s: Reg(12) });
     asm.op(img, S, MOp::Mark(Mark::FrameActivated));
     asm.br(img, S, am_pop);
     // Idle: let pending handlers run, re-check, then quiesce.
     asm.bind(img, S, l_idle);
     asm.op(img, S, MOp::EnableInt);
-    asm.op(img, S, MOp::LdA { d: Reg(12), addr: g.q_head });
+    asm.op(
+        img,
+        S,
+        MOp::LdA {
+            d: Reg(12),
+            addr: g.q_head,
+        },
+    );
     asm.bnz(img, S, Reg(12), swap_fresh);
     asm.op(img, S, MOp::Suspend);
 
@@ -422,12 +1093,36 @@ fn gen_am_scheduler(
         // §2.4: interrupts are disabled only during CV access.
         asm.op(img, S, MOp::DisableInt);
     }
-    asm.op(img, S, MOp::Ld { d: Reg(12), base: fp, off: frame::RCV_TOP_OFF as i32 });
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(12),
+            base: fp,
+            off: frame::RCV_TOP_OFF as i32,
+        },
+    );
     asm.op(img, S, alu(AluOp::Sub, Reg(12), Reg(12), Operand::Imm(1)));
-    asm.op(img, S, MOp::St { s: Reg(12), base: fp, off: frame::RCV_TOP_OFF as i32 });
+    asm.op(
+        img,
+        S,
+        MOp::St {
+            s: Reg(12),
+            base: fp,
+            off: frame::RCV_TOP_OFF as i32,
+        },
+    );
     asm.op(img, S, alu(AluOp::Shl, Reg(13), Reg(12), Operand::Imm(2)));
     asm.op(img, S, alu(AluOp::Add, Reg(13), Reg(13), Operand::Reg(fp)));
-    asm.op(img, S, MOp::Ld { d: Reg(13), base: Reg(13), off: frame::RCV_BASE_OFF as i32 });
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(13),
+            base: Reg(13),
+            off: frame::RCV_BASE_OFF as i32,
+        },
+    );
     asm.op(img, S, MOp::Jr { s: Reg(13) });
 }
 
@@ -453,12 +1148,27 @@ fn gen_md_dispatch(
     asm.op(img, S, MOp::Suspend);
     asm.bind(img, S, l_pop);
     asm.op(img, S, alu(AluOp::Sub, LCV_REG, LCV_REG, Operand::Imm(4)));
-    asm.op(img, S, MOp::Ld { d: Reg(12), base: LCV_REG, off: 0 });
+    asm.op(
+        img,
+        S,
+        MOp::Ld {
+            d: Reg(12),
+            base: LCV_REG,
+            off: 0,
+        },
+    );
     asm.op(img, S, MOp::Jr { s: Reg(12) });
 
     // md_boot: initialize the LCV register, then wait for messages.
     asm.bind(img, S, md_boot);
-    asm.op(img, S, MOp::MovI { d: LCV_REG, v: Word::from_addr(g.lcv_base) });
+    asm.op(
+        img,
+        S,
+        MOp::MovI {
+            d: LCV_REG,
+            v: Word::from_addr(g.lcv_base),
+        },
+    );
     asm.op(img, S, MOp::Suspend);
 }
 
@@ -487,7 +1197,11 @@ mod tests {
 
     #[test]
     fn generates_all_routines_for_both_implementations() {
-        for impl_ in [Implementation::Am, Implementation::AmEnabled, Implementation::Md] {
+        for impl_ in [
+            Implementation::Am,
+            Implementation::AmEnabled,
+            Implementation::Md,
+        ] {
             let program = empty_program();
             let layouts: Vec<_> = program
                 .codeblocks

@@ -6,10 +6,13 @@ use tamsim_core::{Experiment, Implementation, LoweringOptions};
 use tamsim_mdp::HaltReason;
 use tamsim_tam::ids::regs::*;
 use tamsim_tam::ops::*;
-use tamsim_tam::{CodeblockBuilder, InitArray, ProgramBuilder, Program, Value};
+use tamsim_tam::{CodeblockBuilder, InitArray, Program, ProgramBuilder, Value};
 
-const ALL_IMPLS: [Implementation; 3] =
-    [Implementation::Am, Implementation::AmEnabled, Implementation::Md];
+const ALL_IMPLS: [Implementation; 3] = [
+    Implementation::Am,
+    Implementation::AmEnabled,
+    Implementation::Md,
+];
 
 /// main(a, b) = a + b, synchronizing on both argument inlets.
 fn add_two() -> Program {
@@ -24,7 +27,12 @@ fn add_two() -> Program {
     cb.def_thread(
         t_sum,
         2,
-        vec![ld(R0, sa), ld(R1, sb), alu(AluOp::Add, R2, R0, reg(R1)), ret(vec![R2])],
+        vec![
+            ld(R0, sa),
+            ld(R1, sb),
+            alu(AluOp::Add, R2, R0, reg(R1)),
+            ret(vec![R2]),
+        ],
     );
     pb.define(main, cb.finish());
     pb.main(main, vec![Value::Int(30), Value::Int(12)]);
@@ -63,7 +71,11 @@ fn call_leaf() -> Program {
     let sv = cb.slot();
     let t = cb.thread();
     cb.add_inlet(vec![ldmsg(R0, 0), st(sv, R0), post(t)]);
-    cb.def_thread(t, 1, vec![ld(R0, sv), alu(AluOp::Add, R0, R0, reg(R0)), ret(vec![R0])]);
+    cb.def_thread(
+        t,
+        1,
+        vec![ld(R0, sv), alu(AluOp::Add, R0, R0, reg(R0)), ret(vec![R0])],
+    );
     pb.define(leaf, cb.finish());
 
     pb.main(main, vec![Value::Int(20)]);
@@ -122,7 +134,12 @@ fn istructures() -> Program {
     cb.def_thread(
         t_sum,
         2,
-        vec![ld(R0, s0), ld(R1, s1), alu(AluOp::Add, R2, R0, reg(R1)), ret(vec![R2])],
+        vec![
+            ld(R0, s0),
+            ld(R1, s1),
+            alu(AluOp::Add, R2, R0, reg(R1)),
+            ret(vec![R2]),
+        ],
     );
     pb.define(main, cb.finish());
     pb.main(main, vec![Value::Int(0)]);
@@ -189,7 +206,11 @@ fn granularity_is_tracked() {
     let p = call_leaf();
     for impl_ in ALL_IMPLS {
         let out = Experiment::new(impl_).run(&p);
-        assert!(out.granularity.threads >= 3, "{impl_:?}: {:?}", out.granularity);
+        assert!(
+            out.granularity.threads >= 3,
+            "{impl_:?}: {:?}",
+            out.granularity
+        );
         assert!(out.granularity.quanta >= 1);
         assert!(out.granularity.thread_instructions > 0);
         assert!(out.counts.fetches() > 0);

@@ -16,11 +16,11 @@ fn store_post_program() -> Program {
     let s = cb.slot();
     let t = cb.thread();
     cb.add_inlet(vec![ldmsg(R0, 0), st(s, R0), post(t)]);
-    cb.def_thread(t, 1, vec![
-        ld(R1, s),
-        alu(AluOp::Add, R1, R1, reg(R1)),
-        ret(vec![R1]),
-    ]);
+    cb.def_thread(
+        t,
+        1,
+        vec![ld(R1, s), alu(AluOp::Add, R1, R1, reg(R1)), ret(vec![R1])],
+    );
     pb.define(main, cb.finish());
     pb.main(main, vec![Value::Int(21)]);
     pb.build()
@@ -30,7 +30,11 @@ use tamsim_tam::AluOp;
 
 fn user_listing(program: &Program, impl_: Implementation, opts: LoweringOptions) -> String {
     let linked = link(program, impl_, opts, MachineConfig::default());
-    disasm_region(&linked.code, linked.cfg.map.user_code_base, linked.code.user_len())
+    disasm_region(
+        &linked.code,
+        linked.cfg.map.user_code_base,
+        linked.code.user_len(),
+    )
 }
 
 #[test]
@@ -58,9 +62,15 @@ fn am_inlets_call_the_post_library_md_inlets_do_not() {
     let am = user_listing(&program, Implementation::Am, LoweringOptions::default());
     let md = user_listing(&program, Implementation::Md, LoweringOptions::none());
     // AM: the post is a call into system code (the post library).
-    assert!(am.contains("call"), "AM inlet should call the post library:\n{am}");
+    assert!(
+        am.contains("call"),
+        "AM inlet should call the post library:\n{am}"
+    );
     // MD (even unoptimized): a direct branch into the thread, no call.
-    assert!(!md.contains("call"), "MD inlet must not call a post library:\n{md}");
+    assert!(
+        !md.contains("call"),
+        "MD inlet must not call a post library:\n{md}"
+    );
 }
 
 #[test]
@@ -76,7 +86,11 @@ fn am_threads_have_the_interrupt_window_md_threads_do_not() {
 #[test]
 fn enabled_variant_omits_the_disable_at_thread_top() {
     let program = store_post_program();
-    let en = user_listing(&program, Implementation::AmEnabled, LoweringOptions::default());
+    let en = user_listing(
+        &program,
+        Implementation::AmEnabled,
+        LoweringOptions::default(),
+    );
     // The thread top enables and stays enabled; the return path carries no
     // disable (the one CV-ish op here is the return send, which is atomic).
     let thread_part = en.split(";; thread start").nth(1).expect("thread present");

@@ -1,0 +1,116 @@
+//! The record-once/replay-parallel engine must be invisible: identical
+//! measurements to the legacy streaming path, at one machine run instead
+//! of two.
+
+use tamsim_cache::{table2_geometry, CacheBank, CacheGeometry};
+use tamsim_core::{Experiment, Implementation};
+use tamsim_tam::Program;
+
+fn sweep() -> Vec<CacheGeometry> {
+    vec![
+        table2_geometry(),
+        CacheGeometry::new(1024, 1, 64),
+        CacheGeometry::new(4096, 2, 16),
+    ]
+}
+
+fn programs() -> Vec<(&'static str, Program)> {
+    vec![
+        ("fib", tamsim_programs::fib(8)),
+        ("ss", tamsim_programs::ss(12)),
+    ]
+}
+
+/// Recording during the machine run and replaying the log afterwards must
+/// reproduce the streaming path bit for bit: same run measurements, same
+/// cache outcome for every geometry.
+#[test]
+fn record_replay_matches_streaming_sink() {
+    let geoms = sweep();
+    for (name, program) in programs() {
+        for impl_ in [Implementation::Am, Implementation::Md] {
+            let exp = Experiment::new(impl_);
+
+            let mut bank = CacheBank::symmetric(geoms.iter().copied());
+            let streamed = exp.run_with_sink(&program, &mut bank);
+
+            let recorded = exp.run_recorded(&program);
+            let replayed = CacheBank::replay_parallel(&geoms, &recorded.log);
+
+            let ctx = format!("{name} under {impl_:?}");
+            assert_eq!(recorded.run.instructions, streamed.instructions, "{ctx}");
+            assert_eq!(recorded.run.result, streamed.result, "{ctx}");
+            assert_eq!(recorded.run.queue_words, streamed.queue_words, "{ctx}");
+            assert_eq!(
+                format!("{:?}", recorded.run.counts),
+                format!("{:?}", streamed.counts),
+                "{ctx}"
+            );
+            assert_eq!(replayed, bank.summaries(), "{ctx}");
+            assert_eq!(
+                recorded.log.len() as u64,
+                recorded.run.counts.total(),
+                "{ctx}"
+            );
+        }
+    }
+}
+
+/// The point of recording inside the sizing loop: when the default queues
+/// fit, the sweep costs exactly one machine simulation.
+#[test]
+fn records_in_a_single_machine_run_when_queues_fit() {
+    for (name, program) in programs() {
+        for impl_ in [Implementation::Am, Implementation::Md] {
+            let mut attempts = Vec::new();
+            let rec = Experiment::new(impl_)
+                .run_recorded_observed(&program, |attempt| attempts.push(attempt));
+            assert_eq!(attempts, vec![0], "{name} under {impl_:?}");
+            assert!(!rec.log.is_empty());
+        }
+    }
+}
+
+/// Queue overflow restarts with doubled queues and a discarded partial
+/// log; the final recording must still match the streaming path run at
+/// the same (tiny) initial queue sizes.
+#[test]
+fn overflow_retries_then_records_cleanly() {
+    let geoms = sweep();
+    let program = tamsim_programs::fib(8);
+    let mut tiny = Experiment::new(Implementation::Md);
+    tiny.queue_words = [16, 16];
+
+    let mut attempts = 0u32;
+    let recorded = tiny.run_recorded_observed(&program, |_| attempts += 1);
+    assert!(
+        attempts > 1,
+        "expected 16-word queues to overflow (got {attempts} attempt)"
+    );
+    assert!(recorded.run.queue_words[0] > 16 || recorded.run.queue_words[1] > 16);
+
+    let mut bank = CacheBank::symmetric(geoms.iter().copied());
+    let streamed = tiny.run_with_sink(&program, &mut bank);
+    assert_eq!(recorded.run.instructions, streamed.instructions);
+    assert_eq!(recorded.run.result, streamed.result);
+    assert_eq!(recorded.run.queue_words, streamed.queue_words);
+    // A clean recording: replay sees only the final run's events.
+    assert_eq!(
+        CacheBank::replay_parallel(&geoms, &recorded.log),
+        bank.summaries()
+    );
+}
+
+/// The legacy streaming path stays a supported API for live-sink
+/// consumers.
+#[test]
+fn legacy_run_with_sink_still_works() {
+    let geom = table2_geometry();
+    let mut bank = CacheBank::symmetric([geom]);
+    let run =
+        Experiment::new(Implementation::Am).run_with_sink(&tamsim_programs::fib(8), &mut bank);
+    assert!(run.instructions > 0);
+    let summary = bank.summary_for(geom).expect("geometry present");
+    assert!(summary.i.reads > 0, "fetches reached the sink");
+    assert!(summary.d.accesses() > 0, "data accesses reached the sink");
+}

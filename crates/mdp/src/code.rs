@@ -68,21 +68,29 @@ impl CodeImage {
     pub fn at(&self, addr: u32) -> &MOp {
         if addr >= self.user_base {
             let i = ((addr - self.user_base) / 4) as usize;
-            self.user.get(i).unwrap_or_else(|| panic!("wild jump to {addr:#x} (user code)"))
+            self.user
+                .get(i)
+                .unwrap_or_else(|| panic!("wild jump to {addr:#x} (user code)"))
         } else {
             debug_assert!(addr >= self.sys_base);
             let i = ((addr - self.sys_base) / 4) as usize;
-            self.sys.get(i).unwrap_or_else(|| panic!("wild jump to {addr:#x} (system code)"))
+            self.sys
+                .get(i)
+                .unwrap_or_else(|| panic!("wild jump to {addr:#x} (system code)"))
         }
     }
 
     fn at_mut(&mut self, addr: u32) -> &mut MOp {
         if addr >= self.user_base {
             let i = ((addr - self.user_base) / 4) as usize;
-            self.user.get_mut(i).unwrap_or_else(|| panic!("patch of invalid address {addr:#x}"))
+            self.user
+                .get_mut(i)
+                .unwrap_or_else(|| panic!("patch of invalid address {addr:#x}"))
         } else {
             let i = ((addr - self.sys_base) / 4) as usize;
-            self.sys.get_mut(i).unwrap_or_else(|| panic!("patch of invalid address {addr:#x}"))
+            self.sys
+                .get_mut(i)
+                .unwrap_or_else(|| panic!("patch of invalid address {addr:#x}"))
         }
     }
 
@@ -134,8 +142,20 @@ mod tests {
     fn patch_replaces_op() {
         let mut c = img();
         let a = c.push_user(MOp::Halt);
-        c.patch(a, MOp::MovI { d: Reg(0), v: Word::from_i64(3) });
-        assert_eq!(c.at(a), &MOp::MovI { d: Reg(0), v: Word::from_i64(3) });
+        c.patch(
+            a,
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_i64(3),
+            },
+        );
+        assert_eq!(
+            c.at(a),
+            &MOp::MovI {
+                d: Reg(0),
+                v: Word::from_i64(3)
+            }
+        );
     }
 
     #[test]

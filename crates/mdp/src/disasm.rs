@@ -33,10 +33,22 @@ pub fn disasm_op(op: &MOp) -> String {
         MOp::MovI { d, v } => format!("movi  {}, #{:#x}", reg(*d), v.bits()),
         MOp::Mov { d, s } => format!("mov   {}, {}", reg(*d), reg(*s)),
         MOp::Alu { op, d, a, b } => {
-            format!("{:<5} {}, {}, {}", format!("{op:?}").to_lowercase(), reg(*d), reg(*a), operand(b))
+            format!(
+                "{:<5} {}, {}, {}",
+                format!("{op:?}").to_lowercase(),
+                reg(*d),
+                reg(*a),
+                operand(b)
+            )
         }
         MOp::FAlu { op, d, a, b } => {
-            format!("{:<5} {}, {}, {}", format!("{op:?}").to_lowercase(), reg(*d), reg(*a), reg(*b))
+            format!(
+                "{:<5} {}, {}, {}",
+                format!("{op:?}").to_lowercase(),
+                reg(*d),
+                reg(*a),
+                reg(*b)
+            )
         }
         MOp::Ld { d, base, off } => format!("ld    {}, [{}{off:+}]", reg(*d), reg(*base)),
         MOp::LdA { d, addr } => format!("ld    {}, [{addr:#x}]", reg(*d)),
@@ -52,7 +64,15 @@ pub fn disasm_op(op: &MOp) -> String {
         MOp::Ret => "ret".to_string(),
         MOp::Send { pri, srcs } => {
             let words: Vec<String> = srcs.iter().map(send_src).collect();
-            format!("send.{} [{}]", if *pri == crate::Priority::High { "hi" } else { "lo" }, words.join(", "))
+            format!(
+                "send.{} [{}]",
+                if *pri == crate::Priority::High {
+                    "hi"
+                } else {
+                    "lo"
+                },
+                words.join(", ")
+            )
         }
         MOp::Suspend => "suspend".to_string(),
         MOp::EnableInt => "eint".to_string(),
@@ -95,10 +115,25 @@ mod tests {
     #[test]
     fn ops_render_distinctly() {
         let samples = [
-            MOp::MovI { d: Reg(1), v: Word::from_i64(5) },
-            MOp::Alu { op: AluOp::Add, d: Reg(2), a: Reg(3), b: Operand::Imm(7) },
-            MOp::Ld { d: Reg(0), base: Reg::FP, off: -8 },
-            MOp::Send { pri: Priority::High, srcs: vec![SendSrc::Reg(Reg(4))] },
+            MOp::MovI {
+                d: Reg(1),
+                v: Word::from_i64(5),
+            },
+            MOp::Alu {
+                op: AluOp::Add,
+                d: Reg(2),
+                a: Reg(3),
+                b: Operand::Imm(7),
+            },
+            MOp::Ld {
+                d: Reg(0),
+                base: Reg::FP,
+                off: -8,
+            },
+            MOp::Send {
+                pri: Priority::High,
+                srcs: vec![SendSrc::Reg(Reg(4))],
+            },
             MOp::Mark(Mark::ThreadEnd),
         ];
         let rendered: Vec<String> = samples.iter().map(disasm_op).collect();

@@ -27,7 +27,11 @@ impl Reg {
     /// Index into a register file.
     #[inline]
     pub fn index(self) -> usize {
-        debug_assert!((self.0 as usize) < Reg::COUNT, "register r{} out of range", self.0);
+        debug_assert!(
+            (self.0 as usize) < Reg::COUNT,
+            "register r{} out of range",
+            self.0
+        );
         self.0 as usize
     }
 }
@@ -129,7 +133,10 @@ pub enum FAluOp {
 impl FAluOp {
     /// Whether the operation ignores its second operand.
     pub fn is_unary(self) -> bool {
-        matches!(self, FAluOp::ItoF | FAluOp::FtoI | FAluOp::FNeg | FAluOp::FAbs)
+        matches!(
+            self,
+            FAluOp::ItoF | FAluOp::FtoI | FAluOp::FNeg | FAluOp::FAbs
+        )
     }
 }
 
@@ -181,7 +188,12 @@ pub enum MOp {
     /// `d <- s`.
     Mov { d: Reg, s: Reg },
     /// Integer ALU: `d <- a op b`.
-    Alu { op: AluOp, d: Reg, a: Reg, b: Operand },
+    Alu {
+        op: AluOp,
+        d: Reg,
+        a: Reg,
+        b: Operand,
+    },
     /// Float ALU: `d <- a op b` (`b` ignored for unary ops).
     FAlu { op: FAluOp, d: Reg, a: Reg, b: Reg },
     /// Data load: `d <- mem[base + off]` (byte offset, word aligned).

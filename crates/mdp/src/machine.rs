@@ -18,8 +18,8 @@
 //! suspended — on a uniprocessor no further work can ever arrive.
 
 use crate::queue::{MessageQueue, MsgRef, DEFAULT_QUEUE_WORDS};
-use crate::{CodeImage, Hooks, MOp, Memory, Operand, Priority, Reg, SendSrc, Word};
 use crate::{AluOp, FAluOp};
+use crate::{CodeImage, Hooks, MOp, Memory, Operand, Priority, Reg, SendSrc, Word};
 use tamsim_trace::{Access, MemoryMap};
 
 /// Addresses of the system-data structures derived from the configuration.
@@ -65,8 +65,15 @@ impl MachineConfig {
         let low = self.map.system_data_base;
         let high = low + self.queue_words[Priority::Low.index()] * 4;
         let globals = high + self.queue_words[Priority::High.index()] * 4;
-        assert!(globals < self.map.frame_base, "queues overflow system data region");
-        SysLayout { low_queue_base: low, high_queue_base: high, globals_base: globals }
+        assert!(
+            globals < self.map.frame_base,
+            "queues overflow system data region"
+        );
+        SysLayout {
+            low_queue_base: low,
+            high_queue_base: high,
+            globals_base: globals,
+        }
     }
 }
 
@@ -357,7 +364,10 @@ impl<'c> Machine<'c> {
                 MOp::LdMsgIdx { d, idx } => {
                     let m = self.cur_msg[p].expect("LdMsgIdx with no current message");
                     let i = self.regs[p][idx.index()].as_i64();
-                    debug_assert!(i >= 0 && (i as u32) < m.len, "LdMsgIdx index beyond message");
+                    debug_assert!(
+                        i >= 0 && (i as u32) < m.len,
+                        "LdMsgIdx index beyond message"
+                    );
                     let addr = self.queues[p].addr_of(m.start, i as u32);
                     hooks.access(Access::read(addr));
                     self.regs[p][d.index()] = self.mem.read(addr);
@@ -495,9 +505,20 @@ mod tests {
     #[test]
     fn straight_line_arithmetic_and_halt() {
         let (img, entry) = user_image(vec![
-            MOp::MovI { d: Reg(0), v: Word::from_i64(6) },
-            MOp::MovI { d: Reg(1), v: Word::from_i64(7) },
-            MOp::Alu { op: AluOp::Mul, d: Reg(2), a: Reg(0), b: Operand::Reg(Reg(1)) },
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_i64(6),
+            },
+            MOp::MovI {
+                d: Reg(1),
+                v: Word::from_i64(7),
+            },
+            MOp::Alu {
+                op: AluOp::Mul,
+                d: Reg(2),
+                a: Reg(0),
+                b: Operand::Reg(Reg(1)),
+            },
             MOp::Halt,
         ]);
         let mut m = Machine::new(MachineConfig::default(), &img);
@@ -511,12 +532,20 @@ mod tests {
     #[test]
     fn every_instruction_emits_one_fetch() {
         let (_stats, events) = run_user(vec![
-            MOp::MovI { d: Reg(0), v: Word::from_i64(1) },
-            MOp::Mov { d: Reg(1), s: Reg(0) },
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_i64(1),
+            },
+            MOp::Mov {
+                d: Reg(1),
+                s: Reg(0),
+            },
             MOp::Halt,
         ]);
-        let fetches: Vec<_> =
-            events.iter().filter(|a| a.kind == AccessKind::Fetch).collect();
+        let fetches: Vec<_> = events
+            .iter()
+            .filter(|a| a.kind == AccessKind::Fetch)
+            .collect();
         assert_eq!(fetches.len(), 3);
         // Sequential addresses 4 bytes apart.
         assert_eq!(fetches[1].addr, fetches[0].addr + 4);
@@ -527,10 +556,24 @@ mod tests {
     fn loads_and_stores_touch_memory_and_trace() {
         let fb = map().frame_base;
         let (stats, events) = run_user(vec![
-            MOp::MovI { d: Reg(0), v: Word::from_addr(fb) },
-            MOp::MovI { d: Reg(1), v: Word::from_i64(99) },
-            MOp::St { s: Reg(1), base: Reg(0), off: 8 },
-            MOp::Ld { d: Reg(2), base: Reg(0), off: 8 },
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_addr(fb),
+            },
+            MOp::MovI {
+                d: Reg(1),
+                v: Word::from_i64(99),
+            },
+            MOp::St {
+                s: Reg(1),
+                base: Reg(0),
+                off: 8,
+            },
+            MOp::Ld {
+                d: Reg(2),
+                base: Reg(0),
+                off: 8,
+            },
             MOp::Halt,
         ]);
         assert_eq!(stats.instructions, 5);
@@ -543,11 +586,35 @@ mod tests {
         // Sum 1..=5 with a loop.
         let ub = map().user_code_base;
         let (img, entry) = user_image(vec![
-            /* 0 */ MOp::MovI { d: Reg(0), v: Word::from_i64(0) }, // acc
-            /* 1 */ MOp::MovI { d: Reg(1), v: Word::from_i64(5) }, // i
-            /* 2 */ MOp::Alu { op: AluOp::Add, d: Reg(0), a: Reg(0), b: Operand::Reg(Reg(1)) },
-            /* 3 */ MOp::Alu { op: AluOp::Sub, d: Reg(1), a: Reg(1), b: Operand::Imm(1) },
-            /* 4 */ MOp::Bnz { c: Reg(1), t: ub + 2 * 4 },
+            /* 0 */
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_i64(0),
+            }, // acc
+            /* 1 */
+            MOp::MovI {
+                d: Reg(1),
+                v: Word::from_i64(5),
+            }, // i
+            /* 2 */
+            MOp::Alu {
+                op: AluOp::Add,
+                d: Reg(0),
+                a: Reg(0),
+                b: Operand::Reg(Reg(1)),
+            },
+            /* 3 */
+            MOp::Alu {
+                op: AluOp::Sub,
+                d: Reg(1),
+                a: Reg(1),
+                b: Operand::Imm(1),
+            },
+            /* 4 */
+            MOp::Bnz {
+                c: Reg(1),
+                t: ub + 2 * 4,
+            },
             /* 5 */ MOp::Halt,
         ]);
         let mut m = Machine::new(MachineConfig::default(), &img);
@@ -561,9 +628,17 @@ mod tests {
         let ub = map().user_code_base;
         let (img, entry) = user_image(vec![
             /* 0 */ MOp::Call { t: ub + 3 * 4 },
-            /* 1 */ MOp::MovI { d: Reg(1), v: Word::from_i64(2) },
+            /* 1 */
+            MOp::MovI {
+                d: Reg(1),
+                v: Word::from_i64(2),
+            },
             /* 2 */ MOp::Halt,
-            /* 3: callee */ MOp::MovI { d: Reg(0), v: Word::from_i64(1) },
+            /* 3: callee */
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_i64(1),
+            },
             /* 4 */ MOp::Ret,
         ]);
         let mut m = Machine::new(MachineConfig::default(), &img);
@@ -581,11 +656,22 @@ mod tests {
         let mut img = CodeImage::new(&map());
         let handler = img.next_user();
         img.push_user(MOp::LdMsg { d: Reg(0), idx: 1 });
-        img.push_user(MOp::MovI { d: Reg(1), v: Word::from_addr(fb) });
-        img.push_user(MOp::St { s: Reg(0), base: Reg(1), off: 0 });
+        img.push_user(MOp::MovI {
+            d: Reg(1),
+            v: Word::from_addr(fb),
+        });
+        img.push_user(MOp::St {
+            s: Reg(0),
+            base: Reg(1),
+            off: 0,
+        });
         img.push_user(MOp::Suspend);
         let mut m = Machine::new(MachineConfig::default(), &img);
-        m.inject(Priority::Low, &[Word::from_addr(handler), Word::from_i64(17)]).unwrap();
+        m.inject(
+            Priority::Low,
+            &[Word::from_addr(handler), Word::from_i64(17)],
+        )
+        .unwrap();
         let stats = m.run(&mut NoHooks).unwrap();
         assert_eq!(stats.halt, HaltReason::Quiescent);
         assert_eq!(stats.dispatches, [1, 0]);
@@ -599,17 +685,44 @@ mod tests {
         let fb = map().frame_base;
         let mut img = CodeImage::new(&map());
         let a = img.next_user();
-        img.push_user(MOp::MovI { d: Reg(2), v: Word::ZERO }); // placeholder for B addr, patched below
-        img.push_user(MOp::MovI { d: Reg(3), v: Word::from_i64(5) });
-        img.push_user(MOp::Send { pri: Priority::Low, srcs: vec![SendSrc::Reg(Reg(2)), SendSrc::Reg(Reg(3))] });
+        img.push_user(MOp::MovI {
+            d: Reg(2),
+            v: Word::ZERO,
+        }); // placeholder for B addr, patched below
+        img.push_user(MOp::MovI {
+            d: Reg(3),
+            v: Word::from_i64(5),
+        });
+        img.push_user(MOp::Send {
+            pri: Priority::Low,
+            srcs: vec![SendSrc::Reg(Reg(2)), SendSrc::Reg(Reg(3))],
+        });
         img.push_user(MOp::Suspend);
         let b = img.next_user();
         img.push_user(MOp::LdMsg { d: Reg(0), idx: 1 });
-        img.push_user(MOp::Alu { op: AluOp::Add, d: Reg(0), a: Reg(0), b: Operand::Reg(Reg(0)) });
-        img.push_user(MOp::MovI { d: Reg(1), v: Word::from_addr(fb) });
-        img.push_user(MOp::St { s: Reg(0), base: Reg(1), off: 0 });
+        img.push_user(MOp::Alu {
+            op: AluOp::Add,
+            d: Reg(0),
+            a: Reg(0),
+            b: Operand::Reg(Reg(0)),
+        });
+        img.push_user(MOp::MovI {
+            d: Reg(1),
+            v: Word::from_addr(fb),
+        });
+        img.push_user(MOp::St {
+            s: Reg(0),
+            base: Reg(1),
+            off: 0,
+        });
         img.push_user(MOp::Halt);
-        img.patch(a, MOp::MovI { d: Reg(2), v: Word::from_addr(b) });
+        img.patch(
+            a,
+            MOp::MovI {
+                d: Reg(2),
+                v: Word::from_addr(b),
+            },
+        );
 
         let mut m = Machine::new(MachineConfig::default(), &img);
         m.inject(Priority::Low, &[Word::from_addr(a)]).unwrap();
@@ -625,16 +738,28 @@ mod tests {
     fn send_words_are_written_to_queue_memory() {
         let mut img = CodeImage::new(&map());
         let entry = img.next_user();
-        img.push_user(MOp::MovI { d: Reg(0), v: Word::from_i64(0xAB) });
-        img.push_user(MOp::Send { pri: Priority::High, srcs: vec![SendSrc::Reg(Reg(0))] });
+        img.push_user(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_i64(0xAB),
+        });
+        img.push_user(MOp::Send {
+            pri: Priority::High,
+            srcs: vec![SendSrc::Reg(Reg(0))],
+        });
         img.push_user(MOp::Halt);
         // The high handler at 0xAB would be wild; halt before dispatch
         // happens only if interrupts disabled — so disable first.
         let mut img2 = CodeImage::new(&map());
         let entry2 = img2.next_user();
         img2.push_user(MOp::DisableInt);
-        img2.push_user(MOp::MovI { d: Reg(0), v: Word::from_i64(0xAB) });
-        img2.push_user(MOp::Send { pri: Priority::High, srcs: vec![SendSrc::Reg(Reg(0))] });
+        img2.push_user(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_i64(0xAB),
+        });
+        img2.push_user(MOp::Send {
+            pri: Priority::High,
+            srcs: vec![SendSrc::Reg(Reg(0))],
+        });
         img2.push_user(MOp::Halt);
         let _ = (img, entry);
 
@@ -656,23 +781,50 @@ mod tests {
         let mut img = CodeImage::new(&map());
         // High handler: write 1 to frame[0], suspend.
         let h = img.next_sys();
-        img.push_sys(MOp::MovI { d: Reg(0), v: Word::from_addr(fb) });
-        img.push_sys(MOp::MovI { d: Reg(1), v: Word::from_i64(1) });
-        img.push_sys(MOp::St { s: Reg(1), base: Reg(0), off: 0 });
+        img.push_sys(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_addr(fb),
+        });
+        img.push_sys(MOp::MovI {
+            d: Reg(1),
+            v: Word::from_i64(1),
+        });
+        img.push_sys(MOp::St {
+            s: Reg(1),
+            base: Reg(0),
+            off: 0,
+        });
         img.push_sys(MOp::Suspend);
         // Low: send high, then read frame[0] into r5, halt.
         let entry = img.next_user();
-        img.push_user(MOp::MovI { d: Reg(2), v: Word::from_addr(h) });
-        img.push_user(MOp::Send { pri: Priority::High, srcs: vec![SendSrc::Reg(Reg(2))] });
-        img.push_user(MOp::MovI { d: Reg(0), v: Word::from_addr(fb) });
-        img.push_user(MOp::Ld { d: Reg(5), base: Reg(0), off: 0 });
+        img.push_user(MOp::MovI {
+            d: Reg(2),
+            v: Word::from_addr(h),
+        });
+        img.push_user(MOp::Send {
+            pri: Priority::High,
+            srcs: vec![SendSrc::Reg(Reg(2))],
+        });
+        img.push_user(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_addr(fb),
+        });
+        img.push_user(MOp::Ld {
+            d: Reg(5),
+            base: Reg(0),
+            off: 0,
+        });
         img.push_user(MOp::Halt);
 
         let mut m = Machine::new(MachineConfig::default(), &img);
         m.start_low(entry);
         let stats = m.run(&mut NoHooks).unwrap();
         assert_eq!(stats.preemptions, 1);
-        assert_eq!(m.reg(Priority::Low, Reg(5)).as_i64(), 1, "handler ran before the load");
+        assert_eq!(
+            m.reg(Priority::Low, Reg(5)).as_i64(),
+            1,
+            "handler ran before the load"
+        );
     }
 
     #[test]
@@ -680,27 +832,62 @@ mod tests {
         let fb = map().frame_base;
         let mut img = CodeImage::new(&map());
         let h = img.next_sys();
-        img.push_sys(MOp::MovI { d: Reg(0), v: Word::from_addr(fb) });
-        img.push_sys(MOp::MovI { d: Reg(1), v: Word::from_i64(1) });
-        img.push_sys(MOp::St { s: Reg(1), base: Reg(0), off: 0 });
+        img.push_sys(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_addr(fb),
+        });
+        img.push_sys(MOp::MovI {
+            d: Reg(1),
+            v: Word::from_i64(1),
+        });
+        img.push_sys(MOp::St {
+            s: Reg(1),
+            base: Reg(0),
+            off: 0,
+        });
         img.push_sys(MOp::Suspend);
         let entry = img.next_user();
         img.push_user(MOp::DisableInt);
-        img.push_user(MOp::MovI { d: Reg(2), v: Word::from_addr(h) });
-        img.push_user(MOp::Send { pri: Priority::High, srcs: vec![SendSrc::Reg(Reg(2))] });
-        img.push_user(MOp::MovI { d: Reg(0), v: Word::from_addr(fb) });
+        img.push_user(MOp::MovI {
+            d: Reg(2),
+            v: Word::from_addr(h),
+        });
+        img.push_user(MOp::Send {
+            pri: Priority::High,
+            srcs: vec![SendSrc::Reg(Reg(2))],
+        });
+        img.push_user(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_addr(fb),
+        });
         // Handler has NOT run yet: frame[0] still 0.
-        img.push_user(MOp::Ld { d: Reg(5), base: Reg(0), off: 0 });
+        img.push_user(MOp::Ld {
+            d: Reg(5),
+            base: Reg(0),
+            off: 0,
+        });
         img.push_user(MOp::EnableInt);
         // Handler runs here, before the next low instruction.
-        img.push_user(MOp::Ld { d: Reg(6), base: Reg(0), off: 0 });
+        img.push_user(MOp::Ld {
+            d: Reg(6),
+            base: Reg(0),
+            off: 0,
+        });
         img.push_user(MOp::Halt);
 
         let mut m = Machine::new(MachineConfig::default(), &img);
         m.start_low(entry);
         let stats = m.run(&mut NoHooks).unwrap();
-        assert_eq!(m.reg(Priority::Low, Reg(5)).as_i64(), 0, "deferred while disabled");
-        assert_eq!(m.reg(Priority::Low, Reg(6)).as_i64(), 1, "ran at enable point");
+        assert_eq!(
+            m.reg(Priority::Low, Reg(5)).as_i64(),
+            0,
+            "deferred while disabled"
+        );
+        assert_eq!(
+            m.reg(Priority::Low, Reg(6)).as_i64(),
+            1,
+            "ran at enable point"
+        );
         assert_eq!(stats.preemptions, 1);
     }
 
@@ -711,16 +898,42 @@ mod tests {
         let fb = map().frame_base;
         let mut img = CodeImage::new(&map());
         let h2 = img.next_sys(); // handler 2 in sys code for address separation
-        img.push_sys(MOp::MovI { d: Reg(0), v: Word::from_addr(fb) });
-        img.push_sys(MOp::MovI { d: Reg(1), v: Word::from_i64(2) });
-        img.push_sys(MOp::St { s: Reg(1), base: Reg(0), off: 0 });
+        img.push_sys(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_addr(fb),
+        });
+        img.push_sys(MOp::MovI {
+            d: Reg(1),
+            v: Word::from_i64(2),
+        });
+        img.push_sys(MOp::St {
+            s: Reg(1),
+            base: Reg(0),
+            off: 0,
+        });
         img.push_sys(MOp::Halt);
         let entry = img.next_user();
-        img.push_user(MOp::MovI { d: Reg(2), v: Word::from_addr(h2) });
-        img.push_user(MOp::Send { pri: Priority::Low, srcs: vec![SendSrc::Reg(Reg(2))] });
-        img.push_user(MOp::MovI { d: Reg(0), v: Word::from_addr(fb) });
-        img.push_user(MOp::MovI { d: Reg(1), v: Word::from_i64(1) });
-        img.push_user(MOp::St { s: Reg(1), base: Reg(0), off: 0 });
+        img.push_user(MOp::MovI {
+            d: Reg(2),
+            v: Word::from_addr(h2),
+        });
+        img.push_user(MOp::Send {
+            pri: Priority::Low,
+            srcs: vec![SendSrc::Reg(Reg(2))],
+        });
+        img.push_user(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_addr(fb),
+        });
+        img.push_user(MOp::MovI {
+            d: Reg(1),
+            v: Word::from_i64(1),
+        });
+        img.push_user(MOp::St {
+            s: Reg(1),
+            base: Reg(0),
+            off: 0,
+        });
         img.push_user(MOp::Suspend);
 
         let mut m = Machine::new(MachineConfig::default(), &img);
@@ -735,16 +948,27 @@ mod tests {
         let mut img = CodeImage::new(&map());
         let entry = img.next_user();
         img.push_user(MOp::DisableInt);
-        img.push_user(MOp::MovI { d: Reg(0), v: Word::from_i64(1) });
+        img.push_user(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_i64(1),
+        });
         let loop_pc = img.next_user();
-        img.push_user(MOp::Send { pri: Priority::High, srcs: vec![SendSrc::Reg(Reg(0))] });
+        img.push_user(MOp::Send {
+            pri: Priority::High,
+            srcs: vec![SendSrc::Reg(Reg(0))],
+        });
         img.push_user(MOp::Br { t: loop_pc });
-        let cfg = MachineConfig { queue_words: [8, 8], ..Default::default() };
+        let cfg = MachineConfig {
+            queue_words: [8, 8],
+            ..Default::default()
+        };
         let mut m = Machine::new(cfg, &img);
         m.start_low(entry);
         assert_eq!(
             m.run(&mut NoHooks),
-            Err(RunError::QueueOverflow { pri: Priority::High })
+            Err(RunError::QueueOverflow {
+                pri: Priority::High
+            })
         );
     }
 
@@ -753,7 +977,10 @@ mod tests {
         let mut img = CodeImage::new(&map());
         let entry = img.next_user();
         img.push_user(MOp::Br { t: entry });
-        let cfg = MachineConfig { fuel: 100, ..Default::default() };
+        let cfg = MachineConfig {
+            fuel: 100,
+            ..Default::default()
+        };
         let mut m = Machine::new(cfg, &img);
         m.start_low(entry);
         assert_eq!(m.run(&mut NoHooks), Err(RunError::FuelExhausted));
@@ -773,28 +1000,60 @@ mod tests {
         let fb = map().frame_base;
         let mut img = CodeImage::new(&map());
         let entry = img.next_user();
-        img.push_user(MOp::MovI { d: Reg::FP, v: Word::from_addr(fb + 64) });
-        img.push_user(MOp::Mark(Mark::ThreadStart { codeblock: 3, thread: 1 }));
+        img.push_user(MOp::MovI {
+            d: Reg::FP,
+            v: Word::from_addr(fb + 64),
+        });
+        img.push_user(MOp::Mark(Mark::ThreadStart {
+            codeblock: 3,
+            thread: 1,
+        }));
         img.push_user(MOp::Halt);
         let mut m = Machine::new(MachineConfig::default(), &img);
         m.start_low(entry);
         let mut h = MarkHook { marks: vec![] };
         let stats = m.run(&mut h).unwrap();
         assert_eq!(stats.instructions, 2, "mark is free");
-        assert_eq!(h.marks, vec![(Mark::ThreadStart { codeblock: 3, thread: 1 }, fb + 64)]);
+        assert_eq!(
+            h.marks,
+            vec![(
+                Mark::ThreadStart {
+                    codeblock: 3,
+                    thread: 1
+                },
+                fb + 64
+            )]
+        );
     }
 
     #[test]
     fn high_handler_resumes_preempted_low_context_exactly() {
         let mut img = CodeImage::new(&map());
         let h = img.next_sys();
-        img.push_sys(MOp::MovI { d: Reg(0), v: Word::from_i64(7) }); // high file
+        img.push_sys(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_i64(7),
+        }); // high file
         img.push_sys(MOp::Suspend);
         let entry = img.next_user();
-        img.push_user(MOp::MovI { d: Reg(0), v: Word::from_i64(1) }); // low file
-        img.push_user(MOp::MovI { d: Reg(2), v: Word::from_addr(h) });
-        img.push_user(MOp::Send { pri: Priority::High, srcs: vec![SendSrc::Reg(Reg(2))] });
-        img.push_user(MOp::Alu { op: AluOp::Add, d: Reg(0), a: Reg(0), b: Operand::Imm(1) });
+        img.push_user(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_i64(1),
+        }); // low file
+        img.push_user(MOp::MovI {
+            d: Reg(2),
+            v: Word::from_addr(h),
+        });
+        img.push_user(MOp::Send {
+            pri: Priority::High,
+            srcs: vec![SendSrc::Reg(Reg(2))],
+        });
+        img.push_user(MOp::Alu {
+            op: AluOp::Add,
+            d: Reg(0),
+            a: Reg(0),
+            b: Operand::Imm(1),
+        });
         img.push_user(MOp::Halt);
         let mut m = Machine::new(MachineConfig::default(), &img);
         m.start_low(entry);

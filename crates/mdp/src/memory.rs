@@ -18,8 +18,15 @@ struct Segment {
 
 impl Segment {
     fn new(base: u32, limit: u32) -> Self {
-        assert!(base < limit && base.is_multiple_of(4), "malformed segment [{base:#x},{limit:#x})");
-        Segment { base, limit, words: Vec::new() }
+        assert!(
+            base < limit && base.is_multiple_of(4),
+            "malformed segment [{base:#x},{limit:#x})"
+        );
+        Segment {
+            base,
+            limit,
+            words: Vec::new(),
+        }
     }
 
     #[inline]

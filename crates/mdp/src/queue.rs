@@ -42,7 +42,14 @@ impl MessageQueue {
     /// A queue occupying `cap_words` words of memory at byte address `base`.
     pub fn new(base: u32, cap_words: u32) -> Self {
         assert!(cap_words > 0 && base.is_multiple_of(4));
-        MessageQueue { base, cap_words, head: 0, used: 0, msgs: VecDeque::new(), max_used: 0 }
+        MessageQueue {
+            base,
+            cap_words,
+            head: 0,
+            used: 0,
+            msgs: VecDeque::new(),
+            max_used: 0,
+        }
     }
 
     /// Byte address of word `idx` of the message starting at ring offset

@@ -61,7 +61,11 @@ impl Word {
     /// truncated address indicates a lowering bug.
     #[inline]
     pub fn as_addr(self) -> u32 {
-        debug_assert!(self.0 <= u32::MAX as u64, "word {:#x} is not an address", self.0);
+        debug_assert!(
+            self.0 <= u32::MAX as u64,
+            "word {:#x} is not an address",
+            self.0
+        );
         self.0 as u32
     }
 

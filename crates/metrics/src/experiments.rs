@@ -39,10 +39,16 @@ impl Hooks for ScheduleHooks {
     fn mark(&mut self, mark: Mark, _frame: u32, _pri: Priority) {
         match mark {
             Mark::InletStart { codeblock, inlet } if codeblock == self.only_cb => {
-                self.events.push(SchedEvent::Inlet { cb: codeblock, inlet });
+                self.events.push(SchedEvent::Inlet {
+                    cb: codeblock,
+                    inlet,
+                });
             }
             Mark::ThreadStart { codeblock, thread } if codeblock == self.only_cb => {
-                self.events.push(SchedEvent::Thread { cb: codeblock, thread });
+                self.events.push(SchedEvent::Thread {
+                    cb: codeblock,
+                    thread,
+                });
             }
             _ => {}
         }
@@ -51,13 +57,12 @@ impl Hooks for ScheduleHooks {
 
 /// Capture the inlet/thread execution order of codeblock `cb` under
 /// `impl_`.
-pub fn capture_schedule(
-    program: &Program,
-    impl_: Implementation,
-    cb: u16,
-) -> Vec<SchedEvent> {
+pub fn capture_schedule(program: &Program, impl_: Implementation, cb: u16) -> Vec<SchedEvent> {
     let linked = Experiment::new(impl_).link(program);
-    let mut hooks = ScheduleHooks { events: Vec::new(), only_cb: cb };
+    let mut hooks = ScheduleHooks {
+        events: Vec::new(),
+        only_cb: cb,
+    };
     linked.run(&mut hooks).expect("schedule run failed");
     hooks.events
 }
@@ -78,9 +83,36 @@ pub fn figure1_program() -> Program {
     let t_fin = cb.thread();
     cb.add_inlet(vec![ldmsg(R0, 0), st(sa, R0), post(t_a)]);
     cb.add_inlet(vec![ldmsg(R0, 0), st(sb, R0), post(t_b)]);
-    cb.def_thread(t_a, 1, vec![ld(R0, sa), alu(AluOp::Add, R0, R0, imm(1)), st(sa, R0), fork(t_fin)]);
-    cb.def_thread(t_b, 1, vec![ld(R0, sb), alu(AluOp::Add, R0, R0, imm(2)), st(sb, R0), fork(t_fin)]);
-    cb.def_thread(t_fin, 2, vec![ld(R0, sa), ld(R1, sb), alu(AluOp::Add, R0, R0, reg(R1)), ret(vec![R0])]);
+    cb.def_thread(
+        t_a,
+        1,
+        vec![
+            ld(R0, sa),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(sa, R0),
+            fork(t_fin),
+        ],
+    );
+    cb.def_thread(
+        t_b,
+        1,
+        vec![
+            ld(R0, sb),
+            alu(AluOp::Add, R0, R0, imm(2)),
+            st(sb, R0),
+            fork(t_fin),
+        ],
+    );
+    cb.def_thread(
+        t_fin,
+        2,
+        vec![
+            ld(R0, sa),
+            ld(R1, sb),
+            alu(AluOp::Add, R0, R0, reg(R1)),
+            ret(vec![R0]),
+        ],
+    );
     pb.define(child, cb.finish());
 
     let mut cb = CodeblockBuilder::new("main");
@@ -91,7 +123,11 @@ pub fn figure1_program() -> Program {
     let t_done = cb.thread();
     cb.def_inlet(i_arg, vec![post(t_go)]);
     cb.def_inlet(i_rep, vec![ldmsg(R0, 0), st(sr, R0), post(t_done)]);
-    cb.def_thread(t_go, 1, vec![movi(R0, 10), movi(R1, 20), call(child, vec![R0, R1], i_rep)]);
+    cb.def_thread(
+        t_go,
+        1,
+        vec![movi(R0, 10), movi(R1, 20), call(child, vec![R0, R1], i_rep)],
+    );
     cb.def_thread(t_done, 1, vec![ld(R0, sr), ret(vec![R0])]);
     pb.define(main, cb.finish());
 
@@ -131,7 +167,13 @@ pub fn figure1() -> String {
 /// size".
 pub fn figure2(suite: &[PaperBenchmark]) -> Table {
     let mut t = Table::new(&[
-        "Program", "TPQ AM", "TPQ AM-en", "IPQ AM", "IPQ AM-en", "instr AM", "instr AM-en",
+        "Program",
+        "TPQ AM",
+        "TPQ AM-en",
+        "IPQ AM",
+        "IPQ AM-en",
+        "instr AM",
+        "instr AM-en",
     ]);
     for bench in suite {
         let am = Experiment::new(Implementation::Am).run(&bench.program);

@@ -65,8 +65,11 @@ pub fn figure_per_program(data: &SuiteData, assoc: u32) -> Vec<(u64, Table)> {
 /// Figure 6: geometric mean excluding selection sort, direct-mapped
 /// caches; one column per miss cost.
 pub fn figure6(data: &SuiteData) -> Table {
-    let names: Vec<&str> =
-        data.name_refs().into_iter().filter(|n| *n != "SS").collect();
+    let names: Vec<&str> = data
+        .name_refs()
+        .into_iter()
+        .filter(|n| *n != "SS")
+        .collect();
     let mut t = Table::new(&["size", "12-cycle", "24-cycle", "48-cycle"]);
     for &size in &PAPER_CACHE_SIZES {
         let g = CacheGeometry::new(size, 1, PAPER_BLOCK_BYTES);
@@ -119,8 +122,14 @@ mod tests {
     fn data() -> SuiteData {
         SuiteData::collect(
             vec![
-                PaperBenchmark { name: "FIB", program: tamsim_programs::fib(7) },
-                PaperBenchmark { name: "SS", program: tamsim_programs::ss(10) },
+                PaperBenchmark {
+                    name: "FIB",
+                    program: tamsim_programs::fib(7),
+                },
+                PaperBenchmark {
+                    name: "SS",
+                    program: tamsim_programs::ss(10),
+                },
             ],
             &[Implementation::Md, Implementation::Am],
             paper_sweep(),

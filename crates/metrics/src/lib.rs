@@ -4,9 +4,12 @@
 //! experiments.
 //!
 //! [`SuiteData::collect`] runs every (program, implementation) pair once,
-//! streaming its trace through a [`tamsim_cache::CacheBank`] covering the
-//! paper's full cache sweep; every table and figure is then derived from
-//! that single dataset.
+//! recording its access trace, then replays each recording into the
+//! paper's full cache sweep in parallel
+//! (`tamsim_cache::CacheBank::replay_parallel`); every table and figure is
+//! then derived from that single dataset. The legacy streaming collector
+//! ([`SuiteData::collect_inline`]) survives as the baseline that
+//! `tamsim perf` benchmarks the record/replay engine against.
 
 pub mod experiments;
 pub mod figures;
@@ -17,5 +20,5 @@ pub mod tables;
 pub use experiments::{capture_schedule, figure1, figure1_program, figure2, SchedEvent};
 pub use figures::{block_sweep, figure3, figure6, figure_per_program};
 pub use render::Table;
-pub use suite::{geomean, ProgramRun, SuiteData};
+pub use suite::{geomean, ProgramRun, SuiteData, SuitePerf};
 pub use tables::{accesses, region_breakdown, table1, table2};

@@ -1,10 +1,12 @@
-//! Collecting the measurement dataset: one traced machine run per
-//! (program, implementation), fanned into every cache configuration.
+//! Collecting the measurement dataset: one recorded machine run per
+//! (program, implementation), replayed into every cache configuration in
+//! parallel.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use tamsim_cache::{CacheBank, CacheGeometry, CacheSummary, CycleModel};
-use tamsim_core::{Experiment, Implementation, RunResult};
+use tamsim_core::{Experiment, Implementation, RecordedRun, RunResult};
 use tamsim_programs::PaperBenchmark;
 
 /// One traced run of one program under one implementation.
@@ -32,11 +34,38 @@ impl ProgramRun {
     }
 }
 
+/// Stable dense index for an [`Implementation`] (slot in the per-name
+/// lookup table).
+fn impl_slot(impl_: Implementation) -> usize {
+    match impl_ {
+        Implementation::Am => 0,
+        Implementation::AmEnabled => 1,
+        Implementation::Md => 2,
+    }
+}
+
+/// Number of [`Implementation`] variants (size of the lookup table).
+const N_IMPLS: usize = 3;
+
+/// Wall-clock breakdown of a [`SuiteData::collect_timed`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SuitePerf {
+    /// Seconds spent simulating machines (recording traces).
+    pub machine_seconds: f64,
+    /// Seconds spent replaying traces into the cache sweep.
+    pub replay_seconds: f64,
+    /// Total access events recorded across all runs.
+    pub events: u64,
+}
+
 /// The full dataset for a suite of programs.
 #[derive(Debug, Clone, Default)]
 pub struct SuiteData {
-    /// All runs, keyed by `(name, implementation)`.
-    runs: HashMap<(String, Implementation), ProgramRun>,
+    /// All runs, in collection order.
+    runs: Vec<ProgramRun>,
+    /// `name → per-implementation index into `runs``; lets [`SuiteData::get`]
+    /// look up by `&str` without allocating a key.
+    index: HashMap<String, [Option<usize>; N_IMPLS]>,
     /// Program names in suite order.
     pub names: Vec<String>,
     /// The geometry sweep used.
@@ -44,54 +73,174 @@ pub struct SuiteData {
 }
 
 impl SuiteData {
-    /// Run every program of `suite` under each of `impls`, tracing into a
-    /// cache bank over `geometries`. Runs execute in parallel (they are
-    /// independent single-threaded simulations).
+    /// Run every program of `suite` under each of `impls` once, recording
+    /// each trace, then replay the recordings into the cache sweep over
+    /// `geometries`. Machine runs execute in parallel (they are
+    /// independent single-threaded simulations); each replay then shards
+    /// the geometry sweep across all cores.
     pub fn collect(
         suite: Vec<PaperBenchmark>,
         impls: &[Implementation],
         geometries: Vec<CacheGeometry>,
     ) -> SuiteData {
+        Self::collect_timed(suite, impls, geometries).0
+    }
+
+    /// [`SuiteData::collect`] with a wall-clock breakdown of the machine
+    /// (record) phase vs the cache (replay) phase.
+    pub fn collect_timed(
+        suite: Vec<PaperBenchmark>,
+        impls: &[Implementation],
+        geometries: Vec<CacheGeometry>,
+    ) -> (SuiteData, SuitePerf) {
         let names: Vec<String> = suite.iter().map(|b| b.name.to_string()).collect();
-        let mut tasks = Vec::new();
-        for bench in &suite {
-            for &impl_ in impls {
-                tasks.push((bench.name.to_string(), bench.program.clone(), impl_));
-            }
-        }
-        let geoms = &geometries;
-        let runs: Vec<ProgramRun> = std::thread::scope(|scope| {
-            let handles: Vec<_> = tasks
+        let tasks = task_list(&suite, impls);
+
+        // Phase 1: machine simulations, one recorded run per task. Tasks
+        // are sharded across at most one worker per core: each simulation
+        // carries a multi-megabyte working set (machine memory plus the
+        // growing trace log), and oversubscribing cores context-switches
+        // those working sets through the host caches.
+        let t0 = Instant::now();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(tasks.len().max(1));
+        let shard = tasks.len().div_ceil(workers).max(1);
+        let shards: Vec<Vec<(String, tamsim_tam::Program, Implementation)>> =
+            tasks.chunks(shard).map(|c| c.to_vec()).collect();
+        let recorded: Vec<(String, Implementation, RecordedRun)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
                 .into_iter()
-                .map(|(name, program, impl_)| {
+                .map(|shard_tasks| {
                     scope.spawn(move || {
-                        let mut bank = CacheBank::symmetric(geoms.iter().copied());
-                        let run = Experiment::new(impl_).run_with_sink(&program, &mut bank);
-                        ProgramRun {
-                            name,
-                            implementation: impl_,
-                            run,
-                            caches: bank.summaries(),
-                        }
+                        shard_tasks
+                            .into_iter()
+                            .map(|(name, program, impl_)| {
+                                let rec = Experiment::new(impl_).run_recorded(&program);
+                                (name, impl_, rec)
+                            })
+                            .collect::<Vec<_>>()
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("run panicked"))
+                .collect()
         });
-        let mut map = HashMap::new();
-        for r in runs {
-            map.insert((r.name.clone(), r.implementation), r);
-        }
-        SuiteData { runs: map, names, geometries }
+        let machine_seconds = t0.elapsed().as_secs_f64();
+
+        // Phase 2: replay every recording into the full sweep. Each call
+        // already shards geometries across all cores, so runs go one at a
+        // time; their logs are dropped as soon as they are scored.
+        let t1 = Instant::now();
+        let mut events = 0u64;
+        let runs: Vec<ProgramRun> = recorded
+            .into_iter()
+            .map(|(name, impl_, rec)| {
+                events += rec.log.len() as u64;
+                let caches = CacheBank::replay_parallel(&geometries, &rec.log);
+                ProgramRun {
+                    name,
+                    implementation: impl_,
+                    run: rec.run,
+                    caches,
+                }
+            })
+            .collect();
+        let replay_seconds = t1.elapsed().as_secs_f64();
+
+        let data = SuiteData::from_runs(runs, names, geometries);
+        (
+            data,
+            SuitePerf {
+                machine_seconds,
+                replay_seconds,
+                events,
+            },
+        )
     }
 
-    /// The run for `(name, impl_)`.
+    /// Legacy streaming collection: each machine run is probed untraced
+    /// first, then re-run with a live [`CacheBank`] fanning every access
+    /// to every geometry. Kept as the baseline the `tamsim perf` command
+    /// measures the record/replay engine against, and for ablations that
+    /// need a live sink.
+    pub fn collect_inline(
+        suite: Vec<PaperBenchmark>,
+        impls: &[Implementation],
+        geometries: Vec<CacheGeometry>,
+    ) -> SuiteData {
+        let names: Vec<String> = suite.iter().map(|b| b.name.to_string()).collect();
+        let tasks = task_list(&suite, impls);
+        // Same one-worker-per-core sharding as `collect_timed`, for the
+        // same working-set reason (and a fair perf comparison).
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(tasks.len().max(1));
+        let shard = tasks.len().div_ceil(workers).max(1);
+        let shards: Vec<Vec<(String, tamsim_tam::Program, Implementation)>> =
+            tasks.chunks(shard).map(|c| c.to_vec()).collect();
+        let geoms = &geometries;
+        let runs: Vec<ProgramRun> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|shard_tasks| {
+                    scope.spawn(move || {
+                        shard_tasks
+                            .into_iter()
+                            .map(|(name, program, impl_)| {
+                                let mut bank = CacheBank::symmetric(geoms.iter().copied());
+                                let run = Experiment::new(impl_).run_with_sink(&program, &mut bank);
+                                ProgramRun {
+                                    name,
+                                    implementation: impl_,
+                                    run,
+                                    caches: bank.summaries(),
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("run panicked"))
+                .collect()
+        });
+        SuiteData::from_runs(runs, names, geometries)
+    }
+
+    /// Build the dataset and its lookup index from collected runs.
+    fn from_runs(
+        runs: Vec<ProgramRun>,
+        names: Vec<String>,
+        geometries: Vec<CacheGeometry>,
+    ) -> SuiteData {
+        let mut index: HashMap<String, [Option<usize>; N_IMPLS]> = HashMap::new();
+        for (i, r) in runs.iter().enumerate() {
+            index.entry(r.name.clone()).or_default()[impl_slot(r.implementation)] = Some(i);
+        }
+        SuiteData {
+            runs,
+            index,
+            names,
+            geometries,
+        }
+    }
+
+    /// The run for `(name, impl_)`. Allocation-free: the lookup goes
+    /// through a `&str`-keyed index into the run table.
     ///
     /// # Panics
     /// Panics when the pair was not collected.
     pub fn get(&self, name: &str, impl_: Implementation) -> &ProgramRun {
-        self.runs
-            .get(&(name.to_string(), impl_))
+        self.index
+            .get(name)
+            .and_then(|slots| slots[impl_slot(impl_)])
+            .map(|i| &self.runs[i])
             .unwrap_or_else(|| panic!("no run for {name} under {impl_:?}"))
     }
 
@@ -103,12 +252,7 @@ impl SuiteData {
     }
 
     /// Geometric mean of the MD/AM ratio over `names`.
-    pub fn geomean_ratio(
-        &self,
-        names: &[&str],
-        geometry: CacheGeometry,
-        model: CycleModel,
-    ) -> f64 {
+    pub fn geomean_ratio(&self, names: &[&str], geometry: CacheGeometry, model: CycleModel) -> f64 {
         geomean(names.iter().map(|n| self.ratio(n, geometry, model)))
     }
 
@@ -116,6 +260,20 @@ impl SuiteData {
     pub fn name_refs(&self) -> Vec<&str> {
         self.names.iter().map(|s| s.as_str()).collect()
     }
+}
+
+/// The (name, program, implementation) work list for a collection pass.
+fn task_list(
+    suite: &[PaperBenchmark],
+    impls: &[Implementation],
+) -> Vec<(String, tamsim_tam::Program, Implementation)> {
+    let mut tasks = Vec::new();
+    for bench in suite {
+        for &impl_ in impls {
+            tasks.push((bench.name.to_string(), bench.program.clone(), impl_));
+        }
+    }
+    tasks
 }
 
 /// Geometric mean of an iterator of positive values.
@@ -149,17 +307,51 @@ mod tests {
     }
 
     #[test]
+    fn record_replay_collection_matches_inline_collection() {
+        let suite = || {
+            vec![
+                PaperBenchmark {
+                    name: "FIB",
+                    program: tamsim_programs::fib(8),
+                },
+                PaperBenchmark {
+                    name: "SS",
+                    program: tamsim_programs::ss(12),
+                },
+            ]
+        };
+        let impls = [Implementation::Md, Implementation::Am];
+        let geoms = vec![
+            table2_geometry(),
+            tamsim_cache::CacheGeometry::new(1024, 1, 64),
+        ];
+        let (new, perf) = SuiteData::collect_timed(suite(), &impls, geoms.clone());
+        let old = SuiteData::collect_inline(suite(), &impls, geoms.clone());
+        assert!(perf.events > 0);
+        for name in ["FIB", "SS"] {
+            for impl_ in impls {
+                let a = new.get(name, impl_);
+                let b = old.get(name, impl_);
+                assert_eq!(a.run.instructions, b.run.instructions, "{name} {impl_:?}");
+                assert_eq!(a.caches, b.caches, "{name} {impl_:?}");
+            }
+        }
+    }
+
+    #[test]
     fn collect_small_suite_and_derive_ratios() {
         let suite = vec![
-            PaperBenchmark { name: "FIB", program: tamsim_programs::fib(8) },
-            PaperBenchmark { name: "SS", program: tamsim_programs::ss(12) },
+            PaperBenchmark {
+                name: "FIB",
+                program: tamsim_programs::fib(8),
+            },
+            PaperBenchmark {
+                name: "SS",
+                program: tamsim_programs::ss(12),
+            },
         ];
         let geom = table2_geometry();
-        let data = SuiteData::collect(
-            suite,
-            &[Implementation::Md, Implementation::Am],
-            vec![geom],
-        );
+        let data = SuiteData::collect(suite, &[Implementation::Md, Implementation::Am], vec![geom]);
         let model = CycleModel::paper(12);
         for name in ["FIB", "SS"] {
             let r = data.ratio(name, geom, model);
@@ -169,8 +361,6 @@ mod tests {
         assert!(gm > 0.0);
         // Cycles grow with the miss penalty.
         let md = data.get("SS", Implementation::Md);
-        assert!(
-            md.cycles(geom, CycleModel::paper(48)) > md.cycles(geom, CycleModel::paper(12))
-        );
+        assert!(md.cycles(geom, CycleModel::paper(48)) > md.cycles(geom, CycleModel::paper(12)));
     }
 }

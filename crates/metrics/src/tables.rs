@@ -11,12 +11,28 @@ use tamsim_trace::AccessKind;
 pub fn table1() -> String {
     let mut t = Table::new(&["TAM mechanism", "AM implementation", "MD implementation"]);
     let rows: [[&str; 3]; 6] = [
-        ["inlet", "high priority message handler", "low priority message handler"],
-        ["post from inlet", "place thread in frame (post library)", "jump directly to thread"],
+        [
+            "inlet",
+            "high priority message handler",
+            "low priority message handler",
+        ],
+        [
+            "post from inlet",
+            "place thread in frame (post library)",
+            "jump directly to thread",
+        ],
         ["activation of frame", "low priority swap routine", "n/a"],
         ["threads", "low priority code", "low priority code"],
-        ["fork from thread", "jump or push onto in-frame LCV", "jump or push onto global LCV"],
-        ["system routines", "high priority message handlers", "high priority message handlers"],
+        [
+            "fork from thread",
+            "jump or push onto in-frame LCV",
+            "jump or push onto global LCV",
+        ],
+        [
+            "system routines",
+            "high priority message handlers",
+            "high priority message handlers",
+        ],
     ];
     for r in rows {
         t.row(r.iter().map(|s| s.to_string()).collect());
@@ -30,8 +46,8 @@ pub fn table1() -> String {
 pub fn table2(data: &SuiteData) -> Table {
     let geom = table2_geometry();
     let mut t = Table::new(&[
-        "Program", "TPQ MD", "TPQ AM", "IPT MD", "IPT AM", "IPQ MD", "IPQ AM",
-        "MD/AM@12", "MD/AM@24", "MD/AM@48",
+        "Program", "TPQ MD", "TPQ AM", "IPT MD", "IPT AM", "IPQ MD", "IPQ AM", "MD/AM@12",
+        "MD/AM@24", "MD/AM@48",
     ]);
     for name in data.name_refs() {
         let md = &data.get(name, Implementation::Md).run.granularity;
@@ -94,7 +110,12 @@ pub fn accesses(data: &SuiteData) -> Table {
 pub fn region_breakdown(data: &SuiteData, impl_: Implementation) -> Table {
     use tamsim_trace::Region;
     let mut t = Table::new(&[
-        "Program", "sys code", "user code", "sys data", "user data", "total",
+        "Program",
+        "sys code",
+        "user code",
+        "sys data",
+        "user data",
+        "total",
     ]);
     for name in data.name_refs() {
         let c = &data.get(name, impl_).run.counts;
@@ -118,7 +139,10 @@ mod tests {
 
     fn tiny_data() -> SuiteData {
         SuiteData::collect(
-            vec![PaperBenchmark { name: "FIB", program: tamsim_programs::fib(7) }],
+            vec![PaperBenchmark {
+                name: "FIB",
+                program: tamsim_programs::fib(7),
+            }],
             &[Implementation::Md, Implementation::Am],
             vec![table2_geometry()],
         )
@@ -156,8 +180,7 @@ mod tests {
         let data = tiny_data();
         let t = region_breakdown(&data, Implementation::Md).to_csv();
         let row = t.lines().nth(1).unwrap();
-        let cells: Vec<u64> =
-            row.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
+        let cells: Vec<u64> = row.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
         assert_eq!(cells[..4].iter().sum::<u64>(), cells[4]);
     }
 }

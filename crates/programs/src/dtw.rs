@@ -76,9 +76,18 @@ pub fn dtw(n: usize, dim: usize) -> Program {
 
     cb.def_inlet(i_i, vec![ldmsg(R0, 0), st(s_i, R0), post(t_start)]);
     cb.def_inlet(i_j, vec![ldmsg(R0, 0), st(s_j, R0), post(t_start)]);
-    cb.def_inlet(i_feat_lo, vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(fbuf, R1, R0), post(t_dista)]);
-    cb.def_inlet(i_feat_hi, vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(fbuf, R1, R0), post(t_distb)]);
-    cb.def_inlet(i_nbr, vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(nbuf, R1, R0), post(t_min)]);
+    cb.def_inlet(
+        i_feat_lo,
+        vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(fbuf, R1, R0), post(t_dista)],
+    );
+    cb.def_inlet(
+        i_feat_hi,
+        vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(fbuf, R1, R0), post(t_distb)],
+    );
+    cb.def_inlet(
+        i_nbr,
+        vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(nbuf, R1, R0), post(t_min)],
+    );
 
     // Issue every fetch: 2·dim features and 3 neighbours.
     let mut start = vec![
@@ -130,9 +139,7 @@ pub fn dtw(n: usize, dim: usize) -> Program {
     cb.def_thread(t_start, 2, start);
 
     // L1 distance, split into two half-range threads.
-    for (t, slot, range) in
-        [(t_dista, s_dlo, 0..h), (t_distb, s_dhi, h..dim)]
-    {
+    for (t, slot, range) in [(t_dista, s_dlo, 0..h), (t_distb, s_dhi, h..dim)] {
         let mut dist = vec![movf(R0, 0.0)];
         for k in range.clone() {
             dist.extend([
@@ -147,32 +154,40 @@ pub fn dtw(n: usize, dim: usize) -> Program {
         cb.def_thread(t, 2 * range.len() as u32, dist);
     }
 
-    cb.def_thread(t_min, 3, vec![
-        ld(R0, SlotId(nbuf.0)),
-        ld(R1, SlotId(nbuf.0 + 1)),
-        ld(R2, SlotId(nbuf.0 + 2)),
-        falu(FAluOp::FMin, R0, R0, R1),
-        falu(FAluOp::FMin, R0, R0, R2),
-        st(s_min, R0),
-        fork(t_fin),
-    ]);
-    cb.def_thread(t_fin, 3, vec![
-        ld(R0, s_dlo),
-        ld(R1, s_dhi),
-        falu(FAluOp::FAdd, R0, R0, R1),
-        ld(R1, s_min),
-        falu(FAluOp::FAdd, R0, R0, R1),
-        ld(R2, s_i),
-        ld(R3, s_j),
-        alu(AluOp::Mul, R4, R2, imm(np)),
-        alu(AluOp::Add, R4, R4, reg(R3)),
-        alu(AluOp::Shl, R4, R4, imm(3)),
-        movarr(R5, a_d),
-        alu(AluOp::Add, R4, R4, reg(R5)),
-        istore(R4, R0),
-        movi(R6, 0),
-        ret(vec![R6]),
-    ]);
+    cb.def_thread(
+        t_min,
+        3,
+        vec![
+            ld(R0, SlotId(nbuf.0)),
+            ld(R1, SlotId(nbuf.0 + 1)),
+            ld(R2, SlotId(nbuf.0 + 2)),
+            falu(FAluOp::FMin, R0, R0, R1),
+            falu(FAluOp::FMin, R0, R0, R2),
+            st(s_min, R0),
+            fork(t_fin),
+        ],
+    );
+    cb.def_thread(
+        t_fin,
+        3,
+        vec![
+            ld(R0, s_dlo),
+            ld(R1, s_dhi),
+            falu(FAluOp::FAdd, R0, R0, R1),
+            ld(R1, s_min),
+            falu(FAluOp::FAdd, R0, R0, R1),
+            ld(R2, s_i),
+            ld(R3, s_j),
+            alu(AluOp::Mul, R4, R2, imm(np)),
+            alu(AluOp::Add, R4, R4, reg(R3)),
+            alu(AluOp::Shl, R4, R4, imm(3)),
+            movarr(R5, a_d),
+            alu(AluOp::Add, R4, R4, reg(R5)),
+            istore(R4, R0),
+            movi(R6, 0),
+            ret(vec![R6]),
+        ],
+    );
     pb.define(cell, cb.finish());
 
     // ---- main: spawn all n² cells, await them, read D[n][n] ----
@@ -187,41 +202,51 @@ pub fn dtw(n: usize, dim: usize) -> Program {
     let t_row = cb.thread();
     let t_final = cb.thread();
     let t_ret = cb.thread();
-    cb.def_inlet(i_arg, vec![
-        movi(R0, 1),
-        st(s_si, R0),
-        st(s_sj, R0),
-        post(t_spawn),
-    ]);
+    cb.def_inlet(
+        i_arg,
+        vec![movi(R0, 1), st(s_si, R0), st(s_sj, R0), post(t_spawn)],
+    );
     // Every cell completion decrements the join count.
     cb.def_inlet(i_rep, vec![post(t_final)]);
     cb.def_inlet(i_final, vec![ldmsg(R0, 0), st(s_res, R0), post(t_ret)]);
-    cb.def_thread(t_spawn, 1, vec![
-        ld(R0, s_si),
-        ld(R1, s_sj),
-        call(cell, vec![R0, R1], i_rep),
-        alu(AluOp::Add, R1, R1, imm(1)),
-        st(s_sj, R1),
-        alu(AluOp::Le, R2, R1, imm(n as i64)),
-        fork_if_else(R2, t_spawn, t_row),
-    ]);
-    cb.def_thread(t_row, 1, vec![
-        ld(R0, s_si),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_si, R0),
-        movi(R1, 1),
-        st(s_sj, R1),
-        alu(AluOp::Le, R2, R0, imm(n as i64)),
-        fork_if(R2, t_spawn),
-    ]);
-    cb.def_thread(t_final, (n * n) as u32, vec![
-        movarr(R0, a_d),
-        movi(R1, (n as i64) * np + n as i64),
-        alu(AluOp::Shl, R1, R1, imm(3)),
-        alu(AluOp::Add, R0, R0, reg(R1)),
-        movi(R2, 0),
-        ifetch(R0, R2, i_final),
-    ]);
+    cb.def_thread(
+        t_spawn,
+        1,
+        vec![
+            ld(R0, s_si),
+            ld(R1, s_sj),
+            call(cell, vec![R0, R1], i_rep),
+            alu(AluOp::Add, R1, R1, imm(1)),
+            st(s_sj, R1),
+            alu(AluOp::Le, R2, R1, imm(n as i64)),
+            fork_if_else(R2, t_spawn, t_row),
+        ],
+    );
+    cb.def_thread(
+        t_row,
+        1,
+        vec![
+            ld(R0, s_si),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_si, R0),
+            movi(R1, 1),
+            st(s_sj, R1),
+            alu(AluOp::Le, R2, R0, imm(n as i64)),
+            fork_if(R2, t_spawn),
+        ],
+    );
+    cb.def_thread(
+        t_final,
+        (n * n) as u32,
+        vec![
+            movarr(R0, a_d),
+            movi(R1, (n as i64) * np + n as i64),
+            alu(AluOp::Shl, R1, R1, imm(3)),
+            alu(AluOp::Add, R0, R0, reg(R1)),
+            movi(R2, 0),
+            ifetch(R0, R2, i_final),
+        ],
+    );
     cb.def_thread(t_ret, 1, vec![ld(R0, s_res), ret(vec![R0])]);
     pb.define(main, cb.finish());
 

@@ -37,21 +37,29 @@ pub fn fib(n: u32) -> Program {
             post(t_join),
         ],
     );
-    cb.def_thread(t_start, 1, vec![
-        ld(R0, s_n),
-        alu(AluOp::Lt, R1, R0, imm(2)),
-        fork_if_else(R1, t_base, t_rec),
-    ]);
+    cb.def_thread(
+        t_start,
+        1,
+        vec![
+            ld(R0, s_n),
+            alu(AluOp::Lt, R1, R0, imm(2)),
+            fork_if_else(R1, t_base, t_rec),
+        ],
+    );
     cb.def_thread(t_base, 1, vec![ld(R0, s_n), ret(vec![R0])]);
-    cb.def_thread(t_rec, 1, vec![
-        movi(R2, 0),
-        st(s_acc, R2),
-        ld(R0, s_n),
-        alu(AluOp::Sub, R1, R0, imm(1)),
-        call(f, vec![R1], i_reply),
-        alu(AluOp::Sub, R1, R0, imm(2)),
-        call(f, vec![R1], i_reply),
-    ]);
+    cb.def_thread(
+        t_rec,
+        1,
+        vec![
+            movi(R2, 0),
+            st(s_acc, R2),
+            ld(R0, s_n),
+            alu(AluOp::Sub, R1, R0, imm(1)),
+            call(f, vec![R1], i_reply),
+            alu(AluOp::Sub, R1, R0, imm(2)),
+            call(f, vec![R1], i_reply),
+        ],
+    );
     cb.def_thread(t_join, 2, vec![ld(R0, s_acc), ret(vec![R0])]);
     pb.define(f, cb.finish());
 

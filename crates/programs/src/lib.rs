@@ -40,23 +40,59 @@ pub struct PaperBenchmark {
 /// Table 2 order (increasing threads-per-quantum).
 pub fn paper_suite() -> Vec<PaperBenchmark> {
     vec![
-        PaperBenchmark { name: "MMT", program: mmt(50) },
-        PaperBenchmark { name: "QS", program: quicksort(100, 0xC0FFEE) },
-        PaperBenchmark { name: "DTW", program: dtw(10, 8) },
-        PaperBenchmark { name: "Paraffins", program: paraffins(13) },
-        PaperBenchmark { name: "Wavefront", program: wavefront(40, 3) },
-        PaperBenchmark { name: "SS", program: ss(100) },
+        PaperBenchmark {
+            name: "MMT",
+            program: mmt(50),
+        },
+        PaperBenchmark {
+            name: "QS",
+            program: quicksort(100, 0xC0FFEE),
+        },
+        PaperBenchmark {
+            name: "DTW",
+            program: dtw(10, 8),
+        },
+        PaperBenchmark {
+            name: "Paraffins",
+            program: paraffins(13),
+        },
+        PaperBenchmark {
+            name: "Wavefront",
+            program: wavefront(40, 3),
+        },
+        PaperBenchmark {
+            name: "SS",
+            program: ss(100),
+        },
     ]
 }
 
 /// The same suite at reduced sizes for fast tests and examples.
 pub fn small_suite() -> Vec<PaperBenchmark> {
     vec![
-        PaperBenchmark { name: "MMT", program: mmt(10) },
-        PaperBenchmark { name: "QS", program: quicksort(24, 0xC0FFEE) },
-        PaperBenchmark { name: "DTW", program: dtw(5, 4) },
-        PaperBenchmark { name: "Paraffins", program: paraffins(8) },
-        PaperBenchmark { name: "Wavefront", program: wavefront(8, 2) },
-        PaperBenchmark { name: "SS", program: ss(24) },
+        PaperBenchmark {
+            name: "MMT",
+            program: mmt(10),
+        },
+        PaperBenchmark {
+            name: "QS",
+            program: quicksort(24, 0xC0FFEE),
+        },
+        PaperBenchmark {
+            name: "DTW",
+            program: dtw(5, 4),
+        },
+        PaperBenchmark {
+            name: "Paraffins",
+            program: paraffins(8),
+        },
+        PaperBenchmark {
+            name: "Wavefront",
+            program: wavefront(8, 2),
+        },
+        PaperBenchmark {
+            name: "SS",
+            program: ss(24),
+        },
     ]
 }

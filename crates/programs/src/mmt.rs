@@ -35,7 +35,11 @@ const PIPES: usize = 1;
 
 /// Build MMT for `n×n` matrices (`n` must be a multiple of 5).
 pub fn mmt(n: usize) -> Program {
-    assert!(n.is_multiple_of(PIPES * UNROLL), "mmt size must be a multiple of {}", PIPES * UNROLL);
+    assert!(
+        n.is_multiple_of(PIPES * UNROLL),
+        "mmt size must be a multiple of {}",
+        PIPES * UNROLL
+    );
     let ni = n as i64;
     let mut pb = ProgramBuilder::new("mmt");
     let a_a = pb.array(InitArray::present(
@@ -102,15 +106,24 @@ pub fn mmt(n: usize) -> Program {
     for pipe in &pipes {
         cb.def_inlet(
             pipe.i_buf,
-            vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(pipe.buf, R1, R0), post(pipe.t_mac)],
+            vec![
+                ldmsg(R0, 0),
+                ldmsg(R1, 1),
+                stx(pipe.buf, R1, R0),
+                post(pipe.t_mac),
+            ],
         );
-        cb.def_thread(pipe.t_elem, 1, vec![
-            movf(R0, 0.0),
-            st(pipe.s_acc, R0),
-            movi(R1, 0),
-            st(pipe.s_k, R1),
-            fork(pipe.t_issue),
-        ]);
+        cb.def_thread(
+            pipe.t_elem,
+            1,
+            vec![
+                movf(R0, 0.0),
+                st(pipe.s_acc, R0),
+                movi(R1, 0),
+                st(pipe.s_k, R1),
+                fork(pipe.t_issue),
+            ],
+        );
         // Issue 2×UNROLL split-phase fetches: A[i, k+u] and B[k+u, j].
         let mut issue = vec![
             ld(R0, s_i),
@@ -162,17 +175,21 @@ pub fn mmt(n: usize) -> Program {
             fork_if_else(R4, pipe.t_issue, pipe.t_jnext),
         ]);
         cb.def_thread(pipe.t_mac, 2 * UNROLL as u32, mac);
-        cb.def_thread(pipe.t_jnext, 1, vec![
-            ld(R0, pipe.s_acc),
-            ld(R1, pipe.s_row),
-            falu(FAluOp::FAdd, R1, R1, R0),
-            st(pipe.s_row, R1),
-            ld(R2, pipe.s_j),
-            alu(AluOp::Add, R2, R2, imm(PIPES as i64)),
-            st(pipe.s_j, R2),
-            alu(AluOp::Lt, R3, R2, imm(ni)),
-            fork_if_else(R3, pipe.t_elem, t_fin),
-        ]);
+        cb.def_thread(
+            pipe.t_jnext,
+            1,
+            vec![
+                ld(R0, pipe.s_acc),
+                ld(R1, pipe.s_row),
+                falu(FAluOp::FAdd, R1, R1, R0),
+                st(pipe.s_row, R1),
+                ld(R2, pipe.s_j),
+                alu(AluOp::Add, R2, R2, imm(PIPES as i64)),
+                st(pipe.s_j, R2),
+                alu(AluOp::Lt, R3, R2, imm(ni)),
+                fork_if_else(R3, pipe.t_elem, t_fin),
+            ],
+        );
     }
     // All pipelines done: combine their partials in pipeline order (the
     // fixed combine order keeps the float result deterministic).
@@ -210,40 +227,56 @@ pub fn mmt(n: usize) -> Program {
     // Every row completion decrements the join count.
     cb.def_inlet(i_rep, vec![post(t_sum_start)]);
     cb.def_inlet(i_sv, vec![ldmsg(R0, 0), st(s_v, R0), post(t_sadd)]);
-    cb.def_thread(t_spawn, 1, vec![
-        ld(R0, s_si),
-        call(row, vec![R0], i_rep),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_si, R0),
-        alu(AluOp::Lt, R1, R0, imm(ni)),
-        fork_if(R1, t_spawn),
-    ]);
-    cb.def_thread(t_sum_start, n as u32, vec![
-        movi(R0, 0),
-        st(s_sk, R0),
-        movf(R1, 0.0),
-        st(s_tot, R1),
-        fork(t_sfetch),
-    ]);
-    cb.def_thread(t_sfetch, 1, vec![
-        movarr(R0, a_part),
-        ld(R1, s_sk),
-        alu(AluOp::Shl, R2, R1, imm(3)),
-        alu(AluOp::Add, R0, R0, reg(R2)),
-        movi(R3, 0),
-        ifetch(R0, R3, i_sv),
-    ]);
-    cb.def_thread(t_sadd, 1, vec![
-        ld(R0, s_v),
-        ld(R1, s_tot),
-        falu(FAluOp::FAdd, R1, R1, R0),
-        st(s_tot, R1),
-        ld(R2, s_sk),
-        alu(AluOp::Add, R2, R2, imm(1)),
-        st(s_sk, R2),
-        alu(AluOp::Lt, R3, R2, imm(ni)),
-        fork_if_else(R3, t_sfetch, t_ret),
-    ]);
+    cb.def_thread(
+        t_spawn,
+        1,
+        vec![
+            ld(R0, s_si),
+            call(row, vec![R0], i_rep),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_si, R0),
+            alu(AluOp::Lt, R1, R0, imm(ni)),
+            fork_if(R1, t_spawn),
+        ],
+    );
+    cb.def_thread(
+        t_sum_start,
+        n as u32,
+        vec![
+            movi(R0, 0),
+            st(s_sk, R0),
+            movf(R1, 0.0),
+            st(s_tot, R1),
+            fork(t_sfetch),
+        ],
+    );
+    cb.def_thread(
+        t_sfetch,
+        1,
+        vec![
+            movarr(R0, a_part),
+            ld(R1, s_sk),
+            alu(AluOp::Shl, R2, R1, imm(3)),
+            alu(AluOp::Add, R0, R0, reg(R2)),
+            movi(R3, 0),
+            ifetch(R0, R3, i_sv),
+        ],
+    );
+    cb.def_thread(
+        t_sadd,
+        1,
+        vec![
+            ld(R0, s_v),
+            ld(R1, s_tot),
+            falu(FAluOp::FAdd, R1, R1, R0),
+            st(s_tot, R1),
+            ld(R2, s_sk),
+            alu(AluOp::Add, R2, R2, imm(1)),
+            st(s_sk, R2),
+            alu(AluOp::Lt, R3, R2, imm(ni)),
+            fork_if_else(R3, t_sfetch, t_ret),
+        ],
+    );
     cb.def_thread(t_ret, 1, vec![ld(R0, s_tot), ret(vec![R0])]);
     pb.define(main, cb.finish());
 

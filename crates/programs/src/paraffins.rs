@@ -60,98 +60,117 @@ pub fn paraffins(n: usize) -> Program {
 
     cb.def_inlet(i_i, vec![ldmsg(R0, 0), st(s_i, R0), post(t_start)]);
     cb.def_inlet(i_s, vec![ldmsg(R0, 0), st(s_s, R0), post(t_start)]);
-    cb.def_inlet(i_rv, vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(rbuf, R1, R0), post(t_w)]);
-    cb.def_thread(t_start, 2, vec![
-        ld(R0, s_i),
-        st(s_j, R0),
-        movi(R1, 0),
-        st(s_acc, R1),
-        fork(t_jloop),
-    ]);
-    cb.def_thread(t_jloop, 1, vec![
-        ld(R0, s_j),
-        alu(AluOp::Shl, R1, R0, imm(1)),
-        ld(R2, s_s),
-        ld(R3, s_i),
-        alu(AluOp::Sub, R2, R2, reg(R3)),
-        alu(AluOp::Le, R4, R1, reg(R2)),
-        fork_if_else(R4, t_fetch, t_done),
-    ]);
-    cb.def_thread(t_fetch, 1, vec![
-        // k = s - i - j; fetch r[i], r[j], r[k].
-        ld(R0, s_s),
-        ld(R1, s_i),
-        ld(R2, s_j),
-        alu(AluOp::Sub, R0, R0, reg(R1)),
-        alu(AluOp::Sub, R0, R0, reg(R2)),
-        st(s_k, R0),
-        movarr(R3, a_r),
-        alu(AluOp::Shl, R4, R1, imm(3)),
-        alu(AluOp::Add, R4, R4, reg(R3)),
-        movi(R5, 0),
-        ifetch(R4, R5, i_rv),
-        alu(AluOp::Shl, R4, R2, imm(3)),
-        alu(AluOp::Add, R4, R4, reg(R3)),
-        movi(R5, 1),
-        ifetch(R4, R5, i_rv),
-        alu(AluOp::Shl, R4, R0, imm(3)),
-        alu(AluOp::Add, R4, R4, reg(R3)),
-        movi(R5, 2),
-        ifetch(R4, R5, i_rv),
-    ]);
+    cb.def_inlet(
+        i_rv,
+        vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(rbuf, R1, R0), post(t_w)],
+    );
+    cb.def_thread(
+        t_start,
+        2,
+        vec![
+            ld(R0, s_i),
+            st(s_j, R0),
+            movi(R1, 0),
+            st(s_acc, R1),
+            fork(t_jloop),
+        ],
+    );
+    cb.def_thread(
+        t_jloop,
+        1,
+        vec![
+            ld(R0, s_j),
+            alu(AluOp::Shl, R1, R0, imm(1)),
+            ld(R2, s_s),
+            ld(R3, s_i),
+            alu(AluOp::Sub, R2, R2, reg(R3)),
+            alu(AluOp::Le, R4, R1, reg(R2)),
+            fork_if_else(R4, t_fetch, t_done),
+        ],
+    );
+    cb.def_thread(
+        t_fetch,
+        1,
+        vec![
+            // k = s - i - j; fetch r[i], r[j], r[k].
+            ld(R0, s_s),
+            ld(R1, s_i),
+            ld(R2, s_j),
+            alu(AluOp::Sub, R0, R0, reg(R1)),
+            alu(AluOp::Sub, R0, R0, reg(R2)),
+            st(s_k, R0),
+            movarr(R3, a_r),
+            alu(AluOp::Shl, R4, R1, imm(3)),
+            alu(AluOp::Add, R4, R4, reg(R3)),
+            movi(R5, 0),
+            ifetch(R4, R5, i_rv),
+            alu(AluOp::Shl, R4, R2, imm(3)),
+            alu(AluOp::Add, R4, R4, reg(R3)),
+            movi(R5, 1),
+            ifetch(R4, R5, i_rv),
+            alu(AluOp::Shl, R4, R0, imm(3)),
+            alu(AluOp::Add, R4, R4, reg(R3)),
+            movi(R5, 2),
+            ifetch(R4, R5, i_rv),
+        ],
+    );
     // Branchless multiset weight of (a, b, c) by the equality pattern of
     // (i, j, k): flags are 0/1 integers.
-    cb.def_thread(t_w, 3, vec![
-        reset_count(t_w),
-        ld(R0, SlotId(rbuf.0)),
-        ld(R1, SlotId(rbuf.0 + 1)),
-        ld(R2, SlotId(rbuf.0 + 2)),
-        ld(R8, s_i),
-        ld(R9, s_j),
-        alu(AluOp::Eq, R3, R8, reg(R9)), // e1 = (i == j)
-        ld(R8, s_k),
-        alu(AluOp::Eq, R4, R9, reg(R8)), // e2 = (j == k)
-        alu(AluOp::Xor, R5, R3, imm(1)),
-        alu(AluOp::Xor, R6, R4, imm(1)),
-        // f1·f2·a·b·c
-        alu(AluOp::Mul, R7, R0, reg(R1)),
-        alu(AluOp::Mul, R7, R7, reg(R2)),
-        alu(AluOp::Mul, R7, R7, reg(R5)),
-        alu(AluOp::Mul, R7, R7, reg(R6)),
-        // + e1·f2·C2(a)·c
-        alu(AluOp::Add, R8, R0, imm(1)),
-        alu(AluOp::Mul, R8, R8, reg(R0)),
-        alu(AluOp::Div, R8, R8, imm(2)),
-        alu(AluOp::Mul, R8, R8, reg(R2)),
-        alu(AluOp::Mul, R8, R8, reg(R3)),
-        alu(AluOp::Mul, R8, R8, reg(R6)),
-        alu(AluOp::Add, R7, R7, reg(R8)),
-        // + f1·e2·a·C2(b)
-        alu(AluOp::Add, R8, R1, imm(1)),
-        alu(AluOp::Mul, R8, R8, reg(R1)),
-        alu(AluOp::Div, R8, R8, imm(2)),
-        alu(AluOp::Mul, R8, R8, reg(R0)),
-        alu(AluOp::Mul, R8, R8, reg(R5)),
-        alu(AluOp::Mul, R8, R8, reg(R4)),
-        alu(AluOp::Add, R7, R7, reg(R8)),
-        // + e1·e2·C3(a)
-        alu(AluOp::Add, R8, R0, imm(1)),
-        alu(AluOp::Add, R9, R0, imm(2)),
-        alu(AluOp::Mul, R8, R8, reg(R0)),
-        alu(AluOp::Mul, R8, R8, reg(R9)),
-        alu(AluOp::Div, R8, R8, imm(6)),
-        alu(AluOp::Mul, R8, R8, reg(R3)),
-        alu(AluOp::Mul, R8, R8, reg(R4)),
-        alu(AluOp::Add, R7, R7, reg(R8)),
-        // acc += w; j++.
-        ld(R8, s_acc),
-        alu(AluOp::Add, R8, R8, reg(R7)),
-        st(s_acc, R8),
-        ld(R9, s_j),
-        alu(AluOp::Add, R9, R9, imm(1)),
-        st(s_j, R9),
-        fork(t_jloop),
-    ]);
+    cb.def_thread(
+        t_w,
+        3,
+        vec![
+            reset_count(t_w),
+            ld(R0, SlotId(rbuf.0)),
+            ld(R1, SlotId(rbuf.0 + 1)),
+            ld(R2, SlotId(rbuf.0 + 2)),
+            ld(R8, s_i),
+            ld(R9, s_j),
+            alu(AluOp::Eq, R3, R8, reg(R9)), // e1 = (i == j)
+            ld(R8, s_k),
+            alu(AluOp::Eq, R4, R9, reg(R8)), // e2 = (j == k)
+            alu(AluOp::Xor, R5, R3, imm(1)),
+            alu(AluOp::Xor, R6, R4, imm(1)),
+            // f1·f2·a·b·c
+            alu(AluOp::Mul, R7, R0, reg(R1)),
+            alu(AluOp::Mul, R7, R7, reg(R2)),
+            alu(AluOp::Mul, R7, R7, reg(R5)),
+            alu(AluOp::Mul, R7, R7, reg(R6)),
+            // + e1·f2·C2(a)·c
+            alu(AluOp::Add, R8, R0, imm(1)),
+            alu(AluOp::Mul, R8, R8, reg(R0)),
+            alu(AluOp::Div, R8, R8, imm(2)),
+            alu(AluOp::Mul, R8, R8, reg(R2)),
+            alu(AluOp::Mul, R8, R8, reg(R3)),
+            alu(AluOp::Mul, R8, R8, reg(R6)),
+            alu(AluOp::Add, R7, R7, reg(R8)),
+            // + f1·e2·a·C2(b)
+            alu(AluOp::Add, R8, R1, imm(1)),
+            alu(AluOp::Mul, R8, R8, reg(R1)),
+            alu(AluOp::Div, R8, R8, imm(2)),
+            alu(AluOp::Mul, R8, R8, reg(R0)),
+            alu(AluOp::Mul, R8, R8, reg(R5)),
+            alu(AluOp::Mul, R8, R8, reg(R4)),
+            alu(AluOp::Add, R7, R7, reg(R8)),
+            // + e1·e2·C3(a)
+            alu(AluOp::Add, R8, R0, imm(1)),
+            alu(AluOp::Add, R9, R0, imm(2)),
+            alu(AluOp::Mul, R8, R8, reg(R0)),
+            alu(AluOp::Mul, R8, R8, reg(R9)),
+            alu(AluOp::Div, R8, R8, imm(6)),
+            alu(AluOp::Mul, R8, R8, reg(R3)),
+            alu(AluOp::Mul, R8, R8, reg(R4)),
+            alu(AluOp::Add, R7, R7, reg(R8)),
+            // acc += w; j++.
+            ld(R8, s_acc),
+            alu(AluOp::Add, R8, R8, reg(R7)),
+            st(s_acc, R8),
+            ld(R9, s_j),
+            alu(AluOp::Add, R9, R9, imm(1)),
+            st(s_j, R9),
+            fork(t_jloop),
+        ],
+    );
     cb.def_thread(t_done, 1, vec![ld(R0, s_acc), ret(vec![R0])]);
     pb.define(radsub, cb.finish());
 
@@ -172,51 +191,66 @@ pub fn paraffins(n: usize) -> Program {
 
     cb.def_inlet(i_arg, vec![ldmsg(R0, 0), st(s_m, R0), post(t_start)]);
     // Dynamic fan-in: accumulate, count, finish on the last reply.
-    cb.def_inlet(i_sub, vec![
-        ldmsg(R0, 0),
-        ld(R1, s_acc),
-        alu(AluOp::Add, R1, R1, reg(R0)),
-        st(s_acc, R1),
-        ld(R2, s_ctr),
-        alu(AluOp::Add, R2, R2, imm(1)),
-        st(s_ctr, R2),
-        ld(R3, s_want),
-        alu(AluOp::Eq, R4, R2, reg(R3)),
-        post_if(R4, t_done),
-    ]);
-    cb.def_thread(t_start, 1, vec![
-        ld(R0, s_m),
-        alu(AluOp::Sub, R0, R0, imm(1)),
-        st(s_s, R0),
-        movi(R1, 0),
-        st(s_acc, R1),
-        st(s_ctr, R1),
-        st(s_i, R1),
-        // want = s/3 + 1 outer indices.
-        alu(AluOp::Div, R2, R0, imm(3)),
-        alu(AluOp::Add, R2, R2, imm(1)),
-        st(s_want, R2),
-        fork(t_spawn),
-    ]);
-    cb.def_thread(t_spawn, 1, vec![
-        ld(R0, s_i),
-        ld(R1, s_s),
-        call(radsub, vec![R0, R1], i_sub),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_i, R0),
-        alu(AluOp::Mul, R2, R0, imm(3)),
-        alu(AluOp::Le, R3, R2, reg(R1)),
-        fork_if(R3, t_spawn),
-    ]);
-    cb.def_thread(t_done, 1, vec![
-        movarr(R0, a_r),
-        ld(R1, s_m),
-        alu(AluOp::Shl, R1, R1, imm(3)),
-        alu(AluOp::Add, R0, R0, reg(R1)),
-        ld(R2, s_acc),
-        istore(R0, R2),
-        ret(vec![R2]),
-    ]);
+    cb.def_inlet(
+        i_sub,
+        vec![
+            ldmsg(R0, 0),
+            ld(R1, s_acc),
+            alu(AluOp::Add, R1, R1, reg(R0)),
+            st(s_acc, R1),
+            ld(R2, s_ctr),
+            alu(AluOp::Add, R2, R2, imm(1)),
+            st(s_ctr, R2),
+            ld(R3, s_want),
+            alu(AluOp::Eq, R4, R2, reg(R3)),
+            post_if(R4, t_done),
+        ],
+    );
+    cb.def_thread(
+        t_start,
+        1,
+        vec![
+            ld(R0, s_m),
+            alu(AluOp::Sub, R0, R0, imm(1)),
+            st(s_s, R0),
+            movi(R1, 0),
+            st(s_acc, R1),
+            st(s_ctr, R1),
+            st(s_i, R1),
+            // want = s/3 + 1 outer indices.
+            alu(AluOp::Div, R2, R0, imm(3)),
+            alu(AluOp::Add, R2, R2, imm(1)),
+            st(s_want, R2),
+            fork(t_spawn),
+        ],
+    );
+    cb.def_thread(
+        t_spawn,
+        1,
+        vec![
+            ld(R0, s_i),
+            ld(R1, s_s),
+            call(radsub, vec![R0, R1], i_sub),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_i, R0),
+            alu(AluOp::Mul, R2, R0, imm(3)),
+            alu(AluOp::Le, R3, R2, reg(R1)),
+            fork_if(R3, t_spawn),
+        ],
+    );
+    cb.def_thread(
+        t_done,
+        1,
+        vec![
+            movarr(R0, a_r),
+            ld(R1, s_m),
+            alu(AluOp::Shl, R1, R1, imm(3)),
+            alu(AluOp::Add, R0, R0, reg(R1)),
+            ld(R2, s_acc),
+            istore(R0, R2),
+            ret(vec![R2]),
+        ],
+    );
     pb.define(rad, cb.finish());
 
     // ---- parsub(i, s): vertex-centroid partial for fixed outer index ----
@@ -245,63 +279,90 @@ pub fn paraffins(n: usize) -> Program {
 
     cb.def_inlet(i_i, vec![ldmsg(R0, 0), st(s_i, R0), post(t_start)]);
     cb.def_inlet(i_s, vec![ldmsg(R0, 0), st(s_s, R0), post(t_start)]);
-    cb.def_inlet(i_qv, vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(qbuf, R1, R0), post(t_w4)]);
+    cb.def_inlet(
+        i_qv,
+        vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(qbuf, R1, R0), post(t_w4)],
+    );
 
-    cb.def_thread(t_start, 2, vec![
-        ld(R0, s_i),
-        st(s_j, R0),
-        movi(R1, 0),
-        st(s_acc, R1),
-        fork(t_cj),
-    ]);
-    cb.def_thread(t_cj, 1, vec![
-        ld(R0, s_j),
-        alu(AluOp::Mul, R1, R0, imm(3)),
-        ld(R2, s_s),
-        ld(R3, s_i),
-        alu(AluOp::Sub, R2, R2, reg(R3)),
-        alu(AluOp::Le, R4, R1, reg(R2)),
-        fork_if_else(R4, t_ck_init, t_done),
-    ]);
+    cb.def_thread(
+        t_start,
+        2,
+        vec![
+            ld(R0, s_i),
+            st(s_j, R0),
+            movi(R1, 0),
+            st(s_acc, R1),
+            fork(t_cj),
+        ],
+    );
+    cb.def_thread(
+        t_cj,
+        1,
+        vec![
+            ld(R0, s_j),
+            alu(AluOp::Mul, R1, R0, imm(3)),
+            ld(R2, s_s),
+            ld(R3, s_i),
+            alu(AluOp::Sub, R2, R2, reg(R3)),
+            alu(AluOp::Le, R4, R1, reg(R2)),
+            fork_if_else(R4, t_ck_init, t_done),
+        ],
+    );
     cb.def_thread(t_ck_init, 1, vec![ld(R0, s_j), st(s_k, R0), fork(t_ck)]);
-    cb.def_thread(t_ck, 1, vec![
-        ld(R0, s_k),
-        alu(AluOp::Shl, R1, R0, imm(1)),
-        ld(R2, s_s),
-        ld(R3, s_i),
-        ld(R4, s_j),
-        alu(AluOp::Sub, R2, R2, reg(R3)),
-        alu(AluOp::Sub, R2, R2, reg(R4)),
-        alu(AluOp::Le, R5, R1, reg(R2)),
-        fork_if_else(R5, t_lchk, t_cj_next),
-    ]);
-    cb.def_thread(t_cj_next, 1, vec![
-        ld(R0, s_j),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_j, R0),
-        fork(t_cj),
-    ]);
+    cb.def_thread(
+        t_ck,
+        1,
+        vec![
+            ld(R0, s_k),
+            alu(AluOp::Shl, R1, R0, imm(1)),
+            ld(R2, s_s),
+            ld(R3, s_i),
+            ld(R4, s_j),
+            alu(AluOp::Sub, R2, R2, reg(R3)),
+            alu(AluOp::Sub, R2, R2, reg(R4)),
+            alu(AluOp::Le, R5, R1, reg(R2)),
+            fork_if_else(R5, t_lchk, t_cj_next),
+        ],
+    );
+    cb.def_thread(
+        t_cj_next,
+        1,
+        vec![
+            ld(R0, s_j),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_j, R0),
+            fork(t_cj),
+        ],
+    );
     // l = s-i-j-k; the centroid condition is 2l ≤ s.
-    cb.def_thread(t_lchk, 1, vec![
-        ld(R0, s_s),
-        ld(R1, s_i),
-        ld(R2, s_j),
-        ld(R3, s_k),
-        alu(AluOp::Sub, R0, R0, reg(R1)),
-        alu(AluOp::Sub, R0, R0, reg(R2)),
-        alu(AluOp::Sub, R0, R0, reg(R3)),
-        st(s_l, R0),
-        alu(AluOp::Shl, R4, R0, imm(1)),
-        ld(R5, s_s),
-        alu(AluOp::Le, R6, R4, reg(R5)),
-        fork_if_else(R6, t_qfetch, t_ck_next),
-    ]);
-    cb.def_thread(t_ck_next, 1, vec![
-        ld(R0, s_k),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_k, R0),
-        fork(t_ck),
-    ]);
+    cb.def_thread(
+        t_lchk,
+        1,
+        vec![
+            ld(R0, s_s),
+            ld(R1, s_i),
+            ld(R2, s_j),
+            ld(R3, s_k),
+            alu(AluOp::Sub, R0, R0, reg(R1)),
+            alu(AluOp::Sub, R0, R0, reg(R2)),
+            alu(AluOp::Sub, R0, R0, reg(R3)),
+            st(s_l, R0),
+            alu(AluOp::Shl, R4, R0, imm(1)),
+            ld(R5, s_s),
+            alu(AluOp::Le, R6, R4, reg(R5)),
+            fork_if_else(R6, t_qfetch, t_ck_next),
+        ],
+    );
+    cb.def_thread(
+        t_ck_next,
+        1,
+        vec![
+            ld(R0, s_k),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_k, R0),
+            fork(t_ck),
+        ],
+    );
     let mut qf = vec![movarr(R4, a_r)];
     for (tag, slot) in [(0i64, s_i), (1, s_j), (2, s_k), (3, s_l)] {
         qf.extend([
@@ -341,60 +402,89 @@ pub fn paraffins(n: usize) -> Program {
     let terms: Vec<(bool, bool, bool, Vec<tamsim_tam::TOp>)> = {
         let mut v = Vec::new();
         // (0,0,0): a·b·c·d
-        v.push((false, false, false, vec![
-            mov(R9, R0),
-            alu(AluOp::Mul, R9, R9, reg(R1)),
-            alu(AluOp::Mul, R9, R9, reg(R2)),
-            alu(AluOp::Mul, R9, R9, reg(R3)),
-        ]));
+        v.push((
+            false,
+            false,
+            false,
+            vec![
+                mov(R9, R0),
+                alu(AluOp::Mul, R9, R9, reg(R1)),
+                alu(AluOp::Mul, R9, R9, reg(R2)),
+                alu(AluOp::Mul, R9, R9, reg(R3)),
+            ],
+        ));
         // (1,0,0): C2(a)·c·d
         let mut ops = vec![movi(R9, 1)];
         c2_into_r9(&mut ops, R0);
-        ops.extend([alu(AluOp::Mul, R9, R9, reg(R2)), alu(AluOp::Mul, R9, R9, reg(R3))]);
+        ops.extend([
+            alu(AluOp::Mul, R9, R9, reg(R2)),
+            alu(AluOp::Mul, R9, R9, reg(R3)),
+        ]);
         v.push((true, false, false, ops));
         // (0,1,0): a·C2(b)·d
         let mut ops = vec![movi(R9, 1)];
         c2_into_r9(&mut ops, R1);
-        ops.extend([alu(AluOp::Mul, R9, R9, reg(R0)), alu(AluOp::Mul, R9, R9, reg(R3))]);
+        ops.extend([
+            alu(AluOp::Mul, R9, R9, reg(R0)),
+            alu(AluOp::Mul, R9, R9, reg(R3)),
+        ]);
         v.push((false, true, false, ops));
         // (0,0,1): a·b·C2(c)
         let mut ops = vec![movi(R9, 1)];
         c2_into_r9(&mut ops, R2);
-        ops.extend([alu(AluOp::Mul, R9, R9, reg(R0)), alu(AluOp::Mul, R9, R9, reg(R1))]);
+        ops.extend([
+            alu(AluOp::Mul, R9, R9, reg(R0)),
+            alu(AluOp::Mul, R9, R9, reg(R1)),
+        ]);
         v.push((false, false, true, ops));
         // (1,1,0): C3(a)·d
-        v.push((true, true, false, vec![
-            alu(AluOp::Add, R9, R0, imm(1)),
-            alu(AluOp::Mul, R9, R9, reg(R0)),
-            alu(AluOp::Add, R10, R0, imm(2)),
-            alu(AluOp::Mul, R9, R9, reg(R10)),
-            alu(AluOp::Div, R9, R9, imm(6)),
-            alu(AluOp::Mul, R9, R9, reg(R3)),
-        ]));
+        v.push((
+            true,
+            true,
+            false,
+            vec![
+                alu(AluOp::Add, R9, R0, imm(1)),
+                alu(AluOp::Mul, R9, R9, reg(R0)),
+                alu(AluOp::Add, R10, R0, imm(2)),
+                alu(AluOp::Mul, R9, R9, reg(R10)),
+                alu(AluOp::Div, R9, R9, imm(6)),
+                alu(AluOp::Mul, R9, R9, reg(R3)),
+            ],
+        ));
         // (0,1,1): a·C3(b)
-        v.push((false, true, true, vec![
-            alu(AluOp::Add, R9, R1, imm(1)),
-            alu(AluOp::Mul, R9, R9, reg(R1)),
-            alu(AluOp::Add, R10, R1, imm(2)),
-            alu(AluOp::Mul, R9, R9, reg(R10)),
-            alu(AluOp::Div, R9, R9, imm(6)),
-            alu(AluOp::Mul, R9, R9, reg(R0)),
-        ]));
+        v.push((
+            false,
+            true,
+            true,
+            vec![
+                alu(AluOp::Add, R9, R1, imm(1)),
+                alu(AluOp::Mul, R9, R9, reg(R1)),
+                alu(AluOp::Add, R10, R1, imm(2)),
+                alu(AluOp::Mul, R9, R9, reg(R10)),
+                alu(AluOp::Div, R9, R9, imm(6)),
+                alu(AluOp::Mul, R9, R9, reg(R0)),
+            ],
+        ));
         // (1,0,1): C2(a)·C2(c)
         let mut ops = vec![movi(R9, 1)];
         c2_into_r9(&mut ops, R0);
         c2_into_r9(&mut ops, R2);
         v.push((true, false, true, ops));
         // (1,1,1): C4(a)
-        v.push((true, true, true, vec![
-            alu(AluOp::Add, R9, R0, imm(1)),
-            alu(AluOp::Mul, R9, R9, reg(R0)),
-            alu(AluOp::Add, R10, R0, imm(2)),
-            alu(AluOp::Mul, R9, R9, reg(R10)),
-            alu(AluOp::Add, R10, R0, imm(3)),
-            alu(AluOp::Mul, R9, R9, reg(R10)),
-            alu(AluOp::Div, R9, R9, imm(24)),
-        ]));
+        v.push((
+            true,
+            true,
+            true,
+            vec![
+                alu(AluOp::Add, R9, R0, imm(1)),
+                alu(AluOp::Mul, R9, R9, reg(R0)),
+                alu(AluOp::Add, R10, R0, imm(2)),
+                alu(AluOp::Mul, R9, R9, reg(R10)),
+                alu(AluOp::Add, R10, R0, imm(3)),
+                alu(AluOp::Mul, R9, R9, reg(R10)),
+                alu(AluOp::Div, R9, R9, imm(24)),
+            ],
+        ));
         v
     };
     for (p1, p2, p3, val_ops) in terms {
@@ -443,90 +533,117 @@ pub fn paraffins(n: usize) -> Program {
 
     cb.def_inlet(i_arg, vec![ldmsg(R0, 0), st(s_m, R0), post(t_pstart)]);
     cb.def_inlet(i_bw, vec![ldmsg(R0, 0), st(s_bv, R0), post(t_bond)]);
-    cb.def_inlet(i_sub, vec![
-        ldmsg(R0, 0),
-        ld(R1, s_acc),
-        alu(AluOp::Add, R1, R1, reg(R0)),
-        st(s_acc, R1),
-        ld(R2, s_ctr),
-        alu(AluOp::Add, R2, R2, imm(1)),
-        st(s_ctr, R2),
-        ld(R3, s_want),
-        alu(AluOp::Eq, R4, R2, reg(R3)),
-        post_if(R4, t_done),
-    ]);
-    cb.def_thread(t_pstart, 1, vec![
-        ld(R0, s_m),
-        alu(AluOp::Sub, R1, R0, imm(1)),
-        st(s_s, R1),
-        movi(R2, 0),
-        st(s_ctr, R2),
-        st(s_i, R2),
-        // want = s/4 + 1 sub-activations + 1 bond term.
-        alu(AluOp::Div, R3, R1, imm(4)),
-        alu(AluOp::Add, R3, R3, imm(2)),
-        st(s_want, R3),
-        st(s_acc, R2),
-        // Bond term: C2(r[m/2]) for even m, else 0.
-        alu(AluOp::Rem, R4, R0, imm(2)),
-        alu(AluOp::Eq, R4, R4, imm(0)),
-        fork(t_spawn),
-        fork_if_else(R4, t_bfetch, t_bzero),
-    ]);
-    cb.def_thread(t_bfetch, 1, vec![
-        ld(R0, s_m),
-        alu(AluOp::Div, R0, R0, imm(2)),
-        alu(AluOp::Shl, R0, R0, imm(3)),
-        movarr(R1, a_r),
-        alu(AluOp::Add, R0, R0, reg(R1)),
-        movi(R2, 0),
-        ifetch(R0, R2, i_bw),
-    ]);
+    cb.def_inlet(
+        i_sub,
+        vec![
+            ldmsg(R0, 0),
+            ld(R1, s_acc),
+            alu(AluOp::Add, R1, R1, reg(R0)),
+            st(s_acc, R1),
+            ld(R2, s_ctr),
+            alu(AluOp::Add, R2, R2, imm(1)),
+            st(s_ctr, R2),
+            ld(R3, s_want),
+            alu(AluOp::Eq, R4, R2, reg(R3)),
+            post_if(R4, t_done),
+        ],
+    );
+    cb.def_thread(
+        t_pstart,
+        1,
+        vec![
+            ld(R0, s_m),
+            alu(AluOp::Sub, R1, R0, imm(1)),
+            st(s_s, R1),
+            movi(R2, 0),
+            st(s_ctr, R2),
+            st(s_i, R2),
+            // want = s/4 + 1 sub-activations + 1 bond term.
+            alu(AluOp::Div, R3, R1, imm(4)),
+            alu(AluOp::Add, R3, R3, imm(2)),
+            st(s_want, R3),
+            st(s_acc, R2),
+            // Bond term: C2(r[m/2]) for even m, else 0.
+            alu(AluOp::Rem, R4, R0, imm(2)),
+            alu(AluOp::Eq, R4, R4, imm(0)),
+            fork(t_spawn),
+            fork_if_else(R4, t_bfetch, t_bzero),
+        ],
+    );
+    cb.def_thread(
+        t_bfetch,
+        1,
+        vec![
+            ld(R0, s_m),
+            alu(AluOp::Div, R0, R0, imm(2)),
+            alu(AluOp::Shl, R0, R0, imm(3)),
+            movarr(R1, a_r),
+            alu(AluOp::Add, R0, R0, reg(R1)),
+            movi(R2, 0),
+            ifetch(R0, R2, i_bw),
+        ],
+    );
     // The bond term folds into the same accumulator/counter the reply
     // inlet uses — atomic so an interrupting reply cannot lose an update
     // (§2.2).
-    cb.def_thread_atomic(t_bond, 1, vec![
-        ld(R0, s_bv),
-        alu(AluOp::Add, R1, R0, imm(1)),
-        alu(AluOp::Mul, R1, R1, reg(R0)),
-        alu(AluOp::Div, R1, R1, imm(2)),
-        ld(R2, s_acc),
-        alu(AluOp::Add, R2, R2, reg(R1)),
-        st(s_acc, R2),
-        ld(R3, s_ctr),
-        alu(AluOp::Add, R3, R3, imm(1)),
-        st(s_ctr, R3),
-        ld(R4, s_want),
-        alu(AluOp::Eq, R5, R3, reg(R4)),
-        fork_if(R5, t_done),
-    ]);
-    cb.def_thread_atomic(t_bzero, 1, vec![
-        ld(R0, s_ctr),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_ctr, R0),
-        ld(R1, s_want),
-        alu(AluOp::Eq, R2, R0, reg(R1)),
-        fork_if(R2, t_done),
-    ]);
-    cb.def_thread(t_spawn, 1, vec![
-        ld(R0, s_i),
-        ld(R1, s_s),
-        call(parsub, vec![R0, R1], i_sub),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_i, R0),
-        alu(AluOp::Shl, R2, R0, imm(2)),
-        alu(AluOp::Le, R3, R2, reg(R1)),
-        fork_if(R3, t_spawn),
-    ]);
-    cb.def_thread(t_done, 1, vec![
-        ld(R0, s_acc),
-        movarr(R1, a_p),
-        ld(R2, s_m),
-        alu(AluOp::Shl, R2, R2, imm(3)),
-        alu(AluOp::Add, R1, R1, reg(R2)),
-        istore(R1, R0),
-        ret(vec![R0]),
-    ]);
+    cb.def_thread_atomic(
+        t_bond,
+        1,
+        vec![
+            ld(R0, s_bv),
+            alu(AluOp::Add, R1, R0, imm(1)),
+            alu(AluOp::Mul, R1, R1, reg(R0)),
+            alu(AluOp::Div, R1, R1, imm(2)),
+            ld(R2, s_acc),
+            alu(AluOp::Add, R2, R2, reg(R1)),
+            st(s_acc, R2),
+            ld(R3, s_ctr),
+            alu(AluOp::Add, R3, R3, imm(1)),
+            st(s_ctr, R3),
+            ld(R4, s_want),
+            alu(AluOp::Eq, R5, R3, reg(R4)),
+            fork_if(R5, t_done),
+        ],
+    );
+    cb.def_thread_atomic(
+        t_bzero,
+        1,
+        vec![
+            ld(R0, s_ctr),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_ctr, R0),
+            ld(R1, s_want),
+            alu(AluOp::Eq, R2, R0, reg(R1)),
+            fork_if(R2, t_done),
+        ],
+    );
+    cb.def_thread(
+        t_spawn,
+        1,
+        vec![
+            ld(R0, s_i),
+            ld(R1, s_s),
+            call(parsub, vec![R0, R1], i_sub),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_i, R0),
+            alu(AluOp::Shl, R2, R0, imm(2)),
+            alu(AluOp::Le, R3, R2, reg(R1)),
+            fork_if(R3, t_spawn),
+        ],
+    );
+    cb.def_thread(
+        t_done,
+        1,
+        vec![
+            ld(R0, s_acc),
+            movarr(R1, a_p),
+            ld(R2, s_m),
+            alu(AluOp::Shl, R2, R2, imm(3)),
+            alu(AluOp::Add, R1, R1, reg(R2)),
+            istore(R1, R0),
+            ret(vec![R0]),
+        ],
+    );
     pb.define(par, cb.finish());
 
     // ---- main: rads sequentially (data dependence), then every par(m)
@@ -553,51 +670,83 @@ pub fn paraffins(n: usize) -> Program {
     // Paraffin sizes complete in any order; the join is a static count.
     cb.def_inlet(i_parrep, vec![post(t_totinit)]);
     cb.def_inlet(i_pval, vec![ldmsg(R0, 0), st(s_pv, R0), post(t_totadd)]);
-    cb.def_thread(t_radcall, 1, vec![ld(R0, s_m), call(rad, vec![R0], i_radrep)]);
-    cb.def_thread(t_radnext, 1, vec![
-        ld(R0, s_m),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_m, R0),
-        alu(AluOp::Le, R1, R0, imm(ni)),
-        fork_if_else(R1, t_radcall, t_parinit),
-    ]);
-    cb.def_thread(t_parinit, 1, vec![movi(R0, 1), st(s_m, R0), fork(t_parspawn)]);
-    cb.def_thread(t_parspawn, 1, vec![
-        ld(R0, s_m),
-        call(par, vec![R0], i_parrep),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_m, R0),
-        alu(AluOp::Le, R1, R0, imm(ni)),
-        fork_if(R1, t_parspawn),
-    ]);
-    cb.def_thread(t_totinit, n as u32, vec![
-        movi(R0, 1),
-        st(s_m, R0),
-        movi(R0, 0),
-        st(s_tot, R0),
-        fork(t_totfetch),
-    ]);
-    cb.def_thread(t_totfetch, 1, vec![
-        movarr(R0, a_p),
-        ld(R1, s_m),
-        alu(AluOp::Shl, R2, R1, imm(3)),
-        alu(AluOp::Add, R0, R0, reg(R2)),
-        movi(R3, 0),
-        ifetch(R0, R3, i_pval),
-    ]);
-    cb.def_thread(t_totadd, 1, vec![
-        ld(R0, s_pv),
-        st(s_last, R0),
-        ld(R1, s_tot),
-        alu(AluOp::Add, R1, R1, reg(R0)),
-        st(s_tot, R1),
-        ld(R2, s_m),
-        alu(AluOp::Add, R2, R2, imm(1)),
-        st(s_m, R2),
-        alu(AluOp::Le, R3, R2, imm(ni)),
-        fork_if_else(R3, t_totfetch, t_ret),
-    ]);
-    cb.def_thread(t_ret, 1, vec![ld(R0, s_tot), ld(R1, s_last), ret(vec![R0, R1])]);
+    cb.def_thread(
+        t_radcall,
+        1,
+        vec![ld(R0, s_m), call(rad, vec![R0], i_radrep)],
+    );
+    cb.def_thread(
+        t_radnext,
+        1,
+        vec![
+            ld(R0, s_m),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_m, R0),
+            alu(AluOp::Le, R1, R0, imm(ni)),
+            fork_if_else(R1, t_radcall, t_parinit),
+        ],
+    );
+    cb.def_thread(
+        t_parinit,
+        1,
+        vec![movi(R0, 1), st(s_m, R0), fork(t_parspawn)],
+    );
+    cb.def_thread(
+        t_parspawn,
+        1,
+        vec![
+            ld(R0, s_m),
+            call(par, vec![R0], i_parrep),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_m, R0),
+            alu(AluOp::Le, R1, R0, imm(ni)),
+            fork_if(R1, t_parspawn),
+        ],
+    );
+    cb.def_thread(
+        t_totinit,
+        n as u32,
+        vec![
+            movi(R0, 1),
+            st(s_m, R0),
+            movi(R0, 0),
+            st(s_tot, R0),
+            fork(t_totfetch),
+        ],
+    );
+    cb.def_thread(
+        t_totfetch,
+        1,
+        vec![
+            movarr(R0, a_p),
+            ld(R1, s_m),
+            alu(AluOp::Shl, R2, R1, imm(3)),
+            alu(AluOp::Add, R0, R0, reg(R2)),
+            movi(R3, 0),
+            ifetch(R0, R3, i_pval),
+        ],
+    );
+    cb.def_thread(
+        t_totadd,
+        1,
+        vec![
+            ld(R0, s_pv),
+            st(s_last, R0),
+            ld(R1, s_tot),
+            alu(AluOp::Add, R1, R1, reg(R0)),
+            st(s_tot, R1),
+            ld(R2, s_m),
+            alu(AluOp::Add, R2, R2, imm(1)),
+            st(s_m, R2),
+            alu(AluOp::Le, R3, R2, imm(ni)),
+            fork_if_else(R3, t_totfetch, t_ret),
+        ],
+    );
+    cb.def_thread(
+        t_ret,
+        1,
+        vec![ld(R0, s_tot), ld(R1, s_last), ret(vec![R0, R1])],
+    );
     pb.define(main, cb.finish());
 
     pb.main(main, vec![Value::Int(0)]);
@@ -637,7 +786,11 @@ pub fn paraffin_counts(n: usize) -> Vec<i64> {
     (1..=n)
         .map(|m| {
             let s = m - 1;
-            let bond = if m % 2 == 0 { r[m / 2] * (r[m / 2] + 1) / 2 } else { 0 };
+            let bond = if m % 2 == 0 {
+                r[m / 2] * (r[m / 2] + 1) / 2
+            } else {
+                0
+            };
             let mut center = 0i64;
             for i in 0..=s / 4 {
                 for j in i..=(s - i) / 3 {

@@ -7,16 +7,28 @@
 //! call-intensive structure gives the low threads-per-quantum the paper
 //! reports for QS.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use tamsim_tam::ids::regs::*;
 use tamsim_tam::ops::*;
 use tamsim_tam::{AluOp, CodeblockBuilder, InitArray, Program, ProgramBuilder, Value};
 
+/// SplitMix64 (Steele, Lea & Flood): a tiny, dependency-free generator.
+/// The benchmark only needs a fixed, well-mixed pseudo-random input; a
+/// deterministic internal PRNG keeps the workspace building offline and
+/// the inputs identical on every platform.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// The pseudo-random input the benchmark sorts.
 pub fn quicksort_input(n: usize, seed: u64) -> Vec<i64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(0..1000)).collect()
+    let mut state = seed;
+    (0..n)
+        .map(|_| (splitmix64(&mut state) % 1000) as i64)
+        .collect()
 }
 
 /// Build quicksort of `n` random integers. Returns the order-weighted
@@ -82,123 +94,167 @@ pub fn quicksort(n: usize, seed: u64) -> Program {
     cb.def_inlet(i_single, vec![ldmsg(R0, 0), st(s_v, R0), post(t_single)]);
 
     // All four arguments present: dispatch on the segment length.
-    cb.def_thread(t_start, 4, vec![
-        ld(R0, s_len),
-        alu(AluOp::Eq, R1, R0, imm(0)),
-        fork_if_else(R1, t_empty, t_chk1),
-    ]);
+    cb.def_thread(
+        t_start,
+        4,
+        vec![
+            ld(R0, s_len),
+            alu(AluOp::Eq, R1, R0, imm(0)),
+            fork_if_else(R1, t_empty, t_chk1),
+        ],
+    );
     cb.def_thread(t_empty, 1, vec![movi(R0, 0), ret(vec![R0])]);
-    cb.def_thread(t_chk1, 1, vec![
-        ld(R0, s_len),
-        alu(AluOp::Eq, R1, R0, imm(1)),
-        fork_if_else(R1, t_single_fetch, t_pivot_fetch),
-    ]);
+    cb.def_thread(
+        t_chk1,
+        1,
+        vec![
+            ld(R0, s_len),
+            alu(AluOp::Eq, R1, R0, imm(1)),
+            fork_if_else(R1, t_single_fetch, t_pivot_fetch),
+        ],
+    );
     // len == 1: copy the one element through.
-    cb.def_thread(t_single_fetch, 1, vec![
-        ld(R0, s_src),
-        movi(R1, 0),
-        ifetch(R0, R1, i_single),
-    ]);
-    cb.def_thread(t_single, 1, vec![
-        ld(R0, s_v),
-        ld(R1, s_out),
-        ld(R2, s_ooff),
-        alu(AluOp::Shl, R2, R2, imm(3)),
-        alu(AluOp::Add, R1, R1, reg(R2)),
-        istore(R1, R0),
-        movi(R0, 0),
-        ret(vec![R0]),
-    ]);
+    cb.def_thread(
+        t_single_fetch,
+        1,
+        vec![ld(R0, s_src), movi(R1, 0), ifetch(R0, R1, i_single)],
+    );
+    cb.def_thread(
+        t_single,
+        1,
+        vec![
+            ld(R0, s_v),
+            ld(R1, s_out),
+            ld(R2, s_ooff),
+            alu(AluOp::Shl, R2, R2, imm(3)),
+            alu(AluOp::Add, R1, R1, reg(R2)),
+            istore(R1, R0),
+            movi(R0, 0),
+            ret(vec![R0]),
+        ],
+    );
     // len >= 2: fetch the pivot (element 0).
-    cb.def_thread(t_pivot_fetch, 1, vec![
-        ld(R0, s_src),
-        movi(R1, 0),
-        ifetch(R0, R1, i_piv),
-    ]);
+    cb.def_thread(
+        t_pivot_fetch,
+        1,
+        vec![ld(R0, s_src), movi(R1, 0), ifetch(R0, R1, i_piv)],
+    );
     // Allocate the partition arrays and start the scan at element 1.
-    cb.def_thread(t_setup, 1, vec![
-        ld(R0, s_len),
-        alu(AluOp::Sub, R0, R0, imm(1)),
-        alu(AluOp::Shl, R1, R0, imm(1)), // (len-1) cells × 2 words
-        halloc(R2, reg(R1)),
-        st(s_less, R2),
-        halloc(R3, reg(R1)),
-        st(s_geq, R3),
-        movi(R4, 1),
-        st(s_i, R4),
-        movi(R4, 0),
-        st(s_nl, R4),
-        st(s_ng, R4),
-        fork(t_loop),
-    ]);
-    cb.def_thread(t_loop, 1, vec![
-        ld(R0, s_i),
-        ld(R1, s_len),
-        alu(AluOp::Lt, R2, R0, reg(R1)),
-        fork_if_else(R2, t_fetch, t_recurse),
-    ]);
-    cb.def_thread(t_fetch, 1, vec![
-        ld(R0, s_src),
-        ld(R1, s_i),
-        alu(AluOp::Shl, R1, R1, imm(3)),
-        alu(AluOp::Add, R0, R0, reg(R1)),
-        movi(R2, 0),
-        ifetch(R0, R2, i_elem),
-    ]);
-    cb.def_thread(t_place, 1, vec![
-        ld(R0, s_v),
-        ld(R1, s_piv),
-        alu(AluOp::Lt, R2, R0, reg(R1)),
-        fork_if_else(R2, t_less, t_geq),
-    ]);
-    cb.def_thread(t_less, 1, vec![
-        ld(R0, s_v),
-        ld(R1, s_less),
-        ld(R2, s_nl),
-        alu(AluOp::Shl, R3, R2, imm(3)),
-        alu(AluOp::Add, R1, R1, reg(R3)),
-        istore(R1, R0),
-        alu(AluOp::Add, R2, R2, imm(1)),
-        st(s_nl, R2),
-        fork(t_next),
-    ]);
-    cb.def_thread(t_geq, 1, vec![
-        ld(R0, s_v),
-        ld(R1, s_geq),
-        ld(R2, s_ng),
-        alu(AluOp::Shl, R3, R2, imm(3)),
-        alu(AluOp::Add, R1, R1, reg(R3)),
-        istore(R1, R0),
-        alu(AluOp::Add, R2, R2, imm(1)),
-        st(s_ng, R2),
-        fork(t_next),
-    ]);
-    cb.def_thread(t_next, 1, vec![
-        ld(R0, s_i),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_i, R0),
-        fork(t_loop),
-    ]);
+    cb.def_thread(
+        t_setup,
+        1,
+        vec![
+            ld(R0, s_len),
+            alu(AluOp::Sub, R0, R0, imm(1)),
+            alu(AluOp::Shl, R1, R0, imm(1)), // (len-1) cells × 2 words
+            halloc(R2, reg(R1)),
+            st(s_less, R2),
+            halloc(R3, reg(R1)),
+            st(s_geq, R3),
+            movi(R4, 1),
+            st(s_i, R4),
+            movi(R4, 0),
+            st(s_nl, R4),
+            st(s_ng, R4),
+            fork(t_loop),
+        ],
+    );
+    cb.def_thread(
+        t_loop,
+        1,
+        vec![
+            ld(R0, s_i),
+            ld(R1, s_len),
+            alu(AluOp::Lt, R2, R0, reg(R1)),
+            fork_if_else(R2, t_fetch, t_recurse),
+        ],
+    );
+    cb.def_thread(
+        t_fetch,
+        1,
+        vec![
+            ld(R0, s_src),
+            ld(R1, s_i),
+            alu(AluOp::Shl, R1, R1, imm(3)),
+            alu(AluOp::Add, R0, R0, reg(R1)),
+            movi(R2, 0),
+            ifetch(R0, R2, i_elem),
+        ],
+    );
+    cb.def_thread(
+        t_place,
+        1,
+        vec![
+            ld(R0, s_v),
+            ld(R1, s_piv),
+            alu(AluOp::Lt, R2, R0, reg(R1)),
+            fork_if_else(R2, t_less, t_geq),
+        ],
+    );
+    cb.def_thread(
+        t_less,
+        1,
+        vec![
+            ld(R0, s_v),
+            ld(R1, s_less),
+            ld(R2, s_nl),
+            alu(AluOp::Shl, R3, R2, imm(3)),
+            alu(AluOp::Add, R1, R1, reg(R3)),
+            istore(R1, R0),
+            alu(AluOp::Add, R2, R2, imm(1)),
+            st(s_nl, R2),
+            fork(t_next),
+        ],
+    );
+    cb.def_thread(
+        t_geq,
+        1,
+        vec![
+            ld(R0, s_v),
+            ld(R1, s_geq),
+            ld(R2, s_ng),
+            alu(AluOp::Shl, R3, R2, imm(3)),
+            alu(AluOp::Add, R1, R1, reg(R3)),
+            istore(R1, R0),
+            alu(AluOp::Add, R2, R2, imm(1)),
+            st(s_ng, R2),
+            fork(t_next),
+        ],
+    );
+    cb.def_thread(
+        t_next,
+        1,
+        vec![
+            ld(R0, s_i),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_i, R0),
+            fork(t_loop),
+        ],
+    );
     // Place the pivot, recurse on both halves.
-    cb.def_thread(t_recurse, 1, vec![
-        // out[out_off + nless] = pivot.
-        ld(R0, s_out),
-        ld(R1, s_ooff),
-        ld(R2, s_nl),
-        alu(AluOp::Add, R3, R1, reg(R2)),
-        alu(AluOp::Shl, R4, R3, imm(3)),
-        alu(AluOp::Add, R4, R0, reg(R4)),
-        ld(R5, s_piv),
-        istore(R4, R5),
-        // qs(less, nless, out, out_off).
-        ld(R6, s_less),
-        call(qs, vec![R6, R2, R0, R1], i_join),
-        // qs(geq, ngeq, out, out_off + nless + 1).
-        ld(R6, s_geq),
-        ld(R7, s_ng),
-        alu(AluOp::Add, R8, R3, imm(1)),
-        call(qs, vec![R6, R7, R0, R8], i_join),
-    ]);
+    cb.def_thread(
+        t_recurse,
+        1,
+        vec![
+            // out[out_off + nless] = pivot.
+            ld(R0, s_out),
+            ld(R1, s_ooff),
+            ld(R2, s_nl),
+            alu(AluOp::Add, R3, R1, reg(R2)),
+            alu(AluOp::Shl, R4, R3, imm(3)),
+            alu(AluOp::Add, R4, R0, reg(R4)),
+            ld(R5, s_piv),
+            istore(R4, R5),
+            // qs(less, nless, out, out_off).
+            ld(R6, s_less),
+            call(qs, vec![R6, R2, R0, R1], i_join),
+            // qs(geq, ngeq, out, out_off + nless + 1).
+            ld(R6, s_geq),
+            ld(R7, s_ng),
+            alu(AluOp::Add, R8, R3, imm(1)),
+            call(qs, vec![R6, R7, R0, R8], i_join),
+        ],
+    );
     cb.def_thread(t_join, 2, vec![movi(R0, 0), ret(vec![R0])]);
     pb.define(qs, cb.finish());
 
@@ -218,39 +274,50 @@ pub fn quicksort(n: usize, seed: u64) -> Program {
     cb.def_inlet(i_arg, vec![post(t_go)]);
     cb.def_inlet(i_rep, vec![post(t_ck_start)]);
     cb.def_inlet(i_ck, vec![ldmsg(R0, 0), st(s_cv, R0), post(t_ck_add)]);
-    cb.def_thread(t_go, 1, vec![
-        movarr(R0, a_in),
-        movi(R1, n as i64),
-        movarr(R2, a_out),
-        movi(R3, 0),
-        call(qs, vec![R0, R1, R2, R3], i_rep),
-    ]);
-    cb.def_thread(t_ck_start, 1, vec![
-        movi(R0, 0),
-        st(s_k, R0),
-        st(s_sum, R0),
-        fork(t_ck_fetch),
-    ]);
-    cb.def_thread(t_ck_fetch, 1, vec![
-        movarr(R0, a_out),
-        ld(R1, s_k),
-        alu(AluOp::Shl, R2, R1, imm(3)),
-        alu(AluOp::Add, R0, R0, reg(R2)),
-        movi(R3, 0),
-        ifetch(R0, R3, i_ck),
-    ]);
-    cb.def_thread(t_ck_add, 1, vec![
-        ld(R0, s_cv),
-        ld(R1, s_k),
-        alu(AluOp::Add, R2, R1, imm(1)),
-        alu(AluOp::Mul, R0, R0, reg(R2)),
-        ld(R3, s_sum),
-        alu(AluOp::Add, R3, R3, reg(R0)),
-        st(s_sum, R3),
-        st(s_k, R2),
-        alu(AluOp::Lt, R4, R2, imm(n as i64)),
-        fork_if_else(R4, t_ck_fetch, t_ret),
-    ]);
+    cb.def_thread(
+        t_go,
+        1,
+        vec![
+            movarr(R0, a_in),
+            movi(R1, n as i64),
+            movarr(R2, a_out),
+            movi(R3, 0),
+            call(qs, vec![R0, R1, R2, R3], i_rep),
+        ],
+    );
+    cb.def_thread(
+        t_ck_start,
+        1,
+        vec![movi(R0, 0), st(s_k, R0), st(s_sum, R0), fork(t_ck_fetch)],
+    );
+    cb.def_thread(
+        t_ck_fetch,
+        1,
+        vec![
+            movarr(R0, a_out),
+            ld(R1, s_k),
+            alu(AluOp::Shl, R2, R1, imm(3)),
+            alu(AluOp::Add, R0, R0, reg(R2)),
+            movi(R3, 0),
+            ifetch(R0, R3, i_ck),
+        ],
+    );
+    cb.def_thread(
+        t_ck_add,
+        1,
+        vec![
+            ld(R0, s_cv),
+            ld(R1, s_k),
+            alu(AluOp::Add, R2, R1, imm(1)),
+            alu(AluOp::Mul, R0, R0, reg(R2)),
+            ld(R3, s_sum),
+            alu(AluOp::Add, R3, R3, reg(R0)),
+            st(s_sum, R3),
+            st(s_k, R2),
+            alu(AluOp::Lt, R4, R2, imm(n as i64)),
+            fork_if_else(R4, t_ck_fetch, t_ret),
+        ],
+    );
     cb.def_thread(t_ret, 1, vec![ld(R0, s_sum), ret(vec![R0])]);
     pb.define(main, cb.finish());
 
@@ -262,8 +329,5 @@ pub fn quicksort(n: usize, seed: u64) -> Program {
 pub fn quicksort_expected(n: usize, seed: u64) -> i64 {
     let mut v = quicksort_input(n, seed);
     v.sort_unstable();
-    v.iter()
-        .enumerate()
-        .map(|(k, &x)| (k as i64 + 1) * x)
-        .sum()
+    v.iter().enumerate().map(|(k, &x)| (k as i64 + 1) * x).sum()
 }

@@ -42,88 +42,115 @@ pub fn ss(n: u32) -> Program {
     // Argument arrives; start filling the array in reverse order.
     cb.def_inlet(i_arg, vec![movi(R0, 0), st(s_oi, R0), post(t_init)]);
     // a[i] = n - i for i in 0..n.
-    cb.def_thread(t_init, 1, vec![
-        ld(R0, s_oi),
-        movi(R1, n),
-        alu(AluOp::Sub, R1, R1, reg(R0)),
-        stx(arr, R0, R1),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_oi, R0),
-        alu(AluOp::Lt, R2, R0, imm(n)),
-        fork_if_else(R2, t_init, t_outer),
-    ]);
+    cb.def_thread(
+        t_init,
+        1,
+        vec![
+            ld(R0, s_oi),
+            movi(R1, n),
+            alu(AluOp::Sub, R1, R1, reg(R0)),
+            stx(arr, R0, R1),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_oi, R0),
+            alu(AluOp::Lt, R2, R0, imm(n)),
+            fork_if_else(R2, t_init, t_outer),
+        ],
+    );
     // Outer loop entry: min = a[oi], scan from oi+1. (t_init leaves
     // s_oi == n; reset it on first entry via the sentinel below.)
-    cb.def_thread(t_outer, 1, vec![
-        ld(R0, s_oi),
-        // First entry comes from t_init with oi == n: wrap to 0.
-        alu(AluOp::Eq, R1, R0, imm(n)),
-        movi(R2, 1),
-        alu(AluOp::Sub, R2, R2, reg(R1)), // R2 = 0 if wrapping, 1 otherwise
-        alu(AluOp::Mul, R0, R0, reg(R2)), // oi = 0 on wrap
-        st(s_oi, R0),
-        ldx(R3, arr, R0),
-        st(s_mn, R3),
-        st(s_mi, R0),
-        alu(AluOp::Add, R4, R0, imm(1)),
-        st(s_ij, R4),
-        alu(AluOp::Lt, R5, R4, imm(n)),
-        fork_if_else(R5, t_inner, t_place),
-    ]);
+    cb.def_thread(
+        t_outer,
+        1,
+        vec![
+            ld(R0, s_oi),
+            // First entry comes from t_init with oi == n: wrap to 0.
+            alu(AluOp::Eq, R1, R0, imm(n)),
+            movi(R2, 1),
+            alu(AluOp::Sub, R2, R2, reg(R1)), // R2 = 0 if wrapping, 1 otherwise
+            alu(AluOp::Mul, R0, R0, reg(R2)), // oi = 0 on wrap
+            st(s_oi, R0),
+            ldx(R3, arr, R0),
+            st(s_mn, R3),
+            st(s_mi, R0),
+            alu(AluOp::Add, R4, R0, imm(1)),
+            st(s_ij, R4),
+            alu(AluOp::Lt, R5, R4, imm(n)),
+            fork_if_else(R5, t_inner, t_place),
+        ],
+    );
     // Inner scan: is a[j] a new minimum?
-    cb.def_thread(t_inner, 1, vec![
-        ld(R0, s_ij),
-        ldx(R1, arr, R0),
-        ld(R2, s_mn),
-        alu(AluOp::Lt, R3, R1, reg(R2)),
-        fork_if_else(R3, t_upd, t_adv),
-    ]);
-    cb.def_thread(t_upd, 1, vec![
-        ld(R0, s_ij),
-        ldx(R1, arr, R0),
-        st(s_mn, R1),
-        st(s_mi, R0),
-        fork(t_adv),
-    ]);
-    cb.def_thread(t_adv, 1, vec![
-        ld(R0, s_ij),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_ij, R0),
-        alu(AluOp::Lt, R1, R0, imm(n)),
-        fork_if_else(R1, t_inner, t_place),
-    ]);
+    cb.def_thread(
+        t_inner,
+        1,
+        vec![
+            ld(R0, s_ij),
+            ldx(R1, arr, R0),
+            ld(R2, s_mn),
+            alu(AluOp::Lt, R3, R1, reg(R2)),
+            fork_if_else(R3, t_upd, t_adv),
+        ],
+    );
+    cb.def_thread(
+        t_upd,
+        1,
+        vec![
+            ld(R0, s_ij),
+            ldx(R1, arr, R0),
+            st(s_mn, R1),
+            st(s_mi, R0),
+            fork(t_adv),
+        ],
+    );
+    cb.def_thread(
+        t_adv,
+        1,
+        vec![
+            ld(R0, s_ij),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_ij, R0),
+            alu(AluOp::Lt, R1, R0, imm(n)),
+            fork_if_else(R1, t_inner, t_place),
+        ],
+    );
     // Swap a[oi] ↔ a[mi], advance the outer loop.
-    cb.def_thread(t_place, 1, vec![
-        ld(R0, s_oi),
-        ld(R1, s_mi),
-        ldx(R2, arr, R0),
-        ldx(R3, arr, R1),
-        stx(arr, R0, R3),
-        stx(arr, R1, R2),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_oi, R0),
-        alu(AluOp::Lt, R4, R0, imm(n - 1)),
-        fork_if_else(R4, t_outer, t_sum_start),
-    ]);
+    cb.def_thread(
+        t_place,
+        1,
+        vec![
+            ld(R0, s_oi),
+            ld(R1, s_mi),
+            ldx(R2, arr, R0),
+            ldx(R3, arr, R1),
+            stx(arr, R0, R3),
+            stx(arr, R1, R2),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_oi, R0),
+            alu(AluOp::Lt, R4, R0, imm(n - 1)),
+            fork_if_else(R4, t_outer, t_sum_start),
+        ],
+    );
     // Checksum pass: Σ (k+1)·a[k].
-    cb.def_thread(t_sum_start, 1, vec![
-        movi(R0, 0),
-        st(s_k, R0),
-        st(s_sum, R0),
-        fork(t_sum),
-    ]);
-    cb.def_thread(t_sum, 1, vec![
-        ld(R0, s_k),
-        ldx(R1, arr, R0),
-        alu(AluOp::Add, R2, R0, imm(1)),
-        alu(AluOp::Mul, R1, R1, reg(R2)),
-        ld(R3, s_sum),
-        alu(AluOp::Add, R3, R3, reg(R1)),
-        st(s_sum, R3),
-        st(s_k, R2),
-        alu(AluOp::Lt, R4, R2, imm(n)),
-        fork_if_else(R4, t_sum, t_ret),
-    ]);
+    cb.def_thread(
+        t_sum_start,
+        1,
+        vec![movi(R0, 0), st(s_k, R0), st(s_sum, R0), fork(t_sum)],
+    );
+    cb.def_thread(
+        t_sum,
+        1,
+        vec![
+            ld(R0, s_k),
+            ldx(R1, arr, R0),
+            alu(AluOp::Add, R2, R0, imm(1)),
+            alu(AluOp::Mul, R1, R1, reg(R2)),
+            ld(R3, s_sum),
+            alu(AluOp::Add, R3, R3, reg(R1)),
+            st(s_sum, R3),
+            st(s_k, R2),
+            alu(AluOp::Lt, R4, R2, imm(n)),
+            fork_if_else(R4, t_sum, t_ret),
+        ],
+    );
     cb.def_thread(t_ret, 1, vec![ld(R0, s_sum), ret(vec![R0])]);
     pb.define(sorter, cb.finish());
 

@@ -56,7 +56,10 @@ pub fn wavefront(n: usize, gens: usize) -> Program {
                 (i == 0 || j == 0).then_some(Value::Float(BOUNDARY))
             })
             .collect();
-        bases.push(pb.array(InitArray { name: format!("gen{g}"), cells }));
+        bases.push(pb.array(InitArray {
+            name: format!("gen{g}"),
+            cells,
+        }));
     }
     let main = pb.declare("main");
     let row = pb.declare("row");
@@ -103,7 +106,10 @@ pub fn wavefront(n: usize, gens: usize) -> Program {
     cb.def_inlet(i_prev, vec![ldmsg(R0, 0), st(s_prev, R0), post(t_reg)]);
     cb.def_inlet(i_cur, vec![ldmsg(R0, 0), st(s_cur, R0), post(t_reg)]);
     cb.def_inlet(i_mainf, vec![ldmsg(R0, 0), st(s_mainf, R0), post(t_reg)]);
-    cb.def_inlet(i_pv, vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(pbuf, R1, R0), post(t_go)]);
+    cb.def_inlet(
+        i_pv,
+        vec![ldmsg(R0, 0), ldmsg(R1, 1), stx(pbuf, R1, R0), post(t_go)],
+    );
     // North arrival: bank the value, bump the count, resume a parked
     // sweep exactly once.
     cb.def_inlet(
@@ -126,112 +132,144 @@ pub fn wavefront(n: usize, gens: usize) -> Program {
     // All four arguments in: initialize the arrival protocol (frames are
     // recycled — inherited slot values must never be trusted), register
     // this frame with main, then start the fetch loops.
-    cb.def_thread(t_reg, 4, vec![
-        movi(R0, 0),
-        st(s_na, R0),
-        st(s_stall, R0),
-        st(s_ta, R0),
-        ld(R1, s_i),
-        myframe(R2),
-        ld(R3, s_mainf),
-        send_to(R3, main, MAIN_I_REG, vec![R1, R2]),
-        fork(t_pf),
-        movi(R4, 1),
-        st(s_tn, R4),
-        alu(AluOp::Eq, R5, R1, imm(1)),
-        fork_if(R5, t_pfn),
-    ]);
+    cb.def_thread(
+        t_reg,
+        4,
+        vec![
+            movi(R0, 0),
+            st(s_na, R0),
+            st(s_stall, R0),
+            st(s_ta, R0),
+            ld(R1, s_i),
+            myframe(R2),
+            ld(R3, s_mainf),
+            send_to(R3, main, MAIN_I_REG, vec![R1, R2]),
+            fork(t_pf),
+            movi(R4, 1),
+            st(s_tn, R4),
+            alu(AluOp::Eq, R5, R1, imm(1)),
+            fork_if(R5, t_pfn),
+        ],
+    );
     // Prefetch both prev rows: tags 0..n-1 = prev[(i-1)*n + t], tags
     // n..2n-1 = prev[i*n + (t-n)]. All present — replies are immediate.
-    cb.def_thread(t_pf, 1, vec![
-        ld(R0, s_ta),
-        ld(R1, s_i),
-        ld(R2, s_prev),
-        alu(AluOp::Lt, R3, R0, imm(ni)), // 1 while fetching row i-1
-        alu(AluOp::Sub, R4, R1, reg(R3)),
-        alu(AluOp::Mul, R4, R4, imm(ni)),
-        alu(AluOp::Rem, R5, R0, imm(ni)),
-        alu(AluOp::Add, R4, R4, reg(R5)),
-        alu(AluOp::Shl, R4, R4, imm(3)),
-        alu(AluOp::Add, R4, R4, reg(R2)),
-        ifetch(R4, R0, i_pv),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_ta, R0),
-        alu(AluOp::Lt, R6, R0, imm(2 * ni)),
-        fork_if(R6, t_pf),
-    ]);
+    cb.def_thread(
+        t_pf,
+        1,
+        vec![
+            ld(R0, s_ta),
+            ld(R1, s_i),
+            ld(R2, s_prev),
+            alu(AluOp::Lt, R3, R0, imm(ni)), // 1 while fetching row i-1
+            alu(AluOp::Sub, R4, R1, reg(R3)),
+            alu(AluOp::Mul, R4, R4, imm(ni)),
+            alu(AluOp::Rem, R5, R0, imm(ni)),
+            alu(AluOp::Add, R4, R4, reg(R5)),
+            alu(AluOp::Shl, R4, R4, imm(3)),
+            alu(AluOp::Add, R4, R4, reg(R2)),
+            ifetch(R4, R0, i_pv),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_ta, R0),
+            alu(AluOp::Lt, R6, R0, imm(2 * ni)),
+            fork_if(R6, t_pf),
+        ],
+    );
     // Row 1 reads its norths from the present boundary row 0.
-    cb.def_thread(t_pfn, 1, vec![
-        ld(R0, s_tn),
-        ld(R1, s_cur),
-        alu(AluOp::Shl, R2, R0, imm(3)),
-        alu(AluOp::Add, R2, R2, reg(R1)),
-        ifetch(R2, R0, i_nv),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_tn, R0),
-        alu(AluOp::Lt, R3, R0, imm(ni)),
-        fork_if(R3, t_pfn),
-    ]);
+    cb.def_thread(
+        t_pfn,
+        1,
+        vec![
+            ld(R0, s_tn),
+            ld(R1, s_cur),
+            alu(AluOp::Shl, R2, R0, imm(3)),
+            alu(AluOp::Add, R2, R2, reg(R1)),
+            ifetch(R2, R0, i_nv),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_tn, R0),
+            alu(AluOp::Lt, R3, R0, imm(ni)),
+            fork_if(R3, t_pfn),
+        ],
+    );
     // 2n prefetch replies + the successor pointer: start the sweep.
-    cb.def_thread(t_go, 2 * n as u32 + 1, vec![
-        movi(R0, 1),
-        st(s_j, R0),
-        movf(R1, BOUNDARY), // cur[i][0]
-        st(s_w, R1),
-        fork(t_gate),
-    ]);
+    cb.def_thread(
+        t_go,
+        2 * n as u32 + 1,
+        vec![
+            movi(R0, 1),
+            st(s_j, R0),
+            movf(R1, BOUNDARY), // cur[i][0]
+            st(s_w, R1),
+            fork(t_gate),
+        ],
+    );
     // Gate: proceed if north j has arrived, else park (§2.2 atomicity).
-    cb.def_thread_atomic(t_gate, 1, vec![
-        ld(R0, s_j),
-        ld(R1, s_na),
-        alu(AluOp::Le, R2, R0, reg(R1)),
-        movi(R3, 1),
-        alu(AluOp::Sub, R3, R3, reg(R2)),
-        st(s_stall, R3),
-        fork_if(R2, t_step),
-    ]);
+    cb.def_thread_atomic(
+        t_gate,
+        1,
+        vec![
+            ld(R0, s_j),
+            ld(R1, s_na),
+            alu(AluOp::Le, R2, R0, reg(R1)),
+            movi(R3, 1),
+            alu(AluOp::Sub, R3, R3, reg(R2)),
+            st(s_stall, R3),
+            fork_if(R2, t_step),
+        ],
+    );
     // One element: v = (w + north_cur + north_prev + west_prev) / 4.
-    cb.def_thread(t_step, 1, vec![
-        ld(R0, s_j),
-        ld(R1, s_w),
-        ldx(R2, nbuf, R0),
-        ldx(R3, pbuf, R0), // north-previous
-        alu(AluOp::Add, R4, R0, imm(ni - 1)),
-        ldx(R5, pbuf, R4), // west-previous = pbuf[n + j - 1]
-        falu(FAluOp::FAdd, R1, R1, R2),
-        falu(FAluOp::FAdd, R1, R1, R3),
-        falu(FAluOp::FAdd, R1, R1, R5),
-        movf(R6, 0.25),
-        falu(FAluOp::FMul, R1, R1, R6),
-        st(s_w, R1),
-        st(s_v, R1),
-        // cur[i*n + j] = v (needed by the next generation's prefetches
-        // and the final corner read).
-        ld(R7, s_i),
-        alu(AluOp::Mul, R7, R7, imm(ni)),
-        alu(AluOp::Add, R7, R7, reg(R0)),
-        alu(AluOp::Shl, R7, R7, imm(3)),
-        ld(R8, s_cur),
-        alu(AluOp::Add, R7, R7, reg(R8)),
-        istore(R7, R1),
-        // Stream the value south if a successor exists.
-        ld(R9, s_succ),
-        fork_if_else(R9, t_send, t_adv),
-    ]);
-    cb.def_thread(t_send, 1, vec![
-        ld(R0, s_succ),
-        ld(R1, s_v),
-        ld(R2, s_j),
-        send_to(R0, row, i_nv, vec![R1, R2]),
-        fork(t_adv),
-    ]);
-    cb.def_thread(t_adv, 1, vec![
-        ld(R0, s_j),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_j, R0),
-        alu(AluOp::Lt, R1, R0, imm(ni)),
-        fork_if_else(R1, t_gate, t_done),
-    ]);
+    cb.def_thread(
+        t_step,
+        1,
+        vec![
+            ld(R0, s_j),
+            ld(R1, s_w),
+            ldx(R2, nbuf, R0),
+            ldx(R3, pbuf, R0), // north-previous
+            alu(AluOp::Add, R4, R0, imm(ni - 1)),
+            ldx(R5, pbuf, R4), // west-previous = pbuf[n + j - 1]
+            falu(FAluOp::FAdd, R1, R1, R2),
+            falu(FAluOp::FAdd, R1, R1, R3),
+            falu(FAluOp::FAdd, R1, R1, R5),
+            movf(R6, 0.25),
+            falu(FAluOp::FMul, R1, R1, R6),
+            st(s_w, R1),
+            st(s_v, R1),
+            // cur[i*n + j] = v (needed by the next generation's prefetches
+            // and the final corner read).
+            ld(R7, s_i),
+            alu(AluOp::Mul, R7, R7, imm(ni)),
+            alu(AluOp::Add, R7, R7, reg(R0)),
+            alu(AluOp::Shl, R7, R7, imm(3)),
+            ld(R8, s_cur),
+            alu(AluOp::Add, R7, R7, reg(R8)),
+            istore(R7, R1),
+            // Stream the value south if a successor exists.
+            ld(R9, s_succ),
+            fork_if_else(R9, t_send, t_adv),
+        ],
+    );
+    cb.def_thread(
+        t_send,
+        1,
+        vec![
+            ld(R0, s_succ),
+            ld(R1, s_v),
+            ld(R2, s_j),
+            send_to(R0, row, i_nv, vec![R1, R2]),
+            fork(t_adv),
+        ],
+    );
+    cb.def_thread(
+        t_adv,
+        1,
+        vec![
+            ld(R0, s_j),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_j, R0),
+            alu(AluOp::Lt, R1, R0, imm(ni)),
+            fork_if_else(R1, t_gate, t_done),
+        ],
+    );
     cb.def_thread(t_done, 1, vec![movi(R0, 0), ret(vec![R0])]);
     pb.define(row, cb.finish());
 
@@ -266,30 +304,36 @@ pub fn wavefront(n: usize, gens: usize) -> Program {
 
     cb.def_inlet(i_arg, vec![movi(R0, 1), st(s_g, R0), post(t_resets[0])]);
     // A row registered: bank its frame, resume the linker if parked.
-    cb.def_inlet(i_reg, vec![
-        ldmsg(R0, 0),
-        ldmsg(R1, 1),
-        stx(fbuf, R0, R1),
-        ld(R2, s_nreg),
-        alu(AluOp::Add, R2, R2, imm(1)),
-        st(s_nreg, R2),
-        ld(R3, s_lstall),
-        movi(R4, 0),
-        st(s_lstall, R4),
-        post_if(R3, t_lgate),
-    ]);
+    cb.def_inlet(
+        i_reg,
+        vec![
+            ldmsg(R0, 0),
+            ldmsg(R1, 1),
+            stx(fbuf, R0, R1),
+            ld(R2, s_nreg),
+            alu(AluOp::Add, R2, R2, imm(1)),
+            st(s_nreg, R2),
+            ld(R3, s_lstall),
+            movi(R4, 0),
+            st(s_lstall, R4),
+            post_if(R3, t_lgate),
+        ],
+    );
     // A row completed: bump the window counter, resume a parked spawner,
     // and count toward the generation join.
-    cb.def_inlet(i_rep, vec![
-        ld(R0, s_ret),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_ret, R0),
-        ld(R1, s_sstall),
-        movi(R2, 0),
-        st(s_sstall, R2),
-        post_if(R1, gate_sel),
-        post(t_join),
-    ]);
+    cb.def_inlet(
+        i_rep,
+        vec![
+            ld(R0, s_ret),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_ret, R0),
+            ld(R1, s_sstall),
+            movi(R2, 0),
+            st(s_sstall, R2),
+            post_if(R1, gate_sel),
+            post(t_join),
+        ],
+    );
     cb.def_inlet(i_final, vec![ldmsg(R0, 0), st(s_res, R0), post(t_ret)]);
 
     // Kick path: re-run the current generation's spawn gate.
@@ -307,89 +351,113 @@ pub fn wavefront(n: usize, gens: usize) -> Program {
     for g in 1..=gens {
         let t_spawn = t_spawns[g - 1];
         let t_sgate = t_sgates[g - 1];
-        cb.def_thread(t_resets[g - 1], 1, vec![
-            movi(R0, 1),
-            st(s_si, R0),
-            movi(R1, 2),
-            st(s_lk, R1), // first link action: successor of row 1
-            movi(R2, 0),
-            st(s_ret, R2),
-            st(s_sstall, R2),
-            st(s_nreg, R2),
-            st(s_lstall, R2),
-            fork(t_spawn),
-            // Seed the linker gate; it parks until registrations arrive.
-            fork(t_lgate),
-        ]);
-        cb.def_thread(t_spawn, 1, vec![
-            ld(R0, s_si),
-            movarr(R1, bases[g - 1]),
-            movarr(R2, bases[g]),
-            myframe(R3),
-            call(row, vec![R0, R1, R2, R3], i_rep),
-            alu(AluOp::Add, R0, R0, imm(1)),
-            st(s_si, R0),
-            fork(t_sgate),
-        ]);
+        cb.def_thread(
+            t_resets[g - 1],
+            1,
+            vec![
+                movi(R0, 1),
+                st(s_si, R0),
+                movi(R1, 2),
+                st(s_lk, R1), // first link action: successor of row 1
+                movi(R2, 0),
+                st(s_ret, R2),
+                st(s_sstall, R2),
+                st(s_nreg, R2),
+                st(s_lstall, R2),
+                fork(t_spawn),
+                // Seed the linker gate; it parks until registrations arrive.
+                fork(t_lgate),
+            ],
+        );
+        cb.def_thread(
+            t_spawn,
+            1,
+            vec![
+                ld(R0, s_si),
+                movarr(R1, bases[g - 1]),
+                movarr(R2, bases[g]),
+                myframe(R3),
+                call(row, vec![R0, R1, R2, R3], i_rep),
+                alu(AluOp::Add, R0, R0, imm(1)),
+                st(s_si, R0),
+                fork(t_sgate),
+            ],
+        );
         // Spawn gate: next row if rows remain and the window has room.
-        cb.def_thread_atomic(t_sgate, 1, vec![
-            ld(R0, s_si),
-            ld(R1, s_ret),
-            alu(AluOp::Lt, R2, R0, imm(ni)), // rows remain?
-            alu(AluOp::Sub, R3, R0, imm(1)),
-            alu(AluOp::Sub, R3, R3, reg(R1)), // outstanding
-            alu(AluOp::Lt, R4, R3, imm(WINDOW)),
-            alu(AluOp::Mul, R5, R2, reg(R4)), // go
-            alu(AluOp::Xor, R6, R4, imm(1)),
-            alu(AluOp::Mul, R6, R2, reg(R6)), // park: rows remain, no room
-            st(s_sstall, R6),
-            fork_if(R5, t_spawn),
-        ]);
+        cb.def_thread_atomic(
+            t_sgate,
+            1,
+            vec![
+                ld(R0, s_si),
+                ld(R1, s_ret),
+                alu(AluOp::Lt, R2, R0, imm(ni)), // rows remain?
+                alu(AluOp::Sub, R3, R0, imm(1)),
+                alu(AluOp::Sub, R3, R3, reg(R1)), // outstanding
+                alu(AluOp::Lt, R4, R3, imm(WINDOW)),
+                alu(AluOp::Mul, R5, R2, reg(R4)), // go
+                alu(AluOp::Xor, R6, R4, imm(1)),
+                alu(AluOp::Mul, R6, R2, reg(R6)), // park: rows remain, no room
+                st(s_sstall, R6),
+                fork_if(R5, t_spawn),
+            ],
+        );
     }
     // Linker gate: action lk (send row lk-1 its successor) is ready once
     // row lk has registered — or, for lk == n, once row n-1 has (the
     // last row's "successor" is 0).
-    cb.def_thread_atomic(t_lgate, 1, vec![
-        ld(R0, s_lk),
-        ld(R1, s_nreg),
-        alu(AluOp::Le, R2, R0, imm(ni)), // actions remain?
-        alu(AluOp::Sub, R3, R0, imm(1)),
-        alu(AluOp::Le, R4, R3, reg(R1)), // row lk-1 registered?
-        alu(AluOp::Lt, R5, R0, imm(ni)), // lk < n?
-        alu(AluOp::Le, R6, R0, reg(R1)), // row lk registered?
-        alu(AluOp::Xor, R7, R5, imm(1)), // lk == n
-        alu(AluOp::Mul, R5, R5, reg(R6)),
-        alu(AluOp::Mul, R7, R7, reg(R4)),
-        alu(AluOp::Or, R5, R5, reg(R7)), // prerequisites met
-        alu(AluOp::Mul, R8, R2, reg(R5)), // go
-        alu(AluOp::Xor, R9, R5, imm(1)),
-        alu(AluOp::Mul, R9, R2, reg(R9)), // park
-        st(s_lstall, R9),
-        fork_if(R8, t_lstep),
-    ]);
-    cb.def_thread(t_lstep, 1, vec![
-        ld(R0, s_lk),
-        // succ = fbuf[lk] if lk < n else 0 (the guard slot keeps the
-        // out-of-range probe inside the frame).
-        alu(AluOp::Lt, R1, R0, imm(ni)),
-        ldx(R2, fbuf, R0),
-        alu(AluOp::Mul, R2, R2, reg(R1)),
-        alu(AluOp::Sub, R3, R0, imm(1)),
-        ldx(R4, fbuf, R3), // target row lk-1
-        send_to(R4, row, i_succ, vec![R2]),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_lk, R0),
-        fork(t_lgate),
-    ]);
+    cb.def_thread_atomic(
+        t_lgate,
+        1,
+        vec![
+            ld(R0, s_lk),
+            ld(R1, s_nreg),
+            alu(AluOp::Le, R2, R0, imm(ni)), // actions remain?
+            alu(AluOp::Sub, R3, R0, imm(1)),
+            alu(AluOp::Le, R4, R3, reg(R1)), // row lk-1 registered?
+            alu(AluOp::Lt, R5, R0, imm(ni)), // lk < n?
+            alu(AluOp::Le, R6, R0, reg(R1)), // row lk registered?
+            alu(AluOp::Xor, R7, R5, imm(1)), // lk == n
+            alu(AluOp::Mul, R5, R5, reg(R6)),
+            alu(AluOp::Mul, R7, R7, reg(R4)),
+            alu(AluOp::Or, R5, R5, reg(R7)),  // prerequisites met
+            alu(AluOp::Mul, R8, R2, reg(R5)), // go
+            alu(AluOp::Xor, R9, R5, imm(1)),
+            alu(AluOp::Mul, R9, R2, reg(R9)), // park
+            st(s_lstall, R9),
+            fork_if(R8, t_lstep),
+        ],
+    );
+    cb.def_thread(
+        t_lstep,
+        1,
+        vec![
+            ld(R0, s_lk),
+            // succ = fbuf[lk] if lk < n else 0 (the guard slot keeps the
+            // out-of-range probe inside the frame).
+            alu(AluOp::Lt, R1, R0, imm(ni)),
+            ldx(R2, fbuf, R0),
+            alu(AluOp::Mul, R2, R2, reg(R1)),
+            alu(AluOp::Sub, R3, R0, imm(1)),
+            ldx(R4, fbuf, R3), // target row lk-1
+            send_to(R4, row, i_succ, vec![R2]),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_lk, R0),
+            fork(t_lgate),
+        ],
+    );
     // A generation finished: re-arm the join, bump the counter, and
     // select the next generation's spawner (unrolled compare chain).
-    cb.def_thread(t_join, (n - 1) as u32, vec![
-        reset_count(t_join),
-        ld(R0, s_g),
-        alu(AluOp::Add, R0, R0, imm(1)),
-        st(s_g, R0),
-        fork(t_sels[0]),
-    ]);
+    cb.def_thread(
+        t_join,
+        (n - 1) as u32,
+        vec![
+            reset_count(t_join),
+            ld(R0, s_g),
+            alu(AluOp::Add, R0, R0, imm(1)),
+            st(s_g, R0),
+            fork(t_sels[0]),
+        ],
+    );
     for g in 1..=gens {
         let mut ops = vec![ld(R0, s_g), alu(AluOp::Eq, R1, R0, imm(g as i64 + 1))];
         let target = if g < gens { t_resets[g] } else { t_final };
@@ -400,14 +468,18 @@ pub fn wavefront(n: usize, gens: usize) -> Program {
         }
         cb.def_thread(t_sels[g - 1], 1, ops);
     }
-    cb.def_thread(t_final, 1, vec![
-        movarr(R0, bases[gens]),
-        movi(R1, (ni - 1) * ni + (ni - 1)),
-        alu(AluOp::Shl, R1, R1, imm(3)),
-        alu(AluOp::Add, R0, R0, reg(R1)),
-        movi(R2, 0),
-        ifetch(R0, R2, i_final),
-    ]);
+    cb.def_thread(
+        t_final,
+        1,
+        vec![
+            movarr(R0, bases[gens]),
+            movi(R1, (ni - 1) * ni + (ni - 1)),
+            alu(AluOp::Shl, R1, R1, imm(3)),
+            alu(AluOp::Add, R0, R0, reg(R1)),
+            movi(R2, 0),
+            ifetch(R0, R2, i_final),
+        ],
+    );
     cb.def_thread(t_ret, 1, vec![ld(R0, s_res), ret(vec![R0])]);
     pb.define(main, cb.finish());
 

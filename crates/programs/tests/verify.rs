@@ -5,15 +5,22 @@
 use tamsim_core::{Experiment, Implementation};
 use tamsim_programs as programs;
 
-const ALL_IMPLS: [Implementation; 3] =
-    [Implementation::Am, Implementation::AmEnabled, Implementation::Md];
+const ALL_IMPLS: [Implementation; 3] = [
+    Implementation::Am,
+    Implementation::AmEnabled,
+    Implementation::Md,
+];
 
 #[test]
 fn fib_is_correct_everywhere() {
     let p = programs::fib(10);
     for impl_ in ALL_IMPLS {
         let out = Experiment::new(impl_).run(&p);
-        assert_eq!(out.result[0].as_i64(), programs::fib_expected(10), "{impl_:?}");
+        assert_eq!(
+            out.result[0].as_i64(),
+            programs::fib_expected(10),
+            "{impl_:?}"
+        );
     }
 }
 
@@ -22,7 +29,11 @@ fn ss_is_correct_everywhere() {
     let p = programs::ss(24);
     for impl_ in ALL_IMPLS {
         let out = Experiment::new(impl_).run(&p);
-        assert_eq!(out.result[0].as_i64(), programs::ss_expected(24), "{impl_:?}");
+        assert_eq!(
+            out.result[0].as_i64(),
+            programs::ss_expected(24),
+            "{impl_:?}"
+        );
     }
 }
 
@@ -31,7 +42,11 @@ fn ss_has_giant_quanta() {
     let p = programs::ss(24);
     let out = Experiment::new(Implementation::Md).run(&p);
     // The whole sort runs as a few enormous quanta.
-    assert!(out.granularity.tpq() > 50.0, "tpq = {}", out.granularity.tpq());
+    assert!(
+        out.granularity.tpq() > 50.0,
+        "tpq = {}",
+        out.granularity.tpq()
+    );
 }
 
 #[test]
@@ -42,8 +57,10 @@ fn quicksort_is_correct_everywhere() {
         let out = Experiment::new(impl_).run(&p);
         assert_eq!(out.result[0].as_i64(), want, "{impl_:?}");
         // The output array is fully present and sorted.
-        let sorted: Vec<i64> =
-            out.arrays[1].iter().map(|c| c.expect("cell empty").as_i64()).collect();
+        let sorted: Vec<i64> = out.arrays[1]
+            .iter()
+            .map(|c| c.expect("cell empty").as_i64())
+            .collect();
         let mut reference = programs::quicksort_input(24, 7);
         reference.sort_unstable();
         assert_eq!(sorted, reference, "{impl_:?}");
@@ -66,7 +83,11 @@ fn mmt_is_correct_everywhere() {
     let want = programs::mmt_expected(10);
     for impl_ in ALL_IMPLS {
         let out = Experiment::new(impl_).run(&p);
-        assert_eq!(out.result[0].as_f64(), want, "{impl_:?} (exact: order is fixed)");
+        assert_eq!(
+            out.result[0].as_f64(),
+            want,
+            "{impl_:?} (exact: order is fixed)"
+        );
     }
 }
 
@@ -140,5 +161,8 @@ fn am_quanta_are_at_least_as_large_as_md_quanta() {
             am_wins += 1;
         }
     }
-    assert!(am_wins >= total - 1, "AM TPQ >= MD TPQ for {am_wins}/{total} programs");
+    assert!(
+        am_wins >= total - 1,
+        "AM TPQ >= MD TPQ for {am_wins}/{total} programs"
+    );
 }

@@ -25,7 +25,12 @@ pub enum ValidateError {
     /// An entry count of zero.
     ZeroEntryCount { cb: String, t: ThreadId },
     /// A `Call` passed more arguments than the callee has argument inlets.
-    ArityMismatch { cb: String, target: CodeblockId, args: usize, inlets: usize },
+    ArityMismatch {
+        cb: String,
+        target: CodeblockId,
+        args: usize,
+        inlets: usize,
+    },
     /// The program's `main` id is out of range.
     BadMain,
     /// A `Value::ArrayBase` referenced a nonexistent array.
@@ -93,11 +98,7 @@ fn check_op_regs(cb: &str, op: &TOp) -> Result<(), ValidateError> {
     Ok(())
 }
 
-fn check_common(
-    program: &Program,
-    cb: &Codeblock,
-    op: &TOp,
-) -> Result<(), ValidateError> {
+fn check_common(program: &Program, cb: &Codeblock, op: &TOp) -> Result<(), ValidateError> {
     let name = cb.name.as_str();
     check_op_regs(name, op)?;
     for t in op.targets() {
@@ -110,20 +111,38 @@ fn check_common(
         | TOp::StSlot { slot, .. }
         | TOp::LdSlotIdx { base: slot, .. }
         | TOp::StSlotIdx { base: slot, .. }
-            if slot.0 >= cb.n_slots => {
-                return Err(ValidateError::BadSlot { cb: name.into(), slot: *slot });
-            }
-        TOp::LdMsg { idx, .. }
-            if *idx >= MAX_MSG_PAYLOAD => {
-                return Err(ValidateError::BadMsgIndex { cb: name.into(), idx: *idx });
-            }
-        TOp::MovI { v: crate::op::Value::ArrayBase(i), .. }
-            if *i >= program.arrays.len() => {
-                return Err(ValidateError::BadArray { cb: name.into(), idx: *i });
-            }
-        TOp::Call { cb: target, args, reply } => {
+            if slot.0 >= cb.n_slots =>
+        {
+            return Err(ValidateError::BadSlot {
+                cb: name.into(),
+                slot: *slot,
+            });
+        }
+        TOp::LdMsg { idx, .. } if *idx >= MAX_MSG_PAYLOAD => {
+            return Err(ValidateError::BadMsgIndex {
+                cb: name.into(),
+                idx: *idx,
+            });
+        }
+        TOp::MovI {
+            v: crate::op::Value::ArrayBase(i),
+            ..
+        } if *i >= program.arrays.len() => {
+            return Err(ValidateError::BadArray {
+                cb: name.into(),
+                idx: *i,
+            });
+        }
+        TOp::Call {
+            cb: target,
+            args,
+            reply,
+        } => {
             let Some(callee) = program.codeblocks.get(target.0 as usize) else {
-                return Err(ValidateError::BadCodeblock { cb: name.into(), target: *target });
+                return Err(ValidateError::BadCodeblock {
+                    cb: name.into(),
+                    target: *target,
+                });
             };
             if args.len() > callee.inlets.len() {
                 return Err(ValidateError::ArityMismatch {
@@ -134,21 +153,34 @@ fn check_common(
                 });
             }
             if reply.0 as usize >= cb.inlets.len() {
-                return Err(ValidateError::BadInlet { cb: name.into(), i: *reply });
+                return Err(ValidateError::BadInlet {
+                    cb: name.into(),
+                    i: *reply,
+                });
             }
         }
-        TOp::SendToInlet { cb: target, inlet, .. } => {
+        TOp::SendToInlet {
+            cb: target, inlet, ..
+        } => {
             let Some(callee) = program.codeblocks.get(target.0 as usize) else {
-                return Err(ValidateError::BadCodeblock { cb: name.into(), target: *target });
+                return Err(ValidateError::BadCodeblock {
+                    cb: name.into(),
+                    target: *target,
+                });
             };
             if inlet.0 as usize >= callee.inlets.len() {
-                return Err(ValidateError::BadInlet { cb: name.into(), i: *inlet });
+                return Err(ValidateError::BadInlet {
+                    cb: name.into(),
+                    i: *inlet,
+                });
             }
         }
-        TOp::IFetch { reply, .. }
-            if reply.0 as usize >= cb.inlets.len() => {
-                return Err(ValidateError::BadInlet { cb: name.into(), i: *reply });
-            }
+        TOp::IFetch { reply, .. } if reply.0 as usize >= cb.inlets.len() => {
+            return Err(ValidateError::BadInlet {
+                cb: name.into(),
+                i: *reply,
+            });
+        }
         _ => {}
     }
     Ok(())
@@ -291,7 +323,12 @@ mod tests {
     use crate::program::{Inlet, Thread};
 
     fn cb_with(threads: Vec<Thread>, inlets: Vec<Inlet>, n_slots: u16) -> Codeblock {
-        Codeblock { name: "test".into(), n_slots, threads, inlets }
+        Codeblock {
+            name: "test".into(),
+            n_slots,
+            threads,
+            inlets,
+        }
     }
 
     fn prog(cb: Codeblock) -> Program {
@@ -308,7 +345,9 @@ mod tests {
     fn valid_minimal_program() {
         let cb = cb_with(
             vec![Thread::new(1, vec![movi(R0, 1)])],
-            vec![Inlet { ops: vec![ldmsg(R0, 0), post(ThreadId(0))] }],
+            vec![Inlet {
+                ops: vec![ldmsg(R0, 0), post(ThreadId(0))],
+            }],
             0,
         );
         assert_eq!(prog(cb).validate(), Ok(()));
@@ -317,31 +356,52 @@ mod tests {
     #[test]
     fn rejects_fork_of_missing_thread() {
         let cb = cb_with(vec![Thread::new(1, vec![fork(ThreadId(9))])], vec![], 0);
-        assert!(matches!(prog(cb).validate(), Err(ValidateError::BadThread { .. })));
+        assert!(matches!(
+            prog(cb).validate(),
+            Err(ValidateError::BadThread { .. })
+        ));
     }
 
     #[test]
     fn rejects_inlet_op_in_thread() {
         let cb = cb_with(vec![Thread::new(1, vec![ldmsg(R0, 0)])], vec![], 0);
-        assert!(matches!(prog(cb).validate(), Err(ValidateError::WrongContext { .. })));
+        assert!(matches!(
+            prog(cb).validate(),
+            Err(ValidateError::WrongContext { .. })
+        ));
     }
 
     #[test]
     fn rejects_thread_op_in_inlet() {
-        let cb = cb_with(vec![], vec![Inlet { ops: vec![halloc(R0, imm(4))] }], 0);
-        assert!(matches!(prog(cb).validate(), Err(ValidateError::WrongContext { .. })));
+        let cb = cb_with(
+            vec![],
+            vec![Inlet {
+                ops: vec![halloc(R0, imm(4))],
+            }],
+            0,
+        );
+        assert!(matches!(
+            prog(cb).validate(),
+            Err(ValidateError::WrongContext { .. })
+        ));
     }
 
     #[test]
     fn rejects_out_of_range_slot() {
         let cb = cb_with(vec![Thread::new(1, vec![ld(R0, SlotId(5))])], vec![], 2);
-        assert!(matches!(prog(cb).validate(), Err(ValidateError::BadSlot { .. })));
+        assert!(matches!(
+            prog(cb).validate(),
+            Err(ValidateError::BadSlot { .. })
+        ));
     }
 
     #[test]
     fn rejects_zero_entry_count() {
         let cb = cb_with(vec![Thread::new(0, vec![])], vec![], 0);
-        assert!(matches!(prog(cb).validate(), Err(ValidateError::ZeroEntryCount { .. })));
+        assert!(matches!(
+            prog(cb).validate(),
+            Err(ValidateError::ZeroEntryCount { .. })
+        ));
     }
 
     #[test]
@@ -351,14 +411,20 @@ mod tests {
             vec![],
             0,
         );
-        assert!(matches!(prog(cb).validate(), Err(ValidateError::ReturnNotLast { .. })));
+        assert!(matches!(
+            prog(cb).validate(),
+            Err(ValidateError::ReturnNotLast { .. })
+        ));
     }
 
     #[test]
     fn rejects_call_arity_mismatch() {
         let callee = cb_with(vec![], vec![Inlet::default()], 0);
         let caller = cb_with(
-            vec![Thread::new(1, vec![call(CodeblockId(1), vec![R0, R1], InletId(0))])],
+            vec![Thread::new(
+                1,
+                vec![call(CodeblockId(1), vec![R0, R1], InletId(0))],
+            )],
             vec![Inlet::default()],
             0,
         );
@@ -369,7 +435,10 @@ mod tests {
             main_args: vec![],
             arrays: vec![],
         };
-        assert!(matches!(p.validate(), Err(ValidateError::ArityMismatch { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -380,10 +449,14 @@ mod tests {
                 Thread::new(2, vec![]),
             ],
             vec![
-                Inlet { ops: vec![post(ThreadId(1))] },
-                Inlet { ops: vec![post(ThreadId(0))] },
+                Inlet {
+                    ops: vec![post(ThreadId(1))],
+                },
+                Inlet {
+                    ops: vec![post(ThreadId(0))],
+                },
             ],
-        // wait: posting thread 0 which is also... fine
+            // wait: posting thread 0 which is also... fine
             0,
         );
         let a = CbAnalysis::of(&cb);
@@ -398,7 +471,10 @@ mod tests {
     #[test]
     fn analysis_slot_counts_and_dynamic_poisoning() {
         let cb = cb_with(
-            vec![Thread::new(1, vec![ld(R0, SlotId(0)), st(SlotId(1), R0), ldx(R1, SlotId(1), R0)])],
+            vec![Thread::new(
+                1,
+                vec![ld(R0, SlotId(0)), st(SlotId(1), R0), ldx(R1, SlotId(1), R0)],
+            )],
             vec![],
             3,
         );

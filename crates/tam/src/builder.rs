@@ -6,7 +6,7 @@
 
 use crate::ids::{CodeblockId, InletId, SlotId, ThreadId};
 use crate::op::{TOp, Value};
-use crate::program::{Codeblock, Inlet, InitArray, Program, Thread};
+use crate::program::{Codeblock, InitArray, Inlet, Program, Thread};
 
 /// Builder for one codeblock.
 #[derive(Debug, Clone)]
@@ -20,7 +20,12 @@ pub struct CodeblockBuilder {
 impl CodeblockBuilder {
     /// Start a codeblock named `name`.
     pub fn new(name: &str) -> Self {
-        CodeblockBuilder { name: name.into(), n_slots: 0, threads: Vec::new(), inlets: Vec::new() }
+        CodeblockBuilder {
+            name: name.into(),
+            n_slots: 0,
+            threads: Vec::new(),
+            inlets: Vec::new(),
+        }
     }
 
     /// Allocate one user frame slot.
@@ -58,7 +63,11 @@ impl CodeblockBuilder {
     /// Panics on double definition.
     pub fn def_thread(&mut self, t: ThreadId, entry_count: u32, ops: Vec<TOp>) {
         let slot = &mut self.threads[t.0 as usize];
-        assert!(slot.is_none(), "thread {t:?} of {} defined twice", self.name);
+        assert!(
+            slot.is_none(),
+            "thread {t:?} of {} defined twice",
+            self.name
+        );
         *slot = Some(Thread::new(entry_count, ops));
     }
 
@@ -66,8 +75,16 @@ impl CodeblockBuilder {
     /// inlets (stall/kick gate protocols); see [`Thread::atomic`].
     pub fn def_thread_atomic(&mut self, t: ThreadId, entry_count: u32, ops: Vec<TOp>) {
         let slot = &mut self.threads[t.0 as usize];
-        assert!(slot.is_none(), "thread {t:?} of {} defined twice", self.name);
-        *slot = Some(Thread { entry_count, ops, atomic: true });
+        assert!(
+            slot.is_none(),
+            "thread {t:?} of {} defined twice",
+            self.name
+        );
+        *slot = Some(Thread {
+            entry_count,
+            ops,
+            atomic: true,
+        });
     }
 
     /// Declare and define a thread in one step.
@@ -112,7 +129,12 @@ impl CodeblockBuilder {
             .enumerate()
             .map(|(i, inl)| inl.unwrap_or_else(|| panic!("inlet {i} of {name} never defined")))
             .collect();
-        Codeblock { name, n_slots: self.n_slots, threads, inlets }
+        Codeblock {
+            name,
+            n_slots: self.n_slots,
+            threads,
+            inlets,
+        }
     }
 }
 
@@ -152,7 +174,10 @@ impl ProgramBuilder {
     /// # Panics
     /// Panics on double definition or name mismatch.
     pub fn define(&mut self, id: CodeblockId, cb: Codeblock) {
-        assert_eq!(cb.name, self.names[id.0 as usize], "codeblock name mismatch");
+        assert_eq!(
+            cb.name, self.names[id.0 as usize],
+            "codeblock name mismatch"
+        );
         let slot = &mut self.codeblocks[id.0 as usize];
         assert!(slot.is_none(), "codeblock {} defined twice", cb.name);
         *slot = Some(cb);
@@ -187,8 +212,13 @@ impl ProgramBuilder {
                 cb.unwrap_or_else(|| panic!("codeblock {} never defined", names[i]))
             })
             .collect();
-        let program =
-            Program { name: self.name, codeblocks, main, main_args, arrays: self.arrays };
+        let program = Program {
+            name: self.name,
+            codeblocks,
+            main,
+            main_args,
+            arrays: self.arrays,
+        };
         if let Err(e) = program.validate() {
             panic!("invalid program {}: {e}", program.name);
         }

@@ -21,5 +21,5 @@ pub use analysis::{validate, CbAnalysis, ValidateError, MAX_MSG_PAYLOAD};
 pub use builder::{CodeblockBuilder, ProgramBuilder};
 pub use ids::{regs, CodeblockId, InletId, SlotId, ThreadId, VReg};
 pub use op::{ops, AluOp, FAluOp, TOp, TOperand, Value};
-pub use program::{Codeblock, Inlet, InitArray, Program, Thread};
+pub use program::{Codeblock, InitArray, Inlet, Program, Thread};
 pub use text::{parse_program, program_to_text, ParseError};

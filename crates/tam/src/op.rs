@@ -39,9 +39,19 @@ pub enum TOp {
     /// `d <- s`.
     Mov { d: VReg, s: VReg },
     /// Integer ALU operation.
-    Alu { op: AluOp, d: VReg, a: VReg, b: TOperand },
+    Alu {
+        op: AluOp,
+        d: VReg,
+        a: VReg,
+        b: TOperand,
+    },
     /// Floating-point operation (`b` ignored for unary ops).
-    FAlu { op: FAluOp, d: VReg, a: VReg, b: VReg },
+    FAlu {
+        op: FAluOp,
+        d: VReg,
+        a: VReg,
+        b: VReg,
+    },
     /// Load a frame slot: `d <- frame[slot]`.
     LdSlot { d: VReg, slot: SlotId },
     /// Store a frame slot: `frame[slot] <- s`.
@@ -82,21 +92,34 @@ pub enum TOp {
     /// `args` to its argument inlets (arg *i* to inlet *i*), and arrange
     /// for the callee's [`TOp::Return`] values to arrive at this frame's
     /// `reply` inlet.
-    Call { cb: CodeblockId, args: Vec<VReg>, reply: InletId },
+    Call {
+        cb: CodeblockId,
+        args: Vec<VReg>,
+        reply: InletId,
+    },
     /// Return `vals` to the caller's reply inlet and free this frame.
     /// Must be the last operation of its thread.
     Return { vals: Vec<VReg> },
     /// Send `vals` to inlet `inlet` of an existing activation of `cb`
     /// whose frame pointer is in `frame` (inter-activation dataflow, e.g.
     /// wavefront neighbours).
-    SendToInlet { frame: VReg, cb: CodeblockId, inlet: InletId, vals: Vec<VReg> },
+    SendToInlet {
+        frame: VReg,
+        cb: CodeblockId,
+        inlet: InletId,
+        vals: Vec<VReg>,
+    },
 
     /// Allocate `words` words of heap: `d <- base address` (runtime
     /// library call; see DESIGN.md on why allocation is synchronous).
     HAlloc { d: VReg, words: TOperand },
     /// Split-phase I-structure fetch of the element at heap address
     /// `addr`; the reply (`[value, tag]`) is delivered to `reply`.
-    IFetch { addr: VReg, tag: VReg, reply: InletId },
+    IFetch {
+        addr: VReg,
+        tag: VReg,
+        reply: InletId,
+    },
     /// I-structure store of `val` to heap address `addr`; satisfies any
     /// deferred readers.
     IStore { addr: VReg, val: VReg },
@@ -112,7 +135,10 @@ pub enum TOp {
 impl TOp {
     /// Whether this op is only legal inside an inlet.
     pub fn inlet_only(&self) -> bool {
-        matches!(self, TOp::LdMsg { .. } | TOp::Post { .. } | TOp::PostIf { .. })
+        matches!(
+            self,
+            TOp::LdMsg { .. } | TOp::Post { .. } | TOp::PostIf { .. }
+        )
     }
 
     /// Whether this op is only legal inside a thread.
@@ -158,15 +184,24 @@ pub mod ops {
     }
     /// `d <- integer constant`.
     pub fn movi(d: VReg, v: i64) -> TOp {
-        TOp::MovI { d, v: Value::Int(v) }
+        TOp::MovI {
+            d,
+            v: Value::Int(v),
+        }
     }
     /// `d <- float constant`.
     pub fn movf(d: VReg, v: f64) -> TOp {
-        TOp::MovI { d, v: Value::Float(v) }
+        TOp::MovI {
+            d,
+            v: Value::Float(v),
+        }
     }
     /// `d <- base address of program array i`.
     pub fn movarr(d: VReg, i: usize) -> TOp {
-        TOp::MovI { d, v: Value::ArrayBase(i) }
+        TOp::MovI {
+            d,
+            v: Value::ArrayBase(i),
+        }
     }
     /// `d <- s`.
     pub fn mov(d: VReg, s: VReg) -> TOp {
@@ -234,7 +269,12 @@ pub mod ops {
     }
     /// Send to an inlet of another activation.
     pub fn send_to(frame: VReg, cb: CodeblockId, inlet: InletId, vals: Vec<VReg>) -> TOp {
-        TOp::SendToInlet { frame, cb, inlet, vals }
+        TOp::SendToInlet {
+            frame,
+            cb,
+            inlet,
+            vals,
+        }
     }
     /// Heap allocation.
     pub fn halloc(d: VReg, words: TOperand) -> TOp {
@@ -282,11 +322,28 @@ mod tests {
 
     #[test]
     fn helper_constructors_build_expected_ops() {
-        assert_eq!(movi(R1, 5), TOp::MovI { d: R1, v: Value::Int(5) });
+        assert_eq!(
+            movi(R1, 5),
+            TOp::MovI {
+                d: R1,
+                v: Value::Int(5)
+            }
+        );
         assert_eq!(
             alu(AluOp::Add, R0, R1, imm(2)),
-            TOp::Alu { op: AluOp::Add, d: R0, a: R1, b: TOperand::Imm(2) }
+            TOp::Alu {
+                op: AluOp::Add,
+                d: R0,
+                a: R1,
+                b: TOperand::Imm(2)
+            }
         );
-        assert_eq!(ld(R3, SlotId(4)), TOp::LdSlot { d: R3, slot: SlotId(4) });
+        assert_eq!(
+            ld(R3, SlotId(4)),
+            TOp::LdSlot {
+                d: R3,
+                slot: SlotId(4)
+            }
+        );
     }
 }

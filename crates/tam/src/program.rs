@@ -28,7 +28,11 @@ pub struct Thread {
 impl Thread {
     /// A non-atomic thread (the common case).
     pub fn new(entry_count: u32, ops: Vec<TOp>) -> Self {
-        Thread { entry_count, ops, atomic: false }
+        Thread {
+            entry_count,
+            ops,
+            atomic: false,
+        }
     }
 
     /// Whether the thread synchronizes on more than one enabling event.
@@ -93,12 +97,18 @@ pub struct InitArray {
 impl InitArray {
     /// A fully-present array of the given values.
     pub fn present(name: &str, values: impl IntoIterator<Item = Value>) -> Self {
-        InitArray { name: name.into(), cells: values.into_iter().map(Some).collect() }
+        InitArray {
+            name: name.into(),
+            cells: values.into_iter().map(Some).collect(),
+        }
     }
 
     /// An all-empty array of `len` cells.
     pub fn empty(name: &str, len: usize) -> Self {
-        InitArray { name: name.into(), cells: vec![None; len] }
+        InitArray {
+            name: name.into(),
+            cells: vec![None; len],
+        }
     }
 
     /// Number of elements.

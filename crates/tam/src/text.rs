@@ -31,7 +31,7 @@ use std::fmt::Write as _;
 
 use crate::ids::{CodeblockId, InletId, SlotId, ThreadId, VReg};
 use crate::op::{AluOp, FAluOp, TOp, TOperand, Value};
-use crate::program::{Codeblock, Inlet, InitArray, Program, Thread};
+use crate::program::{Codeblock, InitArray, Inlet, Program, Thread};
 
 /// A parse failure, with the 1-based source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,7 +51,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 fn parse_reg(line: usize, tok: &str) -> Result<VReg, ParseError> {
@@ -59,14 +62,19 @@ fn parse_reg(line: usize, tok: &str) -> Result<VReg, ParseError> {
         return err(line, format!("expected register, got `{tok}`"));
     };
     if n >= VReg::LIMIT {
-        return err(line, format!("register {tok} out of range (r0..r{})", VReg::LIMIT - 1));
+        return err(
+            line,
+            format!("register {tok} out of range (r0..r{})", VReg::LIMIT - 1),
+        );
     }
     Ok(VReg(n))
 }
 
 fn parse_int(line: usize, tok: &str) -> Result<i64, ParseError> {
-    tok.parse::<i64>()
-        .map_err(|_| ParseError { line, message: format!("expected integer, got `{tok}`") })
+    tok.parse::<i64>().map_err(|_| ParseError {
+        line,
+        message: format!("expected integer, got `{tok}`"),
+    })
 }
 
 fn alu_op(tok: &str) -> Option<AluOp> {
@@ -235,7 +243,9 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
                 arrays.push(arr);
             }
             "slot" | "slots" => {
-                let Some(c) = current else { return err(ln, "slot outside codeblock") };
+                let Some(c) = current else {
+                    return err(ln, "slot outside codeblock");
+                };
                 let s = &mut syms[c];
                 let sname = toks.get(1).copied().unwrap_or("");
                 if sname.is_empty() {
@@ -250,13 +260,17 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
                 s.n_slots += count;
             }
             "thread" => {
-                let Some(c) = current else { return err(ln, "thread outside codeblock") };
+                let Some(c) = current else {
+                    return err(ln, "thread outside codeblock");
+                };
                 let s = &mut syms[c];
                 let t = ThreadId(s.threads.len() as u16);
                 s.threads.insert(toks[1].to_string(), t);
             }
             "inlet" => {
-                let Some(c) = current else { return err(ln, "inlet outside codeblock") };
+                let Some(c) = current else {
+                    return err(ln, "inlet outside codeblock");
+                };
                 let s = &mut syms[c];
                 let i = InletId(s.inlets.len() as u16);
                 s.inlets.insert(toks[1].to_string(), i);
@@ -264,7 +278,10 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
             _ => {}
         }
     }
-    let name = name.ok_or(ParseError { line: 1, message: "missing `program NAME`".into() })?;
+    let name = name.ok_or(ParseError {
+        line: 1,
+        message: "missing `program NAME`".into(),
+    })?;
 
     // Pass 2: parse bodies and main.
     let mut codeblocks: Vec<Codeblock> = cb_order
@@ -291,8 +308,11 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
             let taken = std::mem::take(ops);
             match kind {
                 BodyKind::Thread(t, count, atomic) => {
-                    codeblocks[c].threads[t.0 as usize] =
-                        Thread { entry_count: count, ops: taken, atomic };
+                    codeblocks[c].threads[t.0 as usize] = Thread {
+                        entry_count: count,
+                        ops: taken,
+                        atomic,
+                    };
                 }
                 BodyKind::Inlet(i) => codeblocks[c].inlets[i.0 as usize] = Inlet { ops: taken },
             }
@@ -372,12 +392,21 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
     }
     flush(&mut codeblocks, current, &mut body, &mut ops);
 
-    let (main, main_args) =
-        main.ok_or(ParseError { line: 1, message: "missing `main` declaration".into() })?;
-    let program = Program { name, codeblocks, main, main_args, arrays };
-    program
-        .validate()
-        .map_err(|e| ParseError { line: 0, message: format!("validation: {e}") })?;
+    let (main, main_args) = main.ok_or(ParseError {
+        line: 1,
+        message: "missing `main` declaration".into(),
+    })?;
+    let program = Program {
+        name,
+        codeblocks,
+        main,
+        main_args,
+        arrays,
+    };
+    program.validate().map_err(|e| ParseError {
+        line: 0,
+        message: format!("validation: {e}"),
+    })?;
     Ok(program)
 }
 
@@ -385,7 +414,10 @@ fn parse_value_token(line: usize, tok: &str) -> Result<Value, ParseError> {
     if tok.contains('.') {
         tok.parse::<f64>()
             .map(Value::Float)
-            .map_err(|_| ParseError { line, message: format!("bad float `{tok}`") })
+            .map_err(|_| ParseError {
+                line,
+                message: format!("bad float `{tok}`"),
+            })
     } else {
         parse_int(line, tok).map(Value::Int)
     }
@@ -405,9 +437,10 @@ fn lookup<T: Copy>(
     tok: &str,
     what: &str,
 ) -> Result<T, ParseError> {
-    map.get(tok)
-        .copied()
-        .ok_or(ParseError { line, message: format!("unknown {what} `{tok}`") })
+    map.get(tok).copied().ok_or(ParseError {
+        line,
+        message: format!("unknown {what} `{tok}`"),
+    })
 }
 
 fn parse_op(
@@ -431,16 +464,29 @@ fn parse_op(
 
     if let Some(op) = alu_op(toks[0]) {
         need(4)?;
-        return Ok(TOp::Alu { op, d: reg(1)?, a: reg(2)?, b: operand(ln, toks[3], s)? });
+        return Ok(TOp::Alu {
+            op,
+            d: reg(1)?,
+            a: reg(2)?,
+            b: operand(ln, toks[3], s)?,
+        });
     }
     if let Some(op) = falu_op(toks[0]) {
         need(4)?;
-        return Ok(TOp::FAlu { op, d: reg(1)?, a: reg(2)?, b: reg(3)? });
+        return Ok(TOp::FAlu {
+            op,
+            d: reg(1)?,
+            a: reg(2)?,
+            b: reg(3)?,
+        });
     }
     Ok(match toks[0] {
         "movi" => {
             need(3)?;
-            TOp::MovI { d: reg(1)?, v: Value::Int(parse_int(ln, toks[2])?) }
+            TOp::MovI {
+                d: reg(1)?,
+                v: Value::Int(parse_int(ln, toks[2])?),
+            }
         }
         "movf" => {
             need(3)?;
@@ -448,36 +494,62 @@ fn parse_op(
                 line: ln,
                 message: format!("bad float `{}`", toks[2]),
             })?;
-            TOp::MovI { d: reg(1)?, v: Value::Float(f) }
+            TOp::MovI {
+                d: reg(1)?,
+                v: Value::Float(f),
+            }
         }
         "movarr" => {
             need(3)?;
             let a = toks[2].strip_prefix('@').unwrap_or(toks[2]);
-            TOp::MovI { d: reg(1)?, v: Value::ArrayBase(lookup(ln, arrays, a, "array")?) }
+            TOp::MovI {
+                d: reg(1)?,
+                v: Value::ArrayBase(lookup(ln, arrays, a, "array")?),
+            }
         }
         "mov" => {
             need(3)?;
-            TOp::Mov { d: reg(1)?, s: reg(2)? }
+            TOp::Mov {
+                d: reg(1)?,
+                s: reg(2)?,
+            }
         }
         "ld" => {
             need(3)?;
-            TOp::LdSlot { d: reg(1)?, slot: slot(2)? }
+            TOp::LdSlot {
+                d: reg(1)?,
+                slot: slot(2)?,
+            }
         }
         "st" => {
             need(3)?;
-            TOp::StSlot { slot: slot(1)?, s: reg(2)? }
+            TOp::StSlot {
+                slot: slot(1)?,
+                s: reg(2)?,
+            }
         }
         "ldx" => {
             need(4)?;
-            TOp::LdSlotIdx { d: reg(1)?, base: slot(2)?, idx: reg(3)? }
+            TOp::LdSlotIdx {
+                d: reg(1)?,
+                base: slot(2)?,
+                idx: reg(3)?,
+            }
         }
         "stx" => {
             need(4)?;
-            TOp::StSlotIdx { base: slot(1)?, idx: reg(2)?, s: reg(3)? }
+            TOp::StSlotIdx {
+                base: slot(1)?,
+                idx: reg(2)?,
+                s: reg(3)?,
+            }
         }
         "ldmsg" => {
             need(3)?;
-            TOp::LdMsg { d: reg(1)?, idx: parse_int(ln, toks[2])? as u8 }
+            TOp::LdMsg {
+                d: reg(1)?,
+                idx: parse_int(ln, toks[2])? as u8,
+            }
         }
         "fork" => {
             need(2)?;
@@ -485,11 +557,18 @@ fn parse_op(
         }
         "forkif" => {
             need(3)?;
-            TOp::ForkIf { c: reg(1)?, t: thread(2)? }
+            TOp::ForkIf {
+                c: reg(1)?,
+                t: thread(2)?,
+            }
         }
         "forkelse" => {
             need(4)?;
-            TOp::ForkIfElse { c: reg(1)?, t: thread(2)?, f: thread(3)? }
+            TOp::ForkIfElse {
+                c: reg(1)?,
+                t: thread(2)?,
+                f: thread(3)?,
+            }
         }
         "post" => {
             need(2)?;
@@ -497,7 +576,10 @@ fn parse_op(
         }
         "postif" => {
             need(3)?;
-            TOp::PostIf { c: reg(1)?, t: thread(2)? }
+            TOp::PostIf {
+                c: reg(1)?,
+                t: thread(2)?,
+            }
         }
         "reset" => {
             need(2)?;
@@ -510,11 +592,17 @@ fn parse_op(
             }
             let cb = lookup(ln, cbs, toks[1], "codeblock")?;
             let reply = inlet(2)?;
-            let args = toks[3..].iter().map(|t| parse_reg(ln, t)).collect::<Result<_, _>>()?;
+            let args = toks[3..]
+                .iter()
+                .map(|t| parse_reg(ln, t))
+                .collect::<Result<_, _>>()?;
             TOp::Call { cb, args, reply }
         }
         "return" => TOp::Return {
-            vals: toks[1..].iter().map(|t| parse_reg(ln, t)).collect::<Result<_, _>>()?,
+            vals: toks[1..]
+                .iter()
+                .map(|t| parse_reg(ln, t))
+                .collect::<Result<_, _>>()?,
         },
         "sendto" => {
             // sendto FRAME_REG CB INLET r1 r2 …
@@ -528,20 +616,38 @@ fn parse_op(
             // apply — require a numeric inlet index for cross-codeblock
             // sends.
             let inlet_idx = parse_int(ln, toks[3])? as u16;
-            let vals = toks[4..].iter().map(|t| parse_reg(ln, t)).collect::<Result<_, _>>()?;
-            TOp::SendToInlet { frame, cb, inlet: InletId(inlet_idx), vals }
+            let vals = toks[4..]
+                .iter()
+                .map(|t| parse_reg(ln, t))
+                .collect::<Result<_, _>>()?;
+            TOp::SendToInlet {
+                frame,
+                cb,
+                inlet: InletId(inlet_idx),
+                vals,
+            }
         }
         "halloc" => {
             need(3)?;
-            TOp::HAlloc { d: reg(1)?, words: operand(ln, toks[2], s)? }
+            TOp::HAlloc {
+                d: reg(1)?,
+                words: operand(ln, toks[2], s)?,
+            }
         }
         "ifetch" => {
             need(4)?;
-            TOp::IFetch { addr: reg(1)?, tag: reg(2)?, reply: inlet(3)? }
+            TOp::IFetch {
+                addr: reg(1)?,
+                tag: reg(2)?,
+                reply: inlet(3)?,
+            }
         }
         "istore" => {
             need(3)?;
-            TOp::IStore { addr: reg(1)?, val: reg(2)? }
+            TOp::IStore {
+                addr: reg(1)?,
+                val: reg(2)?,
+            }
         }
         "myframe" => {
             need(2)?;
@@ -678,9 +784,13 @@ fn op_text(op: &TOp, p: &Program, _cb: &Codeblock) -> String {
             }
             s
         }
-        TOp::SendToInlet { frame, cb, inlet, vals } => {
-            let mut s =
-                format!("sendto {} {} {}", r(frame), p.codeblock(*cb).name, inlet.0);
+        TOp::SendToInlet {
+            frame,
+            cb,
+            inlet,
+            vals,
+        } => {
+            let mut s = format!("sendto {} {} {}", r(frame), p.codeblock(*cb).name, inlet.0);
             for v in vals {
                 s.push(' ');
                 s.push_str(&r(v));

@@ -62,19 +62,28 @@ impl Access {
     /// Construct an instruction fetch at `addr`.
     #[inline]
     pub fn fetch(addr: u32) -> Self {
-        Access { kind: AccessKind::Fetch, addr }
+        Access {
+            kind: AccessKind::Fetch,
+            addr,
+        }
     }
 
     /// Construct a data read at `addr`.
     #[inline]
     pub fn read(addr: u32) -> Self {
-        Access { kind: AccessKind::Read, addr }
+        Access {
+            kind: AccessKind::Read,
+            addr,
+        }
     }
 
     /// Construct a data write at `addr`.
     #[inline]
     pub fn write(addr: u32) -> Self {
-        Access { kind: AccessKind::Write, addr }
+        Access {
+            kind: AccessKind::Write,
+            addr,
+        }
     }
 }
 
@@ -101,7 +110,13 @@ mod tests {
 
     #[test]
     fn constructors_set_fields() {
-        assert_eq!(Access::fetch(16), Access { kind: AccessKind::Fetch, addr: 16 });
+        assert_eq!(
+            Access::fetch(16),
+            Access {
+                kind: AccessKind::Fetch,
+                addr: 16
+            }
+        );
         assert_eq!(Access::read(4).kind, AccessKind::Read);
         assert_eq!(Access::write(8).addr, 8);
     }

@@ -1,0 +1,217 @@
+//! A compact, append-only access log for record-once / replay-many sweeps.
+//!
+//! The machine simulation is far more expensive than a cache probe, so the
+//! experiment driver records the access stream once into a [`TraceLog`] and
+//! replays it into every cache configuration afterwards (in parallel — the
+//! configurations share nothing). Events are packed into one 32-bit word
+//! each: the machine model only issues word-aligned accesses, so the low
+//! two address bits are free to carry the [`AccessKind`].
+
+use crate::{Access, AccessKind, TraceSink};
+
+/// Events per chunk (256 KiB of packed events). Chunking keeps appends
+/// amortized O(1) without ever copying previously recorded events the way
+/// a growing `Vec` would, and keeps allocation requests modest.
+const CHUNK_EVENTS: usize = 1 << 16;
+
+#[inline]
+fn encode(access: Access) -> u32 {
+    debug_assert!(
+        access.addr & 3 == 0,
+        "TraceLog requires word-aligned addresses, got {:#x}",
+        access.addr
+    );
+    access.addr | access.kind.index() as u32
+}
+
+#[inline]
+fn decode(word: u32) -> Access {
+    let kind = match word & 3 {
+        0 => AccessKind::Fetch,
+        1 => AccessKind::Read,
+        _ => AccessKind::Write,
+    };
+    Access {
+        kind,
+        addr: word & !3,
+    }
+}
+
+/// An in-memory recording of one machine run's access stream.
+///
+/// Implements [`TraceSink`] for recording; [`TraceLog::iter`] replays the
+/// events in the recorded order. One event costs 4 bytes.
+#[derive(Debug, Default, Clone)]
+pub struct TraceLog {
+    /// Fixed-capacity chunks; only the last one is ever partially full.
+    chunks: Vec<Vec<u32>>,
+}
+
+impl TraceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        match self.chunks.split_last() {
+            Some((last, full)) => full.len() * CHUNK_EVENTS + last.len(),
+            None => 0,
+        }
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        // After `clear` one empty chunk may remain allocated.
+        self.chunks.last().is_none_or(|c| c.is_empty())
+    }
+
+    /// Bytes of packed event storage currently in use.
+    pub fn packed_bytes(&self) -> usize {
+        self.len() * 4
+    }
+
+    /// Append one event.
+    #[inline]
+    pub fn push(&mut self, access: Access) {
+        match self.chunks.last_mut() {
+            Some(chunk) if chunk.len() < CHUNK_EVENTS => chunk.push(encode(access)),
+            _ => {
+                let mut chunk = Vec::with_capacity(CHUNK_EVENTS);
+                chunk.push(encode(access));
+                self.chunks.push(chunk);
+            }
+        }
+    }
+
+    /// Discard all recorded events, keeping one chunk's allocation for
+    /// reuse (the overflow-retry path re-records from scratch).
+    pub fn clear(&mut self) {
+        self.chunks.truncate(1);
+        if let Some(first) = self.chunks.first_mut() {
+            first.clear();
+        }
+    }
+
+    /// Iterate the recorded events in order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            chunks: self.chunks.iter(),
+            current: [].iter(),
+        }
+    }
+}
+
+impl TraceSink for TraceLog {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.push(access);
+    }
+}
+
+/// Iterator over a [`TraceLog`]'s events in recorded order.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    chunks: std::slice::Iter<'a, Vec<u32>>,
+    current: std::slice::Iter<'a, u32>,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Access;
+
+    #[inline]
+    fn next(&mut self) -> Option<Access> {
+        loop {
+            if let Some(&w) = self.current.next() {
+                return Some(decode(w));
+            }
+            self.current = self.chunks.next()?.iter();
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Lower bound only: remaining full-chunk sizes are not tracked.
+        (self.current.len(), None)
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceLog {
+    type Item = Access;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_all_kinds() {
+        let mut log = TraceLog::new();
+        let events = [
+            Access::fetch(0x1000),
+            Access::read(0x2004),
+            Access::write(0x3008),
+            Access::fetch(0),
+        ];
+        for e in events {
+            log.access(e);
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.packed_bytes(), 16);
+        let replayed: Vec<Access> = log.iter().collect();
+        assert_eq!(replayed, events);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = TraceLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.iter().count(), 0);
+    }
+
+    #[test]
+    fn spans_chunk_boundaries() {
+        let mut log = TraceLog::new();
+        let n = CHUNK_EVENTS + CHUNK_EVENTS / 2 + 7;
+        for i in 0..n {
+            log.push(Access::read((i as u32) * 4));
+        }
+        assert_eq!(log.len(), n);
+        let mut count = 0usize;
+        for (i, a) in log.iter().enumerate() {
+            assert_eq!(a, Access::read((i as u32) * 4));
+            count += 1;
+        }
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn clear_discards_and_allows_rerecording() {
+        let mut log = TraceLog::new();
+        for i in 0..(CHUNK_EVENTS * 2 + 3) {
+            log.push(Access::write((i as u32) * 4));
+        }
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.iter().count(), 0);
+        log.push(Access::fetch(64));
+        assert_eq!(log.iter().collect::<Vec<_>>(), vec![Access::fetch(64)]);
+    }
+
+    #[test]
+    fn kind_codes_match_access_kind_index() {
+        // The packed representation relies on `AccessKind::index`; a change
+        // there must not silently corrupt recorded logs.
+        for kind in AccessKind::ALL {
+            let a = Access { kind, addr: 0x40 };
+            assert_eq!(decode(encode(a)), a);
+        }
+    }
+}

@@ -22,8 +22,12 @@ pub enum Region {
 
 impl Region {
     /// All regions in a stable order usable for indexing.
-    pub const ALL: [Region; 4] =
-        [Region::SystemCode, Region::UserCode, Region::SystemData, Region::UserData];
+    pub const ALL: [Region; 4] = [
+        Region::SystemCode,
+        Region::UserCode,
+        Region::SystemData,
+        Region::UserData,
+    ];
 
     /// A stable small index for this region.
     #[inline]

@@ -55,7 +55,10 @@ pub struct CountingSink {
 impl CountingSink {
     /// A zeroed counter over `map`.
     pub fn new(map: MemoryMap) -> Self {
-        CountingSink { counts: AccessCounts::new(), map }
+        CountingSink {
+            counts: AccessCounts::new(),
+            map,
+        }
     }
 }
 

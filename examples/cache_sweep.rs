@@ -32,16 +32,17 @@ fn main() {
 
     for assoc in [1u32, 2, 4] {
         println!("\nMD/AM total-cycle ratio, {assoc}-way, 64B blocks:");
-        println!("{:>6}  {:>8}  {:>8}  {:>8}", "size", "miss=12", "miss=24", "miss=48");
+        println!(
+            "{:>6}  {:>8}  {:>8}  {:>8}",
+            "size", "miss=12", "miss=24", "miss=48"
+        );
         for size in PAPER_CACHE_SIZES {
             let geom = CacheGeometry::new(size, assoc, 64);
             print!("{:>5}K", size / 1024);
             for cost in [12, 24, 48] {
                 let model = CycleModel::paper(cost);
-                let md = model
-                    .total_cycles(runs[0].0, &runs[0].1.summary_for(geom).unwrap());
-                let am = model
-                    .total_cycles(runs[1].0, &runs[1].1.summary_for(geom).unwrap());
+                let md = model.total_cycles(runs[0].0, &runs[0].1.summary_for(geom).unwrap());
+                let am = model.total_cycles(runs[1].0, &runs[1].1.summary_for(geom).unwrap());
                 print!("  {:>8.3}", md as f64 / am as f64);
             }
             println!();

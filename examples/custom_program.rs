@@ -33,33 +33,44 @@ fn tree_sum(lo: i64, hi: i64) -> tamsim::tam::Program {
     cb.def_inlet(i_lo, vec![ldmsg(R0, 0), st(s_lo, R0), post(t_start)]);
     cb.def_inlet(i_hi, vec![ldmsg(R0, 0), st(s_hi, R0), post(t_start)]);
     // Accumulate both children's replies, then join.
-    cb.def_inlet(i_reply, vec![
-        ldmsg(R0, 0),
-        ld(R1, s_acc),
-        alu(AluOp::Add, R1, R1, reg(R0)),
-        st(s_acc, R1),
-        post(t_join),
-    ]);
+    cb.def_inlet(
+        i_reply,
+        vec![
+            ldmsg(R0, 0),
+            ld(R1, s_acc),
+            alu(AluOp::Add, R1, R1, reg(R0)),
+            st(s_acc, R1),
+            post(t_join),
+        ],
+    );
     // Both arguments in: leaf or split?
-    cb.def_thread(t_start, 2, vec![
-        ld(R0, s_lo),
-        ld(R1, s_hi),
-        alu(AluOp::Sub, R2, R1, reg(R0)),
-        alu(AluOp::Eq, R3, R2, imm(1)),
-        fork_if_else(R3, t_leaf, t_split),
-    ]);
+    cb.def_thread(
+        t_start,
+        2,
+        vec![
+            ld(R0, s_lo),
+            ld(R1, s_hi),
+            alu(AluOp::Sub, R2, R1, reg(R0)),
+            alu(AluOp::Eq, R3, R2, imm(1)),
+            fork_if_else(R3, t_leaf, t_split),
+        ],
+    );
     cb.def_thread(t_leaf, 1, vec![ld(R0, s_lo), ret(vec![R0])]);
-    cb.def_thread(t_split, 1, vec![
-        movi(R0, 0),
-        st(s_acc, R0),
-        ld(R1, s_lo),
-        ld(R2, s_hi),
-        // mid = (lo + hi) / 2.
-        alu(AluOp::Add, R3, R1, reg(R2)),
-        alu(AluOp::Div, R3, R3, imm(2)),
-        call(node, vec![R1, R3], i_reply),
-        call(node, vec![R3, R2], i_reply),
-    ]);
+    cb.def_thread(
+        t_split,
+        1,
+        vec![
+            movi(R0, 0),
+            st(s_acc, R0),
+            ld(R1, s_lo),
+            ld(R2, s_hi),
+            // mid = (lo + hi) / 2.
+            alu(AluOp::Add, R3, R1, reg(R2)),
+            alu(AluOp::Div, R3, R3, imm(2)),
+            call(node, vec![R1, R3], i_reply),
+            call(node, vec![R3, R2], i_reply),
+        ],
+    );
     cb.def_thread(t_join, 2, vec![ld(R0, s_acc), ret(vec![R0])]);
     pb.define(node, cb.finish());
 
@@ -71,11 +82,11 @@ fn tree_sum(lo: i64, hi: i64) -> tamsim::tam::Program {
     let t_done = cb.thread();
     cb.def_inlet(i_arg, vec![post(t_go)]);
     cb.def_inlet(i_rep, vec![ldmsg(R0, 0), st(s_r, R0), post(t_done)]);
-    cb.def_thread(t_go, 1, vec![
-        movi(R0, lo),
-        movi(R1, hi),
-        call(node, vec![R0, R1], i_rep),
-    ]);
+    cb.def_thread(
+        t_go,
+        1,
+        vec![movi(R0, lo), movi(R1, hi), call(node, vec![R0, R1], i_rep)],
+    );
     cb.def_thread(t_done, 1, vec![ld(R0, s_r), ret(vec![R0])]);
     pb.define(main, cb.finish());
 
@@ -88,7 +99,11 @@ fn main() {
     let program = tree_sum(lo, hi);
     let expected: i64 = (lo..hi).sum();
 
-    for impl_ in [Implementation::Am, Implementation::AmEnabled, Implementation::Md] {
+    for impl_ in [
+        Implementation::Am,
+        Implementation::AmEnabled,
+        Implementation::Md,
+    ] {
         let out = Experiment::new(impl_).run(&program);
         assert_eq!(out.result[0].as_i64(), expected);
         println!(

@@ -11,15 +11,35 @@ const BOTH: [Implementation; 2] = [Implementation::Md, Implementation::Am];
 
 #[test]
 fn every_benchmark_is_correct_under_every_implementation() {
-    for impl_ in [Implementation::Am, Implementation::AmEnabled, Implementation::Md] {
+    for impl_ in [
+        Implementation::Am,
+        Implementation::AmEnabled,
+        Implementation::Md,
+    ] {
         let out = Experiment::new(impl_).run(&programs::mmt(10));
-        assert_eq!(out.result[0].as_f64(), programs::mmt_expected(10), "{impl_:?} mmt");
+        assert_eq!(
+            out.result[0].as_f64(),
+            programs::mmt_expected(10),
+            "{impl_:?} mmt"
+        );
         let out = Experiment::new(impl_).run(&programs::quicksort(20, 3));
-        assert_eq!(out.result[0].as_i64(), programs::quicksort_expected(20, 3), "{impl_:?} qs");
+        assert_eq!(
+            out.result[0].as_i64(),
+            programs::quicksort_expected(20, 3),
+            "{impl_:?} qs"
+        );
         let out = Experiment::new(impl_).run(&programs::dtw(4, 4));
-        assert_eq!(out.result[0].as_f64(), programs::dtw_expected(4, 4), "{impl_:?} dtw");
+        assert_eq!(
+            out.result[0].as_f64(),
+            programs::dtw_expected(4, 4),
+            "{impl_:?} dtw"
+        );
         let out = Experiment::new(impl_).run(&programs::paraffins(7));
-        assert_eq!(out.result[0].as_i64(), programs::paraffins_expected(7).0, "{impl_:?} par");
+        assert_eq!(
+            out.result[0].as_i64(),
+            programs::paraffins_expected(7).0,
+            "{impl_:?} par"
+        );
         let out = Experiment::new(impl_).run(&programs::wavefront(6, 2));
         assert_eq!(
             out.result[0].as_f64(),
@@ -27,7 +47,11 @@ fn every_benchmark_is_correct_under_every_implementation() {
             "{impl_:?} wavefront"
         );
         let out = Experiment::new(impl_).run(&programs::ss(16));
-        assert_eq!(out.result[0].as_i64(), programs::ss_expected(16), "{impl_:?} ss");
+        assert_eq!(
+            out.result[0].as_i64(),
+            programs::ss_expected(16),
+            "{impl_:?} ss"
+        );
     }
 }
 
@@ -85,7 +109,12 @@ fn cycle_ratio_rises_with_miss_penalty_for_fine_grained_programs() {
         m.total_cycles(md.instructions, &bank_md.summary_for(geom).unwrap()) as f64
             / m.total_cycles(am.instructions, &bank_am.summary_for(geom).unwrap()) as f64
     };
-    assert!(ratio(48) > ratio(12), "48-cycle {:.3} !> 12-cycle {:.3}", ratio(48), ratio(12));
+    assert!(
+        ratio(48) > ratio(12),
+        "48-cycle {:.3} !> 12-cycle {:.3}",
+        ratio(48),
+        ratio(12)
+    );
 }
 
 #[test]
@@ -183,8 +212,7 @@ fn shipped_tam_source_files_parse_and_run() {
         let source = std::fs::read_to_string(file).unwrap();
         let program = tamsim::tam::parse_program(&source).unwrap();
         // Round-trip through the printer too.
-        let reparsed =
-            tamsim::tam::parse_program(&tamsim::tam::program_to_text(&program)).unwrap();
+        let reparsed = tamsim::tam::parse_program(&tamsim::tam::program_to_text(&program)).unwrap();
         assert_eq!(program.codeblocks, reparsed.codeblocks, "{file}");
         for impl_ in [Implementation::Am, Implementation::Md] {
             let out = Experiment::new(impl_).run(&program);

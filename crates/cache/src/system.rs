@@ -2,7 +2,7 @@
 //! the cycle model.
 
 use crate::{BlockTrace, Cache, CacheGeometry, CacheStats};
-use tamsim_trace::{Access, AccessKind, TraceLog, TraceSink};
+use tamsim_trace::{Access, AccessKind, MarkSink, TraceLog, TraceSink};
 
 /// A split I/D cache pair, as in the paper ("in all cases, we specified
 /// separate instruction and write-back data caches").
@@ -84,6 +84,10 @@ impl TraceSink for CacheSystem {
         }
     }
 }
+
+// Cache behaviour depends only on the access stream; the granularity
+// side-channel is deliberately ignored (default no-op `MarkSink`).
+impl MarkSink for CacheSystem {}
 
 /// Counters of one I/D pair after a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -255,6 +259,9 @@ impl TraceSink for CacheBank {
         }
     }
 }
+
+// See `CacheSystem`: marks carry no cache-visible traffic.
+impl MarkSink for CacheBank {}
 
 #[cfg(test)]
 mod tests {

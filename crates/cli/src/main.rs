@@ -1,53 +1,83 @@
 //! `tamsim` — regenerate every table and figure of Spertus & Dally,
-//! "Evaluating the Locality Benefits of Active Messages" (PPOPP 1995).
+//! "Evaluating the Locality Benefits of Active Messages" (PPOPP 1995),
+//! and profile individual runs at quantum granularity.
 //!
-//! ```text
-//! tamsim [--small] [--out DIR] [COMMAND]
-//!
-//! COMMANDS
-//!   all        everything below (default)
-//!   table1     TAM-construct → MDP-mechanism mapping
-//!   table2     granularity + cycle ratios at 8K 4-way
-//!   figure1    scheduling-order contrast
-//!   figure2    enabled vs unenabled AM granularity (§2.4)
-//!   figure3    geomean ratio vs cache size, 1/2/4-way
-//!   figure4    per-program ratios, 4-way
-//!   figure5    per-program ratios, direct-mapped
-//!   figure6    geomean excluding SS, direct-mapped
-//!   accesses   §3.1 reads/writes/fetches MD/AM
-//!   blocks     block-size sweep (§3.3)
-//!   perf       time the Figure 3 sweep, record/replay vs the legacy
-//!              inline path; verify identical CSVs; write
-//!              results/perf_summary.json
-//!   disasm     dump the lowered code of fib(5) under both back-ends
-//!   run FILE   parse a textual TAM program and run it under all
-//!              three implementations
-//!
-//! OPTIONS
-//!   --small    run the reduced-size suite (fast smoke run)
-//!   --out DIR  write .txt/.csv outputs under DIR (default: results)
-//! ```
+//! Run `tamsim --help` (or bare `tamsim`) for the command list.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use tamsim_cache::{paper_sweep, CacheGeometry, PAPER_BLOCK_SWEEP};
-use tamsim_core::Implementation;
+use tamsim_core::{Experiment, Implementation};
 use tamsim_metrics as metrics;
 use tamsim_metrics::{SuiteData, Table};
+use tamsim_obs::Manifest;
 use tamsim_programs::PaperBenchmark;
+use tamsim_tam::Program;
+
+/// One-line descriptions for `--help` and the bare-invocation listing.
+const COMMANDS: &[(&str, &str)] = &[
+    ("all", "regenerate every table and figure below"),
+    ("table1", "TAM-construct to MDP-mechanism mapping"),
+    ("table2", "granularity + cycle ratios at 8K 4-way"),
+    ("figure1", "scheduling-order contrast"),
+    ("figure2", "enabled vs unenabled AM granularity (S2.4)"),
+    ("figure3", "geomean ratio vs cache size, 1/2/4-way"),
+    ("figure4", "per-program ratios, 4-way"),
+    ("figure5", "per-program ratios, direct-mapped"),
+    ("figure6", "geomean excluding SS, direct-mapped"),
+    ("accesses", "S3.1 reads/writes/fetches MD/AM"),
+    ("blocks", "block-size sweep (S3.3)"),
+    (
+        "profile PROG",
+        "quantum-level profile of one program: trace.json (Perfetto), profile.json, manifest.json",
+    ),
+    (
+        "perf",
+        "time the Figure 3 sweep, record/replay vs inline; write results/perf_summary.json",
+    ),
+    (
+        "disasm",
+        "dump the lowered code of fib(5) under both back-ends",
+    ),
+    (
+        "run FILE",
+        "parse a textual TAM program and run it under all three implementations",
+    ),
+];
+
+fn help_text() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "tamsim - reproduce Spertus & Dally, \"Evaluating the Locality Benefits of \
+         Active Messages\" (PPOPP 1995)\n\nUSAGE\n  tamsim [OPTIONS] COMMAND [ARGS]\n\nCOMMANDS\n",
+    );
+    for (name, desc) in COMMANDS {
+        out.push_str(&format!("  {name:<14} {desc}\n"));
+    }
+    out.push_str(
+        "\nOPTIONS\n  \
+         --small        run the reduced-size suite (fast smoke run)\n  \
+         --out DIR      write outputs under DIR (default: results)\n  \
+         --impl IMPL    profile only: am | am-en | md | all (default: am)\n  \
+         -h, --help     show this help\n",
+    );
+    out
+}
 
 struct Args {
     small: bool,
     out: PathBuf,
-    command: String,
+    impl_: String,
+    command: Option<String>,
     extra: Vec<String>,
 }
 
 fn parse_args() -> Args {
     let mut small = false;
     let mut out = PathBuf::from("results");
+    let mut impl_ = "am".to_string();
     let mut command = None::<String>;
     let mut extra = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -56,15 +86,18 @@ fn parse_args() -> Args {
             "--small" => small = true,
             "--out" => {
                 out = PathBuf::from(it.next().unwrap_or_else(|| {
-                    eprintln!("--out needs a directory");
+                    eprintln!("error: flag '--out' needs a directory argument");
                     std::process::exit(2);
                 }))
             }
+            "--impl" => {
+                impl_ = it.next().unwrap_or_else(|| {
+                    eprintln!("error: flag '--impl' needs a value (am | am-en | md | all)");
+                    std::process::exit(2);
+                })
+            }
             "--help" | "-h" => {
-                println!(
-                    "tamsim [--small] [--out DIR] \
-                     [table1|table2|figure1..figure6|accesses|blocks|perf|disasm|run FILE|all]"
-                );
+                print!("{}", help_text());
                 std::process::exit(0);
             }
             c if !c.starts_with('-') => {
@@ -75,7 +108,7 @@ fn parse_args() -> Args {
                 }
             }
             other => {
-                eprintln!("unknown option {other}");
+                eprintln!("error: unknown flag '{other}' (run 'tamsim --help' for usage)");
                 std::process::exit(2);
             }
         }
@@ -83,7 +116,8 @@ fn parse_args() -> Args {
     Args {
         small,
         out,
-        command: command.unwrap_or_else(|| "all".to_string()),
+        impl_,
+        command,
         extra,
     }
 }
@@ -109,6 +143,171 @@ fn emit_series(dir: &Path, stem: &str, title: &str, series: Vec<(u64, Table)>) {
             &format!("{stem}_miss{cost}"),
             &format!("{title} (miss = {cost} cycles)"),
             &table,
+        );
+    }
+}
+
+/// Write `manifest.json` next to the artifacts in `dir`, recording what
+/// produced them (see `tamsim_obs::Manifest`).
+fn write_manifest(
+    dir: &Path,
+    program: &str,
+    implementation: &str,
+    lowering: Vec<(String, bool)>,
+    config: Vec<(String, String)>,
+    started: Instant,
+) {
+    let command: Vec<String> = std::env::args().collect();
+    let mut m = Manifest::new(command.join(" "));
+    m.program = program.to_string();
+    m.implementation = implementation.to_string();
+    m.lowering = lowering;
+    m.config = config;
+    m.wall_seconds = started.elapsed().as_secs_f64();
+    fs::create_dir_all(dir).expect("create results dir");
+    fs::write(dir.join("manifest.json"), m.to_json()).expect("write manifest.json");
+    eprintln!("wrote {}", dir.join("manifest.json").display());
+}
+
+fn lowering_pairs(exp: &Experiment) -> Vec<(String, bool)> {
+    vec![
+        ("md_specialize".to_string(), exp.opts.md_specialize),
+        ("md_store_elim".to_string(), exp.opts.md_store_elim),
+        (
+            "md_stop_to_suspend".to_string(),
+            exp.opts.md_stop_to_suspend,
+        ),
+    ]
+}
+
+/// Resolve a program name for `tamsim profile`: `fib`, or any paper
+/// benchmark by its Table 2 name (case-insensitive).
+fn resolve_program(name: &str, small: bool) -> Program {
+    if name.eq_ignore_ascii_case("fib") {
+        return tamsim_programs::fib(if small { 8 } else { 10 });
+    }
+    let suite = if small {
+        tamsim_programs::small_suite()
+    } else {
+        tamsim_programs::paper_suite()
+    };
+    for b in suite {
+        if b.name.eq_ignore_ascii_case(name) {
+            return b.program;
+        }
+    }
+    let names: Vec<&str> = std::iter::once("fib")
+        .chain(
+            tamsim_programs::paper_suite()
+                .iter()
+                .map(|b| b.name)
+                .collect::<Vec<_>>(),
+        )
+        .collect();
+    eprintln!(
+        "error: unknown program '{name}'; expected one of: {}",
+        names.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn resolve_impls(spec: &str) -> Vec<Implementation> {
+    match spec {
+        "am" => vec![Implementation::Am],
+        "am-en" => vec![Implementation::AmEnabled],
+        "md" => vec![Implementation::Md],
+        "all" => vec![
+            Implementation::Am,
+            Implementation::AmEnabled,
+            Implementation::Md,
+        ],
+        other => {
+            eprintln!("error: unknown --impl value '{other}'; expected am | am-en | md | all");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `tamsim profile PROG [--impl am|am-en|md|all] [--out DIR]`: run the
+/// program under a profiling observer and emit `trace.json` (Chrome
+/// trace-event format, loads in ui.perfetto.dev), `profile.json` (quantum
+/// histograms and hotspots), and `manifest.json`. With one implementation
+/// the artifacts land directly in DIR; with several, in `DIR/<impl>/`.
+fn run_profile(args: &Args) {
+    let started = Instant::now();
+    let Some(prog_name) = args.extra.first().cloned() else {
+        eprintln!("usage: tamsim profile PROG [--impl am|am-en|md|all] [--out DIR]");
+        std::process::exit(2);
+    };
+    let program = resolve_program(&prog_name, args.small);
+    let impls = resolve_impls(&args.impl_);
+    let single = impls.len() == 1;
+
+    let mut profiles = Vec::new();
+    for &impl_ in &impls {
+        let exp = Experiment::new(impl_);
+        let profiled = exp.run_profiled(&program);
+        let profile = profiled
+            .profile()
+            .unwrap_or_else(|e| panic!("profile analysis failed: {e}"));
+
+        let dir = if single {
+            args.out.clone()
+        } else {
+            args.out.join(impl_.label().to_ascii_lowercase())
+        };
+        fs::create_dir_all(&dir).expect("create results dir");
+        fs::write(dir.join("trace.json"), profile.trace_json()).expect("write trace.json");
+        fs::write(dir.join("profile.json"), profile.profile_json()).expect("write profile.json");
+        write_manifest(
+            &dir,
+            &profiled.program,
+            impl_.label(),
+            lowering_pairs(&exp),
+            vec![
+                (
+                    "queue_words_low".to_string(),
+                    profiled.run.queue_words[0].to_string(),
+                ),
+                (
+                    "queue_words_high".to_string(),
+                    profiled.run.queue_words[1].to_string(),
+                ),
+            ],
+            started,
+        );
+        eprintln!(
+            "wrote {} and {}",
+            dir.join("trace.json").display(),
+            dir.join("profile.json").display()
+        );
+        profiles.push(profile);
+    }
+
+    let refs: Vec<&tamsim_obs::Profile> = profiles.iter().collect();
+    let summary = metrics::quantum_summary(&refs);
+    let histogram = metrics::quantum_histogram(&refs);
+    println!(
+        "## Quantum statistics: {} ({})\n\n{}",
+        program.name,
+        args.impl_,
+        summary.to_text()
+    );
+    println!("## Threads per quantum\n\n{}", histogram.to_text());
+    let quantum_text = format!(
+        "Quantum statistics: {}\n\n{}\nThreads per quantum\n\n{}",
+        program.name,
+        summary.to_text(),
+        histogram.to_text()
+    );
+    write_out(&args.out, "quantum", &quantum_text, Some(&summary.to_csv()));
+    for p in &refs {
+        let table = metrics::hotspot_table(p);
+        println!(
+            "## Hotspots: {} ({})\n\n{}",
+            p.meta.program,
+            p.meta.implementation,
+            table.to_text()
         );
     }
 }
@@ -203,33 +402,48 @@ fn run_perf(suite: &[PaperBenchmark], small: bool, dir: &Path) {
     eprintln!("wrote {}", dir.join("perf_summary.json").display());
 }
 
-const COMMANDS: &[&str] = &[
-    "all", "table1", "table2", "figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
-    "accesses", "blocks", "perf", "disasm", "run",
-];
-
 fn main() {
+    let started = Instant::now();
     let args = parse_args();
-    if !COMMANDS.contains(&args.command.as_str()) {
+    let Some(command) = args.command.clone() else {
+        // Bare `tamsim` lists the commands rather than silently running
+        // the full (slow) suite.
+        print!("{}", help_text());
+        return;
+    };
+    if !COMMANDS
+        .iter()
+        .any(|(name, _)| name.split(' ').next() == Some(command.as_str()))
+    {
         eprintln!(
-            "unknown command '{}'; expected one of: {}",
-            args.command,
-            COMMANDS.join("|")
+            "error: unknown command '{}'; expected one of: {}",
+            command,
+            COMMANDS
+                .iter()
+                .map(|(name, _)| name.split(' ').next().unwrap())
+                .collect::<Vec<_>>()
+                .join("|")
         );
         std::process::exit(2);
+    }
+    if command == "profile" {
+        run_profile(&args);
+        return;
     }
     let suite: Vec<PaperBenchmark> = if args.small {
         tamsim_programs::small_suite()
     } else {
         tamsim_programs::paper_suite()
     };
+    let suite_names = suite.iter().map(|b| b.name).collect::<Vec<_>>().join(",");
     let dir = args.out.clone();
-    if args.command == "perf" {
+    if command == "perf" {
         run_perf(&suite, args.small, &dir);
+        write_manifest(&dir, &suite_names, "MD,AM", Vec::new(), Vec::new(), started);
         return;
     }
     let needs_data = matches!(
-        args.command.as_str(),
+        command.as_str(),
         "all" | "table2" | "figure3" | "figure4" | "figure5" | "figure6" | "accesses" | "blocks"
     );
 
@@ -256,7 +470,7 @@ fn main() {
         data
     });
 
-    let cmd = args.command.as_str();
+    let cmd = command.as_str();
     let all = cmd == "all";
 
     if all || cmd == "table1" {
@@ -388,6 +602,7 @@ fn main() {
                 disasm_region(&linked.code, map.user_code_base, linked.code.user_len())
             );
         }
+        return;
     }
     if all || cmd == "blocks" {
         emit(
@@ -397,4 +612,7 @@ fn main() {
             &metrics::block_sweep(data.as_ref().unwrap(), &PAPER_BLOCK_SWEEP),
         );
     }
+    // Everything that reaches here wrote artifacts under `dir`; record
+    // what produced them.
+    write_manifest(&dir, &suite_names, "MD,AM", Vec::new(), Vec::new(), started);
 }

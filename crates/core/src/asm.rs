@@ -169,6 +169,12 @@ impl Asm {
         self.labels[label.0].expect("label never bound")
     }
 
+    /// The bound address of `label`, or `None` if it was never bound
+    /// (e.g. a thread label elided by fall-through folding).
+    pub fn try_addr(&self, label: Label) -> Option<u32> {
+        self.labels[label.0]
+    }
+
     /// Apply all fixups.
     ///
     /// # Panics

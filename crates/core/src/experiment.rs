@@ -9,8 +9,11 @@ use crate::sys::gen_sys;
 use tamsim_mdp::{
     CodeImage, Hooks, Machine, MachineConfig, Mark, Priority, RunError, RunStats, Word,
 };
+use tamsim_obs::{ObsError, Profile, ProfileHooks, ProfileMeta, RawProfile, SymbolTable};
 use tamsim_tam::{Program, TOp, Value};
-use tamsim_trace::{Access, AccessCounts, CountingSink, NullSink, TraceLog, TraceSink};
+use tamsim_trace::{
+    Access, AccessCounts, CountingSink, MarkSink, MemoryMap, NullSink, TraceLog, TraceSink,
+};
 
 /// A program lowered and linked for one implementation: code image, boot
 /// message, and memory seed.
@@ -35,6 +38,9 @@ pub struct Linked {
     pub cfg: MachineConfig,
     /// Boot address of the low-priority context.
     pub start_low: u32,
+    /// Names for every bound code label (system routines, threads,
+    /// inlets), for hotspot attribution.
+    pub symbols: SymbolTable,
 }
 
 impl Linked {
@@ -170,6 +176,45 @@ pub fn link(
             &inlet_addrs,
         ));
     }
+    // Symbol table for hotspot attribution (built while the labels are
+    // still accessible; `finish` consumes the assembler). Thread labels
+    // elided by fall-through folding stay unbound and are skipped — their
+    // code attributes to the preceding symbol, exactly as it executes.
+    let mut syms: Vec<(u32, String)> = Vec::new();
+    {
+        let mut sys_sym = |label: Option<crate::asm::Label>, name: &str| {
+            if let Some(addr) = label.and_then(|l| asm.try_addr(l)) {
+                syms.push((addr, format!("sys:{name}")));
+            }
+        };
+        sys_sym(Some(sys.falloc), "falloc");
+        sys_sym(Some(sys.ffree), "ffree");
+        sys_sym(Some(sys.ifetch), "ifetch");
+        sys_sym(Some(sys.istore), "istore");
+        sys_sym(Some(sys.halloc), "halloc");
+        sys_sym(Some(sys.done), "done");
+        sys_sym(Some(sys.start_low), "start_low");
+        sys_sym(sys.post_lib, "post_lib");
+        sys_sym(sys.swap_clean, "swap_clean");
+        sys_sym(sys.swap_fresh, "swap_fresh");
+        sys_sym(sys.am_pop, "am_pop");
+        sys_sym(sys.md_pop, "md_pop");
+        sys_sym(sys.md_boot, "md_boot");
+    }
+    for (i, cb) in program.codeblocks.iter().enumerate() {
+        for (j, l) in lowered.thread_labels[i].iter().enumerate() {
+            if let Some(addr) = asm.try_addr(*l) {
+                syms.push((addr, format!("{}.t{}", cb.name, j)));
+            }
+        }
+        for (j, l) in lowered.inlet_labels[i].iter().enumerate() {
+            if let Some(addr) = asm.try_addr(*l) {
+                syms.push((addr, format!("{}.in{}", cb.name, j)));
+            }
+        }
+    }
+    let symbols = SymbolTable::new(syms);
+
     asm.finish(&mut img);
 
     // Allocator bumps and initial arrays.
@@ -218,6 +263,7 @@ pub fn link(
         result_arity,
         cfg,
         start_low,
+        symbols,
     }
 }
 
@@ -255,7 +301,7 @@ pub struct RunResult {
 /// contend for cache lines. Disabling the bypass models a CM-5-style
 /// network interface attached below the cache (the paper's footnote
 /// contrast) and is exercised by the ablation bench.
-struct DriverHooks<'a, S: TraceSink> {
+struct DriverHooks<'a, S: TraceSink + MarkSink> {
     counts: CountingSink,
     gran: Granularity,
     extra: &'a mut S,
@@ -263,7 +309,7 @@ struct DriverHooks<'a, S: TraceSink> {
     queue_accesses: u64,
 }
 
-impl<S: TraceSink> Hooks for DriverHooks<'_, S> {
+impl<S: TraceSink + MarkSink> Hooks for DriverHooks<'_, S> {
     #[inline]
     fn access(&mut self, access: Access) {
         self.counts.access(access);
@@ -279,11 +325,18 @@ impl<S: TraceSink> Hooks for DriverHooks<'_, S> {
     #[inline]
     fn instruction(&mut self, pri: Priority, pc: u32) {
         self.gran.instruction(pri, pc);
+        self.extra.instruction(pri, pc);
+    }
+
+    #[inline]
+    fn queue_sample(&mut self, used_words: [u32; 2]) {
+        self.extra.queue_sample(used_words);
     }
 
     #[inline]
     fn mark(&mut self, mark: Mark, frame: u32, pri: Priority) {
         Hooks::mark(&mut self.gran, mark, frame, pri);
+        self.extra.mark(mark, frame, pri);
     }
 }
 
@@ -362,7 +415,15 @@ impl Experiment {
     /// machine run even when the initial queues fit. Prefer
     /// [`Experiment::run_recorded`] unless the consumer genuinely needs a
     /// live sink (e.g. an ablation observing events as they happen).
-    pub fn run_with_sink<S: TraceSink>(&self, program: &Program, sink: &mut S) -> RunResult {
+    ///
+    /// The sink receives the *complete* observation stream — accesses,
+    /// instruction ticks, queue samples, and marks. Access-only sinks use
+    /// the default no-op [`MarkSink`] methods and cost nothing extra.
+    pub fn run_with_sink<S: TraceSink + MarkSink>(
+        &self,
+        program: &Program,
+        sink: &mut S,
+    ) -> RunResult {
         // Probe with untraced runs until the queues fit.
         let mut queue_words = self.queue_words;
         let linked = loop {
@@ -489,6 +550,75 @@ impl Experiment {
                 ),
             }
         }
+    }
+
+    /// Run `program` with the profiler attached.
+    ///
+    /// This is [`Experiment::run_with_sink`] with a
+    /// [`tamsim_obs::ProfileHooks`] sink — the machine takes exactly the
+    /// same path as an unprofiled [`Experiment::run`], so cycle counts,
+    /// results, and all statistics are identical by construction (the
+    /// differential tests assert this).
+    pub fn run_profiled(&self, program: &Program) -> ProfiledRun {
+        let mut hooks = ProfileHooks::new();
+        let run = self.run_with_sink(program, &mut hooks);
+        // Re-link at the final (possibly auto-doubled) queue sizes to
+        // recover the symbol table of the image that actually ran.
+        let linked = link(
+            program,
+            self.implementation,
+            self.opts,
+            self.config(run.queue_words),
+        );
+        ProfiledRun {
+            raw: hooks.finish(),
+            symbols: linked.symbols,
+            map: linked.cfg.map,
+            codeblock_names: program
+                .codeblocks
+                .iter()
+                .map(|cb| cb.name.clone())
+                .collect(),
+            program: program.name.clone(),
+            run,
+        }
+    }
+}
+
+/// A completed run together with the profiler's raw capture and the
+/// layout context needed to analyze it.
+#[derive(Debug, Clone)]
+pub struct ProfiledRun {
+    /// Everything [`Experiment::run`] would have measured — identical to
+    /// an unprofiled run.
+    pub run: RunResult,
+    /// The raw capture (marks, cycle counters, fetch histogram).
+    pub raw: RawProfile,
+    /// Symbol table of the image that ran.
+    pub symbols: SymbolTable,
+    /// Memory map of the image that ran.
+    pub map: MemoryMap,
+    /// Codeblock display names, indexed by codeblock id.
+    pub codeblock_names: Vec<String>,
+    /// Program name.
+    pub program: String,
+}
+
+impl ProfiledRun {
+    /// Analyze the capture into a full [`Profile`] (timeline, quantum
+    /// statistics, hotspots).
+    pub fn profile(&self) -> Result<Profile, ObsError> {
+        let names: Vec<&str> = self.codeblock_names.iter().map(|s| s.as_str()).collect();
+        Profile::build(
+            ProfileMeta {
+                program: self.program.clone(),
+                implementation: self.run.implementation.label().to_string(),
+            },
+            &self.raw,
+            &self.symbols,
+            &self.map,
+            &names,
+        )
     }
 }
 

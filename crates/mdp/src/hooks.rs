@@ -1,15 +1,22 @@
 //! Observation hooks: how consumers watch a machine run.
 
 use crate::{Mark, Priority};
-use tamsim_trace::{Access, TraceSink};
+use tamsim_trace::{Access, MarkSink, TraceSink};
 
 /// Callbacks invoked by the machine during execution.
 ///
-/// [`Hooks::access`] receives the full memory-access stream (one fetch per
-/// executed instruction plus all data reads/writes, in program order);
-/// [`Hooks::instruction`] ticks once per executed instruction; and
-/// [`Hooks::mark`] delivers the zero-cost granularity markers with the
-/// current frame pointer sampled at runtime.
+/// # Contract
+///
+/// For every executed instruction the machine delivers, in order, one
+/// [`Hooks::access`] with the instruction fetch, one [`Hooks::instruction`]
+/// tick, and then any data-access events the instruction performs. Marks
+/// are zero-cost pseudo-ops: they emit **no** fetch and **no** instruction
+/// tick, only one [`Hooks::queue_sample`] (queue occupancy in words per
+/// priority) immediately followed by one [`Hooks::mark`]. Implementations
+/// that forward the stream (adapters, tees, drivers) must forward *all
+/// four* callbacks — dropping `instruction`/`mark` silently destroys the
+/// granularity data the paper's analysis is built on, which is exactly the
+/// bug [`SinkHooks`] used to have.
 pub trait Hooks {
     /// One memory access (instruction fetch or data read/write).
     fn access(&mut self, access: Access);
@@ -17,6 +24,11 @@ pub trait Hooks {
     /// One instruction executed at `pri` with program counter `pc`.
     #[inline]
     fn instruction(&mut self, _pri: Priority, _pc: u32) {}
+
+    /// Queue occupancy in words per priority, sampled immediately before
+    /// each mark.
+    #[inline]
+    fn queue_sample(&mut self, _used_words: [u32; 2]) {}
 
     /// A granularity marker, with the sampled frame pointer and the
     /// priority level it executed at.
@@ -33,14 +45,36 @@ impl Hooks for NoHooks {
     fn access(&mut self, _access: Access) {}
 }
 
-/// Adapt any [`TraceSink`] into [`Hooks`] (marks and ticks discarded).
+/// Adapt any [`TraceSink`] + [`MarkSink`] into [`Hooks`], forwarding the
+/// complete event stream: accesses, instruction ticks, queue samples, and
+/// marks.
+///
+/// Access-only sinks opt out of the granularity stream by relying on the
+/// default no-op [`MarkSink`] methods; nothing is dropped silently by the
+/// adapter itself. This keeps recorded runs (a
+/// [`tamsim_trace::TraceLog`] sink) as informative as live ones.
 #[derive(Debug, Default, Clone)]
 pub struct SinkHooks<S>(pub S);
 
-impl<S: TraceSink> Hooks for SinkHooks<S> {
+impl<S: TraceSink + MarkSink> Hooks for SinkHooks<S> {
     #[inline]
     fn access(&mut self, access: Access) {
         self.0.access(access);
+    }
+
+    #[inline]
+    fn instruction(&mut self, pri: Priority, pc: u32) {
+        self.0.instruction(pri, pc);
+    }
+
+    #[inline]
+    fn queue_sample(&mut self, used_words: [u32; 2]) {
+        self.0.queue_sample(used_words);
+    }
+
+    #[inline]
+    fn mark(&mut self, mark: Mark, frame: u32, pri: Priority) {
+        self.0.mark(mark, frame, pri);
     }
 }
 
@@ -56,6 +90,11 @@ impl<H: Hooks + ?Sized> Hooks for &mut H {
     }
 
     #[inline]
+    fn queue_sample(&mut self, used_words: [u32; 2]) {
+        (**self).queue_sample(used_words)
+    }
+
+    #[inline]
     fn mark(&mut self, mark: Mark, frame: u32, pri: Priority) {
         (**self).mark(mark, frame, pri)
     }
@@ -64,7 +103,7 @@ impl<H: Hooks + ?Sized> Hooks for &mut H {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tamsim_trace::VecSink;
+    use tamsim_trace::{MarkLog, Tee, VecSink};
 
     #[test]
     fn sink_hooks_forwards_accesses() {
@@ -76,9 +115,25 @@ mod tests {
     }
 
     #[test]
+    fn sink_hooks_forwards_the_granularity_stream() {
+        // A Tee of an access recorder and a mark recorder sees both halves
+        // of the stream through one adapter.
+        let mut h = SinkHooks(Tee::new(VecSink::new(), MarkLog::new()));
+        h.access(Access::fetch(0));
+        h.instruction(Priority::Low, 0);
+        h.queue_sample([7, 0]);
+        h.mark(Mark::ThreadEnd, 0x40, Priority::Low);
+        assert_eq!(h.0.a.events.len(), 1);
+        assert_eq!(h.0.b.records.len(), 1);
+        assert_eq!(h.0.b.records[0].queue_words, [7, 0]);
+        assert_eq!(h.0.b.cycles, [1, 0]);
+    }
+
+    #[test]
     fn no_hooks_is_inert() {
         let mut h = NoHooks;
         h.access(Access::fetch(0));
         h.instruction(Priority::High, 4);
+        h.queue_sample([0, 0]);
     }
 }

@@ -9,6 +9,11 @@
 
 use crate::Word;
 
+// The event vocabulary shared with every trace consumer lives in the
+// narrow-waist crate; re-exported here so machine-level code keeps using
+// `tamsim_mdp::{Mark, Priority}`.
+pub use tamsim_trace::{Mark, Priority};
+
 /// A general-purpose register index.
 ///
 /// Each priority level has its own file of [`Reg::COUNT`] registers
@@ -34,26 +39,6 @@ impl Reg {
         );
         self.0 as usize
     }
-}
-
-/// The two hardware priority levels of the MDP.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Priority {
-    /// Background computation (TAM threads; MD inlets).
-    Low = 0,
-    /// Message handlers / system calls (AM inlets; system routines).
-    High = 1,
-}
-
-impl Priority {
-    /// Index (0 = low, 1 = high).
-    #[inline]
-    pub fn index(self) -> usize {
-        self as usize
-    }
-
-    /// Both priorities, low first.
-    pub const ALL: [Priority; 2] = [Priority::Low, Priority::High];
 }
 
 /// Second operand of an integer ALU operation.
@@ -138,41 +123,6 @@ impl FAluOp {
             FAluOp::ItoF | FAluOp::FtoI | FAluOp::FNeg | FAluOp::FAbs
         )
     }
-}
-
-/// Zero-cost markers lowered into the code stream for statistics.
-///
-/// Marks execute in zero cycles, emit no instruction fetch, and exist purely
-/// so the granularity observer can segment execution into inlets, threads,
-/// and quanta exactly as the paper's instruction simulator did. Marks that
-/// identify a frame read the conventional frame-pointer register at runtime
-/// and report its value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Mark {
-    /// A TAM thread body begins (frame pointer sampled from `Reg::FP`).
-    ThreadStart {
-        /// Codeblock id for attribution.
-        codeblock: u16,
-        /// Thread id within the codeblock.
-        thread: u16,
-    },
-    /// A TAM thread body ends.
-    ThreadEnd,
-    /// A TAM inlet body begins (frame pointer sampled from `Reg::FP`).
-    InletStart {
-        /// Codeblock id for attribution.
-        codeblock: u16,
-        /// Inlet id within the codeblock.
-        inlet: u16,
-    },
-    /// A TAM inlet body ends.
-    InletEnd,
-    /// The AM scheduler activated a frame (start of an AM quantum).
-    FrameActivated,
-    /// A system routine begins (frame attribution not meaningful).
-    SysStart,
-    /// A system routine ends.
-    SysEnd,
 }
 
 /// One micro-instruction.

@@ -306,6 +306,7 @@ impl<'c> Machine<'c> {
 
             if let MOp::Mark(m) = op {
                 let frame = self.regs[p][Reg::FP.index()].bits() as u32;
+                hooks.queue_sample([self.queues[0].used_words(), self.queues[1].used_words()]);
                 hooks.mark(*m, frame, pri);
                 self.set_pc(pri, pc + 4);
                 continue;

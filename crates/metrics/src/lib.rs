@@ -13,12 +13,14 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod quantum;
 pub mod render;
 pub mod suite;
 pub mod tables;
 
 pub use experiments::{capture_schedule, figure1, figure1_program, figure2, SchedEvent};
 pub use figures::{block_sweep, figure3, figure6, figure_per_program};
+pub use quantum::{hotspot_table, quantum_histogram, quantum_summary};
 pub use render::Table;
 pub use suite::{geomean, ProgramRun, SuiteData, SuitePerf};
 pub use tables::{accesses, region_breakdown, table1, table2};

@@ -1,0 +1,137 @@
+//! Text rendering of the profiler's quantum statistics.
+//!
+//! The profile subcommand prints these tables so the paper's scheduling
+//! contrast is readable straight from the terminal; the same numbers ship
+//! machine-readably in `profile.json`.
+
+use crate::render::{r1, r3, Table};
+use tamsim_obs::Profile;
+
+/// One summary row per profiled implementation: the quantum-level
+/// scheduling metrics Section 4 of the paper argues about.
+pub fn quantum_summary(profiles: &[&Profile]) -> Table {
+    let mut t = Table::new(&[
+        "impl",
+        "cycles",
+        "threads",
+        "quanta",
+        "tpq",
+        "sched events",
+        "threads/event",
+        "interrupts/thread",
+        "mean qlen",
+        "median qlen",
+        "p90 qlen",
+        "max qlen",
+    ]);
+    for p in profiles {
+        let q = &p.timeline.quanta;
+        t.row(vec![
+            p.meta.implementation.clone(),
+            p.timeline.total_cycles().to_string(),
+            q.threads.to_string(),
+            q.count().to_string(),
+            r1(q.threads_per_quantum()),
+            q.activations.to_string(),
+            r1(q.threads_per_activation()),
+            r3(q.interruptions_per_thread()),
+            r1(q.mean_cycles()),
+            q.median_cycles().to_string(),
+            q.percentile_cycles(0.9).to_string(),
+            q.max_cycles().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Threads-per-quantum histogram, one column per profiled implementation.
+pub fn quantum_histogram(profiles: &[&Profile]) -> Table {
+    let mut header = vec!["threads/quantum".to_string()];
+    header.extend(profiles.iter().map(|p| p.meta.implementation.clone()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
+
+    let hists: Vec<Vec<(u32, u64)>> = profiles
+        .iter()
+        .map(|p| p.timeline.quanta.threads_histogram())
+        .collect();
+    let max = hists
+        .iter()
+        .filter_map(|h| h.last().map(|&(t, _)| t))
+        .max()
+        .unwrap_or(0);
+    for threads in 1..=max {
+        let mut row = vec![threads.to_string()];
+        for h in &hists {
+            let count = h
+                .iter()
+                .find(|&&(t, _)| t == threads)
+                .map_or(0, |&(_, c)| c);
+            row.push(count.to_string());
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Per-region hotspot table for one profile.
+pub fn hotspot_table(profile: &Profile) -> Table {
+    let mut t = Table::new(&["region", "symbol", "fetches", "region%", "total%"]);
+    for region in &profile.hotspots.regions {
+        for row in &region.rows {
+            t.row(vec![
+                region.region.name().to_string(),
+                row.name.clone(),
+                row.fetches.to_string(),
+                r1(row.region_share * 100.0),
+                r1(row.total_share * 100.0),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamsim_core::{Experiment, Implementation};
+    use tamsim_programs::fib;
+
+    fn profile(impl_: Implementation) -> Profile {
+        Experiment::new(impl_)
+            .run_profiled(&fib(8))
+            .profile()
+            .expect("profile analysis failed")
+    }
+
+    #[test]
+    fn summary_renders_one_row_per_impl() {
+        let am = profile(Implementation::Am);
+        let md = profile(Implementation::Md);
+        let text = quantum_summary(&[&am, &md]).to_text();
+        assert!(text.contains("AM"), "{text}");
+        assert!(text.contains("MD"), "{text}");
+        assert!(text.contains("tpq"), "{text}");
+        assert_eq!(text.lines().count(), 4, "{text}"); // header + rule + 2 rows
+    }
+
+    #[test]
+    fn histogram_has_a_column_per_impl_and_covers_all_quanta() {
+        let am = profile(Implementation::Am);
+        let text = quantum_histogram(&[&am]).to_csv();
+        let total: u64 = text
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total as usize, am.timeline.quanta.count());
+    }
+
+    #[test]
+    fn hotspots_render_with_symbols() {
+        let am = profile(Implementation::Am);
+        let text = hotspot_table(&am).to_text();
+        assert!(text.contains("system code"), "{text}");
+        assert!(text.contains("sys:"), "{text}");
+    }
+}

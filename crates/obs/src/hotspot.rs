@@ -1,0 +1,201 @@
+//! Hotspot attribution: from fetch counts per PC to named routines.
+//!
+//! The capture hooks histogram instruction fetches by program counter;
+//! this module folds that histogram through the linker's symbol table and
+//! the memory map into a top-N table per code region (system vs user), the
+//! same division the paper uses for its locality analysis.
+
+use std::collections::HashMap;
+
+use tamsim_trace::{MemoryMap, Region};
+
+use crate::{ObsError, SymbolTable};
+
+/// One named routine's share of instruction fetches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotspotRow {
+    /// Symbol name ("sys:post_lib", "fib.t2", ...).
+    pub name: String,
+    /// Instruction fetches attributed to the symbol.
+    pub fetches: u64,
+    /// Share of the fetches in this symbol's region (0.0–1.0).
+    pub region_share: f64,
+    /// Share of all fetches in the run (0.0–1.0).
+    pub total_share: f64,
+}
+
+/// Hotspots of one code region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionHotspots {
+    /// The region ([`Region::SystemCode`] or [`Region::UserCode`]).
+    pub region: Region,
+    /// Total fetches in the region.
+    pub fetches: u64,
+    /// Top rows, sorted by fetches descending (capped at the requested N;
+    /// remaining fetches are folded into a final `"(other)"` row).
+    pub rows: Vec<HotspotRow>,
+}
+
+/// The complete hotspot report for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotspotReport {
+    /// Total instruction fetches in the run.
+    pub total_fetches: u64,
+    /// Per-region tables, system code first.
+    pub regions: Vec<RegionHotspots>,
+}
+
+/// Fold a `(pc -> fetches)` histogram into a per-region top-N report.
+///
+/// Fails if any fetched address lies outside the modeled memory or
+/// outside a code region — both indicate a machine-model bug that must
+/// not be papered over with an "unknown" bucket.
+pub fn attribute(
+    fetch_counts: &HashMap<u32, u64>,
+    symbols: &SymbolTable,
+    map: &MemoryMap,
+    top_n: usize,
+) -> Result<HotspotReport, ObsError> {
+    let mut by_symbol: [HashMap<&str, u64>; 2] = [HashMap::new(), HashMap::new()];
+    let mut region_fetches = [0u64; 2];
+    let mut total_fetches = 0u64;
+    for (&pc, &count) in fetch_counts {
+        let region = map
+            .try_classify(pc)
+            .ok_or(ObsError::AddressOutOfRange { addr: pc })?;
+        let slot = match region {
+            Region::SystemCode => 0,
+            Region::UserCode => 1,
+            _ => return Err(ObsError::FetchOutsideCode { addr: pc, region }),
+        };
+        let name = symbols.resolve(pc).unwrap_or("(unmapped)");
+        *by_symbol[slot].entry(name).or_insert(0) += count;
+        region_fetches[slot] += count;
+        total_fetches += count;
+    }
+
+    let regions = [Region::SystemCode, Region::UserCode]
+        .into_iter()
+        .zip(by_symbol)
+        .zip(region_fetches)
+        .map(|((region, by_sym), fetches)| {
+            let mut rows: Vec<(&str, u64)> = by_sym.into_iter().collect();
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+            let tail: u64 = rows.iter().skip(top_n).map(|&(_, c)| c).sum();
+            rows.truncate(top_n);
+            let mut rows: Vec<HotspotRow> = rows
+                .into_iter()
+                .map(|(name, count)| HotspotRow {
+                    name: name.to_string(),
+                    fetches: count,
+                    region_share: share(count, fetches),
+                    total_share: share(count, total_fetches),
+                })
+                .collect();
+            if tail > 0 {
+                rows.push(HotspotRow {
+                    name: "(other)".to_string(),
+                    fetches: tail,
+                    region_share: share(tail, fetches),
+                    total_share: share(tail, total_fetches),
+                });
+            }
+            RegionHotspots {
+                region,
+                fetches,
+                rows,
+            }
+        })
+        .collect();
+
+    Ok(HotspotReport {
+        total_fetches,
+        regions,
+    })
+}
+
+#[inline]
+fn share(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SymbolTable, MemoryMap) {
+        let map = MemoryMap::default();
+        let symbols = SymbolTable::new(vec![
+            (0x0, "sys:boot".to_string()),
+            (0x100, "sys:post_lib".to_string()),
+            (map.user_code_base, "fib.t0".to_string()),
+            (map.user_code_base + 0x40, "fib.t1".to_string()),
+        ]);
+        (symbols, map)
+    }
+
+    #[test]
+    fn attributes_fetches_to_symbols_per_region() {
+        let (symbols, map) = setup();
+        let mut counts = HashMap::new();
+        counts.insert(0x104, 10u64); // sys:post_lib
+        counts.insert(0x108, 5); // sys:post_lib
+        counts.insert(0x0, 1); // sys:boot
+        counts.insert(map.user_code_base + 0x44, 8); // fib.t1
+        let report = attribute(&counts, &symbols, &map, 10).unwrap();
+        assert_eq!(report.total_fetches, 24);
+        let sys = &report.regions[0];
+        assert_eq!(sys.region, Region::SystemCode);
+        assert_eq!(sys.fetches, 16);
+        assert_eq!(sys.rows[0].name, "sys:post_lib");
+        assert_eq!(sys.rows[0].fetches, 15);
+        assert!((sys.rows[0].region_share - 15.0 / 16.0).abs() < 1e-9);
+        let user = &report.regions[1];
+        assert_eq!(user.fetches, 8);
+        assert_eq!(user.rows[0].name, "fib.t1");
+        assert!((user.rows[0].total_share - 8.0 / 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncation_folds_the_tail_into_other() {
+        let (symbols, map) = setup();
+        let mut counts = HashMap::new();
+        counts.insert(0x0, 7u64); // sys:boot
+        counts.insert(0x104, 3); // sys:post_lib
+        let report = attribute(&counts, &symbols, &map, 1).unwrap();
+        let sys = &report.regions[0];
+        assert_eq!(sys.rows.len(), 2);
+        assert_eq!(sys.rows[0].name, "sys:boot");
+        assert_eq!(sys.rows[1].name, "(other)");
+        assert_eq!(sys.rows[1].fetches, 3);
+    }
+
+    #[test]
+    fn rejects_fetches_outside_code() {
+        let (symbols, map) = setup();
+        let mut counts = HashMap::new();
+        counts.insert(map.frame_base, 1u64);
+        assert!(matches!(
+            attribute(&counts, &symbols, &map, 10),
+            Err(ObsError::FetchOutsideCode { .. })
+        ));
+        let mut counts = HashMap::new();
+        counts.insert(map.top, 1u64);
+        assert!(matches!(
+            attribute(&counts, &symbols, &map, 10),
+            Err(ObsError::AddressOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_histogram_is_an_empty_report() {
+        let (symbols, map) = setup();
+        let report = attribute(&HashMap::new(), &symbols, &map, 10).unwrap();
+        assert_eq!(report.total_fetches, 0);
+        assert!(report.regions.iter().all(|r| r.rows.is_empty()));
+    }
+}

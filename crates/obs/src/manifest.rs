@@ -1,0 +1,139 @@
+//! Run manifests: what produced a results artifact, recorded next to it.
+//!
+//! Every directory of emitted results gets a `manifest.json` capturing the
+//! program, implementation, lowering and machine configuration, the git
+//! revision of the simulator, and wall time — enough to reproduce (or
+//! distrust) any number in the artifacts without spelunking shell history.
+
+use std::fmt::Write as _;
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::{num, quote};
+
+/// A reproducibility record for one results directory.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// Producing tool ("tamsim").
+    pub tool: String,
+    /// Crate version of the producer.
+    pub version: String,
+    /// The full command line that produced the artifacts.
+    pub command: String,
+    /// Program name(s), comma-separated for suite runs.
+    pub program: String,
+    /// Implementation label(s) ("am", "am-en", "md").
+    pub implementation: String,
+    /// Lowering options as `(flag, enabled)` pairs.
+    pub lowering: Vec<(String, bool)>,
+    /// Machine/cache configuration as `(key, value)` pairs.
+    pub config: Vec<(String, String)>,
+    /// `git rev-parse HEAD` of the working tree, or "unknown".
+    pub git_revision: String,
+    /// Wall-clock seconds the run took.
+    pub wall_seconds: f64,
+    /// Unix timestamp (seconds) when the manifest was written.
+    pub created_unix: u64,
+}
+
+impl Manifest {
+    /// A manifest stamped with tool, version, git revision, and creation
+    /// time; the caller fills in the run-specific fields.
+    pub fn new(command: impl Into<String>) -> Self {
+        Manifest {
+            tool: "tamsim".to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            command: command.into(),
+            git_revision: git_revision(),
+            created_unix: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            ..Manifest::default()
+        }
+    }
+
+    /// Render as a `manifest.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        let _ = write!(
+            out,
+            "\"tool\":{},\"version\":{},\"command\":{},\"program\":{},\"implementation\":{},",
+            quote(&self.tool),
+            quote(&self.version),
+            quote(&self.command),
+            quote(&self.program),
+            quote(&self.implementation)
+        );
+        out.push_str("\"lowering\":{");
+        for (i, (flag, enabled)) in self.lowering.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", quote(flag), enabled);
+        }
+        out.push_str("},\"config\":{");
+        for (i, (key, value)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", quote(key), quote(value));
+        }
+        out.push_str("},");
+        let _ = write!(
+            out,
+            "\"git_revision\":{},\"wall_seconds\":{},\"created_unix\":{}",
+            quote(&self.git_revision),
+            num(self.wall_seconds),
+            self.created_unix
+        );
+        out.push('}');
+        out
+    }
+}
+
+/// The git revision of the current working tree, or `"unknown"` when git
+/// is unavailable or the tree is not a repository.
+pub fn git_revision() -> String {
+    Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn manifest_renders_valid_json() {
+        let mut m = Manifest::new("tamsim profile fib --impl am");
+        m.program = "fib".to_string();
+        m.implementation = "am".to_string();
+        m.lowering = vec![
+            ("md_specialize".to_string(), true),
+            ("md_store_elim".to_string(), false),
+        ];
+        m.config = vec![("queue_words".to_string(), "4096".to_string())];
+        m.wall_seconds = 0.25;
+        let json_text = m.to_json();
+        json::validate(&json_text).expect("manifest.json must parse");
+        assert!(json_text.contains("\"tool\":\"tamsim\""));
+        assert!(json_text.contains("\"md_specialize\":true"));
+        assert!(json_text.contains("\"queue_words\":\"4096\""));
+        assert!(json_text.contains("\"git_revision\":"));
+    }
+
+    #[test]
+    fn git_revision_is_nonempty() {
+        // Either a real hash (in a checkout) or the "unknown" fallback.
+        assert!(!git_revision().is_empty());
+    }
+}

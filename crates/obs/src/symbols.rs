@@ -1,0 +1,98 @@
+//! Mapping program counters back to names.
+//!
+//! The linker (in `tamsim-core`) knows where every system routine, thread,
+//! and inlet landed; it hands that layout over as a [`SymbolTable`] so the
+//! hotspot attributor can report "sys:post_lib" instead of a bare address.
+//! Resolution is "nearest preceding symbol": a PC belongs to the last
+//! symbol at or below it, exactly like a linker map file.
+
+/// A sorted table of `(start address, name)` pairs covering the code
+/// regions.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    /// Sorted by address, ascending; addresses are unique after merging.
+    syms: Vec<(u32, String)>,
+}
+
+impl SymbolTable {
+    /// Build a table from unordered `(address, name)` pairs.
+    ///
+    /// Pairs are sorted by address; multiple names at the same address
+    /// (e.g. a label alias at a routine entry) are merged into one
+    /// `"a/b"` entry so lookups stay unambiguous.
+    pub fn new(mut syms: Vec<(u32, String)>) -> Self {
+        syms.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        let mut merged: Vec<(u32, String)> = Vec::with_capacity(syms.len());
+        for (addr, name) in syms {
+            match merged.last_mut() {
+                Some((last_addr, last_name)) if *last_addr == addr => {
+                    if *last_name != name {
+                        last_name.push('/');
+                        last_name.push_str(&name);
+                    }
+                }
+                _ => merged.push((addr, name)),
+            }
+        }
+        SymbolTable { syms: merged }
+    }
+
+    /// The name covering `pc`: the last symbol with `addr <= pc`, or
+    /// `None` when `pc` precedes every symbol.
+    pub fn resolve(&self, pc: u32) -> Option<&str> {
+        let idx = self.syms.partition_point(|(addr, _)| *addr <= pc);
+        idx.checked_sub(1).map(|i| self.syms[i].1.as_str())
+    }
+
+    /// Number of (merged) symbols.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// Iterate `(address, name)` in ascending address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.syms.iter().map(|(a, n)| (*a, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SymbolTable {
+        SymbolTable::new(vec![
+            (0x100, "sys:falloc".to_string()),
+            (0x40, "sys:post_lib".to_string()),
+            (0x100, "sys:falloc_entry".to_string()),
+            (0x200, "fib.t0".to_string()),
+        ])
+    }
+
+    #[test]
+    fn resolves_nearest_preceding_symbol() {
+        let t = table();
+        assert_eq!(t.resolve(0x40), Some("sys:post_lib"));
+        assert_eq!(t.resolve(0xfc), Some("sys:post_lib"));
+        assert_eq!(t.resolve(0x104), Some("sys:falloc/sys:falloc_entry"));
+        assert_eq!(t.resolve(0x1000), Some("fib.t0"));
+        assert_eq!(t.resolve(0x3c), None);
+    }
+
+    #[test]
+    fn merges_aliases_at_the_same_address() {
+        let t = table();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn empty_table_resolves_nothing() {
+        let t = SymbolTable::default();
+        assert!(t.is_empty());
+        assert_eq!(t.resolve(0), None);
+    }
+}

@@ -7,7 +7,7 @@
 //! each: the machine model only issues word-aligned accesses, so the low
 //! two address bits are free to carry the [`AccessKind`].
 
-use crate::{Access, AccessKind, TraceSink};
+use crate::{Access, AccessKind, Mark, MarkLog, MarkRecord, MarkSink, Priority, TraceSink};
 
 /// Events per chunk (256 KiB of packed events). Chunking keeps appends
 /// amortized O(1) without ever copying previously recorded events the way
@@ -41,10 +41,19 @@ fn decode(word: u32) -> Access {
 ///
 /// Implements [`TraceSink`] for recording; [`TraceLog::iter`] replays the
 /// events in the recorded order. One event costs 4 bytes.
+///
+/// The log also implements [`MarkSink`], retaining the granularity stream
+/// (marks with per-priority cycle snapshots and queue-occupancy samples) so
+/// recorded runs lose nothing relative to live ones: replay consumers can
+/// rebuild timelines and quantum statistics from [`TraceLog::marks`]
+/// without re-simulating the machine. Marks are sparse, so the retained
+/// side-channel stays small next to the packed access stream.
 #[derive(Debug, Default, Clone)]
 pub struct TraceLog {
     /// Fixed-capacity chunks; only the last one is ever partially full.
     chunks: Vec<Vec<u32>>,
+    /// Retained granularity stream (marks, cycles, queue samples).
+    marks: MarkLog,
 }
 
 impl TraceLog {
@@ -92,6 +101,17 @@ impl TraceLog {
         if let Some(first) = self.chunks.first_mut() {
             first.clear();
         }
+        self.marks.clear();
+    }
+
+    /// The retained granularity marks, in execution order.
+    pub fn marks(&self) -> &[MarkRecord] {
+        &self.marks.records
+    }
+
+    /// Instructions recorded per priority (the run's cycle counters).
+    pub fn cycles(&self) -> [u64; 2] {
+        self.marks.cycles
     }
 
     /// Iterate the recorded events in order.
@@ -107,6 +127,23 @@ impl TraceSink for TraceLog {
     #[inline]
     fn access(&mut self, access: Access) {
         self.push(access);
+    }
+}
+
+impl MarkSink for TraceLog {
+    #[inline]
+    fn instruction(&mut self, pri: Priority, pc: u32) {
+        self.marks.instruction(pri, pc);
+    }
+
+    #[inline]
+    fn queue_sample(&mut self, used_words: [u32; 2]) {
+        self.marks.queue_sample(used_words);
+    }
+
+    #[inline]
+    fn mark(&mut self, mark: Mark, frame: u32, pri: Priority) {
+        self.marks.mark(mark, frame, pri);
     }
 }
 
@@ -203,6 +240,21 @@ mod tests {
         assert_eq!(log.iter().count(), 0);
         log.push(Access::fetch(64));
         assert_eq!(log.iter().collect::<Vec<_>>(), vec![Access::fetch(64)]);
+    }
+
+    #[test]
+    fn marks_are_retained_and_cleared_with_the_log() {
+        let mut log = TraceLog::new();
+        log.access(Access::fetch(0));
+        log.instruction(Priority::Low, 0);
+        log.queue_sample([5, 0]);
+        log.mark(Mark::ThreadEnd, 0x80, Priority::Low);
+        assert_eq!(log.marks().len(), 1);
+        assert_eq!(log.cycles(), [1, 0]);
+        assert_eq!(log.marks()[0].queue_words, [5, 0]);
+        log.clear();
+        assert!(log.marks().is_empty());
+        assert_eq!(log.cycles(), [0, 0]);
     }
 
     #[test]

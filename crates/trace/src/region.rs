@@ -98,14 +98,32 @@ impl Default for MemoryMap {
 }
 
 impl MemoryMap {
+    /// Classify a byte address into its region, or `None` if the address
+    /// lies above the modeled top of memory.
+    ///
+    /// An out-of-range address always indicates a machine-model bug;
+    /// observation boundaries (the profiler, the access counters) use this
+    /// checked variant so the bug surfaces as a clean error in release
+    /// builds instead of silently inflating a region count.
+    #[inline]
+    pub fn try_classify(&self, addr: u32) -> Option<Region> {
+        (addr < self.top).then(|| self.classify_unchecked(addr))
+    }
+
     /// Classify a byte address into its region.
     ///
     /// # Panics
     /// Panics (in debug builds) if `addr` lies above the modeled top of
-    /// memory, which indicates a machine-model bug.
+    /// memory, which indicates a machine-model bug. Use
+    /// [`MemoryMap::try_classify`] where a release-mode check is wanted.
     #[inline]
     pub fn classify(&self, addr: u32) -> Region {
         debug_assert!(addr < self.top, "address {addr:#x} above top of memory");
+        self.classify_unchecked(addr)
+    }
+
+    #[inline]
+    fn classify_unchecked(&self, addr: u32) -> Region {
         if addr < self.user_code_base {
             Region::SystemCode
         } else if addr < self.system_data_base {
@@ -160,6 +178,15 @@ mod tests {
         assert_eq!(m.classify(m.user_code_base - 4), Region::SystemCode);
         assert_eq!(m.classify(m.system_data_base - 4), Region::UserCode);
         assert_eq!(m.classify(m.frame_base - 4), Region::SystemData);
+    }
+
+    #[test]
+    fn try_classify_rejects_out_of_range_addresses() {
+        let m = MemoryMap::default();
+        assert_eq!(m.try_classify(m.top - 4), Some(Region::UserData));
+        assert_eq!(m.try_classify(m.top), None);
+        assert_eq!(m.try_classify(u32::MAX), None);
+        assert_eq!(m.try_classify(0), Some(Region::SystemCode));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Trace sinks: consumers of the machine model's access stream.
 
-use crate::{Access, AccessCounts, MemoryMap};
+use crate::{Access, AccessCounts, Mark, MarkSink, MemoryMap, Priority};
 
 /// A consumer of memory-access events.
 ///
@@ -23,6 +23,8 @@ impl TraceSink for NullSink {
     fn access(&mut self, _access: Access) {}
 }
 
+impl MarkSink for NullSink {}
+
 /// A sink that records every access; for tests and small traces only.
 #[derive(Debug, Default, Clone)]
 pub struct VecSink {
@@ -43,6 +45,8 @@ impl TraceSink for VecSink {
         self.events.push(access);
     }
 }
+
+impl MarkSink for VecSink {}
 
 /// A sink that counts accesses per region and kind.
 #[derive(Debug, Clone)]
@@ -65,9 +69,21 @@ impl CountingSink {
 impl TraceSink for CountingSink {
     #[inline]
     fn access(&mut self, access: Access) {
-        self.counts.record(access, &self.map);
+        // Checked classification: an address above the modeled top of
+        // memory is a machine-model bug and must not be folded into a
+        // region bucket, in release builds included.
+        let Some(region) = self.map.try_classify(access.addr) else {
+            panic!(
+                "access at {:#x} lies above the modeled top of memory \
+                 ({:#x}); machine-model bug",
+                access.addr, self.map.top
+            );
+        };
+        self.counts.record_in(region, access.kind);
     }
 }
+
+impl MarkSink for CountingSink {}
 
 /// Fan one access stream out to two sinks.
 ///
@@ -97,6 +113,26 @@ impl<A: TraceSink, B: TraceSink> TraceSink for Tee<A, B> {
     }
 }
 
+impl<A: MarkSink, B: MarkSink> MarkSink for Tee<A, B> {
+    #[inline]
+    fn instruction(&mut self, pri: Priority, pc: u32) {
+        self.a.instruction(pri, pc);
+        self.b.instruction(pri, pc);
+    }
+
+    #[inline]
+    fn queue_sample(&mut self, used_words: [u32; 2]) {
+        self.a.queue_sample(used_words);
+        self.b.queue_sample(used_words);
+    }
+
+    #[inline]
+    fn mark(&mut self, mark: Mark, frame: u32, pri: Priority) {
+        self.a.mark(mark, frame, pri);
+        self.b.mark(mark, frame, pri);
+    }
+}
+
 /// Adapt a closure into a sink.
 pub struct FnSink<F: FnMut(Access)>(pub F);
 
@@ -106,6 +142,8 @@ impl<F: FnMut(Access)> TraceSink for FnSink<F> {
         (self.0)(access);
     }
 }
+
+impl<F: FnMut(Access)> MarkSink for FnSink<F> {}
 
 impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     #[inline]
@@ -149,6 +187,24 @@ mod tests {
         assert_eq!(c.counts.fetches(), 2);
         assert_eq!(c.counts.writes(), 1);
         assert_eq!(c.counts.kind_total(AccessKind::Read), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "above the modeled top of memory")]
+    fn counting_sink_rejects_out_of_range_addresses_in_release_too() {
+        let mut c = CountingSink::new(MemoryMap::default());
+        c.access(Access::read(0x7fff_fffc));
+    }
+
+    #[test]
+    fn tee_forwards_marks_to_both_sinks() {
+        let mut t = Tee::new(crate::MarkLog::new(), crate::MarkLog::new());
+        t.instruction(Priority::Low, 0);
+        t.queue_sample([2, 0]);
+        t.mark(Mark::ThreadEnd, 0x10, Priority::Low);
+        assert_eq!(t.a.records, t.b.records);
+        assert_eq!(t.a.records.len(), 1);
+        assert_eq!(t.a.records[0].queue_words, [2, 0]);
     }
 
     #[test]

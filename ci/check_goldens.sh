@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Golden-figure regression gate.
+#
+# Runs the full small-suite pipeline (`tamsim all --small`) and compares
+# every produced CSV against the committed goldens in tests/golden/.
+# Any drift — a changed number, a missing figure, a new figure without a
+# committed golden — fails the gate with a readable diff.
+#
+# The small suite is deterministic (fixed benchmark seeds, no wall-clock
+# in the CSVs), so an exact byte comparison is the right bar: if a change
+# moves a figure on purpose, regenerate the goldens with
+#
+#   cargo run --release -p tamsim-cli -- all --small --out /tmp/golden
+#   cp /tmp/golden/*.csv tests/golden/
+#
+# and commit the new CSVs alongside the change that moved them.
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+GOLDEN_DIR="$REPO_ROOT/tests/golden"
+OUT_DIR="${1:-$(mktemp -d)}"
+TAMSIM="${TAMSIM:-$REPO_ROOT/target/release/tamsim}"
+
+if [ ! -x "$TAMSIM" ]; then
+    echo "error: $TAMSIM not found or not executable (build with: cargo build --release)" >&2
+    exit 2
+fi
+
+echo "golden gate: running '$TAMSIM all --small --out $OUT_DIR'"
+if ! "$TAMSIM" all --small --out "$OUT_DIR" > /dev/null; then
+    echo "error: tamsim all --small failed" >&2
+    exit 1
+fi
+
+fail=0
+
+# Every committed golden must be reproduced exactly.
+for golden in "$GOLDEN_DIR"/*.csv; do
+    name="$(basename "$golden")"
+    fresh="$OUT_DIR/$name"
+    if [ ! -f "$fresh" ]; then
+        echo "FAIL: $name was not produced by the run" >&2
+        fail=1
+        continue
+    fi
+    if ! diff -u --label "golden/$name" --label "fresh/$name" "$golden" "$fresh"; then
+        echo "FAIL: $name drifted from the committed golden" >&2
+        fail=1
+    fi
+done
+
+# Every produced CSV must have a committed golden (no silent new figures).
+for fresh in "$OUT_DIR"/*.csv; do
+    name="$(basename "$fresh")"
+    if [ ! -f "$GOLDEN_DIR/$name" ]; then
+        echo "FAIL: run produced $name but tests/golden/ has no such golden" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "" >&2
+    echo "golden gate FAILED: see diffs above; regenerate goldens only for" >&2
+    echo "intentional figure changes (instructions at the top of this script)." >&2
+    exit 1
+fi
+
+count=$(ls "$GOLDEN_DIR"/*.csv | wc -l)
+echo "golden gate OK: $count CSV(s) match tests/golden/ exactly"

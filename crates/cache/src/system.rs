@@ -203,8 +203,7 @@ impl CacheBank {
     /// severalfold because instruction fetch is sequential. Each
     /// configuration is then an independent simulation (they share nothing
     /// but the read-only folded traces), so the sweep is embarrassingly
-    /// parallel: geometries are sharded across `std::thread::scope`
-    /// workers, each of which replays its systems one at a time.
+    /// parallel and fans out through [`tamsim_trace::par_map`].
     ///
     /// Results are in `geometries` order and bit-identical to streaming
     /// the same events through a [`CacheBank`].
@@ -218,7 +217,7 @@ impl CacheBank {
                 traces.push(BlockTrace::build(log, g.block_bytes));
             }
         }
-        let replay_one = |&g: &CacheGeometry| {
+        tamsim_trace::par_map(geometries.to_vec(), |g: CacheGeometry| {
             let trace = traces
                 .iter()
                 .find(|t| t.block_bytes() == g.block_bytes)
@@ -226,27 +225,6 @@ impl CacheBank {
             let mut system = CacheSystem::symmetric(g);
             trace.replay(&mut system);
             (g, system.summary())
-        };
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(geometries.len());
-        if workers <= 1 {
-            return geometries.iter().map(replay_one).collect();
-        }
-        let shard = geometries.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = geometries
-                .chunks(shard)
-                .map(|chunk| {
-                    let replay_one = &replay_one;
-                    scope.spawn(move || chunk.iter().map(replay_one).collect::<Vec<_>>())
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("replay worker panicked"))
-                .collect()
         })
     }
 }

@@ -1,0 +1,619 @@
+//! The differential runner: one program, three back-ends, every invariant.
+//!
+//! [`check_program`] executes a TAM program under AM, AM-enabled, and MD
+//! and fails unless all of the following hold:
+//!
+//! * every back-end halts **explicitly** (the completion handler ran; a
+//!   quiescent end means a lost message or a deadlocked entry count);
+//! * the [`crate::InvariantChecker`] saw zero violations;
+//! * **message conservation** is exact: every message ever enqueued
+//!   (`sends` + the boot injection) was dispatched or is still sitting in
+//!   a queue;
+//! * **termination residue** is exactly what the runtime's shutdown leaves
+//!   behind — nothing more. A [`tamsim_tam::TOp::Return`] sends the reply
+//!   *before* the frame-free message, and main's reply goes to the
+//!   synthetic completion inlet, which halts. Under plain AM (handlers
+//!   chain at high priority, FIFO) the halt lands with the final `ffree`
+//!   still queued; under AM-enabled the high-priority reply preempts
+//!   main's low-priority `Return` *between the two sends*, so the `ffree`
+//!   is never even sent; either way main's frame stays allocated. Under MD
+//!   the completion inlet runs at low priority, so the already-sent
+//!   high-priority `ffree` is handled first and everything drains. Any
+//!   other leftover message or unfreed frame — counted by walking the
+//!   per-codeblock free lists against the frame-region bump pointer — is a
+//!   leak;
+//! * all three back-ends produce **bit-identical results** and final
+//!   I-structure array states;
+//! * replaying the AM run's recorded trace through
+//!   [`CacheBank::replay_parallel`] is bit-identical to streaming the same
+//!   trace through an inline [`CacheBank`] (the record/replay engine that
+//!   produces every figure cross-checked on a trace nobody hand-picked).
+//!
+//! A [`Mutation`] injects a deliberate bug into the MD back-end's copy of
+//! the program — the harness's self-test that divergences are actually
+//! caught (and shrinkable; see [`crate::shrink`]).
+
+use crate::invariant::InvariantChecker;
+use tamsim_cache::{CacheBank, CacheGeometry};
+use tamsim_core::{link, FrameLayout, GlobalsMap, Implementation, LoweringOptions};
+use tamsim_mdp::{HaltReason, Machine, MachineConfig, RunError, RunStats, SinkHooks};
+use tamsim_tam::{AluOp, Program, TOp};
+use tamsim_trace::{Access, Mark, MarkSink, Priority, Tee, TraceLog, TraceSink};
+
+use crate::gen::GenConfig;
+
+/// A sink that records only when armed, so one `Tee` shape serves both the
+/// recorded (AM) and unrecorded runs.
+struct MaybeLog(Option<TraceLog>);
+
+impl TraceSink for MaybeLog {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        if let Some(log) = &mut self.0 {
+            log.access(access);
+        }
+    }
+}
+
+impl MarkSink for MaybeLog {
+    #[inline]
+    fn instruction(&mut self, pri: Priority, pc: u32) {
+        if let Some(log) = &mut self.0 {
+            log.instruction(pri, pc);
+        }
+    }
+
+    #[inline]
+    fn queue_sample(&mut self, used_words: [u32; 2]) {
+        if let Some(log) = &mut self.0 {
+            log.queue_sample(used_words);
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, mark: Mark, frame: u32, pri: Priority) {
+        if let Some(log) = &mut self.0 {
+            log.mark(mark, frame, pri);
+        }
+    }
+}
+
+/// The three back-ends under test, with their display labels.
+pub const IMPLS: [(Implementation, &str); 3] = [
+    (Implementation::Am, "am"),
+    (Implementation::AmEnabled, "am-en"),
+    (Implementation::Md, "md"),
+];
+
+/// A deliberate bug to seed into the MD back-end's copy of the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Flip the first integer `Add` (program order: per codeblock, threads
+    /// then inlets) to `Sub`.
+    FlipFirstAddToSub,
+}
+
+/// Apply `mutation` to a copy of `program`. Returns `None` if the program
+/// has no site the mutation applies to.
+pub fn mutate(program: &Program, mutation: Mutation) -> Option<Program> {
+    match mutation {
+        Mutation::FlipFirstAddToSub => {
+            let mut p = program.clone();
+            for cb in &mut p.codeblocks {
+                let bodies = cb
+                    .threads
+                    .iter_mut()
+                    .map(|t| &mut t.ops)
+                    .chain(cb.inlets.iter_mut().map(|i| &mut i.ops));
+                for ops in bodies {
+                    for op in ops {
+                        if let TOp::Alu { op: o, .. } = op {
+                            if *o == AluOp::Add {
+                                *o = AluOp::Sub;
+                                return Some(p);
+                            }
+                        }
+                    }
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Everything one [`check_program`] / [`crate::fuzz_many`] call needs.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Generator bounds (used by [`crate::fuzz_many`]).
+    pub gen: GenConfig,
+    /// Initial queue capacity in words (doubled on overflow).
+    pub queue_words: u32,
+    /// Queue capacity at which an overflow becomes a failure.
+    pub max_queue_words: u32,
+    /// Instruction budget per run; exhaustion is a `Hung` failure.
+    pub fuel: u64,
+    /// Deliberate bug to inject into the MD run (harness self-test).
+    pub mutation: Option<Mutation>,
+    /// Flag reads of never-written frame words. On for generated programs
+    /// (they always store before loading); off for hand-written programs
+    /// that read zero-defaulted slots deliberately (see
+    /// [`InvariantChecker::without_uninit_read_check`]).
+    pub check_uninit_frame_reads: bool,
+    /// Cache sweep for the replay-vs-inline cross-check (empty = skip).
+    pub geometries: Vec<CacheGeometry>,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            gen: GenConfig::default(),
+            queue_words: 512,
+            max_queue_words: 1 << 20,
+            fuel: 50_000_000,
+            mutation: None,
+            check_uninit_frame_reads: true,
+            // Three disparate geometries keep the cross-check cheap while
+            // covering distinct block sizes (each folds its own
+            // block-trace) and associativities.
+            geometries: vec![
+                CacheGeometry::new(1 << 12, 1, 16),
+                CacheGeometry::new(1 << 14, 2, 32),
+                CacheGeometry::new(1 << 16, 4, 64),
+            ],
+        }
+    }
+}
+
+/// Why a check failed (the shrinker preserves this as its signature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A queue overflowed even at [`CheckConfig::max_queue_words`].
+    QueueOverflow,
+    /// A run exhausted its instruction budget.
+    Hung,
+    /// A run ended quiescent instead of executing `Halt`.
+    NoCompletion,
+    /// The machine-level invariant checker flagged the run.
+    InvariantViolation,
+    /// Messages enqueued and dispatched don't balance.
+    SendRecvMismatch,
+    /// Messages beyond the expected shutdown residue were left queued.
+    QueueResidue,
+    /// Frame words beyond the expected shutdown residue were left
+    /// allocated.
+    LeakedFrames,
+    /// The back-ends disagree on the result words or final array state.
+    ResultDivergence,
+    /// Parallel trace replay disagrees with inline cache simulation.
+    CacheMismatch,
+    /// The machine model panicked (wild address, malformed message) —
+    /// reachable only through shrink candidates that feed garbage
+    /// registers into address positions, never from validated generated
+    /// programs.
+    MachineTrap,
+}
+
+impl FailureKind {
+    /// Stable lowercase name (manifests, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::QueueOverflow => "queue-overflow",
+            FailureKind::Hung => "hung",
+            FailureKind::NoCompletion => "no-completion",
+            FailureKind::InvariantViolation => "invariant-violation",
+            FailureKind::SendRecvMismatch => "send-recv-mismatch",
+            FailureKind::QueueResidue => "queue-residue",
+            FailureKind::LeakedFrames => "leaked-frames",
+            FailureKind::ResultDivergence => "result-divergence",
+            FailureKind::CacheMismatch => "cache-mismatch",
+            FailureKind::MachineTrap => "machine-trap",
+        }
+    }
+}
+
+/// A failed check: the signature kind plus a human-readable account.
+#[derive(Debug, Clone)]
+pub struct CheckFailure {
+    /// The failure signature.
+    pub kind: FailureKind,
+    /// What exactly went wrong (addresses, values, which back-end).
+    pub detail: String,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.kind.name(), self.detail)
+    }
+}
+
+/// Per-back-end observations from a passing run.
+#[derive(Debug, Clone)]
+pub struct ImplReport {
+    /// Display label ("am", "am-en", "md").
+    pub label: &'static str,
+    /// Result words as raw bit patterns.
+    pub result_bits: Vec<u64>,
+    /// Final I-structure array states as bit patterns.
+    pub arrays: Vec<Vec<Option<u64>>>,
+    /// Instructions the run executed.
+    pub instructions: u64,
+}
+
+/// A passing differential check over all three back-ends.
+#[derive(Debug, Clone)]
+pub struct CheckPass {
+    /// One report per entry of [`IMPLS`], in that order.
+    pub per_impl: Vec<ImplReport>,
+    /// Access events in the AM run's recorded trace (cross-check size).
+    pub trace_events: usize,
+}
+
+/// Run `program` under all three back-ends and check every invariant.
+pub fn check_program(program: &Program, cfg: &CheckConfig) -> Result<CheckPass, CheckFailure> {
+    let mut per_impl = Vec::with_capacity(IMPLS.len());
+    let mut am_log: Option<TraceLog> = None;
+    for (impl_, label) in IMPLS {
+        let mutated;
+        let subject = match (impl_, cfg.mutation) {
+            (Implementation::Md, Some(m)) => match mutate(program, m) {
+                Some(p) => {
+                    mutated = p;
+                    &mutated
+                }
+                None => program,
+            },
+            _ => program,
+        };
+        // Record the trace of the AM run only: one log is enough for the
+        // replay-vs-inline cross-check, and the others would just burn
+        // memory.
+        let record = impl_ == Implementation::Am && !cfg.geometries.is_empty();
+        let (report, log) = run_one(subject, impl_, label, cfg, record)?;
+        per_impl.push(report);
+        if let Some(log) = log {
+            am_log = Some(log);
+        }
+    }
+
+    // Cross-implementation agreement, bit-exact.
+    for r in &per_impl[1..] {
+        if r.result_bits != per_impl[0].result_bits {
+            return Err(CheckFailure {
+                kind: FailureKind::ResultDivergence,
+                detail: format!(
+                    "result mismatch: {} returned {:?}, {} returned {:?}",
+                    per_impl[0].label, per_impl[0].result_bits, r.label, r.result_bits
+                ),
+            });
+        }
+        if r.arrays != per_impl[0].arrays {
+            return Err(CheckFailure {
+                kind: FailureKind::ResultDivergence,
+                detail: format!(
+                    "final array state mismatch between {} and {}",
+                    per_impl[0].label, r.label
+                ),
+            });
+        }
+    }
+
+    // Record/replay cross-check: the parallel folded replay must be
+    // bit-identical to streaming the same recorded events inline.
+    let mut trace_events = 0;
+    if let Some(log) = &am_log {
+        trace_events = log.len();
+        let replayed = CacheBank::replay_parallel(&cfg.geometries, log);
+        let mut bank = CacheBank::symmetric(cfg.geometries.iter().copied());
+        for access in log {
+            bank.access(access);
+        }
+        let inline = bank.summaries();
+        if replayed != inline {
+            let diff = replayed
+                .iter()
+                .zip(&inline)
+                .find(|(a, b)| a != b)
+                .map(|((g, a), (_, b))| format!("{g:?}: replay {a:?} vs inline {b:?}"))
+                .unwrap_or_else(|| "geometry sets differ".to_string());
+            return Err(CheckFailure {
+                kind: FailureKind::CacheMismatch,
+                detail: format!("replay_parallel diverges from inline simulation: {diff}"),
+            });
+        }
+    }
+
+    Ok(CheckPass {
+        per_impl,
+        trace_events,
+    })
+}
+
+/// Run `f` with machine-model panics captured instead of unwinding into
+/// the harness (shrink candidates can feed garbage registers into address
+/// positions, and the machine traps on wild addresses by design). A
+/// thread-local flag silences the default panic hook for these expected
+/// traps only.
+fn catch_trap<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    use std::cell::Cell;
+    use std::sync::Once;
+    thread_local! {
+        static SILENCED: Cell<bool> = const { Cell::new(false) };
+    }
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SILENCED.with(|s| s.get()) {
+                previous(info);
+            }
+        }));
+    });
+    SILENCED.with(|s| s.set(true));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    SILENCED.with(|s| s.set(false));
+    outcome.map_err(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "machine model panicked".to_string())
+    })
+}
+
+/// Run one back-end with queue-size probing and full invariant checking.
+fn run_one(
+    program: &Program,
+    impl_: Implementation,
+    label: &'static str,
+    cfg: &CheckConfig,
+    record: bool,
+) -> Result<(ImplReport, Option<TraceLog>), CheckFailure> {
+    let mut queue_words = cfg.queue_words;
+    loop {
+        let mcfg = MachineConfig {
+            queue_words: [queue_words, queue_words],
+            fuel: cfg.fuel,
+            ..MachineConfig::default()
+        };
+        let linked = link(program, impl_, LoweringOptions::default(), mcfg);
+        let mut checker = InvariantChecker::new(&mcfg);
+        if !cfg.check_uninit_frame_reads {
+            checker = checker.without_uninit_read_check();
+        }
+        let mut hooks = SinkHooks(Tee::new(checker, MaybeLog(record.then(TraceLog::new))));
+        let run = match catch_trap(|| linked.run(&mut hooks)) {
+            Ok(run) => run,
+            Err(trap) => {
+                return Err(CheckFailure {
+                    kind: FailureKind::MachineTrap,
+                    detail: format!("{label}: {trap}"),
+                });
+            }
+        };
+        match run {
+            Err(RunError::QueueOverflow { pri }) => {
+                if queue_words >= cfg.max_queue_words {
+                    return Err(CheckFailure {
+                        kind: FailureKind::QueueOverflow,
+                        detail: format!(
+                            "{label}: {pri:?} queue overflows even at {queue_words} words"
+                        ),
+                    });
+                }
+                queue_words *= 2;
+            }
+            Err(RunError::FuelExhausted) => {
+                return Err(CheckFailure {
+                    kind: FailureKind::Hung,
+                    detail: format!("{label}: no halt within {} instructions", cfg.fuel),
+                });
+            }
+            Ok((stats, machine)) => {
+                let checker = &hooks.0.a;
+                post_run_checks(program, impl_, label, &mcfg, &stats, &machine, checker)?;
+                let report = ImplReport {
+                    label,
+                    result_bits: linked
+                        .read_result(&machine)
+                        .iter()
+                        .map(|w| w.bits())
+                        .collect(),
+                    arrays: linked
+                        .read_arrays(&machine)
+                        .iter()
+                        .map(|a| a.iter().map(|c| c.map(|w| w.bits())).collect())
+                        .collect(),
+                    instructions: stats.instructions,
+                };
+                return Ok((report, hooks.0.b.0));
+            }
+        }
+    }
+}
+
+/// Termination, conservation, residue, and leak checks for one finished
+/// run.
+fn post_run_checks(
+    program: &Program,
+    impl_: Implementation,
+    label: &str,
+    mcfg: &MachineConfig,
+    stats: &RunStats,
+    machine: &Machine<'_>,
+    checker: &InvariantChecker,
+) -> Result<(), CheckFailure> {
+    if !checker.is_clean() {
+        return Err(CheckFailure {
+            kind: FailureKind::InvariantViolation,
+            detail: format!(
+                "{label}: {} violation(s), first: {}",
+                checker.total_violations, checker.violations[0]
+            ),
+        });
+    }
+    if stats.halt != HaltReason::Explicit {
+        return Err(CheckFailure {
+            kind: FailureKind::NoCompletion,
+            detail: format!(
+                "{label}: run quiesced without executing Halt (lost message or dead entry count)"
+            ),
+        });
+    }
+
+    // Shutdown residue (see module docs): AM strands the final ffree
+    // behind the halting reply; MD drains it by priority.
+    let queued: usize = Priority::ALL.iter().map(|&p| machine.queue(p).len()).sum();
+    // The halting handler's own message was dispatched but never retired
+    // (`Halt` stops the machine immediately), so it still occupies its
+    // queue.
+    let undispatched = queued.saturating_sub(1);
+    let expected_undispatched = if impl_ == Implementation::Am { 1 } else { 0 };
+    if undispatched != expected_undispatched {
+        return Err(CheckFailure {
+            kind: FailureKind::QueueResidue,
+            detail: format!(
+                "{label}: {undispatched} undispatched message(s) at halt, expected \
+                 {expected_undispatched}"
+            ),
+        });
+    }
+
+    // Message conservation: enqueued = sends + 1 boot injection; each is
+    // either dispatched or still queued-but-undispatched.
+    let enqueued = stats.sends + 1;
+    let dispatched = stats.dispatches[0] + stats.dispatches[1];
+    if enqueued != dispatched + undispatched as u64 {
+        return Err(CheckFailure {
+            kind: FailureKind::SendRecvMismatch,
+            detail: format!(
+                "{label}: {enqueued} messages enqueued but {dispatched} dispatched + \
+                 {undispatched} still queued"
+            ),
+        });
+    }
+
+    // Frame accounting: every word the bump allocator handed out must be
+    // back on a free list, except main's frame under AM (its ffree is the
+    // stranded message above).
+    let layouts: Vec<FrameLayout> = program
+        .codeblocks
+        .iter()
+        .map(|cb| FrameLayout::of(cb, impl_.is_am()))
+        .collect();
+    let globals = GlobalsMap::new(&mcfg.sys_layout(), program, &layouts);
+    let bump = machine.mem.read(globals.frame_bump).as_addr();
+    let allocated = (bump - mcfg.map.frame_base) / 4;
+    let mut freed = 0u32;
+    for (i, layout) in layouts.iter().enumerate() {
+        let mut head = machine
+            .mem
+            .read(globals.freelist_base + 4 * i as u32)
+            .as_addr();
+        let mut guard = 0u32;
+        while head != 0 {
+            freed += layout.frame_words;
+            head = machine.mem.read(head).as_addr();
+            guard += 1;
+            if guard > 1 << 20 {
+                return Err(CheckFailure {
+                    kind: FailureKind::LeakedFrames,
+                    detail: format!("{label}: free list of codeblock {i} does not terminate"),
+                });
+            }
+        }
+    }
+    let expected_leak = if impl_.is_am() {
+        layouts[program.main.0 as usize].frame_words
+    } else {
+        0
+    };
+    if allocated != freed + expected_leak {
+        return Err(CheckFailure {
+            kind: FailureKind::LeakedFrames,
+            detail: format!(
+                "{label}: {allocated} frame words allocated, {freed} freed, expected leak \
+                 {expected_leak}"
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tamsim_tam::ops;
+    use tamsim_tam::{Codeblock, CodeblockId, Inlet, SlotId, Thread, ThreadId, VReg, Value};
+
+    fn tiny_program() -> Program {
+        // main(x): return x + x.
+        let r = VReg;
+        Program {
+            name: "tiny".into(),
+            codeblocks: vec![Codeblock {
+                name: "main".into(),
+                n_slots: 1,
+                threads: vec![Thread::new(
+                    1,
+                    vec![
+                        ops::ld(r(0), SlotId(0)),
+                        ops::alu(AluOp::Add, r(1), r(0), ops::reg(r(0))),
+                        ops::ret(vec![r(1)]),
+                    ],
+                )],
+                inlets: vec![Inlet {
+                    ops: vec![
+                        ops::ldmsg(r(0), 0),
+                        ops::st(SlotId(0), r(0)),
+                        ops::post(ThreadId(0)),
+                    ],
+                }],
+            }],
+            main: CodeblockId(0),
+            main_args: vec![Value::Int(21)],
+            arrays: vec![],
+        }
+    }
+
+    #[test]
+    fn tiny_program_passes_all_checks() {
+        let pass = check_program(&tiny_program(), &CheckConfig::default()).expect("clean");
+        assert_eq!(pass.per_impl.len(), 3);
+        for r in &pass.per_impl {
+            assert_eq!(r.result_bits, vec![42], "{}", r.label);
+        }
+        assert!(pass.trace_events > 0);
+    }
+
+    #[test]
+    fn mutation_flips_exactly_the_first_add() {
+        let p = tiny_program();
+        let m = mutate(&p, Mutation::FlipFirstAddToSub).expect("has an Add");
+        let TOp::Alu { op, .. } = &m.codeblocks[0].threads[0].ops[1] else {
+            panic!("unexpected shape");
+        };
+        assert_eq!(*op, AluOp::Sub);
+        assert_eq!(p.static_ops(), m.static_ops());
+    }
+
+    #[test]
+    fn mutation_is_caught_as_result_divergence() {
+        let cfg = CheckConfig {
+            mutation: Some(Mutation::FlipFirstAddToSub),
+            ..CheckConfig::default()
+        };
+        let failure = check_program(&tiny_program(), &cfg).expect_err("must diverge");
+        assert_eq!(failure.kind, FailureKind::ResultDivergence);
+        assert!(failure.detail.contains("md"), "{}", failure.detail);
+    }
+
+    #[test]
+    fn mutate_returns_none_without_a_site() {
+        let mut p = tiny_program();
+        p.codeblocks[0].threads[0].ops.remove(1);
+        p.codeblocks[0].threads[0]
+            .ops
+            .insert(1, ops::mov(VReg(1), VReg(0)));
+        assert!(mutate(&p, Mutation::FlipFirstAddToSub).is_none());
+    }
+}

@@ -1,0 +1,452 @@
+//! The TAM program generator: random-but-valid programs from a seed.
+//!
+//! # Grammar
+//!
+//! A generated program is a strict call DAG of 1–4 codeblocks (codeblock
+//! *i* only calls codeblocks *j > i*), so every run terminates with a
+//! statically bounded activation tree. Each codeblock follows the same
+//! skeleton as the hand-written benchmarks (arg inlets → a synchronizing
+//! work thread → a join thread that returns):
+//!
+//! * 1–3 **argument inlets**, each `ldmsg; st slot; post work`;
+//! * a **work thread** (entry count = number of args) that loads its
+//!   arguments, scrambles them through a random straight-line ALU
+//!   sequence, stores the result, then optionally: issues 0–3 [`TOp::Call`]s
+//!   to higher-numbered codeblocks (send fan-out), runs a split-phase heap
+//!   chain ([`TOp::HAlloc`]/[`TOp::IStore`]/[`TOp::IFetch`] in either
+//!   order, exercising deferred I-structure reads, or an initial-array
+//!   fetch), and terminates by forking the join thread — directly or
+//!   through a two-way [`TOp::ForkIfElse`] over occasionally-atomic branch
+//!   threads;
+//! * one **reply inlet per call** that accumulates the returned value into
+//!   a frame slot with a commutative `Add` (so the final result is
+//!   independent of reply arrival order, which legitimately differs
+//!   between the back-ends) and posts the join thread;
+//! * a **join thread** whose entry count is exactly one (the terminator)
+//!   plus one per reply source, folding every written slot into the value
+//!   it [`TOp::Return`]s. Main's join returns one or two words.
+//!
+//! Shapes are decided in a first pass (so a caller knows every callee's
+//! arity — each [`TOp::Call`] passes *exactly* that many arguments, which
+//! the work thread's entry count relies on for liveness), bodies in a
+//! second. Everything the program reads — registers within a body, frame
+//! slots across bodies — is written first by construction, so a divergence
+//! between the AM, AM-enabled, and MD back-ends is a real scheduling or
+//! lowering bug, never stale-state noise. All values are integers, making
+//! cross-implementation comparison exact. Division is excluded (the
+//! machine halts on division by zero); shifts take small immediate counts.
+
+use crate::rng::SplitMix64;
+use tamsim_tam::ops::{self, imm, reg};
+use tamsim_tam::{
+    AluOp, Codeblock, CodeblockId, InitArray, Inlet, InletId, Program, SlotId, TOp, Thread,
+    ThreadId, VReg, Value,
+};
+
+/// Bounds on the generated program shapes.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Maximum codeblocks per program (≥ 1; bounds the call-DAG depth).
+    pub max_codeblocks: u16,
+    /// Maximum argument inlets per codeblock.
+    pub max_args: u16,
+    /// Maximum calls issued by one work thread (send fan-out bound).
+    pub max_calls: u16,
+    /// Maximum random ALU instructions in one work thread.
+    pub max_alu: u16,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_codeblocks: 4,
+            max_args: 3,
+            max_calls: 3,
+            max_alu: 6,
+        }
+    }
+}
+
+/// ALU operations safe under any operand values (no division: the machine
+/// halts on a zero divisor). Shifts are emitted separately with immediate
+/// counts.
+const SAFE_ALU: [AluOp; 14] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Eq,
+    AluOp::Ne,
+    AluOp::Lt,
+    AluOp::Le,
+    AluOp::Gt,
+    AluOp::Ge,
+    AluOp::Min,
+    AluOp::Max,
+];
+
+/// The two thread slots every codeblock has (branch threads come after).
+const T_WORK: ThreadId = ThreadId(0);
+const T_DONE: ThreadId = ThreadId(1);
+
+/// Which split-phase heap pattern the work thread exercises, if any.
+#[derive(Clone, Copy, PartialEq)]
+enum HeapChain {
+    None,
+    /// `HAlloc` a fresh cell, store, then fetch the now-present value.
+    FreshStoreThenFetch,
+    /// `HAlloc` a fresh cell, fetch *first* (the read defers), then store.
+    FreshFetchThenStore,
+    /// `IFetch` a present cell of initial array 0.
+    ArrayCell {
+        index: u64,
+    },
+}
+
+impl HeapChain {
+    fn is_some(self) -> bool {
+        self != HeapChain::None
+    }
+}
+
+/// Shape decisions for one codeblock, fixed before any body is emitted.
+struct CbShape {
+    n_args: u16,
+    /// Callee ids, one per issued call (each strictly greater than the
+    /// caller's id).
+    calls: Vec<u16>,
+    branching: bool,
+    heap: HeapChain,
+    n_alu: u16,
+}
+
+/// Generate a valid, deterministically terminating program from `seed`.
+///
+/// The same `(seed, cfg)` pair always yields the identical [`Program`];
+/// the result passes [`Program::validate`] (asserted here, so a generator
+/// bug fails fast rather than surfacing as a confusing link panic).
+pub fn generate(seed: u64, cfg: &GenConfig) -> Program {
+    let mut rng = SplitMix64::new(seed);
+    let n_cbs = rng.range(1, cfg.max_codeblocks.max(1) as u64) as u16;
+
+    // An optional initial array provides ArrayBase operands and present
+    // I-structure cells to fetch.
+    let arrays = if rng.one_in(2) {
+        let len = rng.range(2, 5);
+        let cells: Vec<Value> = (0..len)
+            .map(|_| Value::Int(rng.range(0, 200) as i64 - 100))
+            .collect();
+        vec![InitArray::present("a0", cells)]
+    } else {
+        Vec::new()
+    };
+    let array_cells = arrays.first().map(|a| a.len() as u64);
+
+    // Pass 1: shapes. Callers read callee arities from here in pass 2.
+    let shapes: Vec<CbShape> = (0..n_cbs)
+        .map(|i| {
+            let can_call = i + 1 < n_cbs;
+            let n_calls = if can_call {
+                rng.range(0, cfg.max_calls as u64) as u16
+            } else {
+                0
+            };
+            CbShape {
+                n_args: rng.range(1, cfg.max_args.max(1) as u64) as u16,
+                calls: (0..n_calls)
+                    .map(|_| rng.range(i as u64 + 1, n_cbs as u64 - 1) as u16)
+                    .collect(),
+                branching: rng.one_in(2),
+                heap: match rng.below(6) {
+                    0 => HeapChain::FreshStoreThenFetch,
+                    1 => HeapChain::FreshFetchThenStore,
+                    2 => match array_cells {
+                        Some(cells) => HeapChain::ArrayCell {
+                            index: rng.below(cells),
+                        },
+                        None => HeapChain::None,
+                    },
+                    _ => HeapChain::None,
+                },
+                n_alu: rng.range(1, cfg.max_alu.max(1) as u64) as u16,
+            }
+        })
+        .collect();
+
+    // Pass 2: bodies.
+    let codeblocks: Vec<Codeblock> = (0..n_cbs)
+        .map(|i| gen_codeblock(&mut rng, &shapes, i))
+        .collect();
+
+    let main_args: Vec<Value> = (0..shapes[0].n_args)
+        .map(|_| Value::Int(rng.range(0, 200) as i64 - 100))
+        .collect();
+
+    let program = Program {
+        name: format!("fuzz-{seed:016x}"),
+        codeblocks,
+        main: CodeblockId(0),
+        main_args,
+        arrays,
+    };
+    program
+        .validate()
+        .expect("generator produced an invalid program");
+    program
+}
+
+fn gen_codeblock(rng: &mut SplitMix64, shapes: &[CbShape], index: u16) -> Codeblock {
+    let shape = &shapes[index as usize];
+    let is_main = index == 0;
+    let n_calls = shape.calls.len() as u16;
+
+    // Frame slot map: args first, then one slot per written source the
+    // join thread folds.
+    let s_arg = |i: u16| SlotId(i);
+    let s_res = SlotId(shape.n_args);
+    let s_acc = SlotId(shape.n_args + 1);
+    let s_br = SlotId(shape.n_args + 2);
+    let s_hp = SlotId(shape.n_args + 3);
+    let n_slots = shape.n_args + 4;
+
+    // Inlet map: arg inlets, then one reply inlet per call, then the heap
+    // reply inlet.
+    let reply_inlet = |j: u16| InletId(shape.n_args + j);
+    let heap_inlet = InletId(shape.n_args + n_calls);
+
+    let r = VReg;
+
+    // Argument inlets: receive, bank, post.
+    let mut inlets: Vec<Inlet> = (0..shape.n_args)
+        .map(|i| Inlet {
+            ops: vec![
+                ops::ldmsg(r(0), 0),
+                ops::st(s_arg(i), r(0)),
+                ops::post(T_WORK),
+            ],
+        })
+        .collect();
+
+    // Reply inlets: accumulate commutatively, post the join thread.
+    for _ in 0..n_calls {
+        inlets.push(Inlet {
+            ops: vec![
+                ops::ldmsg(r(0), 0),
+                ops::ld(r(1), s_acc),
+                ops::alu(AluOp::Add, r(1), r(1), reg(r(0))),
+                ops::st(s_acc, r(1)),
+                ops::post(T_DONE),
+            ],
+        });
+    }
+    if shape.heap.is_some() {
+        inlets.push(Inlet {
+            ops: vec![ops::ldmsg(r(0), 0), ops::st(s_hp, r(0)), ops::post(T_DONE)],
+        });
+    }
+
+    // Work thread: load args, scramble, store result, init accumulator,
+    // heap chain, calls, terminator.
+    let mut work: Vec<TOp> = Vec::new();
+    let mut defined: Vec<VReg> = Vec::new();
+    for i in 0..shape.n_args {
+        work.push(ops::ld(r(i as u8), s_arg(i)));
+        defined.push(r(i as u8));
+    }
+    let mut last = defined[defined.len() - 1];
+    for _ in 0..shape.n_alu {
+        // Destinations stay in r0..r5 so r6..r9 remain free for the fixed
+        // accumulator/heap sequences below.
+        let d = r(rng.below(6) as u8);
+        let a = *rng.pick(&defined);
+        let (op, b) = if rng.one_in(6) {
+            let op = if rng.one_in(2) {
+                AluOp::Shl
+            } else {
+                AluOp::Shr
+            };
+            (op, imm(rng.below(8) as i64))
+        } else {
+            let op = *rng.pick(&SAFE_ALU);
+            let b = if rng.one_in(2) {
+                imm(rng.range(0, 16) as i64 - 8)
+            } else {
+                reg(*rng.pick(&defined))
+            };
+            (op, b)
+        };
+        work.push(ops::alu(op, d, a, b));
+        if !defined.contains(&d) {
+            defined.push(d);
+        }
+        last = d;
+    }
+    work.push(ops::st(s_res, last));
+    if n_calls > 0 {
+        work.push(ops::movi(r(6), 0));
+        work.push(ops::st(s_acc, r(6)));
+    }
+    match shape.heap {
+        HeapChain::None => {}
+        HeapChain::FreshStoreThenFetch | HeapChain::FreshFetchThenStore => {
+            work.push(ops::halloc(r(7), imm(2))); // one [state, value] cell
+            work.push(ops::movi(r(8), rng.range(0, 100) as i64)); // tag
+            work.push(ops::movi(r(9), rng.range(0, 200) as i64 - 100)); // value
+            let fetch = ops::ifetch(r(7), r(8), heap_inlet);
+            let store = ops::istore(r(7), r(9));
+            if shape.heap == HeapChain::FreshFetchThenStore {
+                // Fetching the still-empty cell defers the read; the store
+                // then satisfies it — the split-phase path the benchmarks
+                // rarely stress.
+                work.push(fetch);
+                work.push(store);
+            } else {
+                work.push(store);
+                work.push(fetch);
+            }
+        }
+        HeapChain::ArrayCell { index } => {
+            work.push(ops::movarr(r(7), 0));
+            work.push(ops::alu(AluOp::Add, r(7), r(7), imm(8 * index as i64)));
+            work.push(ops::movi(r(8), rng.range(0, 100) as i64));
+            work.push(ops::ifetch(r(7), r(8), heap_inlet));
+        }
+    }
+    for (j, &callee) in shape.calls.iter().enumerate() {
+        // Pass exactly the callee's arity: its work thread's entry count
+        // equals its arg count, so a short call would deadlock it.
+        let args: Vec<VReg> = (0..shapes[callee as usize].n_args)
+            .map(|_| *rng.pick(&defined))
+            .collect();
+        work.push(ops::call(CodeblockId(callee), args, reply_inlet(j as u16)));
+    }
+    if shape.branching {
+        let cond = *rng.pick(&defined);
+        work.push(ops::fork_if_else(cond, ThreadId(2), ThreadId(3)));
+    } else {
+        work.push(ops::fork(T_DONE));
+    }
+
+    // Join thread: fold every written slot into the return value.
+    let mut done: Vec<TOp> = vec![ops::ld(r(0), s_res)];
+    if n_calls > 0 {
+        done.push(ops::ld(r(1), s_acc));
+        done.push(ops::alu(AluOp::Add, r(0), r(0), reg(r(1))));
+    }
+    if shape.branching {
+        done.push(ops::ld(r(2), s_br));
+        done.push(ops::alu(AluOp::Xor, r(0), r(0), reg(r(2))));
+    }
+    if shape.heap.is_some() {
+        done.push(ops::ld(r(3), s_hp));
+        done.push(ops::alu(AluOp::Add, r(0), r(0), reg(r(3))));
+    }
+    if is_main && rng.one_in(2) {
+        done.push(ops::alu(AluOp::Add, r(1), r(0), imm(1)));
+        done.push(ops::ret(vec![r(0), r(1)]));
+    } else {
+        done.push(ops::ret(vec![r(0)]));
+    }
+
+    let done_entry = 1 + n_calls as u32 + u32::from(shape.heap.is_some());
+    let mut threads = vec![
+        Thread::new(shape.n_args as u32, work),
+        Thread::new(done_entry, done),
+    ];
+    if shape.branching {
+        for branch_const in [rng.range(0, 64) as i64, rng.range(64, 128) as i64] {
+            let mut t = Thread::new(
+                1,
+                vec![
+                    ops::movi(r(0), branch_const),
+                    ops::st(s_br, r(0)),
+                    ops::fork(T_DONE),
+                ],
+            );
+            t.atomic = rng.one_in(8);
+            threads.push(t);
+        }
+    }
+
+    Codeblock {
+        name: format!("cb{index}"),
+        n_slots,
+        threads,
+        inlets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        for seed in 0..32 {
+            assert_eq!(generate(seed, &cfg), generate(seed, &cfg), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_programs_validate() {
+        // `generate` asserts validity itself; this exercises a wide seed
+        // range so grammar regressions fail here, not mid-fuzz.
+        let cfg = GenConfig::default();
+        for seed in 0..256 {
+            let p = generate(seed, &cfg);
+            assert!(p.validate().is_ok(), "seed {seed}");
+            assert!(!p.codeblocks.is_empty());
+            assert!(p.static_ops() > 0);
+        }
+    }
+
+    #[test]
+    fn grammar_covers_calls_branches_and_heap_chains() {
+        let cfg = GenConfig::default();
+        let (mut calls, mut branches, mut heaps, mut two_word_mains) = (0, 0, 0, 0);
+        for seed in 0..200 {
+            let p = generate(seed, &cfg);
+            for cb in &p.codeblocks {
+                for t in &cb.threads {
+                    for op in &t.ops {
+                        match op {
+                            TOp::Call { .. } => calls += 1,
+                            TOp::ForkIfElse { .. } => branches += 1,
+                            TOp::IFetch { .. } => heaps += 1,
+                            TOp::Return { vals } if vals.len() == 2 => two_word_mains += 1,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        assert!(calls > 0, "no Call coverage");
+        assert!(branches > 0, "no ForkIfElse coverage");
+        assert!(heaps > 0, "no IFetch coverage");
+        assert!(two_word_mains > 0, "no multi-word Return coverage");
+    }
+
+    #[test]
+    fn call_graph_is_a_strict_dag() {
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            let p = generate(seed, &cfg);
+            for (i, cb) in p.codeblocks.iter().enumerate() {
+                for t in &cb.threads {
+                    for op in &t.ops {
+                        if let TOp::Call { cb: target, .. } = op {
+                            assert!(
+                                (target.0 as usize) > i,
+                                "seed {seed}: cb{i} calls cb{}",
+                                target.0
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! SplitMix64: the deterministic seed-derived PRNG behind the fuzzer.
+//!
+//! The same generator already drives the benchmark inputs
+//! (`crates/programs/src/qs.rs`); it is reproduced here rather than shared
+//! because the two crates must stay independently buildable, the algorithm
+//! is eleven lines, and the *streams* are deliberately unrelated — a fuzz
+//! seed must never correlate with a benchmark input seed.
+
+/// A SplitMix64 stream (Steele, Lea & Flood; public domain reference
+/// constants). Every fuzz artifact — program shapes, operand choices,
+/// per-iteration seeds — derives from one of these, so a `u64` seed fully
+/// reproduces a run on any host.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    ///
+    /// Simple modulo reduction: the fuzzer's bounds are tiny (≤ a few
+    /// dozen), so modulo bias is far below anything that could skew
+    /// coverage.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive).
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A coin flip that lands true once per `n` calls on average.
+    pub fn one_in(&mut self, n: u64) -> bool {
+        self.below(n) == 0
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = SplitMix64::new(43).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(5) < 5);
+            let v = r.range(2, 4);
+            assert!((2..=4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pick_covers_the_slice() {
+        let mut r = SplitMix64::new(1);
+        let items = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let v = *r.pick(&items);
+            seen[(v / 10 - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,445 @@
+//! Greedy shrinking of failing programs to minimal reproducers.
+//!
+//! Given a program that fails [`check_program`] with some
+//! [`FailureKind`], the shrinker repeatedly tries structure-reducing
+//! candidate edits and keeps any candidate that (a) still validates and
+//! (b) still fails with the *same* kind — the failure signature. It runs
+//! to a fixpoint: the result is locally minimal in that no single
+//! candidate edit preserves the failure.
+//!
+//! Candidate edits, largest cut first:
+//!
+//! 1. **Drop an uncalled codeblock** (never the main one), remapping every
+//!    `CodeblockId` above it downward.
+//! 2. **Drop one instruction** from any thread or inlet body. Because a
+//!    dropped fork/post starves its target thread's entry count (turning
+//!    every failure into a `NoCompletion` and defeating the signature
+//!    check), each drop of an op with targets comes in two flavours:
+//!    with the targets' entry counts decremented to match, and plain.
+//!    Dropping a `Call` or `IFetch` compensates the threads posted by its
+//!    reply inlet the same way.
+//! 3. **Short-circuit a `Call` or `IFetch`** into direct forks of the
+//!    threads its reply inlet posts — the synchronization without the
+//!    split phase, which is what lets callee codeblocks become
+//!    unreferenced and fall to rule 1.
+//! 4. **Drop any `Return` value, or the trailing `Call` argument** (a
+//!    dropped call argument starves the callee's arg inlet, so the
+//!    threads that inlet posts get their entry counts decremented to
+//!    match; dropping a non-trailing call argument would shift the
+//!    remaining ones onto different inlets, so only the last is tried).
+//! 5. **Zero a main argument** (value-level shrinking; keeps arity).
+//! 6. **Drop the last heap array** when nothing references it.
+//!
+//! Rules 1, 2, 4, 5, and 6 each strictly reduce a finite measure (ops,
+//! then return values and call arguments, then nonzero arguments and
+//! arrays). Rule 3 keeps the op count constant only when the reply inlet
+//! posts a single thread, and it strictly reduces the number of
+//! `Call`/`IFetch` ops, which nothing else increases — so the greedy loop
+//! still terminates.
+//!
+//! When the failure came from an injected [`crate::Mutation`], the
+//! signature is a *double run*: the candidate must fail with the mutation
+//! **and pass without it**. Candidates that are broken regardless of the
+//! mutation (e.g. an edit that removed a register definition) are
+//! rejected, so the reproducer demonstrates the mutation's effect and
+//! nothing else.
+
+use crate::diff::{check_program, CheckConfig, FailureKind};
+use tamsim_tam::{Codeblock, CodeblockId, Program, TOp, ThreadId, Value};
+
+/// The failure signature of `program` under `cfg`, or `None` if it
+/// passes.
+///
+/// With [`CheckConfig::mutation`] set, a program only has a signature if
+/// it *also* passes cleanly without the mutation (see module docs).
+pub fn failure_signature(program: &Program, cfg: &CheckConfig) -> Option<FailureKind> {
+    let failure = check_program(program, cfg).err()?;
+    if cfg.mutation.is_some() {
+        let clean = CheckConfig {
+            mutation: None,
+            ..cfg.clone()
+        };
+        if check_program(program, &clean).is_err() {
+            return None;
+        }
+    }
+    Some(failure.kind)
+}
+
+/// What [`shrink`] did and what it arrived at.
+#[derive(Debug, Clone)]
+pub struct ShrinkReport {
+    /// The locally minimal reproducer.
+    pub program: Program,
+    /// Accepted edits (program got smaller this many times).
+    pub accepted: u32,
+    /// Candidate edits tried in total.
+    pub tried: u64,
+}
+
+/// Shrink `original` — which must fail `cfg` with signature `kind` — to a
+/// locally minimal program with the same signature.
+pub fn shrink(original: &Program, cfg: &CheckConfig, kind: FailureKind) -> ShrinkReport {
+    debug_assert_eq!(failure_signature(original, cfg), Some(kind));
+    let mut best = original.clone();
+    let mut accepted = 0;
+    let mut tried = 0u64;
+    'outer: loop {
+        for candidate in candidates(&best) {
+            tried += 1;
+            if candidate.validate().is_err() {
+                continue;
+            }
+            if failure_signature(&candidate, cfg) == Some(kind) {
+                best = candidate;
+                accepted += 1;
+                continue 'outer;
+            }
+        }
+        return ShrinkReport {
+            program: best,
+            accepted,
+            tried,
+        };
+    }
+}
+
+/// All single-edit reductions of `p`, largest cut first.
+fn candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+
+    // 1. Drop an uncalled, non-main codeblock.
+    for i in 0..p.codeblocks.len() {
+        if i != p.main.0 as usize && !is_referenced(p, i) {
+            out.push(remove_codeblock(p, i));
+        }
+    }
+
+    // 2. Drop one op from any body.
+    for ci in 0..p.codeblocks.len() {
+        let cb = &p.codeblocks[ci];
+        let n_threads = cb.threads.len();
+        let bodies = n_threads + cb.inlets.len();
+        for bi in 0..bodies {
+            let ops = if bi < n_threads {
+                &cb.threads[bi].ops
+            } else {
+                &cb.inlets[bi - n_threads].ops
+            };
+            for (oi, op) in ops.iter().enumerate() {
+                let compensate = drop_compensation(cb, op);
+                out.push(remove_op(p, ci, bi, oi, &compensate));
+                if !compensate.is_empty() {
+                    out.push(remove_op(p, ci, bi, oi, &[]));
+                }
+            }
+        }
+    }
+
+    // 3. Short-circuit a split-phase op to its synchronization effect:
+    //    replace a Call/IFetch with direct fork/post of the threads its
+    //    reply inlet would have posted. This is what lets a callee
+    //    codeblock become unreferenced and fall to candidate 1.
+    for ci in 0..p.codeblocks.len() {
+        let cb = &p.codeblocks[ci];
+        let n_threads = cb.threads.len();
+        let bodies = n_threads + cb.inlets.len();
+        for bi in 0..bodies {
+            let in_thread = bi < n_threads;
+            let ops = if in_thread {
+                &cb.threads[bi].ops
+            } else {
+                &cb.inlets[bi - n_threads].ops
+            };
+            for (oi, op) in ops.iter().enumerate() {
+                let reply = match op {
+                    TOp::Call { reply, .. } | TOp::IFetch { reply, .. } => *reply,
+                    _ => continue,
+                };
+                let Some(inlet) = cb.inlets.get(reply.0 as usize) else {
+                    continue;
+                };
+                let targets: Vec<ThreadId> = inlet.ops.iter().flat_map(|o| o.targets()).collect();
+                if targets.is_empty() {
+                    continue;
+                }
+                let mut q = p.clone();
+                let qcb = &mut q.codeblocks[ci];
+                let qops = if in_thread {
+                    &mut qcb.threads[bi].ops
+                } else {
+                    &mut qcb.inlets[bi - n_threads].ops
+                };
+                let replacement = targets.iter().map(|&t| {
+                    if in_thread {
+                        TOp::Fork { t }
+                    } else {
+                        TOp::Post { t }
+                    }
+                });
+                qops.splice(oi..=oi, replacement);
+                out.push(q);
+            }
+        }
+    }
+
+    // 4. Drop the last value of a Return, or the last argument of a Call
+    //    (decrementing the threads posted by the callee's now-unfed arg
+    //    inlet, as for op removal).
+    for ci in 0..p.codeblocks.len() {
+        let cb = &p.codeblocks[ci];
+        let n_threads = cb.threads.len();
+        let bodies = n_threads + cb.inlets.len();
+        for bi in 0..bodies {
+            let ops = if bi < n_threads {
+                &cb.threads[bi].ops
+            } else {
+                &cb.inlets[bi - n_threads].ops
+            };
+            for (oi, op) in ops.iter().enumerate() {
+                match op {
+                    TOp::Return { vals } if !vals.is_empty() => {
+                        for vi in 0..vals.len() {
+                            let mut q = p.clone();
+                            let qcb = &mut q.codeblocks[ci];
+                            let qops = if bi < n_threads {
+                                &mut qcb.threads[bi].ops
+                            } else {
+                                &mut qcb.inlets[bi - n_threads].ops
+                            };
+                            let TOp::Return { vals } = &mut qops[oi] else {
+                                unreachable!()
+                            };
+                            vals.remove(vi);
+                            out.push(q);
+                        }
+                    }
+                    TOp::Call {
+                        cb: callee, args, ..
+                    } if !args.is_empty() => {
+                        let mut q = p.clone();
+                        {
+                            let qcb = &mut q.codeblocks[ci];
+                            let qops = if bi < n_threads {
+                                &mut qcb.threads[bi].ops
+                            } else {
+                                &mut qcb.inlets[bi - n_threads].ops
+                            };
+                            let TOp::Call { args, .. } = &mut qops[oi] else {
+                                unreachable!()
+                            };
+                            args.pop();
+                        }
+                        let starved: Vec<ThreadId> = p
+                            .codeblocks
+                            .get(callee.0 as usize)
+                            .and_then(|c| c.inlets.get(args.len() - 1))
+                            .map(|inlet| inlet.ops.iter().flat_map(|o| o.targets()).collect())
+                            .unwrap_or_default();
+                        if let Some(target_cb) = q.codeblocks.get_mut(callee.0 as usize) {
+                            for t in starved {
+                                if let Some(thread) = target_cb.threads.get_mut(t.0 as usize) {
+                                    thread.entry_count = thread.entry_count.saturating_sub(1);
+                                }
+                            }
+                        }
+                        out.push(q);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // 5. Zero a nonzero integer main argument.
+    for (i, arg) in p.main_args.iter().enumerate() {
+        if matches!(arg, Value::Int(v) if *v != 0) {
+            let mut q = p.clone();
+            q.main_args[i] = Value::Int(0);
+            out.push(q);
+        }
+    }
+
+    // 6. Drop the last array when unreferenced.
+    if !p.arrays.is_empty() && !array_referenced(p, p.arrays.len() - 1) {
+        let mut q = p.clone();
+        q.arrays.pop();
+        out.push(q);
+    }
+
+    out
+}
+
+/// Threads whose entry counts must drop by one when `op` is removed: the
+/// op's own fork/post targets, plus — for split-phase ops — the targets
+/// posted by the reply inlet whose message will no longer arrive.
+fn drop_compensation(cb: &Codeblock, op: &TOp) -> Vec<ThreadId> {
+    let mut targets = op.targets();
+    let reply = match op {
+        TOp::Call { reply, .. } | TOp::IFetch { reply, .. } => Some(*reply),
+        _ => None,
+    };
+    if let Some(reply) = reply {
+        if let Some(inlet) = cb.inlets.get(reply.0 as usize) {
+            for o in &inlet.ops {
+                targets.extend(o.targets());
+            }
+        }
+    }
+    targets
+}
+
+/// `p` without op `oi` of body `bi` (threads then inlets) of codeblock
+/// `ci`, with `compensate` entry counts decremented.
+fn remove_op(p: &Program, ci: usize, bi: usize, oi: usize, compensate: &[ThreadId]) -> Program {
+    let mut q = p.clone();
+    let cb = &mut q.codeblocks[ci];
+    let n_threads = cb.threads.len();
+    if bi < n_threads {
+        cb.threads[bi].ops.remove(oi);
+    } else {
+        cb.inlets[bi - n_threads].ops.remove(oi);
+    }
+    for t in compensate {
+        if let Some(thread) = cb.threads.get_mut(t.0 as usize) {
+            thread.entry_count = thread.entry_count.saturating_sub(1);
+        }
+    }
+    q
+}
+
+/// Whether any `Call`/`SendToInlet` anywhere targets codeblock `i`.
+fn is_referenced(p: &Program, i: usize) -> bool {
+    each_op(p).any(|op| {
+        matches!(op, TOp::Call { cb, .. } | TOp::SendToInlet { cb, .. }
+                 if cb.0 as usize == i)
+    })
+}
+
+/// Whether any `MovI` loads the base address of array `i`.
+fn array_referenced(p: &Program, i: usize) -> bool {
+    each_op(p).any(|op| matches!(op, TOp::MovI { v: Value::ArrayBase(j), .. } if *j == i))
+}
+
+/// Every op of every body of every codeblock.
+fn each_op(p: &Program) -> impl Iterator<Item = &TOp> {
+    p.codeblocks.iter().flat_map(|cb| {
+        cb.threads
+            .iter()
+            .map(|t| &t.ops)
+            .chain(cb.inlets.iter().map(|i| &i.ops))
+            .flatten()
+    })
+}
+
+/// `p` without codeblock `i`, every id above `i` remapped down by one.
+fn remove_codeblock(p: &Program, i: usize) -> Program {
+    let remap = |cb: CodeblockId| {
+        if (cb.0 as usize) > i {
+            CodeblockId(cb.0 - 1)
+        } else {
+            cb
+        }
+    };
+    let mut q = p.clone();
+    q.codeblocks.remove(i);
+    q.main = remap(q.main);
+    for cb in &mut q.codeblocks {
+        let bodies = cb
+            .threads
+            .iter_mut()
+            .map(|t| &mut t.ops)
+            .chain(cb.inlets.iter_mut().map(|inl| &mut inl.ops));
+        for ops in bodies {
+            for op in ops {
+                match op {
+                    TOp::Call { cb, .. } | TOp::SendToInlet { cb, .. } => *cb = remap(*cb),
+                    _ => {}
+                }
+            }
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::Mutation;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn candidate_edits_reduce_or_simplify() {
+        fn vals_and_args(p: &Program) -> usize {
+            super::each_op(p)
+                .map(|op| match op {
+                    TOp::Return { vals } => vals.len(),
+                    TOp::Call { args, .. } => args.len(),
+                    _ => 0,
+                })
+                .sum()
+        }
+        fn split_phase_ops(p: &Program) -> usize {
+            super::each_op(p)
+                .filter(|op| matches!(op, TOp::Call { .. } | TOp::IFetch { .. }))
+                .count()
+        }
+        let p = generate(5, &GenConfig::default());
+        for c in candidates(&p) {
+            let shrunk_ops = c.static_ops() < p.static_ops();
+            let fewer_cbs = c.codeblocks.len() < p.codeblocks.len();
+            let fewer_arrays = c.arrays.len() < p.arrays.len();
+            let fewer_vals = vals_and_args(&c) < vals_and_args(&p);
+            let fewer_calls = split_phase_ops(&c) < split_phase_ops(&p);
+            let zeroed = c.main_args != p.main_args;
+            assert!(shrunk_ops || fewer_cbs || fewer_arrays || fewer_vals || fewer_calls || zeroed);
+        }
+    }
+
+    #[test]
+    fn codeblock_removal_remaps_call_targets() {
+        // Find a generated program with ≥3 codeblocks and check id
+        // remapping survives validation after removing an uncalled one.
+        for seed in 0..64 {
+            let p = generate(seed, &GenConfig::default());
+            if p.codeblocks.len() < 3 {
+                continue;
+            }
+            for i in 1..p.codeblocks.len() {
+                if !is_referenced(&p, i) {
+                    let q = remove_codeblock(&p, i);
+                    q.validate().expect("remapped program must validate");
+                    assert_eq!(q.codeblocks.len(), p.codeblocks.len() - 1);
+                    return;
+                }
+            }
+        }
+        panic!("no shrinkable seed found in 0..64");
+    }
+
+    #[test]
+    fn shrinks_a_mutation_divergence_to_a_tiny_reproducer() {
+        let cfg = CheckConfig {
+            mutation: Some(Mutation::FlipFirstAddToSub),
+            ..CheckConfig::default()
+        };
+        // Find a seed whose generated program diverges under the mutation.
+        let (program, kind) = (0..64)
+            .find_map(|seed| {
+                let p = generate(seed, &cfg.gen);
+                failure_signature(&p, &cfg).map(|k| (p, k))
+            })
+            .expect("some seed in 0..64 must expose the mutation");
+        assert_eq!(kind, FailureKind::ResultDivergence);
+        let report = shrink(&program, &cfg, kind);
+        let minimal = &report.program;
+        minimal.validate().expect("reproducer must validate");
+        assert_eq!(failure_signature(minimal, &cfg), Some(kind));
+        assert!(
+            minimal.static_ops() <= 10,
+            "reproducer has {} static ops (started from {})",
+            minimal.static_ops(),
+            program.static_ops()
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration tests for the differential harness.
+//!
+//! Two directions of validation: the hand-written paper benchmarks must
+//! pass every machine-level and cross-implementation check (the checks are
+//! not too strict), and a seeded bug must be caught and shrunk to a
+//! readable reproducer (the checks are not too loose).
+
+use tamsim_check::{
+    check_program, failure_signature, fuzz_many, generate, reproducer_files, shrink, CheckConfig,
+    FailureKind, Mutation,
+};
+
+/// The paper's benchmark suite passes the full differential check: all
+/// three back-ends agree, every access respects the region model, and
+/// message/frame accounting balances down to the documented shutdown
+/// residue.
+#[test]
+fn paper_benchmarks_pass_differential_checks() {
+    let cfg = CheckConfig {
+        // Wavefront's boundary handling reads zero-defaulted frame slots
+        // on purpose (masked loads); generated programs never do, so only
+        // this hand-written-suite test relaxes the rule.
+        check_uninit_frame_reads: false,
+        ..CheckConfig::default()
+    };
+    for bench in tamsim_programs::small_suite() {
+        let pass =
+            check_program(&bench.program, &cfg).unwrap_or_else(|f| panic!("{}: {f}", bench.name));
+        assert_eq!(pass.per_impl.len(), 3, "{}", bench.name);
+        assert!(pass.trace_events > 0, "{}", bench.name);
+    }
+}
+
+/// A 200-iteration fuzz campaign from a fixed master seed is clean. (CI's
+/// smoke job and the nightly workflow run larger campaigns through the
+/// `tamsim fuzz` CLI.)
+#[test]
+fn fuzz_campaign_seed_1_is_clean() {
+    let report = fuzz_many(1, 200, &CheckConfig::default());
+    assert!(
+        report.is_clean(),
+        "failing seeds: {:?}",
+        report
+            .failures
+            .iter()
+            .map(|f| (f.seed, f.failure.kind))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(report.passed, 200);
+    assert!(report.trace_events > 0);
+}
+
+/// The harness's own mutation test: an intentionally seeded bug (first
+/// integer Add flipped to Sub in the MD back-end only) is caught as a
+/// result divergence and shrunk to a reproducer of at most 10 static
+/// instructions, whose `.tam` dump round-trips through the text parser.
+#[test]
+fn seeded_bug_is_caught_and_shrunk() {
+    let cfg = CheckConfig {
+        mutation: Some(Mutation::FlipFirstAddToSub),
+        ..CheckConfig::default()
+    };
+    let report = fuzz_many(1, 32, &CheckConfig { ..cfg.clone() });
+    let caught = report
+        .failures
+        .first()
+        .expect("the seeded bug must be caught within 32 iterations");
+    assert_eq!(caught.failure.kind, FailureKind::ResultDivergence);
+
+    let program = generate(caught.seed, &cfg.gen);
+    let kind = failure_signature(&program, &cfg).expect("failure must reproduce from the seed");
+    let shrunk = shrink(&program, &cfg, kind);
+    let minimal = &shrunk.program;
+    minimal.validate().expect("reproducer must validate");
+    assert_eq!(failure_signature(minimal, &cfg), Some(kind));
+    assert!(
+        minimal.static_ops() <= 10,
+        "reproducer has {} static ops (started from {})",
+        minimal.static_ops(),
+        program.static_ops()
+    );
+
+    let (tam, manifest) = reproducer_files(minimal, caught.seed, &caught.failure, Some(&shrunk));
+    let parsed = tamsim_tam::parse_program(&tam).expect("reproducer text must parse");
+    assert_eq!(parsed.static_ops(), minimal.static_ops());
+    assert!(manifest.contains("result-divergence"));
+}

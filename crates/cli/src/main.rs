@@ -45,6 +45,10 @@ const COMMANDS: &[(&str, &str)] = &[
         "run FILE",
         "parse a textual TAM program and run it under all three implementations",
     ),
+    (
+        "fuzz",
+        "differential fuzzing: generated TAM programs under all three implementations",
+    ),
 ];
 
 fn help_text() -> String {
@@ -61,6 +65,10 @@ fn help_text() -> String {
          --small        run the reduced-size suite (fast smoke run)\n  \
          --out DIR      write outputs under DIR (default: results)\n  \
          --impl IMPL    profile only: am | am-en | md | all (default: am)\n  \
+         --iters N      fuzz only: iterations to run (default: 100)\n  \
+         --seed S       fuzz only: master seed (default: 1)\n  \
+         --shrink       fuzz only: minimize the first failure and write a reproducer\n  \
+         --mutate       fuzz only: seed a deliberate MD bug (harness self-test)\n  \
          -h, --help     show this help\n",
     );
     out
@@ -70,32 +78,52 @@ struct Args {
     small: bool,
     out: PathBuf,
     impl_: String,
+    iters: u64,
+    seed: u64,
+    shrink: bool,
+    mutate: bool,
     command: Option<String>,
     extra: Vec<String>,
 }
 
 fn parse_args() -> Args {
+    fn need(it: &mut impl Iterator<Item = String>, flag: &str, what: &str) -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("error: flag '{flag}' needs {what}");
+            std::process::exit(2);
+        })
+    }
+    fn numeric(flag: &str, value: &str) -> u64 {
+        // Accept decimal or 0x-prefixed hex (fuzz seeds are printed in hex).
+        let parsed = if let Some(hex) = value.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16)
+        } else {
+            value.parse()
+        };
+        parsed.unwrap_or_else(|_| {
+            eprintln!("error: flag '{flag}' needs a number, got '{value}'");
+            std::process::exit(2);
+        })
+    }
     let mut small = false;
     let mut out = PathBuf::from("results");
     let mut impl_ = "am".to_string();
+    let mut iters = 100u64;
+    let mut seed = 1u64;
+    let mut shrink = false;
+    let mut mutate = false;
     let mut command = None::<String>;
     let mut extra = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--small" => small = true,
-            "--out" => {
-                out = PathBuf::from(it.next().unwrap_or_else(|| {
-                    eprintln!("error: flag '--out' needs a directory argument");
-                    std::process::exit(2);
-                }))
-            }
-            "--impl" => {
-                impl_ = it.next().unwrap_or_else(|| {
-                    eprintln!("error: flag '--impl' needs a value (am | am-en | md | all)");
-                    std::process::exit(2);
-                })
-            }
+            "--out" => out = PathBuf::from(need(&mut it, "--out", "a directory argument")),
+            "--impl" => impl_ = need(&mut it, "--impl", "a value (am | am-en | md | all)"),
+            "--iters" => iters = numeric("--iters", &need(&mut it, "--iters", "a count")),
+            "--seed" => seed = numeric("--seed", &need(&mut it, "--seed", "a seed")),
+            "--shrink" => shrink = true,
+            "--mutate" => mutate = true,
             "--help" | "-h" => {
                 print!("{}", help_text());
                 std::process::exit(0);
@@ -117,6 +145,10 @@ fn parse_args() -> Args {
         small,
         out,
         impl_,
+        iters,
+        seed,
+        shrink,
+        mutate,
         command,
         extra,
     }
@@ -402,6 +434,88 @@ fn run_perf(suite: &[PaperBenchmark], small: bool, dir: &Path) {
     eprintln!("wrote {}", dir.join("perf_summary.json").display());
 }
 
+/// `tamsim fuzz [--iters N] [--seed S] [--shrink] [--mutate] [--out DIR]`:
+/// run a differential fuzz campaign. Every iteration generates a TAM
+/// program from a derived seed, runs it under all three back-ends, and
+/// checks results, invariants, message conservation, and the cache replay
+/// engine. On failure, optionally shrink the first failing program and
+/// write `reproducer.tam` + `manifest.json` under DIR; exit nonzero.
+fn run_fuzz(args: &Args) {
+    use tamsim_check::{
+        failure_signature, fuzz_many, generate, reproducer_files, shrink, CheckConfig, Mutation,
+    };
+    let started = Instant::now();
+    let cfg = CheckConfig {
+        mutation: args.mutate.then_some(Mutation::FlipFirstAddToSub),
+        ..CheckConfig::default()
+    };
+    eprintln!(
+        "fuzz: {} iteration(s), master seed {:#x}{}",
+        args.iters,
+        args.seed,
+        if args.mutate {
+            " (mutation: first MD integer add flipped to sub)"
+        } else {
+            ""
+        }
+    );
+    let report = fuzz_many(args.seed, args.iters, &cfg);
+    println!(
+        "fuzz: {}/{} passed, {} failure(s), {} trace events cross-checked ({:.1?})",
+        report.passed,
+        report.iterations,
+        report.failures.len(),
+        report.trace_events,
+        started.elapsed()
+    );
+    if report.is_clean() {
+        return;
+    }
+    for f in &report.failures {
+        println!("  seed {:#018x}: {}", f.seed, f.failure);
+    }
+
+    // Turn the first failure into a replayable reproducer bundle.
+    let first = &report.failures[0];
+    let mut program = generate(first.seed, &cfg.gen);
+    let mut shrunk = None;
+    if args.shrink {
+        match failure_signature(&program, &cfg) {
+            Some(kind) => {
+                let before = program.static_ops();
+                let r = shrink(&program, &cfg, kind);
+                println!(
+                    "shrunk seed {:#018x}: {} -> {} static ops ({} accepted edit(s), {} tried)",
+                    first.seed,
+                    before,
+                    r.program.static_ops(),
+                    r.accepted,
+                    r.tried
+                );
+                program = r.program.clone();
+                shrunk = Some(r);
+            }
+            None => eprintln!(
+                "warning: seed {:#018x} did not reproduce deterministically; \
+                 writing the unshrunk program",
+                first.seed
+            ),
+        }
+    }
+    let (tam, manifest) = reproducer_files(&program, first.seed, &first.failure, shrunk.as_ref());
+    fs::create_dir_all(&args.out).expect("create results dir");
+    let tam_path = args.out.join("reproducer.tam");
+    fs::write(&tam_path, tam).expect("write reproducer.tam");
+    fs::write(args.out.join("manifest.json"), manifest).expect("write manifest.json");
+    println!(
+        "wrote {} and {} (replay with: tamsim run {})",
+        tam_path.display(),
+        args.out.join("manifest.json").display(),
+        tam_path.display()
+    );
+    std::process::exit(1);
+}
+
 fn main() {
     let started = Instant::now();
     let args = parse_args();
@@ -428,6 +542,10 @@ fn main() {
     }
     if command == "profile" {
         run_profile(&args);
+        return;
+    }
+    if command == "fuzz" {
+        run_fuzz(&args);
         return;
     }
     let suite: Vec<PaperBenchmark> = if args.small {

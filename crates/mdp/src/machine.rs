@@ -1028,6 +1028,118 @@ mod tests {
     }
 
     #[test]
+    fn high_queue_drains_completely_before_low_dispatch() {
+        // Preload both rings before the machine starts. The low boot
+        // message was injected first, but the dispatch loop must drain
+        // every high-priority message before touching the low queue.
+        let fb = map().frame_base;
+        let mut img = CodeImage::new(&map());
+        // High handler: frame[0] += 1, suspend.
+        let h = img.next_sys();
+        img.push_sys(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_addr(fb),
+        });
+        img.push_sys(MOp::Ld {
+            d: Reg(1),
+            base: Reg(0),
+            off: 0,
+        });
+        img.push_sys(MOp::Alu {
+            op: AluOp::Add,
+            d: Reg(1),
+            a: Reg(1),
+            b: Operand::Imm(1),
+        });
+        img.push_sys(MOp::St {
+            s: Reg(1),
+            base: Reg(0),
+            off: 0,
+        });
+        img.push_sys(MOp::Suspend);
+        // Low handler: snapshot the count it observes into frame[4], halt.
+        let lo = img.next_user();
+        img.push_user(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_addr(fb),
+        });
+        img.push_user(MOp::Ld {
+            d: Reg(1),
+            base: Reg(0),
+            off: 0,
+        });
+        img.push_user(MOp::St {
+            s: Reg(1),
+            base: Reg(0),
+            off: 4,
+        });
+        img.push_user(MOp::Halt);
+
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.inject(Priority::Low, &[Word::from_addr(lo)]).unwrap();
+        m.inject(Priority::High, &[Word::from_addr(h)]).unwrap();
+        m.inject(Priority::High, &[Word::from_addr(h)]).unwrap();
+        let stats = m.run(&mut NoHooks).unwrap();
+        assert_eq!(stats.dispatches, [1, 2]);
+        assert_eq!(
+            m.mem.read(fb + 4).as_i64(),
+            2,
+            "low handler saw both high handlers' effects"
+        );
+        // No running low code was ever interrupted — the low task only
+        // started once the high ring was empty.
+        assert_eq!(stats.preemptions, 0);
+    }
+
+    #[test]
+    fn queue_capacities_are_independent_per_priority() {
+        // The two hardware rings are separate memories: filling the high
+        // ring exactly to capacity is legal, one more word overflows it,
+        // and the low ring's occupancy never enters into either decision.
+        let mut img = CodeImage::new(&map());
+        let entry = img.next_user();
+        img.push_user(MOp::DisableInt);
+        img.push_user(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_i64(9),
+        });
+        // 3-word low message: occupies the low ring only.
+        img.push_user(MOp::Send {
+            pri: Priority::Low,
+            srcs: vec![
+                SendSrc::Reg(Reg(0)),
+                SendSrc::Reg(Reg(0)),
+                SendSrc::Reg(Reg(0)),
+            ],
+        });
+        // 8-word high message: fills the high ring exactly — legal.
+        img.push_user(MOp::Send {
+            pri: Priority::High,
+            srcs: vec![SendSrc::Reg(Reg(0)); 8],
+        });
+        // One more high word cannot fit, despite 5 free low words.
+        img.push_user(MOp::Send {
+            pri: Priority::High,
+            srcs: vec![SendSrc::Reg(Reg(0))],
+        });
+        img.push_user(MOp::Halt);
+        let cfg = MachineConfig {
+            queue_words: [8, 8],
+            ..Default::default()
+        };
+        let mut m = Machine::new(cfg, &img);
+        m.start_low(entry);
+        assert_eq!(
+            m.run(&mut NoHooks),
+            Err(RunError::QueueOverflow {
+                pri: Priority::High
+            })
+        );
+        assert_eq!(m.queue(Priority::Low).used_words(), 3);
+        assert_eq!(m.queue(Priority::High).used_words(), 8);
+    }
+
+    #[test]
     fn high_handler_resumes_preempted_low_context_exactly() {
         let mut img = CodeImage::new(&map());
         let h = img.next_sys();

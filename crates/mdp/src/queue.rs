@@ -188,4 +188,84 @@ mod tests {
         let b = q.begin_enqueue(2).unwrap();
         q.retire(b);
     }
+
+    #[test]
+    fn ring_survives_many_laps() {
+        // Steady-state traffic totalling many times the capacity: start
+        // offsets keep wrapping but the accounting stays exact.
+        let mut q = q();
+        let mut expect_start = 0u32;
+        for lap in 0..100u32 {
+            let len = 1 + (lap % 5);
+            let m = q.begin_enqueue(len).unwrap();
+            assert_eq!(m.start, expect_start);
+            assert_eq!(q.used_words(), len);
+            for i in 0..len {
+                let a = q.addr_of(m.start, i);
+                assert!(a >= q.base() && a < q.base() + q.capacity_words() * 4);
+                assert!(a.is_multiple_of(4));
+            }
+            q.retire(m);
+            assert!(q.is_empty());
+            assert_eq!(q.used_words(), 0);
+            expect_start = (expect_start + len) % q.capacity_words();
+        }
+        assert_eq!(q.max_used_words(), 5);
+    }
+
+    #[test]
+    fn exact_capacity_fill_succeeds_and_next_word_overflows() {
+        let mut q = q();
+        let a = q.begin_enqueue(5).unwrap();
+        let b = q.begin_enqueue(3).unwrap();
+        assert_eq!(q.used_words(), q.capacity_words());
+        assert!(q.begin_enqueue(1).is_none());
+        // The failed enqueue left the queue untouched.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.used_words(), 8);
+        assert_eq!(q.front(), Some(a));
+        q.retire(a);
+        q.retire(b);
+        assert!(q.is_empty());
+        assert_eq!(q.max_used_words(), 8);
+    }
+
+    #[test]
+    fn retire_reopens_space_and_new_message_wraps() {
+        let mut q = q();
+        let a = q.begin_enqueue(6).unwrap();
+        // Only 2 of 8 words free: a 3-word message does not fit...
+        assert!(q.begin_enqueue(3).is_none());
+        q.retire(a);
+        // ...but the freed space is immediately reusable, and the new
+        // message's body wraps past the end of the ring.
+        let b = q.begin_enqueue(7).unwrap();
+        assert_eq!(b.start, 6);
+        assert_eq!(q.used_words(), 7);
+        assert_eq!(q.addr_of(b.start, 0), q.base() + 6 * 4);
+        assert_eq!(q.addr_of(b.start, 2), q.base());
+    }
+
+    #[test]
+    fn interleaved_traffic_with_a_standing_message() {
+        // One message pinned at the front (a dispatched-but-unretired
+        // handler) while later messages come and go behind it.
+        let mut q = q();
+        let standing = q.begin_enqueue(2).unwrap();
+        let mut behind = std::collections::VecDeque::new();
+        for _ in 0..20 {
+            behind.push_back(q.begin_enqueue(3).unwrap());
+            if q.used_words() + 3 > q.capacity_words() {
+                // Ring is tight: the standing message blocks FIFO retire
+                // of anything behind it, so drain front-to-back.
+                q.retire(standing);
+                while let Some(m) = behind.pop_front() {
+                    q.retire(m);
+                }
+                assert!(q.is_empty());
+                return;
+            }
+        }
+        unreachable!("an 8-word ring must fill within a few 3-word messages");
+    }
 }

@@ -96,39 +96,17 @@ impl SuiteData {
         let names: Vec<String> = suite.iter().map(|b| b.name.to_string()).collect();
         let tasks = task_list(&suite, impls);
 
-        // Phase 1: machine simulations, one recorded run per task. Tasks
-        // are sharded across at most one worker per core: each simulation
-        // carries a multi-megabyte working set (machine memory plus the
-        // growing trace log), and oversubscribing cores context-switches
-        // those working sets through the host caches.
+        // Phase 1: machine simulations, one recorded run per task, fanned
+        // out with `par_map` (at most one worker per core: each simulation
+        // carries a multi-megabyte working set — machine memory plus the
+        // growing trace log — and oversubscribing cores context-switches
+        // those working sets through the host caches).
         let t0 = Instant::now();
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(tasks.len().max(1));
-        let shard = tasks.len().div_ceil(workers).max(1);
-        let shards: Vec<Vec<(String, tamsim_tam::Program, Implementation)>> =
-            tasks.chunks(shard).map(|c| c.to_vec()).collect();
-        let recorded: Vec<(String, Implementation, RecordedRun)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .into_iter()
-                .map(|shard_tasks| {
-                    scope.spawn(move || {
-                        shard_tasks
-                            .into_iter()
-                            .map(|(name, program, impl_)| {
-                                let rec = Experiment::new(impl_).run_recorded(&program);
-                                (name, impl_, rec)
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("run panicked"))
-                .collect()
-        });
+        let recorded: Vec<(String, Implementation, RecordedRun)> =
+            tamsim_trace::par_map(tasks, |(name, program, impl_)| {
+                let rec = Experiment::new(impl_).run_recorded(&program);
+                (name, impl_, rec)
+            });
         let machine_seconds = t0.elapsed().as_secs_f64();
 
         // Phase 2: replay every recording into the full sweep. Each call
@@ -174,41 +152,18 @@ impl SuiteData {
     ) -> SuiteData {
         let names: Vec<String> = suite.iter().map(|b| b.name.to_string()).collect();
         let tasks = task_list(&suite, impls);
-        // Same one-worker-per-core sharding as `collect_timed`, for the
-        // same working-set reason (and a fair perf comparison).
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(tasks.len().max(1));
-        let shard = tasks.len().div_ceil(workers).max(1);
-        let shards: Vec<Vec<(String, tamsim_tam::Program, Implementation)>> =
-            tasks.chunks(shard).map(|c| c.to_vec()).collect();
+        // Same one-worker-per-core `par_map` fan-out as `collect_timed`,
+        // for the same working-set reason (and a fair perf comparison).
         let geoms = &geometries;
-        let runs: Vec<ProgramRun> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .into_iter()
-                .map(|shard_tasks| {
-                    scope.spawn(move || {
-                        shard_tasks
-                            .into_iter()
-                            .map(|(name, program, impl_)| {
-                                let mut bank = CacheBank::symmetric(geoms.iter().copied());
-                                let run = Experiment::new(impl_).run_with_sink(&program, &mut bank);
-                                ProgramRun {
-                                    name,
-                                    implementation: impl_,
-                                    run,
-                                    caches: bank.summaries(),
-                                }
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("run panicked"))
-                .collect()
+        let runs: Vec<ProgramRun> = tamsim_trace::par_map(tasks, |(name, program, impl_)| {
+            let mut bank = CacheBank::symmetric(geoms.iter().copied());
+            let run = Experiment::new(impl_).run_with_sink(&program, &mut bank);
+            ProgramRun {
+                name,
+                implementation: impl_,
+                run,
+                caches: bank.summaries(),
+            }
         });
         SuiteData::from_runs(runs, names, geometries)
     }

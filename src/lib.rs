@@ -16,6 +16,8 @@
 //! * [`programs`] — the six benchmark programs of the paper.
 //! * [`metrics`] — granularity statistics, cycle ratios, and figure/table
 //!   rendering.
+//! * [`check`] — the differential correctness harness: TAM program
+//!   fuzzing, machine invariant checking, and failure shrinking.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +37,7 @@
 //! ```
 
 pub use tamsim_cache as cache;
+pub use tamsim_check as check;
 pub use tamsim_core as core;
 pub use tamsim_mdp as mdp;
 pub use tamsim_metrics as metrics;

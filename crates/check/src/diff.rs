@@ -27,7 +27,14 @@
 //! * replaying the AM run's recorded trace through
 //!   [`CacheBank::replay_parallel`] is bit-identical to streaming the same
 //!   trace through an inline [`CacheBank`] (the record/replay engine that
-//!   produces every figure cross-checked on a trace nobody hand-picked).
+//!   produces every figure cross-checked on a trace nobody hand-picked);
+//! * with [`CheckConfig::mesh`] set, every back-end additionally runs on a
+//!   1×1 [`tamsim_net::MeshExperiment`] and must match the single-node run
+//!   bit-for-bit — result words, final arrays, instruction count, machine
+//!   counters, and region/kind access counts — with zero network traffic.
+//!   The mesh driver degenerating to exactly `Machine::run` is the anchor
+//!   invariant every multi-node number rests on, so it gets fuzzed, not
+//!   just unit-tested.
 //!
 //! A [`Mutation`] injects a deliberate bug into the MD back-end's copy of
 //! the program — the harness's self-test that divergences are actually
@@ -37,42 +44,52 @@ use crate::invariant::InvariantChecker;
 use tamsim_cache::{CacheBank, CacheGeometry};
 use tamsim_core::{link, FrameLayout, GlobalsMap, Implementation, LoweringOptions};
 use tamsim_mdp::{HaltReason, Machine, MachineConfig, RunError, RunStats, SinkHooks};
+use tamsim_net::MeshExperiment;
 use tamsim_tam::{AluOp, Program, TOp};
-use tamsim_trace::{Access, Mark, MarkSink, Priority, Tee, TraceLog, TraceSink};
+use tamsim_trace::{
+    Access, AccessCounts, CountingSink, Mark, MarkSink, Priority, Tee, TraceLog, TraceSink,
+};
 
 use crate::gen::GenConfig;
 
-/// A sink that records only when armed, so one `Tee` shape serves both the
-/// recorded (AM) and unrecorded runs.
-struct MaybeLog(Option<TraceLog>);
+/// Optional per-run recorders, so one `Tee` shape serves every
+/// combination: the trace log is armed for the recorded (AM) run only,
+/// the access counters only when the mesh cross-check needs a reference.
+struct Recorders {
+    counts: Option<CountingSink>,
+    log: Option<TraceLog>,
+}
 
-impl TraceSink for MaybeLog {
+impl TraceSink for Recorders {
     #[inline]
     fn access(&mut self, access: Access) {
-        if let Some(log) = &mut self.0 {
+        if let Some(counts) = &mut self.counts {
+            counts.access(access);
+        }
+        if let Some(log) = &mut self.log {
             log.access(access);
         }
     }
 }
 
-impl MarkSink for MaybeLog {
+impl MarkSink for Recorders {
     #[inline]
     fn instruction(&mut self, pri: Priority, pc: u32) {
-        if let Some(log) = &mut self.0 {
+        if let Some(log) = &mut self.log {
             log.instruction(pri, pc);
         }
     }
 
     #[inline]
     fn queue_sample(&mut self, used_words: [u32; 2]) {
-        if let Some(log) = &mut self.0 {
+        if let Some(log) = &mut self.log {
             log.queue_sample(used_words);
         }
     }
 
     #[inline]
     fn mark(&mut self, mark: Mark, frame: u32, pri: Priority) {
-        if let Some(log) = &mut self.0 {
+        if let Some(log) = &mut self.log {
             log.mark(mark, frame, pri);
         }
     }
@@ -141,6 +158,9 @@ pub struct CheckConfig {
     pub check_uninit_frame_reads: bool,
     /// Cache sweep for the replay-vs-inline cross-check (empty = skip).
     pub geometries: Vec<CacheGeometry>,
+    /// Also run every back-end on a 1×1 mesh and require bit-identity
+    /// with the single-node run (`tamsim fuzz --mesh`; see module docs).
+    pub mesh: bool,
 }
 
 impl Default for CheckConfig {
@@ -160,6 +180,7 @@ impl Default for CheckConfig {
                 CacheGeometry::new(1 << 14, 2, 32),
                 CacheGeometry::new(1 << 16, 4, 64),
             ],
+            mesh: false,
         }
     }
 }
@@ -186,6 +207,8 @@ pub enum FailureKind {
     ResultDivergence,
     /// Parallel trace replay disagrees with inline cache simulation.
     CacheMismatch,
+    /// A 1×1 mesh run is not bit-identical to the single-node run.
+    MeshDivergence,
     /// The machine model panicked (wild address, malformed message) —
     /// reachable only through shrink candidates that feed garbage
     /// registers into address positions, never from validated generated
@@ -206,6 +229,7 @@ impl FailureKind {
             FailureKind::LeakedFrames => "leaked-frames",
             FailureKind::ResultDivergence => "result-divergence",
             FailureKind::CacheMismatch => "cache-mismatch",
+            FailureKind::MeshDivergence => "mesh-divergence",
             FailureKind::MachineTrap => "machine-trap",
         }
     }
@@ -380,7 +404,15 @@ fn run_one(
         if !cfg.check_uninit_frame_reads {
             checker = checker.without_uninit_read_check();
         }
-        let mut hooks = SinkHooks(Tee::new(checker, MaybeLog(record.then(TraceLog::new))));
+        let mut hooks = SinkHooks(Tee::new(
+            checker,
+            Recorders {
+                // Armed only when the mesh cross-check needs a single-node
+                // reference to compare access counts against.
+                counts: cfg.mesh.then(|| CountingSink::new(mcfg.map)),
+                log: record.then(TraceLog::new),
+            },
+        ));
         let run = match catch_trap(|| linked.run(&mut hooks)) {
             Ok(run) => run,
             Err(trap) => {
@@ -425,10 +457,92 @@ fn run_one(
                         .collect(),
                     instructions: stats.instructions,
                 };
-                return Ok((report, hooks.0.b.0));
+                if let Some(counts) = &hooks.0.b.counts {
+                    let counts = counts.counts;
+                    mesh_identity_check(
+                        program,
+                        impl_,
+                        label,
+                        cfg,
+                        queue_words,
+                        &stats,
+                        &report,
+                        &counts,
+                    )?;
+                }
+                return Ok((report, hooks.0.b.log.take()));
             }
         }
     }
+}
+
+/// Re-run `program` on a 1×1 mesh with the same machine configuration and
+/// require bit-identity with the finished single-node run: same result
+/// words, final arrays, instruction count, machine counters, and
+/// region/kind access counts, with zero network traffic and no queue
+/// growth. Any gap means the mesh driver is not the computation the
+/// multi-node numbers claim to scale.
+#[allow(clippy::too_many_arguments)]
+fn mesh_identity_check(
+    program: &Program,
+    impl_: Implementation,
+    label: &'static str,
+    cfg: &CheckConfig,
+    queue_words: u32,
+    stats: &RunStats,
+    report: &ImplReport,
+    counts: &AccessCounts,
+) -> Result<(), CheckFailure> {
+    let fail = |what: String| CheckFailure {
+        kind: FailureKind::MeshDivergence,
+        detail: format!("{label}: {what}"),
+    };
+    let mut exp = MeshExperiment::new(impl_, 1);
+    exp.fuel = cfg.fuel;
+    exp.queue_words = [queue_words, queue_words];
+    let mesh = catch_trap(|| exp.run(program))
+        .map_err(|trap| fail(format!("1x1 mesh run trapped: {trap}")))?;
+
+    if mesh.queue_words != [queue_words; 2] {
+        return Err(fail(format!(
+            "1x1 mesh grew its queues to {:?}; single-node ran at {queue_words} words",
+            mesh.queue_words
+        )));
+    }
+    let mesh_result: Vec<u64> = mesh.result.iter().map(|w| w.bits()).collect();
+    if mesh_result != report.result_bits {
+        return Err(fail(format!(
+            "result mismatch: single-node {:?}, 1x1 mesh {:?}",
+            report.result_bits, mesh_result
+        )));
+    }
+    let mesh_arrays: Vec<Vec<Option<u64>>> = mesh
+        .arrays
+        .iter()
+        .map(|a| a.iter().map(|c| c.map(|w| w.bits())).collect())
+        .collect();
+    if mesh_arrays != report.arrays {
+        return Err(fail("final array state diverges on the 1x1 mesh".into()));
+    }
+    if mesh.stats[0] != *stats {
+        return Err(fail(format!(
+            "machine counters diverge: single-node {stats:?}, 1x1 mesh {:?}",
+            mesh.stats[0]
+        )));
+    }
+    if mesh.counts[0] != *counts {
+        return Err(fail(
+            "region/kind access counts diverge on the 1x1 mesh".into(),
+        ));
+    }
+    if mesh.net.injected_msgs != 0 || mesh.total_stall_cycles() != 0 {
+        return Err(fail(format!(
+            "1x1 mesh touched the network: {} message(s) injected, {} stall cycle(s)",
+            mesh.net.injected_msgs,
+            mesh.total_stall_cycles()
+        )));
+    }
+    Ok(())
 }
 
 /// Termination, conservation, residue, and leak checks for one finished
@@ -583,6 +697,19 @@ mod tests {
             assert_eq!(r.result_bits, vec![42], "{}", r.label);
         }
         assert!(pass.trace_events > 0);
+    }
+
+    #[test]
+    fn mesh_mode_confirms_1x1_identity() {
+        let cfg = CheckConfig {
+            mesh: true,
+            ..CheckConfig::default()
+        };
+        let pass = check_program(&tiny_program(), &cfg).expect("1x1 mesh must be bit-identical");
+        assert_eq!(pass.per_impl.len(), 3);
+        for r in &pass.per_impl {
+            assert_eq!(r.result_bits, vec![42], "{}", r.label);
+        }
     }
 
     #[test]

@@ -156,6 +156,21 @@ mod tests {
     }
 
     #[test]
+    fn mesh_campaign_is_clean() {
+        // The fuzzed 1×1-mesh identity check: generated programs (not just
+        // the hand-written benchmarks) must run bit-identically on the
+        // mesh driver. Few iterations — each runs all three back-ends
+        // twice.
+        let cfg = CheckConfig {
+            mesh: true,
+            ..CheckConfig::default()
+        };
+        let report = fuzz_many(2, 6, &cfg);
+        assert!(report.is_clean(), "failures: {:?}", report.failures);
+        assert_eq!(report.passed, 6);
+    }
+
+    #[test]
     fn mutated_campaign_reports_seeds() {
         let cfg = CheckConfig {
             mutation: Some(Mutation::FlipFirstAddToSub),

@@ -34,6 +34,10 @@ const COMMANDS: &[(&str, &str)] = &[
         "quantum-level profile of one program: trace.json (Perfetto), profile.json, manifest.json",
     ),
     (
+        "mesh PROG",
+        "run one program on a multi-node mesh (--nodes, --impl, --policy); writes mesh_trace.json",
+    ),
+    (
         "perf",
         "time the Figure 3 sweep, record/replay vs inline; write results/perf_summary.json",
     ),
@@ -64,11 +68,14 @@ fn help_text() -> String {
         "\nOPTIONS\n  \
          --small        run the reduced-size suite (fast smoke run)\n  \
          --out DIR      write outputs under DIR (default: results)\n  \
-         --impl IMPL    profile only: am | am-en | md | all (default: am)\n  \
+         --impl IMPL    profile/mesh: am | am-en | md | all (default: am)\n  \
+         --nodes N      mesh only: node count, factored into a near-square mesh (default: 4)\n  \
+         --policy P     mesh only: frame placement, rr | local (default: rr)\n  \
          --iters N      fuzz only: iterations to run (default: 100)\n  \
          --seed S       fuzz only: master seed (default: 1)\n  \
          --shrink       fuzz only: minimize the first failure and write a reproducer\n  \
          --mutate       fuzz only: seed a deliberate MD bug (harness self-test)\n  \
+         --mesh         fuzz only: also require 1x1-mesh bit-identity per back-end\n  \
          -h, --help     show this help\n",
     );
     out
@@ -78,10 +85,13 @@ struct Args {
     small: bool,
     out: PathBuf,
     impl_: String,
+    nodes: u32,
+    policy: String,
     iters: u64,
     seed: u64,
     shrink: bool,
     mutate: bool,
+    mesh: bool,
     command: Option<String>,
     extra: Vec<String>,
 }
@@ -108,10 +118,13 @@ fn parse_args() -> Args {
     let mut small = false;
     let mut out = PathBuf::from("results");
     let mut impl_ = "am".to_string();
+    let mut nodes = 4u32;
+    let mut policy = "rr".to_string();
     let mut iters = 100u64;
     let mut seed = 1u64;
     let mut shrink = false;
     let mut mutate = false;
+    let mut mesh = false;
     let mut command = None::<String>;
     let mut extra = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -120,10 +133,15 @@ fn parse_args() -> Args {
             "--small" => small = true,
             "--out" => out = PathBuf::from(need(&mut it, "--out", "a directory argument")),
             "--impl" => impl_ = need(&mut it, "--impl", "a value (am | am-en | md | all)"),
+            "--nodes" => {
+                nodes = numeric("--nodes", &need(&mut it, "--nodes", "a node count")) as u32
+            }
+            "--policy" => policy = need(&mut it, "--policy", "a value (rr | local)"),
             "--iters" => iters = numeric("--iters", &need(&mut it, "--iters", "a count")),
             "--seed" => seed = numeric("--seed", &need(&mut it, "--seed", "a seed")),
             "--shrink" => shrink = true,
             "--mutate" => mutate = true,
+            "--mesh" => mesh = true,
             "--help" | "-h" => {
                 print!("{}", help_text());
                 std::process::exit(0);
@@ -145,10 +163,13 @@ fn parse_args() -> Args {
         small,
         out,
         impl_,
+        nodes,
+        policy,
         iters,
         seed,
         shrink,
         mutate,
+        mesh,
         command,
         extra,
     }
@@ -344,6 +365,112 @@ fn run_profile(args: &Args) {
     }
 }
 
+/// `tamsim mesh PROG [--nodes N] [--impl am|am-en|md|all] [--policy rr|local]
+/// [--out DIR]`: run one program on an N-node mesh under the given
+/// back-end(s), print the run summary and per-node cycle accounting, and
+/// write a Perfetto trace with one track per node (`mesh_trace.json`;
+/// with several back-ends, `DIR/<impl>/mesh_trace.json`).
+fn run_mesh(args: &Args) {
+    use tamsim_net::{MeshExperiment, NodeState, PlacementPolicy};
+    let started = Instant::now();
+    let Some(prog_name) = args.extra.first().cloned() else {
+        eprintln!(
+            "usage: tamsim mesh PROG [--nodes N] [--impl am|am-en|md|all] \
+             [--policy rr|local] [--out DIR]"
+        );
+        std::process::exit(2);
+    };
+    let program = resolve_program(&prog_name, args.small);
+    let impls = resolve_impls(&args.impl_);
+    let policy = PlacementPolicy::parse(&args.policy).unwrap_or_else(|| {
+        eprintln!(
+            "error: unknown --policy value '{}'; expected rr | local",
+            args.policy
+        );
+        std::process::exit(2);
+    });
+    let single = impls.len() == 1;
+
+    for &impl_ in &impls {
+        let exp = MeshExperiment::new(impl_, args.nodes).with_placement(policy);
+        let r = exp.run(&program);
+        println!(
+            "## mesh: {} ({}) on {} node(s) [{}x{}], policy {}\n",
+            program.name,
+            impl_.label(),
+            r.nodes,
+            r.width,
+            r.height,
+            r.policy.label()
+        );
+        println!(
+            "cycles {}  instructions {}  halt {:?}  messages {} ({} words, {} hops)  \
+             NI stall cycles {}\n",
+            r.cycles,
+            r.instructions,
+            r.halt,
+            r.net.delivered_msgs,
+            r.net.delivered_words,
+            r.net.hop_traversals,
+            r.total_stall_cycles(),
+        );
+        println!("{}", metrics::mesh_node_table(&r).to_text());
+
+        // One Perfetto track per node; idle cycles stay as gaps.
+        let tracks: Vec<tamsim_obs::NodeTrack> = r
+            .activity
+            .iter()
+            .enumerate()
+            .map(|(n, t)| tamsim_obs::NodeTrack {
+                name: format!("node {n}"),
+                spans: t
+                    .spans
+                    .iter()
+                    .filter_map(|s| {
+                        let label = match s.state {
+                            NodeState::Run => "run",
+                            NodeState::Stall => "stall",
+                            NodeState::Idle => return None,
+                        };
+                        Some(tamsim_obs::NodeTrackSpan {
+                            label,
+                            start: s.start,
+                            cycles: s.cycles,
+                        })
+                    })
+                    .collect(),
+            })
+            .collect();
+        let dir = if single {
+            args.out.clone()
+        } else {
+            args.out.join(impl_.label().to_ascii_lowercase())
+        };
+        fs::create_dir_all(&dir).expect("create results dir");
+        fs::write(
+            dir.join("mesh_trace.json"),
+            tamsim_obs::mesh_trace_json(&program.name, impl_.label(), r.cycles, &tracks),
+        )
+        .expect("write mesh_trace.json");
+        write_manifest(
+            &dir,
+            &program.name,
+            impl_.label(),
+            Vec::new(),
+            vec![
+                ("nodes".to_string(), r.nodes.to_string()),
+                ("mesh".to_string(), format!("{}x{}", r.width, r.height)),
+                ("policy".to_string(), r.policy.label().to_string()),
+                ("cycles".to_string(), r.cycles.to_string()),
+                ("queue_words_low".to_string(), r.queue_words[0].to_string()),
+                ("queue_words_high".to_string(), r.queue_words[1].to_string()),
+            ],
+            started,
+        );
+        eprintln!("wrote {}", dir.join("mesh_trace.json").display());
+    }
+}
+
 /// Benchmark the record/replay trace engine against the legacy inline
 /// path on the full 24-configuration Figure 3 sweep, check that the two
 /// produce identical figures, and leave a machine-readable summary at
@@ -447,14 +574,20 @@ fn run_fuzz(args: &Args) {
     let started = Instant::now();
     let cfg = CheckConfig {
         mutation: args.mutate.then_some(Mutation::FlipFirstAddToSub),
+        mesh: args.mesh,
         ..CheckConfig::default()
     };
     eprintln!(
-        "fuzz: {} iteration(s), master seed {:#x}{}",
+        "fuzz: {} iteration(s), master seed {:#x}{}{}",
         args.iters,
         args.seed,
         if args.mutate {
             " (mutation: first MD integer add flipped to sub)"
+        } else {
+            ""
+        },
+        if args.mesh {
+            " (+ 1x1-mesh bit-identity per back-end)"
         } else {
             ""
         }
@@ -546,6 +679,10 @@ fn main() {
     }
     if command == "fuzz" {
         run_fuzz(&args);
+        return;
+    }
+    if command == "mesh" {
+        run_mesh(&args);
         return;
     }
     let suite: Vec<PaperBenchmark> = if args.small {
@@ -728,6 +865,24 @@ fn main() {
             "blocks",
             "§3.3: block-size sweep (8K 4-way, miss 24; normalized to 64B)",
             &metrics::block_sweep(data.as_ref().unwrap(), &PAPER_BLOCK_SWEEP),
+        );
+    }
+    if all {
+        // Mesh node-count sweep: fib plus two paper benchmarks across
+        // 1/2/4/8 nodes. Deterministic, so the CSV is golden-gated
+        // (tests/golden/mesh_nodes.csv).
+        let fib = tamsim_programs::fib(if args.small { 8 } else { 10 });
+        let mut progs: Vec<(&str, &Program)> = vec![("fib", &fib)];
+        for b in &suite {
+            if b.name == "MMT" || b.name == "QS" {
+                progs.push((b.name, &b.program));
+            }
+        }
+        emit(
+            &dir,
+            "mesh_nodes",
+            "Mesh node sweep: per-implementation cycles and MD/AM ratio vs node count",
+            &metrics::mesh_sweep(&progs, &metrics::MESH_NODE_SWEEP),
         );
     }
     // Everything that reaches here wrote artifacts under `dir`; record

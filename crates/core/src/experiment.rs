@@ -41,6 +41,35 @@ pub struct Linked {
     /// Names for every bound code label (system routines, threads,
     /// inlets), for hotspot attribution.
     pub symbols: SymbolTable,
+    /// Addresses a mesh network interface routes and places by.
+    pub net: NetInfo,
+}
+
+/// The link-time facts `tamsim-net` needs to turn sends into routed
+/// messages and to give each node its own allocation arenas.
+///
+/// Every runtime message is `[handler, locus, ...]` where the locus word
+/// is a frame or heap-cell address — except frame-allocation requests,
+/// whose destination is a *policy choice* (that is the paper's frame
+/// placement question). The NI recognizes those by `falloc_addr`;
+/// `ffree_addr` lets a locality-aware policy keep live-frame counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetInfo {
+    /// Code address of the frame-allocation handler.
+    pub falloc_addr: u32,
+    /// Code address of the frame-free handler.
+    pub ffree_addr: u32,
+    /// Globals address of the AM software frame-queue head: nonzero means
+    /// frames are posted and runnable. A mesh NI re-arms a suspended
+    /// scheduler when this races with message arrival (arrival can land
+    /// between the scheduler's final queue check and its suspend).
+    pub q_head: u32,
+    /// Globals address of the frame-region bump pointer.
+    pub frame_bump: u32,
+    /// Globals address of the heap bump pointer.
+    pub heap_bump: u32,
+    /// Initial heap-bump value (just above the seeded arrays).
+    pub heap_bump_init: u32,
 }
 
 impl Linked {
@@ -161,6 +190,7 @@ pub fn link(
 
     // Collect addresses needed by descriptors and boot before finishing.
     let falloc_addr = asm.addr(sys.falloc);
+    let ffree_addr = asm.addr(sys.ffree);
     let done_addr = asm.addr(sys.done);
     let start_low = asm.addr(sys.start_low);
     let mut seed: Vec<(u32, Word)> = Vec::new();
@@ -264,6 +294,14 @@ pub fn link(
         cfg,
         start_low,
         symbols,
+        net: NetInfo {
+            falloc_addr,
+            ffree_addr,
+            q_head: globals.q_head,
+            frame_bump: globals.frame_bump,
+            heap_bump: globals.heap_bump,
+            heap_bump_init,
+        },
     }
 }
 

@@ -27,7 +27,7 @@ pub mod lower;
 pub mod opts;
 pub mod sys;
 
-pub use experiment::{link, Experiment, Linked, ProfiledRun, RecordedRun, RunResult};
+pub use experiment::{link, Experiment, Linked, NetInfo, ProfiledRun, RecordedRun, RunResult};
 pub use granularity::Granularity;
 pub use layout::{FrameLayout, GlobalsMap};
 pub use opts::{Implementation, LoweringOptions};

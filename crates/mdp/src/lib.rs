@@ -21,7 +21,10 @@ pub use code::CodeImage;
 pub use disasm::{disasm_op, disasm_region};
 pub use hooks::{Hooks, NoHooks, SinkHooks};
 pub use isa::{AluOp, FAluOp, MOp, Mark, Operand, Priority, Reg, SendSrc};
-pub use machine::{HaltReason, Machine, MachineConfig, RunError, RunStats, SysLayout};
+pub use machine::{
+    HaltReason, Loopback, Machine, MachineConfig, NetPort, RouteOutcome, RunError, RunStats, Step,
+    SysLayout,
+};
 pub use memory::Memory;
 pub use queue::{MessageQueue, MsgRef, DEFAULT_QUEUE_WORDS};
 pub use word::Word;

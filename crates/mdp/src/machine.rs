@@ -47,6 +47,13 @@ pub struct MachineConfig {
     pub queue_words: [u32; 2],
     /// Maximum instructions to execute before aborting the run.
     pub fuel: u64,
+    /// Mask applied to register-based load/store addresses before they
+    /// reach memory and the trace. A single node uses the identity mask;
+    /// a mesh node masks off the node-id bits of global frame and heap
+    /// pointers (`tamsim-net` tags those addresses with their home node
+    /// so the network interface can route on them, but each node's local
+    /// memory is indexed by the untagged address).
+    pub addr_mask: u32,
 }
 
 impl Default for MachineConfig {
@@ -55,6 +62,7 @@ impl Default for MachineConfig {
             map: MemoryMap::default(),
             queue_words: [DEFAULT_QUEUE_WORDS, DEFAULT_QUEUE_WORDS],
             fuel: 4_000_000_000,
+            addr_mask: u32::MAX,
         }
     }
 }
@@ -113,6 +121,57 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// The outcome of a single [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// One instruction executed.
+    Ran,
+    /// Nothing to do: both contexts suspended and both queues empty. On a
+    /// uniprocessor this is quiescence; on a mesh, work may still arrive.
+    Idle,
+    /// A send found the network interface busy; nothing happened (no
+    /// fetch, no counters, no pc change). Retry next cycle.
+    Blocked,
+    /// The machine executed [`MOp::Halt`] (or quiesced, for [`Machine::run`]).
+    Halted(HaltReason),
+}
+
+/// Where a send's message went, as decided by a [`NetPort`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// The message targets this node: enqueue it locally, exactly as on a
+    /// single-node machine.
+    Local,
+    /// The port accepted the message into the network; the machine counts
+    /// the send but writes nothing into its own queue memory.
+    Injected,
+    /// The port cannot accept the message right now (network interface
+    /// buffer full — back-pressure). The send stalls and retries.
+    Busy,
+}
+
+/// A network interface the machine offers every `SEND` to.
+///
+/// The port sees the fully resolved message words *before* the machine
+/// commits to the instruction: on [`RouteOutcome::Busy`] the send has no
+/// side effects at all and will be re-offered next step.
+pub trait NetPort {
+    /// Route a `len`-word message sent at priority `pri`.
+    fn route(&mut self, pri: Priority, words: &[Word]) -> RouteOutcome;
+}
+
+/// The single-node port: every message is local. [`Machine::run`] uses
+/// this, making it bit-identical to the pre-mesh executor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Loopback;
+
+impl NetPort for Loopback {
+    #[inline]
+    fn route(&mut self, _pri: Priority, _words: &[Word]) -> RouteOutcome {
+        RouteOutcome::Local
+    }
+}
+
 /// Counters accumulated over one run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunStats {
@@ -147,6 +206,9 @@ pub struct Machine<'c> {
     high_pc: Option<u32>,
     low_pc: Option<u32>,
     ints_enabled: bool,
+    /// Scratch for resolved send words (reused across sends so a stalled
+    /// send costs no allocation per retry).
+    send_buf: Vec<Word>,
     instructions: u64,
     instructions_by_pri: [u64; 2],
     dispatches: [u64; 2],
@@ -170,6 +232,7 @@ impl<'c> Machine<'c> {
             high_pc: None,
             low_pc: None,
             ints_enabled: true,
+            send_buf: Vec::new(),
             instructions: 0,
             instructions_by_pri: [0, 0],
             dispatches: [0, 0],
@@ -235,29 +298,56 @@ impl<'c> Machine<'c> {
         }
     }
 
-    fn send<H: Hooks>(
+    /// Write a message's words into queue memory, emitting one trace write
+    /// per word (hardware buffering traffic; see the module docs).
+    fn enqueue_words<H: Hooks>(
         &mut self,
-        from: Priority,
         target: Priority,
-        srcs: &[SendSrc],
+        words: &[Word],
         hooks: &mut H,
     ) -> Result<(), RunError> {
-        let q = &mut self.queues[target.index()];
-        let m = q
-            .begin_enqueue(srcs.len() as u32)
+        let m = self.queues[target.index()]
+            .begin_enqueue(words.len() as u32)
             .ok_or(RunError::QueueOverflow { pri: target })?;
-        for (i, s) in srcs.iter().enumerate() {
+        for (i, w) in words.iter().enumerate() {
             let addr = self.queues[target.index()].addr_of(m.start, i as u32);
-            let v = match s {
-                SendSrc::Reg(r) => self.regs[from.index()][r.index()],
-                SendSrc::Imm(w) => *w,
-            };
-            self.mem.write(addr, v);
+            self.mem.write(addr, *w);
             hooks.access(Access::write(addr));
         }
-        self.sends += 1;
-        self.send_words += srcs.len() as u64;
         Ok(())
+    }
+
+    /// Deliver an arriving network message into queue memory.
+    ///
+    /// Returns `false` without touching anything when the queue lacks
+    /// space — the network interface holds the message and retries
+    /// (back-pressure propagates to the sender; nothing is ever dropped).
+    pub fn try_deliver<H: Hooks>(&mut self, pri: Priority, words: &[Word], hooks: &mut H) -> bool {
+        self.enqueue_words(pri, words, hooks).is_ok()
+    }
+
+    /// Whether the low-priority context is suspended (no pc). A mesh
+    /// network interface checks this on message arrival: a software
+    /// scheduler that legitimately suspended when its run queue drained
+    /// must be re-armed at its entry point, because new work from the
+    /// network is invisible to the single-node quiescence rule.
+    pub fn low_suspended(&self) -> bool {
+        self.low_pc.is_none()
+    }
+
+    /// Whether both contexts are suspended and both queues empty: no step
+    /// can make progress until a message arrives from outside.
+    pub fn is_idle(&self) -> bool {
+        self.high_pc.is_none()
+            && self.low_pc.is_none()
+            && self.queues[0].is_empty()
+            && self.queues[1].is_empty()
+    }
+
+    /// Snapshot the run counters. [`Machine::run`] calls this internally;
+    /// mesh drivers call it per node once the global clock stops.
+    pub fn stats(&self, halt: HaltReason) -> RunStats {
+        self.finish(halt)
     }
 
     fn finish(&self, halt: HaltReason) -> RunStats {
@@ -277,7 +367,35 @@ impl<'c> Machine<'c> {
     }
 
     /// Run until halt, quiescence, or error, streaming events into `hooks`.
+    ///
+    /// This is exactly a [`Machine::step`] loop over the always-local
+    /// [`Loopback`] port: on a single node every send loops straight back
+    /// into the local queue, and idleness is quiescence (no further work
+    /// can ever arrive).
     pub fn run<H: Hooks>(&mut self, hooks: &mut H) -> Result<RunStats, RunError> {
+        loop {
+            match self.step(hooks, &mut Loopback)? {
+                Step::Ran => {}
+                Step::Idle => return Ok(self.finish(HaltReason::Quiescent)),
+                Step::Halted(reason) => return Ok(self.finish(reason)),
+                Step::Blocked => unreachable!("loopback port never blocks"),
+            }
+        }
+    }
+
+    /// Execute one instruction, offering any `SEND` to `net` first.
+    ///
+    /// Free transitions — message dispatch and [`MOp::Mark`] — do not end
+    /// the step: the machine keeps going until it executes one costed
+    /// instruction ([`Step::Ran`]), runs out of work ([`Step::Idle`]),
+    /// stalls on a busy network port ([`Step::Blocked`], zero side
+    /// effects), or halts. One `Ran`/`Blocked` step is one machine cycle
+    /// on the mesh's global clock.
+    pub fn step<H: Hooks, N: NetPort>(
+        &mut self,
+        hooks: &mut H,
+        net: &mut N,
+    ) -> Result<Step, RunError> {
         loop {
             // Preemption / activation of high-priority work. High-priority
             // tasks are never preempted; low-priority tasks are preempted
@@ -297,7 +415,7 @@ impl<'c> Machine<'c> {
                         self.dispatch(Priority::Low, hooks);
                         continue;
                     }
-                    return Ok(self.finish(HaltReason::Quiescent));
+                    return Ok(Step::Idle);
                 }
             };
 
@@ -310,6 +428,44 @@ impl<'c> Machine<'c> {
                 hooks.mark(*m, frame, pri);
                 self.set_pc(pri, pc + 4);
                 continue;
+            }
+
+            // Sends resolve and route *before* the instruction is charged:
+            // a busy port means the instruction has not happened yet — no
+            // fetch, no counters, no pc change — and will retry verbatim.
+            if let MOp::Send { pri: target, srcs } = op {
+                let mut buf = std::mem::take(&mut self.send_buf);
+                buf.clear();
+                for s in srcs {
+                    buf.push(match s {
+                        SendSrc::Reg(r) => self.regs[p][r.index()],
+                        SendSrc::Imm(w) => *w,
+                    });
+                }
+                let outcome = net.route(*target, &buf);
+                if outcome == RouteOutcome::Busy {
+                    self.send_buf = buf;
+                    return Ok(Step::Blocked);
+                }
+                hooks.access(Access::fetch(pc));
+                hooks.instruction(pri, pc);
+                self.instructions += 1;
+                self.instructions_by_pri[p] += 1;
+                if self.instructions > self.cfg.fuel {
+                    self.send_buf = buf;
+                    return Err(RunError::FuelExhausted);
+                }
+                if outcome == RouteOutcome::Local {
+                    let res = self.enqueue_words(*target, &buf, hooks);
+                    self.send_buf = buf;
+                    res?;
+                } else {
+                    self.send_buf = buf;
+                }
+                self.sends += 1;
+                self.send_words += srcs.len() as u64;
+                self.set_pc(pri, pc + 4);
+                return Ok(Step::Ran);
             }
 
             hooks.access(Access::fetch(pc));
@@ -338,7 +494,8 @@ impl<'c> Machine<'c> {
                     self.regs[p][d.index()] = eval_falu(*op, av, bv);
                 }
                 MOp::Ld { d, base, off } => {
-                    let addr = offset_addr(self.regs[p][base.index()].as_addr(), *off);
+                    let addr = offset_addr(self.regs[p][base.index()].as_addr(), *off)
+                        & self.cfg.addr_mask;
                     hooks.access(Access::read(addr));
                     self.regs[p][d.index()] = self.mem.read(addr);
                 }
@@ -347,7 +504,8 @@ impl<'c> Machine<'c> {
                     self.regs[p][d.index()] = self.mem.read(*addr);
                 }
                 MOp::St { s, base, off } => {
-                    let addr = offset_addr(self.regs[p][base.index()].as_addr(), *off);
+                    let addr = offset_addr(self.regs[p][base.index()].as_addr(), *off)
+                        & self.cfg.addr_mask;
                     hooks.access(Access::write(addr));
                     self.mem.write(addr, self.regs[p][s.index()]);
                 }
@@ -390,9 +548,6 @@ impl<'c> Machine<'c> {
                     next = *t;
                 }
                 MOp::Ret => next = self.regs[p][Reg::LINK.index()].as_addr(),
-                MOp::Send { pri: target, srcs } => {
-                    self.send(pri, *target, srcs, hooks)?;
-                }
                 MOp::Suspend => {
                     if let Some(m) = self.cur_msg[p].take() {
                         self.queues[p].retire(m);
@@ -401,14 +556,15 @@ impl<'c> Machine<'c> {
                         Priority::High => self.high_pc = None,
                         Priority::Low => self.low_pc = None,
                     }
-                    continue;
+                    return Ok(Step::Ran);
                 }
                 MOp::EnableInt => self.ints_enabled = true,
                 MOp::DisableInt => self.ints_enabled = false,
-                MOp::Halt => return Ok(self.finish(HaltReason::Explicit)),
-                MOp::Mark(_) => unreachable!("marks handled above"),
+                MOp::Halt => return Ok(Step::Halted(HaltReason::Explicit)),
+                MOp::Mark(_) | MOp::Send { .. } => unreachable!("handled above"),
             }
             self.set_pc(pri, next);
+            return Ok(Step::Ran);
         }
     }
 
@@ -1137,6 +1293,172 @@ mod tests {
         );
         assert_eq!(m.queue(Priority::Low).used_words(), 3);
         assert_eq!(m.queue(Priority::High).used_words(), 8);
+    }
+
+    /// A port that refuses the first `busy` sends, then routes locally.
+    struct FlakyPort {
+        busy: u32,
+        offered: Vec<Vec<Word>>,
+    }
+    impl NetPort for FlakyPort {
+        fn route(&mut self, _pri: Priority, words: &[Word]) -> RouteOutcome {
+            self.offered.push(words.to_vec());
+            if self.busy > 0 {
+                self.busy -= 1;
+                RouteOutcome::Busy
+            } else {
+                RouteOutcome::Local
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_send_has_no_side_effects_and_retries_verbatim() {
+        let (img, entry) = user_image(vec![
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_i64(0x55),
+            },
+            MOp::Send {
+                pri: Priority::Low,
+                srcs: vec![SendSrc::Reg(Reg(0)), SendSrc::Imm(Word::from_i64(7))],
+            },
+            MOp::Halt,
+        ]);
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.start_low(entry);
+        let mut hooks = SinkHooks(VecSink::new());
+        let mut port = FlakyPort {
+            busy: 2,
+            offered: vec![],
+        };
+        assert_eq!(m.step(&mut hooks, &mut port).unwrap(), Step::Ran); // MovI
+        let events_before = hooks.0.events.len();
+        // Two stalled attempts: nothing happens at all.
+        assert_eq!(m.step(&mut hooks, &mut port).unwrap(), Step::Blocked);
+        assert_eq!(m.step(&mut hooks, &mut port).unwrap(), Step::Blocked);
+        assert_eq!(
+            hooks.0.events.len(),
+            events_before,
+            "no events while blocked"
+        );
+        assert_eq!(m.stats(HaltReason::Quiescent).instructions, 1);
+        assert_eq!(m.stats(HaltReason::Quiescent).sends, 0);
+        // Third attempt goes through; the same words were offered each time.
+        assert_eq!(m.step(&mut hooks, &mut port).unwrap(), Step::Ran);
+        assert_eq!(port.offered.len(), 3);
+        assert_eq!(port.offered[0], port.offered[2]);
+        assert_eq!(port.offered[2][0].as_i64(), 0x55);
+        assert_eq!(port.offered[2][1].as_i64(), 7);
+        assert_eq!(m.stats(HaltReason::Quiescent).sends, 1);
+        assert!(hooks.0.events.len() > events_before, "send now traced");
+    }
+
+    /// A port that injects everything into a fake network.
+    struct InjectAll;
+    impl NetPort for InjectAll {
+        fn route(&mut self, _pri: Priority, _words: &[Word]) -> RouteOutcome {
+            RouteOutcome::Injected
+        }
+    }
+
+    #[test]
+    fn injected_send_counts_but_writes_no_queue_memory() {
+        let (img, entry) = user_image(vec![
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_i64(3),
+            },
+            MOp::Send {
+                pri: Priority::Low,
+                srcs: vec![SendSrc::Reg(Reg(0))],
+            },
+            MOp::Halt,
+        ]);
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.start_low(entry);
+        let mut hooks = SinkHooks(VecSink::new());
+        let mut port = InjectAll;
+        while !matches!(m.step(&mut hooks, &mut port).unwrap(), Step::Halted(_)) {}
+        let stats = m.stats(HaltReason::Explicit);
+        assert_eq!(stats.sends, 1);
+        assert_eq!(stats.send_words, 1);
+        assert!(m.queue(Priority::Low).is_empty(), "message left the node");
+        assert!(
+            !hooks.0.events.iter().any(|a| a.kind == AccessKind::Write),
+            "no local queue writes for an injected message"
+        );
+    }
+
+    #[test]
+    fn try_deliver_backpressures_at_exact_capacity_and_resumes() {
+        // Mirrors queue.rs's exact-capacity tests at the machine level: a
+        // remote arrival that does not fit leaves everything untouched and
+        // succeeds verbatim once the front message retires.
+        let mut img = CodeImage::new(&map());
+        let handler = img.next_user();
+        img.push_user(MOp::Suspend);
+        let cfg = MachineConfig {
+            queue_words: [8, 8],
+            ..Default::default()
+        };
+        let mut m = Machine::new(cfg, &img);
+        let msg = [Word::from_addr(handler), Word::ZERO, Word::ZERO, Word::ZERO];
+        let mut hooks = SinkHooks(VecSink::new());
+        assert!(m.try_deliver(Priority::Low, &msg, &mut hooks));
+        assert!(m.try_deliver(Priority::Low, &msg, &mut hooks));
+        assert_eq!(m.queue(Priority::Low).used_words(), 8);
+        // Full to the word: the third delivery is refused, nothing changes.
+        let events_before = hooks.0.events.len();
+        assert!(!m.try_deliver(Priority::Low, &msg, &mut hooks));
+        assert_eq!(m.queue(Priority::Low).used_words(), 8);
+        assert_eq!(m.queue(Priority::Low).len(), 2);
+        assert_eq!(hooks.0.events.len(), events_before);
+        // Dispatch + suspend retires the front message; space reopens.
+        assert_eq!(m.step(&mut hooks, &mut Loopback).unwrap(), Step::Ran);
+        assert!(m.try_deliver(Priority::Low, &msg, &mut hooks));
+        assert_eq!(m.queue(Priority::Low).used_words(), 8);
+    }
+
+    #[test]
+    fn addr_mask_localizes_tagged_pointers() {
+        let fb = map().frame_base;
+        let tagged = (1u32 << 27) | fb;
+        let (img, entry) = user_image(vec![
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_addr(tagged),
+            },
+            MOp::MovI {
+                d: Reg(1),
+                v: Word::from_i64(99),
+            },
+            MOp::St {
+                s: Reg(1),
+                base: Reg(0),
+                off: 4,
+            },
+            MOp::Ld {
+                d: Reg(2),
+                base: Reg(0),
+                off: 4,
+            },
+            MOp::Halt,
+        ]);
+        let cfg = MachineConfig {
+            addr_mask: (1 << 27) - 1,
+            ..Default::default()
+        };
+        let mut m = Machine::new(cfg, &img);
+        m.start_low(entry);
+        let mut hooks = SinkHooks(VecSink::new());
+        m.run(&mut hooks).unwrap();
+        assert_eq!(m.reg(Priority::Low, Reg(2)).as_i64(), 99);
+        assert_eq!(m.mem.read(fb + 4).as_i64(), 99, "store landed untagged");
+        assert!(
+            hooks.0.events.contains(&Access::write(fb + 4)),
+            "the trace sees the masked (local) address"
+        );
     }
 
     #[test]

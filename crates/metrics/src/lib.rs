@@ -13,6 +13,7 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod mesh;
 pub mod quantum;
 pub mod render;
 pub mod suite;
@@ -20,6 +21,7 @@ pub mod tables;
 
 pub use experiments::{capture_schedule, figure1, figure1_program, figure2, SchedEvent};
 pub use figures::{block_sweep, figure3, figure6, figure_per_program};
+pub use mesh::{mesh_node_table, mesh_run, mesh_sweep, MESH_NODE_SWEEP};
 pub use quantum::{hotspot_table, quantum_histogram, quantum_summary};
 pub use render::Table;
 pub use suite::{geomean, ProgramRun, SuiteData, SuitePerf};

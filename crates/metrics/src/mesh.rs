@@ -1,0 +1,135 @@
+//! The mesh node-count sweep: how each implementation's cycle count — and
+//! the MD/AM gap the paper measures on one node — evolves as the same
+//! computation spreads across a dimension-order-routed 2D mesh.
+//!
+//! [`mesh_sweep`] is the data behind `tests/golden/mesh_nodes.csv`: the
+//! mesh driver is bit-deterministic (fixed node iteration order, no
+//! wall-clock anywhere), so the golden gate byte-compares its CSV exactly
+//! like the single-node figures.
+
+use tamsim_core::Implementation;
+use tamsim_net::{MeshExperiment, MeshRunResult, NodeState};
+use tamsim_tam::Program;
+
+use crate::render::{r3, Table};
+
+/// Node counts the golden sweep covers (1 = the single-node anchor).
+pub const MESH_NODE_SWEEP: [u32; 4] = [1, 2, 4, 8];
+
+/// The three back-ends, in the sweep's column order.
+const IMPLS: [Implementation; 3] = [
+    Implementation::Am,
+    Implementation::AmEnabled,
+    Implementation::Md,
+];
+
+/// Run `program` on an `nodes`-node mesh under one back-end with the
+/// default fabric timing.
+pub fn mesh_run(program: &Program, impl_: Implementation, nodes: u32) -> MeshRunResult {
+    MeshExperiment::new(impl_, nodes).run(program)
+}
+
+/// One row per (program, node count): cycles under each back-end, the
+/// MD/AM cycle ratio, and the MD run's network traffic. Runs fan out
+/// across the worker pool; row order is fixed regardless of worker count.
+pub fn mesh_sweep(programs: &[(&str, &Program)], node_counts: &[u32]) -> Table {
+    let jobs: Vec<(usize, u32, Implementation)> = programs
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| {
+            node_counts
+                .iter()
+                .flat_map(move |&n| IMPLS.iter().map(move |&impl_| (pi, n, impl_)))
+        })
+        .collect();
+    let runs = tamsim_trace::par_map(jobs, |(pi, n, impl_)| mesh_run(programs[pi].1, impl_, n));
+
+    let mut t = Table::new(&[
+        "program",
+        "nodes",
+        "am_cycles",
+        "am_en_cycles",
+        "md_cycles",
+        "md_am_ratio",
+        "md_msgs",
+        "md_hops",
+    ]);
+    let mut it = runs.into_iter();
+    for (name, _) in programs {
+        for &n in node_counts {
+            let (am, am_en, md) = (it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
+            t.row(vec![
+                name.to_string(),
+                n.to_string(),
+                am.cycles.to_string(),
+                am_en.cycles.to_string(),
+                md.cycles.to_string(),
+                r3(md.cycles as f64 / am.cycles as f64),
+                md.net.delivered_msgs.to_string(),
+                md.net.hop_traversals.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Per-node detail of one mesh run (the `tamsim mesh` report): where
+/// every node's cycles went and what it holds at the end.
+pub fn mesh_node_table(r: &MeshRunResult) -> Table {
+    let mut t = Table::new(&[
+        "node",
+        "instructions",
+        "run_cycles",
+        "stall_cycles",
+        "idle_cycles",
+        "sends",
+        "live_frames",
+    ]);
+    for n in 0..r.nodes as usize {
+        t.row(vec![
+            n.to_string(),
+            r.stats[n].instructions.to_string(),
+            r.activity[n].cycles_in(NodeState::Run).to_string(),
+            r.activity[n].cycles_in(NodeState::Stall).to_string(),
+            r.activity[n].cycles_in(NodeState::Idle).to_string(),
+            r.stats[n].sends.to_string(),
+            r.live_frames[n].to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_rows_cover_every_program_and_node_count() {
+        let fib = tamsim_programs::fib(8);
+        let table = mesh_sweep(&[("fib", &fib)], &[1, 2]);
+        let csv = table.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows:\n{csv}");
+        assert!(lines[1].starts_with("fib,1,"));
+        assert!(lines[2].starts_with("fib,2,"));
+        // 1-node rows never touch the network.
+        assert!(lines[1].ends_with(",0,0"), "1-node row: {}", lines[1]);
+    }
+
+    #[test]
+    fn node_table_accounts_every_cycle() {
+        let fib = tamsim_programs::fib(8);
+        let r = mesh_run(&fib, Implementation::Md, 4);
+        let table = mesh_node_table(&r);
+        assert_eq!(table.to_csv().lines().count(), 5); // header + 4 nodes
+        for n in 0..4 {
+            let t = &r.activity[n];
+            assert_eq!(
+                t.cycles_in(NodeState::Run)
+                    + t.cycles_in(NodeState::Stall)
+                    + t.cycles_in(NodeState::Idle),
+                t.spans.iter().map(|s| s.cycles).sum::<u64>(),
+            );
+        }
+    }
+}

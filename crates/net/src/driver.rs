@@ -1,0 +1,487 @@
+//! The mesh experiment driver: K machines on a global cycle clock.
+//!
+//! Each global cycle is (1) every node executes at most one instruction —
+//! a node whose `SEND` finds its network interface full burns the cycle
+//! stalled; (2) the fabric moves messages one hop; (3) every node's NI
+//! tries to retire one arrived message into the machine's hardware queue,
+//! holding it under back-pressure when the queue is full. All iteration
+//! is in fixed node order, so runs are bit-deterministic.
+//!
+//! With one node this degenerates to exactly `Machine::run`'s step loop
+//! (the port is always-local, the fabric stays empty), which is the
+//! anchor invariant the differential tests enforce.
+
+use crate::fabric::{Fabric, NetConfig, NetStats};
+use crate::place::{Placement, PlacementPolicy};
+use crate::port::NodePort;
+use crate::topology::MeshTopology;
+use crate::{node_tag, LOCAL_MASK, MAX_NODES, NODE_SHIFT};
+use tamsim_core::{link, Implementation, Linked, LoweringOptions};
+use tamsim_mdp::{
+    HaltReason, Hooks, Machine, MachineConfig, Priority, RunError, RunStats, Step, Word,
+};
+use tamsim_tam::Program;
+use tamsim_trace::{Access, AccessCounts, CountingSink, Mark, MarkSink, TraceLog, TraceSink};
+
+/// Cycles without any instruction, fabric movement, or delivery before
+/// the driver concludes the mesh is gridlocked on queue space and
+/// restarts with bigger queues.
+const WATCHDOG_CYCLES: u64 = 100_000;
+
+/// What a node did in one global cycle (for the per-node timeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Executed an instruction.
+    Run,
+    /// Stalled on a full network interface (blocked `SEND`).
+    Stall,
+    /// Nothing to do.
+    Idle,
+}
+
+/// One run-length-encoded span of a node's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// What the node was doing.
+    pub state: NodeState,
+    /// First global cycle of the span.
+    pub start: u64,
+    /// Span length in cycles.
+    pub cycles: u64,
+}
+
+/// A node's full timeline, run-length encoded (feeds the Perfetto
+/// export's one-track-per-node view).
+#[derive(Debug, Clone, Default)]
+pub struct ActivityTrack {
+    /// Maximal spans, in time order.
+    pub spans: Vec<Span>,
+}
+
+impl ActivityTrack {
+    fn record(&mut self, cycle: u64, state: NodeState) {
+        if let Some(last) = self.spans.last_mut() {
+            if last.state == state && last.start + last.cycles == cycle {
+                last.cycles += 1;
+                return;
+            }
+        }
+        self.spans.push(Span {
+            state,
+            start: cycle,
+            cycles: 1,
+        });
+    }
+
+    /// Total cycles spent in `state`.
+    pub fn cycles_in(&self, state: NodeState) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.state == state)
+            .map(|s| s.cycles)
+            .sum()
+    }
+}
+
+/// Per-node observation hooks: region/kind access counters plus an
+/// optional recorded trace for cache replay.
+struct NodeHooks {
+    counts: CountingSink,
+    log: Option<TraceLog>,
+}
+
+impl Hooks for NodeHooks {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.counts.access(access);
+        if let Some(log) = &mut self.log {
+            log.access(access);
+        }
+    }
+
+    #[inline]
+    fn instruction(&mut self, pri: Priority, pc: u32) {
+        if let Some(log) = &mut self.log {
+            MarkSink::instruction(log, pri, pc);
+        }
+    }
+
+    #[inline]
+    fn queue_sample(&mut self, used_words: [u32; 2]) {
+        if let Some(log) = &mut self.log {
+            MarkSink::queue_sample(log, used_words);
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, mark: Mark, frame: u32, pri: Priority) {
+        if let Some(log) = &mut self.log {
+            MarkSink::mark(log, mark, frame, pri);
+        }
+    }
+}
+
+/// Everything measured in one mesh run.
+#[derive(Debug, Clone)]
+pub struct MeshRunResult {
+    /// Which implementation ran.
+    pub implementation: Implementation,
+    /// Frame-placement policy used.
+    pub policy: PlacementPolicy,
+    /// Node count.
+    pub nodes: u32,
+    /// Mesh X extent.
+    pub width: u32,
+    /// Mesh Y extent.
+    pub height: u32,
+    /// Global cycles until completion.
+    pub cycles: u64,
+    /// How the run ended (`Explicit` = some node executed the done
+    /// handler's `HALT`; `Quiescent` = everything drained).
+    pub halt: HaltReason,
+    /// The words `main` returned (read from node 0).
+    pub result: Vec<Word>,
+    /// Final contents of the initial arrays (node 0's heap).
+    pub arrays: Vec<Vec<Option<Word>>>,
+    /// Instructions summed over all nodes.
+    pub instructions: u64,
+    /// Per-node machine counters.
+    pub stats: Vec<RunStats>,
+    /// Per-node region/kind access counts.
+    pub counts: Vec<AccessCounts>,
+    /// Per-node cycles burned on a full network interface.
+    pub stall_cycles: Vec<u64>,
+    /// Fabric counters.
+    pub net: NetStats,
+    /// Queue capacities the run used (auto-doubled on overflow or
+    /// gridlock, like the single-node driver).
+    pub queue_words: [u32; 2],
+    /// Per-node run-length timelines.
+    pub activity: Vec<ActivityTrack>,
+    /// Per-node live-frame census at the end of the run.
+    pub live_frames: Vec<u64>,
+    /// Per-node recorded access traces (when recording was requested);
+    /// replay each into its own `CacheBank` for per-node locality.
+    pub logs: Option<Vec<TraceLog>>,
+}
+
+impl MeshRunResult {
+    /// Total NI-stall cycles across nodes.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.stall_cycles.iter().sum()
+    }
+}
+
+/// High-level mesh driver: one implementation + placement policy + fabric
+/// configuration, reusable across programs (the mesh analogue of
+/// `tamsim_core::Experiment`).
+#[derive(Debug, Clone, Copy)]
+pub struct MeshExperiment {
+    /// The back-end to lower to.
+    pub implementation: Implementation,
+    /// Lowering optimization switches.
+    pub opts: LoweringOptions,
+    /// Instruction budget per node.
+    pub fuel: u64,
+    /// Initial queue capacities (words); doubled automatically on
+    /// overflow or gridlock.
+    pub queue_words: [u32; 2],
+    /// Node count (factored into a near-square mesh).
+    pub nodes: u32,
+    /// Fabric timing and buffering.
+    pub net: NetConfig,
+    /// Frame-placement policy.
+    pub placement: PlacementPolicy,
+    /// Record per-node access traces for cache replay.
+    pub record: bool,
+}
+
+impl MeshExperiment {
+    /// A mesh experiment with the single-node driver's defaults.
+    ///
+    /// # Panics
+    /// Panics when `nodes` is zero or exceeds [`MAX_NODES`].
+    pub fn new(implementation: Implementation, nodes: u32) -> Self {
+        assert!(
+            (1..=MAX_NODES).contains(&nodes),
+            "node count must be in 1..={MAX_NODES}"
+        );
+        MeshExperiment {
+            implementation,
+            opts: LoweringOptions::default(),
+            fuel: 2_000_000_000,
+            queue_words: [1024, 1024],
+            nodes,
+            net: NetConfig::default(),
+            placement: PlacementPolicy::default(),
+            record: false,
+        }
+    }
+
+    /// Override the lowering options.
+    pub fn with_opts(mut self, opts: LoweringOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Override the fabric configuration.
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Override the frame-placement policy.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Enable per-node trace recording.
+    pub fn recorded(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    fn config(&self, queue_words: [u32; 2]) -> MachineConfig {
+        MachineConfig {
+            queue_words,
+            fuel: self.fuel,
+            // Identity on every valid single-node address (all are below
+            // `map.top = 1 << NODE_SHIFT`), so node 0 of a 1×1 mesh is
+            // bit-identical to an unmasked machine.
+            addr_mask: LOCAL_MASK,
+            ..MachineConfig::default()
+        }
+    }
+
+    /// Run `program` on the mesh to completion.
+    pub fn run(&self, program: &Program) -> MeshRunResult {
+        let topo = MeshTopology::for_nodes(self.nodes);
+        let k = self.nodes as usize;
+        let mut queue_words = self.queue_words;
+
+        'attempt: loop {
+            let linked = link(
+                program,
+                self.implementation,
+                self.opts,
+                self.config(queue_words),
+            );
+            assert_eq!(
+                linked.cfg.map.top,
+                1 << NODE_SHIFT,
+                "node tag would collide with the local address space"
+            );
+            let mut machines = self.boot_nodes(&linked);
+            let mut hooks: Vec<NodeHooks> = (0..k)
+                .map(|_| NodeHooks {
+                    counts: CountingSink::new(linked.cfg.map),
+                    log: self.record.then(TraceLog::new),
+                })
+                .collect();
+            let mut fabric = Fabric::new(topo, self.net);
+            let mut placement = Placement::new(self.placement, self.nodes);
+            // The boot message allocates main's frame on node 0.
+            placement.commit(0);
+
+            let mut cycle: u64 = 0;
+            let mut last_progress: u64 = 0;
+            let mut prev_moves: u64 = 0;
+            let mut stall_cycles = vec![0u64; k];
+            let mut activity = vec![ActivityTrack::default(); k];
+            let mut halted_node: Option<usize> = None;
+
+            let halt = loop {
+                if fabric.is_empty() && machines.iter().all(Machine::is_idle) {
+                    // Backstop for the arrival/suspend race: a message can
+                    // land between the AM scheduler's final frame-queue
+                    // check and its suspend, leaving posted frames with no
+                    // scheduler. Re-arm any such node instead of wrongly
+                    // quiescing. (Never fires at K = 1: the fabric is
+                    // unused, and the single-node scheduler's
+                    // check-enable-recheck sequence makes the race
+                    // impossible without deliveries — which also keeps
+                    // the 1×1 run bit-identical.)
+                    let mut rearmed = false;
+                    if self.nodes > 1 && self.implementation.is_am() {
+                        for m in &mut machines {
+                            if m.mem.read(linked.net.q_head).bits() != 0 {
+                                m.start_low(linked.start_low);
+                                rearmed = true;
+                            }
+                        }
+                    }
+                    if !rearmed {
+                        break HaltReason::Quiescent;
+                    }
+                }
+
+                // (1) Every node executes at most one instruction.
+                let mut progress = false;
+                for n in 0..k {
+                    let mut port = NodePort {
+                        node: n as u32,
+                        info: linked.net,
+                        fabric: &mut fabric,
+                        placement: &mut placement,
+                    };
+                    match machines[n].step(&mut hooks[n], &mut port) {
+                        Ok(Step::Ran) => {
+                            progress = true;
+                            activity[n].record(cycle, NodeState::Run);
+                        }
+                        Ok(Step::Idle) => activity[n].record(cycle, NodeState::Idle),
+                        Ok(Step::Blocked) => {
+                            stall_cycles[n] += 1;
+                            activity[n].record(cycle, NodeState::Stall);
+                        }
+                        Ok(Step::Halted(_)) => {
+                            activity[n].record(cycle, NodeState::Run);
+                            halted_node = Some(n);
+                            cycle += 1;
+                            // The done handler ran: the answer is in node
+                            // 0's result words; stop the whole mesh.
+                            break;
+                        }
+                        Err(RunError::QueueOverflow { pri }) => {
+                            let i = pri.index();
+                            assert!(
+                                queue_words[i] < 1 << 22,
+                                "queue demand implausibly large; runaway program?"
+                            );
+                            queue_words[i] *= 2;
+                            continue 'attempt;
+                        }
+                        Err(e) => panic!(
+                            "program {} failed on node {n} under {:?}: {e}",
+                            program.name, self.implementation
+                        ),
+                    }
+                }
+                if halted_node.is_some() {
+                    break HaltReason::Explicit;
+                }
+
+                // (2) The fabric moves messages one hop.
+                fabric.tick();
+
+                // (3) Each NI retires at most one arrived message.
+                for n in 0..k {
+                    let delivered = match fabric.ready_recv(n as u32) {
+                        Some(msg) => machines[n].try_deliver(msg.pri, &msg.words, &mut hooks[n]),
+                        None => continue,
+                    };
+                    if delivered {
+                        fabric.pop_recv(n as u32);
+                        progress = true;
+                        // AM's background scheduler suspends for good once
+                        // its frame queue drains — on a single node that
+                        // is provably terminal, but here the delivered
+                        // message may post fresh frames. Message arrival
+                        // re-arms a suspended scheduler at its entry
+                        // point; if it finds nothing it just re-suspends.
+                        // (MD needs no re-arm: its task queue is the
+                        // hardware queue, and dispatch wakes it.)
+                        if self.implementation.is_am() && machines[n].low_suspended() {
+                            machines[n].start_low(linked.start_low);
+                        }
+                    } else {
+                        fabric.note_deliver_stall();
+                    }
+                }
+
+                cycle += 1;
+                if progress || fabric.moves() != prev_moves {
+                    prev_moves = fabric.moves();
+                    last_progress = cycle;
+                } else if cycle - last_progress > WATCHDOG_CYCLES {
+                    // Gridlock: every queue full, nothing moving. Remote
+                    // deliveries never overflow (they hold), so the only
+                    // cure is more queue space everywhere.
+                    for w in &mut queue_words {
+                        assert!(
+                            *w < 1 << 22,
+                            "queue demand implausibly large; gridlocked program?"
+                        );
+                        *w *= 2;
+                    }
+                    continue 'attempt;
+                }
+            };
+
+            let stats: Vec<RunStats> = machines
+                .iter()
+                .enumerate()
+                .map(|(n, m)| {
+                    m.stats(if halted_node == Some(n) {
+                        halt
+                    } else {
+                        HaltReason::Quiescent
+                    })
+                })
+                .collect();
+            return MeshRunResult {
+                implementation: self.implementation,
+                policy: self.placement,
+                nodes: self.nodes,
+                width: topo.width,
+                height: topo.height,
+                cycles: cycle,
+                halt,
+                result: linked.read_result(&machines[0]),
+                arrays: linked.read_arrays(&machines[0]),
+                instructions: stats.iter().map(|s| s.instructions).sum(),
+                stats,
+                counts: hooks.iter().map(|h| h.counts.counts).collect(),
+                stall_cycles,
+                net: fabric.stats(),
+                queue_words,
+                activity,
+                live_frames: placement.live().to_vec(),
+                logs: self
+                    .record
+                    .then(|| hooks.into_iter().map(|h| h.log.unwrap()).collect()),
+            };
+        }
+    }
+
+    /// Build and seed one machine per node.
+    ///
+    /// Every node gets the same code image, descriptors, and boot of its
+    /// low-priority scheduler context. Node 0 additionally gets the
+    /// seeded heap arrays and the boot message; nodes `n > 0` skip the
+    /// arrays (they live on node 0) and point their frame/heap bump
+    /// allocators at *tagged* addresses, so every frame or heap cell they
+    /// hand out carries its home-node tag.
+    fn boot_nodes<'c>(&self, linked: &'c Linked) -> Vec<Machine<'c>> {
+        (0..self.nodes)
+            .map(|n| {
+                let mut machine = Machine::new(linked.cfg, &linked.code);
+                for &(addr, w) in &linked.seed {
+                    if n > 0 && addr >= linked.cfg.map.heap_base {
+                        continue; // initial arrays live on node 0
+                    }
+                    machine.mem.write(addr, w);
+                }
+                if n > 0 {
+                    let tag = node_tag(n);
+                    machine.mem.write(
+                        linked.net.frame_bump,
+                        Word::from_addr(tag | linked.cfg.map.frame_base),
+                    );
+                    machine.mem.write(
+                        linked.net.heap_bump,
+                        Word::from_addr(tag | linked.net.heap_bump_init),
+                    );
+                }
+                machine.start_low(linked.start_low);
+                if n == 0 {
+                    machine
+                        .inject(Priority::High, &linked.boot)
+                        .expect("boot message exceeds queue capacity");
+                }
+                machine
+            })
+            .collect()
+    }
+}

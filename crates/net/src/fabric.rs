@@ -1,0 +1,438 @@
+//! The mesh fabric: bounded link buffers, store-and-forward movement,
+//! and network-interface inject/receive queues.
+//!
+//! Every buffer is bounded in *words* and nothing is ever dropped: a full
+//! buffer simply refuses the transfer and the message waits where it is.
+//! Back-pressure therefore propagates hop by hop from a congested
+//! destination all the way to the sending node's inject queue, whose
+//! refusal surfaces as [`tamsim_mdp::RouteOutcome::Busy`] — the sender's
+//! `SEND` instruction stalls (see `Machine::step`).
+//!
+//! Timing model, per transfer of an `L`-word message over a link with
+//! bandwidth `B` words/cycle and hop latency `H`:
+//! the head arrives `H + ⌈L/B⌉ - 1` cycles later, and the link cannot
+//! accept its next message for `⌈L/B⌉` cycles (serialization). All
+//! movement is evaluated in a fixed order (node index, then input port
+//! order, then the inject queue), so runs are bit-deterministic.
+
+use crate::topology::{Dir, MeshTopology};
+use std::collections::VecDeque;
+use tamsim_mdp::{Priority, Word};
+
+/// Fabric timing and buffering parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Router/wire traversal cycles per hop.
+    pub hop_latency: u32,
+    /// Link bandwidth in words per cycle (serialization divisor).
+    pub link_bandwidth: u32,
+    /// Per-link input buffer capacity in words.
+    pub link_capacity: u32,
+    /// NI inject-queue capacity in words (processor side).
+    pub inject_capacity: u32,
+    /// NI receive-queue capacity in words (ejection side).
+    pub recv_capacity: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            hop_latency: 2,
+            link_bandwidth: 1,
+            link_capacity: 64,
+            inject_capacity: 64,
+            recv_capacity: 64,
+        }
+    }
+}
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Injecting node.
+    pub src: u32,
+    /// Destination node.
+    pub dest: u32,
+    /// Queue priority at the destination.
+    pub pri: Priority,
+    /// The message words (header included).
+    pub words: Vec<Word>,
+    /// Link traversals so far.
+    pub hops: u32,
+    /// Fabric cycle at injection.
+    pub injected_at: u64,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    msg: Message,
+    /// Cycle at which the head is available to move (or be delivered).
+    ready_at: u64,
+}
+
+/// One bounded FIFO buffer (link input, inject, or receive).
+#[derive(Debug, Clone)]
+struct Buffer {
+    q: VecDeque<InFlight>,
+    used_words: u32,
+    cap_words: u32,
+    /// Serialization: the cycle at which the buffer can accept again.
+    busy_until: u64,
+}
+
+impl Buffer {
+    fn new(cap_words: u32) -> Self {
+        Buffer {
+            q: VecDeque::new(),
+            used_words: 0,
+            cap_words,
+            busy_until: 0,
+        }
+    }
+
+    fn can_accept(&self, len: u32, now: u64) -> bool {
+        self.used_words + len <= self.cap_words && now >= self.busy_until
+    }
+
+    fn push(&mut self, msg: Message, now: u64, cfg: &NetConfig) {
+        let len = msg.words.len() as u32;
+        debug_assert!(self.can_accept(len, now));
+        let ser = len.div_ceil(cfg.link_bandwidth) as u64;
+        self.used_words += len;
+        self.busy_until = now + ser;
+        self.q.push_back(InFlight {
+            msg,
+            ready_at: now + cfg.hop_latency as u64 + ser - 1,
+        });
+    }
+
+    fn ready_front(&self, now: u64) -> Option<&Message> {
+        self.q.front().filter(|f| f.ready_at <= now).map(|f| &f.msg)
+    }
+
+    fn pop(&mut self) -> Message {
+        let f = self.q.pop_front().expect("pop from empty buffer");
+        self.used_words -= f.msg.words.len() as u32;
+        f.msg
+    }
+
+    fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+}
+
+/// Aggregate fabric counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages accepted into an inject queue.
+    pub injected_msgs: u64,
+    /// Words accepted into an inject queue.
+    pub injected_words: u64,
+    /// Messages handed to a destination machine.
+    pub delivered_msgs: u64,
+    /// Words handed to a destination machine.
+    pub delivered_words: u64,
+    /// Link traversals summed over all messages.
+    pub hop_traversals: u64,
+    /// Sum over delivered messages of (delivery cycle − injection cycle).
+    pub latency_total: u64,
+    /// `try_inject` calls refused (sender NI stalls).
+    pub inject_stalls: u64,
+    /// Cycles a ready message sat at a receive-queue head because the
+    /// machine's message queue was full (back-pressure at the last hop).
+    pub deliver_stalls: u64,
+}
+
+/// The mesh interconnect: per-node inject and receive queues plus one
+/// bounded input buffer per (node, incoming direction).
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    topo: MeshTopology,
+    cfg: NetConfig,
+    /// `links[node * 4 + dir.index()]`: input buffer at `node` for
+    /// messages travelling in direction `dir` (i.e. arriving from the
+    /// neighbour on the opposite side).
+    links: Vec<Buffer>,
+    inject: Vec<Buffer>,
+    recv: Vec<Buffer>,
+    now: u64,
+    moves: u64,
+    stats: NetStats,
+}
+
+impl Fabric {
+    /// An empty fabric over `topo`.
+    pub fn new(topo: MeshTopology, cfg: NetConfig) -> Self {
+        let n = topo.nodes() as usize;
+        Fabric {
+            topo,
+            cfg,
+            links: (0..n * 4).map(|_| Buffer::new(cfg.link_capacity)).collect(),
+            inject: (0..n).map(|_| Buffer::new(cfg.inject_capacity)).collect(),
+            recv: (0..n).map(|_| Buffer::new(cfg.recv_capacity)).collect(),
+            now: 0,
+            moves: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The topology this fabric connects.
+    pub fn topology(&self) -> MeshTopology {
+        self.topo
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> u32 {
+        self.topo.nodes()
+    }
+
+    /// The current fabric cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Total transfers performed (progress watchdogs watch this).
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Offer a message to `src`'s inject queue. `false` = NI full: the
+    /// sender must stall and retry (nothing is consumed).
+    pub fn try_inject(&mut self, src: u32, dest: u32, pri: Priority, words: &[Word]) -> bool {
+        debug_assert!(src < self.nodes() && dest < self.nodes());
+        let len = words.len() as u32;
+        if !self.inject[src as usize].can_accept(len, self.now) {
+            self.stats.inject_stalls += 1;
+            return false;
+        }
+        let msg = Message {
+            src,
+            dest,
+            pri,
+            words: words.to_vec(),
+            hops: 0,
+            injected_at: self.now,
+        };
+        self.inject[src as usize].push(msg, self.now, &self.cfg);
+        self.stats.injected_msgs += 1;
+        self.stats.injected_words += len as u64;
+        true
+    }
+
+    /// Advance one cycle: move at most one ready message out of every
+    /// buffer (input ports in [`Dir::ALL`] order, then the inject queue),
+    /// ejecting at the destination into its receive queue and forwarding
+    /// everything else along its dimension-order route.
+    pub fn tick(&mut self) {
+        for node in 0..self.nodes() {
+            for src_q in Self::source_queues(node) {
+                let Some(head) = self.buffer(src_q).ready_front(self.now) else {
+                    continue;
+                };
+                let (dest, len) = (head.dest, head.words.len() as u32);
+                if dest == node {
+                    // Eject into the receive queue.
+                    if self.recv[node as usize].can_accept(len, self.now) {
+                        let msg = self.buffer_mut(src_q).pop();
+                        self.recv[node as usize].push(msg, self.now, &self.cfg);
+                        self.moves += 1;
+                    }
+                } else {
+                    let d = self.topo.next_hop(node, dest);
+                    let next = self.topo.neighbor(node, d);
+                    let target = (next as usize) * 4 + d.index();
+                    if self.links[target].can_accept(len, self.now) {
+                        let mut msg = self.buffer_mut(src_q).pop();
+                        msg.hops += 1;
+                        self.stats.hop_traversals += 1;
+                        self.links[target].push(msg, self.now, &self.cfg);
+                        self.moves += 1;
+                    }
+                }
+            }
+        }
+        self.now += 1;
+    }
+
+    /// The message ready for delivery at `node`, if any.
+    pub fn ready_recv(&self, node: u32) -> Option<&Message> {
+        self.recv[node as usize].ready_front(self.now)
+    }
+
+    /// Take the delivered message previously seen via
+    /// [`Fabric::ready_recv`], updating the delivery counters.
+    pub fn pop_recv(&mut self, node: u32) -> Message {
+        let msg = self.recv[node as usize].pop();
+        self.stats.delivered_msgs += 1;
+        self.stats.delivered_words += msg.words.len() as u64;
+        self.stats.latency_total += self.now - msg.injected_at;
+        msg
+    }
+
+    /// Record that a ready message could not enter the machine queue this
+    /// cycle (last-hop back-pressure).
+    pub fn note_deliver_stall(&mut self) {
+        self.stats.deliver_stalls += 1;
+    }
+
+    /// Whether no message is buffered anywhere in the fabric.
+    pub fn is_empty(&self) -> bool {
+        self.links.iter().all(Buffer::is_empty)
+            && self.inject.iter().all(Buffer::is_empty)
+            && self.recv.iter().all(Buffer::is_empty)
+    }
+
+    /// Messages currently buffered in the fabric, counted structurally
+    /// (the conservation property checks this against the counters).
+    pub fn in_flight_msgs(&self) -> u64 {
+        let count = |bufs: &[Buffer]| bufs.iter().map(|b| b.q.len() as u64).sum::<u64>();
+        count(&self.links) + count(&self.inject) + count(&self.recv)
+    }
+
+    /// Source-queue ids at `node`: the four input ports, then inject.
+    fn source_queues(node: u32) -> [SourceQueue; 5] {
+        let n = node as usize;
+        [
+            SourceQueue::Link(n * 4 + Dir::East.index()),
+            SourceQueue::Link(n * 4 + Dir::West.index()),
+            SourceQueue::Link(n * 4 + Dir::North.index()),
+            SourceQueue::Link(n * 4 + Dir::South.index()),
+            SourceQueue::Inject(n),
+        ]
+    }
+
+    fn buffer(&self, q: SourceQueue) -> &Buffer {
+        match q {
+            SourceQueue::Link(i) => &self.links[i],
+            SourceQueue::Inject(i) => &self.inject[i],
+        }
+    }
+
+    fn buffer_mut(&mut self, q: SourceQueue) -> &mut Buffer {
+        match q {
+            SourceQueue::Link(i) => &mut self.links[i],
+            SourceQueue::Inject(i) => &mut self.inject[i],
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SourceQueue {
+    Link(usize),
+    Inject(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg_words(n: usize) -> Vec<Word> {
+        (0..n).map(|i| Word::from_i64(i as i64)).collect()
+    }
+
+    fn pump(f: &mut Fabric, cycles: u32) {
+        for _ in 0..cycles {
+            f.tick();
+        }
+    }
+
+    #[test]
+    fn single_hop_arrives_after_latency_and_serialization() {
+        let topo = MeshTopology {
+            width: 2,
+            height: 1,
+        };
+        let cfg = NetConfig::default(); // hop_latency 2, bandwidth 1
+        let mut f = Fabric::new(topo, cfg);
+        assert!(f.try_inject(0, 1, Priority::Low, &msg_words(3)));
+        // Inject at cycle 0 (ready_at 0+2+3-1 = 4 in the inject queue),
+        // then one link hop and one ejection; the exact arrival cycle is
+        // a model detail — what matters is that it arrives, is FIFO, and
+        // carries its hop count.
+        let mut cycles = 0;
+        while f.ready_recv(1).is_none() {
+            f.tick();
+            cycles += 1;
+            assert!(cycles < 100, "message must arrive");
+        }
+        let m = f.ready_recv(1).unwrap();
+        assert_eq!(m.hops, 1);
+        assert_eq!(m.words, msg_words(3));
+        let m = f.pop_recv(1);
+        assert_eq!(m.dest, 1);
+        assert!(f.is_empty());
+        assert_eq!(f.stats().delivered_msgs, 1);
+    }
+
+    #[test]
+    fn zero_hop_self_message_is_ejected_locally() {
+        let topo = MeshTopology {
+            width: 2,
+            height: 1,
+        };
+        let mut f = Fabric::new(topo, NetConfig::default());
+        assert!(f.try_inject(0, 0, Priority::High, &msg_words(2)));
+        pump(&mut f, 10);
+        let m = f.pop_recv(0);
+        assert_eq!(m.hops, 0);
+        assert_eq!(m.pri, Priority::High);
+    }
+
+    #[test]
+    fn inject_queue_overflow_refuses_without_losing_anything() {
+        let topo = MeshTopology {
+            width: 2,
+            height: 1,
+        };
+        let cfg = NetConfig {
+            inject_capacity: 8,
+            ..NetConfig::default()
+        };
+        let mut f = Fabric::new(topo, cfg);
+        assert!(f.try_inject(0, 1, Priority::Low, &msg_words(5)));
+        // Refused while the NI serializes the first message...
+        assert!(!f.try_inject(0, 1, Priority::Low, &msg_words(3)));
+        pump(&mut f, 5);
+        // ...accepted once serialization ends (8 words fill capacity)...
+        assert!(f.try_inject(0, 1, Priority::Low, &msg_words(3)));
+        // ...and refused again on word capacity while both are buffered.
+        assert!(!f.try_inject(0, 1, Priority::Low, &msg_words(1)), "full");
+        assert_eq!(f.stats().inject_stalls, 2);
+        assert_eq!(f.stats().injected_msgs, 2);
+        // Everything still arrives, in order.
+        pump(&mut f, 50);
+        assert_eq!(f.pop_recv(1).words.len(), 5);
+        assert_eq!(f.pop_recv(1).words.len(), 3);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn serialization_gates_back_to_back_messages() {
+        let topo = MeshTopology {
+            width: 2,
+            height: 1,
+        };
+        let cfg = NetConfig {
+            link_bandwidth: 1,
+            ..NetConfig::default()
+        };
+        let mut f = Fabric::new(topo, cfg);
+        assert!(f.try_inject(0, 1, Priority::Low, &msg_words(4)));
+        // 4 words at 1 word/cycle: the inject buffer is busy until cycle
+        // 4, so an immediate second message is refused even though the
+        // word capacity would allow it.
+        assert!(!f.try_inject(0, 1, Priority::Low, &msg_words(4)));
+        pump(&mut f, 4);
+        assert!(f.try_inject(0, 1, Priority::Low, &msg_words(4)));
+        pump(&mut f, 60);
+        assert_eq!(f.pop_recv(1).words.len(), 4);
+        assert_eq!(f.pop_recv(1).words.len(), 4);
+        assert_eq!(f.stats().delivered_msgs, 2);
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! # tamsim-net
+//!
+//! The multi-node extension of the simulator: `K` MDP nodes — each with
+//! its own memory, queues, and caches — connected by a dimension-order-
+//! routed 2D mesh with configurable hop latency, link bandwidth, and
+//! bounded, back-pressured buffers (a full path stalls the sender's
+//! `SEND`; nothing is ever dropped).
+//!
+//! ## Global addresses
+//!
+//! The single-node address space tops out at `MemoryMap::top`
+//! (`0x0800_0000 = 1 << 27`), so a 32-bit word has five spare high bits:
+//! a *global* address is `node << 27 | local`. Frames and heap cells
+//! allocated on node `n` carry `n`'s tag; the tag rides through ALU
+//! arithmetic untouched (addresses are ordinary integers to the program)
+//! and is masked off by the machine's `addr_mask` when a register-based
+//! load or store reaches local memory. The network interface routes every
+//! runtime message by the tag of its locus word — see [`port::NodePort`] —
+//! so split-phase calls, I-structure requests, frame frees, and replies
+//! all become genuine cross-node messages exactly when their locus lives
+//! elsewhere.
+//!
+//! ## The anchor invariant
+//!
+//! A `1×1` mesh is **bit-identical** to the single-node
+//! `tamsim_core::Experiment` run: same result words, same heap arrays,
+//! same instruction count, same per-region access counts. With one node
+//! every locus is local, so [`port::NodePort`] degenerates to
+//! `tamsim_mdp::Loopback`, the `addr_mask` is the identity on every valid
+//! single-node address, and `MeshExperiment`'s cycle loop replays
+//! `Machine::run`'s step loop exactly. The integration tests and the fuzz
+//! harness (`tamsim fuzz --mesh`) both enforce this.
+
+pub mod driver;
+pub mod fabric;
+pub mod place;
+pub mod port;
+pub mod topology;
+
+pub use driver::{ActivityTrack, MeshExperiment, MeshRunResult, NodeState};
+pub use fabric::{Fabric, Message, NetConfig, NetStats};
+pub use place::{Placement, PlacementPolicy};
+pub use port::NodePort;
+pub use topology::{Dir, MeshTopology};
+
+/// Bit position of the node tag in a global address: the single-node
+/// address space ends at `1 << 27` (`MemoryMap::top`), so the tag sits
+/// just above it.
+pub const NODE_SHIFT: u32 = 27;
+
+/// Mask selecting the node-local part of a global address.
+pub const LOCAL_MASK: u32 = (1 << NODE_SHIFT) - 1;
+
+/// Largest supported mesh: 5 tag bits, and bit 31 must stay clear so
+/// tagged addresses remain valid non-negative `i64` words.
+pub const MAX_NODES: u32 = 1 << (31 - NODE_SHIFT);
+
+/// The node-tag bits for `node`.
+#[inline]
+pub fn node_tag(node: u32) -> u32 {
+    debug_assert!(node < MAX_NODES);
+    node << NODE_SHIFT
+}
+
+/// The home node encoded in a global address (0 for untagged single-node
+/// addresses).
+#[inline]
+pub fn node_of(addr: u32) -> u32 {
+    addr >> NODE_SHIFT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagging_round_trips_and_is_identity_on_node_zero() {
+        for n in [0, 1, 5, MAX_NODES - 1] {
+            let a = node_tag(n) | 0x123_4560;
+            assert_eq!(node_of(a), n);
+            assert_eq!(a & LOCAL_MASK, 0x123_4560);
+        }
+        assert_eq!(node_tag(0), 0);
+        // Tagged addresses never set bit 31 (words stay non-negative).
+        assert!(node_tag(MAX_NODES - 1) | LOCAL_MASK <= i32::MAX as u32);
+    }
+
+    #[test]
+    fn node_shift_matches_the_memory_map() {
+        assert_eq!(tamsim_trace::MemoryMap::default().top, 1 << NODE_SHIFT);
+    }
+}

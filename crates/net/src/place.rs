@@ -1,0 +1,147 @@
+//! Frame-placement policies.
+//!
+//! Frame allocation is the one runtime message whose destination is a
+//! *choice* rather than an address: a `falloc` request names no existing
+//! locus, so the network interface decides which node will own the new
+//! activation. That decision is the knob the paper's locality argument
+//! turns on — spreading frames buys parallel cache capacity, keeping them
+//! near their parents buys shorter, cheaper messages.
+
+/// How frame-allocation requests are spread across the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Rotate through the nodes in index order, one frame each. Maximizes
+    /// spread (and message traffic); the classic work-distribution
+    /// baseline.
+    #[default]
+    RoundRobin,
+    /// Keep the frame on the requesting node unless that node holds
+    /// noticeably more live frames than the least-loaded node, in which
+    /// case allocate on the least-loaded node. Trades spread for locality
+    /// (parent↔child messages stay on-node).
+    LocalityAware,
+}
+
+impl PlacementPolicy {
+    /// Stable CLI / CSV label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::RoundRobin => "rr",
+            PlacementPolicy::LocalityAware => "local",
+        }
+    }
+
+    /// Parse a [`PlacementPolicy::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "rr" | "round-robin" => Some(PlacementPolicy::RoundRobin),
+            "local" | "locality" => Some(PlacementPolicy::LocalityAware),
+            _ => None,
+        }
+    }
+}
+
+/// Live-frame imbalance (in frames) the locality-aware policy tolerates
+/// before shedding an allocation to the least-loaded node.
+const LOCALITY_SLACK: u64 = 2;
+
+/// Placement state: the policy plus the per-node live-frame census it
+/// steers by.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    policy: PlacementPolicy,
+    /// Next node in round-robin order.
+    rr_next: u32,
+    /// Live frames per node (`falloc` routed − `ffree` routed).
+    live: Vec<u64>,
+}
+
+impl Placement {
+    /// Fresh state for `nodes` nodes.
+    pub fn new(policy: PlacementPolicy, nodes: u32) -> Self {
+        Placement {
+            policy,
+            rr_next: 0,
+            live: vec![0; nodes as usize],
+        }
+    }
+
+    /// The node the next frame from `from` should land on. Pure: a
+    /// blocked send re-asks every retry and must keep getting the same
+    /// answer until [`Placement::commit`].
+    pub fn peek(&self, from: u32) -> u32 {
+        match self.policy {
+            PlacementPolicy::RoundRobin => self.rr_next,
+            PlacementPolicy::LocalityAware => {
+                let (argmin, min) = self
+                    .live
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &l)| l)
+                    .map(|(i, &l)| (i as u32, l))
+                    .expect("placement over zero nodes");
+                if self.live[from as usize] > min + LOCALITY_SLACK {
+                    argmin
+                } else {
+                    from
+                }
+            }
+        }
+    }
+
+    /// Record that a frame request was actually routed to `dest` (only
+    /// called once the network accepted the message).
+    pub fn commit(&mut self, dest: u32) {
+        self.live[dest as usize] += 1;
+        if self.policy == PlacementPolicy::RoundRobin {
+            self.rr_next = (self.rr_next + 1) % self.live.len() as u32;
+        }
+    }
+
+    /// Record that a frame on `node` was freed.
+    pub fn freed(&mut self, node: u32) {
+        self.live[node as usize] = self.live[node as usize].saturating_sub(1);
+    }
+
+    /// Live-frame census (tests and stats).
+    pub fn live(&self) -> &[u64] {
+        &self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates_only_on_commit() {
+        let mut p = Placement::new(PlacementPolicy::RoundRobin, 4);
+        assert_eq!(p.peek(2), 0);
+        assert_eq!(p.peek(2), 0, "peek is stable across send retries");
+        p.commit(0);
+        assert_eq!(p.peek(2), 1);
+        p.commit(1);
+        p.commit(2);
+        p.commit(3);
+        assert_eq!(p.peek(0), 0, "wraps");
+        assert_eq!(p.live(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn locality_aware_stays_home_until_imbalanced() {
+        let mut p = Placement::new(PlacementPolicy::LocalityAware, 4);
+        // Within the slack the requester keeps its own frames.
+        for _ in 0..=LOCALITY_SLACK {
+            let d = p.peek(1);
+            assert_eq!(d, 1);
+            p.commit(d);
+        }
+        // Now node 1 exceeds min (0) + slack: shed to the least-loaded
+        // node (lowest index on ties).
+        assert_eq!(p.peek(1), 0);
+        p.commit(0);
+        // Frees rebalance the census.
+        p.freed(1);
+        assert_eq!(p.peek(1), 1);
+    }
+}

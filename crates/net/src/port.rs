@@ -1,0 +1,83 @@
+//! The per-node network interface: decides where each `SEND` goes.
+//!
+//! Every runtime message is `[handler, locus, ...]` (see
+//! `tamsim_core::NetInfo`): the second word is a frame or heap-cell
+//! address whose node-tag bits name the home node. Two handlers get
+//! special treatment:
+//!
+//! * **`falloc`** — the locus is a codeblock id, not an address; the
+//!   destination is chosen by the frame-[`Placement`] policy. The chosen
+//!   node allocates the frame from *its own* arena, so the frame's
+//!   address carries that node's tag and every later message about it
+//!   routes home by the uniform rule.
+//! * **`ffree`** — routed by the frame's tag like everything else, but
+//!   also reported to the placement census so locality-aware placement
+//!   sees frees.
+//!
+//! Words that cannot be an address (fuzzed programs can send anything)
+//! fall back to local delivery: a lone node must behave exactly like a
+//! single-node machine, and garbage never escapes the sender.
+
+use crate::fabric::Fabric;
+use crate::node_of;
+use crate::place::Placement;
+use tamsim_core::NetInfo;
+use tamsim_mdp::{NetPort, Priority, RouteOutcome, Word};
+
+/// One node's view of the fabric, constructed fresh for each
+/// [`tamsim_mdp::Machine::step`] call (it borrows the shared fabric and
+/// placement state mutably).
+pub struct NodePort<'a> {
+    /// This node's id.
+    pub node: u32,
+    /// Link-time routing facts.
+    pub info: NetInfo,
+    /// The shared interconnect.
+    pub fabric: &'a mut Fabric,
+    /// The shared frame-placement state.
+    pub placement: &'a mut Placement,
+}
+
+impl NodePort<'_> {
+    /// The destination node of `words`, or `None` when the message must
+    /// stay local (malformed locus — only fuzzers produce these).
+    fn destination(&self, words: &[Word]) -> Option<u32> {
+        if words.len() < 2 {
+            return None;
+        }
+        if words[0].bits() == self.info.falloc_addr as u64 {
+            return Some(self.placement.peek(self.node));
+        }
+        let locus = words[1].bits();
+        if locus > u32::MAX as u64 {
+            return None;
+        }
+        let node = node_of(locus as u32);
+        (node < self.fabric.nodes()).then_some(node)
+    }
+}
+
+impl NetPort for NodePort<'_> {
+    fn route(&mut self, pri: Priority, words: &[Word]) -> RouteOutcome {
+        let dest = self.destination(words).unwrap_or(self.node);
+        let outcome = if dest == self.node {
+            RouteOutcome::Local
+        } else if self.fabric.try_inject(self.node, dest, pri, words) {
+            RouteOutcome::Injected
+        } else {
+            return RouteOutcome::Busy; // nothing committed; retried verbatim
+        };
+        // The message is definitely on its way: update the census.
+        let handler = words[0].bits();
+        if handler == self.info.falloc_addr as u64 {
+            self.placement.commit(dest);
+        } else if handler == self.info.ffree_addr as u64 && words.len() >= 2 {
+            let frame = words[1].bits();
+            if frame <= u32::MAX as u64 {
+                self.placement
+                    .freed(node_of(frame as u32).min(self.fabric.nodes() - 1));
+            }
+        }
+        outcome
+    }
+}

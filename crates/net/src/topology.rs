@@ -1,0 +1,236 @@
+//! 2D mesh topology and dimension-order routing.
+//!
+//! The J-Machine is a 3D mesh; the paper's locality questions only need
+//! *some* distance structure, so this crate models the common 2D variant:
+//! nodes at integer coordinates, bidirectional links between orthogonal
+//! neighbours, and deterministic dimension-order (X-then-Y) routing — the
+//! J-Machine's own e-cube scheme, deadlock-free on a mesh because no
+//! message ever turns from a Y channel back into an X channel.
+
+/// A link direction out of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// +X.
+    East,
+    /// -X.
+    West,
+    /// +Y.
+    North,
+    /// -Y.
+    South,
+}
+
+impl Dir {
+    /// All directions, in the fixed order used for deterministic
+    /// iteration over a node's input ports.
+    pub const ALL: [Dir; 4] = [Dir::East, Dir::West, Dir::North, Dir::South];
+
+    /// Dense index (0..4).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Dir::East => 0,
+            Dir::West => 1,
+            Dir::North => 2,
+            Dir::South => 3,
+        }
+    }
+}
+
+/// A `width × height` mesh; node `n` sits at `(n % width, n / width)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshTopology {
+    /// Nodes per row (X extent).
+    pub width: u32,
+    /// Rows (Y extent).
+    pub height: u32,
+}
+
+impl MeshTopology {
+    /// The most-square mesh with exactly `n` nodes: height is the largest
+    /// divisor of `n` that is at most `√n` (so `8 → 4×2`, `7 → 7×1`).
+    ///
+    /// # Panics
+    /// Panics when `n` is zero.
+    pub fn for_nodes(n: u32) -> Self {
+        assert!(n > 0, "a mesh needs at least one node");
+        let mut h = (n as f64).sqrt() as u32;
+        while !n.is_multiple_of(h) {
+            h -= 1;
+        }
+        MeshTopology {
+            width: n / h,
+            height: h,
+        }
+    }
+
+    /// Total node count.
+    #[inline]
+    pub fn nodes(&self) -> u32 {
+        self.width * self.height
+    }
+
+    /// Coordinates of `node`.
+    #[inline]
+    pub fn coords(&self, node: u32) -> (u32, u32) {
+        debug_assert!(node < self.nodes());
+        (node % self.width, node / self.width)
+    }
+
+    /// Node id at `(x, y)`.
+    #[inline]
+    pub fn node_at(&self, x: u32, y: u32) -> u32 {
+        debug_assert!(x < self.width && y < self.height);
+        y * self.width + x
+    }
+
+    /// Manhattan distance between two nodes — the hop count of every
+    /// dimension-order route.
+    pub fn manhattan(&self, a: u32, b: u32) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// The dimension-order next hop from `from` toward `to`: correct X
+    /// fully, then Y.
+    ///
+    /// # Panics
+    /// Panics when `from == to` (a delivered message has no next hop).
+    pub fn next_hop(&self, from: u32, to: u32) -> Dir {
+        assert_ne!(from, to, "no next hop for a delivered message");
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        if fx < tx {
+            Dir::East
+        } else if fx > tx {
+            Dir::West
+        } else if fy < ty {
+            Dir::North
+        } else {
+            Dir::South
+        }
+    }
+
+    /// The neighbour of `node` in direction `d`.
+    ///
+    /// # Panics
+    /// Panics when the link would leave the mesh edge.
+    pub fn neighbor(&self, node: u32, d: Dir) -> u32 {
+        let (x, y) = self.coords(node);
+        match d {
+            Dir::East => self.node_at(x + 1, y),
+            Dir::West => self.node_at(x - 1, y),
+            Dir::North => self.node_at(x, y + 1),
+            Dir::South => self.node_at(x, y - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factoring_is_near_square() {
+        assert_eq!(
+            MeshTopology::for_nodes(1),
+            MeshTopology {
+                width: 1,
+                height: 1
+            }
+        );
+        assert_eq!(
+            MeshTopology::for_nodes(2),
+            MeshTopology {
+                width: 2,
+                height: 1
+            }
+        );
+        assert_eq!(
+            MeshTopology::for_nodes(4),
+            MeshTopology {
+                width: 2,
+                height: 2
+            }
+        );
+        assert_eq!(
+            MeshTopology::for_nodes(8),
+            MeshTopology {
+                width: 4,
+                height: 2
+            }
+        );
+        assert_eq!(
+            MeshTopology::for_nodes(16),
+            MeshTopology {
+                width: 4,
+                height: 4
+            }
+        );
+        assert_eq!(
+            MeshTopology::for_nodes(7),
+            MeshTopology {
+                width: 7,
+                height: 1
+            }
+        );
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let t = MeshTopology::for_nodes(8);
+        for n in 0..t.nodes() {
+            let (x, y) = t.coords(n);
+            assert_eq!(t.node_at(x, y), n);
+        }
+    }
+
+    #[test]
+    fn dimension_order_corrects_x_before_y() {
+        let t = MeshTopology {
+            width: 4,
+            height: 4,
+        };
+        let from = t.node_at(0, 0);
+        let to = t.node_at(2, 3);
+        // Walk the route and record the turn sequence.
+        let mut cur = from;
+        let mut dirs = Vec::new();
+        while cur != to {
+            let d = t.next_hop(cur, to);
+            dirs.push(d);
+            cur = t.neighbor(cur, d);
+        }
+        assert_eq!(dirs.len() as u32, t.manhattan(from, to));
+        assert_eq!(
+            dirs,
+            vec![Dir::East, Dir::East, Dir::North, Dir::North, Dir::North]
+        );
+        // No Y→X turn anywhere (the deadlock-freedom invariant).
+        let first_y = dirs
+            .iter()
+            .position(|d| matches!(d, Dir::North | Dir::South))
+            .unwrap();
+        assert!(dirs[first_y..]
+            .iter()
+            .all(|d| matches!(d, Dir::North | Dir::South)));
+    }
+
+    #[test]
+    fn routes_terminate_everywhere() {
+        let t = MeshTopology::for_nodes(8);
+        for a in 0..t.nodes() {
+            for b in 0..t.nodes() {
+                let mut cur = a;
+                let mut hops = 0;
+                while cur != b {
+                    cur = t.neighbor(cur, t.next_hop(cur, b));
+                    hops += 1;
+                    assert!(hops <= t.width + t.height, "route must not wander");
+                }
+                assert_eq!(hops, t.manhattan(a, b));
+            }
+        }
+    }
+}

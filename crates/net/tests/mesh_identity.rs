@@ -1,0 +1,58 @@
+//! The anchor invariant: a 1×1 mesh is bit-identical to the single-node
+//! experiment driver — same result words, same heap arrays, same
+//! instruction counts and machine stats, same per-region access counts —
+//! for every implementation. The mesh path reuses `Machine::step` but
+//! drives it through `NodePort`, the masked address path, and the global
+//! cycle loop, so this pins all of that machinery to the original
+//! executor.
+
+use tamsim_core::{Experiment, Implementation};
+use tamsim_net::MeshExperiment;
+use tamsim_programs as programs;
+use tamsim_tam::Program;
+
+const IMPLS: [Implementation; 3] = [
+    Implementation::Am,
+    Implementation::AmEnabled,
+    Implementation::Md,
+];
+
+fn assert_identical(program: &Program) {
+    for impl_ in IMPLS {
+        let single = Experiment::new(impl_).run(program);
+        let mesh = MeshExperiment::new(impl_, 1).run(program);
+        let ctx = format!("{} under {:?}", program.name, impl_);
+        assert_eq!(mesh.result, single.result, "result words differ: {ctx}");
+        assert_eq!(mesh.arrays, single.arrays, "heap arrays differ: {ctx}");
+        assert_eq!(
+            mesh.instructions, single.instructions,
+            "instruction counts differ: {ctx}"
+        );
+        assert_eq!(mesh.stats.len(), 1);
+        assert_eq!(mesh.stats[0], single.stats, "machine stats differ: {ctx}");
+        assert_eq!(mesh.counts.len(), 1);
+        assert_eq!(mesh.counts[0], single.counts, "access counts differ: {ctx}");
+        assert_eq!(
+            mesh.queue_words, single.queue_words,
+            "queue auto-sizing diverged: {ctx}"
+        );
+        // And the fabric really was never used.
+        assert_eq!(
+            mesh.net.injected_msgs, 0,
+            "1×1 mesh injected into the fabric: {ctx}"
+        );
+        assert_eq!(mesh.total_stall_cycles(), 0, "1×1 mesh stalled: {ctx}");
+    }
+}
+
+#[test]
+fn fib_is_bit_identical_on_a_1x1_mesh() {
+    assert_identical(&programs::fib(12));
+}
+
+#[test]
+fn small_suite_is_bit_identical_on_a_1x1_mesh() {
+    for bench in programs::small_suite() {
+        assert_identical(&bench.program);
+    }
+}

@@ -136,6 +136,94 @@ pub fn chrome_trace_json(p: &Profile) -> String {
     out
 }
 
+/// One span of a mesh node's timeline ([`mesh_trace_json`]).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeTrackSpan {
+    /// Slice name shown in the viewer ("run", "stall", ...).
+    pub label: &'static str,
+    /// First cycle of the span.
+    pub start: u64,
+    /// Span length in cycles.
+    pub cycles: u64,
+}
+
+/// One mesh node's timeline: a named Perfetto track of cycle spans. Kept
+/// free of simulator types so the exporter stays generic; the mesh driver
+/// adapts its run-length activity encoding into this shape.
+#[derive(Debug, Clone)]
+pub struct NodeTrack {
+    /// Track (thread) name, e.g. `"node 3"`.
+    pub name: String,
+    /// Spans in time order.
+    pub spans: Vec<NodeTrackSpan>,
+}
+
+/// Render a mesh run as a Chrome trace-event JSON document with one
+/// track per node, loadable in `ui.perfetto.dev`: what every node was
+/// doing on every global cycle, side by side.
+pub fn mesh_trace_json(
+    program: &str,
+    implementation: &str,
+    total_cycles: u64,
+    tracks: &[NodeTrack],
+) -> String {
+    let n_spans: usize = tracks.iter().map(|t| t.spans.len()).sum();
+    let mut out = String::with_capacity(4 * 1024 + n_spans * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{");
+    let _ = write!(
+        out,
+        "\"program\":{},\"implementation\":{},\"nodes\":{},\"total_cycles\":{}",
+        quote(program),
+        quote(implementation),
+        tracks.len(),
+        total_cycles
+    );
+    out.push_str("},\"traceEvents\":[");
+    let mut first = true;
+    let mut event = |s: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(&s);
+    };
+
+    let process_name = format!("tamsim mesh {program} ({implementation})");
+    event(
+        format!(
+            "{{\"ph\":\"M\",\"pid\":{PID},\"name\":\"process_name\",\"args\":{{\"name\":{}}}}}",
+            quote(&process_name)
+        ),
+        &mut out,
+    );
+    for (tid, track) in tracks.iter().enumerate() {
+        event(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+                quote(&track.name)
+            ),
+            &mut out,
+        );
+        event(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\"name\":\"thread_sort_index\",\"args\":{{\"sort_index\":{tid}}}}}"
+            ),
+            &mut out,
+        );
+        for s in &track.spans {
+            event(
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":{PID},\"tid\":{tid},\"name\":\"{}\",\"cat\":\"node\",\"ts\":{},\"dur\":{}}}",
+                    s.label, s.start, s.cycles
+                ),
+                &mut out,
+            );
+        }
+    }
+
+    out.push_str("]}");
+    out
+}
+
 /// Render the compact statistics profile (`profile.json`).
 pub fn profile_json(p: &Profile) -> String {
     let q = &p.timeline.quanta;
@@ -282,6 +370,42 @@ mod tests {
         assert!(trace.contains("fib.t0"));
         assert!(trace.contains("queue depth (words)"));
         assert!(trace.contains("rcv occupancy (threads)"));
+    }
+
+    #[test]
+    fn mesh_trace_has_one_track_per_node() {
+        let tracks = vec![
+            NodeTrack {
+                name: "node 0".to_string(),
+                spans: vec![
+                    NodeTrackSpan {
+                        label: "run",
+                        start: 0,
+                        cycles: 5,
+                    },
+                    NodeTrackSpan {
+                        label: "stall",
+                        start: 5,
+                        cycles: 2,
+                    },
+                ],
+            },
+            NodeTrack {
+                name: "node 1".to_string(),
+                spans: vec![NodeTrackSpan {
+                    label: "run",
+                    start: 3,
+                    cycles: 4,
+                }],
+            },
+        ];
+        let trace = mesh_trace_json("fib", "MD", 7, &tracks);
+        json::validate(&trace).expect("mesh trace must parse");
+        assert!(trace.contains("\"nodes\":2"));
+        assert!(trace.contains("node 0"));
+        assert!(trace.contains("node 1"));
+        assert!(trace.contains("\"name\":\"stall\""));
+        assert_eq!(trace.matches("\"ph\":\"X\"").count(), 3);
     }
 
     #[test]

@@ -31,7 +31,7 @@ mod timeline;
 
 use std::fmt;
 
-pub use export::{chrome_trace_json, profile_json};
+pub use export::{chrome_trace_json, mesh_trace_json, profile_json, NodeTrack, NodeTrackSpan};
 pub use hooks::{ProfileHooks, RawProfile};
 pub use hotspot::{HotspotReport, HotspotRow, RegionHotspots};
 pub use manifest::{git_revision, Manifest};

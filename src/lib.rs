@@ -13,6 +13,8 @@
 //! * [`cache`] — the set-associative write-back split I/D cache simulator.
 //! * [`core`] — the Active-Messages and Message-Driven runtime lowerings and
 //!   the experiment driver (the paper's contribution).
+//! * [`net`] — the multi-node extension: K MDP nodes on a dimension-order
+//!   2D mesh with frame-placement policies and back-pressured links.
 //! * [`programs`] — the six benchmark programs of the paper.
 //! * [`metrics`] — granularity statistics, cycle ratios, and figure/table
 //!   rendering.
@@ -41,6 +43,7 @@ pub use tamsim_check as check;
 pub use tamsim_core as core;
 pub use tamsim_mdp as mdp;
 pub use tamsim_metrics as metrics;
+pub use tamsim_net as net;
 pub use tamsim_programs as programs;
 pub use tamsim_tam as tam;
 pub use tamsim_trace as trace;

@@ -43,6 +43,18 @@ impl CacheStats {
     }
 }
 
+// Counters from disjoint caches add meaningfully (per-node caches on a
+// mesh are aggregated this way).
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.reads += rhs.reads;
+        self.read_misses += rhs.read_misses;
+        self.writes += rhs.writes;
+        self.write_misses += rhs.write_misses;
+        self.writebacks += rhs.writebacks;
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
     tag: u32,

@@ -111,6 +111,15 @@ impl CacheSummary {
     }
 }
 
+// Summaries of disjoint cache systems add: a K-node mesh has one private
+// I/D pair per node, and its sweep-level outcome is the per-node sum.
+impl std::ops::AddAssign for CacheSummary {
+    fn add_assign(&mut self, rhs: CacheSummary) {
+        self.i += rhs.i;
+        self.d += rhs.d;
+    }
+}
+
 /// The cycle model.
 ///
 /// Per the paper: "instructions were assumed to uniformly take one cycle,
@@ -226,6 +235,32 @@ impl CacheBank {
             trace.replay(&mut system);
             (g, system.summary())
         })
+    }
+
+    /// Score every geometry against several recorded logs — one *private*
+    /// system per (geometry, log), summaries summed per geometry.
+    ///
+    /// This is the mesh cache model: each node owns an I/D pair, a
+    /// recorded mesh run yields one log per node, and the sweep-level
+    /// outcome for a geometry is the sum over all nodes' private caches.
+    /// Results are in `geometries` order; each log replays through
+    /// [`CacheBank::replay_parallel`], so the sweep still fans out across
+    /// the worker pool.
+    pub fn replay_parallel_many(
+        geometries: &[CacheGeometry],
+        logs: &[TraceLog],
+    ) -> Vec<(CacheGeometry, CacheSummary)> {
+        let mut acc: Vec<(CacheGeometry, CacheSummary)> = geometries
+            .iter()
+            .map(|g| (*g, CacheSummary::default()))
+            .collect();
+        for log in logs {
+            for (slot, (g, s)) in acc.iter_mut().zip(Self::replay_parallel(geometries, log)) {
+                debug_assert_eq!(slot.0, g);
+                slot.1 += s;
+            }
+        }
+        acc
     }
 }
 

@@ -34,7 +34,12 @@
 //!   counters, and region/kind access counts — with zero network traffic.
 //!   The mesh driver degenerating to exactly `Machine::run` is the anchor
 //!   invariant every multi-node number rests on, so it gets fuzzed, not
-//!   just unit-tested.
+//!   just unit-tested. On top of that, every back-end runs on a 4-node
+//!   mesh under both placement policies twice — once with the lockstep
+//!   driver, once with the event-horizon fast-forward — and the two must
+//!   agree in every observable (cycles, per-node counters and timelines,
+//!   fabric statistics, queue growth): the fast-forward may only skip
+//!   cycles that were provably no-ops.
 //!
 //! A [`Mutation`] injects a deliberate bug into the MD back-end's copy of
 //! the program — the harness's self-test that divergences are actually
@@ -44,7 +49,7 @@ use crate::invariant::InvariantChecker;
 use tamsim_cache::{CacheBank, CacheGeometry};
 use tamsim_core::{link, FrameLayout, GlobalsMap, Implementation, LoweringOptions};
 use tamsim_mdp::{HaltReason, Machine, MachineConfig, RunError, RunStats, SinkHooks};
-use tamsim_net::MeshExperiment;
+use tamsim_net::{MeshExperiment, PlacementPolicy};
 use tamsim_tam::{AluOp, Program, TOp};
 use tamsim_trace::{
     Access, AccessCounts, CountingSink, Mark, MarkSink, Priority, Tee, TraceLog, TraceSink,
@@ -541,6 +546,106 @@ fn mesh_identity_check(
             mesh.net.injected_msgs,
             mesh.total_stall_cycles()
         )));
+    }
+    mesh_driver_cross_check(program, impl_, label, cfg)
+}
+
+/// Node count the fuzz cross-check runs the two mesh drivers on: a 2×2
+/// mesh, the smallest with multi-hop routes in both dimensions.
+const CROSS_CHECK_NODES: u32 = 4;
+
+/// Run `program` on a [`CROSS_CHECK_NODES`]-node mesh under both drivers —
+/// PR 4's lockstep loop and the event-horizon fast-forward — and both
+/// placement policies, and require bit-identity in every observable. The
+/// fast-forward may only skip cycles that were pure no-ops; any divergence
+/// here means it skipped one that was not.
+fn mesh_driver_cross_check(
+    program: &Program,
+    impl_: Implementation,
+    label: &'static str,
+    cfg: &CheckConfig,
+) -> Result<(), CheckFailure> {
+    for policy in [PlacementPolicy::RoundRobin, PlacementPolicy::LocalityAware] {
+        let fail = |what: String| CheckFailure {
+            kind: FailureKind::MeshDivergence,
+            detail: format!(
+                "{label}: {what} (lockstep vs fast-forward, {CROSS_CHECK_NODES} nodes, {})",
+                policy.label()
+            ),
+        };
+        let mut exp = MeshExperiment::new(impl_, CROSS_CHECK_NODES).with_placement(policy);
+        exp.fuel = cfg.fuel;
+        // Multi-node runs may legitimately need more queue space than the
+        // single-node run probed; both drivers must grow identically.
+        exp.queue_words = [cfg.queue_words, cfg.queue_words];
+        let lock = catch_trap(|| exp.lockstep().run(program))
+            .map_err(|trap| fail(format!("lockstep run trapped: {trap}")))?;
+        let fast = catch_trap(|| exp.run(program))
+            .map_err(|trap| fail(format!("fast-forward run trapped: {trap}")))?;
+
+        // Every observable, in roughly the order a divergence would be
+        // easiest to diagnose from.
+        if fast.cycles != lock.cycles {
+            return Err(fail(format!(
+                "cycle count diverges: lockstep {}, fast-forward {}",
+                lock.cycles, fast.cycles
+            )));
+        }
+        if fast.halt != lock.halt {
+            return Err(fail(format!(
+                "halt reason diverges: lockstep {:?}, fast-forward {:?}",
+                lock.halt, fast.halt
+            )));
+        }
+        if fast.result != lock.result {
+            return Err(fail("result words diverge".into()));
+        }
+        if fast.arrays != lock.arrays {
+            return Err(fail("final array state diverges".into()));
+        }
+        if fast.stats != lock.stats {
+            return Err(fail("per-node machine counters diverge".into()));
+        }
+        if fast.counts != lock.counts {
+            return Err(fail("per-node access counts diverge".into()));
+        }
+        if fast.stall_cycles != lock.stall_cycles {
+            return Err(fail(format!(
+                "NI stall cycles diverge: lockstep {:?}, fast-forward {:?}",
+                lock.stall_cycles, fast.stall_cycles
+            )));
+        }
+        if fast.net != lock.net {
+            return Err(fail(format!(
+                "fabric statistics diverge: lockstep {:?}, fast-forward {:?}",
+                lock.net, fast.net
+            )));
+        }
+        if fast.queue_words != lock.queue_words {
+            return Err(fail(format!(
+                "queue auto-sizing diverges: lockstep {:?}, fast-forward {:?}",
+                lock.queue_words, fast.queue_words
+            )));
+        }
+        if fast.live_frames != lock.live_frames {
+            return Err(fail("live-frame census diverges".into()));
+        }
+        if fast.watchdog_trips != lock.watchdog_trips
+            || fast.backstop_rearms != lock.backstop_rearms
+        {
+            return Err(fail(format!(
+                "watchdog/backstop counters diverge: lockstep {}/{}, fast-forward {}/{}",
+                lock.watchdog_trips,
+                lock.backstop_rearms,
+                fast.watchdog_trips,
+                fast.backstop_rearms
+            )));
+        }
+        for (n, (f, l)) in fast.activity.iter().zip(&lock.activity).enumerate() {
+            if f.spans != l.spans {
+                return Err(fail(format!("activity timeline diverges on node {n}")));
+            }
+        }
     }
     Ok(())
 }

@@ -35,11 +35,13 @@ const COMMANDS: &[(&str, &str)] = &[
     ),
     (
         "mesh PROG",
-        "run one program on a multi-node mesh (--nodes, --impl, --policy); writes mesh_trace.json",
+        "run one program on a multi-node mesh (--nodes, --impl, --policy rr|local); \
+         writes mesh_trace.json",
     ),
     (
         "perf",
-        "time the Figure 3 sweep, record/replay vs inline; write results/perf_summary.json",
+        "time the Figure 3 sweep (record/replay vs inline) or, with --mesh, the mesh \
+         drivers (fast-forward vs lockstep); write results/*perf_summary.json",
     ),
     (
         "disasm",
@@ -69,13 +71,15 @@ fn help_text() -> String {
          --small        run the reduced-size suite (fast smoke run)\n  \
          --out DIR      write outputs under DIR (default: results)\n  \
          --impl IMPL    profile/mesh: am | am-en | md | all (default: am)\n  \
-         --nodes N      mesh only: node count, factored into a near-square mesh (default: 4)\n  \
+         --nodes N      mesh, perf --mesh: node count, factored into a near-square mesh \
+         (default: 4)\n  \
          --policy P     mesh only: frame placement, rr | local (default: rr)\n  \
          --iters N      fuzz only: iterations to run (default: 100)\n  \
          --seed S       fuzz only: master seed (default: 1)\n  \
          --shrink       fuzz only: minimize the first failure and write a reproducer\n  \
          --mutate       fuzz only: seed a deliberate MD bug (harness self-test)\n  \
-         --mesh         fuzz only: also require 1x1-mesh bit-identity per back-end\n  \
+         --mesh         fuzz: also cross-check the mesh (bit-identity, lockstep vs \
+         fast-forward); perf: benchmark the mesh drivers\n  \
          -h, --help     show this help\n",
     );
     out
@@ -561,6 +565,91 @@ fn run_perf(suite: &[PaperBenchmark], small: bool, dir: &Path) {
     eprintln!("wrote {}", dir.join("perf_summary.json").display());
 }
 
+/// `tamsim perf --mesh`: benchmark the mesh drivers — the cycle-by-cycle
+/// lockstep loop against the event-horizon fast-forward — on the suite's
+/// recorded mesh cache sweep, check the two drivers render byte-identical
+/// mesh-cache CSVs, and leave `DIR/mesh_perf_summary.json` beside
+/// `perf_summary.json`.
+fn run_mesh_perf(suite: &[PaperBenchmark], small: bool, nodes: u32, dir: &Path) {
+    let progs: Vec<(&str, &Program)> = suite.iter().map(|b| (b.name, &b.program)).collect();
+    let node_counts = [nodes];
+    eprintln!(
+        "mesh perf: {} programs x 2 impls x {{rr, local}} on {nodes} node(s)",
+        progs.len()
+    );
+
+    // Driver timings on plain (unrecorded) runs: the lockstep baseline —
+    // PR 4's loop, every cycle simulated — against the event-horizon
+    // fast-forward, which jumps pure-wait stretches in one step.
+    let lockstep_seconds = metrics::mesh_machine_seconds(&progs, &node_counts, false);
+    eprintln!("  lockstep driver     : {lockstep_seconds:.3} s");
+    let fastforward_seconds = metrics::mesh_machine_seconds(&progs, &node_counts, true);
+    eprintln!("  fast-forward driver : {fastforward_seconds:.3} s");
+
+    // Recorded-replay: the mesh cache sweep's production path — record
+    // per-node traces under each driver, replay into all 24 geometries.
+    let (lock_runs, lock_perf) = metrics::mesh_cache_collect(&progs, &node_counts, false);
+    let (fast_runs, fast_perf) = metrics::mesh_cache_collect(&progs, &node_counts, true);
+    eprintln!(
+        "  recorded-replay     : {:.3} s machine + {:.3} s replay ({} events)",
+        fast_perf.machine_seconds, fast_perf.replay_seconds, fast_perf.events
+    );
+
+    // The fast-forward must be invisible in the results: identical CSVs
+    // (cycles, per-node cache misses, ratios — everything golden-gated).
+    let lock_csv = metrics::mesh_cache_table(&lock_runs).to_csv();
+    let fast_csv = metrics::mesh_cache_table(&fast_runs).to_csv();
+    assert_eq!(
+        lock_csv, fast_csv,
+        "fast-forward mesh cache figures diverged from lockstep"
+    );
+    assert_eq!(
+        lock_perf.events, fast_perf.events,
+        "fast-forward recorded a different number of access events"
+    );
+    emit(
+        dir,
+        "mesh_cache",
+        "Mesh cache sweep: per-node private caches, MD/AM ratio at miss 24",
+        &metrics::mesh_cache_table(&fast_runs),
+    );
+
+    let speedup = lockstep_seconds / fastforward_seconds;
+    println!("## perf: mesh drivers, lockstep vs event-horizon fast-forward\n");
+    println!("lockstep driver             : {lockstep_seconds:>8.3} s");
+    println!("fast-forward driver         : {fastforward_seconds:>8.3} s");
+    println!(
+        "recorded machine phase      : {:>8.3} s",
+        fast_perf.machine_seconds
+    );
+    println!(
+        "cache replay phase          : {:>8.3} s",
+        fast_perf.replay_seconds
+    );
+    println!("events recorded             : {:>8}", fast_perf.events);
+    println!("speedup                     : {speedup:>8.2}x");
+
+    let json = format!(
+        "{{\n  \"suite\": \"{}\",\n  \"programs\": {},\n  \"implementations\": 2,\n  \
+         \"nodes\": {},\n  \"events_recorded\": {},\n  \
+         \"lockstep_seconds\": {:.6},\n  \"fastforward_seconds\": {:.6},\n  \
+         \"recorded_seconds\": {:.6},\n  \"replay_seconds\": {:.6},\n  \
+         \"speedup\": {:.3},\n  \"identical_csv\": true\n}}\n",
+        if small { "small" } else { "paper" },
+        progs.len(),
+        nodes,
+        fast_perf.events,
+        lockstep_seconds,
+        fastforward_seconds,
+        fast_perf.machine_seconds,
+        fast_perf.replay_seconds,
+        speedup,
+    );
+    fs::create_dir_all(dir).expect("create results dir");
+    fs::write(dir.join("mesh_perf_summary.json"), json).expect("write mesh_perf_summary.json");
+    eprintln!("wrote {}", dir.join("mesh_perf_summary.json").display());
+}
+
 /// `tamsim fuzz [--iters N] [--seed S] [--shrink] [--mutate] [--out DIR]`:
 /// run a differential fuzz campaign. Every iteration generates a TAM
 /// program from a derived seed, runs it under all three back-ends, and
@@ -587,7 +676,7 @@ fn run_fuzz(args: &Args) {
             ""
         },
         if args.mesh {
-            " (+ 1x1-mesh bit-identity per back-end)"
+            " (+ 1x1-mesh bit-identity per back-end, 4-node lockstep vs fast-forward)"
         } else {
             ""
         }
@@ -693,7 +782,11 @@ fn main() {
     let suite_names = suite.iter().map(|b| b.name).collect::<Vec<_>>().join(",");
     let dir = args.out.clone();
     if command == "perf" {
-        run_perf(&suite, args.small, &dir);
+        if args.mesh {
+            run_mesh_perf(&suite, args.small, args.nodes, &dir);
+        } else {
+            run_perf(&suite, args.small, &dir);
+        }
         write_manifest(&dir, &suite_names, "MD,AM", Vec::new(), Vec::new(), started);
         return;
     }
@@ -883,6 +976,15 @@ fn main() {
             "mesh_nodes",
             "Mesh node sweep: per-implementation cycles and MD/AM ratio vs node count",
             &metrics::mesh_sweep(&progs, &metrics::MESH_NODE_SWEEP),
+        );
+        // Mesh cache sweep: the same programs recorded once per (impl,
+        // nodes, policy) and replayed into the paper's 24 geometries with
+        // per-node private caches (tests/golden/mesh_cache.csv).
+        emit(
+            &dir,
+            "mesh_cache",
+            "Mesh cache sweep: per-node private caches, MD/AM ratio at miss 24",
+            &metrics::mesh_cache_sweep(&progs, &metrics::MESH_CACHE_NODE_SWEEP),
         );
     }
     // Everything that reaches here wrote artifacts under `dir`; record

@@ -23,7 +23,7 @@ pub use hooks::{Hooks, NoHooks, SinkHooks};
 pub use isa::{AluOp, FAluOp, MOp, Mark, Operand, Priority, Reg, SendSrc};
 pub use machine::{
     HaltReason, Loopback, Machine, MachineConfig, NetPort, RouteOutcome, RunError, RunStats, Step,
-    SysLayout,
+    SysLayout, Wake,
 };
 pub use memory::Memory;
 pub use queue::{MessageQueue, MsgRef, DEFAULT_QUEUE_WORDS};

@@ -68,19 +68,24 @@ impl Default for MachineConfig {
 }
 
 impl MachineConfig {
+    /// Whether both queues (plus the globals word) fit inside the system
+    /// data region. [`MachineConfig::sys_layout`] asserts this; queue
+    /// auto-sizing drivers check it first so a gridlocked program aborts
+    /// with a diagnosis instead of a layout panic.
+    pub fn queues_fit(&self) -> bool {
+        let words = self.queue_words[0] as u64 + self.queue_words[1] as u64;
+        self.map.system_data_base as u64 + words * 4 < self.map.frame_base as u64
+    }
+
     /// Compute the system-data layout implied by this configuration.
     pub fn sys_layout(&self) -> SysLayout {
+        assert!(self.queues_fit(), "queues overflow system data region");
         let low = self.map.system_data_base;
         let high = low + self.queue_words[Priority::Low.index()] * 4;
-        let globals = high + self.queue_words[Priority::High.index()] * 4;
-        assert!(
-            globals < self.map.frame_base,
-            "queues overflow system data region"
-        );
         SysLayout {
             low_queue_base: low,
             high_queue_base: high,
-            globals_base: globals,
+            globals_base: high + self.queue_words[Priority::High.index()] * 4,
         }
     }
 }
@@ -134,6 +139,19 @@ pub enum Step {
     Blocked,
     /// The machine executed [`MOp::Halt`] (or quiesced, for [`Machine::run`]).
     Halted(HaltReason),
+}
+
+/// When a machine can next make progress (see [`Machine::next_wake`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// A step can do work in the current cycle: a context holds a pc
+    /// (running, or retrying a blocked `SEND`) or a queue holds a
+    /// dispatchable message.
+    Now,
+    /// Only an external delivery can wake this machine: both contexts are
+    /// suspended and both queues are empty. An event-driven driver may
+    /// fast-forward over such a machine without changing its behaviour.
+    OnDelivery,
 }
 
 /// Where a send's message went, as decided by a [`NetPort`].
@@ -342,6 +360,25 @@ impl<'c> Machine<'c> {
             && self.low_pc.is_none()
             && self.queues[0].is_empty()
             && self.queues[1].is_empty()
+    }
+
+    /// The machine's next wake-up, for event-driven drivers.
+    ///
+    /// A machine has no internal timers: either a step can do something
+    /// *this* cycle ([`Wake::Now`] — a context is live, a message is
+    /// queued, or a blocked `SEND` must retry), or nothing short of an
+    /// external delivery can ever wake it ([`Wake::OnDelivery`]). Note
+    /// that a low-priority suspend is not a wake-up source by itself: the
+    /// AM scheduler's re-arm condition is message arrival (the mesh NI
+    /// checks [`Machine::low_suspended`] on delivery), so a driver may
+    /// skip cycles for an idle machine without consulting the scheduler
+    /// state.
+    pub fn next_wake(&self) -> Wake {
+        if self.is_idle() {
+            Wake::OnDelivery
+        } else {
+            Wake::Now
+        }
     }
 
     /// Snapshot the run counters. [`Machine::run`] calls this internally;

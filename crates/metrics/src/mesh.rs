@@ -7,8 +7,11 @@
 //! wall-clock anywhere), so the golden gate byte-compares its CSV exactly
 //! like the single-node figures.
 
+use std::time::Instant;
+
+use tamsim_cache::{paper_sweep, CacheBank, CacheGeometry, CacheSummary, CycleModel};
 use tamsim_core::Implementation;
-use tamsim_net::{MeshExperiment, MeshRunResult, NodeState};
+use tamsim_net::{MeshExperiment, MeshRunResult, NodeState, PlacementPolicy};
 use tamsim_tam::Program;
 
 use crate::render::{r3, Table};
@@ -73,6 +76,232 @@ pub fn mesh_sweep(programs: &[(&str, &Program)], node_counts: &[u32]) -> Table {
     t
 }
 
+/// Node counts the golden mesh cache sweep covers (1 anchors the
+/// multi-node ratios against the single-node Figure 3 data).
+pub const MESH_CACHE_NODE_SWEEP: [u32; 2] = [1, 4];
+
+/// The paper's headline miss penalty, reused for the mesh ratio columns.
+const MESH_MISS_PENALTY: u64 = 24;
+
+/// The two back-ends the cache figures compare (as in Figure 3).
+const CACHE_IMPLS: [Implementation; 2] = [Implementation::Am, Implementation::Md];
+
+/// One recorded mesh machine-run scored against the full cache sweep.
+#[derive(Debug, Clone)]
+pub struct MeshCacheRun {
+    /// Benchmark name.
+    pub name: String,
+    /// Which back-end ran.
+    pub implementation: Implementation,
+    /// Node count.
+    pub nodes: u32,
+    /// Frame-placement policy.
+    pub policy: PlacementPolicy,
+    /// Global mesh cycles (the base the miss penalty is added to).
+    pub cycles: u64,
+    /// Per-geometry outcome, summed over each node's private I/D pair.
+    pub caches: Vec<(CacheGeometry, CacheSummary)>,
+    /// Access events recorded across all nodes.
+    pub events: u64,
+}
+
+impl MeshCacheRun {
+    /// Total cycles at `geometry`: global mesh cycles plus the paper's
+    /// uniform miss penalty over every node's private-cache misses.
+    pub fn total_cycles(&self, geometry: CacheGeometry, model: CycleModel) -> u64 {
+        let (_, summary) = self
+            .caches
+            .iter()
+            .find(|(g, _)| *g == geometry)
+            .unwrap_or_else(|| panic!("geometry {geometry:?} not in sweep"));
+        model.total_cycles(self.cycles, summary)
+    }
+}
+
+/// Wall-clock breakdown of a [`mesh_cache_collect`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeshCachePerf {
+    /// Seconds simulating mesh machines (recording per-node traces).
+    pub machine_seconds: f64,
+    /// Seconds replaying the traces into the cache sweep.
+    pub replay_seconds: f64,
+    /// Total access events recorded.
+    pub events: u64,
+}
+
+/// The (nodes, policy) configurations of the sweep: every policy per
+/// multi-node count, and `rr` alone at one node (placement is a no-op
+/// there).
+fn mesh_cache_configs(node_counts: &[u32]) -> Vec<(u32, PlacementPolicy)> {
+    node_counts
+        .iter()
+        .flat_map(|&n| {
+            if n == 1 {
+                vec![(1, PlacementPolicy::RoundRobin)]
+            } else {
+                vec![
+                    (n, PlacementPolicy::RoundRobin),
+                    (n, PlacementPolicy::LocalityAware),
+                ]
+            }
+        })
+        .collect()
+}
+
+/// Record one mesh machine-run per (program, impl, nodes, policy) —
+/// machine runs fan out across the worker pool — then replay each node's
+/// trace into the paper's 24-geometry sweep
+/// ([`CacheBank::replay_parallel_many`]: private caches per node,
+/// summaries summed). `fast_forward` selects the driver; results are
+/// bit-identical either way (`tamsim perf --mesh` byte-compares the CSVs
+/// to prove it).
+pub fn mesh_cache_collect(
+    programs: &[(&str, &Program)],
+    node_counts: &[u32],
+    fast_forward: bool,
+) -> (Vec<MeshCacheRun>, MeshCachePerf) {
+    let geometries = paper_sweep();
+    let configs = mesh_cache_configs(node_counts);
+    let jobs: Vec<(usize, u32, PlacementPolicy, Implementation)> = programs
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| {
+            configs.iter().flat_map(move |&(n, policy)| {
+                CACHE_IMPLS.iter().map(move |&impl_| (pi, n, policy, impl_))
+            })
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let recorded = tamsim_trace::par_map(jobs, |(pi, n, policy, impl_)| {
+        let mut exp = MeshExperiment::new(impl_, n).with_placement(policy);
+        exp.fast_forward = fast_forward;
+        (pi, exp.run_recorded(programs[pi].1))
+    });
+    let machine_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let mut events = 0u64;
+    let runs: Vec<MeshCacheRun> = recorded
+        .into_iter()
+        .map(|(pi, rec)| {
+            events += rec.events();
+            MeshCacheRun {
+                name: programs[pi].0.to_string(),
+                implementation: rec.run.implementation,
+                nodes: rec.run.nodes,
+                policy: rec.run.policy,
+                cycles: rec.run.cycles,
+                caches: CacheBank::replay_parallel_many(&geometries, &rec.logs),
+                events: rec.events(),
+            }
+        })
+        .collect();
+    let replay_seconds = t1.elapsed().as_secs_f64();
+
+    (
+        runs,
+        MeshCachePerf {
+            machine_seconds,
+            replay_seconds,
+            events,
+        },
+    )
+}
+
+/// Time plain (unrecorded) mesh machine-runs over the exact job set of
+/// [`mesh_cache_collect`], under either driver. Returns wall seconds for
+/// the whole fan-out — `tamsim perf --mesh` calls this twice to put a
+/// number on the event-horizon fast-forward without trace-recording cost
+/// diluting the ratio.
+pub fn mesh_machine_seconds(
+    programs: &[(&str, &Program)],
+    node_counts: &[u32],
+    fast_forward: bool,
+) -> f64 {
+    let configs = mesh_cache_configs(node_counts);
+    let jobs: Vec<(usize, u32, PlacementPolicy, Implementation)> = programs
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| {
+            configs.iter().flat_map(move |&(n, policy)| {
+                CACHE_IMPLS.iter().map(move |&impl_| (pi, n, policy, impl_))
+            })
+        })
+        .collect();
+    let t0 = Instant::now();
+    let runs = tamsim_trace::par_map(jobs, |(pi, n, policy, impl_)| {
+        let mut exp = MeshExperiment::new(impl_, n).with_placement(policy);
+        exp.fast_forward = fast_forward;
+        exp.run(programs[pi].1).cycles
+    });
+    let seconds = t0.elapsed().as_secs_f64();
+    // Keep the runs observable so the whole fan-out can't be optimised
+    // away under it.
+    assert!(runs.iter().all(|&c| c > 0));
+    seconds
+}
+
+/// Render collected mesh cache runs as the golden table: one row per
+/// (program, nodes, policy, cache size), AM/MD misses at 4-way, and the
+/// MD/AM total-cycle ratio per associativity at the paper's 24-cycle miss
+/// penalty.
+pub fn mesh_cache_table(runs: &[MeshCacheRun]) -> Table {
+    let model = CycleModel::paper(MESH_MISS_PENALTY);
+    let mut t = Table::new(&[
+        "program",
+        "nodes",
+        "policy",
+        "size",
+        "am_misses_4w",
+        "md_misses_4w",
+        "ratio_1w",
+        "ratio_2w",
+        "ratio_4w",
+    ]);
+    // Runs arrive in (program, config, impl) job order: AM then MD per
+    // configuration.
+    let mut it = runs.iter();
+    while let (Some(am), Some(md)) = (it.next(), it.next()) {
+        assert_eq!(am.implementation, Implementation::Am);
+        assert_eq!(md.implementation, Implementation::Md);
+        assert_eq!((am.nodes, am.policy), (md.nodes, md.policy));
+        for &size in &tamsim_cache::PAPER_CACHE_SIZES {
+            let g4 = CacheGeometry::new(size, 4, tamsim_cache::PAPER_BLOCK_BYTES);
+            let misses = |r: &MeshCacheRun| {
+                r.caches
+                    .iter()
+                    .find(|(g, _)| *g == g4)
+                    .map(|(_, s)| s.misses())
+                    .expect("4-way geometry in sweep")
+            };
+            let mut row = vec![
+                am.name.clone(),
+                am.nodes.to_string(),
+                am.policy.label().to_string(),
+                format!("{}K", size / 1024),
+                misses(am).to_string(),
+                misses(md).to_string(),
+            ];
+            for assoc in [1u32, 2, 4] {
+                let g = CacheGeometry::new(size, assoc, tamsim_cache::PAPER_BLOCK_BYTES);
+                row.push(r3(
+                    md.total_cycles(g, model) as f64 / am.total_cycles(g, model) as f64
+                ));
+            }
+            t.row(row);
+        }
+    }
+    t
+}
+
+/// The multi-node Figure 3 analogue behind `tests/golden/mesh_cache.csv`:
+/// one recorded machine-run per (program, impl, nodes, policy), replayed
+/// into all 24 paper geometries.
+pub fn mesh_cache_sweep(programs: &[(&str, &Program)], node_counts: &[u32]) -> Table {
+    mesh_cache_table(&mesh_cache_collect(programs, node_counts, true).0)
+}
+
 /// Per-node detail of one mesh run (the `tamsim mesh` report): where
 /// every node's cycles went and what it holds at the end.
 pub fn mesh_node_table(r: &MeshRunResult) -> Table {
@@ -114,6 +343,40 @@ mod tests {
         assert!(lines[2].starts_with("fib,2,"));
         // 1-node rows never touch the network.
         assert!(lines[1].ends_with(",0,0"), "1-node row: {}", lines[1]);
+    }
+
+    #[test]
+    fn cache_sweep_covers_every_config_and_size() {
+        let fib = tamsim_programs::fib(8);
+        let table = mesh_cache_sweep(&[("fib", &fib)], &[1, 2]);
+        let csv = table.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        // (1 node, rr) + (2 nodes, rr) + (2 nodes, local), 8 sizes each.
+        assert_eq!(lines.len(), 1 + 3 * 8, "header + rows:\n{csv}");
+        assert!(lines[1].starts_with("fib,1,rr,1K,"));
+        assert!(lines[9].starts_with("fib,2,rr,1K,"));
+        assert!(lines[17].starts_with("fib,2,local,1K,"));
+    }
+
+    #[test]
+    fn single_node_cache_sweep_matches_the_single_node_engine() {
+        // The 1×1 mesh anchor extends to the cache model: replaying its
+        // recorded trace into a geometry must reproduce the single-node
+        // record/replay numbers exactly.
+        let fib = tamsim_programs::fib(8);
+        let (runs, perf) = mesh_cache_collect(&[("fib", &fib)], &[1], true);
+        assert_eq!(runs.len(), 2); // AM + MD
+        assert!(perf.events > 0);
+        for run in &runs {
+            let single = tamsim_core::Experiment::new(run.implementation).run_recorded(&fib);
+            for (g, summary) in &run.caches {
+                let expect = tamsim_cache::CacheBank::replay_parallel(&[*g], &single.log)
+                    .pop()
+                    .unwrap()
+                    .1;
+                assert_eq!(summary.misses(), expect.misses(), "{g:?}");
+            }
+        }
     }
 
     #[test]

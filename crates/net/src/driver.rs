@@ -10,6 +10,20 @@
 //! With one node this degenerates to exactly `Machine::run`'s step loop
 //! (the port is always-local, the fabric stays empty), which is the
 //! anchor invariant the differential tests enforce.
+//!
+//! **Fast-forward.** By default the driver is event-driven where that is
+//! invisible: whenever no machine is runnable ([`tamsim_mdp::Wake`] —
+//! every node can only be woken by a delivery) it computes the **event
+//! horizon**, the fabric's next move/delivery edge
+//! ([`Fabric::next_horizon`]), and jumps the global clock there in one
+//! step instead of ticking cycle-by-cycle. The skipped iterations are
+//! provably no-ops — idle machines step to `Idle` with zero side effects,
+//! and a fabric with no ready head moves nothing — so cycle counts,
+//! stats, activity timelines, and access streams are bit-identical to the
+//! lockstep driver ([`MeshExperiment::lockstep`] keeps the original loop
+//! for the differential tests and `tamsim perf --mesh`). Whenever any
+//! machine is runnable, or a ready message is merely stuck behind
+//! back-pressure, the driver falls back to lockstep stepping.
 
 use crate::fabric::{Fabric, NetConfig, NetStats};
 use crate::place::{Placement, PlacementPolicy};
@@ -18,15 +32,15 @@ use crate::topology::MeshTopology;
 use crate::{node_tag, LOCAL_MASK, MAX_NODES, NODE_SHIFT};
 use tamsim_core::{link, Implementation, Linked, LoweringOptions};
 use tamsim_mdp::{
-    HaltReason, Hooks, Machine, MachineConfig, Priority, RunError, RunStats, Step, Word,
+    HaltReason, Hooks, Machine, MachineConfig, Priority, RunError, RunStats, Step, Wake, Word,
 };
 use tamsim_tam::Program;
 use tamsim_trace::{Access, AccessCounts, CountingSink, Mark, MarkSink, TraceLog, TraceSink};
 
-/// Cycles without any instruction, fabric movement, or delivery before
-/// the driver concludes the mesh is gridlocked on queue space and
-/// restarts with bigger queues.
-const WATCHDOG_CYCLES: u64 = 100_000;
+/// Default cycles without any instruction, fabric movement, or delivery
+/// before the driver concludes the mesh is gridlocked on queue space and
+/// restarts with bigger queues (see [`MeshExperiment::watchdog_cycles`]).
+pub const WATCHDOG_CYCLES: u64 = 100_000;
 
 /// What a node did in one global cycle (for the per-node timeline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +66,7 @@ pub struct Span {
 
 /// A node's full timeline, run-length encoded (feeds the Perfetto
 /// export's one-track-per-node view).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ActivityTrack {
     /// Maximal spans, in time order.
     pub spans: Vec<Span>,
@@ -60,16 +74,24 @@ pub struct ActivityTrack {
 
 impl ActivityTrack {
     fn record(&mut self, cycle: u64, state: NodeState) {
+        self.record_span(cycle, state, 1);
+    }
+
+    /// Record `n` consecutive cycles of `state` starting at `cycle` —
+    /// exactly what `n` single-cycle records would produce (the spans are
+    /// maximal either way), so the fast-forward driver's bulk idle spans
+    /// are bit-identical to lockstep's cycle-by-cycle ones.
+    fn record_span(&mut self, cycle: u64, state: NodeState, n: u64) {
         if let Some(last) = self.spans.last_mut() {
             if last.state == state && last.start + last.cycles == cycle {
-                last.cycles += 1;
+                last.cycles += n;
                 return;
             }
         }
         self.spans.push(Span {
             state,
             start: cycle,
-            cycles: 1,
+            cycles: n,
         });
     }
 
@@ -160,6 +182,13 @@ pub struct MeshRunResult {
     pub activity: Vec<ActivityTrack>,
     /// Per-node live-frame census at the end of the run.
     pub live_frames: Vec<u64>,
+    /// Gridlock-watchdog trips over the whole run (each one doubled every
+    /// queue and restarted the attempt).
+    pub watchdog_trips: u32,
+    /// Times the quiescence-time backstop re-armed an AM scheduler that
+    /// suspended with posted frames (the arrival/suspend race), summed
+    /// over all attempts.
+    pub backstop_rearms: u64,
     /// Per-node recorded access traces (when recording was requested);
     /// replay each into its own `CacheBank` for per-node locality.
     pub logs: Option<Vec<TraceLog>>,
@@ -169,6 +198,23 @@ impl MeshRunResult {
     /// Total NI-stall cycles across nodes.
     pub fn total_stall_cycles(&self) -> u64 {
         self.stall_cycles.iter().sum()
+    }
+}
+
+/// A mesh run plus its per-node access traces
+/// (see [`MeshExperiment::run_recorded`]).
+#[derive(Debug, Clone)]
+pub struct MeshRecordedRun {
+    /// The run itself (`logs` moved out).
+    pub run: MeshRunResult,
+    /// One recorded trace per node, in node order.
+    pub logs: Vec<TraceLog>,
+}
+
+impl MeshRecordedRun {
+    /// Total recorded access events across all nodes.
+    pub fn events(&self) -> u64 {
+        self.logs.iter().map(|l| l.len() as u64).sum()
     }
 }
 
@@ -194,6 +240,14 @@ pub struct MeshExperiment {
     pub placement: PlacementPolicy,
     /// Record per-node access traces for cache replay.
     pub record: bool,
+    /// Event-horizon fast-forwarding (on by default; results are
+    /// bit-identical either way). [`MeshExperiment::lockstep`] disables it
+    /// for differential tests and driver benchmarking.
+    pub fast_forward: bool,
+    /// Cycles without any instruction, fabric movement, or delivery
+    /// before the gridlock watchdog doubles the queues and restarts
+    /// (default [`WATCHDOG_CYCLES`]; tests lower it to trip quickly).
+    pub watchdog_cycles: u64,
 }
 
 impl MeshExperiment {
@@ -215,6 +269,8 @@ impl MeshExperiment {
             net: NetConfig::default(),
             placement: PlacementPolicy::default(),
             record: false,
+            fast_forward: true,
+            watchdog_cycles: WATCHDOG_CYCLES,
         }
     }
 
@@ -242,6 +298,15 @@ impl MeshExperiment {
         self
     }
 
+    /// Disable event-horizon fast-forwarding: tick every global cycle the
+    /// way PR 4's driver did. Results are bit-identical to the default
+    /// fast-forward driver — this exists so the differential tests and
+    /// `tamsim perf --mesh` have the original loop to compare against.
+    pub fn lockstep(mut self) -> Self {
+        self.fast_forward = false;
+        self
+    }
+
     fn config(&self, queue_words: [u32; 2]) -> MachineConfig {
         MachineConfig {
             queue_words,
@@ -254,11 +319,28 @@ impl MeshExperiment {
         }
     }
 
+    /// Double every queue after a gridlock-watchdog trip. Remote
+    /// deliveries never overflow (they hold), so more queue space
+    /// everywhere is the only cure; a program whose demand outgrows the
+    /// system data region is diagnosed as gridlocked rather than left to
+    /// trip the machine's layout assert at the next boot.
+    fn double_queues_for_gridlock(&self, queue_words: &mut [u32; 2]) {
+        for w in queue_words.iter_mut() {
+            *w *= 2;
+        }
+        assert!(
+            self.config(*queue_words).queues_fit(),
+            "queue demand implausibly large; gridlocked program?"
+        );
+    }
+
     /// Run `program` on the mesh to completion.
     pub fn run(&self, program: &Program) -> MeshRunResult {
         let topo = MeshTopology::for_nodes(self.nodes);
         let k = self.nodes as usize;
         let mut queue_words = self.queue_words;
+        let mut watchdog_trips: u32 = 0;
+        let mut backstop_rearms: u64 = 0;
 
         'attempt: loop {
             let linked = link(
@@ -292,7 +374,17 @@ impl MeshExperiment {
             let mut halted_node: Option<usize> = None;
 
             let halt = loop {
-                if fabric.is_empty() && machines.iter().all(Machine::is_idle) {
+                // One wake scan serves both the quiescence check and the
+                // fast-forward decision (`Wake::OnDelivery` is exactly
+                // "idle"); the lockstep path keeps PR 4's order — fabric
+                // occupancy scan first — so its cost profile is untouched.
+                let all_waiting = if self.fast_forward {
+                    machines.iter().all(|m| m.next_wake() == Wake::OnDelivery)
+                } else {
+                    fabric.is_empty() && machines.iter().all(Machine::is_idle)
+                };
+                let fabric_empty = all_waiting && (!self.fast_forward || fabric.msg_count() == 0);
+                if fabric_empty {
                     // Backstop for the arrival/suspend race: a message can
                     // land between the AM scheduler's final frame-queue
                     // check and its suspend, leaving posted frames with no
@@ -308,6 +400,7 @@ impl MeshExperiment {
                             if m.mem.read(linked.net.q_head).bits() != 0 {
                                 m.start_low(linked.start_low);
                                 rearmed = true;
+                                backstop_rearms += 1;
                             }
                         }
                     }
@@ -316,9 +409,48 @@ impl MeshExperiment {
                     }
                 }
 
+                // Event-horizon fast-forward: when no machine is runnable
+                // the only possible events are the fabric's, and its next
+                // move/delivery edge is already scheduled. Jump straight
+                // there; every skipped iteration would have stepped K idle
+                // machines to `Idle` and ticked a fabric with no ready
+                // head — pure no-ops. Falls back to lockstep whenever any
+                // machine is runnable or a ready head is stuck behind
+                // back-pressure (`next_horizon` returns `None`).
+                // (`!fabric_empty` also skips the jump after a backstop
+                // re-arm, whose `start_low` made `all_waiting` stale.)
+                if self.fast_forward && all_waiting && !fabric_empty {
+                    if let Some(horizon) = fabric.next_horizon() {
+                        debug_assert!(horizon > cycle);
+                        // The skipped stretch makes no progress; if the
+                        // lockstep watchdog would have tripped inside it
+                        // (after the iteration at `last_progress +
+                        // watchdog_cycles`), trip identically.
+                        if horizon > last_progress + self.watchdog_cycles {
+                            watchdog_trips += 1;
+                            self.double_queues_for_gridlock(&mut queue_words);
+                            continue 'attempt;
+                        }
+                        let delta = horizon - cycle;
+                        for a in &mut activity {
+                            a.record_span(cycle, NodeState::Idle, delta);
+                        }
+                        fabric.skip_to(horizon);
+                        cycle = horizon;
+                    }
+                }
+
                 // (1) Every node executes at most one instruction.
                 let mut progress = false;
                 for n in 0..k {
+                    if self.fast_forward && machines[n].is_idle() {
+                        // An idle machine's step is a guaranteed no-op
+                        // (no hooks, no state change), and nothing in
+                        // this phase can wake it — deliveries happen in
+                        // phase (3) — so skip the call.
+                        activity[n].record(cycle, NodeState::Idle);
+                        continue;
+                    }
                     let mut port = NodePort {
                         node: n as u32,
                         info: linked.net,
@@ -362,7 +494,24 @@ impl MeshExperiment {
                     break HaltReason::Explicit;
                 }
 
-                // (2) The fabric moves messages one hop.
+                // (2) The fabric moves messages one hop. On an empty
+                // fabric a tick only advances the clock; the fast path
+                // skips the buffer scan (and the delivery scan below).
+                if self.fast_forward && fabric.msg_count() == 0 {
+                    fabric.skip_to(cycle + 1);
+                    cycle += 1;
+                    if progress {
+                        last_progress = cycle;
+                    } else if cycle - last_progress > self.watchdog_cycles {
+                        // Unreachable in practice (an empty fabric with a
+                        // runnable machine always progresses or overflows
+                        // first), but keep the lockstep watchdog exact.
+                        watchdog_trips += 1;
+                        self.double_queues_for_gridlock(&mut queue_words);
+                        continue 'attempt;
+                    }
+                    continue;
+                }
                 fabric.tick();
 
                 // (3) Each NI retires at most one arrived message.
@@ -394,17 +543,10 @@ impl MeshExperiment {
                 if progress || fabric.moves() != prev_moves {
                     prev_moves = fabric.moves();
                     last_progress = cycle;
-                } else if cycle - last_progress > WATCHDOG_CYCLES {
-                    // Gridlock: every queue full, nothing moving. Remote
-                    // deliveries never overflow (they hold), so the only
-                    // cure is more queue space everywhere.
-                    for w in &mut queue_words {
-                        assert!(
-                            *w < 1 << 22,
-                            "queue demand implausibly large; gridlocked program?"
-                        );
-                        *w *= 2;
-                    }
+                } else if cycle - last_progress > self.watchdog_cycles {
+                    // Gridlock: every queue full, nothing moving.
+                    watchdog_trips += 1;
+                    self.double_queues_for_gridlock(&mut queue_words);
                     continue 'attempt;
                 }
             };
@@ -438,11 +580,28 @@ impl MeshExperiment {
                 queue_words,
                 activity,
                 live_frames: placement.live().to_vec(),
+                watchdog_trips,
+                backstop_rearms,
                 logs: self
                     .record
                     .then(|| hooks.into_iter().map(|h| h.log.unwrap()).collect()),
             };
         }
+    }
+
+    /// Run `program` with per-node trace recording, whatever
+    /// [`MeshExperiment::record`] says, and hand the logs back separately
+    /// — the mesh analogue of `tamsim_core::Experiment::run_recorded`.
+    ///
+    /// One machine-run per configuration is all a cache sweep needs:
+    /// replay each node's log into `tamsim_cache::CacheBank` banks across
+    /// every geometry. Recording rides the same attempt loop as
+    /// [`MeshExperiment::run`] (queue auto-sizing restarts rebuild the
+    /// logs), so the returned run is bit-identical to an unrecorded one.
+    pub fn run_recorded(&self, program: &Program) -> MeshRecordedRun {
+        let mut run = self.recorded().run(program);
+        let logs = run.logs.take().expect("recording was requested");
+        MeshRecordedRun { run, logs }
     }
 
     /// Build and seed one machine per node.

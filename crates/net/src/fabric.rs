@@ -157,6 +157,10 @@ pub struct Fabric {
     recv: Vec<Buffer>,
     now: u64,
     moves: u64,
+    /// Messages currently buffered anywhere (O(1) mirror of
+    /// [`Fabric::in_flight_msgs`]; movement conserves it, so it changes
+    /// only on inject and final delivery).
+    in_flight: u64,
     stats: NetStats,
 }
 
@@ -172,6 +176,7 @@ impl Fabric {
             recv: (0..n).map(|_| Buffer::new(cfg.recv_capacity)).collect(),
             now: 0,
             moves: 0,
+            in_flight: 0,
             stats: NetStats::default(),
         }
     }
@@ -221,6 +226,7 @@ impl Fabric {
         self.inject[src as usize].push(msg, self.now, &self.cfg);
         self.stats.injected_msgs += 1;
         self.stats.injected_words += len as u64;
+        self.in_flight += 1;
         true
     }
 
@@ -271,6 +277,7 @@ impl Fabric {
         self.stats.delivered_msgs += 1;
         self.stats.delivered_words += msg.words.len() as u64;
         self.stats.latency_total += self.now - msg.injected_at;
+        self.in_flight -= 1;
         msg
     }
 
@@ -285,6 +292,63 @@ impl Fabric {
         self.links.iter().all(Buffer::is_empty)
             && self.inject.iter().all(Buffer::is_empty)
             && self.recv.iter().all(Buffer::is_empty)
+    }
+
+    /// O(1) in-flight message count (equal to [`Fabric::in_flight_msgs`],
+    /// maintained incrementally for the fast-forward driver's per-cycle
+    /// emptiness checks).
+    pub fn msg_count(&self) -> u64 {
+        debug_assert_eq!(self.in_flight, self.in_flight_msgs());
+        self.in_flight
+    }
+
+    /// The fast-forward event horizon: the earliest driver iteration at
+    /// which the fabric can act, assuming nothing new is injected.
+    ///
+    /// The driver's iteration with top-of-loop cycle `c` runs
+    /// [`Fabric::tick`] at `now == c` (so a link/inject head with
+    /// `ready_at <= c` can move) and checks [`Fabric::ready_recv`] at
+    /// `now == c + 1` (so a receive head with `ready_at <= c + 1` can be
+    /// delivered). Iterations strictly before the returned cycle are
+    /// therefore pure waits: no head is ready to move or deliver, and
+    /// serialization windows (`busy_until`) only gate acceptance of moves
+    /// that cannot happen anyway — ticking just advances `now`.
+    ///
+    /// Returns `None` when some head is already actionable in the current
+    /// iteration (including a ready head stuck on a full target, where
+    /// only cycle-by-cycle ticking reproduces the stall accounting) — the
+    /// caller must fall back to lockstep. Also `None` on an empty fabric.
+    pub fn next_horizon(&self) -> Option<u64> {
+        let mut h = u64::MAX;
+        for b in self.links.iter().chain(&self.inject) {
+            if let Some(f) = b.q.front() {
+                if f.ready_at <= self.now {
+                    return None;
+                }
+                h = h.min(f.ready_at);
+            }
+        }
+        for b in &self.recv {
+            if let Some(f) = b.q.front() {
+                let t = f.ready_at.saturating_sub(1);
+                if t <= self.now {
+                    return None;
+                }
+                h = h.min(t);
+            }
+        }
+        (h != u64::MAX).then_some(h)
+    }
+
+    /// Jump the fabric clock forward to `cycle` in one step.
+    ///
+    /// Only legal across a pure-wait stretch established by
+    /// [`Fabric::next_horizon`] (`cycle` at most the returned horizon):
+    /// every skipped [`Fabric::tick`] would have moved nothing, so
+    /// advancing `now` is the entire effect.
+    pub fn skip_to(&mut self, cycle: u64) {
+        debug_assert!(cycle >= self.now, "fabric clock cannot run backwards");
+        self.now = cycle;
     }
 
     /// Messages currently buffered in the fabric, counted structurally

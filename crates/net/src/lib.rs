@@ -37,7 +37,9 @@ pub mod place;
 pub mod port;
 pub mod topology;
 
-pub use driver::{ActivityTrack, MeshExperiment, MeshRunResult, NodeState};
+pub use driver::{
+    ActivityTrack, MeshExperiment, MeshRecordedRun, MeshRunResult, NodeState, WATCHDOG_CYCLES,
+};
 pub use fabric::{Fabric, Message, NetConfig, NetStats};
 pub use place::{Placement, PlacementPolicy};
 pub use port::NodePort;

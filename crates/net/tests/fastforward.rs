@@ -1,0 +1,158 @@
+//! The fast-forward gate: the event-horizon driver must be bit-identical
+//! to the lockstep driver in every observable — cycle counts, results,
+//! heap arrays, per-node machine counters and access counts, NI stall
+//! cycles, run-length activity timelines, fabric statistics, queue
+//! auto-sizing, and recorded access traces. Any gap means the
+//! fast-forward skipped a cycle that was not actually a no-op.
+
+use tamsim_core::Implementation;
+use tamsim_net::{MeshExperiment, MeshRunResult, NetConfig, PlacementPolicy};
+use tamsim_programs as programs;
+use tamsim_tam::Program;
+
+const IMPLS: [Implementation; 3] = [
+    Implementation::Am,
+    Implementation::AmEnabled,
+    Implementation::Md,
+];
+
+fn assert_bit_identical(lock: &MeshRunResult, fast: &MeshRunResult, ctx: &str) {
+    assert_eq!(fast.cycles, lock.cycles, "cycle count differs: {ctx}");
+    assert_eq!(fast.halt, lock.halt, "halt reason differs: {ctx}");
+    assert_eq!(fast.result, lock.result, "result words differ: {ctx}");
+    assert_eq!(fast.arrays, lock.arrays, "heap arrays differ: {ctx}");
+    assert_eq!(
+        fast.instructions, lock.instructions,
+        "instruction counts differ: {ctx}"
+    );
+    assert_eq!(fast.stats, lock.stats, "machine counters differ: {ctx}");
+    assert_eq!(fast.counts, lock.counts, "access counts differ: {ctx}");
+    assert_eq!(
+        fast.stall_cycles, lock.stall_cycles,
+        "NI stall cycles differ: {ctx}"
+    );
+    assert_eq!(fast.net, lock.net, "fabric statistics differ: {ctx}");
+    assert_eq!(
+        fast.queue_words, lock.queue_words,
+        "queue auto-sizing diverged: {ctx}"
+    );
+    assert_eq!(
+        fast.live_frames, lock.live_frames,
+        "live-frame census differs: {ctx}"
+    );
+    assert_eq!(
+        fast.watchdog_trips, lock.watchdog_trips,
+        "watchdog trips differ: {ctx}"
+    );
+    assert_eq!(
+        fast.backstop_rearms, lock.backstop_rearms,
+        "backstop re-arms differ: {ctx}"
+    );
+    for (n, (f, l)) in fast.activity.iter().zip(&lock.activity).enumerate() {
+        assert_eq!(
+            f.spans, l.spans,
+            "activity timeline differs on node {n}: {ctx}"
+        );
+    }
+}
+
+fn assert_differential(program: &Program, nodes: &[u32], net: NetConfig) {
+    for impl_ in IMPLS {
+        for &n in nodes {
+            for policy in [PlacementPolicy::RoundRobin, PlacementPolicy::LocalityAware] {
+                let exp = MeshExperiment::new(impl_, n)
+                    .with_placement(policy)
+                    .with_net(net);
+                let lock = exp.lockstep().run(program);
+                let fast = exp.run(program);
+                let ctx = format!(
+                    "{} under {:?} on {} nodes ({:?}, {net:?})",
+                    program.name, impl_, n, policy
+                );
+                assert_bit_identical(&lock, &fast, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn fib_fast_forward_is_bit_identical() {
+    assert_differential(&programs::fib(12), &[1, 2, 4, 8], NetConfig::default());
+}
+
+#[test]
+fn quicksort_fast_forward_is_bit_identical() {
+    assert_differential(
+        &programs::quicksort(24, 0xC0FFEE),
+        &[2, 4],
+        NetConfig::default(),
+    );
+}
+
+#[test]
+fn small_suite_fast_forward_is_bit_identical() {
+    for bench in programs::small_suite() {
+        assert_differential(&bench.program, &[4], NetConfig::default());
+    }
+}
+
+/// Extreme fabric timings shift every event edge the fast-forward has to
+/// honour: long hop latencies produce the deep pure-wait stretches the
+/// horizon jumps over, and wide/narrow links move the serialization
+/// release times.
+#[test]
+fn fast_forward_is_bit_identical_under_skewed_fabric_timing() {
+    let fib = programs::fib(10);
+    for net in [
+        NetConfig {
+            hop_latency: 17,
+            ..NetConfig::default()
+        },
+        NetConfig {
+            link_bandwidth: 4,
+            ..NetConfig::default()
+        },
+        NetConfig {
+            hop_latency: 1,
+            link_bandwidth: 1,
+            link_capacity: 16,
+            inject_capacity: 16,
+            recv_capacity: 16,
+        },
+    ] {
+        assert_differential(&fib, &[2, 4], net);
+    }
+}
+
+/// Tiny buffers force ready heads to sit stuck behind back-pressure — the
+/// case where the horizon query must refuse to jump and the driver must
+/// reproduce lockstep's stall accounting cycle by cycle.
+#[test]
+fn fast_forward_is_bit_identical_under_congestion() {
+    let net = NetConfig {
+        link_capacity: 8,
+        inject_capacity: 8,
+        recv_capacity: 8,
+        ..NetConfig::default()
+    };
+    assert_differential(&programs::fib(11), &[4], net);
+}
+
+/// Recording must not perturb the run, and the recorded per-node traces
+/// must be identical under both drivers.
+#[test]
+fn recorded_traces_are_bit_identical() {
+    let program = programs::fib(11);
+    for impl_ in [Implementation::Am, Implementation::Md] {
+        let exp = MeshExperiment::new(impl_, 4);
+        let lock = exp.lockstep().run_recorded(&program);
+        let fast = exp.run_recorded(&program);
+        let ctx = format!("fib(11) under {impl_:?} on 4 nodes");
+        assert_bit_identical(&lock.run, &fast.run, &ctx);
+        assert_eq!(lock.logs.len(), fast.logs.len());
+        for (n, (l, f)) in lock.logs.iter().zip(&fast.logs).enumerate() {
+            assert_eq!(l.len(), f.len(), "node {n} trace length differs: {ctx}");
+            assert!(l.iter().eq(f.iter()), "node {n} trace events differ: {ctx}");
+        }
+    }
+}

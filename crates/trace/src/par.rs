@@ -15,9 +15,27 @@
 //! stealing; the consumers' work units are numerous and similar enough
 //! that static sharding stays balanced.
 
-/// Map `f` over `items` using up to one worker thread per core.
+/// Resolve the worker count for `n_items` work units: the `TAMSIM_JOBS`
+/// override when set (parsed as a positive integer; anything else —
+/// empty, zero, garbage — falls back to the default), else one worker per
+/// available core, always clamped to the item count.
 ///
-/// Results are returned in input order. With one item, one core, or an
+/// `TAMSIM_JOBS` may exceed the core count (oversubscription is honoured,
+/// useful when work units block) or pin the pool to 1 for a serial,
+/// debugger-friendly run. Either way results are deterministic: sharding
+/// only changes which thread computes an item, never the output order.
+pub fn resolve_jobs(env: Option<&str>, cores: usize, n_items: usize) -> usize {
+    let requested = env
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(cores);
+    requested.min(n_items)
+}
+
+/// Map `f` over `items` using up to one worker thread per core (override
+/// with the `TAMSIM_JOBS` environment variable — see [`resolve_jobs`]).
+///
+/// Results are returned in input order. With one item, one worker, or an
 /// empty input the map runs inline on the caller's thread — the scoped
 /// spawn is skipped entirely, so `par_map` is safe to use on cheap inputs.
 ///
@@ -29,10 +47,14 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
+    let cores = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
+        .unwrap_or(1);
+    let workers = resolve_jobs(
+        std::env::var("TAMSIM_JOBS").ok().as_deref(),
+        cores,
+        items.len(),
+    );
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -62,6 +84,25 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn jobs_env_overrides_and_clamps() {
+        // Default: one worker per core, clamped to the item count.
+        assert_eq!(resolve_jobs(None, 8, 100), 8);
+        assert_eq!(resolve_jobs(None, 8, 3), 3);
+        // Clamp-to-1: a serial run regardless of cores.
+        assert_eq!(resolve_jobs(Some("1"), 16, 100), 1);
+        // Oversubscription: more workers than cores is honoured.
+        assert_eq!(resolve_jobs(Some("64"), 4, 100), 64);
+        // ... but never more workers than items.
+        assert_eq!(resolve_jobs(Some("64"), 4, 10), 10);
+        // Whitespace tolerated; zero and garbage fall back to the default.
+        assert_eq!(resolve_jobs(Some(" 2 "), 8, 100), 2);
+        assert_eq!(resolve_jobs(Some("0"), 8, 100), 8);
+        assert_eq!(resolve_jobs(Some("lots"), 8, 100), 8);
+        assert_eq!(resolve_jobs(Some(""), 8, 100), 8);
+        assert_eq!(resolve_jobs(Some("-3"), 8, 100), 8);
+    }
 
     #[test]
     fn preserves_input_order() {

@@ -166,6 +166,13 @@ pub struct CheckConfig {
     /// Also run every back-end on a 1×1 mesh and require bit-identity
     /// with the single-node run (`tamsim fuzz --mesh`; see module docs).
     pub mesh: bool,
+    /// Cross-check the two interpreter dispatch paths: re-run every
+    /// back-end under baseline and pre-decoded dispatch with full-stream
+    /// recording and require bit-identical results, counters, access
+    /// events, and marks (`--no-predecode` disables the decoded path
+    /// everywhere instead). On by default — this is the fuzzing wall the
+    /// decoded interpreter's event-batching invariant leans on.
+    pub dispatch: bool,
 }
 
 impl Default for CheckConfig {
@@ -186,6 +193,7 @@ impl Default for CheckConfig {
                 CacheGeometry::new(1 << 16, 4, 64),
             ],
             mesh: false,
+            dispatch: true,
         }
     }
 }
@@ -214,6 +222,9 @@ pub enum FailureKind {
     CacheMismatch,
     /// A 1×1 mesh run is not bit-identical to the single-node run.
     MeshDivergence,
+    /// The pre-decoded dispatch path is not bit-identical to the baseline
+    /// interpreter (results, counters, access events, or marks).
+    DispatchDivergence,
     /// The machine model panicked (wild address, malformed message) —
     /// reachable only through shrink candidates that feed garbage
     /// registers into address positions, never from validated generated
@@ -235,6 +246,7 @@ impl FailureKind {
             FailureKind::ResultDivergence => "result-divergence",
             FailureKind::CacheMismatch => "cache-mismatch",
             FailureKind::MeshDivergence => "mesh-divergence",
+            FailureKind::DispatchDivergence => "dispatch-divergence",
             FailureKind::MachineTrap => "machine-trap",
         }
     }
@@ -475,10 +487,105 @@ fn run_one(
                         &counts,
                     )?;
                 }
+                if cfg.dispatch {
+                    dispatch_cross_check(program, impl_, label, queue_words, cfg.fuel)?;
+                }
                 return Ok((report, hooks.0.b.log.take()));
             }
         }
     }
+}
+
+/// Re-run `program` under both interpreter dispatch paths — the baseline
+/// enum-walking `step` loop and the pre-decoded batched loop — with
+/// full-stream recording ([`TraceLog`] retains accesses, marks, and cycle
+/// counters), and require bit-identity in every observable: result words,
+/// final arrays, machine counters, every access event in recorded order,
+/// every mark record, and the per-priority cycle counters. Any gap means
+/// the decoded interpreter's batching broke the event-stream contract.
+fn dispatch_cross_check(
+    program: &Program,
+    impl_: Implementation,
+    label: &'static str,
+    queue_words: u32,
+    fuel: u64,
+) -> Result<(), CheckFailure> {
+    let fail = |what: String| CheckFailure {
+        kind: FailureKind::DispatchDivergence,
+        detail: format!("{label}: {what} (baseline vs pre-decoded dispatch)"),
+    };
+    let mcfg = MachineConfig {
+        queue_words: [queue_words, queue_words],
+        fuel,
+        ..MachineConfig::default()
+    };
+    let mut runs = Vec::with_capacity(2);
+    for predecode in [false, true] {
+        let name = if predecode { "decoded" } else { "baseline" };
+        let opts = LoweringOptions {
+            predecode,
+            ..LoweringOptions::default()
+        };
+        let linked = link(program, impl_, opts, mcfg);
+        let mut hooks = SinkHooks(TraceLog::new());
+        let run = catch_trap(|| linked.run(&mut hooks))
+            .map_err(|trap| fail(format!("{name} run trapped: {trap}")))?;
+        let (stats, machine) = run.map_err(|e| fail(format!("{name} run failed: {e}")))?;
+        let result: Vec<u64> = linked
+            .read_result(&machine)
+            .iter()
+            .map(|w| w.bits())
+            .collect();
+        let arrays: Vec<Vec<Option<u64>>> = linked
+            .read_arrays(&machine)
+            .iter()
+            .map(|a| a.iter().map(|c| c.map(|w| w.bits())).collect())
+            .collect();
+        runs.push((stats, result, arrays, hooks.0));
+    }
+    let (base_stats, base_result, base_arrays, base_log) = &runs[0];
+    let (dec_stats, dec_result, dec_arrays, dec_log) = &runs[1];
+    if dec_result != base_result {
+        return Err(fail(format!(
+            "result mismatch: baseline {base_result:?}, decoded {dec_result:?}"
+        )));
+    }
+    if dec_arrays != base_arrays {
+        return Err(fail("final array state diverges".into()));
+    }
+    if dec_stats != base_stats {
+        return Err(fail(format!(
+            "machine counters diverge: baseline {base_stats:?}, decoded {dec_stats:?}"
+        )));
+    }
+    if dec_log.len() != base_log.len() {
+        return Err(fail(format!(
+            "access stream length diverges: baseline {} events, decoded {}",
+            base_log.len(),
+            dec_log.len()
+        )));
+    }
+    if let Some((i, (b, d))) = base_log
+        .iter()
+        .zip(dec_log.iter())
+        .enumerate()
+        .find(|(_, (b, d))| b != d)
+    {
+        return Err(fail(format!(
+            "access stream diverges at event {i}: baseline {b:?}, decoded {d:?}"
+        )));
+    }
+    if dec_log.marks() != base_log.marks() {
+        return Err(fail("mark records diverge".into()));
+    }
+    if dec_log.cycles() != base_log.cycles() {
+        return Err(fail(format!(
+            "cycle counters diverge: baseline {:?}, decoded {:?}",
+            base_log.cycles(),
+            dec_log.cycles()
+        )));
+    }
+    Ok(())
 }
 
 /// Re-run `program` on a 1×1 mesh with the same machine configuration and
@@ -814,6 +921,20 @@ mod tests {
         assert_eq!(pass.per_impl.len(), 3);
         for r in &pass.per_impl {
             assert_eq!(r.result_bits, vec![42], "{}", r.label);
+        }
+    }
+
+    #[test]
+    fn dispatch_cross_check_passes_on_all_backends() {
+        // `dispatch` defaults on, so this exercises the baseline-vs-decoded
+        // stream comparison for AM, AM-en, and MD in one pass.
+        let cfg = CheckConfig::default();
+        assert!(cfg.dispatch);
+        check_program(&tiny_program(), &cfg).expect("dispatch paths must be bit-identical");
+        // And directly, for each back-end.
+        for (impl_, label) in IMPLS {
+            dispatch_cross_check(&tiny_program(), impl_, label, cfg.queue_words, cfg.fuel)
+                .expect("direct cross-check clean");
         }
     }
 

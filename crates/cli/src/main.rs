@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use tamsim_cache::{paper_sweep, CacheGeometry, PAPER_BLOCK_SWEEP};
-use tamsim_core::{Experiment, Implementation};
+use tamsim_core::{Experiment, Implementation, LoweringOptions};
 use tamsim_metrics as metrics;
 use tamsim_metrics::{SuiteData, Table};
 use tamsim_obs::Manifest;
@@ -80,6 +80,9 @@ fn help_text() -> String {
          --mutate       fuzz only: seed a deliberate MD bug (harness self-test)\n  \
          --mesh         fuzz: also cross-check the mesh (bit-identity, lockstep vs \
          fast-forward); perf: benchmark the mesh drivers\n  \
+         --no-predecode run/profile/mesh/perf: interpret with the baseline enum-walking \
+         dispatch instead of the pre-decoded path (escape hatch; results are \
+         bit-identical); fuzz: skip the dispatch cross-check\n  \
          -h, --help     show this help\n",
     );
     out
@@ -96,8 +99,19 @@ struct Args {
     shrink: bool,
     mutate: bool,
     mesh: bool,
+    no_predecode: bool,
     command: Option<String>,
     extra: Vec<String>,
+}
+
+impl Args {
+    /// Lowering/simulator options honouring `--no-predecode`.
+    fn opts(&self) -> LoweringOptions {
+        LoweringOptions {
+            predecode: !self.no_predecode,
+            ..LoweringOptions::default()
+        }
+    }
 }
 
 fn parse_args() -> Args {
@@ -129,6 +143,7 @@ fn parse_args() -> Args {
     let mut shrink = false;
     let mut mutate = false;
     let mut mesh = false;
+    let mut no_predecode = false;
     let mut command = None::<String>;
     let mut extra = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -146,6 +161,7 @@ fn parse_args() -> Args {
             "--shrink" => shrink = true,
             "--mutate" => mutate = true,
             "--mesh" => mesh = true,
+            "--no-predecode" => no_predecode = true,
             "--help" | "-h" => {
                 print!("{}", help_text());
                 std::process::exit(0);
@@ -174,6 +190,7 @@ fn parse_args() -> Args {
         shrink,
         mutate,
         mesh,
+        no_predecode,
         command,
         extra,
     }
@@ -234,6 +251,7 @@ fn lowering_pairs(exp: &Experiment) -> Vec<(String, bool)> {
             "md_stop_to_suspend".to_string(),
             exp.opts.md_stop_to_suspend,
         ),
+        ("predecode".to_string(), exp.opts.predecode),
     ]
 }
 
@@ -302,7 +320,7 @@ fn run_profile(args: &Args) {
 
     let mut profiles = Vec::new();
     for &impl_ in &impls {
-        let exp = Experiment::new(impl_);
+        let exp = Experiment::new(impl_).with_opts(args.opts());
         let profiled = exp.run_profiled(&program);
         let profile = profiled
             .profile()
@@ -396,7 +414,8 @@ fn run_mesh(args: &Args) {
     let single = impls.len() == 1;
 
     for &impl_ in &impls {
-        let exp = MeshExperiment::new(impl_, args.nodes).with_placement(policy);
+        let mut exp = MeshExperiment::new(impl_, args.nodes).with_placement(policy);
+        exp.opts = args.opts();
         let r = exp.run(&program);
         println!(
             "## mesh: {} ({}) on {} node(s) [{}x{}], policy {}\n",
@@ -480,7 +499,38 @@ fn run_mesh(args: &Args) {
 /// produce identical figures, and leave a machine-readable summary at
 /// `DIR/perf_summary.json` so future changes have a trajectory to compare
 /// against.
-fn run_perf(suite: &[PaperBenchmark], small: bool, dir: &Path) {
+/// Touch a few large, short-lived buffers before timing anything. Freeing
+/// mmap'd blocks teaches glibc to raise its dynamic mmap threshold, so the
+/// trace-log chunks allocated by the timed phases come from the main arena
+/// and their pages stay resident across phases. Without this, whichever
+/// phase happens to allocate big first pays ~100 MB of one-shot page
+/// faults and the phase comparison skews by hundreds of milliseconds.
+fn warm_allocator() {
+    // Raise glibc's dynamic mmap threshold: each free of an mmap'd block
+    // bumps the threshold to that block's size, so later trace-log chunks
+    // come from the arena instead of fresh mmaps.
+    for shift in [22usize, 23, 24, 25] {
+        let mut v = vec![0u8; 1 << shift];
+        for i in (0..v.len()).step_by(4096) {
+            v[i] = 1;
+        }
+        std::hint::black_box(&mut v);
+    }
+    // Grow the arena to the sweep's live footprint (the recorded traces are
+    // held in memory between the record and replay phases) and fault every
+    // page in, so the heap the timed phases run on is already resident.
+    let mut arena: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..48 {
+        let mut v = vec![0u8; 4 << 20];
+        for i in (0..v.len()).step_by(4096) {
+            v[i] = 1;
+        }
+        arena.push(v);
+    }
+    std::hint::black_box(&mut arena);
+}
+
+fn run_perf(suite: &[PaperBenchmark], small: bool, dir: &Path, opts: LoweringOptions) {
     let impls = [Implementation::Md, Implementation::Am];
     let geometries = paper_sweep();
     let n_configs = geometries.len();
@@ -490,22 +540,98 @@ fn run_perf(suite: &[PaperBenchmark], small: bool, dir: &Path) {
         impls.len(),
         geometries.len()
     );
+    warm_allocator();
 
     // Baseline: the legacy streaming path (untraced probe run, then a
     // traced re-run fanning every access to all configs serially).
     let t0 = Instant::now();
-    let inline = SuiteData::collect_inline(suite.to_vec(), &impls, geometries.clone());
+    let inline =
+        SuiteData::collect_inline_with_opts(suite.to_vec(), &impls, geometries.clone(), opts);
     let inline_seconds = t0.elapsed().as_secs_f64();
     eprintln!("  inline path        : {inline_seconds:.3} s");
 
     // Record once / replay in parallel.
     let t1 = Instant::now();
-    let (recorded, phases) = SuiteData::collect_timed(suite.to_vec(), &impls, geometries);
+    let (recorded, phases) =
+        SuiteData::collect_timed_with_opts(suite.to_vec(), &impls, geometries, opts);
     let recorded_seconds = t1.elapsed().as_secs_f64();
     eprintln!(
         "  record/replay path : {recorded_seconds:.3} s \
          (machine {:.3} s + replay {:.3} s, {} events)",
         phases.machine_seconds, phases.replay_seconds, phases.events
+    );
+
+    // Dispatch micro-benchmark: plain unrecorded, hook-free runs of each
+    // program (MD + AM summed), baseline enum-walking interpreter vs the
+    // pre-decoded path. Hook-free runs isolate pure dispatch speed: event
+    // emission monomorphizes away under `NoHooks`. Runs after the sweep
+    // timings so its allocations can't perturb them.
+    let time_dispatch = |predecode: bool| -> Vec<(f64, u64)> {
+        suite
+            .iter()
+            .map(|b| {
+                let o = LoweringOptions {
+                    predecode,
+                    ..LoweringOptions::default()
+                };
+                let t = Instant::now();
+                let mut instructions = 0u64;
+                for impl_ in impls {
+                    instructions += Experiment::new(impl_)
+                        .with_opts(o)
+                        .run(&b.program)
+                        .instructions;
+                }
+                (t.elapsed().as_secs_f64(), instructions)
+            })
+            .collect()
+    };
+    let dispatch_base = time_dispatch(false);
+    let dispatch_dec = time_dispatch(true);
+    let base_total: f64 = dispatch_base.iter().map(|(s, _)| s).sum();
+    let dec_total: f64 = dispatch_dec.iter().map(|(s, _)| s).sum();
+    let dispatch_speedup = base_total / dec_total;
+
+    println!("## perf: interpreter dispatch, baseline vs pre-decoded\n");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "program", "base_s", "dec_s", "base_mips", "dec_mips", "speedup"
+    );
+    let mut dispatch_rows = Vec::new();
+    for (b, ((bs, bi), (ds, di))) in suite
+        .iter()
+        .zip(dispatch_base.iter().zip(dispatch_dec.iter()))
+    {
+        assert_eq!(
+            bi, di,
+            "{}: dispatch paths retired different instruction counts",
+            b.name
+        );
+        let base_mips = *bi as f64 / bs / 1e6;
+        let dec_mips = *di as f64 / ds / 1e6;
+        println!(
+            "{:<10} {:>10.3} {:>10.3} {:>10.1} {:>10.1} {:>7.2}x",
+            b.name,
+            bs,
+            ds,
+            base_mips,
+            dec_mips,
+            bs / ds
+        );
+        dispatch_rows.push(format!(
+            "    {{\"name\": \"{}\", \"baseline_seconds\": {:.6}, \"decoded_seconds\": {:.6}, \
+             \"baseline_mips\": {:.1}, \"decoded_mips\": {:.1}, \"speedup\": {:.3}}}",
+            b.name,
+            bs,
+            ds,
+            base_mips,
+            dec_mips,
+            bs / ds
+        ));
+    }
+    println!(
+        "{:<10} {:>10.3} {:>10.3} {:>10} {:>10} {:>7.2}x\n",
+        "total", base_total, dec_total, "", "", dispatch_speedup
     );
 
     // The optimisation must be invisible in the results: identical CSVs.
@@ -548,7 +674,10 @@ fn run_perf(suite: &[PaperBenchmark], small: bool, dir: &Path) {
          \"cache_configs\": {},\n  \"events_recorded\": {},\n  \
          \"inline_seconds\": {:.6},\n  \"recorded_seconds\": {:.6},\n  \
          \"machine_seconds\": {:.6},\n  \"replay_seconds\": {:.6},\n  \
-         \"speedup\": {:.3},\n  \"identical_csv\": true\n}}\n",
+         \"speedup\": {:.3},\n  \"predecode\": {},\n  \"dispatch\": {{\n    \
+         \"baseline_seconds\": {:.6},\n    \"decoded_seconds\": {:.6},\n    \
+         \"dispatch_speedup\": {:.3},\n    \"programs\": [\n{}\n    ]\n  }},\n  \
+         \"identical_csv\": true\n}}\n",
         if small { "small" } else { "paper" },
         suite.len(),
         impls.len(),
@@ -559,6 +688,15 @@ fn run_perf(suite: &[PaperBenchmark], small: bool, dir: &Path) {
         phases.machine_seconds,
         phases.replay_seconds,
         speedup,
+        opts.predecode,
+        base_total,
+        dec_total,
+        dispatch_speedup,
+        dispatch_rows
+            .iter()
+            .map(|r| format!("    {r}"))
+            .collect::<Vec<_>>()
+            .join(",\n"),
     );
     fs::create_dir_all(dir).expect("create results dir");
     fs::write(dir.join("perf_summary.json"), json).expect("write perf_summary.json");
@@ -570,26 +708,37 @@ fn run_perf(suite: &[PaperBenchmark], small: bool, dir: &Path) {
 /// recorded mesh cache sweep, check the two drivers render byte-identical
 /// mesh-cache CSVs, and leave `DIR/mesh_perf_summary.json` beside
 /// `perf_summary.json`.
-fn run_mesh_perf(suite: &[PaperBenchmark], small: bool, nodes: u32, dir: &Path) {
+fn run_mesh_perf(
+    suite: &[PaperBenchmark],
+    small: bool,
+    nodes: u32,
+    dir: &Path,
+    opts: LoweringOptions,
+) {
     let progs: Vec<(&str, &Program)> = suite.iter().map(|b| (b.name, &b.program)).collect();
     let node_counts = [nodes];
     eprintln!(
         "mesh perf: {} programs x 2 impls x {{rr, local}} on {nodes} node(s)",
         progs.len()
     );
+    warm_allocator();
 
     // Driver timings on plain (unrecorded) runs: the lockstep baseline —
     // PR 4's loop, every cycle simulated — against the event-horizon
     // fast-forward, which jumps pure-wait stretches in one step.
-    let lockstep_seconds = metrics::mesh_machine_seconds(&progs, &node_counts, false);
+    let lockstep_seconds =
+        metrics::mesh_machine_seconds_with_opts(&progs, &node_counts, false, opts);
     eprintln!("  lockstep driver     : {lockstep_seconds:.3} s");
-    let fastforward_seconds = metrics::mesh_machine_seconds(&progs, &node_counts, true);
+    let fastforward_seconds =
+        metrics::mesh_machine_seconds_with_opts(&progs, &node_counts, true, opts);
     eprintln!("  fast-forward driver : {fastforward_seconds:.3} s");
 
     // Recorded-replay: the mesh cache sweep's production path — record
     // per-node traces under each driver, replay into all 24 geometries.
-    let (lock_runs, lock_perf) = metrics::mesh_cache_collect(&progs, &node_counts, false);
-    let (fast_runs, fast_perf) = metrics::mesh_cache_collect(&progs, &node_counts, true);
+    let (lock_runs, lock_perf) =
+        metrics::mesh_cache_collect_with_opts(&progs, &node_counts, false, opts);
+    let (fast_runs, fast_perf) =
+        metrics::mesh_cache_collect_with_opts(&progs, &node_counts, true, opts);
     eprintln!(
         "  recorded-replay     : {:.3} s machine + {:.3} s replay ({} events)",
         fast_perf.machine_seconds, fast_perf.replay_seconds, fast_perf.events
@@ -634,7 +783,7 @@ fn run_mesh_perf(suite: &[PaperBenchmark], small: bool, nodes: u32, dir: &Path) 
          \"nodes\": {},\n  \"events_recorded\": {},\n  \
          \"lockstep_seconds\": {:.6},\n  \"fastforward_seconds\": {:.6},\n  \
          \"recorded_seconds\": {:.6},\n  \"replay_seconds\": {:.6},\n  \
-         \"speedup\": {:.3},\n  \"identical_csv\": true\n}}\n",
+         \"speedup\": {:.3},\n  \"predecode\": {},\n  \"identical_csv\": true\n}}\n",
         if small { "small" } else { "paper" },
         progs.len(),
         nodes,
@@ -644,6 +793,7 @@ fn run_mesh_perf(suite: &[PaperBenchmark], small: bool, nodes: u32, dir: &Path) 
         fast_perf.machine_seconds,
         fast_perf.replay_seconds,
         speedup,
+        opts.predecode,
     );
     fs::create_dir_all(dir).expect("create results dir");
     fs::write(dir.join("mesh_perf_summary.json"), json).expect("write mesh_perf_summary.json");
@@ -664,6 +814,7 @@ fn run_fuzz(args: &Args) {
     let cfg = CheckConfig {
         mutation: args.mutate.then_some(Mutation::FlipFirstAddToSub),
         mesh: args.mesh,
+        dispatch: !args.no_predecode,
         ..CheckConfig::default()
     };
     eprintln!(
@@ -681,6 +832,9 @@ fn run_fuzz(args: &Args) {
             ""
         }
     );
+    if args.no_predecode {
+        eprintln!("fuzz: dispatch cross-check disabled (--no-predecode)");
+    }
     let report = fuzz_many(args.seed, args.iters, &cfg);
     println!(
         "fuzz: {}/{} passed, {} failure(s), {} trace events cross-checked ({:.1?})",
@@ -783,9 +937,9 @@ fn main() {
     let dir = args.out.clone();
     if command == "perf" {
         if args.mesh {
-            run_mesh_perf(&suite, args.small, args.nodes, &dir);
+            run_mesh_perf(&suite, args.small, args.nodes, &dir, args.opts());
         } else {
-            run_perf(&suite, args.small, &dir);
+            run_perf(&suite, args.small, &dir, args.opts());
         }
         write_manifest(&dir, &suite_names, "MD,AM", Vec::new(), Vec::new(), started);
         return;
@@ -919,7 +1073,9 @@ fn main() {
             Implementation::AmEnabled,
             Implementation::Md,
         ] {
-            let out = tamsim_core::Experiment::new(impl_).run(&program);
+            let out = tamsim_core::Experiment::new(impl_)
+                .with_opts(args.opts())
+                .run(&program);
             let result: Vec<String> = out.result.iter().map(|w| w.as_i64().to_string()).collect();
             println!(
                 "  {:5}: result [{}]  {} instructions, tpq {:.1}",

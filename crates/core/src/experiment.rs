@@ -7,7 +7,8 @@ use crate::lower::{lower_program, make_labels, LowerCtx, Lowered};
 use crate::opts::{Implementation, LoweringOptions};
 use crate::sys::gen_sys;
 use tamsim_mdp::{
-    CodeImage, Hooks, Machine, MachineConfig, Mark, Priority, RunError, RunStats, Word,
+    CodeImage, DecodedImage, Hooks, Machine, MachineConfig, Mark, Priority, RunError, RunStats,
+    Word,
 };
 use tamsim_obs::{ObsError, Profile, ProfileHooks, ProfileMeta, RawProfile, SymbolTable};
 use tamsim_tam::{Program, TOp, Value};
@@ -21,6 +22,12 @@ use tamsim_trace::{
 pub struct Linked {
     /// The complete code image (system + user code).
     pub code: CodeImage,
+    /// Pre-decoded threaded-code form of `code`, built once at link time
+    /// when [`LoweringOptions::predecode`] is on. Machines booted from
+    /// this link run the batched decoded dispatch loop; `None` runs the
+    /// baseline interpreter (the `--no-predecode` escape hatch). Either
+    /// way the observable event stream is bit-identical.
+    pub decoded: Option<DecodedImage>,
     /// The boot message (a frame-allocation request for `main`).
     pub boot: Vec<Word>,
     /// Load-time memory initialization (descriptors, allocator bumps,
@@ -77,6 +84,9 @@ impl Linked {
     /// injected, low context started).
     pub fn boot_machine(&self) -> Machine<'_> {
         let mut machine = Machine::new(self.cfg, &self.code);
+        if let Some(dec) = &self.decoded {
+            machine.attach_decoded(dec);
+        }
         for (addr, w) in &self.seed {
             machine.mem.write(*addr, *w);
         }
@@ -247,6 +257,9 @@ pub fn link(
 
     asm.finish(&mut img);
 
+    // Pre-decode once, after all label fixups are patched in.
+    let decoded = opts.predecode.then(|| DecodedImage::decode(&img));
+
     // Allocator bumps and initial arrays.
     seed.push((globals.frame_bump, Word::from_addr(cfg.map.frame_base)));
     seed.push((globals.heap_bump, Word::from_addr(heap_bump_init)));
@@ -285,6 +298,7 @@ pub fn link(
 
     Linked {
         code: img,
+        decoded,
         boot,
         seed,
         array_bases,
@@ -364,6 +378,21 @@ impl<S: TraceSink + MarkSink> Hooks for DriverHooks<'_, S> {
     fn instruction(&mut self, pri: Priority, pc: u32) {
         self.gran.instruction(pri, pc);
         self.extra.instruction(pri, pc);
+    }
+
+    // Bulk path for the decoded interpreter's straight-line batches. The
+    // per-consumer streams stay identical to the per-event expansion:
+    // fetches carry no data accesses to order against (those flush the
+    // batch first), the granularity segment cannot change inside a batch
+    // (marks break batches), and the sink's TraceSink/MarkSink channels
+    // are independent streams, so delivering the batch's fetches and
+    // ticks grouped rather than interleaved is unobservable.
+    #[inline]
+    fn fetch_run(&mut self, pri: Priority, start_pc: u32, n: u32) {
+        self.counts.fetch_run(start_pc, n);
+        self.gran.fetch_run(pri, start_pc, n);
+        self.extra.fetch_run(start_pc, n);
+        self.extra.instruction_run(pri, start_pc, n);
     }
 
     #[inline]

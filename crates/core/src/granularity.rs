@@ -92,6 +92,17 @@ impl Hooks for Granularity {
         }
     }
 
+    // A straight-line run stays in one segment: segments change only at
+    // marks, and marks always break the decoded interpreter's batches.
+    #[inline]
+    fn fetch_run(&mut self, pri: Priority, _start_pc: u32, n: u32) {
+        match self.seg[pri.index()] {
+            Segment::Thread => self.thread_instructions += n as u64,
+            Segment::Inlet => self.inlet_instructions += n as u64,
+            Segment::Other => self.other_instructions += n as u64,
+        }
+    }
+
     fn mark(&mut self, mark: Mark, frame: u32, pri: Priority) {
         let p = pri.index();
         match mark {

@@ -1,0 +1,90 @@
+//! The pre-decoded dispatch path must be invisible: bit-identical
+//! results, counters, granularity, and recorded event streams to the
+//! baseline interpreter, for every paper program under every back-end.
+//! (The mesh half of this wall lives in `tamsim-net`'s
+//! `dispatch_diff_mesh` test, since `net` sits above `core`.)
+
+use tamsim_core::{Experiment, Implementation, LoweringOptions};
+
+const IMPLS: [Implementation; 3] = [
+    Implementation::Am,
+    Implementation::AmEnabled,
+    Implementation::Md,
+];
+
+fn opts(predecode: bool) -> LoweringOptions {
+    LoweringOptions {
+        predecode,
+        ..LoweringOptions::default()
+    }
+}
+
+/// Every paper program × every back-end: a recorded run under baseline
+/// dispatch and one under pre-decoded dispatch must agree on everything —
+/// result words, final arrays, machine counters, region/kind access
+/// counts, granularity statistics, queue sizing, and the full recorded
+/// trace (access events in order, mark records, cycle counters).
+#[test]
+fn decoded_dispatch_is_bit_identical_across_suite_and_backends() {
+    for bench in tamsim_programs::small_suite() {
+        for impl_ in IMPLS {
+            let ctx = format!("{} under {impl_:?}", bench.name);
+
+            let base = Experiment::new(impl_)
+                .with_opts(opts(false))
+                .run_recorded(&bench.program);
+            let dec = Experiment::new(impl_)
+                .with_opts(opts(true))
+                .run_recorded(&bench.program);
+
+            assert_eq!(dec.run.result, base.run.result, "{ctx}: result words");
+            assert_eq!(dec.run.arrays, base.run.arrays, "{ctx}: final arrays");
+            assert_eq!(dec.run.stats, base.run.stats, "{ctx}: machine counters");
+            assert_eq!(
+                dec.run.instructions, base.run.instructions,
+                "{ctx}: instruction count"
+            );
+            assert_eq!(dec.run.counts, base.run.counts, "{ctx}: access counts");
+            assert_eq!(
+                dec.run.queue_words, base.run.queue_words,
+                "{ctx}: queue sizing"
+            );
+            assert_eq!(
+                dec.run.queue_accesses, base.run.queue_accesses,
+                "{ctx}: queue-bypass accounting"
+            );
+
+            let bg = &base.run.granularity;
+            let dg = &dec.run.granularity;
+            assert_eq!(dg.threads, bg.threads, "{ctx}: threads");
+            assert_eq!(dg.quanta, bg.quanta, "{ctx}: quanta");
+            assert_eq!(dg.inlets, bg.inlets, "{ctx}: inlets");
+            assert_eq!(
+                dg.thread_instructions, bg.thread_instructions,
+                "{ctx}: thread instructions"
+            );
+            assert_eq!(
+                dg.inlet_instructions, bg.inlet_instructions,
+                "{ctx}: inlet instructions"
+            );
+            assert_eq!(
+                dg.other_instructions, bg.other_instructions,
+                "{ctx}: other instructions"
+            );
+
+            // The recorded trace, event for event.
+            assert_eq!(dec.log.len(), base.log.len(), "{ctx}: recorded event count");
+            if let Some((i, (b, d))) = base
+                .log
+                .iter()
+                .zip(dec.log.iter())
+                .enumerate()
+                .find(|(_, (b, d))| b != d)
+            {
+                panic!("{ctx}: trace diverges at event {i}: baseline {b:?}, decoded {d:?}");
+            }
+            assert_eq!(dec.log.marks(), base.log.marks(), "{ctx}: mark records");
+            assert_eq!(dec.log.cycles(), base.log.cycles(), "{ctx}: cycle counters");
+        }
+    }
+}

@@ -104,6 +104,26 @@ impl CodeImage {
         self.user.len()
     }
 
+    /// Base address of system code.
+    pub fn sys_base(&self) -> u32 {
+        self.sys_base
+    }
+
+    /// Base address of user code.
+    pub fn user_base(&self) -> u32 {
+        self.user_base
+    }
+
+    /// The system-code ops in address order (the pre-decoder walks these).
+    pub fn sys_ops(&self) -> &[MOp] {
+        &self.sys
+    }
+
+    /// The user-code ops in address order.
+    pub fn user_ops(&self) -> &[MOp] {
+        &self.user
+    }
+
     /// Whether `addr` lies in user code.
     pub fn is_user(&self, addr: u32) -> bool {
         addr >= self.user_base

@@ -25,6 +25,26 @@ pub trait Hooks {
     #[inline]
     fn instruction(&mut self, _pri: Priority, _pc: u32) {}
 
+    /// `n` consecutive instructions fetched and executed at `pri`,
+    /// starting at `start_pc` and walking up in 4-byte steps.
+    ///
+    /// The batched dispatch loop emits straight-line runs through this
+    /// hook instead of one `access` + `instruction` pair per op. The
+    /// default expansion reproduces the per-instruction contract exactly
+    /// — one fetch then one tick per op, in address order — so any
+    /// implementation that leaves it alone observes a stream identical to
+    /// the baseline interpreter's. Implementations may override it to
+    /// process the run in bulk, but only if their observable output stays
+    /// equal to the default expansion's.
+    #[inline]
+    fn fetch_run(&mut self, pri: Priority, start_pc: u32, n: u32) {
+        for k in 0..n {
+            let pc = start_pc + k * 4;
+            self.access(Access::fetch(pc));
+            self.instruction(pri, pc);
+        }
+    }
+
     /// Queue occupancy in words per priority, sampled immediately before
     /// each mark.
     #[inline]
@@ -43,6 +63,9 @@ pub struct NoHooks;
 impl Hooks for NoHooks {
     #[inline]
     fn access(&mut self, _access: Access) {}
+
+    #[inline]
+    fn fetch_run(&mut self, _pri: Priority, _start_pc: u32, _n: u32) {}
 }
 
 /// Adapt any [`TraceSink`] + [`MarkSink`] into [`Hooks`], forwarding the
@@ -87,6 +110,11 @@ impl<H: Hooks + ?Sized> Hooks for &mut H {
     #[inline]
     fn instruction(&mut self, pri: Priority, pc: u32) {
         (**self).instruction(pri, pc)
+    }
+
+    #[inline]
+    fn fetch_run(&mut self, pri: Priority, start_pc: u32, n: u32) {
+        (**self).fetch_run(pri, start_pc, n)
     }
 
     #[inline]

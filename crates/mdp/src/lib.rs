@@ -9,6 +9,7 @@
 //! cache simulator in `tamsim-cache` consumes the access stream.
 
 pub mod code;
+pub mod decode;
 pub mod disasm;
 pub mod hooks;
 pub mod isa;
@@ -18,6 +19,7 @@ pub mod queue;
 pub mod word;
 
 pub use code::CodeImage;
+pub use decode::{DOp, DOperand, DSendSrc, DecodedImage};
 pub use disasm::{disasm_op, disasm_region};
 pub use hooks::{Hooks, NoHooks, SinkHooks};
 pub use isa::{AluOp, FAluOp, MOp, Mark, Operand, Priority, Reg, SendSrc};

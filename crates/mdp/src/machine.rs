@@ -17,6 +17,7 @@
 //! or quiesces when both queues are empty and the low-priority context has
 //! suspended — on a uniprocessor no further work can ever arrive.
 
+use crate::decode::{DOp, DOperand, DSendSrc, DecodedImage, INVALID_TARGET};
 use crate::queue::{MessageQueue, MsgRef, DEFAULT_QUEUE_WORDS};
 use crate::{AluOp, FAluOp};
 use crate::{CodeImage, Hooks, MOp, Memory, Operand, Priority, Reg, SendSrc, Word};
@@ -216,6 +217,9 @@ pub struct RunStats {
 pub struct Machine<'c> {
     cfg: MachineConfig,
     code: &'c CodeImage,
+    /// Pre-decoded form of `code`; when attached, [`Machine::step`] and
+    /// [`Machine::run`] use the threaded-code dispatch paths.
+    decoded: Option<&'c DecodedImage>,
     /// Data memory (public so drivers can seed inputs and read results).
     pub mem: Memory,
     regs: [[Word; Reg::COUNT]; 2],
@@ -259,7 +263,29 @@ impl<'c> Machine<'c> {
             send_words: 0,
             cfg,
             code,
+            decoded: None,
         }
+    }
+
+    /// Attach a pre-decoded image; subsequent [`Machine::step`] /
+    /// [`Machine::run`] calls use the threaded-code dispatch paths
+    /// (bit-identical to the baseline interpreter).
+    ///
+    /// # Panics
+    /// Panics if `dec` was not decoded from a code image with the same
+    /// region shape as this machine's.
+    pub fn attach_decoded(&mut self, dec: &'c DecodedImage) {
+        assert_eq!(
+            dec.len(),
+            self.code.sys_len() + self.code.user_len() + 2,
+            "decoded image does not match the machine's code image"
+        );
+        self.decoded = Some(dec);
+    }
+
+    /// Whether a pre-decoded image is attached.
+    pub fn is_decoded(&self) -> bool {
+        self.decoded.is_some()
     }
 
     /// Read a register (tests and drivers).
@@ -405,19 +431,42 @@ impl<'c> Machine<'c> {
 
     /// Run until halt, quiescence, or error, streaming events into `hooks`.
     ///
-    /// This is exactly a [`Machine::step`] loop over the always-local
-    /// [`Loopback`] port: on a single node every send loops straight back
-    /// into the local queue, and idleness is quiescence (no further work
-    /// can ever arrive).
+    /// With a pre-decoded image attached this uses the batched
+    /// threaded-code executor ([`Machine::run_decoded`]); otherwise it is
+    /// exactly a [`Machine::step`] loop over the always-local [`Loopback`]
+    /// port: on a single node every send loops straight back into the
+    /// local queue, and idleness is quiescence (no further work can ever
+    /// arrive). Both paths produce bit-identical results, statistics, and
+    /// event streams.
     pub fn run<H: Hooks>(&mut self, hooks: &mut H) -> Result<RunStats, RunError> {
+        match self.decoded {
+            Some(dec) => self.run_decoded_inner(dec, hooks),
+            None => self.run_baseline(hooks),
+        }
+    }
+
+    /// The baseline (non-predecoded) run loop.
+    pub fn run_baseline<H: Hooks>(&mut self, hooks: &mut H) -> Result<RunStats, RunError> {
         loop {
-            match self.step(hooks, &mut Loopback)? {
+            match self.step_baseline(hooks, &mut Loopback)? {
                 Step::Ran => {}
                 Step::Idle => return Ok(self.finish(HaltReason::Quiescent)),
                 Step::Halted(reason) => return Ok(self.finish(reason)),
                 Step::Blocked => unreachable!("loopback port never blocks"),
             }
         }
+    }
+
+    /// Run the attached pre-decoded image to completion with batched
+    /// straight-line dispatch.
+    ///
+    /// # Panics
+    /// Panics if no decoded image is attached.
+    pub fn run_decoded<H: Hooks>(&mut self, hooks: &mut H) -> Result<RunStats, RunError> {
+        let dec = self
+            .decoded
+            .expect("run_decoded: no decoded image attached");
+        self.run_decoded_inner(dec, hooks)
     }
 
     /// Execute one instruction, offering any `SEND` to `net` first.
@@ -428,7 +477,40 @@ impl<'c> Machine<'c> {
     /// stalls on a busy network port ([`Step::Blocked`], zero side
     /// effects), or halts. One `Ran`/`Blocked` step is one machine cycle
     /// on the mesh's global clock.
+    ///
+    /// With a pre-decoded image attached this routes to
+    /// [`Machine::step_decoded`], which preserves the
+    /// one-costed-instruction-per-step contract exactly (fused
+    /// superinstructions execute their first half only), so mesh drivers
+    /// interleave decoded machines cycle-for-cycle like baseline ones.
     pub fn step<H: Hooks, N: NetPort>(
+        &mut self,
+        hooks: &mut H,
+        net: &mut N,
+    ) -> Result<Step, RunError> {
+        match self.decoded {
+            Some(dec) => self.step_decoded_inner(dec, hooks, net),
+            None => self.step_baseline(hooks, net),
+        }
+    }
+
+    /// One instruction through the pre-decoded dispatch path.
+    ///
+    /// # Panics
+    /// Panics if no decoded image is attached.
+    pub fn step_decoded<H: Hooks, N: NetPort>(
+        &mut self,
+        hooks: &mut H,
+        net: &mut N,
+    ) -> Result<Step, RunError> {
+        let dec = self
+            .decoded
+            .expect("step_decoded: no decoded image attached");
+        self.step_decoded_inner(dec, hooks, net)
+    }
+
+    /// One instruction through the baseline enum-walking interpreter.
+    pub fn step_baseline<H: Hooks, N: NetPort>(
         &mut self,
         hooks: &mut H,
         net: &mut N,
@@ -602,6 +684,697 @@ impl<'c> Machine<'c> {
             }
             self.set_pc(pri, next);
             return Ok(Step::Ran);
+        }
+    }
+
+    /// One instruction through the decoded dispatch path.
+    ///
+    /// Mirrors [`Machine::step_baseline`] exactly — same preemption and
+    /// dispatch rules, same hook order, same blocked-send rewind — but
+    /// reads pre-decoded [`DOp`]s. Fused superinstructions execute their
+    /// *first* half only (the second slot holds that instruction's own
+    /// decoding), preserving the one-costed-instruction-per-step contract
+    /// mesh drivers schedule by.
+    fn step_decoded_inner<H: Hooks, N: NetPort>(
+        &mut self,
+        dec: &DecodedImage,
+        hooks: &mut H,
+        net: &mut N,
+    ) -> Result<Step, RunError> {
+        loop {
+            if self.high_pc.is_none()
+                && !self.queues[Priority::High.index()].is_empty()
+                && (self.low_pc.is_none() || self.ints_enabled)
+            {
+                self.dispatch(Priority::High, hooks);
+            }
+
+            let (pri, pc) = match (self.high_pc, self.low_pc) {
+                (Some(pc), _) => (Priority::High, pc),
+                (None, Some(pc)) => (Priority::Low, pc),
+                (None, None) => {
+                    if !self.queues[Priority::Low.index()].is_empty() {
+                        self.dispatch(Priority::Low, hooks);
+                        continue;
+                    }
+                    return Ok(Step::Idle);
+                }
+            };
+
+            let op = dec.op(dec.idx_of(pc));
+            let p = pri.index();
+
+            if let DOp::Wild { addr, .. } = op {
+                // Sequential fall-through past a region end; the baseline
+                // panics in `CodeImage::at` before emitting any event.
+                dec.wild_jump(*addr);
+            }
+
+            if let DOp::Mark(m) = op {
+                let frame = self.regs[p][Reg::FP.index()].bits() as u32;
+                hooks.queue_sample([self.queues[0].used_words(), self.queues[1].used_words()]);
+                hooks.mark(*m, frame, pri);
+                self.set_pc(pri, pc + 4);
+                continue;
+            }
+
+            if let DOp::Send { pri: target, sid } = op {
+                let mut buf = std::mem::take(&mut self.send_buf);
+                buf.clear();
+                for s in dec.send_srcs(*sid) {
+                    buf.push(match s {
+                        DSendSrc::Reg(r) => self.regs[p][*r as usize & 15],
+                        DSendSrc::Imm(w) => *w,
+                    });
+                }
+                let outcome = net.route(*target, &buf);
+                if outcome == RouteOutcome::Busy {
+                    self.send_buf = buf;
+                    return Ok(Step::Blocked);
+                }
+                hooks.access(Access::fetch(pc));
+                hooks.instruction(pri, pc);
+                self.instructions += 1;
+                self.instructions_by_pri[p] += 1;
+                if self.instructions > self.cfg.fuel {
+                    self.send_buf = buf;
+                    return Err(RunError::FuelExhausted);
+                }
+                let words = buf.len() as u64;
+                if outcome == RouteOutcome::Local {
+                    let res = self.enqueue_words(*target, &buf, hooks);
+                    self.send_buf = buf;
+                    res?;
+                } else {
+                    self.send_buf = buf;
+                }
+                self.sends += 1;
+                self.send_words += words;
+                self.set_pc(pri, pc + 4);
+                return Ok(Step::Ran);
+            }
+
+            hooks.access(Access::fetch(pc));
+            hooks.instruction(pri, pc);
+            self.instructions += 1;
+            self.instructions_by_pri[p] += 1;
+            if self.instructions > self.cfg.fuel {
+                return Err(RunError::FuelExhausted);
+            }
+
+            let mut next = pc + 4;
+            match op {
+                DOp::MovI { d, v } => self.regs[p][*d as usize & 15] = *v,
+                DOp::Mov { d, s } => {
+                    self.regs[p][*d as usize & 15] = self.regs[p][*s as usize & 15]
+                }
+                DOp::AluRR { op, d, a, b } => {
+                    let av = self.regs[p][*a as usize & 15].as_i64();
+                    let bv = self.regs[p][*b as usize & 15].as_i64();
+                    self.regs[p][*d as usize & 15] = Word::from_i64(eval_alu(*op, av, bv, pc));
+                }
+                DOp::AluRI { op, d, a, imm } => {
+                    let av = self.regs[p][*a as usize & 15].as_i64();
+                    self.regs[p][*d as usize & 15] = Word::from_i64(eval_alu(*op, av, *imm, pc));
+                }
+                DOp::FAlu { op, d, a, b } => {
+                    let av = self.regs[p][*a as usize & 15];
+                    let bv = self.regs[p][*b as usize & 15];
+                    self.regs[p][*d as usize & 15] = eval_falu(*op, av, bv);
+                }
+                DOp::Ld { d, base, off } => {
+                    let addr = offset_addr(self.regs[p][*base as usize & 15].as_addr(), *off)
+                        & self.cfg.addr_mask;
+                    hooks.access(Access::read(addr));
+                    self.regs[p][*d as usize & 15] = self.mem.read(addr);
+                }
+                DOp::LdA { d, addr } => {
+                    hooks.access(Access::read(*addr));
+                    self.regs[p][*d as usize & 15] = self.mem.read(*addr);
+                }
+                DOp::St { s, base, off } => {
+                    let addr = offset_addr(self.regs[p][*base as usize & 15].as_addr(), *off)
+                        & self.cfg.addr_mask;
+                    hooks.access(Access::write(addr));
+                    self.mem.write(addr, self.regs[p][*s as usize & 15]);
+                }
+                DOp::StA { s, addr } => {
+                    hooks.access(Access::write(*addr));
+                    self.mem.write(*addr, self.regs[p][*s as usize & 15]);
+                }
+                DOp::LdMsg { d, idx } => {
+                    let m = self.cur_msg[p].expect("LdMsg with no current message");
+                    debug_assert!((*idx as u32) < m.len, "LdMsg index beyond message");
+                    let addr = self.queues[p].addr_of(m.start, *idx as u32);
+                    hooks.access(Access::read(addr));
+                    self.regs[p][*d as usize & 15] = self.mem.read(addr);
+                }
+                DOp::LdMsgIdx { d, idx } => {
+                    let m = self.cur_msg[p].expect("LdMsgIdx with no current message");
+                    let i = self.regs[p][*idx as usize & 15].as_i64();
+                    debug_assert!(
+                        i >= 0 && (i as u32) < m.len,
+                        "LdMsgIdx index beyond message"
+                    );
+                    let addr = self.queues[p].addr_of(m.start, i as u32);
+                    hooks.access(Access::read(addr));
+                    self.regs[p][*d as usize & 15] = self.mem.read(addr);
+                }
+                DOp::Br { t, .. } => next = *t,
+                DOp::Bz { c, t, .. } => {
+                    if !self.regs[p][*c as usize & 15].as_bool() {
+                        next = *t;
+                    }
+                }
+                DOp::Bnz { c, t, .. } => {
+                    if self.regs[p][*c as usize & 15].as_bool() {
+                        next = *t;
+                    }
+                }
+                DOp::Jr { s } => next = self.regs[p][*s as usize & 15].as_addr(),
+                DOp::Call { t, .. } => {
+                    self.regs[p][Reg::LINK.index()] = Word::from_addr(pc + 4);
+                    next = *t;
+                }
+                DOp::Ret => next = self.regs[p][Reg::LINK.index()].as_addr(),
+                DOp::Suspend => {
+                    if let Some(m) = self.cur_msg[p].take() {
+                        self.queues[p].retire(m);
+                    }
+                    match pri {
+                        Priority::High => self.high_pc = None,
+                        Priority::Low => self.low_pc = None,
+                    }
+                    return Ok(Step::Ran);
+                }
+                DOp::EnableInt => self.ints_enabled = true,
+                DOp::DisableInt => self.ints_enabled = false,
+                DOp::Halt => return Ok(Step::Halted(HaltReason::Explicit)),
+                // Fused superinstructions: first half only in step mode.
+                DOp::CmpBr { op, d, a, b, .. } => {
+                    let av = self.regs[p][*a as usize & 15].as_i64();
+                    let bv = match b {
+                        DOperand::Reg(r) => self.regs[p][*r as usize & 15].as_i64(),
+                        DOperand::Imm(v) => *v,
+                    };
+                    self.regs[p][*d as usize & 15] = Word::from_i64(eval_alu(*op, av, bv, pc));
+                }
+                DOp::LdAlu {
+                    ld_d, base, off, ..
+                } => {
+                    let addr = offset_addr(self.regs[p][*base as usize & 15].as_addr(), *off)
+                        & self.cfg.addr_mask;
+                    hooks.access(Access::read(addr));
+                    self.regs[p][*ld_d as usize & 15] = self.mem.read(addr);
+                }
+                DOp::MovISt { d, v, .. } => self.regs[p][*d as usize & 15] = *v,
+                DOp::Mark(_) | DOp::Send { .. } | DOp::Wild { .. } => {
+                    unreachable!("handled above")
+                }
+            }
+            self.set_pc(pri, next);
+            return Ok(Step::Ran);
+        }
+    }
+
+    /// The batched decoded run loop (single node, always-local sends).
+    ///
+    /// Straight-line stretches execute without returning to the outer
+    /// dispatch loop; their instruction fetches and ticks are emitted as
+    /// one [`Hooks::fetch_run`] batch whose default expansion is exactly
+    /// the per-instruction stream. The batch is flushed before anything
+    /// the stream orders against — data accesses, marks, control
+    /// transfers, suspension, errors — so every hook implementation
+    /// observes the events of the baseline interpreter in the baseline
+    /// order.
+    ///
+    /// Only `SEND` (high priority), `EnableInt`, `Suspend`, and `Halt` can
+    /// change the outer loop's preemption/dispatch decision on a single
+    /// node, so those are the only ops that end a batch early; everything
+    /// else keeps streaming.
+    fn run_decoded_inner<H: Hooks>(
+        &mut self,
+        dec: &DecodedImage,
+        hooks: &mut H,
+    ) -> Result<RunStats, RunError> {
+        'outer: loop {
+            if self.high_pc.is_none()
+                && !self.queues[Priority::High.index()].is_empty()
+                && (self.low_pc.is_none() || self.ints_enabled)
+            {
+                self.dispatch(Priority::High, hooks);
+            }
+
+            let (pri, pc) = match (self.high_pc, self.low_pc) {
+                (Some(pc), _) => (Priority::High, pc),
+                (None, Some(pc)) => (Priority::Low, pc),
+                (None, None) => {
+                    if !self.queues[Priority::Low.index()].is_empty() {
+                        self.dispatch(Priority::Low, hooks);
+                        continue;
+                    }
+                    return Ok(self.finish(HaltReason::Quiescent));
+                }
+            };
+
+            let p = pri.index();
+            let mut idx = dec.idx_of(pc);
+            // `cur_pc` is the address of the op at `idx`; `pend` counts
+            // already-executed ops whose fetch/tick events are still
+            // pending. Batches are contiguous, so the pending run starts
+            // at `cur_pc - pend * 4` (or includes `cur_pc` when flushed
+            // via `flush_incl`).
+            let mut cur_pc = pc;
+            let mut pend: u32 = 0;
+
+            // Charge one instruction at address `$at`; on fuel exhaustion
+            // emit the failing op's fetch+tick (batched), park the pc on
+            // it, and error with no effects applied — exactly baseline.
+            macro_rules! charge {
+                ($at:expr) => {
+                    self.instructions += 1;
+                    self.instructions_by_pri[p] += 1;
+                    if self.instructions > self.cfg.fuel {
+                        pend += 1;
+                        hooks.fetch_run(pri, $at - (pend - 1) * 4, pend);
+                        self.set_pc(pri, $at);
+                        return Err(RunError::FuelExhausted);
+                    }
+                };
+            }
+            // Flush the pending batch *including* the op at `$at` (its
+            // fetch/tick must precede whatever comes next: a data event,
+            // a control transfer, or an error).
+            macro_rules! flush_incl {
+                ($at:expr) => {
+                    pend += 1;
+                    hooks.fetch_run(pri, $at - (pend - 1) * 4, pend);
+                    #[allow(unused_assignments)]
+                    {
+                        pend = 0;
+                    }
+                };
+            }
+            // Flush the pending batch *excluding* the current op (marks
+            // and guards emit no fetch of their own).
+            macro_rules! flush_before {
+                () => {
+                    if pend > 0 {
+                        hooks.fetch_run(pri, cur_pc - pend * 4, pend);
+                        #[allow(unused_assignments)]
+                        {
+                            pend = 0;
+                        }
+                    }
+                };
+            }
+
+            loop {
+                match dec.op(idx) {
+                    DOp::MovI { d, v } => {
+                        charge!(cur_pc);
+                        self.regs[p][*d as usize & 15] = *v;
+                        pend += 1;
+                        idx += 1;
+                        cur_pc += 4;
+                    }
+                    DOp::Mov { d, s } => {
+                        charge!(cur_pc);
+                        self.regs[p][*d as usize & 15] = self.regs[p][*s as usize & 15];
+                        pend += 1;
+                        idx += 1;
+                        cur_pc += 4;
+                    }
+                    DOp::AluRR { op, d, a, b } => {
+                        charge!(cur_pc);
+                        let av = self.regs[p][*a as usize & 15].as_i64();
+                        let bv = self.regs[p][*b as usize & 15].as_i64();
+                        if matches!(op, AluOp::Div | AluOp::Rem) {
+                            // Flush first so a divide-by-zero panic leaves
+                            // the delivered stream exactly as baseline.
+                            flush_incl!(cur_pc);
+                            self.set_pc(pri, cur_pc);
+                            self.regs[p][*d as usize & 15] =
+                                Word::from_i64(eval_alu(*op, av, bv, cur_pc));
+                        } else {
+                            self.regs[p][*d as usize & 15] =
+                                Word::from_i64(eval_alu(*op, av, bv, cur_pc));
+                            pend += 1;
+                        }
+                        idx += 1;
+                        cur_pc += 4;
+                    }
+                    DOp::AluRI { op, d, a, imm } => {
+                        charge!(cur_pc);
+                        let av = self.regs[p][*a as usize & 15].as_i64();
+                        if matches!(op, AluOp::Div | AluOp::Rem) {
+                            flush_incl!(cur_pc);
+                            self.set_pc(pri, cur_pc);
+                            self.regs[p][*d as usize & 15] =
+                                Word::from_i64(eval_alu(*op, av, *imm, cur_pc));
+                        } else {
+                            self.regs[p][*d as usize & 15] =
+                                Word::from_i64(eval_alu(*op, av, *imm, cur_pc));
+                            pend += 1;
+                        }
+                        idx += 1;
+                        cur_pc += 4;
+                    }
+                    DOp::FAlu { op, d, a, b } => {
+                        charge!(cur_pc);
+                        let av = self.regs[p][*a as usize & 15];
+                        let bv = self.regs[p][*b as usize & 15];
+                        self.regs[p][*d as usize & 15] = eval_falu(*op, av, bv);
+                        pend += 1;
+                        idx += 1;
+                        cur_pc += 4;
+                    }
+                    DOp::Ld { d, base, off } => {
+                        charge!(cur_pc);
+                        flush_incl!(cur_pc);
+                        let addr = offset_addr(self.regs[p][*base as usize & 15].as_addr(), *off)
+                            & self.cfg.addr_mask;
+                        hooks.access(Access::read(addr));
+                        self.regs[p][*d as usize & 15] = self.mem.read(addr);
+                        idx += 1;
+                        cur_pc += 4;
+                    }
+                    DOp::LdA { d, addr } => {
+                        charge!(cur_pc);
+                        flush_incl!(cur_pc);
+                        hooks.access(Access::read(*addr));
+                        self.regs[p][*d as usize & 15] = self.mem.read(*addr);
+                        idx += 1;
+                        cur_pc += 4;
+                    }
+                    DOp::St { s, base, off } => {
+                        charge!(cur_pc);
+                        flush_incl!(cur_pc);
+                        let addr = offset_addr(self.regs[p][*base as usize & 15].as_addr(), *off)
+                            & self.cfg.addr_mask;
+                        hooks.access(Access::write(addr));
+                        self.mem.write(addr, self.regs[p][*s as usize & 15]);
+                        idx += 1;
+                        cur_pc += 4;
+                    }
+                    DOp::StA { s, addr } => {
+                        charge!(cur_pc);
+                        flush_incl!(cur_pc);
+                        hooks.access(Access::write(*addr));
+                        self.mem.write(*addr, self.regs[p][*s as usize & 15]);
+                        idx += 1;
+                        cur_pc += 4;
+                    }
+                    DOp::LdMsg { d, idx: wi } => {
+                        charge!(cur_pc);
+                        flush_incl!(cur_pc);
+                        let m = self.cur_msg[p].expect("LdMsg with no current message");
+                        debug_assert!((*wi as u32) < m.len, "LdMsg index beyond message");
+                        let addr = self.queues[p].addr_of(m.start, *wi as u32);
+                        hooks.access(Access::read(addr));
+                        self.regs[p][*d as usize & 15] = self.mem.read(addr);
+                        idx += 1;
+                        cur_pc += 4;
+                    }
+                    DOp::LdMsgIdx { d, idx: wi } => {
+                        charge!(cur_pc);
+                        flush_incl!(cur_pc);
+                        let m = self.cur_msg[p].expect("LdMsgIdx with no current message");
+                        let i = self.regs[p][*wi as usize & 15].as_i64();
+                        debug_assert!(
+                            i >= 0 && (i as u32) < m.len,
+                            "LdMsgIdx index beyond message"
+                        );
+                        let addr = self.queues[p].addr_of(m.start, i as u32);
+                        hooks.access(Access::read(addr));
+                        self.regs[p][*d as usize & 15] = self.mem.read(addr);
+                        idx += 1;
+                        cur_pc += 4;
+                    }
+                    DOp::Br { ti, t } => {
+                        charge!(cur_pc);
+                        flush_incl!(cur_pc);
+                        if *ti == INVALID_TARGET {
+                            self.set_pc(pri, *t);
+                            dec.wild_jump(*t);
+                        }
+                        idx = *ti;
+                        cur_pc = *t;
+                    }
+                    DOp::Bz { c, ti, t } => {
+                        charge!(cur_pc);
+                        if !self.regs[p][*c as usize & 15].as_bool() {
+                            flush_incl!(cur_pc);
+                            if *ti == INVALID_TARGET {
+                                self.set_pc(pri, *t);
+                                dec.wild_jump(*t);
+                            }
+                            idx = *ti;
+                            cur_pc = *t;
+                        } else {
+                            pend += 1;
+                            idx += 1;
+                            cur_pc += 4;
+                        }
+                    }
+                    DOp::Bnz { c, ti, t } => {
+                        charge!(cur_pc);
+                        if self.regs[p][*c as usize & 15].as_bool() {
+                            flush_incl!(cur_pc);
+                            if *ti == INVALID_TARGET {
+                                self.set_pc(pri, *t);
+                                dec.wild_jump(*t);
+                            }
+                            idx = *ti;
+                            cur_pc = *t;
+                        } else {
+                            pend += 1;
+                            idx += 1;
+                            cur_pc += 4;
+                        }
+                    }
+                    DOp::Jr { s } => {
+                        charge!(cur_pc);
+                        flush_incl!(cur_pc);
+                        let t = self.regs[p][*s as usize & 15].as_addr();
+                        match dec.try_idx(t) {
+                            Some(i) => {
+                                idx = i;
+                                cur_pc = t;
+                            }
+                            None => {
+                                self.set_pc(pri, t);
+                                dec.wild_jump(t);
+                            }
+                        }
+                    }
+                    DOp::Call { ti, t } => {
+                        charge!(cur_pc);
+                        flush_incl!(cur_pc);
+                        self.regs[p][Reg::LINK.index()] = Word::from_addr(cur_pc + 4);
+                        if *ti == INVALID_TARGET {
+                            self.set_pc(pri, *t);
+                            dec.wild_jump(*t);
+                        }
+                        idx = *ti;
+                        cur_pc = *t;
+                    }
+                    DOp::Ret => {
+                        charge!(cur_pc);
+                        flush_incl!(cur_pc);
+                        let t = self.regs[p][Reg::LINK.index()].as_addr();
+                        match dec.try_idx(t) {
+                            Some(i) => {
+                                idx = i;
+                                cur_pc = t;
+                            }
+                            None => {
+                                self.set_pc(pri, t);
+                                dec.wild_jump(t);
+                            }
+                        }
+                    }
+                    DOp::Send { pri: target, sid } => {
+                        // Single node: the loopback port routes every
+                        // message locally, so no Busy rewind can occur.
+                        let mut buf = std::mem::take(&mut self.send_buf);
+                        buf.clear();
+                        for s in dec.send_srcs(*sid) {
+                            buf.push(match s {
+                                DSendSrc::Reg(r) => self.regs[p][*r as usize & 15],
+                                DSendSrc::Imm(w) => *w,
+                            });
+                        }
+                        self.instructions += 1;
+                        self.instructions_by_pri[p] += 1;
+                        if self.instructions > self.cfg.fuel {
+                            self.send_buf = buf;
+                            pend += 1;
+                            hooks.fetch_run(pri, cur_pc - (pend - 1) * 4, pend);
+                            self.set_pc(pri, cur_pc);
+                            return Err(RunError::FuelExhausted);
+                        }
+                        flush_incl!(cur_pc);
+                        let res = self.enqueue_words(*target, &buf, hooks);
+                        let words = buf.len() as u64;
+                        self.send_buf = buf;
+                        if let Err(e) = res {
+                            self.set_pc(pri, cur_pc);
+                            return Err(e);
+                        }
+                        self.sends += 1;
+                        self.send_words += words;
+                        self.set_pc(pri, cur_pc + 4);
+                        if *target == Priority::High {
+                            // New high-priority work: re-run the outer
+                            // preemption/dispatch check.
+                            continue 'outer;
+                        }
+                        // A low send cannot change the preemption decision
+                        // while this context runs; keep streaming.
+                        idx += 1;
+                        cur_pc += 4;
+                    }
+                    DOp::Suspend => {
+                        charge!(cur_pc);
+                        flush_incl!(cur_pc);
+                        if let Some(m) = self.cur_msg[p].take() {
+                            self.queues[p].retire(m);
+                        }
+                        match pri {
+                            Priority::High => self.high_pc = None,
+                            Priority::Low => self.low_pc = None,
+                        }
+                        continue 'outer;
+                    }
+                    DOp::EnableInt => {
+                        charge!(cur_pc);
+                        self.ints_enabled = true;
+                        pend += 1;
+                        if self.high_pc.is_none() && !self.queues[Priority::High.index()].is_empty()
+                        {
+                            // Preemption just became possible.
+                            hooks.fetch_run(pri, cur_pc - (pend - 1) * 4, pend);
+                            self.set_pc(pri, cur_pc + 4);
+                            continue 'outer;
+                        }
+                        idx += 1;
+                        cur_pc += 4;
+                    }
+                    DOp::DisableInt => {
+                        charge!(cur_pc);
+                        self.ints_enabled = false;
+                        pend += 1;
+                        idx += 1;
+                        cur_pc += 4;
+                    }
+                    DOp::Halt => {
+                        charge!(cur_pc);
+                        flush_incl!(cur_pc);
+                        self.set_pc(pri, cur_pc);
+                        return Ok(self.finish(HaltReason::Explicit));
+                    }
+                    DOp::Mark(m) => {
+                        flush_before!();
+                        let frame = self.regs[p][Reg::FP.index()].bits() as u32;
+                        hooks.queue_sample([
+                            self.queues[0].used_words(),
+                            self.queues[1].used_words(),
+                        ]);
+                        hooks.mark(*m, frame, pri);
+                        idx += 1;
+                        cur_pc += 4;
+                        // The pending run restarts after the mark; marks
+                        // emit no fetch so the batch cannot span one.
+                    }
+                    DOp::CmpBr {
+                        op,
+                        d,
+                        a,
+                        b,
+                        bnz,
+                        ti,
+                        t,
+                    } => {
+                        // ALU half.
+                        charge!(cur_pc);
+                        let av = self.regs[p][*a as usize & 15].as_i64();
+                        let bv = match b {
+                            DOperand::Reg(r) => self.regs[p][*r as usize & 15].as_i64(),
+                            DOperand::Imm(v) => *v,
+                        };
+                        self.regs[p][*d as usize & 15] =
+                            Word::from_i64(eval_alu(*op, av, bv, cur_pc));
+                        pend += 1;
+                        // Branch half at cur_pc + 4.
+                        charge!(cur_pc + 4);
+                        if self.regs[p][*d as usize & 15].as_bool() == *bnz {
+                            pend += 1;
+                            hooks.fetch_run(pri, (cur_pc + 4) - (pend - 1) * 4, pend);
+                            pend = 0;
+                            if *ti == INVALID_TARGET {
+                                self.set_pc(pri, *t);
+                                dec.wild_jump(*t);
+                            }
+                            idx = *ti;
+                            cur_pc = *t;
+                        } else {
+                            pend += 1;
+                            idx += 2;
+                            cur_pc += 8;
+                        }
+                    }
+                    DOp::LdAlu {
+                        ld_d,
+                        base,
+                        off,
+                        op,
+                        d,
+                        a,
+                        b,
+                    } => {
+                        // Load half.
+                        charge!(cur_pc);
+                        flush_incl!(cur_pc);
+                        let addr = offset_addr(self.regs[p][*base as usize & 15].as_addr(), *off)
+                            & self.cfg.addr_mask;
+                        hooks.access(Access::read(addr));
+                        self.regs[p][*ld_d as usize & 15] = self.mem.read(addr);
+                        // ALU half at cur_pc + 4 (never Div/Rem).
+                        charge!(cur_pc + 4);
+                        let av = self.regs[p][*a as usize & 15].as_i64();
+                        let bv = match b {
+                            DOperand::Reg(r) => self.regs[p][*r as usize & 15].as_i64(),
+                            DOperand::Imm(v) => *v,
+                        };
+                        self.regs[p][*d as usize & 15] =
+                            Word::from_i64(eval_alu(*op, av, bv, cur_pc + 4));
+                        pend += 1;
+                        idx += 2;
+                        cur_pc += 8;
+                    }
+                    DOp::MovISt { d, v, base, off } => {
+                        // MovI half.
+                        charge!(cur_pc);
+                        self.regs[p][*d as usize & 15] = *v;
+                        pend += 1;
+                        // Store half at cur_pc + 4.
+                        charge!(cur_pc + 4);
+                        flush_incl!(cur_pc + 4);
+                        let addr = offset_addr(self.regs[p][*base as usize & 15].as_addr(), *off)
+                            & self.cfg.addr_mask;
+                        hooks.access(Access::write(addr));
+                        self.mem.write(addr, self.regs[p][*d as usize & 15]);
+                        idx += 2;
+                        cur_pc += 8;
+                    }
+                    DOp::Wild { addr, .. } => {
+                        flush_before!();
+                        self.set_pc(pri, *addr);
+                        dec.wild_jump(*addr);
+                    }
+                }
+            }
         }
     }
 
@@ -1533,5 +2306,366 @@ mod tests {
         // Separate register files: low r0 == 2, high r0 == 7.
         assert_eq!(m.reg(Priority::Low, Reg(0)).as_i64(), 2);
         assert_eq!(m.reg(Priority::High, Reg(0)).as_i64(), 7);
+    }
+
+    // ---- decoded dispatch equivalence -----------------------------------
+
+    use crate::decode::DecodedImage;
+    use tamsim_trace::{MarkLog, Tee};
+
+    /// Run `img` twice — baseline and decoded — with identical setup and
+    /// full-stream recording hooks, and assert the runs are bit-identical:
+    /// stats, every access event in order, every mark record, and the
+    /// per-priority cycle counters.
+    fn assert_decoded_matches(
+        img: &CodeImage,
+        setup: impl Fn(&mut Machine),
+    ) -> (RunStats, Vec<Access>) {
+        let mut base = Machine::new(MachineConfig::default(), img);
+        setup(&mut base);
+        let mut bh = SinkHooks(Tee::new(VecSink::new(), MarkLog::new()));
+        let bstats = base.run_baseline(&mut bh).expect("baseline run failed");
+
+        let dec = DecodedImage::decode(img);
+        let mut m = Machine::new(MachineConfig::default(), img);
+        m.attach_decoded(&dec);
+        setup(&mut m);
+        let mut dh = SinkHooks(Tee::new(VecSink::new(), MarkLog::new()));
+        let dstats = m.run(&mut dh).expect("decoded run failed");
+
+        assert_eq!(dstats, bstats, "run stats diverge");
+        assert_eq!(dh.0.a.events, bh.0.a.events, "access streams diverge");
+        assert_eq!(dh.0.b.records, bh.0.b.records, "mark records diverge");
+        assert_eq!(dh.0.b.cycles, bh.0.b.cycles, "cycle counters diverge");
+        for p in [Priority::Low, Priority::High] {
+            for r in 0..Reg::COUNT {
+                assert_eq!(
+                    m.reg(p, Reg(r as u8)),
+                    base.reg(p, Reg(r as u8)),
+                    "register {p:?}/r{r} diverges"
+                );
+            }
+        }
+        (dstats, dh.0.a.events)
+    }
+
+    #[test]
+    fn decoded_run_matches_baseline_on_a_fusing_loop() {
+        // Exercises every fusion rule: MovI+St, Ld+Alu, Alu+Bnz, plus a
+        // mark inside the loop so batches break mid-stream.
+        let fb = map().frame_base;
+        let ub = map().user_code_base;
+        let (img, entry) = user_image(vec![
+            /* 0 */
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_addr(fb),
+            },
+            /* 1: MovI+St pair */
+            MOp::MovI {
+                d: Reg(1),
+                v: Word::from_i64(40),
+            },
+            /* 2 */
+            MOp::St {
+                s: Reg(1),
+                base: Reg(0),
+                off: 0,
+            },
+            /* 3: loop head — Ld+Alu pair */
+            MOp::Ld {
+                d: Reg(2),
+                base: Reg(0),
+                off: 0,
+            },
+            /* 4 */
+            MOp::Alu {
+                op: AluOp::Sub,
+                d: Reg(2),
+                a: Reg(2),
+                b: Operand::Imm(1),
+            },
+            /* 5 */
+            MOp::St {
+                s: Reg(2),
+                base: Reg(0),
+                off: 0,
+            },
+            /* 6 */ MOp::Mark(Mark::ThreadEnd),
+            /* 7: Alu+Bnz pair */
+            MOp::Alu {
+                op: AluOp::Gt,
+                d: Reg(3),
+                a: Reg(2),
+                b: Operand::Imm(0),
+            },
+            /* 8 */
+            MOp::Bnz {
+                c: Reg(3),
+                t: ub + 3 * 4,
+            },
+            /* 9 */ MOp::Halt,
+        ]);
+        let (stats, _) = assert_decoded_matches(&img, |m| m.start_low(entry));
+        assert_eq!(stats.halt, HaltReason::Explicit);
+        assert!(stats.instructions > 100, "the loop actually looped");
+    }
+
+    #[test]
+    fn decoded_run_matches_baseline_with_preemption_and_enable_int() {
+        // DisableInt / high send / EnableInt: the decoded batch must break
+        // exactly where the baseline re-checks preemption.
+        let fb = map().frame_base;
+        let mut img = CodeImage::new(&map());
+        let h = img.next_sys();
+        img.push_sys(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_addr(fb),
+        });
+        img.push_sys(MOp::MovI {
+            d: Reg(1),
+            v: Word::from_i64(1),
+        });
+        img.push_sys(MOp::St {
+            s: Reg(1),
+            base: Reg(0),
+            off: 0,
+        });
+        img.push_sys(MOp::Suspend);
+        let entry = img.next_user();
+        img.push_user(MOp::DisableInt);
+        img.push_user(MOp::MovI {
+            d: Reg(2),
+            v: Word::from_addr(h),
+        });
+        img.push_user(MOp::Send {
+            pri: Priority::High,
+            srcs: vec![SendSrc::Reg(Reg(2))],
+        });
+        img.push_user(MOp::MovI {
+            d: Reg(0),
+            v: Word::from_addr(fb),
+        });
+        img.push_user(MOp::Ld {
+            d: Reg(5),
+            base: Reg(0),
+            off: 0,
+        });
+        img.push_user(MOp::EnableInt);
+        img.push_user(MOp::Ld {
+            d: Reg(6),
+            base: Reg(0),
+            off: 0,
+        });
+        img.push_user(MOp::Halt);
+        let (stats, _) = assert_decoded_matches(&img, |m| m.start_low(entry));
+        assert_eq!(stats.preemptions, 1);
+    }
+
+    #[test]
+    fn decoded_run_matches_baseline_on_message_chains() {
+        // Send/dispatch/suspend chains and LdMsg queue reads.
+        let fb = map().frame_base;
+        let mut img = CodeImage::new(&map());
+        let a = img.next_user();
+        img.push_user(MOp::MovI {
+            d: Reg(2),
+            v: Word::ZERO,
+        });
+        img.push_user(MOp::MovI {
+            d: Reg(3),
+            v: Word::from_i64(5),
+        });
+        img.push_user(MOp::Send {
+            pri: Priority::Low,
+            srcs: vec![SendSrc::Reg(Reg(2)), SendSrc::Reg(Reg(3))],
+        });
+        img.push_user(MOp::Suspend);
+        let b = img.next_user();
+        img.push_user(MOp::LdMsg { d: Reg(0), idx: 1 });
+        img.push_user(MOp::Alu {
+            op: AluOp::Add,
+            d: Reg(0),
+            a: Reg(0),
+            b: Operand::Reg(Reg(0)),
+        });
+        img.push_user(MOp::MovI {
+            d: Reg(1),
+            v: Word::from_addr(fb),
+        });
+        img.push_user(MOp::St {
+            s: Reg(0),
+            base: Reg(1),
+            off: 0,
+        });
+        img.push_user(MOp::Halt);
+        img.patch(
+            a,
+            MOp::MovI {
+                d: Reg(2),
+                v: Word::from_addr(b),
+            },
+        );
+        let (stats, events) = assert_decoded_matches(&img, |m| {
+            m.inject(Priority::Low, &[Word::from_addr(a)]).unwrap()
+        });
+        assert_eq!(stats.sends, 1);
+        assert_eq!(stats.dispatches, [2, 0]);
+        assert!(events.contains(&Access::write(fb)));
+    }
+
+    #[test]
+    fn decoded_fuel_exhaustion_matches_baseline_mid_batch() {
+        // An infinite straight-line loop; fuel runs out inside a batch.
+        // The decoded path must emit the failing op's fetch, park the pc on
+        // it, and report the same error at the same instruction count.
+        let ub = map().user_code_base;
+        let (img, entry) = user_image(vec![
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_i64(1),
+            },
+            MOp::Alu {
+                op: AluOp::Add,
+                d: Reg(0),
+                a: Reg(0),
+                b: Operand::Imm(1),
+            },
+            MOp::Br { t: ub + 4 },
+        ]);
+        let cfg = MachineConfig {
+            fuel: 100,
+            ..Default::default()
+        };
+
+        let mut base = Machine::new(cfg, &img);
+        base.start_low(entry);
+        let mut bh = SinkHooks(VecSink::new());
+        let berr = base.run_baseline(&mut bh).unwrap_err();
+
+        let dec = DecodedImage::decode(&img);
+        let mut m = Machine::new(cfg, &img);
+        m.attach_decoded(&dec);
+        m.start_low(entry);
+        let mut dh = SinkHooks(VecSink::new());
+        let derr = m.run(&mut dh).unwrap_err();
+
+        assert_eq!(derr, berr);
+        assert_eq!(dh.0.events, bh.0.events);
+        assert_eq!(
+            m.reg(Priority::Low, Reg(0)),
+            base.reg(Priority::Low, Reg(0))
+        );
+    }
+
+    #[test]
+    fn decoded_step_blocked_send_rewinds_like_baseline() {
+        let (img, entry) = user_image(vec![
+            MOp::MovI {
+                d: Reg(0),
+                v: Word::from_i64(0x55),
+            },
+            MOp::Send {
+                pri: Priority::Low,
+                srcs: vec![SendSrc::Reg(Reg(0)), SendSrc::Imm(Word::from_i64(7))],
+            },
+            MOp::Halt,
+        ]);
+        let dec = DecodedImage::decode(&img);
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.attach_decoded(&dec);
+        m.start_low(entry);
+        let mut hooks = SinkHooks(VecSink::new());
+        let mut port = FlakyPort {
+            busy: 2,
+            offered: vec![],
+        };
+        assert_eq!(m.step(&mut hooks, &mut port).unwrap(), Step::Ran);
+        let events_before = hooks.0.events.len();
+        assert_eq!(m.step(&mut hooks, &mut port).unwrap(), Step::Blocked);
+        assert_eq!(m.step(&mut hooks, &mut port).unwrap(), Step::Blocked);
+        assert_eq!(hooks.0.events.len(), events_before);
+        assert_eq!(m.stats(HaltReason::Quiescent).sends, 0);
+        assert_eq!(m.step(&mut hooks, &mut port).unwrap(), Step::Ran);
+        assert_eq!(port.offered.len(), 3);
+        assert_eq!(port.offered[0], port.offered[2]);
+        assert_eq!(m.stats(HaltReason::Quiescent).sends, 1);
+    }
+
+    #[test]
+    fn decoded_step_executes_fused_pairs_one_instruction_at_a_time() {
+        // In step mode a fused cmp+branch costs two steps — the mesh's
+        // global clock must see the same cycle count as baseline.
+        let ub = map().user_code_base;
+        let ops = vec![
+            /* 0 */
+            MOp::MovI {
+                d: Reg(1),
+                v: Word::from_i64(3),
+            },
+            /* 1: fuses with 2 */
+            MOp::Alu {
+                op: AluOp::Gt,
+                d: Reg(0),
+                a: Reg(1),
+                b: Operand::Imm(0),
+            },
+            /* 2 */
+            MOp::Bnz {
+                c: Reg(0),
+                t: ub + 4 * 4,
+            },
+            /* 3 */ MOp::Halt,
+            /* 4 */ MOp::Halt,
+        ];
+        let (img, entry) = user_image(ops);
+        let dec = DecodedImage::decode(&img);
+        assert!(dec.fused_count() > 0, "the pair fused");
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.attach_decoded(&dec);
+        m.start_low(entry);
+        let mut hooks = SinkHooks(VecSink::new());
+        assert_eq!(m.step(&mut hooks, &mut Loopback).unwrap(), Step::Ran); // MovI
+        assert_eq!(m.step(&mut hooks, &mut Loopback).unwrap(), Step::Ran); // Alu half
+        assert_eq!(m.reg(Priority::Low, Reg(0)).as_i64(), 1);
+        assert_eq!(
+            m.stats(HaltReason::Quiescent).instructions,
+            2,
+            "fused pair charges one instruction per step"
+        );
+        assert_eq!(m.step(&mut hooks, &mut Loopback).unwrap(), Step::Ran); // Bnz half
+                                                                           // The branch target is slot 4 (the second halt).
+        assert_eq!(
+            m.step(&mut hooks, &mut Loopback).unwrap(),
+            Step::Halted(HaltReason::Explicit)
+        );
+        let fetches: Vec<u32> = hooks
+            .0
+            .events
+            .iter()
+            .filter(|a| a.kind == AccessKind::Fetch)
+            .map(|a| a.addr)
+            .collect();
+        assert_eq!(fetches, vec![ub, ub + 4, ub + 8, ub + 16]);
+    }
+
+    #[test]
+    fn decoded_wild_jump_panics_with_baseline_message() {
+        let (img, entry) = user_image(vec![MOp::Br {
+            t: map().user_code_base + 0x400,
+        }]);
+        let dec = DecodedImage::decode(&img);
+        let mut m = Machine::new(MachineConfig::default(), &img);
+        m.attach_decoded(&dec);
+        m.start_low(entry);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = m.run(&mut NoHooks);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("wild jump to") && msg.contains("(user code)"),
+            "got: {msg}"
+        );
     }
 }

@@ -160,6 +160,21 @@ pub fn mesh_cache_collect(
     node_counts: &[u32],
     fast_forward: bool,
 ) -> (Vec<MeshCacheRun>, MeshCachePerf) {
+    mesh_cache_collect_with_opts(
+        programs,
+        node_counts,
+        fast_forward,
+        tamsim_core::LoweringOptions::default(),
+    )
+}
+
+/// [`mesh_cache_collect`] with explicit lowering/simulator options.
+pub fn mesh_cache_collect_with_opts(
+    programs: &[(&str, &Program)],
+    node_counts: &[u32],
+    fast_forward: bool,
+    opts: tamsim_core::LoweringOptions,
+) -> (Vec<MeshCacheRun>, MeshCachePerf) {
     let geometries = paper_sweep();
     let configs = mesh_cache_configs(node_counts);
     let jobs: Vec<(usize, u32, PlacementPolicy, Implementation)> = programs
@@ -173,9 +188,10 @@ pub fn mesh_cache_collect(
         .collect();
 
     let t0 = Instant::now();
-    let recorded = tamsim_trace::par_map(jobs, |(pi, n, policy, impl_)| {
+    let recorded = tamsim_trace::par_map(jobs, move |(pi, n, policy, impl_)| {
         let mut exp = MeshExperiment::new(impl_, n).with_placement(policy);
         exp.fast_forward = fast_forward;
+        exp.opts = opts;
         (pi, exp.run_recorded(programs[pi].1))
     });
     let machine_seconds = t0.elapsed().as_secs_f64();
@@ -219,6 +235,23 @@ pub fn mesh_machine_seconds(
     node_counts: &[u32],
     fast_forward: bool,
 ) -> f64 {
+    mesh_machine_seconds_with_opts(
+        programs,
+        node_counts,
+        fast_forward,
+        tamsim_core::LoweringOptions::default(),
+    )
+}
+
+/// [`mesh_machine_seconds`] with explicit lowering/simulator options —
+/// `tamsim perf --mesh` runs it once per dispatch path to benchmark the
+/// pre-decoded interpreter on multi-node workloads.
+pub fn mesh_machine_seconds_with_opts(
+    programs: &[(&str, &Program)],
+    node_counts: &[u32],
+    fast_forward: bool,
+    opts: tamsim_core::LoweringOptions,
+) -> f64 {
     let configs = mesh_cache_configs(node_counts);
     let jobs: Vec<(usize, u32, PlacementPolicy, Implementation)> = programs
         .iter()
@@ -230,9 +263,10 @@ pub fn mesh_machine_seconds(
         })
         .collect();
     let t0 = Instant::now();
-    let runs = tamsim_trace::par_map(jobs, |(pi, n, policy, impl_)| {
+    let runs = tamsim_trace::par_map(jobs, move |(pi, n, policy, impl_)| {
         let mut exp = MeshExperiment::new(impl_, n).with_placement(policy);
         exp.fast_forward = fast_forward;
+        exp.opts = opts;
         exp.run(programs[pi].1).cycles
     });
     let seconds = t0.elapsed().as_secs_f64();

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use tamsim_cache::{CacheBank, CacheGeometry, CacheSummary, CycleModel};
-use tamsim_core::{Experiment, Implementation, RecordedRun, RunResult};
+use tamsim_core::{Experiment, Implementation, LoweringOptions, RecordedRun, RunResult};
 use tamsim_programs::PaperBenchmark;
 
 /// One traced run of one program under one implementation.
@@ -93,6 +93,17 @@ impl SuiteData {
         impls: &[Implementation],
         geometries: Vec<CacheGeometry>,
     ) -> (SuiteData, SuitePerf) {
+        Self::collect_timed_with_opts(suite, impls, geometries, LoweringOptions::default())
+    }
+
+    /// [`SuiteData::collect_timed`] with explicit lowering/simulator
+    /// options (e.g. `predecode: false` for `tamsim perf --no-predecode`).
+    pub fn collect_timed_with_opts(
+        suite: Vec<PaperBenchmark>,
+        impls: &[Implementation],
+        geometries: Vec<CacheGeometry>,
+        opts: LoweringOptions,
+    ) -> (SuiteData, SuitePerf) {
         let names: Vec<String> = suite.iter().map(|b| b.name.to_string()).collect();
         let tasks = task_list(&suite, impls);
 
@@ -103,8 +114,10 @@ impl SuiteData {
         // those working sets through the host caches).
         let t0 = Instant::now();
         let recorded: Vec<(String, Implementation, RecordedRun)> =
-            tamsim_trace::par_map(tasks, |(name, program, impl_)| {
-                let rec = Experiment::new(impl_).run_recorded(&program);
+            tamsim_trace::par_map(tasks, move |(name, program, impl_)| {
+                let rec = Experiment::new(impl_)
+                    .with_opts(opts)
+                    .run_recorded(&program);
                 (name, impl_, rec)
             });
         let machine_seconds = t0.elapsed().as_secs_f64();
@@ -150,14 +163,27 @@ impl SuiteData {
         impls: &[Implementation],
         geometries: Vec<CacheGeometry>,
     ) -> SuiteData {
+        Self::collect_inline_with_opts(suite, impls, geometries, LoweringOptions::default())
+    }
+
+    /// [`SuiteData::collect_inline`] with explicit lowering/simulator
+    /// options.
+    pub fn collect_inline_with_opts(
+        suite: Vec<PaperBenchmark>,
+        impls: &[Implementation],
+        geometries: Vec<CacheGeometry>,
+        opts: LoweringOptions,
+    ) -> SuiteData {
         let names: Vec<String> = suite.iter().map(|b| b.name.to_string()).collect();
         let tasks = task_list(&suite, impls);
         // Same one-worker-per-core `par_map` fan-out as `collect_timed`,
         // for the same working-set reason (and a fair perf comparison).
         let geoms = &geometries;
-        let runs: Vec<ProgramRun> = tamsim_trace::par_map(tasks, |(name, program, impl_)| {
+        let runs: Vec<ProgramRun> = tamsim_trace::par_map(tasks, move |(name, program, impl_)| {
             let mut bank = CacheBank::symmetric(geoms.iter().copied());
-            let run = Experiment::new(impl_).run_with_sink(&program, &mut bank);
+            let run = Experiment::new(impl_)
+                .with_opts(opts)
+                .run_with_sink(&program, &mut bank);
             ProgramRun {
                 name,
                 implementation: impl_,

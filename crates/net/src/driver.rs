@@ -616,6 +616,9 @@ impl MeshExperiment {
         (0..self.nodes)
             .map(|n| {
                 let mut machine = Machine::new(linked.cfg, &linked.code);
+                if let Some(dec) = &linked.decoded {
+                    machine.attach_decoded(dec);
+                }
                 for &(addr, w) in &linked.seed {
                     if n > 0 && addr >= linked.cfg.map.heap_base {
                         continue; // initial arrays live on node 0

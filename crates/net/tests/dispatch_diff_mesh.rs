@@ -1,0 +1,69 @@
+//! Mesh half of the dispatch-differential wall: a multi-node mesh run
+//! must be bit-identical with predecode on and off, under both the
+//! lockstep driver and the event-horizon fast-forward. The decoded
+//! interpreter preserves the one-costed-instruction-per-step contract
+//! (fused superinstructions execute one half per step), so the global
+//! clock interleaving cannot shift by a single cycle.
+
+use tamsim_core::{Implementation, LoweringOptions};
+use tamsim_net::MeshExperiment;
+
+const IMPLS: [Implementation; 3] = [
+    Implementation::Am,
+    Implementation::AmEnabled,
+    Implementation::Md,
+];
+
+fn opts(predecode: bool) -> LoweringOptions {
+    LoweringOptions {
+        predecode,
+        ..LoweringOptions::default()
+    }
+}
+
+#[test]
+fn mesh_runs_are_bit_identical_with_and_without_predecode() {
+    // Two programs with real traffic keep this test affordable; the fuzz
+    // wall's dispatch cross-check covers the space.
+    let benches: Vec<_> = tamsim_programs::small_suite()
+        .into_iter()
+        .filter(|b| b.name == "MMT" || b.name == "SS")
+        .collect();
+    assert_eq!(benches.len(), 2);
+
+    for bench in &benches {
+        for impl_ in IMPLS {
+            for lockstep in [false, true] {
+                let ctx = format!(
+                    "{} under {impl_:?} ({})",
+                    bench.name,
+                    if lockstep { "lockstep" } else { "fast-forward" }
+                );
+                let run_with = |predecode: bool| {
+                    let mut exp = MeshExperiment::new(impl_, 4);
+                    exp.opts = opts(predecode);
+                    if lockstep {
+                        exp.lockstep().run(&bench.program)
+                    } else {
+                        exp.run(&bench.program)
+                    }
+                };
+                let base = run_with(false);
+                let dec = run_with(true);
+
+                assert_eq!(dec.cycles, base.cycles, "{ctx}: global cycles");
+                assert_eq!(dec.halt, base.halt, "{ctx}: halt reason");
+                assert_eq!(dec.result, base.result, "{ctx}: result words");
+                assert_eq!(dec.arrays, base.arrays, "{ctx}: final arrays");
+                assert_eq!(dec.stats, base.stats, "{ctx}: per-node counters");
+                assert_eq!(dec.counts, base.counts, "{ctx}: per-node access counts");
+                assert_eq!(dec.net, base.net, "{ctx}: fabric statistics");
+                assert_eq!(
+                    dec.stall_cycles, base.stall_cycles,
+                    "{ctx}: NI stall cycles"
+                );
+                assert_eq!(dec.queue_words, base.queue_words, "{ctx}: queue sizing");
+            }
+        }
+    }
+}

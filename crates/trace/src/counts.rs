@@ -32,6 +32,12 @@ impl AccessCounts {
         self.counts[region.index()][kind.index()] += 1;
     }
 
+    /// Record `n` accesses of one kind in one region (batched fetch runs).
+    #[inline]
+    pub fn record_many(&mut self, region: Region, kind: AccessKind, n: u64) {
+        self.counts[region.index()][kind.index()] += n;
+    }
+
     /// Count for a specific region and kind.
     #[inline]
     pub fn get(&self, region: Region, kind: AccessKind) -> u64 {

@@ -77,6 +77,19 @@ pub trait MarkSink {
     #[inline]
     fn instruction(&mut self, _pri: Priority, _pc: u32) {}
 
+    /// A run of `n` consecutive instructions at `pri`, program counters
+    /// `start_pc`, `start_pc + 4`, ... — the batched form emitted by the
+    /// decoded-dispatch executor. The default expansion delivers exactly
+    /// the per-instruction ticks, so non-overriding sinks observe an
+    /// identical stream; counters (e.g. [`MarkLog`]) override it with a
+    /// bulk add.
+    #[inline]
+    fn instruction_run(&mut self, pri: Priority, start_pc: u32, n: u32) {
+        for k in 0..n {
+            self.instruction(pri, start_pc + k * 4);
+        }
+    }
+
     /// Queue occupancy in words per priority, sampled immediately before
     /// each mark.
     #[inline]
@@ -92,6 +105,11 @@ impl<S: MarkSink + ?Sized> MarkSink for &mut S {
     #[inline]
     fn instruction(&mut self, pri: Priority, pc: u32) {
         (**self).instruction(pri, pc)
+    }
+
+    #[inline]
+    fn instruction_run(&mut self, pri: Priority, start_pc: u32, n: u32) {
+        (**self).instruction_run(pri, start_pc, n)
     }
 
     #[inline]
@@ -181,6 +199,11 @@ impl MarkSink for MarkLog {
     #[inline]
     fn instruction(&mut self, pri: Priority, _pc: u32) {
         self.cycles[pri.index()] += 1;
+    }
+
+    #[inline]
+    fn instruction_run(&mut self, pri: Priority, _start_pc: u32, n: u32) {
+        self.cycles[pri.index()] += n as u64;
     }
 
     #[inline]

@@ -104,6 +104,32 @@ impl TraceLog {
         self.marks.clear();
     }
 
+    /// Append `n` fetch events at consecutive word addresses from `start`.
+    ///
+    /// Equivalent to `n` [`TraceLog::push`] calls of `Access::fetch`; the
+    /// chunk-boundary check runs once per chunk instead of once per event.
+    #[inline]
+    pub fn push_fetch_run(&mut self, start: u32, n: u32) {
+        let mut addr = start;
+        let mut left = n as usize;
+        while left > 0 {
+            let chunk = match self.chunks.last_mut() {
+                Some(chunk) if chunk.len() < CHUNK_EVENTS => chunk,
+                _ => {
+                    self.chunks.push(Vec::with_capacity(CHUNK_EVENTS));
+                    self.chunks.last_mut().unwrap()
+                }
+            };
+            let take = left.min(CHUNK_EVENTS - chunk.len());
+            // Fetch kind encodes as 0 in the low bits: the packed word is
+            // the (word-aligned) address itself.
+            debug_assert!(addr & 3 == 0);
+            chunk.extend((0..take as u32).map(|k| addr + k * 4));
+            addr += (take as u32) * 4;
+            left -= take;
+        }
+    }
+
     /// The retained granularity marks, in execution order.
     pub fn marks(&self) -> &[MarkRecord] {
         &self.marks.records
@@ -128,12 +154,22 @@ impl TraceSink for TraceLog {
     fn access(&mut self, access: Access) {
         self.push(access);
     }
+
+    #[inline]
+    fn fetch_run(&mut self, start: u32, n: u32) {
+        self.push_fetch_run(start, n);
+    }
 }
 
 impl MarkSink for TraceLog {
     #[inline]
     fn instruction(&mut self, pri: Priority, pc: u32) {
         self.marks.instruction(pri, pc);
+    }
+
+    #[inline]
+    fn instruction_run(&mut self, pri: Priority, start_pc: u32, n: u32) {
+        self.marks.instruction_run(pri, start_pc, n);
     }
 
     #[inline]

@@ -12,6 +12,21 @@ use crate::{Access, AccessCounts, Mark, MarkSink, MemoryMap, Priority};
 pub trait TraceSink {
     /// Consume one access event.
     fn access(&mut self, access: Access);
+
+    /// Consume a run of `n` consecutive instruction fetches starting at
+    /// `start` (addresses `start`, `start + 4`, ...).
+    ///
+    /// The decoded-dispatch executor batches straight-line fetch runs into
+    /// one call; the default expansion delivers exactly the events the
+    /// per-instruction path would, so sinks that do not override this are
+    /// bit-identical either way. Sinks with cheap bulk handling (the
+    /// [`crate::TraceLog`] recorder, [`CountingSink`]) override it.
+    #[inline]
+    fn fetch_run(&mut self, start: u32, n: u32) {
+        for k in 0..n {
+            self.access(Access::fetch(start + k * 4));
+        }
+    }
 }
 
 /// A sink that discards everything (pure instruction-count runs).
@@ -81,6 +96,28 @@ impl TraceSink for CountingSink {
         };
         self.counts.record_in(region, access.kind);
     }
+
+    #[inline]
+    fn fetch_run(&mut self, start: u32, n: u32) {
+        if n == 0 {
+            return;
+        }
+        // A fetch run never crosses a region boundary (the decoder places a
+        // guard slot at each region end), so one classification covers the
+        // whole batch. Check the last address too so the whole run is
+        // validated exactly as per-event delivery would have.
+        let last = start + (n - 1) * 4;
+        let (Some(region), Some(_)) = (self.map.try_classify(start), self.map.try_classify(last))
+        else {
+            panic!(
+                "access at {:#x} lies above the modeled top of memory \
+                 ({:#x}); machine-model bug",
+                last, self.map.top
+            );
+        };
+        self.counts
+            .record_many(region, crate::AccessKind::Fetch, n as u64);
+    }
 }
 
 impl MarkSink for CountingSink {}
@@ -111,6 +148,12 @@ impl<A: TraceSink, B: TraceSink> TraceSink for Tee<A, B> {
         self.a.access(access);
         self.b.access(access);
     }
+
+    #[inline]
+    fn fetch_run(&mut self, start: u32, n: u32) {
+        self.a.fetch_run(start, n);
+        self.b.fetch_run(start, n);
+    }
 }
 
 impl<A: MarkSink, B: MarkSink> MarkSink for Tee<A, B> {
@@ -118,6 +161,12 @@ impl<A: MarkSink, B: MarkSink> MarkSink for Tee<A, B> {
     fn instruction(&mut self, pri: Priority, pc: u32) {
         self.a.instruction(pri, pc);
         self.b.instruction(pri, pc);
+    }
+
+    #[inline]
+    fn instruction_run(&mut self, pri: Priority, start_pc: u32, n: u32) {
+        self.a.instruction_run(pri, start_pc, n);
+        self.b.instruction_run(pri, start_pc, n);
     }
 
     #[inline]
@@ -149,6 +198,11 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     #[inline]
     fn access(&mut self, access: Access) {
         (**self).access(access);
+    }
+
+    #[inline]
+    fn fetch_run(&mut self, start: u32, n: u32) {
+        (**self).fetch_run(start, n);
     }
 }
 

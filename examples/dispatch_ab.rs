@@ -1,0 +1,67 @@
+//! Quick A/B timing of the two dispatch paths under different hook
+//! configurations. `cargo run --release --example dispatch_ab`
+
+use std::time::Instant;
+use tamsim_core::{Experiment, Implementation, LoweringOptions};
+use tamsim_trace::TraceLog;
+
+fn main() {
+    let suite = tamsim_programs::paper_suite();
+    let impls = [Implementation::Md, Implementation::Am];
+    for &predecode in &[false, true] {
+        let opts = LoweringOptions {
+            predecode,
+            ..LoweringOptions::default()
+        };
+
+        // Pure interpreter: NoHooks, no probing (link once, run once).
+        let t = Instant::now();
+        for b in &suite {
+            for impl_ in impls {
+                let mut exp = Experiment::new(impl_).with_opts(opts);
+                exp.queue_words = [1 << 15, 1 << 15];
+                let linked = exp.link(&b.program);
+                linked.run(&mut tamsim_mdp::NoHooks).unwrap();
+            }
+        }
+        let nohooks = t.elapsed().as_secs_f64();
+
+        // Log-only: a bare TraceLog as hooks via SinkHooks.
+        let t = Instant::now();
+        for b in &suite {
+            for impl_ in impls {
+                let mut exp = Experiment::new(impl_).with_opts(opts);
+                exp.queue_words = [1 << 15, 1 << 15];
+                let linked = exp.link(&b.program);
+                let mut log = TraceLog::new();
+                let mut hooks = tamsim_mdp::SinkHooks(&mut log);
+                linked.run(&mut hooks).unwrap();
+            }
+        }
+        let logonly = t.elapsed().as_secs_f64();
+
+        // Full recorded path (counting + granularity + log).
+        let t = Instant::now();
+        for b in &suite {
+            for impl_ in impls {
+                Experiment::new(impl_)
+                    .with_opts(opts)
+                    .run_recorded(&b.program);
+            }
+        }
+        let recorded = t.elapsed().as_secs_f64();
+
+        // The production sweep path.
+        let (_data, phases) = tamsim_metrics::SuiteData::collect_timed_with_opts(
+            suite.clone(),
+            &impls,
+            tamsim_cache::paper_sweep(),
+            opts,
+        );
+        println!(
+            "predecode {predecode:5}: nohooks {nohooks:.3} s  log-only {logonly:.3} s  \
+             recorded {recorded:.3} s  sweep-machine {:.3} s  sweep-replay {:.3} s",
+            phases.machine_seconds, phases.replay_seconds
+        );
+    }
+}

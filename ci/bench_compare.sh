@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Warn-only benchmark regression gate.
+#
+#   ci/bench_compare.sh SUMMARY_JSON [BASELINE_JSON]
+#
+# Compares a freshly produced perf summary (perf_summary.json or
+# mesh_perf_summary.json — the script detects which) against the committed
+# baseline in results/bench_baseline.json and prints a GitHub Actions
+# `::warning::` annotation for every metric that regressed by more than
+# 20%. Timings regress upward, speedups and MIPS regress downward.
+#
+# CI runners have noisy clocks, so this NEVER fails the build: it always
+# exits 0. The annotations surface drift on the PR without blocking it;
+# a real regression shows up consistently across runs.
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 SUMMARY_JSON [BASELINE_JSON]" >&2
+    exit 2
+fi
+
+summary="$1"
+baseline="${2:-$(dirname "$0")/../results/bench_baseline.json}"
+
+if [ ! -s "$summary" ]; then
+    echo "::warning::bench_compare: summary '$summary' missing or empty; skipping"
+    exit 0
+fi
+if [ ! -s "$baseline" ]; then
+    echo "::warning::bench_compare: baseline '$baseline' missing or empty; skipping"
+    exit 0
+fi
+
+python3 - "$summary" "$baseline" <<'EOF'
+import json
+import sys
+
+THRESHOLD = 0.20  # warn past 20% drift in the bad direction
+
+summary_path, baseline_path = sys.argv[1], sys.argv[2]
+summary = json.load(open(summary_path))
+baseline = json.load(open(baseline_path))
+
+warnings = []
+
+
+def check(name, base, now, lower_is_better):
+    """Record a warning if `now` regressed past the threshold vs `base`."""
+    if base is None or now is None or base <= 0:
+        return
+    delta = (now - base) / base
+    regressed = delta > THRESHOLD if lower_is_better else delta < -THRESHOLD
+    arrow = "slower" if lower_is_better else "lower"
+    line = f"{name}: baseline {base:g}, now {now:g} ({delta:+.1%})"
+    if regressed:
+        warnings.append(f"{line} — more than {THRESHOLD:.0%} {arrow}")
+    else:
+        print(f"  ok  {line}")
+
+
+if "lockstep_seconds" in summary:
+    # mesh_perf_summary.json: the two driver timings and their ratio.
+    base = baseline.get("mesh", {})
+    check("mesh speedup", base.get("speedup"), summary.get("speedup"), False)
+    check(
+        "mesh lockstep_seconds",
+        base.get("lockstep_seconds"),
+        summary.get("lockstep_seconds"),
+        True,
+    )
+    check(
+        "mesh fastforward_seconds",
+        base.get("fastforward_seconds"),
+        summary.get("fastforward_seconds"),
+        True,
+    )
+else:
+    # perf_summary.json: record/replay engine and dispatch harness.
+    base = baseline.get("machine", {})
+    check(
+        "machine_seconds",
+        base.get("machine_seconds"),
+        summary.get("machine_seconds"),
+        True,
+    )
+    check("suite speedup", base.get("speedup"), summary.get("speedup"), False)
+    dispatch = summary.get("dispatch", {})
+    check(
+        "dispatch_speedup",
+        base.get("dispatch_speedup"),
+        dispatch.get("dispatch_speedup"),
+        False,
+    )
+    base_mips = base.get("decoded_mips", {})
+    for prog in dispatch.get("programs", []):
+        check(
+            f"decoded MIPS ({prog['name']})",
+            base_mips.get(prog["name"]),
+            prog.get("decoded_mips"),
+            False,
+        )
+
+if warnings:
+    for w in warnings:
+        print(f"::warning::bench regression vs {baseline_path}: {w}")
+    print(f"{len(warnings)} metric(s) regressed past 20% (warn-only; not failing CI)")
+else:
+    print(f"bench_compare: all metrics within 20% of {baseline_path}")
+EOF
+
+exit 0

@@ -49,7 +49,7 @@ use crate::invariant::InvariantChecker;
 use tamsim_cache::{CacheBank, CacheGeometry};
 use tamsim_core::{link, FrameLayout, GlobalsMap, Implementation, LoweringOptions};
 use tamsim_mdp::{HaltReason, Machine, MachineConfig, RunError, RunStats, SinkHooks};
-use tamsim_net::{MeshExperiment, PlacementPolicy};
+use tamsim_net::{MeshExperiment, NetTraceMode, PlacementPolicy};
 use tamsim_tam::{AluOp, Program, TOp};
 use tamsim_trace::{
     Access, AccessCounts, CountingSink, Mark, MarkSink, Priority, Tee, TraceLog, TraceSink,
@@ -687,7 +687,10 @@ fn mesh_driver_cross_check(
         exp.queue_words = [cfg.queue_words, cfg.queue_words];
         let lock = catch_trap(|| exp.lockstep().run(program))
             .map_err(|trap| fail(format!("lockstep run trapped: {trap}")))?;
-        let fast = catch_trap(|| exp.run(program))
+        // The fast leg runs with network tracing on (bounded ring) while
+        // the lockstep leg stays untraced, so every fuzz iteration also
+        // proves instrumentation is invisible to the run itself.
+        let fast = catch_trap(|| exp.traced(NetTraceMode::Ring(256)).run(program))
             .map_err(|trap| fail(format!("fast-forward run trapped: {trap}")))?;
 
         // Every observable, in roughly the order a divergence would be
@@ -727,6 +730,15 @@ fn mesh_driver_cross_check(
                 "fabric statistics diverge: lockstep {:?}, fast-forward {:?}",
                 lock.net, fast.net
             )));
+        }
+        if fast.deliver_stalls != lock.deliver_stalls {
+            return Err(fail(format!(
+                "per-node deliver stalls diverge: lockstep {:?}, fast-forward {:?}",
+                lock.deliver_stalls, fast.deliver_stalls
+            )));
+        }
+        if fast.link_stats != lock.link_stats {
+            return Err(fail("per-link telemetry diverges".into()));
         }
         if fast.queue_words != lock.queue_words {
             return Err(fail(format!(

@@ -80,6 +80,9 @@ fn help_text() -> String {
          --mutate       fuzz only: seed a deliberate MD bug (harness self-test)\n  \
          --mesh         fuzz: also cross-check the mesh (bit-identity, lockstep vs \
          fast-forward); perf: benchmark the mesh drivers\n  \
+         --trace-net    mesh only: full causal message tracing (per-message lifecycle \
+         records, flow arrows in mesh_trace.json, occupancy counters); without it a \
+         bounded ring still feeds the latency histograms\n  \
          --no-predecode run/profile/mesh/perf: interpret with the baseline enum-walking \
          dispatch instead of the pre-decoded path (escape hatch; results are \
          bit-identical); fuzz: skip the dispatch cross-check\n  \
@@ -100,6 +103,7 @@ struct Args {
     mutate: bool,
     mesh: bool,
     no_predecode: bool,
+    trace_net: bool,
     command: Option<String>,
     extra: Vec<String>,
 }
@@ -144,6 +148,7 @@ fn parse_args() -> Args {
     let mut mutate = false;
     let mut mesh = false;
     let mut no_predecode = false;
+    let mut trace_net = false;
     let mut command = None::<String>;
     let mut extra = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -162,6 +167,7 @@ fn parse_args() -> Args {
             "--mutate" => mutate = true,
             "--mesh" => mesh = true,
             "--no-predecode" => no_predecode = true,
+            "--trace-net" => trace_net = true,
             "--help" | "-h" => {
                 print!("{}", help_text());
                 std::process::exit(0);
@@ -191,6 +197,7 @@ fn parse_args() -> Args {
         mutate,
         mesh,
         no_predecode,
+        trace_net,
         command,
         extra,
     }
@@ -388,12 +395,18 @@ fn run_profile(args: &Args) {
 }
 
 /// `tamsim mesh PROG [--nodes N] [--impl am|am-en|md|all] [--policy rr|local]
-/// [--out DIR]`: run one program on an N-node mesh under the given
-/// back-end(s), print the run summary and per-node cycle accounting, and
-/// write a Perfetto trace with one track per node (`mesh_trace.json`;
-/// with several back-ends, `DIR/<impl>/mesh_trace.json`).
+/// [--trace-net] [--out DIR]`: run one program on an N-node mesh under
+/// the given back-end(s), print the run summary, per-node cycle
+/// accounting, and message-latency histograms, and write the
+/// observability artifacts: a Perfetto trace with one track per node
+/// plus causal message-flow arrows (`mesh_trace.json`), the per-link
+/// telemetry heatmap (`mesh_links.csv`), and the mesh statistics profile
+/// (`profile.json`). `--trace-net` keeps every message's lifecycle
+/// record and adds buffer-occupancy counter tracks; by default a bounded
+/// ring feeds the histograms at negligible cost. (With several
+/// back-ends, everything lands under `DIR/<impl>/`.)
 fn run_mesh(args: &Args) {
-    use tamsim_net::{MeshExperiment, NodeState, PlacementPolicy};
+    use tamsim_net::{MeshExperiment, NetTraceMode, PlacementPolicy};
     let started = Instant::now();
     let Some(prog_name) = args.extra.first().cloned() else {
         eprintln!(
@@ -413,8 +426,15 @@ fn run_mesh(args: &Args) {
     });
     let single = impls.len() == 1;
 
+    let mode = if args.trace_net {
+        NetTraceMode::Full
+    } else {
+        NetTraceMode::Ring(2048)
+    };
     for &impl_ in &impls {
-        let mut exp = MeshExperiment::new(impl_, args.nodes).with_placement(policy);
+        let mut exp = MeshExperiment::new(impl_, args.nodes)
+            .with_placement(policy)
+            .traced(mode);
         exp.opts = args.opts();
         let r = exp.run(&program);
         println!(
@@ -438,43 +458,50 @@ fn run_mesh(args: &Args) {
             r.total_stall_cycles(),
         );
         println!("{}", metrics::mesh_node_table(&r).to_text());
+        if let Some(trace) = &r.net_trace {
+            println!(
+                "## message latency ({} traced, {} dropped)\n\n{}",
+                trace.records.len(),
+                trace.dropped,
+                metrics::mesh_latency_table(trace).to_text()
+            );
+        }
 
-        // One Perfetto track per node; idle cycles stay as gaps.
-        let tracks: Vec<tamsim_obs::NodeTrack> = r
-            .activity
-            .iter()
-            .enumerate()
-            .map(|(n, t)| tamsim_obs::NodeTrack {
-                name: format!("node {n}"),
-                spans: t
-                    .spans
-                    .iter()
-                    .filter_map(|s| {
-                        let label = match s.state {
-                            NodeState::Run => "run",
-                            NodeState::Stall => "stall",
-                            NodeState::Idle => return None,
-                        };
-                        Some(tamsim_obs::NodeTrackSpan {
-                            label,
-                            start: s.start,
-                            cycles: s.cycles,
-                        })
-                    })
-                    .collect(),
-            })
-            .collect();
         let dir = if single {
             args.out.clone()
         } else {
             args.out.join(impl_.label().to_ascii_lowercase())
         };
-        fs::create_dir_all(&dir).expect("create results dir");
+        emit(
+            &dir,
+            "mesh_links",
+            &format!(
+                "link telemetry: {} ({}) on {} node(s)",
+                program.name,
+                impl_.label(),
+                r.nodes
+            ),
+            &metrics::mesh_links_table(&r),
+        );
+        // One Perfetto track per node (idle cycles stay as gaps) plus the
+        // network layer: message-flow arrows and, in full trace mode,
+        // buffer-occupancy counters.
         fs::write(
             dir.join("mesh_trace.json"),
-            tamsim_obs::mesh_trace_json(&program.name, impl_.label(), r.cycles, &tracks),
+            tamsim_obs::mesh_trace_json_traced(
+                &program.name,
+                impl_.label(),
+                r.cycles,
+                &metrics::node_tracks(&r),
+                &metrics::net_trace_view(&r),
+            ),
         )
         .expect("write mesh_trace.json");
+        fs::write(
+            dir.join("profile.json"),
+            metrics::mesh_profile(&r, &program.name),
+        )
+        .expect("write profile.json");
         write_manifest(
             &dir,
             &program.name,
@@ -487,10 +514,18 @@ fn run_mesh(args: &Args) {
                 ("cycles".to_string(), r.cycles.to_string()),
                 ("queue_words_low".to_string(), r.queue_words[0].to_string()),
                 ("queue_words_high".to_string(), r.queue_words[1].to_string()),
+                (
+                    "trace_net".to_string(),
+                    if args.trace_net { "full" } else { "ring" }.to_string(),
+                ),
             ],
             started,
         );
-        eprintln!("wrote {}", dir.join("mesh_trace.json").display());
+        eprintln!(
+            "wrote {} and {}",
+            dir.join("mesh_trace.json").display(),
+            dir.join("profile.json").display()
+        );
     }
 }
 
@@ -1141,6 +1176,17 @@ fn main() {
             "mesh_cache",
             "Mesh cache sweep: per-node private caches, MD/AM ratio at miss 24",
             &metrics::mesh_cache_sweep(&progs, &metrics::MESH_CACHE_NODE_SWEEP),
+        );
+        // Per-link telemetry of one pinned configuration (fib under MD on
+        // 4 nodes, default fabric). The always-on counters are part of
+        // the bit-deterministic run state, so the CSV is golden-gated
+        // (tests/golden/mesh_links.csv).
+        let links_run = metrics::mesh_run(&fib, Implementation::Md, 4);
+        emit(
+            &dir,
+            "mesh_links",
+            "Mesh link telemetry: fib under MD on 4 nodes (golden-pinned)",
+            &metrics::mesh_links_table(&links_run),
         );
     }
     // Everything that reaches here wrote artifacts under `dir`; record

@@ -407,6 +407,13 @@ impl<'c> Machine<'c> {
         }
     }
 
+    /// Message dispatches so far, by priority. A mesh driver snapshots
+    /// this around a step to detect the free dispatch transition and
+    /// attribute it to the message at the queue head (network tracing).
+    pub fn dispatch_counts(&self) -> [u64; 2] {
+        self.dispatches
+    }
+
     /// Snapshot the run counters. [`Machine::run`] calls this internally;
     /// mesh drivers call it per node once the global clock stops.
     pub fn stats(&self, halt: HaltReason) -> RunStats {

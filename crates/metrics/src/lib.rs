@@ -14,6 +14,7 @@
 pub mod experiments;
 pub mod figures;
 pub mod mesh;
+pub mod net;
 pub mod quantum;
 pub mod render;
 pub mod suite;
@@ -25,6 +26,9 @@ pub use mesh::{
     mesh_cache_collect, mesh_cache_collect_with_opts, mesh_cache_sweep, mesh_cache_table,
     mesh_machine_seconds, mesh_machine_seconds_with_opts, mesh_node_table, mesh_run, mesh_sweep,
     MeshCachePerf, MeshCacheRun, MESH_CACHE_NODE_SWEEP, MESH_NODE_SWEEP,
+};
+pub use net::{
+    mesh_latency_table, mesh_links_table, mesh_profile, net_summary, net_trace_view, node_tracks,
 };
 pub use quantum::{hotspot_table, quantum_histogram, quantum_summary};
 pub use render::Table;

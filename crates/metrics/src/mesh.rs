@@ -344,6 +344,7 @@ pub fn mesh_node_table(r: &MeshRunResult) -> Table {
         "instructions",
         "run_cycles",
         "stall_cycles",
+        "deliver_stalls",
         "idle_cycles",
         "sends",
         "live_frames",
@@ -354,6 +355,7 @@ pub fn mesh_node_table(r: &MeshRunResult) -> Table {
             r.stats[n].instructions.to_string(),
             r.activity[n].cycles_in(NodeState::Run).to_string(),
             r.activity[n].cycles_in(NodeState::Stall).to_string(),
+            r.deliver_stalls[n].to_string(),
             r.activity[n].cycles_in(NodeState::Idle).to_string(),
             r.stats[n].sends.to_string(),
             r.live_frames[n].to_string(),

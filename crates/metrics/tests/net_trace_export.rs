@@ -1,0 +1,98 @@
+//! Mesh observability export gate: the traced 2×2 run's `mesh_trace.json`
+//! must validate as JSON, must causally link send spans to inlet spans
+//! through flow events, and — the run being bit-deterministic — must
+//! byte-match a pinned golden. The mesh `profile.json` is validated the
+//! same way.
+//!
+//! Regenerate the golden after an intentional exporter change with
+//! `TAMSIM_BLESS=1 cargo test -p tamsim-metrics --test net_trace_export`.
+
+use std::fs;
+use std::path::Path;
+
+use tamsim_core::Implementation;
+use tamsim_net::{MeshExperiment, MeshRunResult, NetTraceMode};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/mesh_trace_2x2.json"
+);
+
+fn traced_2x2_run() -> MeshRunResult {
+    MeshExperiment::new(Implementation::Md, 4)
+        .traced(NetTraceMode::Full)
+        .run(&tamsim_programs::fib(5))
+}
+
+fn render_trace(r: &MeshRunResult) -> String {
+    tamsim_obs::mesh_trace_json_traced(
+        "fib",
+        r.implementation.label(),
+        r.cycles,
+        &tamsim_metrics::node_tracks(r),
+        &tamsim_metrics::net_trace_view(r),
+    )
+}
+
+#[test]
+fn mesh_trace_validates_and_links_sends_to_inlets() {
+    let r = traced_2x2_run();
+    let trace = render_trace(&r);
+    tamsim_obs::json::validate(&trace).expect("mesh_trace.json must parse");
+
+    // Flow events: at least one send span linked to its inlet span, and
+    // every flow start has a matching bound flow end.
+    let starts = trace.matches("\"ph\":\"s\"").count();
+    let ends = trace.matches("\"ph\":\"f\",\"bp\":\"e\"").count();
+    assert!(starts > 0, "no flow events in a 4-node traced run");
+    assert_eq!(starts, ends, "unbalanced flow arrows");
+    let delivered = r
+        .net_trace
+        .as_ref()
+        .unwrap()
+        .records
+        .iter()
+        .filter(|m| m.deliver_cycle.is_some())
+        .count();
+    assert_eq!(starts, delivered, "one flow arrow per delivered message");
+
+    // Send and inlet slices live on the per-node network tracks.
+    for n in 0..4 {
+        assert!(
+            trace.contains(&format!("node {n} net")),
+            "node {n} has no network track"
+        );
+    }
+}
+
+#[test]
+fn mesh_profile_validates_and_carries_the_net_object() {
+    let r = traced_2x2_run();
+    let profile = tamsim_metrics::mesh_profile(&r, "fib");
+    tamsim_obs::json::validate(&profile).expect("profile.json must parse");
+    assert!(profile.contains("\"schema\":\"tamsim-mesh-profile/1\""));
+    assert!(profile.contains("\"net\":{"));
+    assert!(profile.contains("\"deliver_stalls_by_node\":["));
+    assert!(profile.contains("\"kind\":\"deliver\""));
+    assert!(profile.contains("\"kind\":\"dispatch\""));
+    assert!(profile.contains("\"link\":\"inject\""));
+}
+
+#[test]
+fn mesh_trace_matches_the_pinned_golden() {
+    let trace = render_trace(&traced_2x2_run());
+    if std::env::var_os("TAMSIM_BLESS").is_some() {
+        fs::write(GOLDEN, &trace).expect("write golden");
+    }
+    let expect = fs::read_to_string(GOLDEN).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with TAMSIM_BLESS=1",
+            Path::new(GOLDEN).display()
+        )
+    });
+    assert_eq!(
+        trace, expect,
+        "mesh_trace.json drifted from tests/golden/mesh_trace_2x2.json; \
+         if intentional, regenerate with TAMSIM_BLESS=1"
+    );
+}

@@ -25,10 +25,12 @@
 //! machine is runnable, or a ready message is merely stuck behind
 //! back-pressure, the driver falls back to lockstep stepping.
 
-use crate::fabric::{Fabric, NetConfig, NetStats};
+use crate::fabric::{Fabric, LinkStat, NetConfig, NetStats};
+use crate::hooks::{NetHooks, NoNetHooks};
 use crate::place::{Placement, PlacementPolicy};
 use crate::port::NodePort;
 use crate::topology::MeshTopology;
+use crate::trace::{NetTrace, NetTraceMode, NetTraceRecorder};
 use crate::{node_tag, LOCAL_MASK, MAX_NODES, NODE_SHIFT};
 use tamsim_core::{link, Implementation, Linked, LoweringOptions};
 use tamsim_mdp::{
@@ -175,6 +177,16 @@ pub struct MeshRunResult {
     pub stall_cycles: Vec<u64>,
     /// Fabric counters.
     pub net: NetStats,
+    /// Per-node deliver-stall cycles (fabric had a ready message but the
+    /// destination machine's queue was full) — sums to `net.deliver_stalls`.
+    pub deliver_stalls: Vec<u64>,
+    /// Always-on per-buffer telemetry: one row per mesh link (edge
+    /// buffers excluded), inject queue, and recv queue.
+    pub link_stats: Vec<LinkStat>,
+    /// Causal message trace when the run was [`MeshExperiment::traced`];
+    /// `None` otherwise. Deliberately excluded from the bit-identity
+    /// differentials — tracing must never perturb the run itself.
+    pub net_trace: Option<NetTrace>,
     /// Queue capacities the run used (auto-doubled on overflow or
     /// gridlock, like the single-node driver).
     pub queue_words: [u32; 2],
@@ -248,6 +260,9 @@ pub struct MeshExperiment {
     /// before the gridlock watchdog doubles the queues and restarts
     /// (default [`WATCHDOG_CYCLES`]; tests lower it to trip quickly).
     pub watchdog_cycles: u64,
+    /// Causal network tracing (default [`NetTraceMode::Off`]: the run
+    /// loop monomorphizes over [`NoNetHooks`] and pays nothing).
+    pub net_trace: NetTraceMode,
 }
 
 impl MeshExperiment {
@@ -271,6 +286,7 @@ impl MeshExperiment {
             record: false,
             fast_forward: true,
             watchdog_cycles: WATCHDOG_CYCLES,
+            net_trace: NetTraceMode::Off,
         }
     }
 
@@ -295,6 +311,16 @@ impl MeshExperiment {
     /// Enable per-node trace recording.
     pub fn recorded(mut self) -> Self {
         self.record = true;
+        self
+    }
+
+    /// Enable causal network tracing: the result's
+    /// [`MeshRunResult::net_trace`] carries per-message lifecycle records
+    /// and latency histograms. The traced loop is a separate
+    /// monomorphization, and the fuzz cross-check pins its results
+    /// bit-identical to the untraced one.
+    pub fn traced(mut self, mode: NetTraceMode) -> Self {
+        self.net_trace = mode;
         self
     }
 
@@ -336,6 +362,22 @@ impl MeshExperiment {
 
     /// Run `program` on the mesh to completion.
     pub fn run(&self, program: &Program) -> MeshRunResult {
+        match self.net_trace {
+            NetTraceMode::Off => self.run_with(program, &mut NoNetHooks),
+            mode => {
+                let mut rec = NetTraceRecorder::new(mode, self.nodes);
+                let mut run = self.run_with(program, &mut rec);
+                run.net_trace = Some(rec.finish());
+                run
+            }
+        }
+    }
+
+    /// The run loop, monomorphized over the net observation hooks: with
+    /// [`NoNetHooks`] (`H::ENABLED == false`) every hook call and every
+    /// dispatch-detection snapshot compiles away, so the untraced driver
+    /// is exactly the pre-tracing one.
+    fn run_with<H: NetHooks>(&self, program: &Program, net_hooks: &mut H) -> MeshRunResult {
         let topo = MeshTopology::for_nodes(self.nodes);
         let k = self.nodes as usize;
         let mut queue_words = self.queue_words;
@@ -343,6 +385,10 @@ impl MeshExperiment {
         let mut backstop_rearms: u64 = 0;
 
         'attempt: loop {
+            // Queue-doubling restarts replay the whole run; drop any
+            // partial trace so the recorder only describes the attempt
+            // that completed.
+            net_hooks.reset(self.nodes);
             let linked = link(
                 program,
                 self.implementation,
@@ -355,6 +401,12 @@ impl MeshExperiment {
                 "node tag would collide with the local address space"
             );
             let mut machines = self.boot_nodes(&linked);
+            if H::ENABLED {
+                // The boot message goes straight onto node 0's high queue
+                // without touching the fabric; the dispatch matcher needs
+                // to see it occupy the slot ahead of later deliveries.
+                net_hooks.local_enqueue(0, Priority::High, 0);
+            }
             let mut hooks: Vec<NodeHooks> = (0..k)
                 .map(|_| NodeHooks {
                     counts: CountingSink::new(linked.cfg.map),
@@ -451,13 +503,35 @@ impl MeshExperiment {
                         activity[n].record(cycle, NodeState::Idle);
                         continue;
                     }
-                    let mut port = NodePort {
-                        node: n as u32,
-                        info: linked.net,
-                        fabric: &mut fabric,
-                        placement: &mut placement,
+                    // Dispatch is a free transition inside the machine, so
+                    // the driver attributes it by counter delta: whatever
+                    // the step dispatched came from the head of that
+                    // priority's queue, which the trace recorder mirrors.
+                    let before = if H::ENABLED {
+                        machines[n].dispatch_counts()
+                    } else {
+                        [0, 0]
                     };
-                    match machines[n].step(&mut hooks[n], &mut port) {
+                    let stepped = {
+                        let mut port = NodePort {
+                            node: n as u32,
+                            info: linked.net,
+                            fabric: &mut fabric,
+                            placement: &mut placement,
+                            hooks: &mut *net_hooks,
+                        };
+                        machines[n].step(&mut hooks[n], &mut port)
+                    };
+                    if H::ENABLED {
+                        let after = machines[n].dispatch_counts();
+                        for pri in [Priority::Low, Priority::High] {
+                            let i = pri.index();
+                            for _ in before[i]..after[i] {
+                                net_hooks.dispatch(n as u32, pri, cycle);
+                            }
+                        }
+                    }
+                    match stepped {
                         Ok(Step::Ran) => {
                             progress = true;
                             activity[n].record(cycle, NodeState::Run);
@@ -512,7 +586,7 @@ impl MeshExperiment {
                     }
                     continue;
                 }
-                fabric.tick();
+                fabric.tick_traced(&mut *net_hooks);
 
                 // (3) Each NI retires at most one arrived message.
                 for n in 0..k {
@@ -521,7 +595,7 @@ impl MeshExperiment {
                         None => continue,
                     };
                     if delivered {
-                        fabric.pop_recv(n as u32);
+                        fabric.pop_recv_traced(n as u32, &mut *net_hooks);
                         progress = true;
                         // AM's background scheduler suspends for good once
                         // its frame queue drains — on a single node that
@@ -535,7 +609,7 @@ impl MeshExperiment {
                             machines[n].start_low(linked.start_low);
                         }
                     } else {
-                        fabric.note_deliver_stall();
+                        fabric.note_deliver_stall_traced(n as u32, &mut *net_hooks);
                     }
                 }
 
@@ -577,6 +651,9 @@ impl MeshExperiment {
                 counts: hooks.iter().map(|h| h.counts.counts).collect(),
                 stall_cycles,
                 net: fabric.stats(),
+                deliver_stalls: fabric.deliver_stalls_by_node().to_vec(),
+                link_stats: fabric.link_stats(),
+                net_trace: None,
                 queue_words,
                 activity,
                 live_frames: placement.live().to_vec(),

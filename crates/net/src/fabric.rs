@@ -15,6 +15,7 @@
 //! movement is evaluated in a fixed order (node index, then input port
 //! order, then the inject queue), so runs are bit-deterministic.
 
+use crate::hooks::{BufKind, NetHooks, NoNetHooks};
 use crate::topology::{Dir, MeshTopology};
 use std::collections::VecDeque;
 use tamsim_mdp::{Priority, Word};
@@ -61,6 +62,8 @@ pub struct Message {
     pub hops: u32,
     /// Fabric cycle at injection.
     pub injected_at: u64,
+    /// Monotonic trace id (injection order), for causal tracing.
+    pub trace_id: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -68,6 +71,28 @@ struct InFlight {
     msg: Message,
     /// Cycle at which the head is available to move (or be delivered).
     ready_at: u64,
+}
+
+/// Always-on per-buffer telemetry: cheap counters bumped on the push,
+/// pop, and blocked-head edges the buffer already handles, surfaced as
+/// one [`LinkStat`] row per buffer ([`Fabric::link_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Telemetry {
+    /// Messages accepted, by priority.
+    msgs_in: [u64; 2],
+    /// Words accepted, by priority.
+    words_in: [u64; 2],
+    /// Messages drained.
+    msgs_out: u64,
+    /// Words drained.
+    words_out: u64,
+    /// Cycles spent serializing accepted messages (link busy time).
+    busy_cycles: u64,
+    /// Occupancy high-water mark in words.
+    high_water: u32,
+    /// Cycles a ready head sat blocked because the next buffer (or the
+    /// machine queue, for receive buffers) had no room.
+    stall_cycles: u64,
 }
 
 /// One bounded FIFO buffer (link input, inject, or receive).
@@ -78,6 +103,7 @@ struct Buffer {
     cap_words: u32,
     /// Serialization: the cycle at which the buffer can accept again.
     busy_until: u64,
+    tel: Telemetry,
 }
 
 impl Buffer {
@@ -87,6 +113,7 @@ impl Buffer {
             used_words: 0,
             cap_words,
             busy_until: 0,
+            tel: Telemetry::default(),
         }
     }
 
@@ -100,6 +127,10 @@ impl Buffer {
         let ser = len.div_ceil(cfg.link_bandwidth) as u64;
         self.used_words += len;
         self.busy_until = now + ser;
+        self.tel.msgs_in[msg.pri.index()] += 1;
+        self.tel.words_in[msg.pri.index()] += len as u64;
+        self.tel.busy_cycles += ser;
+        self.tel.high_water = self.tel.high_water.max(self.used_words);
         self.q.push_back(InFlight {
             msg,
             ready_at: now + cfg.hop_latency as u64 + ser - 1,
@@ -112,12 +143,72 @@ impl Buffer {
 
     fn pop(&mut self) -> Message {
         let f = self.q.pop_front().expect("pop from empty buffer");
-        self.used_words -= f.msg.words.len() as u32;
+        let len = f.msg.words.len() as u32;
+        self.used_words -= len;
+        self.tel.msgs_out += 1;
+        self.tel.words_out += len as u64;
         f.msg
     }
 
     fn is_empty(&self) -> bool {
         self.q.is_empty()
+    }
+
+    fn stat(&self, node: u32, kind: BufKind) -> LinkStat {
+        LinkStat {
+            node,
+            kind,
+            msgs_in: self.tel.msgs_in,
+            words_in: self.tel.words_in,
+            msgs_out: self.tel.msgs_out,
+            words_out: self.tel.words_out,
+            queued_msgs: self.q.len() as u64,
+            queued_words: self.used_words,
+            busy_cycles: self.tel.busy_cycles,
+            high_water: self.tel.high_water,
+            stall_cycles: self.tel.stall_cycles,
+        }
+    }
+}
+
+/// A per-buffer telemetry snapshot: one row of the link-utilization
+/// heatmap (`mesh_links.csv`). Conservation holds per row:
+/// `words_in[0] + words_in[1] == words_out + queued_words`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStat {
+    /// Node owning the buffer.
+    pub node: u32,
+    /// Which of the node's buffers (inject, recv, or a link direction).
+    pub kind: BufKind,
+    /// Messages accepted, by priority (`[low, high]`).
+    pub msgs_in: [u64; 2],
+    /// Words accepted, by priority (`[low, high]`).
+    pub words_in: [u64; 2],
+    /// Messages drained.
+    pub msgs_out: u64,
+    /// Words drained.
+    pub words_out: u64,
+    /// Messages still queued at snapshot time.
+    pub queued_msgs: u64,
+    /// Words still queued at snapshot time.
+    pub queued_words: u32,
+    /// Cycles spent serializing accepted messages.
+    pub busy_cycles: u64,
+    /// Occupancy high-water mark in words.
+    pub high_water: u32,
+    /// Cycles a ready head sat blocked behind back-pressure.
+    pub stall_cycles: u64,
+}
+
+impl LinkStat {
+    /// Total words accepted across priorities.
+    pub fn words_in_total(&self) -> u64 {
+        self.words_in[0] + self.words_in[1]
+    }
+
+    /// Total messages accepted across priorities.
+    pub fn msgs_in_total(&self) -> u64 {
+        self.msgs_in[0] + self.msgs_in[1]
     }
 }
 
@@ -162,6 +253,11 @@ pub struct Fabric {
     /// only on inject and final delivery).
     in_flight: u64,
     stats: NetStats,
+    /// Next trace id (== messages injected so far).
+    next_trace_id: u64,
+    /// Deliver stalls attributed to each destination node (the global
+    /// [`NetStats::deliver_stalls`] is the sum of these).
+    deliver_stalls_by_node: Vec<u64>,
 }
 
 impl Fabric {
@@ -178,6 +274,8 @@ impl Fabric {
             moves: 0,
             in_flight: 0,
             stats: NetStats::default(),
+            next_trace_id: 0,
+            deliver_stalls_by_node: vec![0; n],
         }
     }
 
@@ -209,12 +307,27 @@ impl Fabric {
     /// Offer a message to `src`'s inject queue. `false` = NI full: the
     /// sender must stall and retry (nothing is consumed).
     pub fn try_inject(&mut self, src: u32, dest: u32, pri: Priority, words: &[Word]) -> bool {
+        self.try_inject_traced(src, dest, pri, words, &mut NoNetHooks)
+    }
+
+    /// [`Fabric::try_inject`] with observation hooks.
+    pub fn try_inject_traced<H: NetHooks>(
+        &mut self,
+        src: u32,
+        dest: u32,
+        pri: Priority,
+        words: &[Word],
+        hooks: &mut H,
+    ) -> bool {
         debug_assert!(src < self.nodes() && dest < self.nodes());
         let len = words.len() as u32;
         if !self.inject[src as usize].can_accept(len, self.now) {
             self.stats.inject_stalls += 1;
+            hooks.inject_stall(src, self.now);
             return false;
         }
+        let id = self.next_trace_id;
+        self.next_trace_id += 1;
         let msg = Message {
             src,
             dest,
@@ -222,11 +335,19 @@ impl Fabric {
             words: words.to_vec(),
             hops: 0,
             injected_at: self.now,
+            trace_id: id,
         };
         self.inject[src as usize].push(msg, self.now, &self.cfg);
         self.stats.injected_msgs += 1;
         self.stats.injected_words += len as u64;
         self.in_flight += 1;
+        hooks.inject(id, src, dest, pri, len, self.now);
+        hooks.occupancy(
+            src,
+            BufKind::Inject,
+            self.inject[src as usize].used_words,
+            self.now,
+        );
         true
     }
 
@@ -235,18 +356,41 @@ impl Fabric {
     /// ejecting at the destination into its receive queue and forwarding
     /// everything else along its dimension-order route.
     pub fn tick(&mut self) {
+        self.tick_traced(&mut NoNetHooks);
+    }
+
+    /// [`Fabric::tick`] with observation hooks.
+    pub fn tick_traced<H: NetHooks>(&mut self, hooks: &mut H) {
         for node in 0..self.nodes() {
             for src_q in Self::source_queues(node) {
                 let Some(head) = self.buffer(src_q).ready_front(self.now) else {
                     continue;
                 };
-                let (dest, len) = (head.dest, head.words.len() as u32);
+                let (dest, len, id) = (head.dest, head.words.len() as u32, head.trace_id);
                 if dest == node {
                     // Eject into the receive queue.
                     if self.recv[node as usize].can_accept(len, self.now) {
                         let msg = self.buffer_mut(src_q).pop();
                         self.recv[node as usize].push(msg, self.now, &self.cfg);
                         self.moves += 1;
+                        hooks.eject(id, node, self.now);
+                        if H::ENABLED {
+                            hooks.occupancy(
+                                node,
+                                Self::queue_kind(src_q),
+                                self.buffer(src_q).used_words,
+                                self.now,
+                            );
+                            hooks.occupancy(
+                                node,
+                                BufKind::Recv,
+                                self.recv[node as usize].used_words,
+                                self.now,
+                            );
+                        }
+                    } else {
+                        self.buffer_mut(src_q).tel.stall_cycles += 1;
+                        hooks.hop_stall(id, node, self.now);
                     }
                 } else {
                     let d = self.topo.next_hop(node, dest);
@@ -258,6 +402,24 @@ impl Fabric {
                         self.stats.hop_traversals += 1;
                         self.links[target].push(msg, self.now, &self.cfg);
                         self.moves += 1;
+                        hooks.hop(id, node, d, self.now);
+                        if H::ENABLED {
+                            hooks.occupancy(
+                                node,
+                                Self::queue_kind(src_q),
+                                self.buffer(src_q).used_words,
+                                self.now,
+                            );
+                            hooks.occupancy(
+                                next,
+                                BufKind::Link(d),
+                                self.links[target].used_words,
+                                self.now,
+                            );
+                        }
+                    } else {
+                        self.buffer_mut(src_q).tel.stall_cycles += 1;
+                        hooks.hop_stall(id, node, self.now);
                     }
                 }
             }
@@ -273,18 +435,93 @@ impl Fabric {
     /// Take the delivered message previously seen via
     /// [`Fabric::ready_recv`], updating the delivery counters.
     pub fn pop_recv(&mut self, node: u32) -> Message {
+        self.pop_recv_traced(node, &mut NoNetHooks)
+    }
+
+    /// [`Fabric::pop_recv`] with observation hooks.
+    pub fn pop_recv_traced<H: NetHooks>(&mut self, node: u32, hooks: &mut H) -> Message {
         let msg = self.recv[node as usize].pop();
         self.stats.delivered_msgs += 1;
         self.stats.delivered_words += msg.words.len() as u64;
         self.stats.latency_total += self.now - msg.injected_at;
         self.in_flight -= 1;
+        hooks.deliver(
+            msg.trace_id,
+            node,
+            msg.pri,
+            msg.hops,
+            msg.injected_at,
+            self.now,
+        );
+        hooks.occupancy(
+            node,
+            BufKind::Recv,
+            self.recv[node as usize].used_words,
+            self.now,
+        );
         msg
     }
 
-    /// Record that a ready message could not enter the machine queue this
-    /// cycle (last-hop back-pressure).
-    pub fn note_deliver_stall(&mut self) {
+    /// Record that a ready message could not enter `node`'s machine queue
+    /// this cycle (last-hop back-pressure). Stalls are attributed to the
+    /// destination node — see [`Fabric::deliver_stalls_by_node`].
+    pub fn note_deliver_stall(&mut self, node: u32) {
+        self.note_deliver_stall_traced(node, &mut NoNetHooks);
+    }
+
+    /// [`Fabric::note_deliver_stall`] with observation hooks.
+    pub fn note_deliver_stall_traced<H: NetHooks>(&mut self, node: u32, hooks: &mut H) {
         self.stats.deliver_stalls += 1;
+        self.deliver_stalls_by_node[node as usize] += 1;
+        let b = &mut self.recv[node as usize];
+        b.tel.stall_cycles += 1;
+        if let Some(f) = b.q.front() {
+            hooks.deliver_stall(f.msg.trace_id, node, self.now);
+        }
+    }
+
+    /// Deliver stalls per destination node (sums to
+    /// [`NetStats::deliver_stalls`]).
+    pub fn deliver_stalls_by_node(&self) -> &[u64] {
+        &self.deliver_stalls_by_node
+    }
+
+    /// Snapshot every buffer's telemetry: for each node, the real link
+    /// input buffers (edge buffers that can never receive traffic are
+    /// skipped), then the inject and receive queues. Row order is fixed,
+    /// so the rendered CSV is deterministic.
+    pub fn link_stats(&self) -> Vec<LinkStat> {
+        let mut out = Vec::with_capacity(self.nodes() as usize * 6);
+        for node in 0..self.nodes() {
+            let (x, y) = self.topo.coords(node);
+            for d in Dir::ALL {
+                // The `d` input buffer at `node` receives messages
+                // travelling in direction `d`, i.e. from the neighbour on
+                // the opposite side — which must exist for the buffer to
+                // be a real link.
+                let upstream_exists = match d {
+                    Dir::East => x > 0,
+                    Dir::West => x + 1 < self.topo.width,
+                    Dir::North => y > 0,
+                    Dir::South => y + 1 < self.topo.height,
+                };
+                if upstream_exists {
+                    out.push(
+                        self.links[node as usize * 4 + d.index()].stat(node, BufKind::Link(d)),
+                    );
+                }
+            }
+            out.push(self.inject[node as usize].stat(node, BufKind::Inject));
+            out.push(self.recv[node as usize].stat(node, BufKind::Recv));
+        }
+        out
+    }
+
+    fn queue_kind(q: SourceQueue) -> BufKind {
+        match q {
+            SourceQueue::Link(i) => BufKind::Link(Dir::ALL[i % 4]),
+            SourceQueue::Inject(_) => BufKind::Inject,
+        }
     }
 
     /// Whether no message is buffered anywhere in the fabric.

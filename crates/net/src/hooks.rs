@@ -1,0 +1,189 @@
+//! Fabric observation hooks: the network analogue of `tamsim_mdp::Hooks`.
+//!
+//! The fabric and the mesh driver call these methods at every message
+//! lifecycle edge — injection, each link traversal, ejection into the
+//! receive queue, delivery into the machine queue, handler dispatch — plus
+//! the stall edges (refused injection, a ready head stuck behind
+//! back-pressure, a held delivery) and every buffer-occupancy change. The
+//! trait is monomorphized exactly like `mdp::Hooks`: with [`NoNetHooks`]
+//! every call inlines to nothing and the un-traced driver compiles to the
+//! same loop it had before tracing existed, which is why instrumented and
+//! uninstrumented runs are bit-identical (the differential tests enforce
+//! it).
+//!
+//! The driver additionally consults [`NetHooks::ENABLED`] to skip its own
+//! bookkeeping (dispatch matching) at compile time when tracing is off.
+//!
+//! Cycle arguments are always the fabric clock ([`crate::Fabric::now`]),
+//! which equals the driver's global cycle at every call site.
+
+use crate::topology::Dir;
+use tamsim_mdp::Priority;
+
+/// Which bounded buffer an occupancy or telemetry datum refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufKind {
+    /// A node's NI inject queue (processor side).
+    Inject,
+    /// A node's NI receive queue (ejection side).
+    Recv,
+    /// A link input buffer at the node, for messages travelling in the
+    /// given direction (arriving from the neighbour on the opposite
+    /// side).
+    Link(Dir),
+}
+
+impl BufKind {
+    /// Short stable label ("inject", "recv", "east", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            BufKind::Inject => "inject",
+            BufKind::Recv => "recv",
+            BufKind::Link(Dir::East) => "east",
+            BufKind::Link(Dir::West) => "west",
+            BufKind::Link(Dir::North) => "north",
+            BufKind::Link(Dir::South) => "south",
+        }
+    }
+}
+
+/// Observation callbacks for everything that happens inside the fabric.
+///
+/// All methods default to no-ops so implementors opt into exactly the
+/// edges they care about. Everything is `#[inline]`-friendly by
+/// construction: the fabric is generic over `H`, so a [`NoNetHooks`] run
+/// monomorphizes every call away.
+pub trait NetHooks {
+    /// Whether this hook set observes anything. The mesh driver checks
+    /// this at compile time to skip its dispatch-attribution bookkeeping
+    /// entirely on un-traced runs.
+    const ENABLED: bool = true;
+
+    /// A fresh attempt is starting (the driver restarts on queue
+    /// auto-sizing); drop everything recorded so far.
+    fn reset(&mut self, _nodes: u32) {}
+
+    /// A message entered `src`'s inject queue, bound for `dest`.
+    fn inject(&mut self, _id: u64, _src: u32, _dest: u32, _pri: Priority, _len: u32, _cycle: u64) {}
+
+    /// `try_inject` refused a message at `node` (NI full; the sender's
+    /// `SEND` burns the cycle stalled).
+    fn inject_stall(&mut self, _node: u32, _cycle: u64) {}
+
+    /// Message `id` left `node` heading `dir` (one link traversal; it is
+    /// now in the next node's `dir` input buffer).
+    fn hop(&mut self, _id: u64, _node: u32, _dir: Dir, _cycle: u64) {}
+
+    /// Message `id` sat a cycle at a buffer head because its next buffer
+    /// had no room (hop-level back-pressure).
+    fn hop_stall(&mut self, _id: u64, _node: u32, _cycle: u64) {}
+
+    /// Message `id` was ejected into `node`'s receive queue.
+    fn eject(&mut self, _id: u64, _node: u32, _cycle: u64) {}
+
+    /// Message `id` was handed to `node`'s machine queue.
+    fn deliver(
+        &mut self,
+        _id: u64,
+        _node: u32,
+        _pri: Priority,
+        _hops: u32,
+        _injected_at: u64,
+        _cycle: u64,
+    ) {
+    }
+
+    /// Message `id` sat a cycle at `node`'s receive-queue head because
+    /// the machine queue was full (last-hop back-pressure).
+    fn deliver_stall(&mut self, _id: u64, _node: u32, _cycle: u64) {}
+
+    /// A message entered `node`'s machine queue without touching the
+    /// fabric (a local `SEND` or the boot message) — it occupies a
+    /// machine-queue slot ahead of later deliveries, which the dispatch
+    /// matcher must account for.
+    fn local_enqueue(&mut self, _node: u32, _pri: Priority, _cycle: u64) {}
+
+    /// `node`'s machine popped one `pri` message from its queue and
+    /// started its handler (reported by the driver, which detects the
+    /// machine's free dispatch transition).
+    fn dispatch(&mut self, _node: u32, _pri: Priority, _cycle: u64) {}
+
+    /// A buffer's occupancy changed (after a push or pop).
+    fn occupancy(&mut self, _node: u32, _kind: BufKind, _used_words: u32, _cycle: u64) {}
+}
+
+/// The do-nothing hook set: every call compiles away, making the
+/// un-traced fabric identical to the pre-observability one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoNetHooks;
+
+impl NetHooks for NoNetHooks {
+    const ENABLED: bool = false;
+}
+
+impl<H: NetHooks> NetHooks for &mut H {
+    const ENABLED: bool = H::ENABLED;
+
+    #[inline]
+    fn reset(&mut self, nodes: u32) {
+        (**self).reset(nodes);
+    }
+
+    #[inline]
+    fn inject(&mut self, id: u64, src: u32, dest: u32, pri: Priority, len: u32, cycle: u64) {
+        (**self).inject(id, src, dest, pri, len, cycle);
+    }
+
+    #[inline]
+    fn inject_stall(&mut self, node: u32, cycle: u64) {
+        (**self).inject_stall(node, cycle);
+    }
+
+    #[inline]
+    fn hop(&mut self, id: u64, node: u32, dir: Dir, cycle: u64) {
+        (**self).hop(id, node, dir, cycle);
+    }
+
+    #[inline]
+    fn hop_stall(&mut self, id: u64, node: u32, cycle: u64) {
+        (**self).hop_stall(id, node, cycle);
+    }
+
+    #[inline]
+    fn eject(&mut self, id: u64, node: u32, cycle: u64) {
+        (**self).eject(id, node, cycle);
+    }
+
+    #[inline]
+    fn deliver(
+        &mut self,
+        id: u64,
+        node: u32,
+        pri: Priority,
+        hops: u32,
+        injected_at: u64,
+        cycle: u64,
+    ) {
+        (**self).deliver(id, node, pri, hops, injected_at, cycle);
+    }
+
+    #[inline]
+    fn deliver_stall(&mut self, id: u64, node: u32, cycle: u64) {
+        (**self).deliver_stall(id, node, cycle);
+    }
+
+    #[inline]
+    fn local_enqueue(&mut self, node: u32, pri: Priority, cycle: u64) {
+        (**self).local_enqueue(node, pri, cycle);
+    }
+
+    #[inline]
+    fn dispatch(&mut self, node: u32, pri: Priority, cycle: u64) {
+        (**self).dispatch(node, pri, cycle);
+    }
+
+    #[inline]
+    fn occupancy(&mut self, node: u32, kind: BufKind, used_words: u32, cycle: u64) {
+        (**self).occupancy(node, kind, used_words, cycle);
+    }
+}

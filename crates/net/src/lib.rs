@@ -33,17 +33,24 @@
 
 pub mod driver;
 pub mod fabric;
+pub mod hooks;
 pub mod place;
 pub mod port;
 pub mod topology;
+pub mod trace;
 
 pub use driver::{
     ActivityTrack, MeshExperiment, MeshRecordedRun, MeshRunResult, NodeState, WATCHDOG_CYCLES,
 };
-pub use fabric::{Fabric, Message, NetConfig, NetStats};
+pub use fabric::{Fabric, LinkStat, Message, NetConfig, NetStats};
+pub use hooks::{BufKind, NetHooks, NoNetHooks};
 pub use place::{Placement, PlacementPolicy};
 pub use port::NodePort;
 pub use topology::{Dir, MeshTopology};
+pub use trace::{
+    HistEntry, HopRecord, LatencyHist, MsgRecord, NetTrace, NetTraceMode, NetTraceRecorder,
+    OccupancySample,
+};
 
 /// Bit position of the node tag in a global address: the single-node
 /// address space ends at `1 << 27` (`MemoryMap::top`), so the tag sits

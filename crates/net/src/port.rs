@@ -19,6 +19,7 @@
 //! single-node machine, and garbage never escapes the sender.
 
 use crate::fabric::Fabric;
+use crate::hooks::{NetHooks, NoNetHooks};
 use crate::node_of;
 use crate::place::Placement;
 use tamsim_core::NetInfo;
@@ -26,8 +27,10 @@ use tamsim_mdp::{NetPort, Priority, RouteOutcome, Word};
 
 /// One node's view of the fabric, constructed fresh for each
 /// [`tamsim_mdp::Machine::step`] call (it borrows the shared fabric and
-/// placement state mutably).
-pub struct NodePort<'a> {
+/// placement state mutably). Generic over the net observation hooks so a
+/// traced port sees injections, refused injections, and — crucial for
+/// dispatch attribution — local enqueues that bypass the fabric.
+pub struct NodePort<'a, H: NetHooks = NoNetHooks> {
     /// This node's id.
     pub node: u32,
     /// Link-time routing facts.
@@ -36,9 +39,11 @@ pub struct NodePort<'a> {
     pub fabric: &'a mut Fabric,
     /// The shared frame-placement state.
     pub placement: &'a mut Placement,
+    /// Net observation hooks ([`NoNetHooks`] on un-traced runs).
+    pub hooks: &'a mut H,
 }
 
-impl NodePort<'_> {
+impl<H: NetHooks> NodePort<'_, H> {
     /// The destination node of `words`, or `None` when the message must
     /// stay local (malformed locus — only fuzzers produce these).
     fn destination(&self, words: &[Word]) -> Option<u32> {
@@ -57,12 +62,19 @@ impl NodePort<'_> {
     }
 }
 
-impl NetPort for NodePort<'_> {
+impl<H: NetHooks> NetPort for NodePort<'_, H> {
     fn route(&mut self, pri: Priority, words: &[Word]) -> RouteOutcome {
         let dest = self.destination(words).unwrap_or(self.node);
         let outcome = if dest == self.node {
+            // The message goes straight into this node's machine queue:
+            // it occupies a slot ahead of later fabric deliveries, which
+            // the dispatch matcher must see.
+            self.hooks.local_enqueue(self.node, pri, self.fabric.now());
             RouteOutcome::Local
-        } else if self.fabric.try_inject(self.node, dest, pri, words) {
+        } else if self
+            .fabric
+            .try_inject_traced(self.node, dest, pri, words, self.hooks)
+        {
             RouteOutcome::Injected
         } else {
             return RouteOutcome::Busy; // nothing committed; retried verbatim

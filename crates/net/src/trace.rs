@@ -1,0 +1,433 @@
+//! Causal message tracing: per-message lifecycle records, dispatch
+//! attribution, and latency histograms.
+//!
+//! [`NetTraceRecorder`] implements [`NetHooks`] and reconstructs one
+//! [`MsgRecord`] per injected message: where it was injected, every link
+//! it crossed (with stall attribution), when it was ejected, delivered,
+//! and — via the driver's dispatch reports — when its handler actually
+//! started. The recorder never feeds anything back into the simulation,
+//! so a traced run is bit-identical to an un-traced one (the differential
+//! tests enforce this).
+//!
+//! **Dispatch matching.** The machine's message queue is FIFO per
+//! priority, and exactly three things enqueue into it: the boot message,
+//! a local `SEND` (the port reports [`NetHooks::local_enqueue`]), and a
+//! fabric delivery ([`NetHooks::deliver`], which knows the trace id). The
+//! recorder mirrors each (node, priority) queue as a FIFO of
+//! `Option<trace id>` and pops it on every reported dispatch; a `Some`
+//! pop closes that message's record with its handler-dispatch cycle.
+//! Anything unexpected (a dispatch with an empty mirror) is counted, not
+//! guessed at.
+//!
+//! **Memory discipline.** [`NetTraceMode::Ring`] keeps only the last `N`
+//! retired records (dropped ones are counted) and skips occupancy
+//! samples, so it is cheap enough to leave on for every `tamsim mesh`
+//! run; [`NetTraceMode::Full`] (`--trace-net`) keeps everything.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::hooks::{BufKind, NetHooks};
+use crate::topology::Dir;
+use tamsim_mdp::Priority;
+
+/// How much the recorder retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetTraceMode {
+    /// No recorder at all: the fabric runs with [`crate::NoNetHooks`].
+    Off,
+    /// Keep the last `N` retired message records; no occupancy samples.
+    Ring(usize),
+    /// Keep every record and every occupancy sample.
+    Full,
+}
+
+/// One link traversal of a traced message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopRecord {
+    /// Node the message departed from.
+    pub node: u32,
+    /// Direction it travelled.
+    pub dir: Dir,
+    /// Fabric cycle of the traversal.
+    pub cycle: u64,
+}
+
+/// The full lifecycle of one injected message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgRecord {
+    /// Monotonic trace id (injection order).
+    pub id: u64,
+    /// Injecting node.
+    pub src: u32,
+    /// Destination node.
+    pub dest: u32,
+    /// Queue priority at the destination.
+    pub pri: Priority,
+    /// Message length in words.
+    pub len: u32,
+    /// Fabric cycle the inject queue accepted it.
+    pub inject_cycle: u64,
+    /// Every link traversal, in order.
+    pub hops: Vec<HopRecord>,
+    /// Cycle it entered the destination's receive queue.
+    pub eject_cycle: Option<u64>,
+    /// Cycle it entered the destination machine's queue.
+    pub deliver_cycle: Option<u64>,
+    /// Cycle its handler was dispatched.
+    pub dispatch_cycle: Option<u64>,
+    /// Cycles spent stuck at a buffer head behind back-pressure
+    /// (hop-level plus last-hop deliver stalls).
+    pub stall_cycles: u64,
+}
+
+/// One buffer-occupancy change ([`NetTraceMode::Full`] only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancySample {
+    /// Node owning the buffer.
+    pub node: u32,
+    /// Which of the node's buffers.
+    pub kind: BufKind,
+    /// Occupancy in words after the change.
+    pub used_words: u32,
+    /// Fabric cycle of the change.
+    pub cycle: u64,
+}
+
+/// A log-bucketed cycle histogram (bucket `k` counts values in
+/// `[2^(k-1), 2^k)`; bucket 0 counts zeros).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHist {
+    /// Bucket counts, highest occupied bucket last.
+    pub buckets: Vec<u64>,
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of values.
+    pub total: u64,
+    /// Largest value.
+    pub max: u64,
+}
+
+impl LatencyHist {
+    /// Which bucket `v` lands in: the number of significant bits.
+    pub fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive value bounds of bucket `k`.
+    pub fn bucket_bounds(k: usize) -> (u64, u64) {
+        if k == 0 {
+            (0, 0)
+        } else {
+            (1 << (k - 1), (1u64 << k) - 1)
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        let b = Self::bucket_of(v);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.total += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+}
+
+/// One keyed histogram row: latencies for messages of one priority that
+/// crossed a given number of links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistEntry {
+    /// Queue priority at the destination.
+    pub pri: Priority,
+    /// Link traversals of the contributing messages.
+    pub hops: u32,
+    /// The latency distribution.
+    pub hist: LatencyHist,
+}
+
+/// Everything a traced run hands back
+/// (`MeshRunResult::net_trace`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetTrace {
+    /// Message lifecycle records in trace-id (injection) order. In ring
+    /// mode only the most recent retired records survive.
+    pub records: Vec<MsgRecord>,
+    /// Records evicted by the ring.
+    pub dropped: u64,
+    /// Buffer-occupancy changes (empty outside [`NetTraceMode::Full`]).
+    pub occupancy: Vec<OccupancySample>,
+    /// inject→deliver latency per (priority, hop count), over **all**
+    /// messages (ring eviction does not lose histogram mass).
+    pub deliver_hist: Vec<HistEntry>,
+    /// inject→dispatch latency per (priority, hop count), over all
+    /// messages whose dispatch was observed.
+    pub dispatch_hist: Vec<HistEntry>,
+    /// Dispatches that could not be matched to a queue entry (should be
+    /// zero; kept visible rather than silently mis-attributed).
+    pub unmatched_dispatches: u64,
+}
+
+impl NetTrace {
+    /// Records that completed the full inject→dispatch lifecycle.
+    pub fn dispatched(&self) -> impl Iterator<Item = &MsgRecord> {
+        self.records.iter().filter(|r| r.dispatch_cycle.is_some())
+    }
+}
+
+/// The [`NetHooks`] implementation behind `--trace-net` and the default
+/// ring: reconstructs message lifecycles and latency histograms without
+/// touching the simulation.
+#[derive(Debug)]
+pub struct NetTraceRecorder {
+    mode: NetTraceMode,
+    /// Injected but not yet dispatched, by trace id.
+    open: BTreeMap<u64, MsgRecord>,
+    /// Retired (dispatched) records, oldest first; bounded in ring mode.
+    done: VecDeque<MsgRecord>,
+    dropped: u64,
+    occupancy: Vec<OccupancySample>,
+    /// Mirror of each (node, priority) machine queue: `Some(id)` for a
+    /// fabric delivery, `None` for a boot/local enqueue.
+    fifos: Vec<VecDeque<Option<u64>>>,
+    deliver_hist: BTreeMap<(u8, u32), LatencyHist>,
+    dispatch_hist: BTreeMap<(u8, u32), LatencyHist>,
+    unmatched: u64,
+}
+
+fn fifo_index(node: u32, pri: Priority) -> usize {
+    node as usize * 2 + pri.index()
+}
+
+impl NetTraceRecorder {
+    /// An empty recorder for a `nodes`-node mesh.
+    pub fn new(mode: NetTraceMode, nodes: u32) -> Self {
+        NetTraceRecorder {
+            mode,
+            open: BTreeMap::new(),
+            done: VecDeque::new(),
+            dropped: 0,
+            occupancy: Vec::new(),
+            fifos: (0..nodes as usize * 2).map(|_| VecDeque::new()).collect(),
+            deliver_hist: BTreeMap::new(),
+            dispatch_hist: BTreeMap::new(),
+            unmatched: 0,
+        }
+    }
+
+    fn retire(&mut self, record: MsgRecord) {
+        if let NetTraceMode::Ring(cap) = self.mode {
+            if self.done.len() >= cap {
+                self.done.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.done.push_back(record);
+    }
+
+    /// Consume the recorder into the run's [`NetTrace`].
+    pub fn finish(self) -> NetTrace {
+        let mut records: Vec<MsgRecord> = self.done.into_iter().collect();
+        // Messages still in flight (or delivered but never dispatched)
+        // at the end of the run are part of the story too.
+        records.extend(self.open.into_values());
+        records.sort_by_key(|r| r.id);
+        let rows = |m: BTreeMap<(u8, u32), LatencyHist>| {
+            m.into_iter()
+                .map(|((p, hops), hist)| HistEntry {
+                    pri: if p == 0 {
+                        Priority::Low
+                    } else {
+                        Priority::High
+                    },
+                    hops,
+                    hist,
+                })
+                .collect()
+        };
+        NetTrace {
+            records,
+            dropped: self.dropped,
+            occupancy: self.occupancy,
+            deliver_hist: rows(self.deliver_hist),
+            dispatch_hist: rows(self.dispatch_hist),
+            unmatched_dispatches: self.unmatched,
+        }
+    }
+}
+
+impl NetHooks for NetTraceRecorder {
+    fn reset(&mut self, nodes: u32) {
+        *self = NetTraceRecorder::new(self.mode, nodes);
+    }
+
+    fn inject(&mut self, id: u64, src: u32, dest: u32, pri: Priority, len: u32, cycle: u64) {
+        self.open.insert(
+            id,
+            MsgRecord {
+                id,
+                src,
+                dest,
+                pri,
+                len,
+                inject_cycle: cycle,
+                hops: Vec::new(),
+                eject_cycle: None,
+                deliver_cycle: None,
+                dispatch_cycle: None,
+                stall_cycles: 0,
+            },
+        );
+    }
+
+    fn hop(&mut self, id: u64, node: u32, dir: Dir, cycle: u64) {
+        if let Some(r) = self.open.get_mut(&id) {
+            r.hops.push(HopRecord { node, dir, cycle });
+        }
+    }
+
+    fn hop_stall(&mut self, id: u64, _node: u32, _cycle: u64) {
+        if let Some(r) = self.open.get_mut(&id) {
+            r.stall_cycles += 1;
+        }
+    }
+
+    fn eject(&mut self, id: u64, _node: u32, cycle: u64) {
+        if let Some(r) = self.open.get_mut(&id) {
+            r.eject_cycle = Some(cycle);
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        id: u64,
+        node: u32,
+        pri: Priority,
+        hops: u32,
+        injected_at: u64,
+        cycle: u64,
+    ) {
+        self.deliver_hist
+            .entry((pri.index() as u8, hops))
+            .or_default()
+            .record(cycle - injected_at);
+        if let Some(r) = self.open.get_mut(&id) {
+            r.deliver_cycle = Some(cycle);
+        }
+        self.fifos[fifo_index(node, pri)].push_back(Some(id));
+    }
+
+    fn deliver_stall(&mut self, id: u64, _node: u32, _cycle: u64) {
+        if let Some(r) = self.open.get_mut(&id) {
+            r.stall_cycles += 1;
+        }
+    }
+
+    fn local_enqueue(&mut self, node: u32, pri: Priority, _cycle: u64) {
+        self.fifos[fifo_index(node, pri)].push_back(None);
+    }
+
+    fn dispatch(&mut self, node: u32, pri: Priority, cycle: u64) {
+        match self.fifos[fifo_index(node, pri)].pop_front() {
+            Some(Some(id)) => {
+                if let Some(mut r) = self.open.remove(&id) {
+                    r.dispatch_cycle = Some(cycle);
+                    self.dispatch_hist
+                        .entry((pri.index() as u8, r.hops.len() as u32))
+                        .or_default()
+                        .record(cycle - r.inject_cycle);
+                    self.retire(r);
+                }
+            }
+            Some(None) => {} // boot or local message: nothing to close
+            None => self.unmatched += 1,
+        }
+    }
+
+    fn occupancy(&mut self, node: u32, kind: BufKind, used_words: u32, cycle: u64) {
+        if self.mode == NetTraceMode::Full {
+            self.occupancy.push(OccupancySample {
+                node,
+                kind,
+                used_words,
+                cycle,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(LatencyHist::bucket_of(0), 0);
+        assert_eq!(LatencyHist::bucket_of(1), 1);
+        assert_eq!(LatencyHist::bucket_of(2), 2);
+        assert_eq!(LatencyHist::bucket_of(3), 2);
+        assert_eq!(LatencyHist::bucket_of(4), 3);
+        assert_eq!(LatencyHist::bucket_bounds(0), (0, 0));
+        assert_eq!(LatencyHist::bucket_bounds(1), (1, 1));
+        assert_eq!(LatencyHist::bucket_bounds(3), (4, 7));
+        let mut h = LatencyHist::default();
+        for v in [0, 1, 5, 6, 900] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.total, 912);
+        assert_eq!(h.max, 900);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[3], 2);
+        assert_eq!(h.buckets[10], 1); // 900 in [512, 1023]
+    }
+
+    #[test]
+    fn dispatch_matching_follows_the_queue_fifo() {
+        let mut rec = NetTraceRecorder::new(NetTraceMode::Full, 2);
+        // Boot message on node 0 (no trace id), then a delivery, then the
+        // dispatches in FIFO order.
+        rec.local_enqueue(0, Priority::High, 0);
+        rec.inject(0, 1, 0, Priority::High, 3, 2);
+        rec.deliver(0, 0, Priority::High, 1, 2, 9);
+        rec.dispatch(0, Priority::High, 10); // pops the boot sentinel
+        rec.dispatch(0, Priority::High, 12); // pops message 0
+        let t = rec.finish();
+        assert_eq!(t.unmatched_dispatches, 0);
+        assert_eq!(t.records.len(), 1);
+        assert_eq!(t.records[0].deliver_cycle, Some(9));
+        assert_eq!(t.records[0].dispatch_cycle, Some(12));
+        assert_eq!(t.dispatch_hist.len(), 1);
+        assert_eq!(t.dispatch_hist[0].hist.count, 1);
+        assert_eq!(t.dispatch_hist[0].hist.total, 10); // 12 - 2
+    }
+
+    #[test]
+    fn ring_mode_bounds_retired_records_but_keeps_histograms() {
+        let mut rec = NetTraceRecorder::new(NetTraceMode::Ring(2), 1);
+        for id in 0..5u64 {
+            rec.inject(id, 0, 0, Priority::Low, 2, id);
+            rec.deliver(id, 0, Priority::Low, 0, id, id + 4);
+            rec.dispatch(0, Priority::Low, id + 5);
+        }
+        let t = rec.finish();
+        assert_eq!(t.records.len(), 2);
+        assert_eq!(t.dropped, 3);
+        assert_eq!(t.records[0].id, 3);
+        assert_eq!(t.records[1].id, 4);
+        assert_eq!(t.deliver_hist[0].hist.count, 5);
+        assert_eq!(t.dispatch_hist[0].hist.count, 5);
+        assert!(t.occupancy.is_empty());
+    }
+}

@@ -8,7 +8,9 @@
 
 use tamsim_core::NetInfo;
 use tamsim_mdp::{CodeImage, MOp, Machine, MachineConfig, NoHooks, Priority, SendSrc, Step, Word};
-use tamsim_net::{node_tag, Fabric, MeshTopology, NetConfig, NodePort, Placement, PlacementPolicy};
+use tamsim_net::{
+    node_tag, Fabric, MeshTopology, NetConfig, NoNetHooks, NodePort, Placement, PlacementPolicy,
+};
 use tamsim_trace::MemoryMap;
 
 const MSG_WORDS: usize = 4;
@@ -92,6 +94,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
     // blocked sends every cycle, as the machine does) until the path
     // reaches steady state: remote queue full, fabric full, sender
     // stalled. ----
+    let mut nh = NoNetHooks;
     let mut sender_done = false;
     let mut last_outcome = Step::Idle;
     for _ in 0..100u64 {
@@ -101,6 +104,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
                 info,
                 fabric: &mut fabric,
                 placement: &mut placement,
+                hooks: &mut nh,
             };
             last_outcome = sender.step(&mut NoHooks, &mut port).expect("sender failed");
             if matches!(last_outcome, Step::Halted(_)) {
@@ -114,7 +118,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
             if receiver.try_deliver(pri, &words, &mut NoHooks) {
                 fabric.pop_recv(1);
             } else {
-                fabric.note_deliver_stall();
+                fabric.note_deliver_stall(1);
             }
         }
     }
@@ -143,6 +147,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
             info,
             fabric: &mut fabric,
             placement: &mut placement,
+            hooks: &mut nh,
         };
         assert_eq!(sender.step(&mut NoHooks, &mut port).unwrap(), Step::Blocked);
     }
@@ -172,6 +177,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
                 info,
                 fabric: &mut fabric,
                 placement: &mut placement,
+                hooks: &mut nh,
             };
             match sender.step(&mut NoHooks, &mut port).expect("sender failed") {
                 Step::Ran => resumed = true,
@@ -188,6 +194,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
                 info,
                 fabric: &mut fabric,
                 placement: &mut placement,
+                hooks: &mut nh,
             };
             if receiver
                 .step(&mut NoHooks, &mut port)
@@ -204,7 +211,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
             if receiver.try_deliver(pri, &words, &mut NoHooks) {
                 fabric.pop_recv(1);
             } else {
-                fabric.note_deliver_stall();
+                fabric.note_deliver_stall(1);
             }
         }
         if sender_done && received == SENDS as u64 && fabric.is_empty() {
@@ -230,4 +237,79 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
         receiver.stats(tamsim_mdp::HaltReason::Quiescent).dispatches[Priority::Low.index()],
         SENDS as u64
     );
+}
+
+/// Regression: deliver stalls must be attributed to the *destination*
+/// node, not counted globally. Replays the exact-capacity stall above
+/// (node 0 sends, node 1's queue fills) and pins every stall on node 1.
+#[test]
+fn deliver_stalls_are_attributed_to_the_destination_node() {
+    let rig = build_rig();
+    let topo = MeshTopology {
+        width: 2,
+        height: 1,
+    };
+    let cfg = NetConfig {
+        hop_latency: 1,
+        link_bandwidth: 4,
+        link_capacity: MSG_WORDS as u32,
+        inject_capacity: MSG_WORDS as u32,
+        recv_capacity: MSG_WORDS as u32,
+    };
+    let mut fabric = Fabric::new(topo, cfg);
+    let mut placement = Placement::new(PlacementPolicy::RoundRobin, 2);
+    let info = net_info();
+    let mut nh = NoNetHooks;
+
+    let mut sender = Machine::new(MachineConfig::default(), &rig.img);
+    sender.start_low(rig.sender_entry);
+    let mut receiver = Machine::new(
+        MachineConfig {
+            queue_words: [RECV_QUEUE_WORDS, RECV_QUEUE_WORDS],
+            ..MachineConfig::default()
+        },
+        &rig.img,
+    );
+
+    // Drive to steady state: receiver never runs, its queue fills to
+    // exact capacity, the NI holds deliveries under back-pressure.
+    let mut sender_done = false;
+    for _ in 0..100u64 {
+        if !sender_done {
+            let mut port = NodePort {
+                node: 0,
+                info,
+                fabric: &mut fabric,
+                placement: &mut placement,
+                hooks: &mut nh,
+            };
+            if matches!(
+                sender.step(&mut NoHooks, &mut port).expect("sender failed"),
+                Step::Halted(_)
+            ) {
+                sender_done = true;
+            }
+        }
+        fabric.tick();
+        if let Some(msg) = fabric.ready_recv(1) {
+            let pri = msg.pri;
+            let words = msg.words.clone();
+            if receiver.try_deliver(pri, &words, &mut NoHooks) {
+                fabric.pop_recv(1);
+            } else {
+                fabric.note_deliver_stall(1);
+            }
+        }
+    }
+    assert_eq!(receiver.queue(Priority::Low).used_words(), RECV_QUEUE_WORDS);
+
+    let total = fabric.stats().deliver_stalls;
+    assert!(total > 0, "NI never held a delivery");
+    let by_node = fabric.deliver_stalls_by_node();
+    assert_eq!(by_node.len(), 2);
+    assert_eq!(
+        by_node[0], 0,
+        "sender node charged with the receiver's stalls"
+    );
+    assert_eq!(by_node[1], total, "per-node stall column must be truthful");
 }

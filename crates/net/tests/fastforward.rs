@@ -6,7 +6,7 @@
 //! fast-forward skipped a cycle that was not actually a no-op.
 
 use tamsim_core::Implementation;
-use tamsim_net::{MeshExperiment, MeshRunResult, NetConfig, PlacementPolicy};
+use tamsim_net::{MeshExperiment, MeshRunResult, NetConfig, NetTraceMode, PlacementPolicy};
 use tamsim_programs as programs;
 use tamsim_tam::Program;
 
@@ -32,6 +32,14 @@ fn assert_bit_identical(lock: &MeshRunResult, fast: &MeshRunResult, ctx: &str) {
         "NI stall cycles differ: {ctx}"
     );
     assert_eq!(fast.net, lock.net, "fabric statistics differ: {ctx}");
+    assert_eq!(
+        fast.deliver_stalls, lock.deliver_stalls,
+        "per-node deliver stalls differ: {ctx}"
+    );
+    assert_eq!(
+        fast.link_stats, lock.link_stats,
+        "per-link telemetry differs: {ctx}"
+    );
     assert_eq!(
         fast.queue_words, lock.queue_words,
         "queue auto-sizing diverged: {ctx}"
@@ -136,6 +144,84 @@ fn fast_forward_is_bit_identical_under_congestion() {
         ..NetConfig::default()
     };
     assert_differential(&programs::fib(11), &[4], net);
+}
+
+/// Network tracing must be invisible: a `--trace-net` run must be
+/// bit-identical to an untraced one in every observable, on all six
+/// small-suite programs, under all three implementations, and under both
+/// drivers. The trace itself must be internally consistent — one record
+/// per injected message, causally ordered lifecycle cycles, FIFO dispatch
+/// matching that never underflows, and per-link words conservation.
+#[test]
+fn traced_runs_are_bit_identical_to_untraced() {
+    for bench in programs::small_suite() {
+        for impl_ in IMPLS {
+            let exp = MeshExperiment::new(impl_, 4);
+            for (label, e) in [("fast-forward", exp), ("lockstep", exp.lockstep())] {
+                let plain = e.run(&bench.program);
+                let traced = e.traced(NetTraceMode::Full).run(&bench.program);
+                let ctx = format!(
+                    "{} under {impl_:?} on 4 nodes ({label} driver, traced)",
+                    bench.program.name
+                );
+                assert_bit_identical(&plain, &traced, &ctx);
+
+                let trace = traced.net_trace.as_ref().expect("traced run has a trace");
+                assert_eq!(trace.dropped, 0, "full mode must retain everything: {ctx}");
+                assert_eq!(
+                    trace.records.len() as u64,
+                    plain.net.injected_msgs,
+                    "one record per injected message: {ctx}"
+                );
+                assert_eq!(
+                    trace.unmatched_dispatches, 0,
+                    "dispatch matcher underflowed: {ctx}"
+                );
+                assert_eq!(
+                    trace
+                        .records
+                        .iter()
+                        .filter(|r| r.deliver_cycle.is_some())
+                        .count() as u64,
+                    plain.net.delivered_msgs,
+                    "delivered-record count differs from fabric stats: {ctx}"
+                );
+                for r in &trace.records {
+                    let mut prev = r.inject_cycle;
+                    for h in &r.hops {
+                        assert!(h.cycle >= prev, "hop before inject on msg {}: {ctx}", r.id);
+                        prev = h.cycle;
+                    }
+                    if let Some(eject) = r.eject_cycle {
+                        assert!(eject >= prev, "eject precedes last hop: {ctx}");
+                        prev = eject;
+                    }
+                    if let Some(deliver) = r.deliver_cycle {
+                        assert!(deliver >= prev, "deliver precedes eject: {ctx}");
+                        if let Some(dispatch) = r.dispatch_cycle {
+                            assert!(dispatch >= deliver, "dispatch precedes deliver: {ctx}");
+                        }
+                    }
+                }
+                assert!(
+                    trace.dispatched().next().is_some(),
+                    "no message reached its handler: {ctx}"
+                );
+                // Quiescent fabric at the end of the run: every link row
+                // conserves words with nothing left queued.
+                for row in &traced.link_stats {
+                    assert_eq!(
+                        row.words_in_total(),
+                        row.words_out + row.queued_words as u64,
+                        "link words not conserved on node {} ({}): {ctx}",
+                        row.node,
+                        row.kind.label()
+                    );
+                    assert_eq!(row.queued_words, 0, "message stranded in a buffer: {ctx}");
+                }
+            }
+        }
+    }
 }
 
 /// Recording must not perturb the run, and the recorded per-node traces

@@ -14,7 +14,7 @@ use std::fmt::Write as _;
 use crate::json::{num, quote};
 use crate::{Profile, SpanKind};
 
-const PID: u32 = 1;
+pub(crate) const PID: u32 = 1;
 /// Counter tracks get thread ids above every real track.
 const COUNTER_TID_BASE: usize = 1_000_000;
 
@@ -160,68 +160,22 @@ pub struct NodeTrack {
 
 /// Render a mesh run as a Chrome trace-event JSON document with one
 /// track per node, loadable in `ui.perfetto.dev`: what every node was
-/// doing on every global cycle, side by side.
+/// doing on every global cycle, side by side. Delegates to
+/// [`crate::net_trace::mesh_trace_json_traced`] with an empty network
+/// trace — traced runs add message flows and occupancy counters on top.
 pub fn mesh_trace_json(
     program: &str,
     implementation: &str,
     total_cycles: u64,
     tracks: &[NodeTrack],
 ) -> String {
-    let n_spans: usize = tracks.iter().map(|t| t.spans.len()).sum();
-    let mut out = String::with_capacity(4 * 1024 + n_spans * 96);
-    out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{");
-    let _ = write!(
-        out,
-        "\"program\":{},\"implementation\":{},\"nodes\":{},\"total_cycles\":{}",
-        quote(program),
-        quote(implementation),
-        tracks.len(),
-        total_cycles
-    );
-    out.push_str("},\"traceEvents\":[");
-    let mut first = true;
-    let mut event = |s: String, out: &mut String| {
-        if !std::mem::take(&mut first) {
-            out.push(',');
-        }
-        out.push_str(&s);
-    };
-
-    let process_name = format!("tamsim mesh {program} ({implementation})");
-    event(
-        format!(
-            "{{\"ph\":\"M\",\"pid\":{PID},\"name\":\"process_name\",\"args\":{{\"name\":{}}}}}",
-            quote(&process_name)
-        ),
-        &mut out,
-    );
-    for (tid, track) in tracks.iter().enumerate() {
-        event(
-            format!(
-                "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
-                quote(&track.name)
-            ),
-            &mut out,
-        );
-        event(
-            format!(
-                "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\"name\":\"thread_sort_index\",\"args\":{{\"sort_index\":{tid}}}}}"
-            ),
-            &mut out,
-        );
-        for s in &track.spans {
-            event(
-                format!(
-                    "{{\"ph\":\"X\",\"pid\":{PID},\"tid\":{tid},\"name\":\"{}\",\"cat\":\"node\",\"ts\":{},\"dur\":{}}}",
-                    s.label, s.start, s.cycles
-                ),
-                &mut out,
-            );
-        }
-    }
-
-    out.push_str("]}");
-    out
+    crate::net_trace::mesh_trace_json_traced(
+        program,
+        implementation,
+        total_cycles,
+        tracks,
+        &crate::net_trace::MeshNetTrace::default(),
+    )
 }
 
 /// Render the compact statistics profile (`profile.json`).

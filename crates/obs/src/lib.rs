@@ -26,6 +26,7 @@ mod hooks;
 pub mod hotspot;
 pub mod json;
 mod manifest;
+mod net_trace;
 mod symbols;
 mod timeline;
 
@@ -35,6 +36,10 @@ pub use export::{chrome_trace_json, mesh_trace_json, profile_json, NodeTrack, No
 pub use hooks::{ProfileHooks, RawProfile};
 pub use hotspot::{HotspotReport, HotspotRow, RegionHotspots};
 pub use manifest::{git_revision, Manifest};
+pub use net_trace::{
+    mesh_profile_json, mesh_trace_json_traced, MeshCounterSample, MeshFlow, MeshLatencyRow,
+    MeshLinkRow, MeshNetSummary, MeshNetTrace, MeshProfileMeta,
+};
 pub use symbols::SymbolTable;
 use tamsim_trace::MemoryMap;
 // Re-export the event vocabulary so profile consumers need only this crate.

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Parallel-driver determinism wall.
+#
+#   ci/check_determinism.sh [OUT_DIR] [NODES]
+#
+# Runs every suite program on a NODES-node mesh (default 8) under all
+# three back-ends with --threads 1, --threads 2, --threads 4, and a
+# TAMSIM_JOBS=4 override, then byte-compares everything the runs
+# produce:
+#
+#   * stdout (run summary, per-node cycle accounting) — after dropping
+#     the one header line that names the worker-thread count;
+#   * mesh_links.csv and mesh_trace.json — byte-for-byte;
+#   * profile.json — identical after removing the "parallel" object,
+#     which records the per-worker step split and so legitimately
+#     depends on the thread count.
+#
+# Any other byte of difference means the epoch-barrier driver diverged
+# from the serial loop: fail. All runs request threads explicitly, which
+# forces the untraced mode, so serial and parallel runs emit the same
+# artifact set. Finally the golden-figure gate re-runs under a
+# TAMSIM_JOBS override to pin the CSV pipeline itself.
+set -euo pipefail
+
+out="${1:-det-out}"
+nodes="${2:-8}"
+bin="${TAMSIM:-./target/release/tamsim}"
+progs=(fib MMT QS DTW Paraffins Wavefront SS)
+impls=(am am-en md)
+
+if [ ! -x "$bin" ]; then
+    echo "error: tamsim binary '$bin' not built (cargo build --release -p tamsim-cli)" >&2
+    exit 2
+fi
+
+rm -rf "$out"
+mkdir -p "$out"
+
+profiles_equal() {
+    python3 - "$1" "$2" <<'EOF'
+import json
+import sys
+
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+a.pop("parallel", None)
+b.pop("parallel", None)
+if a != b:
+    sys.exit(1)
+EOF
+}
+
+fail=0
+for prog in "${progs[@]}"; do
+    mkdir -p "$out/$prog"
+    for run in t1 t2 t4 jobs4; do
+        dir="$out/$prog/$run"
+        case "$run" in
+        jobs4)
+            TAMSIM_JOBS=4 "$bin" mesh "$prog" --small --nodes "$nodes" \
+                --impl all --out "$dir" >"$dir.stdout"
+            ;;
+        *)
+            "$bin" mesh "$prog" --small --nodes "$nodes" --impl all \
+                --threads "${run#t}" --out "$dir" >"$dir.stdout"
+            ;;
+        esac
+        # The header line names the worker-thread count; every other
+        # line of stdout (cycle counts, per-node tables) must match.
+        sed '/^## mesh:/d' "$dir.stdout" >"$dir.stats"
+    done
+    for run in t2 t4 jobs4; do
+        if ! cmp -s "$out/$prog/t1.stats" "$out/$prog/$run.stats"; then
+            echo "FAIL: $prog stdout stats differ between --threads 1 and $run" >&2
+            diff "$out/$prog/t1.stats" "$out/$prog/$run.stats" >&2 || true
+            fail=1
+        fi
+        for imp in "${impls[@]}"; do
+            for f in mesh_links.csv mesh_trace.json; do
+                if ! cmp -s "$out/$prog/t1/$imp/$f" "$out/$prog/$run/$imp/$f"; then
+                    echo "FAIL: $prog/$imp/$f differs between --threads 1 and $run" >&2
+                    fail=1
+                fi
+            done
+            if ! profiles_equal "$out/$prog/t1/$imp/profile.json" \
+                "$out/$prog/$run/$imp/profile.json"; then
+                echo "FAIL: $prog/$imp/profile.json differs between --threads 1 and $run (beyond the \"parallel\" object)" >&2
+                fail=1
+            fi
+        done
+    done
+    echo "ok: $prog byte-identical across --threads 1/2/4 and TAMSIM_JOBS=4 (${#impls[@]} back-ends, $nodes nodes)"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "determinism wall: FAILED" >&2
+    exit 1
+fi
+
+# The figure pipeline under a thread override: every golden CSV must
+# still match tests/golden/ byte-for-byte.
+TAMSIM_JOBS=2 "$(dirname "$0")/check_goldens.sh" "$out/golden-jobs2"
+echo "determinism wall: all artifacts byte-identical across thread counts"

@@ -49,7 +49,7 @@ use crate::invariant::InvariantChecker;
 use tamsim_cache::{CacheBank, CacheGeometry};
 use tamsim_core::{link, FrameLayout, GlobalsMap, Implementation, LoweringOptions};
 use tamsim_mdp::{HaltReason, Machine, MachineConfig, RunError, RunStats, SinkHooks};
-use tamsim_net::{MeshExperiment, NetTraceMode, PlacementPolicy};
+use tamsim_net::{MeshExperiment, MeshRunResult, NetTraceMode, PlacementPolicy};
 use tamsim_tam::{AluOp, Program, TOp};
 use tamsim_trace::{
     Access, AccessCounts, CountingSink, Mark, MarkSink, Priority, Tee, TraceLog, TraceSink,
@@ -661,11 +661,14 @@ fn mesh_identity_check(
 /// mesh, the smallest with multi-hop routes in both dimensions.
 const CROSS_CHECK_NODES: u32 = 4;
 
-/// Run `program` on a [`CROSS_CHECK_NODES`]-node mesh under both drivers —
-/// PR 4's lockstep loop and the event-horizon fast-forward — and both
+/// Run `program` on a [`CROSS_CHECK_NODES`]-node mesh under all three
+/// drivers — PR 4's lockstep loop, the event-horizon fast-forward, and
+/// the epoch-barrier parallel driver on two worker threads — and both
 /// placement policies, and require bit-identity in every observable. The
-/// fast-forward may only skip cycles that were pure no-ops; any divergence
-/// here means it skipped one that was not.
+/// fast-forward may only skip cycles that were pure no-ops, and the
+/// parallel driver's barriers may only reorder work the serial cycle
+/// already treats as unordered; any divergence here means one of them
+/// broke that contract.
 fn mesh_driver_cross_check(
     program: &Program,
     impl_: Implementation,
@@ -673,97 +676,117 @@ fn mesh_driver_cross_check(
     cfg: &CheckConfig,
 ) -> Result<(), CheckFailure> {
     for policy in [PlacementPolicy::RoundRobin, PlacementPolicy::LocalityAware] {
-        let fail = |what: String| CheckFailure {
+        let trap_fail = |what: String| CheckFailure {
             kind: FailureKind::MeshDivergence,
             detail: format!(
-                "{label}: {what} (lockstep vs fast-forward, {CROSS_CHECK_NODES} nodes, {})",
+                "{label}: {what} ({CROSS_CHECK_NODES} nodes, {})",
                 policy.label()
             ),
         };
         let mut exp = MeshExperiment::new(impl_, CROSS_CHECK_NODES).with_placement(policy);
         exp.fuel = cfg.fuel;
         // Multi-node runs may legitimately need more queue space than the
-        // single-node run probed; both drivers must grow identically.
+        // single-node run probed; all drivers must grow identically.
         exp.queue_words = [cfg.queue_words, cfg.queue_words];
         let lock = catch_trap(|| exp.lockstep().run(program))
-            .map_err(|trap| fail(format!("lockstep run trapped: {trap}")))?;
+            .map_err(|trap| trap_fail(format!("lockstep run trapped: {trap}")))?;
         // The fast leg runs with network tracing on (bounded ring) while
         // the lockstep leg stays untraced, so every fuzz iteration also
         // proves instrumentation is invisible to the run itself.
         let fast = catch_trap(|| exp.traced(NetTraceMode::Ring(256)).run(program))
-            .map_err(|trap| fail(format!("fast-forward run trapped: {trap}")))?;
+            .map_err(|trap| trap_fail(format!("fast-forward run trapped: {trap}")))?;
+        // The parallel leg fans the same run across two worker threads.
+        let par = catch_trap(|| exp.with_threads(2).run(program))
+            .map_err(|trap| trap_fail(format!("parallel run trapped: {trap}")))?;
+        for (leg, run) in [("fast-forward", &fast), ("parallel x2", &par)] {
+            mesh_runs_identical(label, leg, policy, &lock, run)?;
+        }
+    }
+    Ok(())
+}
 
-        // Every observable, in roughly the order a divergence would be
-        // easiest to diagnose from.
-        if fast.cycles != lock.cycles {
-            return Err(fail(format!(
-                "cycle count diverges: lockstep {}, fast-forward {}",
-                lock.cycles, fast.cycles
-            )));
-        }
-        if fast.halt != lock.halt {
-            return Err(fail(format!(
-                "halt reason diverges: lockstep {:?}, fast-forward {:?}",
-                lock.halt, fast.halt
-            )));
-        }
-        if fast.result != lock.result {
-            return Err(fail("result words diverge".into()));
-        }
-        if fast.arrays != lock.arrays {
-            return Err(fail("final array state diverges".into()));
-        }
-        if fast.stats != lock.stats {
-            return Err(fail("per-node machine counters diverge".into()));
-        }
-        if fast.counts != lock.counts {
-            return Err(fail("per-node access counts diverge".into()));
-        }
-        if fast.stall_cycles != lock.stall_cycles {
-            return Err(fail(format!(
-                "NI stall cycles diverge: lockstep {:?}, fast-forward {:?}",
-                lock.stall_cycles, fast.stall_cycles
-            )));
-        }
-        if fast.net != lock.net {
-            return Err(fail(format!(
-                "fabric statistics diverge: lockstep {:?}, fast-forward {:?}",
-                lock.net, fast.net
-            )));
-        }
-        if fast.deliver_stalls != lock.deliver_stalls {
-            return Err(fail(format!(
-                "per-node deliver stalls diverge: lockstep {:?}, fast-forward {:?}",
-                lock.deliver_stalls, fast.deliver_stalls
-            )));
-        }
-        if fast.link_stats != lock.link_stats {
-            return Err(fail("per-link telemetry diverges".into()));
-        }
-        if fast.queue_words != lock.queue_words {
-            return Err(fail(format!(
-                "queue auto-sizing diverges: lockstep {:?}, fast-forward {:?}",
-                lock.queue_words, fast.queue_words
-            )));
-        }
-        if fast.live_frames != lock.live_frames {
-            return Err(fail("live-frame census diverges".into()));
-        }
-        if fast.watchdog_trips != lock.watchdog_trips
-            || fast.backstop_rearms != lock.backstop_rearms
-        {
-            return Err(fail(format!(
-                "watchdog/backstop counters diverge: lockstep {}/{}, fast-forward {}/{}",
-                lock.watchdog_trips,
-                lock.backstop_rearms,
-                fast.watchdog_trips,
-                fast.backstop_rearms
-            )));
-        }
-        for (n, (f, l)) in fast.activity.iter().zip(&lock.activity).enumerate() {
-            if f.spans != l.spans {
-                return Err(fail(format!("activity timeline diverges on node {n}")));
-            }
+/// Require bit-identity between a lockstep mesh run and another driver's
+/// run of the same configuration, in every observable.
+fn mesh_runs_identical(
+    label: &str,
+    leg: &str,
+    policy: PlacementPolicy,
+    lock: &MeshRunResult,
+    got: &MeshRunResult,
+) -> Result<(), CheckFailure> {
+    let fail = |what: String| CheckFailure {
+        kind: FailureKind::MeshDivergence,
+        detail: format!(
+            "{label}: {what} (lockstep vs {leg}, {CROSS_CHECK_NODES} nodes, {})",
+            policy.label()
+        ),
+    };
+
+    // Every observable, in roughly the order a divergence would be
+    // easiest to diagnose from.
+    if got.cycles != lock.cycles {
+        return Err(fail(format!(
+            "cycle count diverges: lockstep {}, {leg} {}",
+            lock.cycles, got.cycles
+        )));
+    }
+    if got.halt != lock.halt {
+        return Err(fail(format!(
+            "halt reason diverges: lockstep {:?}, {leg} {:?}",
+            lock.halt, got.halt
+        )));
+    }
+    if got.result != lock.result {
+        return Err(fail("result words diverge".into()));
+    }
+    if got.arrays != lock.arrays {
+        return Err(fail("final array state diverges".into()));
+    }
+    if got.stats != lock.stats {
+        return Err(fail("per-node machine counters diverge".into()));
+    }
+    if got.counts != lock.counts {
+        return Err(fail("per-node access counts diverge".into()));
+    }
+    if got.stall_cycles != lock.stall_cycles {
+        return Err(fail(format!(
+            "NI stall cycles diverge: lockstep {:?}, {leg} {:?}",
+            lock.stall_cycles, got.stall_cycles
+        )));
+    }
+    if got.net != lock.net {
+        return Err(fail(format!(
+            "fabric statistics diverge: lockstep {:?}, {leg} {:?}",
+            lock.net, got.net
+        )));
+    }
+    if got.deliver_stalls != lock.deliver_stalls {
+        return Err(fail(format!(
+            "per-node deliver stalls diverge: lockstep {:?}, {leg} {:?}",
+            lock.deliver_stalls, got.deliver_stalls
+        )));
+    }
+    if got.link_stats != lock.link_stats {
+        return Err(fail("per-link telemetry diverges".into()));
+    }
+    if got.queue_words != lock.queue_words {
+        return Err(fail(format!(
+            "queue auto-sizing diverges: lockstep {:?}, {leg} {:?}",
+            lock.queue_words, got.queue_words
+        )));
+    }
+    if got.live_frames != lock.live_frames {
+        return Err(fail("live-frame census diverges".into()));
+    }
+    if got.watchdog_trips != lock.watchdog_trips || got.backstop_rearms != lock.backstop_rearms {
+        return Err(fail(format!(
+            "watchdog/backstop counters diverge: lockstep {}/{}, {leg} {}/{}",
+            lock.watchdog_trips, lock.backstop_rearms, got.watchdog_trips, got.backstop_rearms
+        )));
+    }
+    for (n, (g, l)) in got.activity.iter().zip(&lock.activity).enumerate() {
+        if g.spans != l.spans {
+            return Err(fail(format!("activity timeline diverges on node {n}")));
         }
     }
     Ok(())

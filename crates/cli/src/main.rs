@@ -35,8 +35,8 @@ const COMMANDS: &[(&str, &str)] = &[
     ),
     (
         "mesh PROG",
-        "run one program on a multi-node mesh (--nodes, --impl, --policy rr|local); \
-         writes mesh_trace.json",
+        "run one program on a multi-node mesh (--nodes, --impl, --policy rr|local, \
+         --threads N); writes mesh_trace.json",
     ),
     (
         "perf",
@@ -83,6 +83,10 @@ fn help_text() -> String {
          --trace-net    mesh only: full causal message tracing (per-message lifecycle \
          records, flow arrows in mesh_trace.json, occupancy counters); without it a \
          bounded ring still feeds the latency histograms\n  \
+         --threads N    mesh, perf --mesh: host worker threads for the parallel driver \
+         (TAMSIM_JOBS is honoured when the flag is absent); results are bit-identical \
+         at every thread count, but message tracing is off, so the latency histograms \
+         are skipped; incompatible with --trace-net\n  \
          --no-predecode run/profile/mesh/perf: interpret with the baseline enum-walking \
          dispatch instead of the pre-decoded path (escape hatch; results are \
          bit-identical); fuzz: skip the dispatch cross-check\n  \
@@ -104,6 +108,7 @@ struct Args {
     mesh: bool,
     no_predecode: bool,
     trace_net: bool,
+    threads: Option<u32>,
     command: Option<String>,
     extra: Vec<String>,
 }
@@ -115,6 +120,18 @@ impl Args {
             predecode: !self.no_predecode,
             ..LoweringOptions::default()
         }
+    }
+
+    /// Worker-thread request for mesh runs: explicit `--threads` wins,
+    /// else the `TAMSIM_JOBS` environment override, else `None` (serial,
+    /// with the default ring-traced latency histograms).
+    fn mesh_threads(&self) -> Option<u32> {
+        self.threads.or_else(|| {
+            std::env::var("TAMSIM_JOBS")
+                .ok()
+                .and_then(|s| s.trim().parse::<u32>().ok())
+                .filter(|&n| n > 0)
+        })
     }
 }
 
@@ -149,6 +166,7 @@ fn parse_args() -> Args {
     let mut mesh = false;
     let mut no_predecode = false;
     let mut trace_net = false;
+    let mut threads = None::<u32>;
     let mut command = None::<String>;
     let mut extra = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -168,6 +186,10 @@ fn parse_args() -> Args {
             "--mesh" => mesh = true,
             "--no-predecode" => no_predecode = true,
             "--trace-net" => trace_net = true,
+            "--threads" => {
+                threads =
+                    Some(numeric("--threads", &need(&mut it, "--threads", "a thread count")) as u32)
+            }
             "--help" | "-h" => {
                 print!("{}", help_text());
                 std::process::exit(0);
@@ -198,6 +220,7 @@ fn parse_args() -> Args {
         mesh,
         no_predecode,
         trace_net,
+        threads,
         command,
         extra,
     }
@@ -426,25 +449,45 @@ fn run_mesh(args: &Args) {
     });
     let single = impls.len() == 1;
 
+    // `--threads` (or TAMSIM_JOBS) selects the parallel driver family,
+    // which is untraced: the run keeps every always-on observable
+    // (bit-identical to serial at any thread count) but skips message
+    // lifecycle records, so the latency histograms are absent. Without a
+    // thread request the serial driver runs with the default bounded
+    // ring feeding the histograms.
+    let threads = args.mesh_threads();
+    if args.trace_net && threads.is_some_and(|t| t > 1) {
+        eprintln!(
+            "error: --trace-net needs the serial driver; drop --threads (or unset TAMSIM_JOBS)"
+        );
+        std::process::exit(2);
+    }
     let mode = if args.trace_net {
         NetTraceMode::Full
+    } else if threads.is_some() {
+        NetTraceMode::Off
     } else {
         NetTraceMode::Ring(2048)
     };
     for &impl_ in &impls {
         let mut exp = MeshExperiment::new(impl_, args.nodes)
             .with_placement(policy)
+            .with_threads(threads.unwrap_or(1))
             .traced(mode);
         exp.opts = args.opts();
         let r = exp.run(&program);
         println!(
-            "## mesh: {} ({}) on {} node(s) [{}x{}], policy {}\n",
+            "## mesh: {} ({}) on {} node(s) [{}x{}], policy {}{}\n",
             program.name,
             impl_.label(),
             r.nodes,
             r.width,
             r.height,
-            r.policy.label()
+            r.policy.label(),
+            match &r.thread_stats {
+                Some(ts) => format!(", {} worker thread(s)", ts.len()),
+                None => String::new(),
+            }
         );
         println!(
             "cycles {}  instructions {}  halt {:?}  messages {} ({} words, {} hops)  \
@@ -516,8 +559,14 @@ fn run_mesh(args: &Args) {
                 ("queue_words_high".to_string(), r.queue_words[1].to_string()),
                 (
                     "trace_net".to_string(),
-                    if args.trace_net { "full" } else { "ring" }.to_string(),
+                    match mode {
+                        NetTraceMode::Full => "full",
+                        NetTraceMode::Off => "off",
+                        _ => "ring",
+                    }
+                    .to_string(),
                 ),
+                ("threads".to_string(), threads.unwrap_or(1).to_string()),
             ],
             started,
         );
@@ -747,6 +796,7 @@ fn run_mesh_perf(
     suite: &[PaperBenchmark],
     small: bool,
     nodes: u32,
+    threads: u32,
     dir: &Path,
     opts: LoweringOptions,
 ) {
@@ -767,6 +817,27 @@ fn run_mesh_perf(
     let fastforward_seconds =
         metrics::mesh_machine_seconds_with_opts(&progs, &node_counts, true, opts);
     eprintln!("  fast-forward driver : {fastforward_seconds:.3} s");
+
+    // The parallel driver against its own one-thread baseline, both runs
+    // timed without the outer run-level pool, so the ratio isolates what
+    // the epoch-barrier fan-out buys (or costs, on a single-core host).
+    // Measured on a wide mesh — at least 64 nodes — because that is the
+    // regime the parallel driver exists for: each barrier round then
+    // carries 64+ node-steps of work, instead of being dominated by the
+    // round-trip itself as a 4-node mesh would be.
+    let par_nodes = nodes.max(64);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let serial_onethread_seconds =
+        metrics::mesh_parallel_seconds_with_opts(&progs, &[par_nodes], 1, opts);
+    let parallel_seconds =
+        metrics::mesh_parallel_seconds_with_opts(&progs, &[par_nodes], threads, opts);
+    let parallel_speedup = serial_onethread_seconds / parallel_seconds;
+    eprintln!(
+        "  parallel driver     : {parallel_seconds:.3} s ({threads} threads, {par_nodes} \
+         nodes, {parallel_speedup:.2}x vs 1 thread, {host_cores} host core(s))"
+    );
 
     // Recorded-replay: the mesh cache sweep's production path — record
     // per-node traces under each driver, replay into all 24 geometries.
@@ -812,13 +883,19 @@ fn run_mesh_perf(
     );
     println!("events recorded             : {:>8}", fast_perf.events);
     println!("speedup                     : {speedup:>8.2}x");
+    println!("parallel driver ({threads} threads) : {parallel_seconds:>8.3} s");
+    println!("parallel speedup (vs 1 thr) : {parallel_speedup:>8.2}x");
 
     let json = format!(
         "{{\n  \"suite\": \"{}\",\n  \"programs\": {},\n  \"implementations\": 2,\n  \
          \"nodes\": {},\n  \"events_recorded\": {},\n  \
          \"lockstep_seconds\": {:.6},\n  \"fastforward_seconds\": {:.6},\n  \
          \"recorded_seconds\": {:.6},\n  \"replay_seconds\": {:.6},\n  \
-         \"speedup\": {:.3},\n  \"predecode\": {},\n  \"identical_csv\": true\n}}\n",
+         \"speedup\": {:.3},\n  \
+         \"serial_onethread_seconds\": {:.6},\n  \"parallel_seconds\": {:.6},\n  \
+         \"parallel_threads\": {},\n  \"parallel_nodes\": {},\n  \
+         \"parallel_speedup\": {:.3},\n  \"host_cores\": {},\n  \
+         \"predecode\": {},\n  \"identical_csv\": true\n}}\n",
         if small { "small" } else { "paper" },
         progs.len(),
         nodes,
@@ -828,6 +905,12 @@ fn run_mesh_perf(
         fast_perf.machine_seconds,
         fast_perf.replay_seconds,
         speedup,
+        serial_onethread_seconds,
+        parallel_seconds,
+        threads,
+        par_nodes,
+        parallel_speedup,
+        host_cores,
         opts.predecode,
     );
     fs::create_dir_all(dir).expect("create results dir");
@@ -972,7 +1055,10 @@ fn main() {
     let dir = args.out.clone();
     if command == "perf" {
         if args.mesh {
-            run_mesh_perf(&suite, args.small, args.nodes, &dir, args.opts());
+            // Two worker threads by default: the smallest parallel
+            // configuration, meaningful even on modest CI hosts.
+            let threads = args.mesh_threads().unwrap_or(2).max(2);
+            run_mesh_perf(&suite, args.small, args.nodes, threads, &dir, args.opts());
         } else {
             run_perf(&suite, args.small, &dir, args.opts());
         }
@@ -1187,6 +1273,32 @@ fn main() {
             "mesh_links",
             "Mesh link telemetry: fib under MD on 4 nodes (golden-pinned)",
             &metrics::mesh_links_table(&links_run),
+        );
+        // Node-count scaling sweep, 1 → 256 nodes under the parallel
+        // driver: cycles, traffic, and the per-worker step split are all
+        // bit-deterministic (tests/golden/mesh_scaling.csv); wall-clock
+        // speedup lives in mesh_perf_summary.json instead. Always the
+        // small program variants: the sweep studies topology (how work
+        // and traffic spread as the mesh widens), where program size
+        // only multiplies wall time — 256 nodes x 4 emulated threads of
+        // paper-size MMT takes minutes on a small host.
+        let scale_fib = tamsim_programs::fib(8);
+        let scale_suite = tamsim_programs::small_suite();
+        let mut scale_progs: Vec<(&str, &Program)> = vec![("fib", &scale_fib)];
+        for b in &scale_suite {
+            if b.name == "MMT" || b.name == "QS" {
+                scale_progs.push((b.name, &b.program));
+            }
+        }
+        emit(
+            &dir,
+            "mesh_scaling",
+            &format!(
+                "Mesh scaling sweep: MD cycles, traffic, and worker balance to 256 nodes \
+                 ({} threads, small workloads)",
+                metrics::MESH_SCALING_THREADS
+            ),
+            &metrics::mesh_scaling(&scale_progs, &metrics::MESH_SCALING_SWEEP),
         );
     }
     // Everything that reaches here wrote artifacts under `dir`; record

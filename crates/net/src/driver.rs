@@ -75,7 +75,7 @@ pub struct ActivityTrack {
 }
 
 impl ActivityTrack {
-    fn record(&mut self, cycle: u64, state: NodeState) {
+    pub(crate) fn record(&mut self, cycle: u64, state: NodeState) {
         self.record_span(cycle, state, 1);
     }
 
@@ -83,7 +83,7 @@ impl ActivityTrack {
     /// exactly what `n` single-cycle records would produce (the spans are
     /// maximal either way), so the fast-forward driver's bulk idle spans
     /// are bit-identical to lockstep's cycle-by-cycle ones.
-    fn record_span(&mut self, cycle: u64, state: NodeState, n: u64) {
+    pub(crate) fn record_span(&mut self, cycle: u64, state: NodeState, n: u64) {
         if let Some(last) = self.spans.last_mut() {
             if last.state == state && last.start + last.cycles == cycle {
                 last.cycles += n;
@@ -109,9 +109,9 @@ impl ActivityTrack {
 
 /// Per-node observation hooks: region/kind access counters plus an
 /// optional recorded trace for cache replay.
-struct NodeHooks {
-    counts: CountingSink,
-    log: Option<TraceLog>,
+pub(crate) struct NodeHooks {
+    pub(crate) counts: CountingSink,
+    pub(crate) log: Option<TraceLog>,
 }
 
 impl Hooks for NodeHooks {
@@ -204,6 +204,27 @@ pub struct MeshRunResult {
     /// Per-node recorded access traces (when recording was requested);
     /// replay each into its own `CacheBank` for per-node locality.
     pub logs: Option<Vec<TraceLog>>,
+    /// Per-worker counters when the parallel driver ran (`None` on the
+    /// serial drivers). Everything here is a deterministic function of
+    /// the program and the `(nodes, threads)` partition — node ranges and
+    /// work counts, never wall-clock — so two runs at the same thread
+    /// count produce identical values. Deliberately excluded from the
+    /// cross-driver bit-identity differentials (thread counts differ).
+    pub thread_stats: Option<Vec<ThreadStats>>,
+}
+
+/// One parallel-driver worker's deterministic utilization counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// First node of this worker's contiguous partition.
+    pub first_node: u32,
+    /// Number of nodes in the partition.
+    pub nodes: u32,
+    /// Instructions executed by this worker's nodes (including cycles the
+    /// driver ran serially for halt-exactness, attributed to the owner).
+    pub steps: u64,
+    /// Messages this worker's nodes retired from the fabric.
+    pub deliveries: u64,
 }
 
 impl MeshRunResult {
@@ -263,6 +284,12 @@ pub struct MeshExperiment {
     /// Causal network tracing (default [`NetTraceMode::Off`]: the run
     /// loop monomorphizes over [`NoNetHooks`] and pays nothing).
     pub net_trace: NetTraceMode,
+    /// Host worker threads for the parallel driver (default 1: serial).
+    /// With more than one thread (and more than one node, untraced), the
+    /// run fans machine stepping and message retirement out across a
+    /// fixed pool between deterministic epoch barriers — results stay
+    /// bit-identical to the serial drivers (see `par.rs`).
+    pub threads: u32,
 }
 
 impl MeshExperiment {
@@ -287,7 +314,16 @@ impl MeshExperiment {
             fast_forward: true,
             watchdog_cycles: WATCHDOG_CYCLES,
             net_trace: NetTraceMode::Off,
+            threads: 1,
         }
+    }
+
+    /// Set the host worker-thread count for the parallel driver. Values
+    /// above the node count are clamped; 0 or 1 selects the serial
+    /// drivers. Results are bit-identical at every thread count.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Override the lowering options.
@@ -333,7 +369,7 @@ impl MeshExperiment {
         self
     }
 
-    fn config(&self, queue_words: [u32; 2]) -> MachineConfig {
+    pub(crate) fn config(&self, queue_words: [u32; 2]) -> MachineConfig {
         MachineConfig {
             queue_words,
             fuel: self.fuel,
@@ -350,7 +386,7 @@ impl MeshExperiment {
     /// everywhere is the only cure; a program whose demand outgrows the
     /// system data region is diagnosed as gridlocked rather than left to
     /// trip the machine's layout assert at the next boot.
-    fn double_queues_for_gridlock(&self, queue_words: &mut [u32; 2]) {
+    pub(crate) fn double_queues_for_gridlock(&self, queue_words: &mut [u32; 2]) {
         for w in queue_words.iter_mut() {
             *w *= 2;
         }
@@ -361,8 +397,13 @@ impl MeshExperiment {
     }
 
     /// Run `program` on the mesh to completion.
+    ///
+    /// With [`MeshExperiment::threads`] > 1 (and more than one node,
+    /// untraced) this uses the parallel driver; traced, single-node, and
+    /// single-thread runs use the serial loop. All paths are bit-identical.
     pub fn run(&self, program: &Program) -> MeshRunResult {
         match self.net_trace {
+            NetTraceMode::Off if self.threads > 1 && self.nodes > 1 => self.run_parallel(program),
             NetTraceMode::Off => self.run_with(program, &mut NoNetHooks),
             mode => {
                 let mut rec = NetTraceRecorder::new(mode, self.nodes);
@@ -662,6 +703,7 @@ impl MeshExperiment {
                 logs: self
                     .record
                     .then(|| hooks.into_iter().map(|h| h.log.unwrap()).collect()),
+                thread_stats: None,
             };
         }
     }
@@ -689,7 +731,7 @@ impl MeshExperiment {
     /// arrays (they live on node 0) and point their frame/heap bump
     /// allocators at *tagged* addresses, so every frame or heap cell they
     /// hand out carries its home-node tag.
-    fn boot_nodes<'c>(&self, linked: &'c Linked) -> Vec<Machine<'c>> {
+    pub(crate) fn boot_nodes<'c>(&self, linked: &'c Linked) -> Vec<Machine<'c>> {
         (0..self.nodes)
             .map(|n| {
                 let mut machine = Machine::new(linked.cfg, &linked.code);

@@ -9,8 +9,9 @@
 //! ## Global addresses
 //!
 //! The single-node address space tops out at `MemoryMap::top`
-//! (`0x0800_0000 = 1 << 27`), so a 32-bit word has five spare high bits:
-//! a *global* address is `node << 27 | local`. Frames and heap cells
+//! (`0x0080_0000 = 1 << 23`), so a 32-bit word has eight spare high bits
+//! below the sign bit: a *global* address is `node << 23 | local`, which
+//! fits meshes up to 256 nodes. Frames and heap cells
 //! allocated on node `n` carry `n`'s tag; the tag rides through ALU
 //! arithmetic untouched (addresses are ordinary integers to the program)
 //! and is masked off by the machine's `addr_mask` when a register-based
@@ -34,13 +35,15 @@
 pub mod driver;
 pub mod fabric;
 pub mod hooks;
+pub mod par;
 pub mod place;
 pub mod port;
 pub mod topology;
 pub mod trace;
 
 pub use driver::{
-    ActivityTrack, MeshExperiment, MeshRecordedRun, MeshRunResult, NodeState, WATCHDOG_CYCLES,
+    ActivityTrack, MeshExperiment, MeshRecordedRun, MeshRunResult, NodeState, ThreadStats,
+    WATCHDOG_CYCLES,
 };
 pub use fabric::{Fabric, LinkStat, Message, NetConfig, NetStats};
 pub use hooks::{BufKind, NetHooks, NoNetHooks};
@@ -53,14 +56,14 @@ pub use trace::{
 };
 
 /// Bit position of the node tag in a global address: the single-node
-/// address space ends at `1 << 27` (`MemoryMap::top`), so the tag sits
+/// address space ends at `1 << 23` (`MemoryMap::top`), so the tag sits
 /// just above it.
-pub const NODE_SHIFT: u32 = 27;
+pub const NODE_SHIFT: u32 = 23;
 
 /// Mask selecting the node-local part of a global address.
 pub const LOCAL_MASK: u32 = (1 << NODE_SHIFT) - 1;
 
-/// Largest supported mesh: 5 tag bits, and bit 31 must stay clear so
+/// Largest supported mesh: 8 tag bits, and bit 31 must stay clear so
 /// tagged addresses remain valid non-negative `i64` words.
 pub const MAX_NODES: u32 = 1 << (31 - NODE_SHIFT);
 
@@ -84,10 +87,10 @@ mod tests {
 
     #[test]
     fn tagging_round_trips_and_is_identity_on_node_zero() {
-        for n in [0, 1, 5, MAX_NODES - 1] {
-            let a = node_tag(n) | 0x123_4560;
+        for n in [0, 1, 5, 17, 100, MAX_NODES - 1] {
+            let a = node_tag(n) | 0x12_3460;
             assert_eq!(node_of(a), n);
-            assert_eq!(a & LOCAL_MASK, 0x123_4560);
+            assert_eq!(a & LOCAL_MASK, 0x12_3460);
         }
         assert_eq!(node_tag(0), 0);
         // Tagged addresses never set bit 31 (words stay non-negative).
@@ -97,5 +100,43 @@ mod tests {
     #[test]
     fn node_shift_matches_the_memory_map() {
         assert_eq!(tamsim_trace::MemoryMap::default().top, 1 << NODE_SHIFT);
+    }
+
+    #[test]
+    fn at_least_256_nodes_fit() {
+        assert_eq!(NODE_SHIFT, 23);
+        assert_eq!(MAX_NODES, 256);
+    }
+
+    #[test]
+    fn boundary_addresses_at_the_shift_edges() {
+        // The top local address carries no tag; one past it is node 1's
+        // address zero. Same check at the pre-widening shift position
+        // (bit 27): that bit is now an ordinary node-tag bit, so an
+        // address with it set belongs to node 16, not node 1.
+        assert_eq!(node_of(LOCAL_MASK), 0);
+        assert_eq!(node_of(1 << NODE_SHIFT), 1);
+        assert_eq!(node_of(1 << 27), 16);
+        assert_eq!((1u32 << 27) & LOCAL_MASK, 0);
+        // Highest tagged address overall: node 255, top local word.
+        let top = node_tag(MAX_NODES - 1) | LOCAL_MASK;
+        assert_eq!(top, i32::MAX as u32);
+        assert_eq!(node_of(top), MAX_NODES - 1);
+    }
+
+    #[test]
+    fn local_mask_is_identity_on_untagged_addresses() {
+        let map = tamsim_trace::MemoryMap::default();
+        for addr in [
+            0,
+            map.user_code_base,
+            map.system_data_base,
+            map.frame_base,
+            map.heap_base,
+            map.top - 4,
+        ] {
+            assert_eq!(addr & LOCAL_MASK, addr);
+            assert_eq!(node_of(addr), 0);
+        }
     }
 }

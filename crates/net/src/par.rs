@@ -1,0 +1,725 @@
+//! The parallel mesh driver: phase-partitioned node execution across a
+//! fixed pool of host threads, bit-identical to the serial drivers.
+//!
+//! ## Why the cycle structure parallelizes
+//!
+//! The serial driver's global cycle has three phases: (1) every node
+//! steps at most one instruction, (2) the fabric moves messages one hop,
+//! and (3) every node's NI retires at most one arrived message. Within
+//! phase (1) node `i`'s step touches only its own machine, its own
+//! inject buffer (a `SEND`'s `Busy` outcome depends solely on that
+//! buffer), and — for `falloc`/`ffree` messages — the shared placement
+//! state. Within phase (3) node `i` touches only its own machine and its
+//! own receive buffer. Nodes are therefore independent within a phase
+//! except for placement, and phases are separated by barriers exactly
+//! where the serial driver separates them by program order.
+//!
+//! ## The protocol
+//!
+//! The main thread owns all state and runs every serial decision (wake
+//! scan, quiescence backstop, fast-forward jump, fabric tick, watchdog)
+//! exactly as the serial loop does. Nodes are partitioned into contiguous
+//! chunks, one per worker; the main thread is worker 0 and owns the
+//! lowest chunk. Each cycle the main thread publishes up to two commands
+//! — [`Cmd::Step`] for phase (1), [`Cmd::Retire`] for phase (3) — via a
+//! sequence-numbered round: it stores the command, bumps `go`
+//! (`Release`), runs its own chunk, then spins until every worker has
+//! published `done[t] == seq` (`Acquire`). Global fabric counters are
+//! accumulated per worker in [`LaneDeltas`] and summed at the barrier
+//! (sums commute, so the totals match the serial order).
+//!
+//! ## Determinism
+//!
+//! Three shared effects need node-order exactness, and each gets its own
+//! mechanism:
+//!
+//! * **Placement** (`falloc` destination choice, census updates): worker
+//!   `t`'s first placement access in a round spins until every lower
+//!   worker has finished its whole chunk (`done[u] >= seq`), so
+//!   placement operations happen in global node order and exactly one
+//!   worker touches the state at a time. Lower workers never wait on
+//!   higher ones, so the gate cannot deadlock.
+//! * **Halt** ends the serial cycle *mid-phase*: nodes after the halting
+//!   one do not step. Before each phase (1) the main thread asks every
+//!   machine [`Machine::might_halt`] — an exact, side-effect-free replay
+//!   of the step's dispatch decision against a precomputed
+//!   [`HaltSet`] — and runs the whole phase serially when any node could
+//!   halt (or wild-jump) this cycle. The analysis has no false
+//!   negatives, so parallel rounds never see a halt.
+//! * **Errors and panics** abort the attempt (queue doubling) or the
+//!   process, so extra steps taken by other workers in the same round
+//!   are discarded state; only *which* error surfaces must match, and
+//!   node isolation plus the placement gate make each node's outcome
+//!   identical to serial — the main thread picks the lowest-node error
+//!   or panic, which is exactly the one the serial loop would hit first.
+//!
+//! Everything else a worker writes (machine state, access counters,
+//! recorded traces, activity spans, NI stall counts, per-node buffer
+//! telemetry) is indexed by node and owned by exactly one worker, so the
+//! published results are bit-identical to the serial drivers — which the
+//! differential tests and the CI determinism job enforce across thread
+//! counts.
+
+use crate::driver::{
+    ActivityTrack, MeshExperiment, MeshRunResult, NodeHooks, NodeState, ThreadStats,
+};
+use crate::fabric::{Fabric, FabricLanes, LaneDeltas};
+use crate::place::Placement;
+use crate::port::NodePort;
+use crate::topology::MeshTopology;
+use crate::{node_of, NODE_SHIFT};
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use tamsim_core::{link, Linked};
+use tamsim_mdp::{
+    HaltReason, HaltSet, Machine, NetPort, Priority, RouteOutcome, RunError, RunStats, Step, Wake,
+    Word,
+};
+use tamsim_tam::Program;
+use tamsim_trace::{CountingSink, TraceLog};
+
+/// One fanned-out phase of a global cycle.
+#[derive(Debug, Clone, Copy)]
+enum Cmd {
+    /// Phase (1): step every node once at fabric time `now` (== the
+    /// global cycle at the top of the iteration).
+    Step { now: u64 },
+    /// Phase (3): retire at most one arrived message per node at fabric
+    /// time `now` (== cycle + 1, after the tick).
+    Retire { now: u64 },
+}
+
+/// Why an attempt ended (returned out of the thread scope so queue
+/// doubling and the result build happen with the pool torn down).
+enum End {
+    /// The run completed; carries the final cycle count and the halting
+    /// node, if any.
+    Done(HaltReason, Option<usize>, u64),
+    /// A node's local enqueue overflowed: double that queue and restart.
+    Overflow(Priority),
+    /// The gridlock watchdog tripped: double all queues and restart.
+    Gridlock,
+}
+
+/// Per-worker communication slot. Owned by its worker during a round and
+/// by the main thread between rounds (the `go`/`done` barrier pair
+/// provides the happens-before edges).
+#[derive(Default)]
+struct WorkerSlot {
+    /// Any node in the chunk executed an instruction or retired a
+    /// message this round.
+    progress: bool,
+    /// First error in the chunk, in node order (the chunk stops there).
+    error: Option<(usize, RunError)>,
+    /// Payload of the first panic in the chunk, in node order.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Global-counter deltas accumulated this round.
+    deltas: LaneDeltas,
+    /// Cumulative instructions executed by this chunk's nodes.
+    steps: u64,
+    /// Cumulative messages retired by this chunk's nodes.
+    deliveries: u64,
+}
+
+/// The shared view handed to every worker: the round protocol plus raw
+/// pointers into the main thread's per-attempt state.
+///
+/// Workers dereference only their own chunk's elements, only inside a
+/// round; the main thread touches everything, only outside rounds. The
+/// barrier sequence numbers order the two.
+struct SharedMesh<'a, 'c> {
+    /// Round sequence: bumped (`Release`) after `cmd` is written.
+    go: AtomicU64,
+    /// The command for the current round (valid while `go` is newer than
+    /// a worker's last completed round).
+    cmd: UnsafeCell<Cmd>,
+    /// Per-worker last completed round (`Release` by the worker).
+    done: Vec<AtomicU64>,
+    /// Main-thread unwinding or run torn down: workers must exit.
+    shutdown: AtomicBool,
+    /// Contiguous node ranges, one per worker, in node order.
+    ranges: Vec<Range<usize>>,
+    machines: *mut Machine<'c>,
+    hooks: *mut NodeHooks,
+    activity: *mut ActivityTrack,
+    stall_cycles: *mut u64,
+    slots: *mut WorkerSlot,
+    lanes: FabricLanes,
+    placement: *mut Placement,
+    linked: &'a Linked,
+    nodes: u32,
+    fast_forward: bool,
+    is_am: bool,
+}
+
+// SAFETY: raw pointers are dereferenced under the ownership discipline
+// documented on the struct; the barrier protocol provides happens-before.
+unsafe impl Sync for SharedMesh<'_, '_> {}
+
+impl SharedMesh<'_, '_> {
+    /// Run worker `t`'s chunk for round `seq`.
+    ///
+    /// # Safety
+    /// Must only be called by worker `t` inside round `seq`.
+    unsafe fn run_chunk(&self, t: usize, seq: u64, cmd: Cmd) {
+        let slot = unsafe { &mut *self.slots.add(t) };
+        slot.progress = false;
+        slot.error = None;
+        slot.deltas = LaneDeltas::default();
+        match cmd {
+            Cmd::Step { now } => unsafe { self.step_chunk(t, seq, now, slot) },
+            Cmd::Retire { now } => unsafe { self.retire_chunk(t, now, slot) },
+        }
+    }
+
+    /// Phase (1) over worker `t`'s nodes: mirror of the serial step loop
+    /// minus halts (the caller guarantees no node can halt this round).
+    unsafe fn step_chunk(&self, t: usize, seq: u64, now: u64, slot: &mut WorkerSlot) {
+        let mut gate_open = t == 0; // worker 0 never waits
+        for n in self.ranges[t].clone() {
+            let machine = unsafe { &mut *self.machines.add(n) };
+            let activity = unsafe { &mut *self.activity.add(n) };
+            if self.fast_forward && machine.is_idle() {
+                activity.record(now, NodeState::Idle);
+                continue;
+            }
+            let stepped = {
+                let mut port = ParallelNodePort {
+                    shared: self,
+                    worker: t,
+                    seq,
+                    node: n as u32,
+                    now,
+                    gate_open: &mut gate_open,
+                    deltas: &mut slot.deltas,
+                };
+                machine.step(unsafe { &mut (*self.hooks.add(n)) }, &mut port)
+            };
+            match stepped {
+                Ok(Step::Ran) => {
+                    slot.progress = true;
+                    slot.steps += 1;
+                    activity.record(now, NodeState::Run);
+                }
+                Ok(Step::Idle) => activity.record(now, NodeState::Idle),
+                Ok(Step::Blocked) => {
+                    unsafe { *self.stall_cycles.add(n) += 1 };
+                    activity.record(now, NodeState::Stall);
+                }
+                Ok(Step::Halted(_)) => {
+                    unreachable!("halt-capable cycles run on the serial path")
+                }
+                Err(e) => {
+                    slot.error = Some((n, e));
+                    return; // serial aborts the cycle here; state is discarded
+                }
+            }
+        }
+    }
+
+    /// Phase (3) over worker `t`'s nodes: mirror of the serial retire
+    /// loop (no halts or errors are possible here).
+    unsafe fn retire_chunk(&self, t: usize, now: u64, slot: &mut WorkerSlot) {
+        for n in self.ranges[t].clone() {
+            let machine = unsafe { &mut *self.machines.add(n) };
+            let delivered = match unsafe { self.lanes.ready_recv(n as u32, now) } {
+                Some(msg) => {
+                    machine.try_deliver(msg.pri, &msg.words, unsafe { &mut (*self.hooks.add(n)) })
+                }
+                None => continue,
+            };
+            if delivered {
+                unsafe { self.lanes.pop_recv(n as u32, now, &mut slot.deltas) };
+                slot.progress = true;
+                slot.deliveries += 1;
+                if self.is_am && machine.low_suspended() {
+                    machine.start_low(self.linked.start_low);
+                }
+            } else {
+                unsafe { self.lanes.note_deliver_stall(n as u32, &mut slot.deltas) };
+            }
+        }
+    }
+}
+
+/// Spin briefly, then yield: the pool may be oversubscribed (CI runners
+/// commonly expose a single core), where pure spinning would stall every
+/// barrier for a scheduler quantum.
+#[inline]
+fn relax(spins: &mut u32) {
+    *spins += 1;
+    if *spins > 64 {
+        std::thread::yield_now();
+    } else {
+        std::hint::spin_loop();
+    }
+}
+
+/// The worker loop for threads 1..T (the main thread is worker 0 and
+/// runs its chunk inline).
+fn worker(shared: &SharedMesh<'_, '_>, t: usize) {
+    let mut seen = 0u64;
+    loop {
+        let mut spins = 0;
+        let seq = loop {
+            let g = shared.go.load(Ordering::Acquire);
+            if g > seen {
+                break g;
+            }
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            relax(&mut spins);
+        };
+        seen = seq;
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let cmd = unsafe { *shared.cmd.get() };
+        // Catch panics so the barrier always completes: the payload is
+        // surfaced by the main thread as the lowest-node panic, exactly
+        // the one serial execution would raise.
+        if let Err(p) = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+            shared.run_chunk(t, seq, cmd)
+        })) {
+            let slot = unsafe { &mut *shared.slots.add(t) };
+            slot.panic = Some(p);
+        }
+        shared.done[t].store(seq, Ordering::Release);
+    }
+}
+
+/// Worker `t`'s node port: [`NodePort`]'s exact routing decision with
+/// fabric access through [`FabricLanes`] and placement access behind the
+/// node-order gate.
+struct ParallelNodePort<'a, 'b, 'c> {
+    shared: &'a SharedMesh<'b, 'c>,
+    worker: usize,
+    seq: u64,
+    node: u32,
+    now: u64,
+    /// Whether this worker's placement gate has already passed this
+    /// round (pay the wait once, on the first placement access).
+    gate_open: &'a mut bool,
+    deltas: &'a mut LaneDeltas,
+}
+
+impl ParallelNodePort<'_, '_, '_> {
+    /// Placement access in global node order: wait until every lower
+    /// worker has finished its whole chunk for this round. Lower workers
+    /// never wait on higher ones, so progress is guaranteed; the
+    /// `Acquire` loads pair with their `done` stores, so all their
+    /// placement updates are visible.
+    fn placement(&mut self) -> &mut Placement {
+        if !*self.gate_open {
+            for u in 0..self.worker {
+                let mut spins = 0;
+                while self.shared.done[u].load(Ordering::Acquire) < self.seq {
+                    if self.shared.shutdown.load(Ordering::Relaxed) {
+                        // The main thread is unwinding; this sentinel
+                        // unwinds the chunk and is never surfaced (the
+                        // main thread's own panic wins).
+                        panic!("mesh worker shutdown");
+                    }
+                    relax(&mut spins);
+                }
+            }
+            *self.gate_open = true;
+        }
+        unsafe { &mut *self.shared.placement }
+    }
+
+    /// Mirror of `NodePort::destination`.
+    fn destination(&mut self, words: &[Word]) -> Option<u32> {
+        if words.len() < 2 {
+            return None;
+        }
+        if words[0].bits() == self.shared.linked.net.falloc_addr as u64 {
+            let node = self.node;
+            return Some(self.placement().peek(node));
+        }
+        let locus = words[1].bits();
+        if locus > u32::MAX as u64 {
+            return None;
+        }
+        let node = node_of(locus as u32);
+        (node < self.shared.nodes).then_some(node)
+    }
+}
+
+impl NetPort for ParallelNodePort<'_, '_, '_> {
+    fn route(&mut self, pri: Priority, words: &[Word]) -> RouteOutcome {
+        let dest = self.destination(words).unwrap_or(self.node);
+        let outcome = if dest == self.node {
+            RouteOutcome::Local
+        } else if unsafe {
+            self.shared
+                .lanes
+                .try_inject(self.node, dest, pri, words, self.now, self.deltas)
+        } {
+            RouteOutcome::Injected
+        } else {
+            return RouteOutcome::Busy; // nothing committed; retried verbatim
+        };
+        let info = self.shared.linked.net;
+        let handler = words[0].bits();
+        if handler == info.falloc_addr as u64 {
+            self.placement().commit(dest);
+        } else if handler == info.ffree_addr as u64 && words.len() >= 2 {
+            let frame = words[1].bits();
+            if frame <= u32::MAX as u64 {
+                let nodes = self.shared.nodes;
+                self.placement().freed(node_of(frame as u32).min(nodes - 1));
+            }
+        }
+        outcome
+    }
+}
+
+/// Sets the shutdown flag when the main thread unwinds between rounds,
+/// releasing workers parked on the `go` spin (and any placement gate)
+/// before the scope's implicit join.
+struct ShutdownGuard<'a>(&'a AtomicBool);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+impl MeshExperiment {
+    /// The parallel run loop. Preconditions (checked by the dispatcher in
+    /// [`MeshExperiment::run`]): `threads > 1`, `nodes > 1`, untraced.
+    pub(crate) fn run_parallel(&self, program: &Program) -> MeshRunResult {
+        let topo = MeshTopology::for_nodes(self.nodes);
+        let k = self.nodes as usize;
+        let t_count = (self.threads as usize).min(k);
+        let mut queue_words = self.queue_words;
+        let mut watchdog_trips: u32 = 0;
+        let mut backstop_rearms: u64 = 0;
+
+        'attempt: loop {
+            let linked = link(
+                program,
+                self.implementation,
+                self.opts,
+                self.config(queue_words),
+            );
+            assert_eq!(
+                linked.cfg.map.top,
+                1 << NODE_SHIFT,
+                "node tag would collide with the local address space"
+            );
+            let halts = HaltSet::new(&linked.code);
+            let mut machines = self.boot_nodes(&linked);
+            let mut hooks: Vec<NodeHooks> = (0..k)
+                .map(|_| NodeHooks {
+                    counts: CountingSink::new(linked.cfg.map),
+                    log: self.record.then(TraceLog::new),
+                })
+                .collect();
+            let mut fabric = Fabric::new(topo, self.net);
+            let mut placement = Placement::new(self.placement, self.nodes);
+            placement.commit(0); // the boot message allocates main's frame
+            let mut stall_cycles = vec![0u64; k];
+            let mut activity = vec![ActivityTrack::default(); k];
+            let mut slots: Vec<WorkerSlot> = (0..t_count).map(|_| WorkerSlot::default()).collect();
+            let ranges: Vec<Range<usize>> = (0..t_count)
+                .map(|t| (t * k / t_count)..((t + 1) * k / t_count))
+                .collect();
+            // Node → owning worker, for attributing serial-path steps.
+            let owner: Vec<usize> = (0..k)
+                .map(|n| ranges.iter().position(|r| r.contains(&n)).unwrap())
+                .collect();
+
+            let shared = SharedMesh {
+                go: AtomicU64::new(0),
+                cmd: UnsafeCell::new(Cmd::Step { now: 0 }),
+                done: (0..t_count).map(|_| AtomicU64::new(0)).collect(),
+                shutdown: AtomicBool::new(false),
+                ranges,
+                machines: machines.as_mut_ptr(),
+                hooks: hooks.as_mut_ptr(),
+                activity: activity.as_mut_ptr(),
+                stall_cycles: stall_cycles.as_mut_ptr(),
+                slots: slots.as_mut_ptr(),
+                lanes: fabric.lanes(),
+                placement: &mut placement,
+                linked: &linked,
+                nodes: self.nodes,
+                fast_forward: self.fast_forward,
+                is_am: self.implementation.is_am(),
+            };
+
+            let end = std::thread::scope(|scope| {
+                for t in 1..t_count {
+                    let sh = &shared;
+                    scope.spawn(move || worker(sh, t));
+                }
+                // Dropped when this closure exits — normally or by panic —
+                // before the scope joins, so workers always drain.
+                let _guard = ShutdownGuard(&shared.shutdown);
+
+                let mut seq: u64 = 0;
+                let mut cycle: u64 = 0;
+                let mut last_progress: u64 = 0;
+                let mut prev_moves: u64 = 0;
+                let mut halted_node: Option<usize> = None;
+
+                // Publish a round, run the main thread's own chunk, and
+                // wait for the pool; then fold the slots into the shared
+                // state and surface the lowest-node error or panic.
+                let run_round = |seq: &mut u64,
+                                 cmd: Cmd,
+                                 fabric: &mut Fabric,
+                                 slots: &mut [WorkerSlot],
+                                 progress: &mut bool|
+                 -> Option<(usize, RunError)> {
+                    unsafe { *shared.cmd.get() = cmd };
+                    *seq += 1;
+                    shared.go.store(*seq, Ordering::Release);
+                    unsafe { shared.run_chunk(0, *seq, cmd) };
+                    shared.done[0].store(*seq, Ordering::Release);
+                    for t in 1..t_count {
+                        let mut spins = 0;
+                        while shared.done[t].load(Ordering::Acquire) < *seq {
+                            relax(&mut spins);
+                        }
+                    }
+                    let mut first_error: Option<(usize, RunError)> = None;
+                    let mut first_panic: Option<Box<dyn Any + Send>> = None;
+                    for slot in slots.iter_mut() {
+                        *progress |= slot.progress;
+                        fabric.absorb(&slot.deltas);
+                        if first_error.is_none() && first_panic.is_none() {
+                            if let Some(p) = slot.panic.take() {
+                                first_panic = Some(p);
+                            } else if let Some(e) = slot.error {
+                                first_error = Some(e);
+                            }
+                        }
+                    }
+                    if let Some(p) = first_panic {
+                        panic::resume_unwind(p); // guard releases the pool
+                    }
+                    first_error
+                };
+
+                let halt = loop {
+                    // Serial window: workers are parked, the main thread
+                    // owns everything. This mirrors the serial loop line
+                    // for line.
+                    let all_waiting = if self.fast_forward {
+                        machines.iter().all(|m| m.next_wake() == Wake::OnDelivery)
+                    } else {
+                        fabric.is_empty() && machines.iter().all(Machine::is_idle)
+                    };
+                    let fabric_empty =
+                        all_waiting && (!self.fast_forward || fabric.msg_count() == 0);
+                    if fabric_empty {
+                        let mut rearmed = false;
+                        if self.nodes > 1 && self.implementation.is_am() {
+                            for m in &mut machines {
+                                if m.mem.read(linked.net.q_head).bits() != 0 {
+                                    m.start_low(linked.start_low);
+                                    rearmed = true;
+                                    backstop_rearms += 1;
+                                }
+                            }
+                        }
+                        if !rearmed {
+                            break HaltReason::Quiescent;
+                        }
+                    }
+                    if self.fast_forward && all_waiting && !fabric_empty {
+                        if let Some(horizon) = fabric.next_horizon() {
+                            debug_assert!(horizon > cycle);
+                            if horizon > last_progress + self.watchdog_cycles {
+                                return End::Gridlock;
+                            }
+                            let delta = horizon - cycle;
+                            for a in &mut activity {
+                                a.record_span(cycle, NodeState::Idle, delta);
+                            }
+                            fabric.skip_to(horizon);
+                            cycle = horizon;
+                        }
+                    }
+
+                    // (1) Every node executes at most one instruction. A
+                    // halt ends the serial cycle mid-phase (later nodes
+                    // do not step), so any cycle where some node *might*
+                    // halt runs the phase serially; `might_halt` has no
+                    // false negatives, so parallel rounds never halt.
+                    let mut progress = false;
+                    if machines.iter().any(|m| m.might_halt(&halts)) {
+                        for n in 0..k {
+                            if self.fast_forward && machines[n].is_idle() {
+                                activity[n].record(cycle, NodeState::Idle);
+                                continue;
+                            }
+                            let stepped = {
+                                let mut port = NodePort {
+                                    node: n as u32,
+                                    info: linked.net,
+                                    fabric: &mut fabric,
+                                    placement: &mut placement,
+                                    hooks: &mut crate::hooks::NoNetHooks,
+                                };
+                                machines[n].step(&mut hooks[n], &mut port)
+                            };
+                            match stepped {
+                                Ok(Step::Ran) => {
+                                    progress = true;
+                                    slots[owner[n]].steps += 1;
+                                    activity[n].record(cycle, NodeState::Run);
+                                }
+                                Ok(Step::Idle) => activity[n].record(cycle, NodeState::Idle),
+                                Ok(Step::Blocked) => {
+                                    stall_cycles[n] += 1;
+                                    activity[n].record(cycle, NodeState::Stall);
+                                }
+                                Ok(Step::Halted(_)) => {
+                                    slots[owner[n]].steps += 1;
+                                    activity[n].record(cycle, NodeState::Run);
+                                    halted_node = Some(n);
+                                    cycle += 1;
+                                    break;
+                                }
+                                Err(RunError::QueueOverflow { pri }) => {
+                                    return End::Overflow(pri);
+                                }
+                                Err(e) => panic!(
+                                    "program {} failed on node {n} under {:?}: {e}",
+                                    program.name, self.implementation
+                                ),
+                            }
+                        }
+                        if halted_node.is_some() {
+                            break HaltReason::Explicit;
+                        }
+                    } else if let Some((n, e)) = run_round(
+                        &mut seq,
+                        Cmd::Step { now: cycle },
+                        &mut fabric,
+                        &mut slots,
+                        &mut progress,
+                    ) {
+                        match e {
+                            RunError::QueueOverflow { pri } => return End::Overflow(pri),
+                            e => panic!(
+                                "program {} failed on node {n} under {:?}: {e}",
+                                program.name, self.implementation
+                            ),
+                        }
+                    }
+
+                    // (2) The fabric moves messages one hop (empty-fabric
+                    // fast path as in the serial driver).
+                    if self.fast_forward && fabric.msg_count() == 0 {
+                        fabric.skip_to(cycle + 1);
+                        cycle += 1;
+                        if progress {
+                            last_progress = cycle;
+                        } else if cycle - last_progress > self.watchdog_cycles {
+                            return End::Gridlock;
+                        }
+                        continue;
+                    }
+                    fabric.tick();
+
+                    // (3) Each NI retires at most one arrived message
+                    // (no halts or errors possible: always parallel).
+                    let err = run_round(
+                        &mut seq,
+                        Cmd::Retire { now: fabric.now() },
+                        &mut fabric,
+                        &mut slots,
+                        &mut progress,
+                    );
+                    debug_assert!(err.is_none(), "retire phase cannot error");
+
+                    cycle += 1;
+                    if progress || fabric.moves() != prev_moves {
+                        prev_moves = fabric.moves();
+                        last_progress = cycle;
+                    } else if cycle - last_progress > self.watchdog_cycles {
+                        return End::Gridlock;
+                    }
+                };
+                End::Done(halt, halted_node, cycle)
+            });
+
+            match end {
+                End::Overflow(pri) => {
+                    let i = pri.index();
+                    assert!(
+                        queue_words[i] < 1 << 22,
+                        "queue demand implausibly large; runaway program?"
+                    );
+                    queue_words[i] *= 2;
+                    continue 'attempt;
+                }
+                End::Gridlock => {
+                    watchdog_trips += 1;
+                    self.double_queues_for_gridlock(&mut queue_words);
+                    continue 'attempt;
+                }
+                End::Done(halt, halted_node, cycle) => {
+                    let stats: Vec<RunStats> = machines
+                        .iter()
+                        .enumerate()
+                        .map(|(n, m)| {
+                            m.stats(if halted_node == Some(n) {
+                                halt
+                            } else {
+                                HaltReason::Quiescent
+                            })
+                        })
+                        .collect();
+                    let thread_stats = slots
+                        .iter()
+                        .enumerate()
+                        .map(|(t, s)| ThreadStats {
+                            first_node: (t * k / t_count) as u32,
+                            nodes: ((t + 1) * k / t_count - t * k / t_count) as u32,
+                            steps: s.steps,
+                            deliveries: s.deliveries,
+                        })
+                        .collect();
+                    return MeshRunResult {
+                        implementation: self.implementation,
+                        policy: self.placement,
+                        nodes: self.nodes,
+                        width: topo.width,
+                        height: topo.height,
+                        cycles: cycle,
+                        halt,
+                        result: linked.read_result(&machines[0]),
+                        arrays: linked.read_arrays(&machines[0]),
+                        instructions: stats.iter().map(|s| s.instructions).sum(),
+                        stats,
+                        counts: hooks.iter().map(|h| h.counts.counts).collect(),
+                        stall_cycles,
+                        net: fabric.stats(),
+                        deliver_stalls: fabric.deliver_stalls_by_node().to_vec(),
+                        link_stats: fabric.link_stats(),
+                        net_trace: None,
+                        queue_words,
+                        activity,
+                        live_frames: placement.live().to_vec(),
+                        watchdog_trips,
+                        backstop_rearms,
+                        logs: self
+                            .record
+                            .then(|| hooks.into_iter().map(|h| h.log.unwrap()).collect()),
+                        thread_stats: Some(thread_stats),
+                    };
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The parallel-driver gate: `--threads N` must be bit-identical to both
+//! serial drivers (lockstep and fast-forward) in every observable, for
+//! every thread count, on every program — same cycle counts, results,
+//! heap arrays, per-node machine counters and access counts, NI stall
+//! cycles, activity timelines, fabric statistics, per-link telemetry,
+//! queue auto-sizing, placement census, and recorded access traces. Any
+//! gap means an epoch barrier leaked an ordering the serial cycle
+//! guarantees.
+
+use tamsim_core::Implementation;
+use tamsim_net::{MeshExperiment, MeshRunResult, NetConfig, PlacementPolicy};
+use tamsim_programs as programs;
+use tamsim_tam::Program;
+
+const IMPLS: [Implementation; 3] = [
+    Implementation::Am,
+    Implementation::AmEnabled,
+    Implementation::Md,
+];
+
+/// Every field except `thread_stats` (worker-attribution is by design a
+/// function of the thread count) and `net_trace` (parallel runs are
+/// untraced).
+fn assert_bit_identical(serial: &MeshRunResult, par: &MeshRunResult, ctx: &str) {
+    assert_eq!(par.cycles, serial.cycles, "cycle count differs: {ctx}");
+    assert_eq!(par.halt, serial.halt, "halt reason differs: {ctx}");
+    assert_eq!(par.result, serial.result, "result words differ: {ctx}");
+    assert_eq!(par.arrays, serial.arrays, "heap arrays differ: {ctx}");
+    assert_eq!(
+        par.instructions, serial.instructions,
+        "instruction counts differ: {ctx}"
+    );
+    assert_eq!(par.stats, serial.stats, "machine counters differ: {ctx}");
+    assert_eq!(par.counts, serial.counts, "access counts differ: {ctx}");
+    assert_eq!(
+        par.stall_cycles, serial.stall_cycles,
+        "NI stall cycles differ: {ctx}"
+    );
+    assert_eq!(par.net, serial.net, "fabric statistics differ: {ctx}");
+    assert_eq!(
+        par.deliver_stalls, serial.deliver_stalls,
+        "per-node deliver stalls differ: {ctx}"
+    );
+    assert_eq!(
+        par.link_stats, serial.link_stats,
+        "per-link telemetry differs: {ctx}"
+    );
+    assert_eq!(
+        par.queue_words, serial.queue_words,
+        "queue auto-sizing diverged: {ctx}"
+    );
+    assert_eq!(
+        par.live_frames, serial.live_frames,
+        "live-frame census differs: {ctx}"
+    );
+    assert_eq!(
+        par.watchdog_trips, serial.watchdog_trips,
+        "watchdog trips differ: {ctx}"
+    );
+    assert_eq!(
+        par.backstop_rearms, serial.backstop_rearms,
+        "backstop re-arms differ: {ctx}"
+    );
+    for (n, (p, s)) in par.activity.iter().zip(&serial.activity).enumerate() {
+        assert_eq!(
+            p.spans, s.spans,
+            "activity timeline differs on node {n}: {ctx}"
+        );
+    }
+}
+
+/// The parallel run's worker attribution must partition the mesh and
+/// conserve the global totals.
+fn assert_thread_stats_consistent(par: &MeshRunResult, threads: u32, ctx: &str) {
+    let ts = par
+        .thread_stats
+        .as_ref()
+        .expect("parallel run reports per-thread stats");
+    assert_eq!(
+        ts.len() as u32,
+        threads.min(par.nodes),
+        "one entry per worker: {ctx}"
+    );
+    let mut next = 0u32;
+    for t in ts {
+        assert_eq!(t.first_node, next, "chunks must tile the mesh: {ctx}");
+        assert!(t.nodes > 0, "empty worker chunk: {ctx}");
+        next += t.nodes;
+    }
+    assert_eq!(next, par.nodes, "chunks must cover every node: {ctx}");
+    assert_eq!(
+        ts.iter().map(|t| t.steps).sum::<u64>(),
+        par.instructions,
+        "per-thread steps must sum to the instruction total: {ctx}"
+    );
+    assert_eq!(
+        ts.iter().map(|t| t.deliveries).sum::<u64>(),
+        par.net.delivered_msgs,
+        "per-thread deliveries must sum to the fabric total: {ctx}"
+    );
+}
+
+fn assert_differential(program: &Program, nodes: &[u32], threads: &[u32], net: NetConfig) {
+    for impl_ in IMPLS {
+        for &n in nodes {
+            for policy in [PlacementPolicy::RoundRobin, PlacementPolicy::LocalityAware] {
+                let exp = MeshExperiment::new(impl_, n)
+                    .with_placement(policy)
+                    .with_net(net);
+                let lock = exp.lockstep().run(program);
+                let fast = exp.run(program);
+                for &t in threads {
+                    let par = exp.with_threads(t).run(program);
+                    let ctx = format!(
+                        "{} under {:?} on {} nodes ({:?}, {} threads)",
+                        program.name, impl_, n, policy, t
+                    );
+                    assert_bit_identical(&lock, &par, &format!("{ctx} vs lockstep"));
+                    assert_bit_identical(&fast, &par, &format!("{ctx} vs fast-forward"));
+                    assert_thread_stats_consistent(&par, t, &ctx);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fib_parallel_is_bit_identical() {
+    assert_differential(
+        &programs::fib(12),
+        &[2, 4, 8],
+        &[2, 3, 4],
+        NetConfig::default(),
+    );
+}
+
+#[test]
+fn quicksort_parallel_is_bit_identical() {
+    assert_differential(
+        &programs::quicksort(24, 0xC0FFEE),
+        &[4],
+        &[2, 4],
+        NetConfig::default(),
+    );
+}
+
+#[test]
+fn small_suite_parallel_is_bit_identical() {
+    for bench in programs::small_suite() {
+        assert_differential(&bench.program, &[4], &[2, 4], NetConfig::default());
+    }
+}
+
+/// Congested fabrics exercise `Busy` send retries and deliver stalls —
+/// the paths where a worker's view of its own buffers must match the
+/// serial interleaving exactly.
+#[test]
+fn parallel_is_bit_identical_under_congestion() {
+    let net = NetConfig {
+        link_capacity: 8,
+        inject_capacity: 8,
+        recv_capacity: 8,
+        ..NetConfig::default()
+    };
+    assert_differential(&programs::fib(11), &[4], &[2, 4], net);
+}
+
+/// Past 16 nodes the pre-widening node tag would have overflowed into the
+/// sign bit; a 40-node run exercises `falloc`/`ffree` round-trips through
+/// tags 17..39 under both placement policies, and the live-frame census
+/// must drain back to the serial fixpoint.
+#[test]
+fn forty_node_falloc_ffree_round_trip() {
+    let program = programs::fib(13);
+    for policy in [PlacementPolicy::RoundRobin, PlacementPolicy::LocalityAware] {
+        let exp = MeshExperiment::new(Implementation::Md, 40).with_placement(policy);
+        let serial = exp.run(&program);
+        let par = exp.with_threads(4).run(&program);
+        let ctx = format!("fib(13) on 40 nodes ({policy:?})");
+        assert_bit_identical(&serial, &par, &ctx);
+        // Frames were genuinely spread past node 16 and freed again.
+        assert!(
+            serial.net.delivered_msgs > 0,
+            "no cross-node traffic: {ctx}"
+        );
+        assert!(
+            serial.live_frames.len() == 40,
+            "census must cover all 40 nodes: {ctx}"
+        );
+    }
+}
+
+/// Large-mesh smoke: the widened tag must carry 64- and 256-node runs,
+/// and the parallel driver must agree at the far end of the scale.
+#[test]
+fn large_mesh_parallel_smoke() {
+    let program = programs::fib(12);
+    for nodes in [64, 256] {
+        let exp = MeshExperiment::new(Implementation::Md, nodes);
+        let serial = exp.run(&program);
+        let par = exp.with_threads(4).run(&program);
+        let ctx = format!("fib(12) on {nodes} nodes");
+        assert_bit_identical(&serial, &par, &ctx);
+        assert_thread_stats_consistent(&par, 4, &ctx);
+    }
+}
+
+/// Thread counts above the node count clamp to one worker per node.
+#[test]
+fn oversubscribed_threads_clamp_to_node_count() {
+    let program = programs::fib(10);
+    let exp = MeshExperiment::new(Implementation::Am, 2);
+    let serial = exp.run(&program);
+    let par = exp.with_threads(16).run(&program);
+    assert_bit_identical(&serial, &par, "fib(10) on 2 nodes, 16 threads");
+    assert_eq!(
+        par.thread_stats.as_ref().map(Vec::len),
+        Some(2),
+        "worker count must clamp to the node count"
+    );
+}
+
+/// Recording must not perturb the parallel run, and each node's recorded
+/// access trace must be identical to the serial drivers' — workers own
+/// their nodes' logs outright, so even event order within a node must
+/// survive.
+#[test]
+fn recorded_traces_are_bit_identical_across_thread_counts() {
+    let program = programs::fib(11);
+    for impl_ in [Implementation::Am, Implementation::Md] {
+        let exp = MeshExperiment::new(impl_, 4);
+        let serial = exp.run_recorded(&program);
+        let par = exp.with_threads(2).run_recorded(&program);
+        let ctx = format!("fib(11) under {impl_:?} on 4 nodes, 2 threads");
+        assert_bit_identical(&serial.run, &par.run, &ctx);
+        assert_eq!(serial.logs.len(), par.logs.len());
+        for (n, (s, p)) in serial.logs.iter().zip(&par.logs).enumerate() {
+            assert_eq!(s.len(), p.len(), "node {n} trace length differs: {ctx}");
+            assert!(s.iter().eq(p.iter()), "node {n} trace events differ: {ctx}");
+        }
+    }
+}

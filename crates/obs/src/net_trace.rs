@@ -282,6 +282,32 @@ pub struct MeshNetSummary {
     pub unmatched_dispatches: u64,
 }
 
+/// One worker thread's share of a parallel mesh run.
+#[derive(Debug, Clone, Copy)]
+pub struct MeshThreadRow {
+    /// First node of the worker's contiguous chunk.
+    pub first_node: u32,
+    /// Number of nodes in the chunk.
+    pub nodes: u32,
+    /// Instructions executed by the chunk's nodes.
+    pub steps: u64,
+    /// Messages retired by the chunk's nodes.
+    pub deliveries: u64,
+}
+
+/// Per-thread utilization of a parallel mesh run, for the profile's
+/// `parallel` object. Deterministic for a given (program, nodes, thread
+/// count) — but a function of the thread count, so the CI determinism
+/// job drops the object before byte-comparing profiles across thread
+/// counts.
+#[derive(Debug, Clone)]
+pub struct MeshParallelSummary {
+    /// Worker threads the run was configured with.
+    pub threads: u32,
+    /// One row per worker, in node order.
+    pub workers: Vec<MeshThreadRow>,
+}
+
 /// Identity of a mesh run, for [`mesh_profile_json`].
 #[derive(Debug, Clone)]
 pub struct MeshProfileMeta {
@@ -302,9 +328,14 @@ pub struct MeshProfileMeta {
 }
 
 /// Render the mesh statistics profile (`profile.json` of a mesh run):
-/// run identity plus a `net` object with fabric counters, per-node
-/// deliver stalls, per-buffer telemetry, and latency histograms.
-pub fn mesh_profile_json(meta: &MeshProfileMeta, net: &MeshNetSummary) -> String {
+/// run identity, per-thread utilization when the run was parallel, plus
+/// a `net` object with fabric counters, per-node deliver stalls,
+/// per-buffer telemetry, and latency histograms.
+pub fn mesh_profile_json(
+    meta: &MeshProfileMeta,
+    net: &MeshNetSummary,
+    parallel: Option<&MeshParallelSummary>,
+) -> String {
     let mut out = String::with_capacity(8 * 1024 + net.links.len() * 220);
     out.push('{');
     let _ = write!(
@@ -319,6 +350,25 @@ pub fn mesh_profile_json(meta: &MeshProfileMeta, net: &MeshNetSummary) -> String
         meta.cycles,
         meta.instructions
     );
+
+    if let Some(p) = parallel {
+        let _ = write!(
+            out,
+            "\"parallel\":{{\"threads\":{},\"workers\":[",
+            p.threads
+        );
+        for (i, w) in p.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"first_node\":{},\"nodes\":{},\"steps\":{},\"deliveries\":{}}}",
+                w.first_node, w.nodes, w.steps, w.deliveries
+            );
+        }
+        out.push_str("]},");
+    }
 
     out.push_str("\"net\":{\"stats\":{");
     for (i, (name, value)) in net.stats.iter().enumerate() {
@@ -502,12 +552,35 @@ mod tests {
             dropped: 0,
             unmatched_dispatches: 0,
         };
-        let profile = mesh_profile_json(&meta, &net);
+        let profile = mesh_profile_json(&meta, &net, None);
         json::validate(&profile).expect("mesh profile must parse");
         assert!(profile.contains("\"schema\":\"tamsim-mesh-profile/1\""));
         assert!(profile.contains("\"deliver_stalls_by_node\":[0,2,0,0]"));
         assert!(profile.contains("\"link\":\"west\""));
         assert!(profile.contains("\"kind\":\"deliver\""));
         assert!(profile.contains("{\"lo\":4,\"hi\":7,\"msgs\":5}"));
+        assert!(!profile.contains("\"parallel\""));
+
+        let parallel = MeshParallelSummary {
+            threads: 2,
+            workers: vec![
+                MeshThreadRow {
+                    first_node: 0,
+                    nodes: 2,
+                    steps: 200,
+                    deliveries: 5,
+                },
+                MeshThreadRow {
+                    first_node: 2,
+                    nodes: 2,
+                    steps: 121,
+                    deliveries: 4,
+                },
+            ],
+        };
+        let profile = mesh_profile_json(&meta, &net, Some(&parallel));
+        json::validate(&profile).expect("parallel mesh profile must parse");
+        assert!(profile.contains("\"parallel\":{\"threads\":2,\"workers\":["));
+        assert!(profile.contains("{\"first_node\":2,\"nodes\":2,\"steps\":121,\"deliveries\":4}"));
     }
 }

@@ -68,6 +68,15 @@ impl Region {
 /// The bases are generous enough that regions never collide for any
 /// workload in this repository; the machine model asserts it stays inside
 /// its region when allocating.
+///
+/// The address space deliberately tops out at `1 << 23` (8 MB): a mesh
+/// global address is `node << 23 | local`, so a compact local space
+/// leaves eight tag bits — 256 nodes — below bit 31 (tagged addresses
+/// must stay non-negative words). Every region base is a multiple of
+/// the largest simulated cache size (128 KB), so relocating a region
+/// preserves cache set indices and tag-equality classes exactly: the
+/// compaction from the original 128 MB map is invisible to every
+/// figure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryMap {
     /// Base of system code (lowest region; starts at 0).
@@ -91,8 +100,8 @@ impl Default for MemoryMap {
             user_code_base: 0x0010_0000,
             system_data_base: 0x0020_0000,
             frame_base: 0x0040_0000,
-            heap_base: 0x0100_0000,
-            top: 0x0800_0000,
+            heap_base: 0x0060_0000,
+            top: 0x0080_0000,
         }
     }
 }

@@ -18,7 +18,9 @@
 # Any other byte of difference means the epoch-barrier driver diverged
 # from the serial loop: fail. All runs request threads explicitly, which
 # forces the untraced mode, so serial and parallel runs emit the same
-# artifact set. Finally the golden-figure gate re-runs under a
+# artifact set. The open-loop serve driver gets the same treatment
+# (serve_latency/requests/depth CSVs and profile.json across
+# --threads 1/2/4). Finally the golden-figure gate re-runs under a
 # TAMSIM_JOBS override to pin the CSV pipeline itself.
 set -euo pipefail
 
@@ -91,6 +93,33 @@ for prog in "${progs[@]}"; do
     done
     echo "ok: $prog byte-identical across --threads 1/2/4 and TAMSIM_JOBS=4 (${#impls[@]} back-ends, $nodes nodes)"
 done
+
+# Serve mode: the open-loop request-serving driver must produce
+# byte-identical artifacts across thread counts too. Serve profiles omit
+# the "parallel" object by design, so every file byte-compares directly
+# (stdout included — the serve header does not name a thread count).
+mkdir -p "$out/serve"
+for run in t1 t2 t4; do
+    dir="$out/serve/$run"
+    "$bin" serve --rate 20 --requests 24 --seed 3 --nodes "$nodes" \
+        --impl all --threads "${run#t}" --out "$dir" >"$dir.stdout"
+done
+for run in t2 t4; do
+    if ! cmp -s "$out/serve/t1.stdout" "$out/serve/$run.stdout"; then
+        echo "FAIL: serve stdout differs between --threads 1 and $run" >&2
+        diff "$out/serve/t1.stdout" "$out/serve/$run.stdout" >&2 || true
+        fail=1
+    fi
+    for imp in "${impls[@]}"; do
+        for f in serve_latency.csv serve_requests.csv serve_depth.csv profile.json; do
+            if ! cmp -s "$out/serve/t1/$imp/$f" "$out/serve/$run/$imp/$f"; then
+                echo "FAIL: serve/$imp/$f differs between --threads 1 and $run" >&2
+                fail=1
+            fi
+        done
+    done
+done
+echo "ok: serve byte-identical across --threads 1/2/4 (${#impls[@]} back-ends, $nodes nodes)"
 
 if [ "$fail" -ne 0 ]; then
     echo "determinism wall: FAILED" >&2

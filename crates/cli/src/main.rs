@@ -39,6 +39,12 @@ const COMMANDS: &[(&str, &str)] = &[
          --threads N); writes mesh_trace.json",
     ),
     (
+        "serve [PROG]",
+        "open-loop request serving on the mesh: deterministic arrivals (--rate, \
+         --requests, --arrivals, --seed), achieved throughput and tail latency; \
+         writes serve_latency.csv",
+    ),
+    (
         "perf",
         "time the Figure 3 sweep (record/replay vs inline) or, with --mesh, the mesh \
          drivers (fast-forward vs lockstep); write results/*perf_summary.json",
@@ -71,11 +77,14 @@ fn help_text() -> String {
          --small        run the reduced-size suite (fast smoke run)\n  \
          --out DIR      write outputs under DIR (default: results)\n  \
          --impl IMPL    profile/mesh: am | am-en | md | all (default: am)\n  \
-         --nodes N      mesh, perf --mesh: node count, factored into a near-square mesh \
-         (default: 4)\n  \
-         --policy P     mesh only: frame placement, rr | local (default: rr)\n  \
+         --nodes N      mesh, serve, perf --mesh: node count, factored into a near-square \
+         mesh (default: 4)\n  \
+         --policy P     mesh, serve: frame placement, rr | local (default: rr)\n  \
+         --rate R       serve only: offered load, requests per 1000 cycles (default: 20)\n  \
+         --requests N   serve only: total requests to inject (default: 32)\n  \
+         --arrivals A   serve only: arrival process, poisson | fixed (default: poisson)\n  \
          --iters N      fuzz only: iterations to run (default: 100)\n  \
-         --seed S       fuzz only: master seed (default: 1)\n  \
+         --seed S       fuzz, serve: master seed (default: 1)\n  \
          --shrink       fuzz only: minimize the first failure and write a reproducer\n  \
          --mutate       fuzz only: seed a deliberate MD bug (harness self-test)\n  \
          --mesh         fuzz: also cross-check the mesh (bit-identity, lockstep vs \
@@ -83,7 +92,7 @@ fn help_text() -> String {
          --trace-net    mesh only: full causal message tracing (per-message lifecycle \
          records, flow arrows in mesh_trace.json, occupancy counters); without it a \
          bounded ring still feeds the latency histograms\n  \
-         --threads N    mesh, perf --mesh: host worker threads for the parallel driver \
+         --threads N    mesh, serve, perf --mesh: host worker threads for the parallel driver \
          (TAMSIM_JOBS is honoured when the flag is absent); results are bit-identical \
          at every thread count, but message tracing is off, so the latency histograms \
          are skipped; incompatible with --trace-net\n  \
@@ -101,6 +110,9 @@ struct Args {
     impl_: String,
     nodes: u32,
     policy: String,
+    rate: f64,
+    requests: u32,
+    arrivals: String,
     iters: u64,
     seed: u64,
     shrink: bool,
@@ -159,6 +171,9 @@ fn parse_args() -> Args {
     let mut impl_ = "am".to_string();
     let mut nodes = 4u32;
     let mut policy = "rr".to_string();
+    let mut rate = 20.0f64;
+    let mut requests = 32u32;
+    let mut arrivals = "poisson".to_string();
     let mut iters = 100u64;
     let mut seed = 1u64;
     let mut shrink = false;
@@ -179,6 +194,20 @@ fn parse_args() -> Args {
                 nodes = numeric("--nodes", &need(&mut it, "--nodes", "a node count")) as u32
             }
             "--policy" => policy = need(&mut it, "--policy", "a value (rr | local)"),
+            "--rate" => {
+                let v = need(&mut it, "--rate", "requests per 1000 cycles");
+                rate = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: flag '--rate' needs a number, got '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            "--requests" => {
+                requests = numeric(
+                    "--requests",
+                    &need(&mut it, "--requests", "a request count"),
+                ) as u32
+            }
+            "--arrivals" => arrivals = need(&mut it, "--arrivals", "a value (poisson | fixed)"),
             "--iters" => iters = numeric("--iters", &need(&mut it, "--iters", "a count")),
             "--seed" => seed = numeric("--seed", &need(&mut it, "--seed", "a seed")),
             "--shrink" => shrink = true,
@@ -213,6 +242,9 @@ fn parse_args() -> Args {
         impl_,
         nodes,
         policy,
+        rate,
+        requests,
+        arrivals,
         iters,
         seed,
         shrink,
@@ -573,6 +605,152 @@ fn run_mesh(args: &Args) {
         eprintln!(
             "wrote {} and {}",
             dir.join("mesh_trace.json").display(),
+            dir.join("profile.json").display()
+        );
+    }
+}
+
+/// Seed offset separating the generated request program from the arrival
+/// stream: `tamsim serve --seed S` must be able to vary the offered-load
+/// schedule without changing the workload, and vice versa.
+const SERVE_PROGRAM_SEED: u64 = 0x5345_5256;
+
+/// `tamsim serve [PROG] [--rate R] [--requests N] [--seed S]
+/// [--arrivals poisson|fixed] [--nodes N] [--impl am|am-en|md|all]
+/// [--policy rr|local] [--threads N] [--out DIR]`: open-loop request
+/// serving on a mesh. A deterministic arrival process injects independent
+/// requests — invocations of PROG's `main`, or of a small generated
+/// call-DAG program (the fuzz generator's validated builder) when PROG is
+/// omitted — across the nodes, and the report compares achieved
+/// throughput against the offered load with p50/p90/p99/p999 completion
+/// latency. Artifacts per back-end: `serve_latency.csv` (the load/latency
+/// row), `serve_requests.csv` (per-request lifecycle),
+/// `serve_depth.csv` (per-node outstanding-request timeline),
+/// `profile.json` (with a `serve` object), and `manifest.json`. Records
+/// are bit-identical across lockstep, fast-forward, and any `--threads`
+/// count, so every artifact byte-compares across drivers.
+fn run_serve(args: &Args) {
+    use tamsim_net::{ArrivalKind, MeshExperiment, PlacementPolicy, ServeConfig};
+    let started = Instant::now();
+    let program = match args.extra.first() {
+        Some(name) => resolve_program(name, args.small),
+        None => tamsim_check::generate(
+            args.seed ^ SERVE_PROGRAM_SEED,
+            &tamsim_check::GenConfig::default(),
+        ),
+    };
+    let impls = resolve_impls(&args.impl_);
+    let policy = PlacementPolicy::parse(&args.policy).unwrap_or_else(|| {
+        eprintln!(
+            "error: unknown --policy value '{}'; expected rr | local",
+            args.policy
+        );
+        std::process::exit(2);
+    });
+    let kind = match args.arrivals.as_str() {
+        "poisson" => ArrivalKind::Poisson,
+        "fixed" => ArrivalKind::Fixed,
+        other => {
+            eprintln!("error: unknown --arrivals value '{other}'; expected poisson | fixed");
+            std::process::exit(2);
+        }
+    };
+    let rate_ppm = (args.rate * 1000.0).round() as u64;
+    if rate_ppm == 0 {
+        eprintln!("error: --rate must be positive (requests per 1000 cycles)");
+        std::process::exit(2);
+    }
+    let cfg = ServeConfig {
+        rate_ppm,
+        requests: args.requests,
+        seed: args.seed,
+        kind,
+    };
+    let threads = args.mesh_threads();
+    let single = impls.len() == 1;
+    for &impl_ in &impls {
+        let mut exp = MeshExperiment::new(impl_, args.nodes)
+            .with_placement(policy)
+            .with_threads(threads.unwrap_or(1));
+        exp.opts = args.opts();
+        let r = exp.serve(&program, &cfg);
+        println!(
+            "## serve: {} ({}) on {} node(s) [{}x{}], policy {}, {} {} arrival(s) at {}/Mcycle\n",
+            program.name,
+            impl_.label(),
+            r.mesh.nodes,
+            r.mesh.width,
+            r.mesh.height,
+            r.mesh.policy.label(),
+            cfg.requests,
+            metrics::arrival_kind_label(kind),
+            cfg.rate_ppm,
+        );
+        println!(
+            "cycles {}  offered {} req/Mcycle  achieved {} req/Mcycle\n",
+            r.mesh.cycles,
+            cfg.rate_ppm,
+            r.achieved_ppm(),
+        );
+        let dir = if single {
+            args.out.clone()
+        } else {
+            args.out.join(impl_.label().to_ascii_lowercase())
+        };
+        emit(
+            &dir,
+            "serve_latency",
+            &format!(
+                "serve load/latency: {} ({}) on {} node(s)",
+                program.name,
+                impl_.label(),
+                r.mesh.nodes
+            ),
+            &metrics::serve_latency_table(&[&r]),
+        );
+        fs::write(
+            dir.join("serve_requests.csv"),
+            metrics::serve_requests_table(&r).to_csv(),
+        )
+        .expect("write serve_requests.csv");
+        fs::write(
+            dir.join("serve_depth.csv"),
+            metrics::serve_depth_table(&r).to_csv(),
+        )
+        .expect("write serve_depth.csv");
+        fs::write(
+            dir.join("profile.json"),
+            metrics::serve_profile(&r, &program.name),
+        )
+        .expect("write profile.json");
+        write_manifest(
+            &dir,
+            &program.name,
+            impl_.label(),
+            Vec::new(),
+            vec![
+                ("nodes".to_string(), r.mesh.nodes.to_string()),
+                (
+                    "mesh".to_string(),
+                    format!("{}x{}", r.mesh.width, r.mesh.height),
+                ),
+                ("policy".to_string(), r.mesh.policy.label().to_string()),
+                (
+                    "arrivals".to_string(),
+                    metrics::arrival_kind_label(kind).to_string(),
+                ),
+                ("rate_ppm".to_string(), cfg.rate_ppm.to_string()),
+                ("requests".to_string(), cfg.requests.to_string()),
+                ("seed".to_string(), cfg.seed.to_string()),
+                ("cycles".to_string(), r.mesh.cycles.to_string()),
+                ("achieved_ppm".to_string(), r.achieved_ppm().to_string()),
+                ("threads".to_string(), threads.unwrap_or(1).to_string()),
+            ],
+            started,
+        );
+        eprintln!(
+            "wrote {} and {}",
+            dir.join("serve_latency.csv").display(),
             dir.join("profile.json").display()
         );
     }
@@ -1046,6 +1224,10 @@ fn main() {
         run_mesh(&args);
         return;
     }
+    if command == "serve" {
+        run_serve(&args);
+        return;
+    }
     let suite: Vec<PaperBenchmark> = if args.small {
         tamsim_programs::small_suite()
     } else {
@@ -1300,8 +1482,80 @@ fn main() {
             ),
             &metrics::mesh_scaling(&scale_progs, &metrics::MESH_SCALING_SWEEP),
         );
+        // Open-loop serve load sweep: fib(8) requests on a 2x2 mesh at
+        // three offered loads under every back-end — one below saturation
+        // (latency ≈ service time), one near it, one far past it
+        // (queueing-dominated tail). Completion records are bit-identical
+        // across drivers and thread counts, so the CSV is golden-gated
+        // (tests/golden/serve_latency.csv).
+        {
+            use tamsim_net::{MeshExperiment, ServeConfig, ServeRunResult};
+            let serve_prog = tamsim_programs::fib(8);
+            let mut runs = Vec::new();
+            for impl_ in [
+                Implementation::Am,
+                Implementation::AmEnabled,
+                Implementation::Md,
+            ] {
+                for rate_ppm in [100u64, 400, 4_000] {
+                    runs.push(
+                        MeshExperiment::new(impl_, 4)
+                            .serve(&serve_prog, &ServeConfig::new(rate_ppm, 24, 0xC0FFEE)),
+                    );
+                }
+            }
+            let refs: Vec<&ServeRunResult> = runs.iter().collect();
+            emit(
+                &dir,
+                "serve_latency",
+                "Open-loop serve sweep: offered load vs achieved throughput and tail \
+                 latency (fib(8) requests, 4 nodes)",
+                &metrics::serve_latency_table(&refs),
+            );
+        }
     }
     // Everything that reaches here wrote artifacts under `dir`; record
     // what produced them.
     write_manifest(&dir, &suite_names, "MD,AM", Vec::new(), Vec::new(), started);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every command the dispatcher accepts must be listed in `--help`,
+    /// and the listing's first token is what `main` matches on.
+    #[test]
+    fn help_lists_every_command_once() {
+        let help = help_text();
+        for (name, desc) in COMMANDS {
+            assert!(help.contains(name), "help is missing command '{name}'");
+            assert!(help.contains(desc), "help is missing the '{name}' blurb");
+        }
+        let serve_rows = COMMANDS
+            .iter()
+            .filter(|(name, _)| name.split(' ').next() == Some("serve"))
+            .count();
+        assert_eq!(serve_rows, 1, "serve must be listed exactly once");
+    }
+
+    /// `tamsim serve --help` coverage: the command row and each of its
+    /// flags (with defaults) appear in the help text.
+    #[test]
+    fn help_covers_the_serve_command_and_flags() {
+        let help = help_text();
+        assert!(help.contains("serve [PROG]"));
+        assert!(help.contains("open-loop request serving"));
+        assert!(help.contains("--rate R"));
+        assert!(help.contains("requests per 1000 cycles (default: 20)"));
+        assert!(help.contains("--requests N"));
+        assert!(help.contains("total requests to inject (default: 32)"));
+        assert!(help.contains("--arrivals A"));
+        assert!(help.contains("poisson | fixed (default: poisson)"));
+        // Shared flags must mention serve where it participates.
+        assert!(help.contains("fuzz, serve: master seed"));
+        assert!(help.contains("mesh, serve: frame placement"));
+        assert!(help.contains("mesh, serve, perf --mesh: node count"));
+        assert!(help.contains("mesh, serve, perf --mesh: host worker threads"));
+    }
 }

@@ -77,6 +77,10 @@ pub struct NetInfo {
     pub heap_bump: u32,
     /// Initial heap-bump value (just above the seeded arrays).
     pub heap_bump_init: u32,
+    /// Code address of the done handler. A serve-mode NI recognizes
+    /// request-completion replies by it and ejects them off-mesh to the
+    /// external client instead of dispatching them.
+    pub done_addr: u32,
 }
 
 impl Linked {
@@ -315,6 +319,7 @@ pub fn link(
             frame_bump: globals.frame_bump,
             heap_bump: globals.heap_bump,
             heap_bump_init,
+            done_addr,
         },
     }
 }

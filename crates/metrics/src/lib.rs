@@ -17,6 +17,7 @@ pub mod mesh;
 pub mod net;
 pub mod quantum;
 pub mod render;
+pub mod serve;
 pub mod suite;
 pub mod tables;
 
@@ -33,5 +34,9 @@ pub use net::{
 };
 pub use quantum::{hotspot_table, quantum_histogram, quantum_summary};
 pub use render::Table;
+pub use serve::{
+    arrival_kind_label, percentile, serve_depth_table, serve_latency_table, serve_profile,
+    serve_requests_table, serve_summary,
+};
 pub use suite::{geomean, ProgramRun, SuiteData, SuitePerf};
 pub use tables::{accesses, region_breakdown, table1, table2};

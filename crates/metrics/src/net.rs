@@ -219,7 +219,7 @@ pub fn mesh_profile(r: &MeshRunResult, program: &str) -> String {
             })
             .collect(),
     });
-    tamsim_obs::mesh_profile_json(&meta, &net_summary(r), parallel.as_ref())
+    tamsim_obs::mesh_profile_json(&meta, &net_summary(r), parallel.as_ref(), None)
 }
 
 /// The link-utilization heatmap behind `mesh_links.csv`: one row per

@@ -29,6 +29,7 @@ use crate::fabric::{Fabric, LinkStat, NetConfig, NetStats};
 use crate::hooks::{NetHooks, NoNetHooks};
 use crate::place::{Placement, PlacementPolicy};
 use crate::port::NodePort;
+use crate::serve::{ReqCell, ServePlan, ServeState};
 use crate::topology::MeshTopology;
 use crate::trace::{NetTrace, NetTraceMode, NetTraceRecorder};
 use crate::{node_tag, LOCAL_MASK, MAX_NODES, NODE_SHIFT};
@@ -419,6 +420,19 @@ impl MeshExperiment {
     /// dispatch-detection snapshot compiles away, so the untraced driver
     /// is exactly the pre-tracing one.
     fn run_with<H: NetHooks>(&self, program: &Program, net_hooks: &mut H) -> MeshRunResult {
+        self.run_serve_with(program, net_hooks, None).0
+    }
+
+    /// The serial run loop, optionally in serve mode: with a
+    /// [`ServePlan`] the batch boot is suppressed and the arrival pump
+    /// injects scheduled requests instead (see `serve.rs`); the second
+    /// return value carries the per-request cells.
+    pub(crate) fn run_serve_with<H: NetHooks>(
+        &self,
+        program: &Program,
+        net_hooks: &mut H,
+        plan: Option<&ServePlan>,
+    ) -> (MeshRunResult, Option<Vec<ReqCell>>) {
         let topo = MeshTopology::for_nodes(self.nodes);
         let k = self.nodes as usize;
         let mut queue_words = self.queue_words;
@@ -441,8 +455,9 @@ impl MeshExperiment {
                 1 << NODE_SHIFT,
                 "node tag would collide with the local address space"
             );
-            let mut machines = self.boot_nodes(&linked);
-            if H::ENABLED {
+            let mut machines = self.boot_nodes(&linked, plan.is_none());
+            let mut serve = plan.map(|p| ServeState::new(p, &linked, k));
+            if H::ENABLED && plan.is_none() {
                 // The boot message goes straight onto node 0's high queue
                 // without touching the fabric; the dispatch matcher needs
                 // to see it occupy the slot ahead of later deliveries.
@@ -456,8 +471,10 @@ impl MeshExperiment {
                 .collect();
             let mut fabric = Fabric::new(topo, self.net);
             let mut placement = Placement::new(self.placement, self.nodes);
-            // The boot message allocates main's frame on node 0.
-            placement.commit(0);
+            if plan.is_none() {
+                // The boot message allocates main's frame on node 0.
+                placement.commit(0);
+            }
 
             let mut cycle: u64 = 0;
             let mut last_progress: u64 = 0;
@@ -467,6 +484,21 @@ impl MeshExperiment {
             let mut halted_node: Option<usize> = None;
 
             let halt = loop {
+                // Serve mode: the arrival pump runs at the top of every
+                // global cycle, before the wake scan — a machine whose
+                // queue just accepted a request is runnable this cycle.
+                if let Some(sv) = serve.as_mut() {
+                    sv.pump(
+                        cycle,
+                        &mut machines,
+                        &mut hooks,
+                        &mut placement,
+                        &mut *net_hooks,
+                        linked.start_low,
+                        self.implementation.is_am(),
+                    );
+                }
+
                 // One wake scan serves both the quiescence check and the
                 // fast-forward decision (`Wake::OnDelivery` is exactly
                 // "idle"); the lockstep path keeps PR 4's order — fabric
@@ -498,7 +530,33 @@ impl MeshExperiment {
                         }
                     }
                     if !rearmed {
-                        break HaltReason::Quiescent;
+                        match serve.as_ref() {
+                            Some(sv) if !sv.drained() => {
+                                // The mesh drained but the schedule did
+                                // not: requests are still to come. (An
+                                // injected-but-uncompleted request keeps
+                                // some queue non-empty, so reaching here
+                                // means the cursor is mid-schedule.)
+                                // Neither driver lets the watchdog trip
+                                // on an arrival gap.
+                                let target = sv
+                                    .next_arrival_cycle()
+                                    .expect("idle serve run with requests unaccounted for");
+                                debug_assert!(target > cycle);
+                                if self.fast_forward {
+                                    let delta = target - cycle;
+                                    for a in &mut activity {
+                                        a.record_span(cycle, NodeState::Idle, delta);
+                                    }
+                                    fabric.skip_to(target);
+                                    cycle = target;
+                                    last_progress = target;
+                                    continue;
+                                }
+                                last_progress = cycle;
+                            }
+                            _ => break HaltReason::Quiescent,
+                        }
                     }
                 }
 
@@ -515,21 +573,44 @@ impl MeshExperiment {
                 if self.fast_forward && all_waiting && !fabric_empty {
                     if let Some(horizon) = fabric.next_horizon() {
                         debug_assert!(horizon > cycle);
+                        // Serve mode clamps the jump to the next arrival:
+                        // a request landing before the fabric's next edge
+                        // wakes its origin machine, exactly as lockstep
+                        // would see it.
+                        let target = serve
+                            .as_ref()
+                            .and_then(|s| s.next_arrival_cycle())
+                            .map_or(horizon, |a| horizon.min(a.max(cycle + 1)));
                         // The skipped stretch makes no progress; if the
                         // lockstep watchdog would have tripped inside it
                         // (after the iteration at `last_progress +
                         // watchdog_cycles`), trip identically.
-                        if horizon > last_progress + self.watchdog_cycles {
+                        if target > last_progress + self.watchdog_cycles {
                             watchdog_trips += 1;
                             self.double_queues_for_gridlock(&mut queue_words);
                             continue 'attempt;
                         }
-                        let delta = horizon - cycle;
+                        let delta = target - cycle;
                         for a in &mut activity {
                             a.record_span(cycle, NodeState::Idle, delta);
                         }
-                        fabric.skip_to(horizon);
-                        cycle = horizon;
+                        fabric.skip_to(target);
+                        cycle = target;
+                        // Arrivals due exactly at `target` inject now —
+                        // the loop-top pump this jump skipped over. (No
+                        // arrival exists strictly between the old cycle
+                        // and `target`, so the stretch stays a no-op.)
+                        if let Some(sv) = serve.as_mut() {
+                            sv.pump(
+                                cycle,
+                                &mut machines,
+                                &mut hooks,
+                                &mut placement,
+                                &mut *net_hooks,
+                                linked.start_low,
+                                self.implementation.is_am(),
+                            );
+                        }
                     }
                 }
 
@@ -560,6 +641,7 @@ impl MeshExperiment {
                             fabric: &mut fabric,
                             placement: &mut placement,
                             hooks: &mut *net_hooks,
+                            serve: serve.as_mut().map(|s| s.tap(cycle)),
                         };
                         machines[n].step(&mut hooks[n], &mut port)
                     };
@@ -677,7 +759,7 @@ impl MeshExperiment {
                     })
                 })
                 .collect();
-            return MeshRunResult {
+            let run = MeshRunResult {
                 implementation: self.implementation,
                 policy: self.placement,
                 nodes: self.nodes,
@@ -705,6 +787,7 @@ impl MeshExperiment {
                     .then(|| hooks.into_iter().map(|h| h.log.unwrap()).collect()),
                 thread_stats: None,
             };
+            return (run, serve.map(|s| s.cells));
         }
     }
 
@@ -727,11 +810,12 @@ impl MeshExperiment {
     ///
     /// Every node gets the same code image, descriptors, and boot of its
     /// low-priority scheduler context. Node 0 additionally gets the
-    /// seeded heap arrays and the boot message; nodes `n > 0` skip the
-    /// arrays (they live on node 0) and point their frame/heap bump
-    /// allocators at *tagged* addresses, so every frame or heap cell they
-    /// hand out carries its home-node tag.
-    pub(crate) fn boot_nodes<'c>(&self, linked: &'c Linked) -> Vec<Machine<'c>> {
+    /// seeded heap arrays and — unless a serve plan suppresses it
+    /// (`inject_boot == false`; requests boot `main` instead) — the boot
+    /// message; nodes `n > 0` skip the arrays (they live on node 0) and
+    /// point their frame/heap bump allocators at *tagged* addresses, so
+    /// every frame or heap cell they hand out carries its home-node tag.
+    pub(crate) fn boot_nodes<'c>(&self, linked: &'c Linked, inject_boot: bool) -> Vec<Machine<'c>> {
         (0..self.nodes)
             .map(|n| {
                 let mut machine = Machine::new(linked.cfg, &linked.code);
@@ -756,7 +840,7 @@ impl MeshExperiment {
                     );
                 }
                 machine.start_low(linked.start_low);
-                if n == 0 {
+                if n == 0 && inject_boot {
                     machine
                         .inject(Priority::High, &linked.boot)
                         .expect("boot message exceeds queue capacity");

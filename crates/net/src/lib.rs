@@ -38,6 +38,7 @@ pub mod hooks;
 pub mod par;
 pub mod place;
 pub mod port;
+pub mod serve;
 pub mod topology;
 pub mod trace;
 
@@ -49,6 +50,10 @@ pub use fabric::{Fabric, LinkStat, Message, NetConfig, NetStats};
 pub use hooks::{BufKind, NetHooks, NoNetHooks};
 pub use place::{Placement, PlacementPolicy};
 pub use port::NodePort;
+pub use serve::{
+    arrival_schedule, Arrival, ArrivalKind, ReqCell, RequestRecord, ServeConfig, ServePlan,
+    ServeRunResult,
+};
 pub use topology::{Dir, MeshTopology};
 pub use trace::{
     HistEntry, HopRecord, LatencyHist, MsgRecord, NetTrace, NetTraceMode, NetTraceRecorder,

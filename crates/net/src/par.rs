@@ -66,6 +66,7 @@ use crate::driver::{
 use crate::fabric::{Fabric, FabricLanes, LaneDeltas};
 use crate::place::Placement;
 use crate::port::NodePort;
+use crate::serve::{ReqCell, ServePlan, ServeShared, ServeState};
 use crate::topology::MeshTopology;
 use crate::{node_of, NODE_SHIFT};
 use std::any::Any;
@@ -122,6 +123,9 @@ struct WorkerSlot {
     steps: u64,
     /// Cumulative messages retired by this chunk's nodes.
     deliveries: u64,
+    /// Requests completed (done replies ejected) by this chunk this
+    /// round; folded into [`ServeState`] at the barrier.
+    completed: u64,
 }
 
 /// The shared view handed to every worker: the round protocol plus raw
@@ -153,6 +157,9 @@ struct SharedMesh<'a, 'c> {
     nodes: u32,
     fast_forward: bool,
     is_am: bool,
+    /// Serve-mode completion view (`None` on batch runs): workers eject
+    /// done replies through it, each request exactly once.
+    serve: Option<ServeShared>,
 }
 
 // SAFETY: raw pointers are dereferenced under the ownership discipline
@@ -169,6 +176,7 @@ impl SharedMesh<'_, '_> {
         slot.progress = false;
         slot.error = None;
         slot.deltas = LaneDeltas::default();
+        slot.completed = 0;
         match cmd {
             Cmd::Step { now } => unsafe { self.step_chunk(t, seq, now, slot) },
             Cmd::Retire { now } => unsafe { self.retire_chunk(t, now, slot) },
@@ -195,6 +203,7 @@ impl SharedMesh<'_, '_> {
                     now,
                     gate_open: &mut gate_open,
                     deltas: &mut slot.deltas,
+                    completed: &mut slot.completed,
                 };
                 machine.step(unsafe { &mut (*self.hooks.add(n)) }, &mut port)
             };
@@ -305,6 +314,8 @@ struct ParallelNodePort<'a, 'b, 'c> {
     /// round (pay the wait once, on the first placement access).
     gate_open: &'a mut bool,
     deltas: &'a mut LaneDeltas,
+    /// This worker's per-round completion count (`WorkerSlot::completed`).
+    completed: &'a mut u64,
 }
 
 impl ParallelNodePort<'_, '_, '_> {
@@ -352,6 +363,17 @@ impl ParallelNodePort<'_, '_, '_> {
 
 impl NetPort for ParallelNodePort<'_, '_, '_> {
     fn route(&mut self, pri: Priority, words: &[Word]) -> RouteOutcome {
+        // Serve mode: eject done replies off-mesh before any routing
+        // rule, mirroring `NodePort::route`. A request completes exactly
+        // once, so no two workers ever write the same cell; the count is
+        // accumulated per worker and folded in at the barrier.
+        if let Some(sv) = self.shared.serve {
+            if words.first().copied().map(Word::bits) == Some(sv.done_addr) {
+                unsafe { sv.complete(self.now, words) };
+                *self.completed += 1;
+                return RouteOutcome::Injected;
+            }
+        }
         let dest = self.destination(words).unwrap_or(self.node);
         let outcome = if dest == self.node {
             RouteOutcome::Local
@@ -394,6 +416,20 @@ impl MeshExperiment {
     /// The parallel run loop. Preconditions (checked by the dispatcher in
     /// [`MeshExperiment::run`]): `threads > 1`, `nodes > 1`, untraced.
     pub(crate) fn run_parallel(&self, program: &Program) -> MeshRunResult {
+        self.run_parallel_serve(program, None).0
+    }
+
+    /// The parallel run loop, optionally in serve mode (see `serve.rs`):
+    /// the serial window pumps arrivals exactly as the serial drivers do,
+    /// workers eject done replies through [`ServeShared`], and per-round
+    /// completion counts fold back into the main thread's [`ServeState`]
+    /// at the barrier — so completion records are bit-identical to the
+    /// serial drivers at every thread count.
+    pub(crate) fn run_parallel_serve(
+        &self,
+        program: &Program,
+        plan: Option<&ServePlan>,
+    ) -> (MeshRunResult, Option<Vec<ReqCell>>) {
         let topo = MeshTopology::for_nodes(self.nodes);
         let k = self.nodes as usize;
         let t_count = (self.threads as usize).min(k);
@@ -414,7 +450,8 @@ impl MeshExperiment {
                 "node tag would collide with the local address space"
             );
             let halts = HaltSet::new(&linked.code);
-            let mut machines = self.boot_nodes(&linked);
+            let mut machines = self.boot_nodes(&linked, plan.is_none());
+            let mut serve = plan.map(|p| ServeState::new(p, &linked, k));
             let mut hooks: Vec<NodeHooks> = (0..k)
                 .map(|_| NodeHooks {
                     counts: CountingSink::new(linked.cfg.map),
@@ -423,7 +460,9 @@ impl MeshExperiment {
                 .collect();
             let mut fabric = Fabric::new(topo, self.net);
             let mut placement = Placement::new(self.placement, self.nodes);
-            placement.commit(0); // the boot message allocates main's frame
+            if plan.is_none() {
+                placement.commit(0); // the boot message allocates main's frame
+            }
             let mut stall_cycles = vec![0u64; k];
             let mut activity = vec![ActivityTrack::default(); k];
             let mut slots: Vec<WorkerSlot> = (0..t_count).map(|_| WorkerSlot::default()).collect();
@@ -452,6 +491,7 @@ impl MeshExperiment {
                 nodes: self.nodes,
                 fast_forward: self.fast_forward,
                 is_am: self.implementation.is_am(),
+                serve: serve.as_mut().map(|s| s.shared()),
             };
 
             let end = std::thread::scope(|scope| {
@@ -476,7 +516,8 @@ impl MeshExperiment {
                                  cmd: Cmd,
                                  fabric: &mut Fabric,
                                  slots: &mut [WorkerSlot],
-                                 progress: &mut bool|
+                                 progress: &mut bool,
+                                 completed: &mut u64|
                  -> Option<(usize, RunError)> {
                     unsafe { *shared.cmd.get() = cmd };
                     *seq += 1;
@@ -493,6 +534,7 @@ impl MeshExperiment {
                     let mut first_panic: Option<Box<dyn Any + Send>> = None;
                     for slot in slots.iter_mut() {
                         *progress |= slot.progress;
+                        *completed += slot.completed;
                         fabric.absorb(&slot.deltas);
                         if first_error.is_none() && first_panic.is_none() {
                             if let Some(p) = slot.panic.take() {
@@ -511,7 +553,19 @@ impl MeshExperiment {
                 let halt = loop {
                     // Serial window: workers are parked, the main thread
                     // owns everything. This mirrors the serial loop line
-                    // for line.
+                    // for line — including the serve-mode arrival pump at
+                    // the top of every global cycle.
+                    if let Some(sv) = serve.as_mut() {
+                        sv.pump(
+                            cycle,
+                            &mut machines,
+                            &mut hooks,
+                            &mut placement,
+                            &mut crate::hooks::NoNetHooks,
+                            linked.start_low,
+                            self.implementation.is_am(),
+                        );
+                    }
                     let all_waiting = if self.fast_forward {
                         machines.iter().all(|m| m.next_wake() == Wake::OnDelivery)
                     } else {
@@ -531,21 +585,63 @@ impl MeshExperiment {
                             }
                         }
                         if !rearmed {
-                            break HaltReason::Quiescent;
+                            match serve.as_ref() {
+                                Some(sv) if !sv.drained() => {
+                                    // Mesh drained, schedule not: jump
+                                    // (ff) or tick (lockstep) through the
+                                    // arrival gap, as the serial drivers
+                                    // do.
+                                    let target = sv
+                                        .next_arrival_cycle()
+                                        .expect("idle serve run with requests unaccounted for");
+                                    debug_assert!(target > cycle);
+                                    if self.fast_forward {
+                                        let delta = target - cycle;
+                                        for a in &mut activity {
+                                            a.record_span(cycle, NodeState::Idle, delta);
+                                        }
+                                        fabric.skip_to(target);
+                                        cycle = target;
+                                        last_progress = target;
+                                        continue;
+                                    }
+                                    last_progress = cycle;
+                                }
+                                _ => break HaltReason::Quiescent,
+                            }
                         }
                     }
                     if self.fast_forward && all_waiting && !fabric_empty {
                         if let Some(horizon) = fabric.next_horizon() {
                             debug_assert!(horizon > cycle);
-                            if horizon > last_progress + self.watchdog_cycles {
+                            // Serve mode clamps the jump to the next
+                            // arrival, as in the serial driver.
+                            let target = serve
+                                .as_ref()
+                                .and_then(|s| s.next_arrival_cycle())
+                                .map_or(horizon, |a| horizon.min(a.max(cycle + 1)));
+                            if target > last_progress + self.watchdog_cycles {
                                 return End::Gridlock;
                             }
-                            let delta = horizon - cycle;
+                            let delta = target - cycle;
                             for a in &mut activity {
                                 a.record_span(cycle, NodeState::Idle, delta);
                             }
-                            fabric.skip_to(horizon);
-                            cycle = horizon;
+                            fabric.skip_to(target);
+                            cycle = target;
+                            // Arrivals due exactly at `target` inject now
+                            // (the loop-top pump this jump skipped over).
+                            if let Some(sv) = serve.as_mut() {
+                                sv.pump(
+                                    cycle,
+                                    &mut machines,
+                                    &mut hooks,
+                                    &mut placement,
+                                    &mut crate::hooks::NoNetHooks,
+                                    linked.start_low,
+                                    self.implementation.is_am(),
+                                );
+                            }
                         }
                     }
 
@@ -555,6 +651,7 @@ impl MeshExperiment {
                     // halt runs the phase serially; `might_halt` has no
                     // false negatives, so parallel rounds never halt.
                     let mut progress = false;
+                    let mut completed = 0u64;
                     if machines.iter().any(|m| m.might_halt(&halts)) {
                         for n in 0..k {
                             if self.fast_forward && machines[n].is_idle() {
@@ -568,6 +665,7 @@ impl MeshExperiment {
                                     fabric: &mut fabric,
                                     placement: &mut placement,
                                     hooks: &mut crate::hooks::NoNetHooks,
+                                    serve: serve.as_mut().map(|s| s.tap(cycle)),
                                 };
                                 machines[n].step(&mut hooks[n], &mut port)
                             };
@@ -607,6 +705,7 @@ impl MeshExperiment {
                         &mut fabric,
                         &mut slots,
                         &mut progress,
+                        &mut completed,
                     ) {
                         match e {
                             RunError::QueueOverflow { pri } => return End::Overflow(pri),
@@ -615,6 +714,12 @@ impl MeshExperiment {
                                 program.name, self.implementation
                             ),
                         }
+                    }
+                    if let Some(sv) = serve.as_mut() {
+                        // Fold the parallel rounds' completion counts back
+                        // into the serve state (the serial path's tap
+                        // already wrote there directly).
+                        sv.completed += completed;
                     }
 
                     // (2) The fabric moves messages one hop (empty-fabric
@@ -633,14 +738,17 @@ impl MeshExperiment {
 
                     // (3) Each NI retires at most one arrived message
                     // (no halts or errors possible: always parallel).
+                    let mut retire_completed = 0u64;
                     let err = run_round(
                         &mut seq,
                         Cmd::Retire { now: fabric.now() },
                         &mut fabric,
                         &mut slots,
                         &mut progress,
+                        &mut retire_completed,
                     );
                     debug_assert!(err.is_none(), "retire phase cannot error");
+                    debug_assert_eq!(retire_completed, 0, "retiring never routes a reply");
 
                     cycle += 1;
                     if progress || fabric.moves() != prev_moves {
@@ -690,7 +798,7 @@ impl MeshExperiment {
                             deliveries: s.deliveries,
                         })
                         .collect();
-                    return MeshRunResult {
+                    let run = MeshRunResult {
                         implementation: self.implementation,
                         policy: self.placement,
                         nodes: self.nodes,
@@ -718,6 +826,7 @@ impl MeshExperiment {
                             .then(|| hooks.into_iter().map(|h| h.log.unwrap()).collect()),
                         thread_stats: Some(thread_stats),
                     };
+                    return (run, serve.map(|s| s.cells));
                 }
             }
         }

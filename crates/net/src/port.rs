@@ -22,6 +22,7 @@ use crate::fabric::Fabric;
 use crate::hooks::{NetHooks, NoNetHooks};
 use crate::node_of;
 use crate::place::Placement;
+use crate::serve::ServeTap;
 use tamsim_core::NetInfo;
 use tamsim_mdp::{NetPort, Priority, RouteOutcome, Word};
 
@@ -41,6 +42,9 @@ pub struct NodePort<'a, H: NetHooks = NoNetHooks> {
     pub placement: &'a mut Placement,
     /// Net observation hooks ([`NoNetHooks`] on un-traced runs).
     pub hooks: &'a mut H,
+    /// Serve-mode completion tap (`None` on batch runs): done replies
+    /// are ejected off-mesh to the external client instead of routed.
+    pub serve: Option<ServeTap<'a>>,
 }
 
 impl<H: NetHooks> NodePort<'_, H> {
@@ -64,6 +68,15 @@ impl<H: NetHooks> NodePort<'_, H> {
 
 impl<H: NetHooks> NetPort for NodePort<'_, H> {
     fn route(&mut self, pri: Priority, words: &[Word]) -> RouteOutcome {
+        // Serve mode: a done reply is a request completion addressed to
+        // the external client — record it and report it sent. This comes
+        // before every routing rule (even a reply whose origin is the
+        // sending node itself leaves the mesh, not the local queue).
+        if let Some(tap) = self.serve.as_mut() {
+            if tap.intercept(words) {
+                return RouteOutcome::Injected;
+            }
+        }
         let dest = self.destination(words).unwrap_or(self.node);
         let outcome = if dest == self.node {
             // The message goes straight into this node's machine queue:

@@ -430,4 +430,65 @@ mod tests {
         assert_eq!(t.dispatch_hist[0].hist.count, 5);
         assert!(t.occupancy.is_empty());
     }
+
+    #[test]
+    fn latency_hist_zero_values_land_in_bucket_zero() {
+        let mut h = LatencyHist::default();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.buckets, vec![2]);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.total, 0);
+        assert_eq!(h.max, 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(LatencyHist::bucket_bounds(0), (0, 0));
+    }
+
+    #[test]
+    fn latency_hist_single_value_is_fully_described() {
+        let mut h = LatencyHist::default();
+        h.record(100);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.total, 100);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.mean(), 100.0);
+        let b = LatencyHist::bucket_of(100); // 7 bits → bucket 7: [64, 127]
+        assert_eq!(b, 7);
+        assert_eq!(h.buckets.len(), 8);
+        assert_eq!(h.buckets[b], 1);
+        let (lo, hi) = LatencyHist::bucket_bounds(b);
+        assert!((lo..=hi).contains(&100));
+    }
+
+    #[test]
+    fn latency_hist_bucket_boundaries_are_exact_powers_of_two() {
+        // Bucket k covers [2^(k-1), 2^k): each boundary value must land
+        // in the bucket whose bounds contain it, with no gap or overlap.
+        for k in 1..=16usize {
+            let (lo, hi) = LatencyHist::bucket_bounds(k);
+            assert_eq!(lo, 1 << (k - 1));
+            assert_eq!(hi, (1u64 << k) - 1);
+            assert_eq!(LatencyHist::bucket_of(lo), k, "lower bound of {k}");
+            assert_eq!(LatencyHist::bucket_of(hi), k, "upper bound of {k}");
+            assert_eq!(LatencyHist::bucket_of(hi + 1), k + 1, "first of {}", k + 1);
+        }
+        assert_eq!(LatencyHist::bucket_of(0), 0);
+        assert_eq!(LatencyHist::bucket_of(1), 1);
+        assert_eq!(LatencyHist::bucket_of(2), 2);
+        let mut h = LatencyHist::default();
+        for v in [1u64, 2, 3, 4, 7, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets, vec![0, 1, 2, 2, 1]);
+        assert_eq!(h.total, 25);
+        assert_eq!(h.max, 8);
+    }
+
+    #[test]
+    fn latency_hist_empty_is_all_zero() {
+        let h = LatencyHist::default();
+        assert!(h.buckets.is_empty());
+        assert_eq!(h.count, 0);
+        assert_eq!(h.mean(), 0.0);
+    }
 }

@@ -24,6 +24,7 @@ fn net_info() -> NetInfo {
     NetInfo {
         falloc_addr: 1,
         ffree_addr: 2,
+        done_addr: 3,
         q_head: 0,
         frame_bump: 0,
         heap_bump: 0,
@@ -105,6 +106,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
                 fabric: &mut fabric,
                 placement: &mut placement,
                 hooks: &mut nh,
+                serve: None,
             };
             last_outcome = sender.step(&mut NoHooks, &mut port).expect("sender failed");
             if matches!(last_outcome, Step::Halted(_)) {
@@ -148,6 +150,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
             fabric: &mut fabric,
             placement: &mut placement,
             hooks: &mut nh,
+            serve: None,
         };
         assert_eq!(sender.step(&mut NoHooks, &mut port).unwrap(), Step::Blocked);
     }
@@ -178,6 +181,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
                 fabric: &mut fabric,
                 placement: &mut placement,
                 hooks: &mut nh,
+                serve: None,
             };
             match sender.step(&mut NoHooks, &mut port).expect("sender failed") {
                 Step::Ran => resumed = true,
@@ -195,6 +199,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
                 fabric: &mut fabric,
                 placement: &mut placement,
                 hooks: &mut nh,
+                serve: None,
             };
             if receiver
                 .step(&mut NoHooks, &mut port)
@@ -282,6 +287,7 @@ fn deliver_stalls_are_attributed_to_the_destination_node() {
                 fabric: &mut fabric,
                 placement: &mut placement,
                 hooks: &mut nh,
+                serve: None,
             };
             if matches!(
                 sender.step(&mut NoHooks, &mut port).expect("sender failed"),

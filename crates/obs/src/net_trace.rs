@@ -308,6 +308,41 @@ pub struct MeshParallelSummary {
     pub workers: Vec<MeshThreadRow>,
 }
 
+/// The serve-mode block of the mesh profile (`serve` object): offered
+/// vs achieved load, the client-observed latency distribution with its
+/// tail percentiles, and entry-queue waiting.
+#[derive(Debug, Clone)]
+pub struct MeshServeSummary {
+    /// Arrival-process shape (`"poisson"` / `"fixed"`).
+    pub kind: String,
+    /// Arrival-stream seed.
+    pub seed: u64,
+    /// Offered load in requests per million cycles.
+    pub offered_ppm: u64,
+    /// Achieved throughput in requests per million cycles.
+    pub achieved_ppm: u64,
+    /// Requests served.
+    pub requests: u64,
+    /// Latency percentiles in cycles: p50, p90, p99, p999.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Mean latency in cycles.
+    pub mean: f64,
+    /// Largest latency in cycles.
+    pub max: u64,
+    /// Mean cycles spent waiting for entry-queue space.
+    pub queue_wait_mean: f64,
+    /// Largest entry-queue wait.
+    pub queue_wait_max: u64,
+    /// Log-bucketed latency histogram rows `(lo, hi, requests)`.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
 /// Identity of a mesh run, for [`mesh_profile_json`].
 #[derive(Debug, Clone)]
 pub struct MeshProfileMeta {
@@ -328,13 +363,15 @@ pub struct MeshProfileMeta {
 }
 
 /// Render the mesh statistics profile (`profile.json` of a mesh run):
-/// run identity, per-thread utilization when the run was parallel, plus
-/// a `net` object with fabric counters, per-node deliver stalls,
+/// run identity, per-thread utilization when the run was parallel, the
+/// `serve` object when the run served an open-loop workload, plus a
+/// `net` object with fabric counters, per-node deliver stalls,
 /// per-buffer telemetry, and latency histograms.
 pub fn mesh_profile_json(
     meta: &MeshProfileMeta,
     net: &MeshNetSummary,
     parallel: Option<&MeshParallelSummary>,
+    serve: Option<&MeshServeSummary>,
 ) -> String {
     let mut out = String::with_capacity(8 * 1024 + net.links.len() * 220);
     out.push('{');
@@ -366,6 +403,35 @@ pub fn mesh_profile_json(
                 "{{\"first_node\":{},\"nodes\":{},\"steps\":{},\"deliveries\":{}}}",
                 w.first_node, w.nodes, w.steps, w.deliveries
             );
+        }
+        out.push_str("]},");
+    }
+
+    if let Some(s) = serve {
+        let _ = write!(
+            out,
+            "\"serve\":{{\"kind\":{},\"seed\":{},\"offered_ppm\":{},\"achieved_ppm\":{},\
+             \"requests\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"mean\":{},\
+             \"max\":{},\"queue_wait_mean\":{},\"queue_wait_max\":{},\"histogram\":[",
+            quote(&s.kind),
+            s.seed,
+            s.offered_ppm,
+            s.achieved_ppm,
+            s.requests,
+            s.p50,
+            s.p90,
+            s.p99,
+            s.p999,
+            num(s.mean),
+            s.max,
+            num(s.queue_wait_mean),
+            s.queue_wait_max
+        );
+        for (i, (lo, hi, reqs)) in s.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"lo\":{lo},\"hi\":{hi},\"reqs\":{reqs}}}");
         }
         out.push_str("]},");
     }
@@ -552,7 +618,7 @@ mod tests {
             dropped: 0,
             unmatched_dispatches: 0,
         };
-        let profile = mesh_profile_json(&meta, &net, None);
+        let profile = mesh_profile_json(&meta, &net, None, None);
         json::validate(&profile).expect("mesh profile must parse");
         assert!(profile.contains("\"schema\":\"tamsim-mesh-profile/1\""));
         assert!(profile.contains("\"deliver_stalls_by_node\":[0,2,0,0]"));
@@ -560,6 +626,33 @@ mod tests {
         assert!(profile.contains("\"kind\":\"deliver\""));
         assert!(profile.contains("{\"lo\":4,\"hi\":7,\"msgs\":5}"));
         assert!(!profile.contains("\"parallel\""));
+        assert!(!profile.contains("\"serve\""));
+
+        let serve = MeshServeSummary {
+            kind: "poisson".to_string(),
+            seed: 42,
+            offered_ppm: 20_000,
+            achieved_ppm: 18_500,
+            requests: 64,
+            p50: 180,
+            p90: 420,
+            p99: 900,
+            p999: 1700,
+            mean: 231.5,
+            max: 1800,
+            queue_wait_mean: 0.25,
+            queue_wait_max: 12,
+            buckets: vec![(128, 255, 40), (256, 511, 24)],
+        };
+        let profile = mesh_profile_json(&meta, &net, None, Some(&serve));
+        json::validate(&profile).expect("serve mesh profile must parse");
+        assert!(profile.contains(
+            "\"serve\":{\"kind\":\"poisson\",\"seed\":42,\"offered_ppm\":20000,\
+             \"achieved_ppm\":18500,\"requests\":64,\"p50\":180,\"p90\":420,\
+             \"p99\":900,\"p999\":1700,"
+        ));
+        assert!(profile.contains("{\"lo\":128,\"hi\":255,\"reqs\":40}"));
+        assert!(profile.contains("\"queue_wait_max\":12"));
 
         let parallel = MeshParallelSummary {
             threads: 2,
@@ -578,7 +671,7 @@ mod tests {
                 },
             ],
         };
-        let profile = mesh_profile_json(&meta, &net, Some(&parallel));
+        let profile = mesh_profile_json(&meta, &net, Some(&parallel), None);
         json::validate(&profile).expect("parallel mesh profile must parse");
         assert!(profile.contains("\"parallel\":{\"threads\":2,\"workers\":["));
         assert!(profile.contains("{\"first_node\":2,\"nodes\":2,\"steps\":121,\"deliveries\":4}"));

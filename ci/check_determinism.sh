@@ -121,6 +121,65 @@ for run in t2 t4; do
 done
 echo "ok: serve byte-identical across --threads 1/2/4 (${#impls[@]} back-ends, $nodes nodes)"
 
+# Work-stealing placement: --policy steal migrates frames between nodes
+# at run time, with every steal decision made in the per-cycle serial
+# phase — so its artifacts must byte-compare across thread counts just
+# like the static policies'. One batch leg (MMT, the suite's heaviest
+# communicator) and one corner-skewed serve leg (every request lands on
+# node 0 — the workload that actually triggers migrations).
+mkdir -p "$out/steal"
+for run in t1 t2 t4; do
+    dir="$out/steal/$run"
+    "$bin" mesh MMT --small --nodes "$nodes" --impl all --policy steal \
+        --threads "${run#t}" --out "$dir" >"$dir.stdout"
+    sed '/^## mesh:/d' "$dir.stdout" >"$dir.stats"
+done
+for run in t2 t4; do
+    if ! cmp -s "$out/steal/t1.stats" "$out/steal/$run.stats"; then
+        echo "FAIL: steal-policy stdout stats differ between --threads 1 and $run" >&2
+        diff "$out/steal/t1.stats" "$out/steal/$run.stats" >&2 || true
+        fail=1
+    fi
+    for imp in "${impls[@]}"; do
+        for f in mesh_links.csv mesh_trace.json; do
+            if ! cmp -s "$out/steal/t1/$imp/$f" "$out/steal/$run/$imp/$f"; then
+                echo "FAIL: steal/$imp/$f differs between --threads 1 and $run" >&2
+                fail=1
+            fi
+        done
+        if ! profiles_equal "$out/steal/t1/$imp/profile.json" \
+            "$out/steal/$run/$imp/profile.json"; then
+            echo "FAIL: steal/$imp/profile.json differs between --threads 1 and $run (beyond the \"parallel\" object)" >&2
+            fail=1
+        fi
+    done
+done
+echo "ok: mesh --policy steal byte-identical across --threads 1/2/4 (${#impls[@]} back-ends, $nodes nodes)"
+
+mkdir -p "$out/steal-serve"
+for run in t1 t2 t4; do
+    dir="$out/steal-serve/$run"
+    "$bin" serve --rate 20 --requests 24 --seed 3 --nodes "$nodes" \
+        --impl all --policy steal --origins corner \
+        --threads "${run#t}" --out "$dir" >"$dir.stdout"
+done
+for run in t2 t4; do
+    if ! cmp -s "$out/steal-serve/t1.stdout" "$out/steal-serve/$run.stdout"; then
+        echo "FAIL: steal-serve stdout differs between --threads 1 and $run" >&2
+        diff "$out/steal-serve/t1.stdout" "$out/steal-serve/$run.stdout" >&2 || true
+        fail=1
+    fi
+    for imp in "${impls[@]}"; do
+        for f in serve_latency.csv serve_requests.csv serve_depth.csv profile.json; do
+            if ! cmp -s "$out/steal-serve/t1/$imp/$f" "$out/steal-serve/$run/$imp/$f"; then
+                echo "FAIL: steal-serve/$imp/$f differs between --threads 1 and $run" >&2
+                fail=1
+            fi
+        done
+    done
+done
+echo "ok: serve --policy steal --origins corner byte-identical across --threads 1/2/4 (${#impls[@]} back-ends, $nodes nodes)"
+
 if [ "$fail" -ne 0 ]; then
     echo "determinism wall: FAILED" >&2
     exit 1

@@ -35,7 +35,7 @@
 //!   The mesh driver degenerating to exactly `Machine::run` is the anchor
 //!   invariant every multi-node number rests on, so it gets fuzzed, not
 //!   just unit-tested. On top of that, every back-end runs on a 4-node
-//!   mesh under both placement policies twice — once with the lockstep
+//!   mesh under all three placement policies twice — once with the lockstep
 //!   driver, once with the event-horizon fast-forward — and the two must
 //!   agree in every observable (cycles, per-node counters and timelines,
 //!   fabric statistics, queue growth): the fast-forward may only skip
@@ -663,8 +663,9 @@ const CROSS_CHECK_NODES: u32 = 4;
 
 /// Run `program` on a [`CROSS_CHECK_NODES`]-node mesh under all three
 /// drivers — PR 4's lockstep loop, the event-horizon fast-forward, and
-/// the epoch-barrier parallel driver on two worker threads — and both
-/// placement policies, and require bit-identity in every observable. The
+/// the epoch-barrier parallel driver on two worker threads — and every
+/// placement policy (including the dynamically-migrating `steal`), and
+/// require bit-identity in every observable. The
 /// fast-forward may only skip cycles that were pure no-ops, and the
 /// parallel driver's barriers may only reorder work the serial cycle
 /// already treats as unordered; any divergence here means one of them
@@ -675,7 +676,7 @@ fn mesh_driver_cross_check(
     label: &'static str,
     cfg: &CheckConfig,
 ) -> Result<(), CheckFailure> {
-    for policy in [PlacementPolicy::RoundRobin, PlacementPolicy::LocalityAware] {
+    for policy in PlacementPolicy::ALL {
         let trap_fail = |what: String| CheckFailure {
             kind: FailureKind::MeshDivergence,
             detail: format!(
@@ -777,6 +778,12 @@ fn mesh_runs_identical(
     }
     if got.live_frames != lock.live_frames {
         return Err(fail("live-frame census diverges".into()));
+    }
+    if got.steals != lock.steals {
+        return Err(fail(format!(
+            "steal counts diverge: lockstep {:?}, {leg} {:?}",
+            lock.steals, got.steals
+        )));
     }
     if got.watchdog_trips != lock.watchdog_trips || got.backstop_rearms != lock.backstop_rearms {
         return Err(fail(format!(

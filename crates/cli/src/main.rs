@@ -35,14 +35,14 @@ const COMMANDS: &[(&str, &str)] = &[
     ),
     (
         "mesh PROG",
-        "run one program on a multi-node mesh (--nodes, --impl, --policy rr|local, \
+        "run one program on a multi-node mesh (--nodes, --impl, --policy rr|local|steal, \
          --threads N); writes mesh_trace.json",
     ),
     (
         "serve [PROG]",
         "open-loop request serving on the mesh: deterministic arrivals (--rate, \
-         --requests, --arrivals, --seed), achieved throughput and tail latency; \
-         writes serve_latency.csv",
+         --requests, --arrivals, --origins, --seed), achieved throughput and tail \
+         latency; writes serve_latency.csv",
     ),
     (
         "perf",
@@ -79,10 +79,13 @@ fn help_text() -> String {
          --impl IMPL    profile/mesh: am | am-en | md | all (default: am)\n  \
          --nodes N      mesh, serve, perf --mesh: node count, factored into a near-square \
          mesh (default: 4)\n  \
-         --policy P     mesh, serve: frame placement, rr | local (default: rr)\n  \
+         --policy P     mesh, serve: frame placement, rr | local | steal (default: rr)\n  \
          --rate R       serve only: offered load, requests per 1000 cycles (default: 20)\n  \
          --requests N   serve only: total requests to inject (default: 32)\n  \
          --arrivals A   serve only: arrival process, poisson | fixed (default: poisson)\n  \
+         --origins O    serve only: request origins, uniform | corner (default: uniform); \
+         corner aims every request at node 0 — the skewed-load scenario the steal \
+         policy rebalances\n  \
          --iters N      fuzz only: iterations to run (default: 100)\n  \
          --seed S       fuzz, serve: master seed (default: 1)\n  \
          --shrink       fuzz only: minimize the first failure and write a reproducer\n  \
@@ -113,6 +116,7 @@ struct Args {
     rate: f64,
     requests: u32,
     arrivals: String,
+    origins: String,
     iters: u64,
     seed: u64,
     shrink: bool,
@@ -174,6 +178,7 @@ fn parse_args() -> Args {
     let mut rate = 20.0f64;
     let mut requests = 32u32;
     let mut arrivals = "poisson".to_string();
+    let mut origins = "uniform".to_string();
     let mut iters = 100u64;
     let mut seed = 1u64;
     let mut shrink = false;
@@ -193,7 +198,7 @@ fn parse_args() -> Args {
             "--nodes" => {
                 nodes = numeric("--nodes", &need(&mut it, "--nodes", "a node count")) as u32
             }
-            "--policy" => policy = need(&mut it, "--policy", "a value (rr | local)"),
+            "--policy" => policy = need(&mut it, "--policy", "a value (rr | local | steal)"),
             "--rate" => {
                 let v = need(&mut it, "--rate", "requests per 1000 cycles");
                 rate = v.parse().unwrap_or_else(|_| {
@@ -208,6 +213,7 @@ fn parse_args() -> Args {
                 ) as u32
             }
             "--arrivals" => arrivals = need(&mut it, "--arrivals", "a value (poisson | fixed)"),
+            "--origins" => origins = need(&mut it, "--origins", "a value (uniform | corner)"),
             "--iters" => iters = numeric("--iters", &need(&mut it, "--iters", "a count")),
             "--seed" => seed = numeric("--seed", &need(&mut it, "--seed", "a seed")),
             "--shrink" => shrink = true,
@@ -245,6 +251,7 @@ fn parse_args() -> Args {
         rate,
         requests,
         arrivals,
+        origins,
         iters,
         seed,
         shrink,
@@ -449,8 +456,8 @@ fn run_profile(args: &Args) {
     }
 }
 
-/// `tamsim mesh PROG [--nodes N] [--impl am|am-en|md|all] [--policy rr|local]
-/// [--trace-net] [--out DIR]`: run one program on an N-node mesh under
+/// `tamsim mesh PROG [--nodes N] [--impl am|am-en|md|all]
+/// [--policy rr|local|steal] [--trace-net] [--out DIR]`: run one program on an N-node mesh under
 /// the given back-end(s), print the run summary, per-node cycle
 /// accounting, and message-latency histograms, and write the
 /// observability artifacts: a Perfetto trace with one track per node
@@ -466,7 +473,7 @@ fn run_mesh(args: &Args) {
     let Some(prog_name) = args.extra.first().cloned() else {
         eprintln!(
             "usage: tamsim mesh PROG [--nodes N] [--impl am|am-en|md|all] \
-             [--policy rr|local] [--out DIR]"
+             [--policy rr|local|steal] [--out DIR]"
         );
         std::process::exit(2);
     };
@@ -474,8 +481,9 @@ fn run_mesh(args: &Args) {
     let impls = resolve_impls(&args.impl_);
     let policy = PlacementPolicy::parse(&args.policy).unwrap_or_else(|| {
         eprintln!(
-            "error: unknown --policy value '{}'; expected rr | local",
-            args.policy
+            "error: unknown --policy value '{}'; expected {}",
+            args.policy,
+            PlacementPolicy::labels()
         );
         std::process::exit(2);
     });
@@ -532,6 +540,14 @@ fn run_mesh(args: &Args) {
             r.net.hop_traversals,
             r.total_stall_cycles(),
         );
+        let steals: u64 = r.steals.iter().sum();
+        if steals > 0 {
+            println!(
+                "frames migrated {} (imbalance {:.3})\n",
+                steals,
+                metrics::load_imbalance(&r)
+            );
+        }
         println!("{}", metrics::mesh_node_table(&r).to_text());
         if let Some(trace) = &r.net_trace {
             println!(
@@ -586,6 +602,10 @@ fn run_mesh(args: &Args) {
                 ("nodes".to_string(), r.nodes.to_string()),
                 ("mesh".to_string(), format!("{}x{}", r.width, r.height)),
                 ("policy".to_string(), r.policy.label().to_string()),
+                (
+                    "steals".to_string(),
+                    r.steals.iter().sum::<u64>().to_string(),
+                ),
                 ("cycles".to_string(), r.cycles.to_string()),
                 ("queue_words_low".to_string(), r.queue_words[0].to_string()),
                 ("queue_words_high".to_string(), r.queue_words[1].to_string()),
@@ -616,8 +636,9 @@ fn run_mesh(args: &Args) {
 const SERVE_PROGRAM_SEED: u64 = 0x5345_5256;
 
 /// `tamsim serve [PROG] [--rate R] [--requests N] [--seed S]
-/// [--arrivals poisson|fixed] [--nodes N] [--impl am|am-en|md|all]
-/// [--policy rr|local] [--threads N] [--out DIR]`: open-loop request
+/// [--arrivals poisson|fixed] [--origins uniform|corner] [--nodes N]
+/// [--impl am|am-en|md|all] [--policy rr|local|steal] [--threads N]
+/// [--out DIR]`: open-loop request
 /// serving on a mesh. A deterministic arrival process injects independent
 /// requests — invocations of PROG's `main`, or of a small generated
 /// call-DAG program (the fuzz generator's validated builder) when PROG is
@@ -630,7 +651,7 @@ const SERVE_PROGRAM_SEED: u64 = 0x5345_5256;
 /// are bit-identical across lockstep, fast-forward, and any `--threads`
 /// count, so every artifact byte-compares across drivers.
 fn run_serve(args: &Args) {
-    use tamsim_net::{ArrivalKind, MeshExperiment, PlacementPolicy, ServeConfig};
+    use tamsim_net::{ArrivalKind, MeshExperiment, OriginDist, PlacementPolicy, ServeConfig};
     let started = Instant::now();
     let program = match args.extra.first() {
         Some(name) => resolve_program(name, args.small),
@@ -642,8 +663,9 @@ fn run_serve(args: &Args) {
     let impls = resolve_impls(&args.impl_);
     let policy = PlacementPolicy::parse(&args.policy).unwrap_or_else(|| {
         eprintln!(
-            "error: unknown --policy value '{}'; expected rr | local",
-            args.policy
+            "error: unknown --policy value '{}'; expected {}",
+            args.policy,
+            PlacementPolicy::labels()
         );
         std::process::exit(2);
     });
@@ -655,6 +677,13 @@ fn run_serve(args: &Args) {
             std::process::exit(2);
         }
     };
+    let origins = OriginDist::parse(&args.origins).unwrap_or_else(|| {
+        eprintln!(
+            "error: unknown --origins value '{}'; expected uniform | corner",
+            args.origins
+        );
+        std::process::exit(2);
+    });
     let rate_ppm = (args.rate * 1000.0).round() as u64;
     if rate_ppm == 0 {
         eprintln!("error: --rate must be positive (requests per 1000 cycles)");
@@ -665,6 +694,7 @@ fn run_serve(args: &Args) {
         requests: args.requests,
         seed: args.seed,
         kind,
+        origins,
     };
     let threads = args.mesh_threads();
     let single = impls.len() == 1;
@@ -739,11 +769,16 @@ fn run_serve(args: &Args) {
                     "arrivals".to_string(),
                     metrics::arrival_kind_label(kind).to_string(),
                 ),
+                ("origins".to_string(), cfg.origins.label().to_string()),
                 ("rate_ppm".to_string(), cfg.rate_ppm.to_string()),
                 ("requests".to_string(), cfg.requests.to_string()),
                 ("seed".to_string(), cfg.seed.to_string()),
                 ("cycles".to_string(), r.mesh.cycles.to_string()),
                 ("achieved_ppm".to_string(), r.achieved_ppm().to_string()),
+                (
+                    "steals".to_string(),
+                    r.mesh.steals.iter().sum::<u64>().to_string(),
+                ),
                 ("threads".to_string(), threads.unwrap_or(1).to_string()),
             ],
             started,
@@ -1002,20 +1037,28 @@ fn run_mesh_perf(
     // Measured on a wide mesh — at least 64 nodes — because that is the
     // regime the parallel driver exists for: each barrier round then
     // carries 64+ node-steps of work, instead of being dominated by the
-    // round-trip itself as a 4-node mesh would be.
+    // round-trip itself as a 4-node mesh would be. On a one-core host
+    // the measurement is pure barrier overhead masquerading as a
+    // slowdown, so it is skipped and recorded as such.
     let par_nodes = nodes.max(64);
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let serial_onethread_seconds =
-        metrics::mesh_parallel_seconds_with_opts(&progs, &[par_nodes], 1, opts);
-    let parallel_seconds =
-        metrics::mesh_parallel_seconds_with_opts(&progs, &[par_nodes], threads, opts);
-    let parallel_speedup = serial_onethread_seconds / parallel_seconds;
-    eprintln!(
-        "  parallel driver     : {parallel_seconds:.3} s ({threads} threads, {par_nodes} \
-         nodes, {parallel_speedup:.2}x vs 1 thread, {host_cores} host core(s))"
-    );
+    let parallel = if host_cores > 1 {
+        let serial_onethread_seconds =
+            metrics::mesh_parallel_seconds_with_opts(&progs, &[par_nodes], 1, opts);
+        let parallel_seconds =
+            metrics::mesh_parallel_seconds_with_opts(&progs, &[par_nodes], threads, opts);
+        let parallel_speedup = serial_onethread_seconds / parallel_seconds;
+        eprintln!(
+            "  parallel driver     : {parallel_seconds:.3} s ({threads} threads, {par_nodes} \
+             nodes, {parallel_speedup:.2}x vs 1 thread, {host_cores} host core(s))"
+        );
+        Some((serial_onethread_seconds, parallel_seconds, parallel_speedup))
+    } else {
+        eprintln!("  parallel driver     : skipped (1 core)");
+        None
+    };
 
     // Recorded-replay: the mesh cache sweep's production path — record
     // per-node traces under each driver, replay into all 24 geometries.
@@ -1061,18 +1104,33 @@ fn run_mesh_perf(
     );
     println!("events recorded             : {:>8}", fast_perf.events);
     println!("speedup                     : {speedup:>8.2}x");
-    println!("parallel driver ({threads} threads) : {parallel_seconds:>8.3} s");
-    println!("parallel speedup (vs 1 thr) : {parallel_speedup:>8.2}x");
+    match parallel {
+        Some((_, parallel_seconds, parallel_speedup)) => {
+            println!("parallel driver ({threads} threads) : {parallel_seconds:>8.3} s");
+            println!("parallel speedup (vs 1 thr) : {parallel_speedup:>8.2}x");
+        }
+        None => println!("parallel driver             : skipped (1 core)"),
+    }
 
+    // The parallel block is numeric when measured, or the literal skip
+    // marker on a one-core host — ci/bench_compare.sh treats the absent
+    // numeric fields as "nothing to compare".
+    let parallel_json = match parallel {
+        Some((serial_onethread_seconds, parallel_seconds, parallel_speedup)) => format!(
+            "\"serial_onethread_seconds\": {serial_onethread_seconds:.6},\n  \
+             \"parallel_seconds\": {parallel_seconds:.6},\n  \
+             \"parallel_threads\": {threads},\n  \"parallel_nodes\": {par_nodes},\n  \
+             \"parallel_speedup\": {parallel_speedup:.3}"
+        ),
+        None => "\"parallel\": \"skipped (1 core)\"".to_string(),
+    };
     let json = format!(
         "{{\n  \"suite\": \"{}\",\n  \"programs\": {},\n  \"implementations\": 2,\n  \
          \"nodes\": {},\n  \"events_recorded\": {},\n  \
          \"lockstep_seconds\": {:.6},\n  \"fastforward_seconds\": {:.6},\n  \
          \"recorded_seconds\": {:.6},\n  \"replay_seconds\": {:.6},\n  \
          \"speedup\": {:.3},\n  \
-         \"serial_onethread_seconds\": {:.6},\n  \"parallel_seconds\": {:.6},\n  \
-         \"parallel_threads\": {},\n  \"parallel_nodes\": {},\n  \
-         \"parallel_speedup\": {:.3},\n  \"host_cores\": {},\n  \
+         {},\n  \"host_cores\": {},\n  \
          \"predecode\": {},\n  \"identical_csv\": true\n}}\n",
         if small { "small" } else { "paper" },
         progs.len(),
@@ -1083,11 +1141,7 @@ fn run_mesh_perf(
         fast_perf.machine_seconds,
         fast_perf.replay_seconds,
         speedup,
-        serial_onethread_seconds,
-        parallel_seconds,
-        threads,
-        par_nodes,
-        parallel_speedup,
+        parallel_json,
         host_cores,
         opts.predecode,
     );
@@ -1489,7 +1543,9 @@ fn main() {
         // across drivers and thread counts, so the CSV is golden-gated
         // (tests/golden/serve_latency.csv).
         {
-            use tamsim_net::{MeshExperiment, ServeConfig, ServeRunResult};
+            use tamsim_net::{
+                MeshExperiment, OriginDist, PlacementPolicy, ServeConfig, ServeRunResult,
+            };
             let serve_prog = tamsim_programs::fib(8);
             let mut runs = Vec::new();
             for impl_ in [
@@ -1504,12 +1560,37 @@ fn main() {
                     );
                 }
             }
+            // The skewed-load study: every request arrives at corner
+            // node 0 of a 4x4 mesh near saturation, under each
+            // placement policy per back-end. Static placement leaves
+            // the corner's backlog wherever birth placement put it;
+            // the steal rows show dynamic migration cutting the tail
+            // and raising achieved throughput (the AM steal row's p99
+            // vs its rr/local rows is the tentpole measurement).
+            for impl_ in [
+                Implementation::Am,
+                Implementation::AmEnabled,
+                Implementation::Md,
+            ] {
+                for policy in PlacementPolicy::ALL {
+                    let cfg = ServeConfig {
+                        origins: OriginDist::Corner,
+                        ..ServeConfig::new(20_000, 64, 7)
+                    };
+                    runs.push(
+                        MeshExperiment::new(impl_, 16)
+                            .with_placement(policy)
+                            .serve(&serve_prog, &cfg),
+                    );
+                }
+            }
             let refs: Vec<&ServeRunResult> = runs.iter().collect();
             emit(
                 &dir,
                 "serve_latency",
                 "Open-loop serve sweep: offered load vs achieved throughput and tail \
-                 latency (fib(8) requests, 4 nodes)",
+                 latency (fib(8) requests, 4 nodes; corner rows: skewed arrivals on \
+                 a 16-node mesh under each placement policy)",
                 &metrics::serve_latency_table(&refs),
             );
         }

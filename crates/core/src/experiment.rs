@@ -50,6 +50,13 @@ pub struct Linked {
     pub symbols: SymbolTable,
     /// Addresses a mesh network interface routes and places by.
     pub net: NetInfo,
+    /// Per-codeblock user-code start addresses, sorted ascending: the
+    /// entry `(addr, cb)` covers code from `addr` up to the next entry.
+    /// A queued frame's codeblock is recovered by mapping any of its
+    /// posted thread addresses (RCV entries) through this table — the
+    /// work-stealing policy needs the codeblock index to size and free
+    /// migrated frames.
+    pub cb_code: Vec<(u32, u32)>,
 }
 
 /// The link-time facts `tamsim-net` needs to turn sends into routed
@@ -71,12 +78,23 @@ pub struct NetInfo {
     /// scheduler when this races with message arrival (arrival can land
     /// between the scheduler's final queue check and its suspend).
     pub q_head: u32,
+    /// Globals address of the AM software frame-queue tail (companion of
+    /// `q_head`; the work-stealing policy unlinks the tail frame).
+    pub q_tail: u32,
     /// Globals address of the frame-region bump pointer.
     pub frame_bump: u32,
     /// Globals address of the heap bump pointer.
     pub heap_bump: u32,
     /// Initial heap-bump value (just above the seeded arrays).
     pub heap_bump_init: u32,
+    /// Globals address of the per-codeblock free-list heads (one word per
+    /// codeblock). A stealing NI mirrors `falloc`'s pop on the target
+    /// node and `ffree`'s push when reclaiming a migrated frame's home
+    /// slot.
+    pub freelist_base: u32,
+    /// Globals address of the per-codeblock descriptor-pointer table
+    /// (`desc_ptrs[cb]` → descriptor, whose word 0 is the frame size).
+    pub desc_ptrs: u32,
     /// Code address of the done handler. A serve-mode NI recognizes
     /// request-completion replies by it and ejects them off-mesh to the
     /// external client instead of dispatching them.
@@ -245,18 +263,28 @@ pub fn link(
         sys_sym(sys.md_pop, "md_pop");
         sys_sym(sys.md_boot, "md_boot");
     }
+    let mut cb_code: Vec<(u32, u32)> = Vec::with_capacity(program.codeblocks.len());
     for (i, cb) in program.codeblocks.iter().enumerate() {
+        let mut cb_start = u32::MAX;
         for (j, l) in lowered.thread_labels[i].iter().enumerate() {
             if let Some(addr) = asm.try_addr(*l) {
                 syms.push((addr, format!("{}.t{}", cb.name, j)));
+                cb_start = cb_start.min(addr);
             }
         }
         for (j, l) in lowered.inlet_labels[i].iter().enumerate() {
             if let Some(addr) = asm.try_addr(*l) {
                 syms.push((addr, format!("{}.in{}", cb.name, j)));
+                cb_start = cb_start.min(addr);
             }
         }
+        if cb_start != u32::MAX {
+            cb_code.push((cb_start, i as u32));
+        }
     }
+    // Codeblocks are lowered in index order, so start addresses ascend
+    // and `cb_code` can be binary-searched by any contained address.
+    debug_assert!(cb_code.windows(2).all(|w| w[0].0 < w[1].0));
     let symbols = SymbolTable::new(syms);
 
     asm.finish(&mut img);
@@ -316,11 +344,15 @@ pub fn link(
             falloc_addr,
             ffree_addr,
             q_head: globals.q_head,
+            q_tail: globals.q_tail,
             frame_bump: globals.frame_bump,
             heap_bump: globals.heap_bump,
             heap_bump_init,
+            freelist_base: globals.freelist_base,
+            desc_ptrs: globals.desc_ptrs,
             done_addr,
         },
+        cb_code,
     }
 }
 

@@ -370,6 +370,17 @@ impl<'c> Machine<'c> {
         self.enqueue_words(pri, words, hooks).is_ok()
     }
 
+    /// The program counter of the `pri` context, or `None` when that
+    /// context is suspended. External schedulers (mesh work stealing)
+    /// inspect this to prove a machine is not mid-way through a system
+    /// routine before mutating scheduler state behind its back.
+    pub fn context_pc(&self, pri: Priority) -> Option<u32> {
+        match pri {
+            Priority::High => self.high_pc,
+            Priority::Low => self.low_pc,
+        }
+    }
+
     /// Whether the low-priority context is suspended (no pc). A mesh
     /// network interface checks this on message arrival: a software
     /// scheduler that legitimately suspended when its run queue drained

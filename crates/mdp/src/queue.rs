@@ -83,6 +83,13 @@ impl MessageQueue {
         self.msgs.front().copied()
     }
 
+    /// All buffered messages in FIFO order (front first). Read-only:
+    /// external schedulers scan queued words (via [`MessageQueue::addr_of`]
+    /// and the machine's memory) without perturbing the ring.
+    pub fn iter(&self) -> impl Iterator<Item = MsgRef> + '_ {
+        self.msgs.iter().copied()
+    }
+
     /// Retire the front message, releasing its buffer space.
     ///
     /// # Panics

@@ -32,44 +32,91 @@ pub fn mesh_run(program: &Program, impl_: Implementation, nodes: u32) -> MeshRun
     MeshExperiment::new(impl_, nodes).run(program)
 }
 
-/// One row per (program, node count): cycles under each back-end, the
-/// MD/AM cycle ratio, and the MD run's network traffic. Runs fan out
-/// across the worker pool; row order is fixed regardless of worker count.
+/// Load imbalance of a finished run: max over mean per-node busy (Run)
+/// cycles. `1.0` is a perfectly balanced mesh; `nodes` is one node doing
+/// everything — the figure the work-stealing policy is judged on.
+pub fn load_imbalance(r: &MeshRunResult) -> f64 {
+    let busy: Vec<u64> = r
+        .activity
+        .iter()
+        .map(|t| t.cycles_in(NodeState::Run))
+        .collect();
+    let total: u64 = busy.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let max = *busy.iter().max().expect("at least one node");
+    max as f64 * busy.len() as f64 / total as f64
+}
+
+/// The (nodes, policy) row configurations of the node sweep: every
+/// placement policy per multi-node count, `rr` alone at one node
+/// (placement is a no-op there).
+fn mesh_policy_configs(node_counts: &[u32]) -> Vec<(u32, PlacementPolicy)> {
+    node_counts
+        .iter()
+        .flat_map(|&n| {
+            if n == 1 {
+                vec![(1, PlacementPolicy::RoundRobin)]
+            } else {
+                PlacementPolicy::ALL.iter().map(|&p| (n, p)).collect()
+            }
+        })
+        .collect()
+}
+
+/// One row per (program, node count, placement policy): cycles under
+/// each back-end, the MD/AM cycle ratio, the MD run's network traffic,
+/// and the AM run's load imbalance and steal count (the dynamic-
+/// balancing observables; both static policies report zero steals).
+/// Runs fan out across the worker pool; row order is fixed regardless
+/// of worker count.
 pub fn mesh_sweep(programs: &[(&str, &Program)], node_counts: &[u32]) -> Table {
-    let jobs: Vec<(usize, u32, Implementation)> = programs
+    let configs = mesh_policy_configs(node_counts);
+    let jobs: Vec<(usize, u32, PlacementPolicy, Implementation)> = programs
         .iter()
         .enumerate()
         .flat_map(|(pi, _)| {
-            node_counts
-                .iter()
-                .flat_map(move |&n| IMPLS.iter().map(move |&impl_| (pi, n, impl_)))
+            configs.iter().flat_map(move |&(n, policy)| {
+                IMPLS.iter().map(move |&impl_| (pi, n, policy, impl_))
+            })
         })
         .collect();
-    let runs = tamsim_trace::par_map(jobs, |(pi, n, impl_)| mesh_run(programs[pi].1, impl_, n));
+    let runs = tamsim_trace::par_map(jobs, |(pi, n, policy, impl_)| {
+        MeshExperiment::new(impl_, n)
+            .with_placement(policy)
+            .run(programs[pi].1)
+    });
 
     let mut t = Table::new(&[
         "program",
         "nodes",
+        "policy",
         "am_cycles",
         "am_en_cycles",
         "md_cycles",
         "md_am_ratio",
         "md_msgs",
         "md_hops",
+        "am_imbalance",
+        "am_steals",
     ]);
     let mut it = runs.into_iter();
     for (name, _) in programs {
-        for &n in node_counts {
+        for &(n, policy) in &configs {
             let (am, am_en, md) = (it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
             t.row(vec![
                 name.to_string(),
                 n.to_string(),
+                policy.label().to_string(),
                 am.cycles.to_string(),
                 am_en.cycles.to_string(),
                 md.cycles.to_string(),
                 r3(md.cycles as f64 / am.cycles as f64),
                 md.net.delivered_msgs.to_string(),
                 md.net.hop_traversals.to_string(),
+                r3(load_imbalance(&am)),
+                am.steals.iter().sum::<u64>().to_string(),
             ]);
         }
     }
@@ -474,16 +521,40 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sweep_rows_cover_every_program_and_node_count() {
+    fn sweep_rows_cover_every_program_node_count_and_policy() {
         let fib = tamsim_programs::fib(8);
         let table = mesh_sweep(&[("fib", &fib)], &[1, 2]);
         let csv = table.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 3, "header + 2 rows:\n{csv}");
-        assert!(lines[1].starts_with("fib,1,"));
-        assert!(lines[2].starts_with("fib,2,"));
-        // 1-node rows never touch the network.
-        assert!(lines[1].ends_with(",0,0"), "1-node row: {}", lines[1]);
+        // 1 node collapses to rr; 2 nodes carry all three policies.
+        assert_eq!(lines.len(), 5, "header + 4 rows:\n{csv}");
+        assert!(lines[1].starts_with("fib,1,rr,"));
+        assert!(lines[2].starts_with("fib,2,rr,"));
+        assert!(lines[3].starts_with("fib,2,local,"));
+        assert!(lines[4].starts_with("fib,2,steal,"));
+        // 1-node rows never touch the network and never steal.
+        let one: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(&one[7..9], &["0", "0"], "1-node row: {}", lines[1]);
+        assert_eq!(one[10], "0", "1-node row must not steal");
+        // Static-policy rows must report zero steals.
+        for line in &lines[2..4] {
+            assert!(line.ends_with(",0"), "static policy stole: {line}");
+        }
+    }
+
+    #[test]
+    fn imbalance_is_bounded_by_the_node_count() {
+        let fib = tamsim_programs::fib(9);
+        for policy in PlacementPolicy::ALL {
+            let r = MeshExperiment::new(Implementation::Am, 4)
+                .with_placement(policy)
+                .run(&fib);
+            let b = load_imbalance(&r);
+            assert!(
+                (1.0..=4.0).contains(&b),
+                "imbalance {b} out of range under {policy:?}"
+            );
+        }
     }
 
     #[test]

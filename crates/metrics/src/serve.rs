@@ -62,6 +62,7 @@ pub fn serve_latency_table(runs: &[&ServeRunResult]) -> Table {
         "policy",
         "nodes",
         "arrivals",
+        "origins",
         "offered_ppm",
         "requests",
         "seed",
@@ -74,6 +75,7 @@ pub fn serve_latency_table(runs: &[&ServeRunResult]) -> Table {
         "mean",
         "max",
         "queue_wait_max",
+        "steals",
     ]);
     for r in runs {
         let lat = sorted_latencies(r);
@@ -83,6 +85,7 @@ pub fn serve_latency_table(runs: &[&ServeRunResult]) -> Table {
             r.mesh.policy.label().to_string(),
             r.mesh.nodes.to_string(),
             arrival_kind_label(r.cfg.kind).to_string(),
+            r.cfg.origins.label().to_string(),
             r.cfg.rate_ppm.to_string(),
             r.cfg.requests.to_string(),
             r.cfg.seed.to_string(),
@@ -100,6 +103,7 @@ pub fn serve_latency_table(runs: &[&ServeRunResult]) -> Table {
                 .max()
                 .unwrap_or(0)
                 .to_string(),
+            r.mesh.steals.iter().sum::<u64>().to_string(),
         ]);
     }
     t
@@ -176,6 +180,7 @@ pub fn serve_summary(r: &ServeRunResult) -> MeshServeSummary {
     let waits: Vec<u64> = r.records.iter().map(|rec| rec.queue_wait()).collect();
     MeshServeSummary {
         kind: arrival_kind_label(r.cfg.kind).to_string(),
+        origins: r.cfg.origins.label().to_string(),
         seed: r.cfg.seed,
         offered_ppm: r.cfg.rate_ppm,
         achieved_ppm: r.achieved_ppm(),
@@ -192,6 +197,7 @@ pub fn serve_summary(r: &ServeRunResult) -> MeshServeSummary {
             waits.iter().sum::<u64>() as f64 / waits.len() as f64
         },
         queue_wait_max: waits.iter().copied().max().unwrap_or(0),
+        steals: r.mesh.steals.iter().sum(),
         buckets: hist
             .buckets
             .iter()
@@ -257,7 +263,8 @@ mod tests {
         let csv = t.to_csv();
         assert_eq!(csv.lines().count(), 2);
         let row = csv.lines().nth(1).unwrap();
-        assert!(row.starts_with("MD,rr,4,poisson,20000,16,5,"));
+        assert!(row.starts_with("MD,rr,4,poisson,uniform,20000,16,5,"));
+        assert!(row.ends_with(",0"), "static policy must report 0 steals");
         let lat = sorted_latencies(&r);
         assert!(row.contains(&format!(",{},", percentile(&lat, 50, 100))));
     }
@@ -308,9 +315,10 @@ mod tests {
         let profile = serve_profile(&r, "fib");
         tamsim_obs::json::validate(&profile).expect("serve profile must parse");
         assert!(profile.contains("\"schema\":\"tamsim-mesh-profile/1\""));
-        assert!(
-            profile.contains("\"serve\":{\"kind\":\"poisson\",\"seed\":5,\"offered_ppm\":20000,")
-        );
+        assert!(profile.contains(
+            "\"serve\":{\"kind\":\"poisson\",\"origins\":\"uniform\",\"seed\":5,\
+             \"offered_ppm\":20000,"
+        ));
         assert!(profile.contains("\"requests\":16,"));
         assert!(!profile.contains("\"parallel\""));
         let s = serve_summary(&r);

@@ -30,6 +30,7 @@ use crate::hooks::{NetHooks, NoNetHooks};
 use crate::place::{Placement, PlacementPolicy};
 use crate::port::NodePort;
 use crate::serve::{ReqCell, ServePlan, ServeState};
+use crate::steal::{StealEngine, StealView};
 use crate::topology::MeshTopology;
 use crate::trace::{NetTrace, NetTraceMode, NetTraceRecorder};
 use crate::{node_tag, LOCAL_MASK, MAX_NODES, NODE_SHIFT};
@@ -195,6 +196,9 @@ pub struct MeshRunResult {
     pub activity: Vec<ActivityTrack>,
     /// Per-node live-frame census at the end of the run.
     pub live_frames: Vec<u64>,
+    /// Frames migrated *off* each node by work stealing (all zero under
+    /// the static policies); sums to the run's total steal count.
+    pub steals: Vec<u64>,
     /// Gridlock-watchdog trips over the whole run (each one doubled every
     /// queue and restarted the attempt).
     pub watchdog_trips: u32,
@@ -475,6 +479,16 @@ impl MeshExperiment {
                 // The boot message allocates main's frame on node 0.
                 placement.commit(0);
             }
+            // Work stealing needs a software frame queue to steal from
+            // (AM only — MD's task queue is the hardware queue) and a
+            // second node to steal to; otherwise the policy degenerates
+            // to locality with zero steals and no directory overhead.
+            let mut steal = (self.placement == PlacementPolicy::WorkStealing
+                && self.implementation.is_am()
+                && self.nodes > 1)
+                .then(|| StealEngine::new(&linked, topo, self.net.inject_capacity));
+            let mut steal_installed: Vec<u32> = Vec::new();
+            let mut steal_freed: Vec<u32> = Vec::new();
 
             let mut cycle: u64 = 0;
             let mut last_progress: u64 = 0;
@@ -614,6 +628,24 @@ impl MeshExperiment {
                     }
                 }
 
+                // Work stealing runs entirely in this serial window:
+                // first settle the previous cycle's bookkeeping
+                // (activate installed frames, retire freed ones, reclaim
+                // orphaned home slots), then scan for new steals. The
+                // scan is gated on a runnable machine — a node with
+                // stealable backlog always has a live scheduler context
+                // — so every iteration a fast-forward jump skips is
+                // provably a steal no-op too, keeping the two serial
+                // drivers bit-identical.
+                if let Some(eng) = steal.as_mut() {
+                    eng.settle(&steal_installed, &steal_freed, &mut machines);
+                    steal_installed.clear();
+                    steal_freed.clear();
+                    if machines.iter().any(|m| m.next_wake() == Wake::Now) {
+                        eng.scan(&mut machines, &mut fabric, &mut placement, &mut *net_hooks);
+                    }
+                }
+
                 // (1) Every node executes at most one instruction.
                 let mut progress = false;
                 for n in 0..k {
@@ -642,6 +674,10 @@ impl MeshExperiment {
                             placement: &mut placement,
                             hooks: &mut *net_hooks,
                             serve: serve.as_mut().map(|s| s.tap(cycle)),
+                            steal: steal.as_ref().map(|engine| StealView {
+                                engine,
+                                frees: &mut steal_freed,
+                            }),
                         };
                         machines[n].step(&mut hooks[n], &mut port)
                     };
@@ -713,6 +749,61 @@ impl MeshExperiment {
 
                 // (3) Each NI retires at most one arrived message.
                 for n in 0..k {
+                    // Work stealing intercepts two message shapes before
+                    // ordinary delivery: a migration installs its frame
+                    // into this node, and a message addressed to a
+                    // frame that migrated *away* is forwarded to the
+                    // frame's new home (FIFO links put the migration
+                    // itself ahead of it on the same path, so a forward
+                    // can never outrun the install).
+                    if let Some(eng) = steal.as_ref() {
+                        if let Some(head) = fabric.ready_recv(n as u32) {
+                            if StealEngine::is_migration(&head.words) {
+                                let words = head.words.clone();
+                                let old = words[2].bits() as u32;
+                                if eng.try_install(&mut machines[n], &words, linked.start_low) {
+                                    fabric.pop_recv_traced(n as u32, &mut *net_hooks);
+                                    progress = true;
+                                    steal_installed.push(old);
+                                } else {
+                                    // Target mid-system-code: hold the
+                                    // install under back-pressure.
+                                    fabric.note_deliver_stall_traced(n as u32, &mut *net_hooks);
+                                }
+                                continue;
+                            }
+                            if eng.has_entries()
+                                && head.words.len() >= 2
+                                && head.words[1].bits() <= u32::MAX as u64
+                            {
+                                if let Some(e) = eng.forward_of(head.words[1].bits() as u32) {
+                                    let mut words = head.words.clone();
+                                    words[1] = Word::from_addr(e.new);
+                                    let pri = head.pri;
+                                    let is_free = words[0].bits() == linked.net.ffree_addr as u64;
+                                    let dest = crate::node_of(e.new);
+                                    if fabric.try_inject_traced(
+                                        n as u32,
+                                        dest,
+                                        pri,
+                                        &words,
+                                        &mut *net_hooks,
+                                    ) {
+                                        if is_free && eng.frees_new(e.new) {
+                                            steal_freed.push(e.new);
+                                        }
+                                        fabric.pop_recv_traced(n as u32, &mut *net_hooks);
+                                        progress = true;
+                                    } else {
+                                        // Inject queue full: the forward
+                                        // waits its turn next cycle.
+                                        fabric.note_deliver_stall_traced(n as u32, &mut *net_hooks);
+                                    }
+                                    continue;
+                                }
+                            }
+                        }
+                    }
                     let delivered = match fabric.ready_recv(n as u32) {
                         Some(msg) => machines[n].try_deliver(msg.pri, &msg.words, &mut hooks[n]),
                         None => continue,
@@ -780,6 +871,9 @@ impl MeshExperiment {
                 queue_words,
                 activity,
                 live_frames: placement.live().to_vec(),
+                steals: steal
+                    .as_ref()
+                    .map_or_else(|| vec![0; k], |e| e.steals_from.clone()),
                 watchdog_trips,
                 backstop_rearms,
                 logs: self

@@ -39,6 +39,7 @@ pub mod par;
 pub mod place;
 pub mod port;
 pub mod serve;
+pub mod steal;
 pub mod topology;
 pub mod trace;
 
@@ -51,9 +52,10 @@ pub use hooks::{BufKind, NetHooks, NoNetHooks};
 pub use place::{Placement, PlacementPolicy};
 pub use port::NodePort;
 pub use serve::{
-    arrival_schedule, Arrival, ArrivalKind, ReqCell, RequestRecord, ServeConfig, ServePlan,
-    ServeRunResult,
+    arrival_schedule, Arrival, ArrivalKind, OriginDist, ReqCell, RequestRecord, ServeConfig,
+    ServePlan, ServeRunResult,
 };
+pub use steal::{ForwardEntry, ForwardState, StealEngine, MIGRATE_TAG};
 pub use topology::{Dir, MeshTopology};
 pub use trace::{
     HistEntry, HopRecord, LatencyHist, MsgRecord, NetTrace, NetTraceMode, NetTraceRecorder,

@@ -67,6 +67,7 @@ use crate::fabric::{Fabric, FabricLanes, LaneDeltas};
 use crate::place::Placement;
 use crate::port::NodePort;
 use crate::serve::{ReqCell, ServePlan, ServeShared, ServeState};
+use crate::steal::{StealEngine, StealView};
 use crate::topology::MeshTopology;
 use crate::{node_of, NODE_SHIFT};
 use std::any::Any;
@@ -126,6 +127,15 @@ struct WorkerSlot {
     /// Requests completed (done replies ejected) by this chunk this
     /// round; folded into [`ServeState`] at the barrier.
     completed: u64,
+    /// Work stealing: `ffree` loci that hit a migrated frame's new
+    /// address, observed by this chunk this round (route and forward
+    /// time). Folded at the barrier in worker order — which is node
+    /// order — so entry retirement matches the serial drivers exactly.
+    frees: Vec<u32>,
+    /// Work stealing: home (`old`) addresses of the migrations this
+    /// chunk installed this round; folded in worker order for the
+    /// serial window's Pending→Active flips.
+    installed: Vec<u32>,
 }
 
 /// The shared view handed to every worker: the round protocol plus raw
@@ -157,6 +167,12 @@ struct SharedMesh<'a, 'c> {
     nodes: u32,
     fast_forward: bool,
     is_am: bool,
+    /// Work-stealing engine (null unless `--policy steal` on AM). Owned
+    /// and mutated by the main thread in serial windows only; workers
+    /// do read-only directory lookups during rounds — the same barrier
+    /// discipline as `placement`, without even needing the node-order
+    /// gate (lookups don't mutate).
+    steal: *mut StealEngine,
     /// Serve-mode completion view (`None` on batch runs): workers eject
     /// done replies through it, each request exactly once.
     serve: Option<ServeShared>,
@@ -204,6 +220,7 @@ impl SharedMesh<'_, '_> {
                     gate_open: &mut gate_open,
                     deltas: &mut slot.deltas,
                     completed: &mut slot.completed,
+                    frees: &mut slot.frees,
                 };
                 machine.step(unsafe { &mut (*self.hooks.add(n)) }, &mut port)
             };
@@ -234,6 +251,62 @@ impl SharedMesh<'_, '_> {
     unsafe fn retire_chunk(&self, t: usize, now: u64, slot: &mut WorkerSlot) {
         for n in self.ranges[t].clone() {
             let machine = unsafe { &mut *self.machines.add(n) };
+            // Work stealing intercepts migrations (install into this
+            // node) and messages addressed to frames that migrated away
+            // (forward to the new home) — the exact mirror of the
+            // serial driver's phase (3). All fabric access stays on
+            // this node's own lanes.
+            if let Some(eng) = unsafe { self.steal.as_ref() } {
+                if let Some(head) = unsafe { self.lanes.ready_recv(n as u32, now) } {
+                    if StealEngine::is_migration(&head.words) {
+                        let words = head.words.clone();
+                        let old = words[2].bits() as u32;
+                        if eng.try_install(machine, &words, self.linked.start_low) {
+                            unsafe { self.lanes.pop_recv(n as u32, now, &mut slot.deltas) };
+                            slot.progress = true;
+                            slot.deliveries += 1;
+                            slot.installed.push(old);
+                        } else {
+                            unsafe { self.lanes.note_deliver_stall(n as u32, &mut slot.deltas) };
+                        }
+                        continue;
+                    }
+                    if eng.has_entries()
+                        && head.words.len() >= 2
+                        && head.words[1].bits() <= u32::MAX as u64
+                    {
+                        if let Some(e) = eng.forward_of(head.words[1].bits() as u32) {
+                            let mut words = head.words.clone();
+                            words[1] = Word::from_addr(e.new);
+                            let pri = head.pri;
+                            let is_free = words[0].bits() == self.linked.net.ffree_addr as u64;
+                            let dest = node_of(e.new);
+                            if unsafe {
+                                self.lanes.try_inject(
+                                    n as u32,
+                                    dest,
+                                    pri,
+                                    &words,
+                                    now,
+                                    &mut slot.deltas,
+                                )
+                            } {
+                                if is_free && eng.frees_new(e.new) {
+                                    slot.frees.push(e.new);
+                                }
+                                unsafe { self.lanes.pop_recv(n as u32, now, &mut slot.deltas) };
+                                slot.progress = true;
+                                slot.deliveries += 1;
+                            } else {
+                                unsafe {
+                                    self.lanes.note_deliver_stall(n as u32, &mut slot.deltas)
+                                };
+                            }
+                            continue;
+                        }
+                    }
+                }
+            }
             let delivered = match unsafe { self.lanes.ready_recv(n as u32, now) } {
                 Some(msg) => {
                     machine.try_deliver(msg.pri, &msg.words, unsafe { &mut (*self.hooks.add(n)) })
@@ -316,6 +389,9 @@ struct ParallelNodePort<'a, 'b, 'c> {
     deltas: &'a mut LaneDeltas,
     /// This worker's per-round completion count (`WorkerSlot::completed`).
     completed: &'a mut u64,
+    /// This worker's per-round migrated-frame free captures
+    /// (`WorkerSlot::frees`).
+    frees: &'a mut Vec<u32>,
 }
 
 impl ParallelNodePort<'_, '_, '_> {
@@ -374,8 +450,39 @@ impl NetPort for ParallelNodePort<'_, '_, '_> {
                 return RouteOutcome::Injected;
             }
         }
+        // Work stealing: mirror of `NodePort::route`'s locus rewrite —
+        // directory lookups are read-only, so no node-order gate is
+        // needed (the directory only changes in serial windows).
+        let mut rewritten: Option<Vec<Word>> = None;
+        if let Some(eng) = unsafe { self.shared.steal.as_ref() } {
+            if eng.has_entries()
+                && words.len() >= 2
+                && words[0].bits() != self.shared.linked.net.falloc_addr as u64
+                && words[1].bits() <= u32::MAX as u64
+            {
+                let locus = words[1].bits() as u32;
+                let mut target = eng.resolve(locus);
+                if let Some(e) = eng.forward_of(target) {
+                    // Pending entry: chase it only from its home node,
+                    // where the rewritten message rides the migration's
+                    // own FIFO path (see `NodePort::route`).
+                    if node_of(target) == self.node {
+                        target = e.new;
+                    }
+                }
+                if target != locus {
+                    let mut w = words.to_vec();
+                    w[1] = Word::from_addr(target);
+                    rewritten = Some(w);
+                }
+            }
+        }
+        let words: &[Word] = rewritten.as_deref().unwrap_or(words);
         let dest = self.destination(words).unwrap_or(self.node);
-        let outcome = if dest == self.node {
+        // A rewritten self-send must go through the fabric's zero-hop
+        // path: `RouteOutcome::Local` would enqueue the un-rewritten
+        // words (see `NodePort::route`).
+        let outcome = if dest == self.node && rewritten.is_none() {
             RouteOutcome::Local
         } else if unsafe {
             self.shared
@@ -395,6 +502,11 @@ impl NetPort for ParallelNodePort<'_, '_, '_> {
             if frame <= u32::MAX as u64 {
                 let nodes = self.shared.nodes;
                 self.placement().freed(node_of(frame as u32).min(nodes - 1));
+                if let Some(eng) = unsafe { self.shared.steal.as_ref() } {
+                    if eng.frees_new(frame as u32) {
+                        self.frees.push(frame as u32);
+                    }
+                }
             }
         }
         outcome
@@ -463,6 +575,15 @@ impl MeshExperiment {
             if plan.is_none() {
                 placement.commit(0); // the boot message allocates main's frame
             }
+            // Work-stealing engine (see driver.rs for the gate): owned
+            // here, mutated only in serial windows, visible to workers
+            // read-only through `SharedMesh::steal`.
+            let mut steal = (self.placement == crate::place::PlacementPolicy::WorkStealing
+                && self.implementation.is_am()
+                && self.nodes > 1)
+                .then(|| StealEngine::new(&linked, topo, self.net.inject_capacity));
+            let mut steal_installed: Vec<u32> = Vec::new();
+            let mut steal_freed: Vec<u32> = Vec::new();
             let mut stall_cycles = vec![0u64; k];
             let mut activity = vec![ActivityTrack::default(); k];
             let mut slots: Vec<WorkerSlot> = (0..t_count).map(|_| WorkerSlot::default()).collect();
@@ -491,6 +612,9 @@ impl MeshExperiment {
                 nodes: self.nodes,
                 fast_forward: self.fast_forward,
                 is_am: self.implementation.is_am(),
+                steal: steal
+                    .as_mut()
+                    .map_or(std::ptr::null_mut(), |e| e as *mut StealEngine),
                 serve: serve.as_mut().map(|s| s.shared()),
             };
 
@@ -645,6 +769,24 @@ impl MeshExperiment {
                         }
                     }
 
+                    // Work stealing: settle the previous cycle's installs
+                    // and frees, then scan — in the serial window, at the
+                    // exact point the serial drivers do it (see
+                    // driver.rs for the determinism argument).
+                    if let Some(eng) = steal.as_mut() {
+                        eng.settle(&steal_installed, &steal_freed, &mut machines);
+                        steal_installed.clear();
+                        steal_freed.clear();
+                        if machines.iter().any(|m| m.next_wake() == Wake::Now) {
+                            eng.scan(
+                                &mut machines,
+                                &mut fabric,
+                                &mut placement,
+                                &mut crate::hooks::NoNetHooks,
+                            );
+                        }
+                    }
+
                     // (1) Every node executes at most one instruction. A
                     // halt ends the serial cycle mid-phase (later nodes
                     // do not step), so any cycle where some node *might*
@@ -666,6 +808,10 @@ impl MeshExperiment {
                                     placement: &mut placement,
                                     hooks: &mut crate::hooks::NoNetHooks,
                                     serve: serve.as_mut().map(|s| s.tap(cycle)),
+                                    steal: steal.as_ref().map(|engine| StealView {
+                                        engine,
+                                        frees: &mut steal_freed,
+                                    }),
                                 };
                                 machines[n].step(&mut hooks[n], &mut port)
                             };
@@ -721,6 +867,13 @@ impl MeshExperiment {
                         // already wrote there directly).
                         sv.completed += completed;
                     }
+                    if steal.is_some() {
+                        // Fold route-time free captures in worker order
+                        // (= node order, matching the serial drivers).
+                        for slot in slots.iter_mut() {
+                            steal_freed.append(&mut slot.frees);
+                        }
+                    }
 
                     // (2) The fabric moves messages one hop (empty-fabric
                     // fast path as in the serial driver).
@@ -749,6 +902,15 @@ impl MeshExperiment {
                     );
                     debug_assert!(err.is_none(), "retire phase cannot error");
                     debug_assert_eq!(retire_completed, 0, "retiring never routes a reply");
+                    if steal.is_some() {
+                        // Fold installs and forward-time free captures in
+                        // worker order (= node order); the next serial
+                        // window settles them.
+                        for slot in slots.iter_mut() {
+                            steal_installed.append(&mut slot.installed);
+                            steal_freed.append(&mut slot.frees);
+                        }
+                    }
 
                     cycle += 1;
                     if progress || fabric.moves() != prev_moves {
@@ -819,6 +981,9 @@ impl MeshExperiment {
                         queue_words,
                         activity,
                         live_frames: placement.live().to_vec(),
+                        steals: steal
+                            .as_ref()
+                            .map_or_else(|| vec![0; k], |e| e.steals_from.clone()),
                         watchdog_trips,
                         backstop_rearms,
                         logs: self

@@ -20,6 +20,15 @@ pub enum PlacementPolicy {
     /// case allocate on the least-loaded node. Trades spread for locality
     /// (parent↔child messages stay on-node).
     LocalityAware,
+    /// Birth placement as [`PlacementPolicy::LocalityAware`] (stay home
+    /// within the census slack, shed to the least-loaded node past it)
+    /// *plus* dynamic rebalancing: the mesh driver's serial phase
+    /// migrates enabled frames off overloaded nodes to idle ones (see
+    /// `tamsim_net::steal`). Push–pull: the census sheds coarse
+    /// imbalance at allocation time, migration drains the backlog the
+    /// census couldn't predict. The census tracks migrations too, so
+    /// the live counts stay honest.
+    WorkStealing,
 }
 
 impl PlacementPolicy {
@@ -28,6 +37,7 @@ impl PlacementPolicy {
         match self {
             PlacementPolicy::RoundRobin => "rr",
             PlacementPolicy::LocalityAware => "local",
+            PlacementPolicy::WorkStealing => "steal",
         }
     }
 
@@ -36,8 +46,25 @@ impl PlacementPolicy {
         match s {
             "rr" | "round-robin" => Some(PlacementPolicy::RoundRobin),
             "local" | "locality" => Some(PlacementPolicy::LocalityAware),
+            "steal" | "work-stealing" => Some(PlacementPolicy::WorkStealing),
             _ => None,
         }
+    }
+
+    /// Every policy, in CLI/CSV presentation order.
+    pub const ALL: [PlacementPolicy; 3] = [
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::LocalityAware,
+        PlacementPolicy::WorkStealing,
+    ];
+
+    /// The `a | b | c` list of labels for CLI help and error messages.
+    pub fn labels() -> String {
+        Self::ALL
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+            .join(" | ")
     }
 }
 
@@ -72,7 +99,11 @@ impl Placement {
     pub fn peek(&self, from: u32) -> u32 {
         match self.policy {
             PlacementPolicy::RoundRobin => self.rr_next,
-            PlacementPolicy::LocalityAware => {
+            // Work stealing places like the locality-aware policy at
+            // birth and rebalances by frame migration afterwards
+            // (driver serial phase) — push at allocation, pull once a
+            // backlog actually forms.
+            PlacementPolicy::LocalityAware | PlacementPolicy::WorkStealing => {
                 let (argmin, min) = self
                     .live
                     .iter()

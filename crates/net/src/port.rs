@@ -23,6 +23,7 @@ use crate::hooks::{NetHooks, NoNetHooks};
 use crate::node_of;
 use crate::place::Placement;
 use crate::serve::ServeTap;
+use crate::steal::StealView;
 use tamsim_core::NetInfo;
 use tamsim_mdp::{NetPort, Priority, RouteOutcome, Word};
 
@@ -45,6 +46,10 @@ pub struct NodePort<'a, H: NetHooks = NoNetHooks> {
     /// Serve-mode completion tap (`None` on batch runs): done replies
     /// are ejected off-mesh to the external client instead of routed.
     pub serve: Option<ServeTap<'a>>,
+    /// Work-stealing forwarding directory (`None` unless the run uses
+    /// `--policy steal`): loci of migrated frames are rewritten to the
+    /// frame's current home at route time.
+    pub steal: Option<StealView<'a>>,
 }
 
 impl<H: NetHooks> NodePort<'_, H> {
@@ -77,8 +82,47 @@ impl<H: NetHooks> NetPort for NodePort<'_, H> {
                 return RouteOutcome::Injected;
             }
         }
+        // Work stealing: rewrite the locus of a message addressed to a
+        // migrated frame so it flies straight to the frame's current
+        // home. `falloc` is exempt (its second word is a codeblock id,
+        // not an address). A *Pending* entry — migration still in
+        // flight — is chased only when this node is the entry's home:
+        // from here the rewritten message shares the migration's own
+        // fabric path, and FIFO links guarantee it lands second; from
+        // anywhere else it routes to the home node unchanged and is
+        // forwarded on arrival, behind the same ordering fence.
+        let mut rewritten: Option<Vec<Word>> = None;
+        if let Some(sv) = &self.steal {
+            if sv.engine.has_entries()
+                && words.len() >= 2
+                && words[0].bits() != self.info.falloc_addr as u64
+                && words[1].bits() <= u32::MAX as u64
+            {
+                let locus = words[1].bits() as u32;
+                let mut target = sv.engine.resolve(locus);
+                if let Some(e) = sv.engine.forward_of(target) {
+                    // Only a Pending entry survives `resolve`; chase it
+                    // from its home node (see above). While Pending, the
+                    // new address cannot have been re-stolen, so one
+                    // step reaches the frame.
+                    if node_of(target) == self.node {
+                        target = e.new;
+                    }
+                }
+                if target != locus {
+                    let mut w = words.to_vec();
+                    w[1] = Word::from_addr(target);
+                    rewritten = Some(w);
+                }
+            }
+        }
+        let words: &[Word] = rewritten.as_deref().unwrap_or(words);
         let dest = self.destination(words).unwrap_or(self.node);
-        let outcome = if dest == self.node {
+        // A rewritten message must carry its new locus even when the
+        // frame migrated *to this node*: `RouteOutcome::Local` makes the
+        // machine enqueue its own (un-rewritten) copy, so a rewritten
+        // self-send goes through the fabric's zero-hop path instead.
+        let outcome = if dest == self.node && rewritten.is_none() {
             // The message goes straight into this node's machine queue:
             // it occupies a slot ahead of later fabric deliveries, which
             // the dispatch matcher must see.
@@ -101,6 +145,14 @@ impl<H: NetHooks> NetPort for NodePort<'_, H> {
             if frame <= u32::MAX as u64 {
                 self.placement
                     .freed(node_of(frame as u32).min(self.fabric.nodes() - 1));
+                // A free of a migrated frame retires its forwarding
+                // chain and reclaims the orphaned home slot — report it
+                // to the driver's serial phase.
+                if let Some(sv) = self.steal.as_mut() {
+                    if sv.engine.frees_new(frame as u32) {
+                        sv.frees.push(frame as u32);
+                    }
+                }
             }
         }
         outcome

@@ -80,6 +80,38 @@ pub enum ArrivalKind {
     Fixed,
 }
 
+/// Spatial distribution of request origins across the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OriginDist {
+    /// Origins uniform over the nodes (multiply-shift on the arrival
+    /// rng) — the balanced baseline.
+    #[default]
+    Uniform,
+    /// Every request arrives at node 0 (a mesh corner): the worst-case
+    /// hot-spot that static placement cannot spread, and the scenario
+    /// the work-stealing policy is measured on.
+    Corner,
+}
+
+impl OriginDist {
+    /// Stable CLI / CSV label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OriginDist::Uniform => "uniform",
+            OriginDist::Corner => "corner",
+        }
+    }
+
+    /// Parse a [`OriginDist::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "uniform" => Some(OriginDist::Uniform),
+            "corner" => Some(OriginDist::Corner),
+            _ => None,
+        }
+    }
+}
+
 /// An offered-load scenario: how many requests, how fast, from which
 /// seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,16 +124,19 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Arrival process shape.
     pub kind: ArrivalKind,
+    /// Where requests enter the mesh.
+    pub origins: OriginDist,
 }
 
 impl ServeConfig {
-    /// A Poisson scenario.
+    /// A Poisson scenario with uniform origins.
     pub fn new(rate_ppm: u64, requests: u32, seed: u64) -> Self {
         ServeConfig {
             rate_ppm,
             requests,
             seed,
             kind: ArrivalKind::Poisson,
+            origins: OriginDist::Uniform,
         }
     }
 }
@@ -119,7 +154,8 @@ pub struct Arrival {
 
 /// Precompute the full arrival schedule for `cfg` on a `nodes`-node
 /// mesh: deterministic in `(cfg, nodes)`, integer-only, bit-stable
-/// across hosts. Origin nodes are uniform via multiply-shift.
+/// across hosts. Origin nodes follow [`ServeConfig::origins`]
+/// (uniform multiply-shift, or all at corner node 0).
 ///
 /// # Panics
 /// Panics when the rate is zero, `nodes` is zero, or the request count
@@ -132,7 +168,18 @@ pub fn arrival_schedule(cfg: &ServeConfig, nodes: u32) -> Vec<Arrival> {
         "request ids must fit the local part of the parent tag"
     );
     let mut rng = SplitMix64::new(cfg.seed);
-    let origin = |rng: &mut SplitMix64| ((rng.next_u64() as u128 * nodes as u128) >> 64) as u32;
+    // The uniform draw is taken (and, under `Corner`, discarded) for
+    // every arrival regardless of the origin distribution, so the two
+    // distributions produce *identical arrival times* from the same
+    // seed — corner-vs-uniform comparisons isolate the spatial skew.
+    let dist = cfg.origins;
+    let origin = move |rng: &mut SplitMix64| {
+        let uniform = ((rng.next_u64() as u128 * nodes as u128) >> 64) as u32;
+        match dist {
+            OriginDist::Uniform => uniform,
+            OriginDist::Corner => 0,
+        }
+    };
     let mut out = Vec::with_capacity(cfg.requests as usize);
     match cfg.kind {
         ArrivalKind::Fixed => {
@@ -547,6 +594,37 @@ mod tests {
         assert_eq!(a.len(), 100);
         // ≥ 2 guaranteed arrivals per cycle: 100 requests within 50 cycles.
         assert!(a.last().unwrap().cycle <= 50);
+    }
+
+    #[test]
+    fn corner_origins_keep_the_uniform_arrival_times() {
+        // Same seed, same rate: the corner schedule must be the uniform
+        // schedule with every origin collapsed to node 0 — identical
+        // arrival cycles, so latency comparisons isolate spatial skew.
+        let uniform = ServeConfig::new(40_000, 150, 0xBEEF);
+        let corner = ServeConfig {
+            origins: OriginDist::Corner,
+            ..uniform
+        };
+        let u = arrival_schedule(&uniform, 16);
+        let c = arrival_schedule(&corner, 16);
+        assert_eq!(u.len(), c.len());
+        for (a, b) in u.iter().zip(&c) {
+            assert_eq!(a.cycle, b.cycle, "arrival times must match");
+            assert_eq!(b.node, 0, "corner arrivals all land on node 0");
+        }
+        assert!(
+            u.iter().any(|a| a.node != 0),
+            "uniform origins must actually spread"
+        );
+    }
+
+    #[test]
+    fn origin_dist_labels_round_trip() {
+        for d in [OriginDist::Uniform, OriginDist::Corner] {
+            assert_eq!(OriginDist::parse(d.label()), Some(d));
+        }
+        assert_eq!(OriginDist::parse("hotspot"), None);
     }
 
     #[test]

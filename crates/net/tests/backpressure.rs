@@ -26,9 +26,12 @@ fn net_info() -> NetInfo {
         ffree_addr: 2,
         done_addr: 3,
         q_head: 0,
+        q_tail: 0,
         frame_bump: 0,
         heap_bump: 0,
         heap_bump_init: 0,
+        freelist_base: 0,
+        desc_ptrs: 0,
     }
 }
 
@@ -107,6 +110,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
                 placement: &mut placement,
                 hooks: &mut nh,
                 serve: None,
+                steal: None,
             };
             last_outcome = sender.step(&mut NoHooks, &mut port).expect("sender failed");
             if matches!(last_outcome, Step::Halted(_)) {
@@ -151,6 +155,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
             placement: &mut placement,
             hooks: &mut nh,
             serve: None,
+            steal: None,
         };
         assert_eq!(sender.step(&mut NoHooks, &mut port).unwrap(), Step::Blocked);
     }
@@ -182,6 +187,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
                 placement: &mut placement,
                 hooks: &mut nh,
                 serve: None,
+                steal: None,
             };
             match sender.step(&mut NoHooks, &mut port).expect("sender failed") {
                 Step::Ran => resumed = true,
@@ -200,6 +206,7 @@ fn remote_queue_backpressure_stalls_sender_and_resumes() {
                 placement: &mut placement,
                 hooks: &mut nh,
                 serve: None,
+                steal: None,
             };
             if receiver
                 .step(&mut NoHooks, &mut port)
@@ -288,6 +295,7 @@ fn deliver_stalls_are_attributed_to_the_destination_node() {
                 placement: &mut placement,
                 hooks: &mut nh,
                 serve: None,
+                steal: None,
             };
             if matches!(
                 sender.step(&mut NoHooks, &mut port).expect("sender failed"),

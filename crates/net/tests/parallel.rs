@@ -53,6 +53,7 @@ fn assert_bit_identical(serial: &MeshRunResult, par: &MeshRunResult, ctx: &str) 
         par.live_frames, serial.live_frames,
         "live-frame census differs: {ctx}"
     );
+    assert_eq!(par.steals, serial.steals, "steal counts differ: {ctx}");
     assert_eq!(
         par.watchdog_trips, serial.watchdog_trips,
         "watchdog trips differ: {ctx}"

@@ -18,8 +18,7 @@ const IMPLS: [Implementation; 3] = [
     Implementation::Md,
 ];
 
-const POLICIES: [PlacementPolicy; 2] =
-    [PlacementPolicy::RoundRobin, PlacementPolicy::LocalityAware];
+const POLICIES: [PlacementPolicy; 3] = PlacementPolicy::ALL;
 
 /// Every request-visible and mesh-visible observable except
 /// `thread_stats` (worker attribution is a function of the thread count)
@@ -52,6 +51,7 @@ fn assert_serve_identical(a: &ServeRunResult, b: &ServeRunResult, ctx: &str) {
         a.mesh.live_frames, b.mesh.live_frames,
         "live-frame census differs: {ctx}"
     );
+    assert_eq!(a.mesh.steals, b.mesh.steals, "steal counts differ: {ctx}");
     assert_eq!(
         a.mesh.watchdog_trips, b.mesh.watchdog_trips,
         "watchdog trips differ: {ctx}"

@@ -315,6 +315,8 @@ pub struct MeshParallelSummary {
 pub struct MeshServeSummary {
     /// Arrival-process shape (`"poisson"` / `"fixed"`).
     pub kind: String,
+    /// Origin distribution (`"uniform"` / `"corner"`).
+    pub origins: String,
     /// Arrival-stream seed.
     pub seed: u64,
     /// Offered load in requests per million cycles.
@@ -339,6 +341,8 @@ pub struct MeshServeSummary {
     pub queue_wait_mean: f64,
     /// Largest entry-queue wait.
     pub queue_wait_max: u64,
+    /// Frames migrated by the work-stealing policy (0 under rr/local).
+    pub steals: u64,
     /// Log-bucketed latency histogram rows `(lo, hi, requests)`.
     pub buckets: Vec<(u64, u64, u64)>,
 }
@@ -410,10 +414,13 @@ pub fn mesh_profile_json(
     if let Some(s) = serve {
         let _ = write!(
             out,
-            "\"serve\":{{\"kind\":{},\"seed\":{},\"offered_ppm\":{},\"achieved_ppm\":{},\
+            "\"serve\":{{\"kind\":{},\"origins\":{},\"seed\":{},\"offered_ppm\":{},\
+             \"achieved_ppm\":{},\
              \"requests\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"mean\":{},\
-             \"max\":{},\"queue_wait_mean\":{},\"queue_wait_max\":{},\"histogram\":[",
+             \"max\":{},\"queue_wait_mean\":{},\"queue_wait_max\":{},\"steals\":{},\
+             \"histogram\":[",
             quote(&s.kind),
+            quote(&s.origins),
             s.seed,
             s.offered_ppm,
             s.achieved_ppm,
@@ -425,7 +432,8 @@ pub fn mesh_profile_json(
             num(s.mean),
             s.max,
             num(s.queue_wait_mean),
-            s.queue_wait_max
+            s.queue_wait_max,
+            s.steals
         );
         for (i, (lo, hi, reqs)) in s.buckets.iter().enumerate() {
             if i > 0 {
@@ -630,6 +638,7 @@ mod tests {
 
         let serve = MeshServeSummary {
             kind: "poisson".to_string(),
+            origins: "corner".to_string(),
             seed: 42,
             offered_ppm: 20_000,
             achieved_ppm: 18_500,
@@ -642,17 +651,19 @@ mod tests {
             max: 1800,
             queue_wait_mean: 0.25,
             queue_wait_max: 12,
+            steals: 7,
             buckets: vec![(128, 255, 40), (256, 511, 24)],
         };
         let profile = mesh_profile_json(&meta, &net, None, Some(&serve));
         json::validate(&profile).expect("serve mesh profile must parse");
         assert!(profile.contains(
-            "\"serve\":{\"kind\":\"poisson\",\"seed\":42,\"offered_ppm\":20000,\
+            "\"serve\":{\"kind\":\"poisson\",\"origins\":\"corner\",\"seed\":42,\
+             \"offered_ppm\":20000,\
              \"achieved_ppm\":18500,\"requests\":64,\"p50\":180,\"p90\":420,\
              \"p99\":900,\"p999\":1700,"
         ));
         assert!(profile.contains("{\"lo\":128,\"hi\":255,\"reqs\":40}"));
-        assert!(profile.contains("\"queue_wait_max\":12"));
+        assert!(profile.contains("\"queue_wait_max\":12,\"steals\":7"));
 
         let parallel = MeshParallelSummary {
             threads: 2,
